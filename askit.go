@@ -1,0 +1,341 @@
+// Package askit is a Go implementation of AskIt, the unified programming
+// interface for programming with large language models (Okuda &
+// Amarasinghe, CGO 2024).
+//
+// AskIt gives one interface — Ask and Define — for the two ways an
+// application can use an LLM:
+//
+//   - directly answerable tasks: the LLM answers at runtime. The
+//     expected result type becomes a JSON-schema-like constraint in the
+//     prompt (type-guided output control), and the response is parsed
+//     and validated against that type with a feedback-retry loop.
+//
+//   - codable tasks: the LLM writes code for the task once. The same
+//     prompt template becomes a function-synthesis prompt; the generated
+//     code is validated syntactically and against example tests, cached,
+//     and called natively afterwards.
+//
+// A Func moves between the two modes with a single Compile call and no
+// change to the prompt template.
+//
+// Quickstart:
+//
+//	ai, _ := askit.New(askit.Options{Client: askit.NewSimClient(1)})
+//	sentiment, _ := ai.Ask(ctx, askit.StrEnum("positive", "negative"),
+//	    "What is the sentiment of {{review}}?",
+//	    askit.Args{"review": "The product is fantastic."})
+//
+// This reproduction is offline: NewSimClient returns a deterministic
+// simulated chat model (see internal/llm). Any other llm.Client
+// implementation, e.g. one backed by a hosted API, plugs in the same
+// way.
+package askit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jsonx"
+	"repro/internal/llm"
+	"repro/internal/prompt"
+	"repro/internal/types"
+)
+
+// Type is an AskIt type (paper Table I); it controls prompt generation
+// and response validation.
+type Type = types.Type
+
+// Field is one property of a Dict type.
+type Field = types.Field
+
+// Primitive types (Table I).
+var (
+	Int   = types.Int
+	Float = types.Float
+	Bool  = types.Bool
+	Str   = types.Str
+	Void  = types.Void
+	Any   = types.Any
+)
+
+// Composite type constructors (Table I).
+var (
+	List    = types.List
+	Dict    = types.Dict
+	Union   = types.Union
+	Literal = types.Literal
+	StrEnum = types.StrEnum
+)
+
+// ParseTS parses a TypeScript type expression into a Type.
+var ParseTS = types.ParseTS
+
+// Args binds template parameters to values for one call.
+type Args = map[string]any
+
+// Example is a task input/output example, used for few-shot prompting
+// (ask/define's first example list) and generated-code validation
+// (define's second example list).
+type Example struct {
+	Input  Args
+	Output any
+}
+
+// Client is the LLM backend interface.
+type Client = llm.Client
+
+// NewSimClient returns the deterministic simulated LLM with the default
+// skill set and noise model, seeded for reproducibility.
+func NewSimClient(seed int64) *llm.Sim { return llm.NewSim(seed) }
+
+// Options configures an AskIt instance.
+type Options struct {
+	// Client is the LLM backend; required.
+	Client Client
+	// Model names the backend model; default "gpt-4".
+	Model string
+	// MaxRetries bounds retries after the first attempt (default 9,
+	// the paper's limit).
+	MaxRetries int
+	// Temperature is the sampling temperature (default 1.0).
+	Temperature float64
+	// CacheDir persists generated functions (the paper's askit/
+	// directory); empty disables the disk cache.
+	CacheDir string
+	// FS provides the virtual file system for file-access tasks; nil
+	// disables the appendFile/readFile/writeFile host bindings.
+	FS *core.VirtualFS
+	// MaxSteps bounds generated-code execution; 0 = default (10M steps).
+	MaxSteps int64
+	// Optimize applies the constant-folding pass to generated code.
+	Optimize bool
+	// Logf receives diagnostic traces; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// NewVirtualFS returns an empty virtual file system for Options.FS.
+func NewVirtualFS() *core.VirtualFS { return core.NewVirtualFS() }
+
+// AskIt is the top-level handle.
+type AskIt struct {
+	engine *core.Engine
+}
+
+// New validates opts and returns an AskIt instance.
+func New(opts Options) (*AskIt, error) {
+	engine, err := core.NewEngine(core.Options{
+		Client:      opts.Client,
+		Model:       opts.Model,
+		MaxRetries:  opts.MaxRetries,
+		Temperature: opts.Temperature,
+		CacheDir:    opts.CacheDir,
+		FS:          opts.FS,
+		MaxSteps:    opts.MaxSteps,
+		Optimize:    opts.Optimize,
+		Logf:        opts.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AskIt{engine: engine}, nil
+}
+
+// Engine exposes the underlying engine for advanced use (experiment
+// harnesses, ablations).
+func (a *AskIt) Engine() *core.Engine { return a.engine }
+
+// Ask performs one directly answerable task (paper §III-A): it renders
+// the prompt template with args, constrains the response to ret, and
+// returns the decoded answer. It is the ask<T>(template) API with the
+// type parameter passed as a value, exactly like the paper's Python
+// binding (§III-F).
+func (a *AskIt) Ask(ctx context.Context, ret Type, promptTemplate string, args Args) (any, error) {
+	f, err := a.engine.Define(ret, promptTemplate)
+	if err != nil {
+		return nil, err
+	}
+	res, err := f.Call(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return res.Value, nil
+}
+
+// AskAs is the generic wrapper deriving the AskIt type from T via
+// reflection and decoding the answer into T.
+func AskAs[T any](ctx context.Context, a *AskIt, promptTemplate string, args Args) (T, error) {
+	var zero T
+	ret, err := types.FromGo(reflect.TypeOf(zero))
+	if err != nil {
+		return zero, err
+	}
+	v, err := a.Ask(ctx, ret, promptTemplate, args)
+	if err != nil {
+		return zero, err
+	}
+	return convert[T](v)
+}
+
+func convert[T any](v any) (T, error) {
+	var out T
+	raw := jsonx.Encode(v)
+	if err := json.Unmarshal([]byte(raw), &out); err != nil {
+		return out, fmt.Errorf("askit: cannot decode answer into %T: %w", out, err)
+	}
+	return out, nil
+}
+
+// Func is a task defined from a prompt template (paper §III-A define).
+type Func struct {
+	inner *core.Func
+}
+
+// DefineOption customizes Define.
+type DefineOption func(*defineConfig)
+
+type defineConfig struct {
+	params   []Field
+	examples []Example
+	tests    []Example
+	name     string
+}
+
+// WithParamTypes declares parameter types for the generated function
+// signature (define's second type parameter in TypeScript).
+func WithParamTypes(params ...Field) DefineOption {
+	return func(c *defineConfig) { c.params = params }
+}
+
+// WithExamples supplies few-shot examples for direct calls.
+func WithExamples(examples ...Example) DefineOption {
+	return func(c *defineConfig) { c.examples = examples }
+}
+
+// WithTests supplies input/output examples that validate generated code
+// (define's second example list, §III-B).
+func WithTests(tests ...Example) DefineOption {
+	return func(c *defineConfig) { c.tests = tests }
+}
+
+// WithName fixes the generated function's name.
+func WithName(name string) DefineOption {
+	return func(c *defineConfig) { c.name = name }
+}
+
+// Define builds a reusable task function from a prompt template.
+func (a *AskIt) Define(ret Type, promptTemplate string, opts ...DefineOption) (*Func, error) {
+	var cfg defineConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	var coreOpts []core.DefineOption
+	if cfg.params != nil {
+		coreOpts = append(coreOpts, core.WithParamTypes(cfg.params))
+	}
+	if cfg.examples != nil {
+		coreOpts = append(coreOpts, core.WithExamples(toPromptExamples(cfg.examples)))
+	}
+	if cfg.tests != nil {
+		coreOpts = append(coreOpts, core.WithTests(toPromptExamples(cfg.tests)))
+	}
+	if cfg.name != "" {
+		coreOpts = append(coreOpts, core.WithName(cfg.name))
+	}
+	inner, err := a.engine.Define(ret, promptTemplate, coreOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Func{inner: inner}, nil
+}
+
+func toPromptExamples(in []Example) []prompt.Example {
+	out := make([]prompt.Example, len(in))
+	for i, e := range in {
+		out[i] = prompt.Example{Input: e.Input, Output: e.Output}
+	}
+	return out
+}
+
+// Call executes the task with named arguments. Before Compile it calls
+// the LLM; after, it runs the generated function.
+func (f *Func) Call(ctx context.Context, args Args) (any, error) {
+	res, err := f.inner.Call(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return res.Value, nil
+}
+
+// CallInfo describes how a call executed.
+type CallInfo struct {
+	// Compiled is true when generated code ran (no LLM in the loop).
+	Compiled bool
+	// Attempts is the number of LLM completions (0 when Compiled).
+	Attempts int
+	// ModelLatency is the (simulated) LLM latency of the call.
+	ModelLatency time.Duration
+	// ExecTime is the native execution time when Compiled.
+	ExecTime time.Duration
+}
+
+// CallInfo executes the task and additionally reports provenance and
+// timing — the quantities Table III aggregates.
+func (f *Func) CallInfo(ctx context.Context, args Args) (any, CallInfo, error) {
+	res, err := f.inner.Call(ctx, args)
+	info := CallInfo{
+		Compiled:     res.Compiled,
+		Attempts:     res.LLM.Attempts,
+		ModelLatency: res.LLM.Latency,
+		ExecTime:     res.ExecTime,
+	}
+	if err != nil {
+		return nil, info, err
+	}
+	return res.Value, info, nil
+}
+
+// Compile asks the LLM to implement the task as code (paper §III-D).
+// After a successful Compile, Call dispatches to the generated function.
+// Compiling twice is a no-op. This is the Python binding's
+// define(...).compile() (§III-F).
+func (f *Func) Compile(ctx context.Context) error {
+	_, err := f.inner.Compile(ctx)
+	return err
+}
+
+// CompileStats reports how code generation went.
+type CompileStats struct {
+	Attempts    int
+	CompileTime time.Duration
+	LOC         int
+	FromCache   bool
+	Source      string
+}
+
+// CompileInfo compiles (if needed) and returns the statistics.
+func (f *Func) CompileInfo(ctx context.Context) (CompileStats, error) {
+	info, err := f.inner.Compile(ctx)
+	if err != nil {
+		return CompileStats{}, err
+	}
+	return CompileStats{
+		Attempts:    info.Attempts,
+		CompileTime: info.CompileTime,
+		LOC:         info.LOC,
+		FromCache:   info.FromCache,
+		Source:      info.Source,
+	}, nil
+}
+
+// IsCompiled reports whether the function dispatches to generated code.
+func (f *Func) IsCompiled() bool { return f.inner.IsCompiled() }
+
+// Name returns the (derived or fixed) generated-function name.
+func (f *Func) Name() string { return f.inner.Name() }
+
+// Source returns the generated code once compiled.
+func (f *Func) Source() (string, bool) { return f.inner.CompiledSource() }

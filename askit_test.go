@@ -1,0 +1,216 @@
+package askit
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func newAI(t *testing.T) *AskIt {
+	t.Helper()
+	sim := NewSimClient(42)
+	// Keep the formatting noise (it exercises the retry loop) but
+	// disable capability blind spots so the API tests are about the
+	// engine, not about which tasks this seed's "model" can solve.
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	ai, err := New(Options{Client: sim, Model: "gpt-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ai
+}
+
+func TestAskTyped(t *testing.T) {
+	ai := newAI(t)
+	v, err := ai.Ask(context.Background(), Str,
+		"Reverse the string {{s}}.", Args{"s": "askit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "tiksa" {
+		t.Errorf("v = %v", v)
+	}
+}
+
+func TestAskList(t *testing.T) {
+	ai := newAI(t)
+	v, err := ai.Ask(context.Background(), List(Float),
+		"Sort the numbers {{ns}} in ascending order.", Args{"ns": []any{3.0, 1.0, 2.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.([]any)
+	if len(got) != 3 || got[0] != 1.0 || got[2] != 3.0 {
+		t.Errorf("v = %v", v)
+	}
+}
+
+func TestAskAsGeneric(t *testing.T) {
+	ai := newAI(t)
+	n, err := AskAs[int](context.Background(), ai,
+		"Calculate the factorial of {{n}}.", Args{"n": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 720 {
+		t.Errorf("n = %d", n)
+	}
+	ok, err := AskAs[bool](context.Background(), ai,
+		"Check if {{n}} is a prime number.", Args{"n": 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("17 should be prime")
+	}
+}
+
+func TestDefineReuse(t *testing.T) {
+	ai := newAI(t)
+	getMax, err := ai.Define(Float, "Find the largest number in {{ns}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		in   []any
+		want float64
+	}{
+		{[]any{1.0, 9.0, 4.0}, 9},
+		{[]any{-5.0, -2.0}, -2},
+	} {
+		v, err := getMax.Call(context.Background(), Args{"ns": c.in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != c.want {
+			t.Errorf("max(%v) = %v, want %v", c.in, v, c.want)
+		}
+	}
+}
+
+func TestDefineCompileTransition(t *testing.T) {
+	// The paper's headline workflow: same template, direct first, then
+	// compiled — with no change to the prompt template.
+	ai := newAI(t)
+	fib, err := ai.Define(List(Float), "Generate the Fibonacci sequence up to {{n}}.",
+		WithParamTypes(Field{Name: "n", Type: Float}),
+		WithTests(Example{Input: Args{"n": 10.0}, Output: []any{0.0, 1.0, 1.0, 2.0, 3.0, 5.0, 8.0}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, info1, err := fib.CallInfo(context.Background(), Args{"n": 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info1.Compiled {
+		t.Error("first call should be direct")
+	}
+	if info1.ModelLatency <= 0 {
+		t.Error("direct call must report model latency")
+	}
+	if err := fib.Compile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	compiled, info2, err := fib.CallInfo(context.Background(), Args{"n": 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info2.Compiled {
+		t.Error("post-compile call should run generated code")
+	}
+	if info2.ExecTime <= 0 {
+		t.Error("compiled call must report exec time")
+	}
+	a, b := direct.([]any), compiled.([]any)
+	if len(a) != len(b) {
+		t.Fatalf("direct %v vs compiled %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("results differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Table III's claim, in miniature: native execution is orders of
+	// magnitude faster than the model round-trip.
+	if info2.ExecTime*1000 > info1.ModelLatency {
+		t.Errorf("speedup too small: latency=%v exec=%v", info1.ModelLatency, info2.ExecTime)
+	}
+	src, ok := fib.Source()
+	if !ok || !strings.Contains(src, "function") {
+		t.Errorf("Source = %q, %v", src, ok)
+	}
+}
+
+func TestVirtualFSIntegration(t *testing.T) {
+	fs := NewVirtualFS()
+	sim := NewSimClient(42)
+	ai, err := New(Options{Client: sim, Model: "gpt-4", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendReview, err := ai.Define(Void,
+		"Append {{review}} and {{sentiment}} as a new row in the CSV file named {{filename}}",
+		WithParamTypes(
+			Field{Name: "review", Type: Str},
+			Field{Name: "sentiment", Type: Str},
+			Field{Name: "filename", Type: Str},
+		))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := appendReview.Compile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := appendReview.Call(context.Background(), Args{
+			"review": "Great!", "sentiment": "positive", "filename": "out.csv",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(fs.Lines("out.csv")); got != 3 {
+		t.Errorf("rows = %d, want 3", got)
+	}
+}
+
+func TestCompileStats(t *testing.T) {
+	ai := newAI(t)
+	f, err := ai.Define(Float, "Calculate the sum of all numbers in {{ns}}.",
+		WithParamTypes(Field{Name: "ns", Type: List(Float)}),
+		WithTests(Example{Input: Args{"ns": []any{1.0, 2.0}}, Output: 3.0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := f.CompileInfo(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LOC < 1 || stats.Attempts < 1 || stats.CompileTime <= 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if !strings.Contains(stats.Source, "reduce") && !strings.Contains(stats.Source, "for") {
+		t.Errorf("unexpected source:\n%s", stats.Source)
+	}
+}
+
+func TestNewRequiresClient(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestTypeReExports(t *testing.T) {
+	book := Dict(
+		Field{Name: "title", Type: Str},
+		Field{Name: "year", Type: Int},
+	)
+	if got := List(book).TS(); got != "{ title: string; year: number }[]" {
+		t.Errorf("TS = %q", got)
+	}
+	u, err := ParseTS("'a' | 'b'")
+	if err != nil || u.TS() != "'a' | 'b'" {
+		t.Errorf("ParseTS: %v %v", u, err)
+	}
+}

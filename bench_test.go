@@ -1,0 +1,167 @@
+package askit
+
+// One benchmark per table and figure of the paper's evaluation (§IV),
+// as required by the experiment index in DESIGN.md, plus micro
+// benchmarks for the pipeline's hot paths. Each table/figure bench runs
+// the full experiment per iteration and reports the paper's headline
+// metric as a custom unit, so `go test -bench=.` regenerates every
+// result.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// BenchmarkTable2 regenerates Table II (50 common coding tasks;
+// paper: mean 7.56 LOC TypeScript, 6.52 Python).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable2(exp.Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanLOC, "meanLOC")
+		b.ReportMetric(float64(res.Failures), "failures")
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (HumanEval LOC scatter; paper:
+// 84.8 % success, ratio 1.27x, 35.3 % shorter).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig5(exp.Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SuccessRate, "success%")
+		b.ReportMetric(res.Ratio, "gen/hand")
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (prompt length reduction;
+// paper: 16.14 % mean).
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig6(exp.Config{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanPercent, "reduction%")
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (type census).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.RunFig7()
+		b.ReportMetric(float64(res.TopLevel["string"]), "top-string")
+		b.ReportMetric(float64(res.AllTypes["literal"]), "all-literal")
+	}
+}
+
+// BenchmarkTable3 regenerates Table III on the full 1319-problem test
+// split (paper TS: latency 13.28 s, exec 49.11 µs, speedup 275,092x).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunTable3(exp.Config{Seed: 42, Workers: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SpeedupRatio, "speedup")
+		b.ReportMetric(res.AvgLatency.Seconds(), "latency-s")
+		b.ReportMetric(float64(res.AvgExecTime.Microseconds()), "exec-us")
+		b.ReportMetric(float64(res.DirectSolved), "direct")
+		b.ReportMetric(float64(res.Generated), "generated")
+	}
+}
+
+// BenchmarkAblationA2 measures the feedback-retry loop's attempt economy
+// against blind retries (DESIGN.md A2).
+func BenchmarkAblationA2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunAblationA2(exp.Config{Seed: 7}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.FeedbackAttempts)/float64(res.Trials), "fb-attempts/task")
+		b.ReportMetric(float64(res.BlindAttempts)/float64(res.Trials), "blind-attempts/task")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro benchmarks: the hot paths of a single call
+
+// BenchmarkAskDirect measures one full direct interaction: prompt
+// build, simulated completion, extraction, validation, decode.
+func BenchmarkAskDirect(b *testing.B) {
+	sim := NewSimClient(1)
+	sim.Noise.DirectBlind = 0
+	ai, err := New(Options{Client: sim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := Args{"ns": []any{5.0, 3.0, 9.0, 1.0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ai.Ask(context.Background(), Float,
+			"Find the largest number in {{ns}}.", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledFuncCall measures a post-Compile call — the fast
+// path whose gap to BenchmarkAskDirect's *simulated latency* is the
+// entire point of Table III.
+func BenchmarkCompiledFuncCall(b *testing.B) {
+	sim := NewSimClient(1)
+	sim.Noise.CodegenBlind = 0
+	ai, err := New(Options{Client: sim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := ai.Define(Float, "Calculate the factorial of {{n}}.",
+		WithParamTypes(Field{Name: "n", Type: Float}),
+		WithTests(Example{Input: Args{"n": 5.0}, Output: 120.0}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Compile(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	args := Args{"n": 12}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Call(context.Background(), args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDefineCompile measures the whole codegen loop (prompt,
+// synthesis, parse, check, example tests) without disk caching.
+func BenchmarkDefineCompile(b *testing.B) {
+	sim := NewSimClient(1)
+	sim.Noise.CodegenBlind = 0
+	ai, err := New(Options{Client: sim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := ai.Define(Str, "Reverse the string {{s}}.",
+			WithParamTypes(Field{Name: "s", Type: Str}),
+			WithTests(Example{Input: Args{"s": "ab"}, Output: "ba"}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Compile(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command askit-bench regenerates every table and figure of the paper's
+// evaluation (the artifact's `make` + `run_all.sh` workflow, Appendix E):
+//
+//	askit-bench                       # run everything
+//	askit-bench -exp table3 -n 200    # one experiment, smaller workload
+//	askit-bench -csv out/             # also write CSV series for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		which    = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|all")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		problems = flag.Int("n", 0, "GSM8K problem count for table3 (0 = full 1319)")
+		workers  = flag.Int("workers", 8, "worker pool size for table3")
+		csvDir   = flag.String("csv", "", "directory to write CSV series into (optional)")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Seed: *seed, Problems: *problems, Workers: *workers}
+	run := func(name string) bool { return *which == "all" || *which == name }
+	out := os.Stdout
+
+	writeCSV := func(name string, render func(*os.File)) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		render(f)
+		fmt.Fprintf(out, "wrote %s\n", filepath.Join(*csvDir, name))
+	}
+
+	if run("table2") {
+		res, err := exp.RunTable2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		exp.RenderTable2(out, res)
+		fmt.Fprintln(out)
+	}
+	if run("fig5") {
+		res, err := exp.RunFig5(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		exp.RenderFig5(out, res)
+		writeCSV("fig5_loc.csv", func(f *os.File) { exp.CSVFig5(f, res) })
+		fmt.Fprintln(out)
+	}
+	if run("fig6") {
+		res, err := exp.RunFig6(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		exp.RenderFig6(out, res)
+		writeCSV("fig6_prompt_reduction.csv", func(f *os.File) { exp.CSVFig6(f, res) })
+		fmt.Fprintln(out)
+	}
+	if run("fig7") {
+		res := exp.RunFig7()
+		exp.RenderFig7(out, res)
+		writeCSV("fig7_type_count.csv", func(f *os.File) { exp.CSVFig7(f, res) })
+		fmt.Fprintln(out)
+	}
+	if run("table3") {
+		res, err := exp.RunTable3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		exp.RenderTable3(out, res)
+		fmt.Fprintln(out)
+	}
+	if run("ablations") {
+		runAblations(cfg)
+	}
+}
+
+func runAblations(cfg exp.Config) {
+	fmt.Println("ABLATIONS (DESIGN.md A1-A4)")
+	fmt.Println(strings.Repeat("-", 72))
+
+	a1, err := exp.RunAblationA1(cfg, 60)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("A1 answer/reason envelope vs bare JSON (%d trials, 50%% wrong-field noise)\n", a1.Trials)
+	fmt.Printf("   envelope: %d wrong accepted, %d flagged for retry\n", a1.EnvelopeWrong, a1.EnvelopeRetried)
+	fmt.Printf("   naive:    %d wrong/unusable accepted\n\n", a1.NaiveWrong)
+
+	a2, err := exp.RunAblationA2(cfg, 40)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("A2 feedback retry vs blind retry (%d tasks, heavy format noise)\n", a2.Trials)
+	fmt.Printf("   feedback: %d/%d succeeded in %d attempts\n", a2.FeedbackSuccess, a2.Trials, a2.FeedbackAttempts)
+	fmt.Printf("   blind:    %d/%d succeeded in %d attempts\n\n", a2.BlindSuccess, a2.Trials, a2.BlindAttempts)
+
+	a3, err := exp.RunAblationA3(cfg, 16)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("A3 example tests on vs off for codegen (%d tasks, 60%% buggy-code noise)\n", a3.Tasks)
+	fmt.Printf("   with tests:    %d wrong accepted, %d retries spent, %d gave up\n",
+		a3.WithTestsWrong, a3.WithTestsRetries, a3.WithTestsFailed)
+	fmt.Printf("   without tests: %d wrong accepted\n\n", a3.WithoutTestsWrong)
+
+	a4, err := exp.RunAblationA4()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("A4 prompt authoring cost over %d benchmarks\n", a4.Benchmarks)
+	fmt.Printf("   user-authored AskIt prompt: %.0f chars (mean)\n", a4.MeanUserPromptLen)
+	fmt.Printf("   hand-engineered original:   %.0f chars (mean)\n", a4.MeanOriginalLen)
+	fmt.Printf("   generated full prompt:      %.0f chars (mean, carries the type constraint)\n", a4.MeanFullPromptLen)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "askit-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command minirun executes minilang programs — including the generated
+// functions AskIt stores in its askit/ cache directory (paper §III-D:
+// "The user can review the generated code if necessary").
+//
+//	minirun program.ts                 # run a program (console.log prints)
+//	minirun -e 'console.log(1 + 2);'   # run an inline snippet
+//	minirun -fmt program.ts            # pretty-print the program
+//	minirun -check program.ts          # parse + static check only
+//	minirun -call func -args '{"n":5}' cache/factorial.ts
+//	                                   # call an exported function
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/jsonx"
+	"repro/internal/minilang"
+)
+
+func main() {
+	var (
+		expr    = flag.String("e", "", "inline program text")
+		format  = flag.Bool("fmt", false, "pretty-print instead of executing")
+		check   = flag.Bool("check", false, "parse and static-check only")
+		call    = flag.String("call", "", "call this exported function instead of running top-level code")
+		argsRaw = flag.String("args", "{}", "JSON object of named arguments for -call")
+	)
+	flag.Parse()
+
+	src := *expr
+	if src == "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: minirun [-e src] [-fmt|-check] [-call fn -args json] [file]")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+
+	switch {
+	case *format:
+		prog, err := minilang.Parse(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(minilang.Format(prog))
+	case *check:
+		prog, err := minilang.Parse(src)
+		if err != nil {
+			fatal(err)
+		}
+		if err := minilang.Check(prog); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case *call != "":
+		cf, err := minilang.CompileFunction(src, *call)
+		if err != nil {
+			fatal(err)
+		}
+		cf.Stdout = os.Stdout
+		argv, err := jsonx.Parse(*argsRaw, jsonx.Lenient)
+		if err != nil {
+			fatal(fmt.Errorf("bad -args: %w", err))
+		}
+		obj, ok := argv.(map[string]any)
+		if !ok {
+			fatal(fmt.Errorf("-args must be a JSON object"))
+		}
+		out, err := cf.Call(obj)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(jsonx.Encode(out))
+	default:
+		if err := minilang.Run(src, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minirun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package askit_test
+
+import (
+	"context"
+	"fmt"
+
+	askit "repro"
+)
+
+// The sentiment example of the paper's §III-A, using a list task the
+// simulated model solves deterministically.
+func Example() {
+	ctx := context.Background()
+	sim := askit.NewSimClient(1)
+	sim.Noise.DirectBlind = 0
+	ai, err := askit.New(askit.Options{Client: sim})
+	if err != nil {
+		panic(err)
+	}
+	v, err := ai.Ask(ctx, askit.List(askit.Float),
+		"Sort the numbers {{ns}} in ascending order.",
+		askit.Args{"ns": []any{3.0, 1.0, 2.0}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v)
+	// Output: [1 2 3]
+}
+
+// Defining a function and compiling it to generated code (§III-D).
+func ExampleFunc_Compile() {
+	ctx := context.Background()
+	sim := askit.NewSimClient(1)
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	ai, err := askit.New(askit.Options{Client: sim})
+	if err != nil {
+		panic(err)
+	}
+	fact, err := ai.Define(askit.Float, "Calculate the factorial of {{n}}.",
+		askit.WithParamTypes(askit.Field{Name: "n", Type: askit.Float}),
+		askit.WithTests(askit.Example{Input: askit.Args{"n": 5.0}, Output: 120.0}))
+	if err != nil {
+		panic(err)
+	}
+	if err := fact.Compile(ctx); err != nil {
+		panic(err)
+	}
+	v, err := fact.Call(ctx, askit.Args{"n": 10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f %v\n", v, fact.IsCompiled())
+	// Output: 3628800 true
+}
+
+// AskAs derives the AskIt type from the Go type parameter.
+func ExampleAskAs() {
+	ctx := context.Background()
+	sim := askit.NewSimClient(1)
+	sim.Noise.DirectBlind = 0
+	ai, err := askit.New(askit.Options{Client: sim})
+	if err != nil {
+		panic(err)
+	}
+	prime, err := askit.AskAs[bool](ctx, ai,
+		"Check if {{n}} is a prime number.", askit.Args{"n": 97})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(prime)
+	// Output: true
+}

@@ -1,0 +1,74 @@
+// Batch: the §III-D compilation workflow at module granularity — a
+// group of define sites compiled together (the paper's "specify the
+// name of a source file" mode), persisted in the askit/ cache directory
+// so a second run generates nothing.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	askit "repro"
+)
+
+func main() {
+	ctx := context.Background()
+	cacheDir := filepath.Join(os.TempDir(), "askit-batch-cache")
+	fmt.Println("cache:", cacheDir)
+
+	for run := 1; run <= 2; run++ {
+		ai, err := askit.New(askit.Options{
+			Client:   askit.NewSimClient(21),
+			Model:    "gpt-3.5-turbo-16k",
+			CacheDir: cacheDir,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := ai.Module()
+
+		slug, err := m.Define(askit.Str, "Convert the string {{s}} to camelCase.",
+			askit.WithParamTypes(askit.Field{Name: "s", Type: askit.Str}),
+			askit.WithTests(askit.Example{Input: askit.Args{"s": "hello world"}, Output: "helloWorld"}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := m.Define(askit.Float, "Find the median of the numbers {{ns}}.",
+			askit.WithParamTypes(askit.Field{Name: "ns", Type: askit.List(askit.Float)}),
+			askit.WithTests(askit.Example{Input: askit.Args{"ns": []any{3.0, 1.0, 2.0}}, Output: 2.0}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		check, err := m.Define(askit.Bool, "Check if the year {{y}} is a leap year.",
+			askit.WithParamTypes(askit.Field{Name: "y", Type: askit.Float}),
+			askit.WithTests(askit.Example{Input: askit.Args{"y": 2024.0}, Output: true}))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Compile the whole "file" at once.
+		if err := m.CompileAll(ctx); err != nil {
+			log.Fatal(err)
+		}
+		fromCache := 0
+		for _, f := range m.Funcs() {
+			info, err := f.CompileInfo(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if info.FromCache {
+				fromCache++
+			}
+		}
+		fmt.Printf("run %d: %d/%d functions came from the disk cache\n",
+			run, fromCache, len(m.Funcs()))
+
+		v1, _ := slug.Call(ctx, askit.Args{"s": "ask it unified interface"})
+		v2, _ := stats.Call(ctx, askit.Args{"ns": []any{9.0, 1.0, 5.0, 3.0}})
+		v3, _ := check.Call(ctx, askit.Args{"y": 1900.0})
+		fmt.Printf("  camelCase -> %v, median -> %v, leap(1900) -> %v\n", v1, v2, v3)
+	}
+}

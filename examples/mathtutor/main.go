@@ -1,0 +1,78 @@
+// Mathtutor: the §IV-C GSM8K workflow in miniature. A word-problem
+// template is answered directly by the LLM, then compiled to code and
+// re-run with different values — the intersecting-task transition that
+// produces Table III's speedup.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	askit "repro"
+)
+
+func main() {
+	ctx := context.Background()
+	ai, err := askit.New(askit.Options{Client: askit.NewSimClient(3), Model: "gpt-4"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Numeric values are template variables (the paper converts GSM8K's
+	// literals into variables "since the generated programs are often
+	// reused with different values").
+	const problem = "{{name}} has {{a}} {{item}}. {{name}} buys {{b}} more {{item}} " +
+		"and then gives away {{c}} {{item}}. How many {{item}} does {{name}} have left?"
+
+	solve, err := ai.Define(askit.Float, problem,
+		askit.WithParamTypes(
+			askit.Field{Name: "name", Type: askit.Str},
+			askit.Field{Name: "a", Type: askit.Float},
+			askit.Field{Name: "item", Type: askit.Str},
+			askit.Field{Name: "b", Type: askit.Float},
+			askit.Field{Name: "c", Type: askit.Float},
+		),
+		// The original values validate the generated program.
+		askit.WithTests(askit.Example{
+			Input:  askit.Args{"name": "Natalia", "a": 48.0, "item": "clips", "b": 12.0, "c": 20.0},
+			Output: 40.0,
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	args := askit.Args{"name": "Natalia", "a": 48.0, "item": "clips", "b": 12.0, "c": 20.0}
+
+	// Phase 1: the LLM answers at runtime.
+	answer, direct, err := solve.CallInfo(ctx, args)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("direct answer: %v  (model latency %v, %d attempt(s))\n",
+		answer, direct.ModelLatency, direct.Attempts)
+
+	// Phase 2: compile once, then every call is native.
+	if err := solve.Compile(ctx); err != nil {
+		log.Fatal(err)
+	}
+	answer2, compiled, err := solve.CallInfo(ctx, args)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled answer: %v (exec %v)\n", answer2, compiled.ExecTime)
+	if compiled.ExecTime > 0 {
+		fmt.Printf("speedup: %.0fx\n", float64(direct.ModelLatency)/float64(compiled.ExecTime))
+	}
+
+	// Reuse with different values — no LLM in the loop at all.
+	for _, a := range []float64{10, 100, 1000} {
+		args["a"] = a
+		v, err := solve.Call(ctx, args)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("a=%4.0f -> %v\n", a, v)
+	}
+}

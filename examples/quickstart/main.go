@@ -1,0 +1,54 @@
+// Quickstart: the paper's motivating sentiment-analysis example (§II-A1)
+// in three flavours — one-shot ask, a reusable define'd function, and
+// the generic typed wrapper.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	ctx := context.Background()
+	ai, err := askit.New(askit.Options{Client: askit.NewSimClient(1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. One-shot ask with type-guided output control: the union type
+	// 'positive' | 'negative' replaces the hand-written "enclose the
+	// sentiment in [ and ]" format instructions of the naive prompt
+	// (paper §II-A1).
+	sentiment, err := ai.Ask(ctx,
+		askit.StrEnum("positive", "negative"),
+		"What is the sentiment of {{review}}?",
+		askit.Args{"review": "The product is fantastic. It exceeds all my expectations."})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sentiment:", sentiment)
+
+	// 2. define: a reusable function backed by the LLM at runtime.
+	getMax, err := ai.Define(askit.Float, "Find the largest number in {{ns}}.")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ns := range [][]any{{3.0, 9.0, 4.0}, {-5.0, -1.0}} {
+		v, err := getMax.Call(ctx, askit.Args{"ns": ns})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("max(%v) = %v\n", ns, v)
+	}
+
+	// 3. Generic wrapper: the AskIt type is derived from the Go type.
+	isPrime, err := askit.AskAs[bool](ctx, ai,
+		"Check if {{n}} is a prime number.", askit.Args{"n": 91})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("91 prime?", isPrime) // 7 x 13
+}

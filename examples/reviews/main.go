@@ -1,0 +1,86 @@
+// Reviews: the paper's §II pipeline end to end — classify product
+// reviews, then persist the results with a *codable* task (the CSV
+// append of §II-A2) whose implementation the LLM writes once. It shows
+// the unified interface: ask/define for directly answerable tasks and
+// the same define + Compile for code generation, with no prompt change.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	askit "repro"
+)
+
+func main() {
+	ctx := context.Background()
+	fs := askit.NewVirtualFS()
+	ai, err := askit.New(askit.Options{
+		Client: askit.NewSimClient(13),
+		Model:  "gpt-4",
+		FS:     fs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A directly answerable classification: is the review length odd or
+	// even number of words? (A stand-in for sentiment that the simulated
+	// model can answer exactly; the shape of the code is identical.)
+	countWords, err := ai.Define(askit.Float, "Count the words in {{s}}.")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A codable task: append a row to a CSV file. Not directly
+	// answerable — the LLM cannot touch the file system — but it can
+	// write the code that does (paper Figure 2's third region).
+	appendRow, err := ai.Define(askit.Void,
+		"Append {{review}} and {{sentiment}} as a new row in the CSV file named {{filename}}",
+		askit.WithParamTypes(
+			askit.Field{Name: "review", Type: askit.Str},
+			askit.Field{Name: "sentiment", Type: askit.Str},
+			askit.Field{Name: "filename", Type: askit.Str},
+		))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One call: the DSL compiler generates, validates and installs the
+	// implementation. Every later call runs natively. Note that void
+	// file tasks have no output examples to validate against — the
+	// paper's §VI safety caveat — so reviewing Source() matters.
+	if err := appendRow.Compile(ctx); err != nil {
+		log.Fatal(err)
+	}
+	src, _ := appendRow.Source()
+	fmt.Println("generated implementation:")
+	fmt.Println(src)
+
+	reviews := []string{
+		"The product is fantastic. It exceeds all my expectations.",
+		"Terrible quality, broke after one day.",
+		"Decent value for the price.",
+	}
+	for _, review := range reviews {
+		words, err := countWords.Call(ctx, askit.Args{"s": review})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sentiment := "short"
+		if words.(float64) > 5 {
+			sentiment = "long"
+		}
+		if _, err := appendRow.Call(ctx, askit.Args{
+			"review":    review,
+			"sentiment": sentiment,
+			"filename":  "reviews.csv",
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("reviews.csv:")
+	content, _ := fs.Read("reviews.csv")
+	fmt.Println(content)
+}

@@ -1,0 +1,200 @@
+// Package core implements the AskIt engine: the runtime loop for
+// directly answerable tasks (paper §III-E) and the code-generation loop
+// for codable tasks (paper §III-D), over any llm.Client.
+//
+// The public user-facing API lives in the repo-root askit package; core
+// holds the machinery.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/jsonx"
+	"repro/internal/llm"
+	"repro/internal/prompt"
+	"repro/internal/template"
+	"repro/internal/types"
+)
+
+// DefaultMaxRetries is the paper's retry limit ("a predefined maximum
+// retry limit, which was set to 9", §IV-A1).
+const DefaultMaxRetries = 9
+
+// Options configures an Engine.
+type Options struct {
+	// Client is the LLM backend; required.
+	Client llm.Client
+	// Model names the backend model (e.g. "gpt-4"); used for latency
+	// modelling by the simulated client.
+	Model string
+	// MaxRetries bounds retries after the first attempt; 0 means
+	// DefaultMaxRetries, negative means no retries.
+	MaxRetries int
+	// Temperature is forwarded to the client (paper: default 1.0).
+	Temperature float64
+	// FS, when non-nil, provides the appendFile/readFile/writeFile host
+	// bindings to generated code.
+	FS *VirtualFS
+	// MaxSteps bounds generated-code execution (fuel); 0 = default.
+	MaxSteps int64
+	// Optimize applies minilang's constant-folding pass to accepted
+	// generated code (the paper's §VI efficiency direction).
+	Optimize bool
+	// CacheDir, when non-empty, persists generated functions to disk in
+	// the paper's askit/ directory convention.
+	CacheDir string
+	// Logf, when non-nil, receives diagnostic traces.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) maxRetries() int {
+	switch {
+	case o.MaxRetries == 0:
+		return DefaultMaxRetries
+	case o.MaxRetries < 0:
+		return 0
+	default:
+		return o.MaxRetries
+	}
+}
+
+func (o *Options) temperature() float64 {
+	if o.Temperature == 0 {
+		return 1.0
+	}
+	return o.Temperature
+}
+
+// Engine executes AskIt calls.
+type Engine struct {
+	opts Options
+}
+
+// NewEngine validates opts and returns an engine.
+func NewEngine(opts Options) (*Engine, error) {
+	if opts.Client == nil {
+		return nil, errors.New("core: Options.Client is required")
+	}
+	if opts.Model == "" {
+		opts.Model = "gpt-4"
+	}
+	return &Engine{opts: opts}, nil
+}
+
+// Options returns a copy of the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.opts.Logf != nil {
+		e.opts.Logf(format, args...)
+	}
+}
+
+// CallInfo reports how a direct LLM interaction went.
+type CallInfo struct {
+	// Attempts is the number of completions sent (1 = no retry).
+	Attempts int
+	// Latency is the accumulated simulated model latency.
+	Latency time.Duration
+	// PromptChars is the length of the first prompt sent.
+	PromptChars int
+	// Usage accumulates token usage across attempts.
+	Usage llm.Usage
+}
+
+// RetryError is returned when the retry budget is exhausted; it carries
+// the last problem seen so callers can tell validation failures from
+// unknown-task refusals.
+type RetryError struct {
+	Attempts int
+	LastKind string // prompt.Problem kind or "llm-error"
+	Last     error
+}
+
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("core: gave up after %d attempts (%s): %v", e.Attempts, e.LastKind, e.Last)
+}
+
+func (e *RetryError) Unwrap() error { return e.Last }
+
+// AskDirect runs the §III-E loop: build the typed prompt, query the
+// model, extract the ```json payload, check the three criteria (JSON
+// present, answer field present, answer type-correct) and retry with a
+// feedback prompt until success or the retry budget is exhausted.
+// The result is decoded to the canonical Go representation of ret.
+func (e *Engine) AskDirect(ctx context.Context, tpl *template.Template, args map[string]any, ret types.Type, examples []prompt.Example) (any, CallInfo, error) {
+	info := CallInfo{}
+	base, err := prompt.BuildDirect(prompt.DirectSpec{
+		Template: tpl,
+		Args:     args,
+		Return:   ret,
+		Examples: examples,
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	info.PromptChars = len(base)
+	cur := base
+	budget := e.opts.maxRetries() + 1
+	var lastProblem prompt.Problem
+	var lastErr error
+	for attempt := 0; attempt < budget; attempt++ {
+		resp, err := e.opts.Client.Complete(ctx, llm.Request{
+			Prompt:      cur,
+			Model:       e.opts.Model,
+			Temperature: e.opts.temperature(),
+		})
+		info.Attempts++
+		if err != nil {
+			return nil, info, &RetryError{Attempts: info.Attempts, LastKind: "llm-error", Last: err}
+		}
+		info.Latency += resp.Latency
+		info.Usage.PromptTokens += resp.Usage.PromptTokens
+		info.Usage.CompletionTokens += resp.Usage.CompletionTokens
+
+		answer, problem := extractAnswer(resp.Text, ret)
+		if problem == nil {
+			decoded, err := ret.Decode(answer)
+			if err != nil {
+				// Defensive: extractAnswer validated already.
+				problem = &prompt.Problem{Kind: "type-mismatch", Detail: err.Error()}
+			} else {
+				return decoded, info, nil
+			}
+		}
+		lastProblem = *problem
+		lastErr = fmt.Errorf("%s: %s", problem.Kind, problem.Detail)
+		e.logf("core: attempt %d failed (%s); retrying", attempt+1, problem.Kind)
+		cur = prompt.BuildFeedback(base, resp.Text, *problem, ret)
+	}
+	return nil, info, &RetryError{Attempts: info.Attempts, LastKind: lastProblem.Kind, Last: lastErr}
+}
+
+// extractAnswer applies the three §III-E criteria to a raw response and
+// returns the raw (pre-Decode) answer value or the problem to feed back.
+func extractAnswer(text string, ret types.Type) (any, *prompt.Problem) {
+	payload, err := jsonx.ExtractJSON(text)
+	if err != nil {
+		return nil, &prompt.Problem{Kind: "no-json", Detail: err.Error()}
+	}
+	obj, ok := payload.(map[string]any)
+	if !ok {
+		// A bare value of the right type is accepted: some models skip
+		// the envelope but still answer correctly.
+		if ret.Validate(payload) == nil {
+			return payload, nil
+		}
+		return nil, &prompt.Problem{Kind: "no-answer-field", Detail: "response JSON is not an object"}
+	}
+	answer, present := obj["answer"]
+	if !present {
+		return nil, &prompt.Problem{Kind: "no-answer-field", Detail: "missing 'answer' key"}
+	}
+	if err := ret.Validate(answer); err != nil {
+		return nil, &prompt.Problem{Kind: "type-mismatch", Detail: err.Error()}
+	}
+	return answer, nil
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/jsonx"
+	"repro/internal/llm"
+	"repro/internal/minilang"
+	"repro/internal/prompt"
+	"repro/internal/template"
+	"repro/internal/types"
+)
+
+// Func is the value returned by define (paper §III-A): a callable task
+// bound to a prompt template and a return type. Before Compile it calls
+// the LLM at runtime; after a successful Compile it dispatches to the
+// generated function without any LLM involvement, which is the seamless
+// transition the paper's unified interface provides.
+type Func struct {
+	engine   *Engine
+	tpl      *template.Template
+	ret      types.Type
+	params   []types.Field    // declared parameter types (may be nil)
+	examples []prompt.Example // few-shot examples for direct calls
+	tests    []prompt.Example // validation examples for codegen
+	name     string
+
+	mu       sync.Mutex
+	compiled *minilang.CompiledFunc
+	compInfo *CompileInfo
+}
+
+// DefineOption customizes a Func.
+type DefineOption func(*Func)
+
+// WithParamTypes declares the parameter types used in the generated
+// function signature (the second type parameter of define in the
+// TypeScript implementation). Without it, parameters default to any —
+// the Python implementation's behaviour, which the paper reports caused
+// tasks #11 and #21–24 to fail.
+func WithParamTypes(params []types.Field) DefineOption {
+	return func(f *Func) { f.params = params }
+}
+
+// WithExamples attaches few-shot examples used in direct prompts.
+func WithExamples(examples []prompt.Example) DefineOption {
+	return func(f *Func) { f.examples = examples }
+}
+
+// WithTests attaches input/output examples used to validate generated
+// code (the define call's second example list, §III-B).
+func WithTests(tests []prompt.Example) DefineOption {
+	return func(f *Func) { f.tests = tests }
+}
+
+// WithName fixes the generated function name instead of deriving one
+// from the template.
+func WithName(name string) DefineOption {
+	return func(f *Func) { f.name = name }
+}
+
+// Define parses the template and returns a Func.
+func (e *Engine) Define(ret types.Type, templateSrc string, opts ...DefineOption) (*Func, error) {
+	if ret == nil {
+		return nil, fmt.Errorf("core: nil return type")
+	}
+	tpl, err := template.Parse(templateSrc)
+	if err != nil {
+		return nil, err
+	}
+	f := &Func{engine: e, tpl: tpl, ret: ret}
+	for _, opt := range opts {
+		opt(f)
+	}
+	if f.name == "" {
+		f.name = prompt.DeriveFuncName(templateSrc)
+	}
+	if f.params == nil {
+		for _, p := range tpl.Params() {
+			f.params = append(f.params, types.Field{Name: p, Type: types.Any})
+		}
+	}
+	if err := checkParamCoverage(tpl, f.params); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func checkParamCoverage(tpl *template.Template, params []types.Field) error {
+	declared := map[string]bool{}
+	for _, p := range params {
+		declared[p.Name] = true
+	}
+	for _, p := range tpl.Params() {
+		if !declared[p] {
+			return fmt.Errorf("core: template parameter %q has no declared type", p)
+		}
+	}
+	return nil
+}
+
+// Name returns the function's (derived or fixed) name.
+func (f *Func) Name() string { return f.name }
+
+// Template returns the prompt template source.
+func (f *Func) Template() string { return f.tpl.Source() }
+
+// ReturnType returns the declared return type.
+func (f *Func) ReturnType() types.Type { return f.ret }
+
+// IsCompiled reports whether a generated function is installed.
+func (f *Func) IsCompiled() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.compiled != nil
+}
+
+// CallResult carries the answer plus provenance and timing, the data
+// Table III aggregates.
+type CallResult struct {
+	Value any
+	// Compiled is true when the call ran generated code (no LLM).
+	Compiled bool
+	// LLM is set for direct calls.
+	LLM CallInfo
+	// ExecTime is the wall-clock execution time of generated code.
+	ExecTime time.Duration
+}
+
+// Call executes the task with named arguments. Compiled functions run
+// natively; otherwise the engine performs a direct LLM interaction.
+func (f *Func) Call(ctx context.Context, args map[string]any) (CallResult, error) {
+	f.mu.Lock()
+	compiled := f.compiled
+	f.mu.Unlock()
+	if compiled != nil {
+		start := time.Now()
+		v, err := compiled.Call(args)
+		elapsed := time.Since(start)
+		if err != nil {
+			return CallResult{Compiled: true, ExecTime: elapsed}, err
+		}
+		return CallResult{Value: v, Compiled: true, ExecTime: elapsed}, nil
+	}
+	v, info, err := f.engine.AskDirect(ctx, f.tpl, args, f.ret, f.examples)
+	return CallResult{Value: v, LLM: info}, err
+}
+
+// CompileInfo reports how code generation went.
+type CompileInfo struct {
+	// Attempts is the number of LLM completions used (0 for cache hits).
+	Attempts int
+	// CompileTime is the simulated model latency plus local validation
+	// time — the paper's "compilation time" column.
+	CompileTime time.Duration
+	// LOC is the substantive line count of the accepted code.
+	LOC int
+	// FromCache reports whether the function came from the disk cache.
+	FromCache bool
+	// Source is the accepted minilang source.
+	Source string
+}
+
+// CompileError wraps the failure of a codegen loop.
+type CompileError struct {
+	Attempts int
+	Last     error
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("core: code generation failed after %d attempts: %v", e.Attempts, e.Last)
+}
+
+func (e *CompileError) Unwrap() error { return e.Last }
+
+// Compile runs the §III-D loop: synthesize the Figure 4 prompt, ask the
+// model to implement the function, extract the code block, validate it
+// syntactically (parse + static check) and semantically (the test
+// examples), retrying with feedback until the budget is exhausted. The
+// accepted function replaces the LLM for subsequent calls and is stored
+// in the on-disk cache when configured.
+func (f *Func) Compile(ctx context.Context) (*CompileInfo, error) {
+	f.mu.Lock()
+	if f.compiled != nil {
+		info := *f.compInfo
+		f.mu.Unlock()
+		return &info, nil
+	}
+	f.mu.Unlock()
+
+	e := f.engine
+	spec := prompt.CodegenSpec{
+		FuncName: f.name,
+		Template: f.tpl,
+		Params:   f.params,
+		Return:   f.ret,
+	}
+
+	if src, ok := e.loadCache(f.cacheKey()); ok {
+		cf, err := f.compileSource(src)
+		if err == nil && f.validate(cf) == nil {
+			info := &CompileInfo{FromCache: true, LOC: minilang.CountLOC(src), Source: src}
+			f.install(cf, info)
+			return info, nil
+		}
+		e.logf("core: cached code for %s invalid; regenerating", f.name)
+	}
+
+	base, err := prompt.BuildCodegen(spec)
+	if err != nil {
+		return nil, err
+	}
+	cur := base
+	budget := e.opts.maxRetries() + 1
+	info := &CompileInfo{}
+	var lastErr error
+	start := time.Now()
+	for attempt := 0; attempt < budget; attempt++ {
+		resp, err := e.opts.Client.Complete(ctx, llm.Request{
+			Prompt:      cur,
+			Model:       e.opts.Model,
+			Temperature: e.opts.temperature(),
+		})
+		info.Attempts++
+		if err != nil {
+			return nil, &CompileError{Attempts: info.Attempts, Last: err}
+		}
+		info.CompileTime += resp.Latency
+
+		src, err := jsonx.ExtractBlock(resp.Text, "typescript", true)
+		if err != nil {
+			lastErr = fmt.Errorf("no code block in response")
+			cur = prompt.BuildCodegenFeedback(base, resp.Text, lastErr.Error())
+			continue
+		}
+		src = strings.TrimSpace(src) + "\n"
+		cf, err := f.compileSource(src)
+		if err != nil {
+			lastErr = fmt.Errorf("code does not compile: %w", err)
+			cur = prompt.BuildCodegenFeedback(base, resp.Text, lastErr.Error())
+			continue
+		}
+		if err := f.validate(cf); err != nil {
+			lastErr = fmt.Errorf("code fails example tests: %w", err)
+			cur = prompt.BuildCodegenFeedback(base, resp.Text, lastErr.Error())
+			continue
+		}
+		// Include the local parse/validate wall time on top of the
+		// accumulated simulated model latency.
+		info.CompileTime += time.Since(start)
+		info.LOC = minilang.CountLOC(src)
+		info.Source = src
+		e.storeCache(f.cacheKey(), src)
+		f.install(cf, info)
+		return info, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no attempts made")
+	}
+	return nil, &CompileError{Attempts: info.Attempts, Last: lastErr}
+}
+
+func (f *Func) compileSource(src string) (*minilang.CompiledFunc, error) {
+	cf, err := minilang.CompileFunction(src, f.name)
+	if err != nil {
+		return nil, err
+	}
+	if f.engine.opts.Optimize {
+		prog := minilang.Optimize(cf.Prog)
+		if decl := prog.Funcs()[cf.Decl.Name]; decl != nil {
+			cf.Prog, cf.Decl = prog, decl
+		}
+	}
+	if f.engine.opts.MaxSteps > 0 {
+		cf.MaxSteps = f.engine.opts.MaxSteps
+	}
+	if f.engine.opts.FS != nil {
+		cf.Hosts = f.engine.opts.FS.hostBindings()
+	}
+	return cf, nil
+}
+
+func (f *Func) validate(cf *minilang.CompiledFunc) error {
+	examples := make([]minilang.Example, len(f.tests))
+	for i, t := range f.tests {
+		examples[i] = minilang.Example{Input: t.Input, Output: t.Output}
+	}
+	return cf.Validate(examples)
+}
+
+func (f *Func) install(cf *minilang.CompiledFunc, info *CompileInfo) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.compiled = cf
+	cp := *info
+	f.compInfo = &cp
+}
+
+// CompiledSource returns the accepted generated code, if compiled.
+func (f *Func) CompiledSource() (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.compInfo == nil {
+		return "", false
+	}
+	return f.compInfo.Source, true
+}
+
+// ---------------------------------------------------------------------------
+// Disk cache ("askit" directory, paper §III-D: "the DSL compiler stores
+// it in a file within the directory named askit ... named after the
+// template prompt").
+
+func (f *Func) cacheKey() string {
+	h := sha256.Sum256([]byte(f.tpl.Source() + "\x00" + f.ret.TS() + "\x00" + paramSig(f.params)))
+	slug := slugify(f.tpl.Source())
+	return slug + "_" + hex.EncodeToString(h[:6]) + ".ts"
+}
+
+func paramSig(params []types.Field) string {
+	parts := make([]string, len(params))
+	for i, p := range params {
+		parts[i] = p.Name + ":" + p.Type.TS()
+	}
+	return strings.Join(parts, ",")
+}
+
+func slugify(s string) string {
+	var b strings.Builder
+	lastDash := true
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+		if b.Len() >= 40 {
+			break
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+func (e *Engine) loadCache(key string) (string, bool) {
+	if e.opts.CacheDir == "" {
+		return "", false
+	}
+	data, err := os.ReadFile(filepath.Join(e.opts.CacheDir, key))
+	if err != nil {
+		return "", false
+	}
+	return string(data), true
+}
+
+func (e *Engine) storeCache(key, src string) {
+	if e.opts.CacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(e.opts.CacheDir, 0o755); err != nil {
+		e.logf("core: cache mkdir: %v", err)
+		return
+	}
+	if err := os.WriteFile(filepath.Join(e.opts.CacheDir, key), []byte(src), 0o644); err != nil {
+		e.logf("core: cache write: %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/minilang"
+	"repro/internal/prompt"
+	"repro/internal/template"
+	"repro/internal/types"
+)
+
+// loopClient is an llm.Client that always returns code with an infinite
+// loop, for fuel-limit testing.
+type loopClient struct{}
+
+func (loopClient) Complete(_ context.Context, _ llm.Request) (llm.Response, error) {
+	return llm.Response{Text: "A:\n```typescript\n" +
+		"export function spin({n}: {n: number}): number {\n" +
+		"  while (true) {}\n  return n;\n}\n```\n"}, nil
+}
+
+func TestMaxStepsKillsRunawayGeneratedCode(t *testing.T) {
+	e, err := NewEngine(Options{Client: loopClient{}, Model: "gpt-4", MaxSteps: 50_000, MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.Float, "Spin forever on {{n}}.",
+		WithParamTypes([]types.Field{{Name: "n", Type: types.Float}}),
+		WithName("spin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Compile(context.Background()); err != nil {
+		t.Fatalf("compile (no tests, so the loop is not executed): %v", err)
+	}
+	_, err = f.Call(context.Background(), map[string]any{"n": 1})
+	if err == nil || !strings.Contains(err.Error(), minilang.ErrFuel) {
+		t.Errorf("err = %v, want fuel exhaustion", err)
+	}
+}
+
+func TestMaxStepsKillsRunawayDuringValidation(t *testing.T) {
+	e, err := NewEngine(Options{Client: loopClient{}, Model: "gpt-4", MaxSteps: 50_000, MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.Float, "Spin forever on {{n}}.",
+		WithParamTypes([]types.Field{{Name: "n", Type: types.Float}}),
+		WithName("spin"),
+		WithTests([]prompt.Example{{Input: map[string]any{"n": 1.0}, Output: 1.0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validation executes the loop; the fuel limit must turn it into a
+	// clean codegen failure instead of a hang.
+	_, err = f.Compile(context.Background())
+	if err == nil {
+		t.Fatal("expected compile failure")
+	}
+	if !strings.Contains(err.Error(), minilang.ErrFuel) {
+		t.Errorf("err = %v, want fuel exhaustion", err)
+	}
+}
+
+func TestContextCancellationStopsLoop(t *testing.T) {
+	sim := llm.NewSim(1)
+	e, err := NewEngine(Options{Client: sim, Model: "gpt-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tpl := template.MustParse("Reverse the string {{s}}.")
+	_, info, err := e.AskDirect(ctx, tpl, map[string]any{"s": "x"}, types.Str, nil)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if info.Attempts != 1 {
+		t.Errorf("attempts = %d; cancellation should stop after the first failed call", info.Attempts)
+	}
+}
+
+func TestLogfReceivesRetryTraces(t *testing.T) {
+	sim := llm.NewSim(1)
+	sim.Noise = llm.Noise{NoJSON: 1, FeedbackCompliance: 1} // never recovers
+	var lines []string
+	e, err := NewEngine(Options{
+		Client: sim, Model: "gpt-4", MaxRetries: 2,
+		Logf: func(format string, args ...any) {
+			lines = append(lines, format)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := template.MustParse("Reverse the string {{s}}.")
+	if _, _, err := e.AskDirect(context.Background(), tpl, map[string]any{"s": "x"}, types.Str, nil); err == nil {
+		t.Fatal("expected failure")
+	}
+	if len(lines) != 3 {
+		t.Errorf("logged %d traces, want 3 (one per failed attempt)", len(lines))
+	}
+}
+
+func TestDeriveNameStability(t *testing.T) {
+	sim := llm.NewSim(1)
+	e, err := NewEngine(Options{Client: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Define(types.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Define(types.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != b.Name() {
+		t.Errorf("same template must derive the same name: %q vs %q", a.Name(), b.Name())
+	}
+	c, err := e.Define(types.Str, "Reverse the string {{str}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() == c.Name() {
+		t.Error("different templates must derive different names")
+	}
+}
+
+func TestCacheKeyDependsOnTypes(t *testing.T) {
+	sim := llm.NewSim(1)
+	e, err := NewEngine(Options{Client: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(ret types.Type) string {
+		f, err := e.Define(ret, "Process the value {{v}}.",
+			WithParamTypes([]types.Field{{Name: "v", Type: types.Any}}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.cacheKey()
+	}
+	if mk(types.Str) == mk(types.Float) {
+		t.Error("cache key must include the return type")
+	}
+	if !strings.HasSuffix(mk(types.Str), ".ts") {
+		t.Error("cache files use the .ts extension")
+	}
+}
+
+func TestOptimizeOptionFoldsGeneratedCode(t *testing.T) {
+	// A client that returns constant-heavy code; with Optimize the
+	// installed function must still behave identically.
+	client := staticClient{text: "A:\n```typescript\n" +
+		"export function calc({n}: {n: number}): number {\n" +
+		"  return n * (2 * 3 + 4);\n}\n```\n"}
+	for _, optimize := range []bool{false, true} {
+		e, err := NewEngine(Options{Client: client, Model: "gpt-4", Optimize: optimize, MaxRetries: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := e.Define(types.Float, "Scale {{n}}.",
+			WithParamTypes([]types.Field{{Name: "n", Type: types.Float}}),
+			WithName("calc"),
+			WithTests([]prompt.Example{{Input: map[string]any{"n": 2.0}, Output: 20.0}}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Compile(context.Background()); err != nil {
+			t.Fatalf("optimize=%v: %v", optimize, err)
+		}
+		res, err := f.Call(context.Background(), map[string]any{"n": 7})
+		if err != nil || res.Value != 70.0 {
+			t.Errorf("optimize=%v: value=%v err=%v", optimize, res.Value, err)
+		}
+	}
+}
+
+type staticClient struct{ text string }
+
+func (c staticClient) Complete(_ context.Context, _ llm.Request) (llm.Response, error) {
+	return llm.Response{Text: c.text}, nil
+}

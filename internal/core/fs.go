@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/minilang"
+)
+
+// VirtualFS is the in-memory file system exposed to generated code for
+// file-access tasks (the paper's §II-A2 CSV example). The paper's
+// generated TypeScript uses Node's fs; this reproduction binds
+// appendFile/readFile/writeFile host functions backed by VirtualFS, so
+// file-writing tasks exercise a side-effecting code path without
+// touching the real disk.
+type VirtualFS struct {
+	mu    sync.Mutex
+	files map[string][]string
+}
+
+// NewVirtualFS returns an empty file system.
+func NewVirtualFS() *VirtualFS {
+	return &VirtualFS{files: map[string][]string{}}
+}
+
+// AppendLine appends one line to a file, creating it if needed.
+func (v *VirtualFS) AppendLine(name, line string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.files[name] = append(v.files[name], line)
+}
+
+// Write replaces a file's contents.
+func (v *VirtualFS) Write(name, content string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if content == "" {
+		v.files[name] = []string{}
+		return
+	}
+	v.files[name] = strings.Split(strings.TrimSuffix(content, "\n"), "\n")
+}
+
+// Read returns a file's contents and whether it exists.
+func (v *VirtualFS) Read(name string) (string, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	lines, ok := v.files[name]
+	if !ok {
+		return "", false
+	}
+	return strings.Join(lines, "\n"), true
+}
+
+// Lines returns a copy of a file's lines.
+func (v *VirtualFS) Lines(name string) []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]string(nil), v.files[name]...)
+}
+
+// Files lists the file names in sorted order.
+func (v *VirtualFS) Files() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.files))
+	for n := range v.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// hostBindings exposes the FS to minilang as appendFile/readFile/writeFile.
+func (v *VirtualFS) hostBindings() map[string]any {
+	return map[string]any{
+		"appendFile": &minilang.Builtin{Name: "appendFile", Fn: func(_ *minilang.Interp, args []any) (any, error) {
+			if len(args) < 2 {
+				return nil, &minilang.RuntimeError{Msg: "appendFile(name, line) needs two arguments"}
+			}
+			v.AppendLine(minilang.ToString(args[0]), minilang.ToString(args[1]))
+			return nil, nil
+		}},
+		"writeFile": &minilang.Builtin{Name: "writeFile", Fn: func(_ *minilang.Interp, args []any) (any, error) {
+			if len(args) < 2 {
+				return nil, &minilang.RuntimeError{Msg: "writeFile(name, content) needs two arguments"}
+			}
+			v.Write(minilang.ToString(args[0]), minilang.ToString(args[1]))
+			return nil, nil
+		}},
+		"readFile": &minilang.Builtin{Name: "readFile", Fn: func(_ *minilang.Interp, args []any) (any, error) {
+			if len(args) < 1 {
+				return nil, &minilang.RuntimeError{Msg: "readFile(name) needs one argument"}
+			}
+			content, ok := v.Read(minilang.ToString(args[0]))
+			if !ok {
+				return nil, &minilang.RuntimeError{Msg: "readFile: no such file " + minilang.ToString(args[0])}
+			}
+			return content, nil
+		}},
+	}
+}

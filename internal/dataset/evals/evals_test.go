@@ -1,0 +1,101 @@
+package evals
+
+import (
+	"testing"
+
+	"repro/internal/template"
+	"repro/internal/types"
+)
+
+func TestFiftyBenchmarks(t *testing.T) {
+	bs := All()
+	if len(bs) != 50 {
+		t.Fatalf("got %d benchmarks, want 50", len(bs))
+	}
+	seen := map[string]bool{}
+	for _, b := range bs {
+		if seen[b.Name] {
+			t.Errorf("duplicate name %q", b.Name)
+		}
+		seen[b.Name] = true
+	}
+}
+
+func TestBenchmarksWellFormed(t *testing.T) {
+	for _, b := range All() {
+		tpl, err := template.Parse(b.Template)
+		if err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		if err := tpl.CheckArgs(b.Args); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if b.Return == nil {
+			t.Errorf("%s: nil return type", b.Name)
+		}
+		if b.Original == "" {
+			t.Errorf("%s: empty original prompt", b.Name)
+		}
+	}
+}
+
+func TestReductionsPositiveMeanNearPaper(t *testing.T) {
+	// The paper reports a 16.14 % mean character-count reduction. The
+	// synthetic set should land in the same regime (10-25 %).
+	totalOrig, totalReduced := 0, 0
+	for _, b := range All() {
+		red, err := b.Reduction()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if red <= 0 {
+			t.Errorf("%s: non-positive reduction %d (format instructions missing?)", b.Name, red)
+		}
+		totalOrig += len(b.Original)
+		totalReduced += red
+	}
+	mean := float64(totalReduced) / float64(totalOrig) * 100
+	if mean < 10 || mean > 30 {
+		t.Errorf("mean reduction %.2f%%, want 10-30%% (paper: 16.14%%)", mean)
+	}
+}
+
+func TestTypeCensusShape(t *testing.T) {
+	// Figure 7: string is the most common top-level type; literal
+	// appears frequently among nested types.
+	top := map[string]int{}
+	all := map[string]int{}
+	for _, b := range All() {
+		top[types.CensusCategory(b.Return)]++
+		types.Walk(b.Return, func(tt types.Type) {
+			all[types.CensusCategory(tt)]++
+		})
+	}
+	if top["string"] == 0 || top["number"] == 0 || top["boolean"] == 0 {
+		t.Errorf("top-level census missing primitives: %v", top)
+	}
+	for cat, n := range top {
+		if top["string"] < n && cat != "string" {
+			t.Errorf("top-level %s (%d) outnumbers string (%d); paper has string first", cat, n, top["string"])
+		}
+	}
+	if all["literal"] == 0 {
+		t.Error("no literal types in census; Figure 7 has many")
+	}
+	if top["literal"] != 0 {
+		t.Error("literal should not appear as a top-level type (paper: 'Although the literal type is not a top-level type')")
+	}
+}
+
+func TestSomeSolvable(t *testing.T) {
+	n := 0
+	for _, b := range All() {
+		if b.Solvable {
+			n++
+		}
+	}
+	if n < 3 {
+		t.Errorf("only %d solvable benchmarks; need a few for the format check", n)
+	}
+}

@@ -1,0 +1,180 @@
+// Package gsm generates the GSM8K-like benchmark of §IV-C (DESIGN.md
+// substitution 3): grade-school math word problems whose numeric values
+// are lifted to template variables, exactly the preprocessing the paper
+// applies to GSM8K before feeding it to AskIt. The test split has 1319
+// problems, the size of GSM8K's test set.
+package gsm
+
+import (
+	"fmt"
+
+	"repro/internal/tasks"
+	"repro/internal/types"
+)
+
+// TestSize is the number of problems in the generated test split,
+// matching GSM8K's 1319 test problems.
+const TestSize = 1319
+
+// Problem is one word problem instance.
+type Problem struct {
+	// ID is the problem index.
+	ID int
+	// Spec is the underlying archetype from tasks.Word.
+	Spec *tasks.Spec
+	// Template is the prompt template (the archetype's skeleton).
+	Template string
+	// Args binds the template variables for this instance.
+	Args map[string]any
+	// Answer is the ground-truth numeric answer.
+	Answer float64
+	// Params are the parameter fields in template order.
+	Params []types.Field
+}
+
+var names = []string{
+	"Natalia", "Ken", "Maya", "Ravi", "Sofia", "Omar", "Lena", "Jack",
+	"Priya", "Diego", "Hana", "Felix", "Amara", "Tom", "Yuki", "Nina",
+}
+
+var items = []string{
+	"apples", "clips", "marbles", "stickers", "pencils", "cookies",
+	"books", "coins", "cards", "shells",
+}
+
+// Generate deterministically builds n problems from the given seed by
+// cycling the archetypes and drawing values from a seeded generator.
+// Values are chosen so every answer is exact (divisions come out even,
+// discounts are whole percentages).
+func Generate(seed int64, n int) ([]Problem, error) {
+	specs := tasks.Word.All()
+	rng := newRand(uint64(seed)*2862933555777941757 + 3037000493)
+	out := make([]Problem, 0, n)
+	for i := 0; i < n; i++ {
+		spec := specs[i%len(specs)]
+		args, err := instantiate(spec, rng)
+		if err != nil {
+			return nil, err
+		}
+		pos := make([]any, len(spec.Params))
+		for j, f := range spec.Params {
+			pos[j] = args[f.Name]
+		}
+		ans, err := spec.Solve(pos)
+		if err != nil {
+			return nil, fmt.Errorf("gsm: problem %d (%s): %w", i, spec.ID, err)
+		}
+		f, ok := ans.(float64)
+		if !ok {
+			return nil, fmt.Errorf("gsm: problem %d (%s): non-numeric answer %T", i, spec.ID, ans)
+		}
+		out = append(out, Problem{
+			ID:       i,
+			Spec:     spec,
+			Template: spec.Template,
+			Args:     args,
+			Answer:   f,
+			Params:   spec.ParamTypes(),
+		})
+	}
+	return out, nil
+}
+
+// TestSplit generates the standard 1319-problem test split.
+func TestSplit(seed int64) ([]Problem, error) { return Generate(seed, TestSize) }
+
+// instantiate draws argument values for one archetype. Numeric values
+// depend on the parameter's role; string parameters draw protagonist
+// and item nouns.
+func instantiate(spec *tasks.Spec, rng *rand64) (map[string]any, error) {
+	args := map[string]any{}
+	for _, f := range spec.Params {
+		switch f.Type.Kind() {
+		case types.KindStr:
+			switch f.Name {
+			case "item":
+				args[f.Name] = items[rng.intn(len(items))]
+			default: // name, name1, name2
+				args[f.Name] = names[rng.intn(len(names))]
+			}
+		case types.KindFloat, types.KindInt:
+			args[f.Name] = float64(2 + rng.intn(18)) // 2..19
+		default:
+			return nil, fmt.Errorf("gsm: unsupported param type %s in %s", f.Type.TS(), spec.ID)
+		}
+	}
+	// Per-archetype adjustments keeping answers exact and positive.
+	switch spec.ID {
+	case "w-share": // a divisible by b
+		b := float64(2 + rng.intn(8))
+		q := float64(1 + rng.intn(12))
+		args["b"] = b
+		args["a"] = b * q
+	case "w-half-then-buy": // a even
+		args["a"] = float64(2 * (1 + rng.intn(15)))
+	case "w-buy-give": // c <= a + b
+		a := args["a"].(float64)
+		b := args["b"].(float64)
+		args["c"] = float64(1 + rng.intn(int(a+b-1)))
+	case "w-change": // c >= a*b
+		a := float64(1 + rng.intn(9))
+		b := float64(1 + rng.intn(5))
+		args["a"] = a
+		args["b"] = b
+		args["c"] = a*b + float64(rng.intn(20))
+	case "w-budget": // b + c <= a
+		b := float64(1 + rng.intn(15))
+		c := float64(1 + rng.intn(15))
+		args["b"] = b
+		args["c"] = c
+		args["a"] = b + c + float64(rng.intn(30))
+	case "w-doubling": // small exponent
+		args["b"] = float64(1 + rng.intn(10))
+	case "w-average-three": // sum divisible by 3
+		a := float64(1 + rng.intn(30))
+		b := float64(1 + rng.intn(30))
+		s := int(a + b)
+		c := float64(3 - s%3)
+		if c == 3 {
+			c = 3
+		}
+		args["a"], args["b"], args["c"] = a, b, c+float64(3*rng.intn(8))
+	case "w-discount": // whole-dollar result: a multiple of 10, b of 10
+		args["a"] = float64(10 * (1 + rng.intn(20)))
+		args["b"] = float64(10 * (1 + rng.intn(9))) // 10..90 percent
+	case "w-more-than":
+		if args["name1"] == args["name2"] {
+			args["name2"] = names[(indexOf(names, args["name1"].(string))+1)%len(names)]
+		}
+	}
+	return args, nil
+}
+
+func indexOf(ss []string, s string) int {
+	for i, x := range ss {
+		if x == s {
+			return i
+		}
+	}
+	return 0
+}
+
+// rand64 is a small deterministic generator (splitmix64).
+type rand64 struct{ state uint64 }
+
+func newRand(seed uint64) *rand64 { return &rand64{state: seed} }
+
+func (r *rand64) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rand64) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}

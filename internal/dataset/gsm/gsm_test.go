@@ -1,0 +1,97 @@
+package gsm
+
+import (
+	"testing"
+
+	"repro/internal/template"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(7, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(7, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Answer != b[i].Answer || a[i].Template != b[i].Template {
+			t.Fatalf("problem %d differs between runs", i)
+		}
+	}
+	c, err := Generate(8, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].Answer == c[i].Answer {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds should produce different values")
+	}
+}
+
+func TestTestSplitSize(t *testing.T) {
+	ps, err := TestSplit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1319 {
+		t.Errorf("size = %d, want 1319 (GSM8K test split)", len(ps))
+	}
+}
+
+func TestProblemsAreWellFormed(t *testing.T) {
+	ps, err := Generate(3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		tpl, err := template.Parse(p.Template)
+		if err != nil {
+			t.Fatalf("problem %d: %v", p.ID, err)
+		}
+		if err := tpl.CheckArgs(p.Args); err != nil {
+			t.Errorf("problem %d: %v", p.ID, err)
+		}
+		if _, err := tpl.Render(p.Args); err != nil {
+			t.Errorf("problem %d: %v", p.ID, err)
+		}
+		if p.Answer < 0 {
+			t.Errorf("problem %d (%s): negative answer %v", p.ID, p.Spec.ID, p.Answer)
+		}
+	}
+}
+
+func TestAnswersAreExact(t *testing.T) {
+	ps, err := Generate(11, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		// Archetypes are constructed to give exact (integer or .5-free)
+		// answers; a fractional answer signals a bad instantiation.
+		if p.Answer != float64(int64(p.Answer)) {
+			t.Errorf("problem %d (%s): non-integer answer %v with args %v",
+				p.ID, p.Spec.ID, p.Answer, p.Args)
+		}
+	}
+}
+
+func TestArchetypeCoverage(t *testing.T) {
+	ps, err := Generate(5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		seen[p.Spec.ID] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d archetypes used", len(seen))
+	}
+}

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationA1EnvelopeBeatsNaive(t *testing.T) {
+	res, err := RunAblationA1(Config{Seed: 42, Model: "gpt-4"}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnvelopeWrong != 0 {
+		t.Errorf("envelope accepted %d wrong answers; type checking should catch them", res.EnvelopeWrong)
+	}
+	if res.EnvelopeRetried == 0 {
+		t.Error("expected some retried trials under 50% wrong-field noise")
+	}
+	if res.NaiveWrong <= res.EnvelopeWrong {
+		t.Errorf("naive extraction should be worse: naive=%d envelope=%d", res.NaiveWrong, res.EnvelopeWrong)
+	}
+}
+
+func TestAblationA2FeedbackConverges(t *testing.T) {
+	res, err := RunAblationA2(Config{Seed: 7}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FeedbackSuccess < res.Trials {
+		t.Errorf("feedback arm: %d/%d successes", res.FeedbackSuccess, res.Trials)
+	}
+	// The feedback arm benefits from the compliance effect: it must use
+	// no more attempts than blind retrying on aggregate.
+	if res.FeedbackAttempts > res.BlindAttempts {
+		t.Errorf("feedback used %d attempts vs blind %d; refinement should help",
+			res.FeedbackAttempts, res.BlindAttempts)
+	}
+}
+
+func TestAblationA3TestsCatchBugs(t *testing.T) {
+	res, err := RunAblationA3(Config{Seed: 11}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks < 10 {
+		t.Fatalf("only %d tasks ran", res.Tasks)
+	}
+	if res.WithTestsWrong != 0 {
+		t.Errorf("with tests, %d wrong functions were accepted", res.WithTestsWrong)
+	}
+	if res.WithoutTestsWrong == 0 {
+		t.Error("without tests, buggy-code noise should slip through sometimes")
+	}
+}
+
+func TestAblationA4PromptSizes(t *testing.T) {
+	res, err := RunAblationA4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmarks != 50 {
+		t.Fatalf("benchmarks = %d", res.Benchmarks)
+	}
+	if res.MeanUserPromptLen >= res.MeanOriginalLen {
+		t.Errorf("AskIt user prompt (%.0f) should be shorter than the original (%.0f)",
+			res.MeanUserPromptLen, res.MeanOriginalLen)
+	}
+	if res.MeanFullPromptLen <= res.MeanUserPromptLen {
+		t.Error("the generated full prompt must carry the added type constraint")
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	cfg := Config{Seed: 42, Problems: 24, Workers: 4}
+	t2, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7 := RunFig7()
+	t3, err := RunTable3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderTable2(&buf, t2)
+	RenderFig5(&buf, f5)
+	RenderFig6(&buf, f6)
+	RenderFig7(&buf, f7)
+	RenderTable3(&buf, t3)
+	out := buf.String()
+	for _, landmark := range []string{
+		"TABLE II", "FIGURE 5", "FIGURE 6", "FIGURE 7", "TABLE III",
+		"mean LOC", "Speedup Ratio", "mean reduction",
+	} {
+		if !strings.Contains(out, landmark) {
+			t.Errorf("rendered output missing %q", landmark)
+		}
+	}
+	var csv bytes.Buffer
+	CSVFig5(&csv, f5)
+	CSVFig6(&csv, f6)
+	CSVFig7(&csv, f7)
+	if lines := strings.Count(csv.String(), "\n"); lines < 164+50+7 {
+		t.Errorf("CSV output too short: %d lines", lines)
+	}
+}

@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunTable2(t *testing.T) {
+	res, err := RunTable2(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 50 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Failures > 2 {
+		t.Errorf("failures = %d; the 50 common tasks should almost all succeed", res.Failures)
+	}
+	if res.MeanLOC < 4 || res.MeanLOC > 12 {
+		t.Errorf("mean LOC = %.2f, want near the paper's 6.5-7.6", res.MeanLOC)
+	}
+	retried := 0
+	for _, r := range res.Rows {
+		if r.Err == nil && r.LOC == 0 {
+			t.Errorf("task %d (%s): zero LOC", r.N, r.ID)
+		}
+		if r.Retries > 0 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Log("note: no task needed retries this seed (paper: retries 0-7, mostly 0)")
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	res, err := RunFig5(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 164 {
+		t.Fatalf("total = %d", res.Total)
+	}
+	if res.SuccessRate < 75 || res.SuccessRate > 95 {
+		t.Errorf("success rate = %.1f%%, want near the paper's 84.8%%", res.SuccessRate)
+	}
+	if res.Ratio < 1.0 || res.Ratio > 1.8 {
+		t.Errorf("gen/hand ratio = %.2f, want > 1 (paper: 1.27)", res.Ratio)
+	}
+	if res.GenShorter == 0 {
+		t.Error("no tasks with shorter generated code (paper: 35.3%)")
+	}
+	if frac := float64(res.GenShorter) / float64(res.Succeeded); frac > 0.6 {
+		t.Errorf("generated shorter in %.0f%% of tasks; paper has 35.3%%", frac*100)
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	res, err := RunFig6(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reductions) != 50 {
+		t.Fatalf("reductions = %d", len(res.Reductions))
+	}
+	if res.MeanPercent < 10 || res.MeanPercent > 30 {
+		t.Errorf("mean reduction = %.2f%%, want near the paper's 16.14%%", res.MeanPercent)
+	}
+	if res.FormatTotal == 0 || res.FormatChecked == 0 {
+		t.Errorf("format check did not run: %d/%d", res.FormatChecked, res.FormatTotal)
+	}
+	if res.FormatChecked < res.FormatTotal {
+		t.Logf("format congruence: %d/%d (retries may exhaust under noise)", res.FormatChecked, res.FormatTotal)
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	res := RunFig7()
+	if res.TopLevel["string"] == 0 {
+		t.Error("no string top-level types")
+	}
+	if res.AllTypes["literal"] == 0 {
+		t.Error("no literal types in census")
+	}
+	for _, cat := range res.Order {
+		if res.AllTypes[cat] < res.TopLevel[cat] {
+			t.Errorf("%s: all (%d) < top (%d)", cat, res.AllTypes[cat], res.TopLevel[cat])
+		}
+	}
+}
+
+func TestRunTable3Small(t *testing.T) {
+	res, err := RunTable3(Config{Seed: 42, Problems: 60, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Problems != 60 {
+		t.Fatalf("problems = %d", res.Problems)
+	}
+	if res.DirectSolved < 50 {
+		t.Errorf("direct solved = %d/60; the sim solves the archetypes", res.DirectSolved)
+	}
+	if res.Generated < 45 {
+		t.Errorf("generated = %d/60", res.Generated)
+	}
+	if res.Generated > res.DirectSolved {
+		t.Error("generated cannot exceed directly solved (pipeline order)")
+	}
+	if res.AvgLatency < time.Second {
+		t.Errorf("avg latency = %v, want model-scale seconds (paper: 13-23s)", res.AvgLatency)
+	}
+	if res.AvgExecTime <= 0 || res.AvgExecTime > time.Millisecond {
+		t.Errorf("avg exec = %v, want microseconds", res.AvgExecTime)
+	}
+	if res.SpeedupRatio < 1e4 {
+		t.Errorf("speedup = %.0fx, want >= 1e4 (paper: 2.8e5-7e6)", res.SpeedupRatio)
+	}
+	if res.AvgCompileTime <= 0 {
+		t.Error("no compile time recorded")
+	}
+}

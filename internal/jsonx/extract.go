@@ -1,0 +1,139 @@
+package jsonx
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrNoBlock is returned when no fenced code block (and no fallback JSON
+// value) can be located in a response.
+var ErrNoBlock = errors.New("jsonx: no code block found in response")
+
+// Block is a fenced code block found in LLM output.
+type Block struct {
+	Lang  string // the info string after ``` (lower-cased), may be ""
+	Body  string // the block contents, without the fences
+	Start int    // byte offset of the opening fence
+}
+
+// Blocks scans text for ``` fenced code blocks and returns them in order.
+// An unterminated final fence yields a block running to the end of text,
+// because models frequently stop mid-fence.
+func Blocks(text string) []Block {
+	var out []Block
+	i := 0
+	for {
+		open := strings.Index(text[i:], "```")
+		if open < 0 {
+			return out
+		}
+		open += i
+		// The info string runs to end of line.
+		rest := text[open+3:]
+		nl := strings.IndexByte(rest, '\n')
+		var lang, after string
+		if nl < 0 {
+			lang = strings.TrimSpace(rest)
+			after = ""
+			out = append(out, Block{Lang: strings.ToLower(lang), Body: "", Start: open})
+			return out
+		}
+		lang = strings.TrimSpace(rest[:nl])
+		after = rest[nl+1:]
+		closeIdx := strings.Index(after, "```")
+		if closeIdx < 0 {
+			out = append(out, Block{Lang: strings.ToLower(lang), Body: after, Start: open})
+			return out
+		}
+		out = append(out, Block{Lang: strings.ToLower(lang), Body: after[:closeIdx], Start: open})
+		i = open + 3 + nl + 1 + closeIdx + 3
+	}
+}
+
+// ExtractBlock returns the body of the first fenced block whose language
+// tag matches lang (or any block when none matches and fallbackAny is
+// true). Matching is case-insensitive; an empty tag matches only via the
+// fallback.
+func ExtractBlock(text, lang string, fallbackAny bool) (string, error) {
+	blocks := Blocks(text)
+	lang = strings.ToLower(lang)
+	for _, b := range blocks {
+		if b.Lang == lang {
+			return b.Body, nil
+		}
+	}
+	if fallbackAny && len(blocks) > 0 {
+		return blocks[0].Body, nil
+	}
+	return "", ErrNoBlock
+}
+
+// ExtractJSON locates and parses the JSON payload of an LLM response
+// (paper §III-E Step 3, criterion 1). The search order is:
+//
+//  1. the first ```json fenced block,
+//  2. any other fenced block that parses as JSON,
+//  3. the first balanced {...} or [...] region in the raw text.
+//
+// Parsing is lenient. The returned error describes what was wrong so the
+// feedback prompt can relay it to the model.
+func ExtractJSON(text string) (any, error) {
+	var firstErr error
+	blocks := Blocks(text)
+	for _, b := range blocks {
+		if b.Lang != "json" {
+			continue
+		}
+		v, err := Parse(strings.TrimSpace(b.Body), Lenient)
+		if err == nil {
+			return v, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, b := range blocks {
+		if b.Lang == "json" {
+			continue
+		}
+		v, err := Parse(strings.TrimSpace(b.Body), Lenient)
+		if err == nil {
+			return v, nil
+		}
+	}
+	// Fallback: first balanced JSON object or array anywhere in the text.
+	if v, ok := scanBalanced(text); ok {
+		return v, nil
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, ErrNoBlock
+}
+
+// scanBalanced finds the first '{' or '[' and attempts a prefix parse
+// from there; on failure it advances to the next candidate.
+func scanBalanced(text string) (any, bool) {
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c != '{' && c != '[' {
+			continue
+		}
+		v, _, err := ParsePrefix(text[i:], Lenient)
+		if err == nil {
+			// Reject degenerate empties that are usually prose braces.
+			switch x := v.(type) {
+			case map[string]any:
+				if len(x) == 0 {
+					continue
+				}
+			case []any:
+				if len(x) == 0 {
+					continue
+				}
+			}
+			return v, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,102 @@
+package jsonx
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBlocksCRLF(t *testing.T) {
+	text := "```json\r\n{\"a\": 1}\r\n```\r\n"
+	bs := Blocks(text)
+	if len(bs) != 1 {
+		t.Fatalf("blocks = %d", len(bs))
+	}
+	v, err := ExtractJSON(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(map[string]any)["a"] != 1.0 {
+		t.Errorf("v = %#v", v)
+	}
+}
+
+func TestBlocksBackToBack(t *testing.T) {
+	text := "```a\n1\n```\n```b\n2\n```\n```c\n3\n```"
+	bs := Blocks(text)
+	if len(bs) != 3 {
+		t.Fatalf("blocks = %d: %+v", len(bs), bs)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if bs[i].Lang != want {
+			t.Errorf("block %d lang = %q", i, bs[i].Lang)
+		}
+	}
+}
+
+func TestBlocksInfoStringCaseInsensitive(t *testing.T) {
+	text := "```JSON\n{\"x\": 2}\n```"
+	body, err := ExtractBlock(text, "json", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(body) != `{"x": 2}` {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestBlocksEmptyBody(t *testing.T) {
+	bs := Blocks("```json\n```")
+	if len(bs) != 1 || strings.TrimSpace(bs[0].Body) != "" {
+		t.Errorf("blocks = %+v", bs)
+	}
+}
+
+func TestBlocksFenceAtEOFNoNewline(t *testing.T) {
+	bs := Blocks("prose ```")
+	if len(bs) != 1 {
+		t.Fatalf("blocks = %+v", bs)
+	}
+}
+
+func TestExtractJSONPrefersJSONTagged(t *testing.T) {
+	text := "```typescript\n[9, 9]\n```\n```json\n[1, 2]\n```"
+	v, err := ExtractJSON(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := v.([]any)
+	if arr[0] != 1.0 {
+		t.Errorf("should prefer the json block: %v", arr)
+	}
+}
+
+func TestExtractJSONBrokenJSONBlockFallsBack(t *testing.T) {
+	text := "```json\n{broken: \n```\nbut prose has {\"answer\": 3} inline"
+	v, err := ExtractJSON(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(map[string]any)["answer"] != 3.0 {
+		t.Errorf("v = %#v", v)
+	}
+}
+
+func TestExtractJSONArrayTopLevel(t *testing.T) {
+	v, err := ExtractJSON("the list is [1, 2, 3], as requested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.([]any)) != 3 {
+		t.Errorf("v = %#v", v)
+	}
+}
+
+func TestExtractJSONReportsFirstJSONBlockError(t *testing.T) {
+	_, err := ExtractJSON("```json\n{bad\n```")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if _, ok := err.(*SyntaxError); !ok {
+		t.Errorf("error type %T, want *SyntaxError for feedback detail", err)
+	}
+}

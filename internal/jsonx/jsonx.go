@@ -1,0 +1,541 @@
+// Package jsonx implements the JSON handling the AskIt runtime needs to
+// extract structured answers from LLM responses (paper §III-E).
+//
+// LLM responses are natural-language text that should contain a JSON code
+// block. jsonx provides (1) fenced-block extraction with fallbacks, and
+// (2) a hand-written recursive-descent JSON parser with a lenient mode
+// tolerating the deviations chat models commonly emit: single-quoted
+// strings, unquoted object keys, trailing commas, comments, and Python
+// spellings of true/false/null. Precise error positions feed the
+// feedback-retry loop.
+package jsonx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// SyntaxError reports a malformed JSON document.
+type SyntaxError struct {
+	Offset int // byte offset into the parsed text
+	Line   int // 1-based
+	Col    int // 1-based, in bytes
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("jsonx: %s at line %d, column %d", e.Msg, e.Line, e.Col)
+}
+
+// Mode selects how strictly Parse treats its input.
+type Mode int
+
+const (
+	// Strict accepts only RFC 8259 JSON.
+	Strict Mode = iota
+	// Lenient additionally accepts single-quoted strings, unquoted
+	// identifiers as object keys, trailing commas, // and /* */
+	// comments, and True/False/None/NaN spellings.
+	Lenient
+)
+
+// Parse parses a complete JSON document into nil, bool, float64, string,
+// []any or map[string]any. Trailing non-whitespace input is an error.
+func Parse(src string, mode Mode) (any, error) {
+	p := &parser{src: src, mode: mode}
+	p.skipSpace()
+	v, err := p.value()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errorf("unexpected trailing input")
+	}
+	return v, nil
+}
+
+// ParsePrefix parses one JSON value at the start of src and returns it
+// together with the number of bytes consumed, ignoring anything after.
+func ParsePrefix(src string, mode Mode) (any, int, error) {
+	p := &parser{src: src, mode: mode}
+	p.skipSpace()
+	v, err := p.value()
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, p.pos, nil
+}
+
+type parser struct {
+	src  string
+	pos  int
+	mode Mode
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < p.pos && i < len(p.src); i++ {
+		if p.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return &SyntaxError{Offset: p.pos, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		if p.mode == Lenient && c == '/' && p.pos+1 < len(p.src) {
+			switch p.src[p.pos+1] {
+			case '/':
+				i := strings.IndexByte(p.src[p.pos:], '\n')
+				if i < 0 {
+					p.pos = len(p.src)
+				} else {
+					p.pos += i + 1
+				}
+				continue
+			case '*':
+				i := strings.Index(p.src[p.pos+2:], "*/")
+				if i < 0 {
+					p.pos = len(p.src)
+				} else {
+					p.pos += 2 + i + 2
+				}
+				continue
+			}
+		}
+		return
+	}
+}
+
+func (p *parser) peek() (byte, bool) {
+	if p.pos < len(p.src) {
+		return p.src[p.pos], true
+	}
+	return 0, false
+}
+
+func (p *parser) value() (any, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, p.errorf("unexpected end of input")
+	}
+	switch {
+	case c == '{':
+		return p.object()
+	case c == '[':
+		return p.array()
+	case c == '"':
+		return p.stringLit('"')
+	case c == '\'' && p.mode == Lenient:
+		return p.stringLit('\'')
+	case c == '-' || c == '+' || (c >= '0' && c <= '9'):
+		return p.number()
+	default:
+		return p.word()
+	}
+}
+
+func (p *parser) word() (any, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isWordChar(p.src[p.pos]) {
+		p.pos++
+	}
+	w := p.src[start:p.pos]
+	switch w {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	case "null":
+		return nil, nil
+	}
+	if p.mode == Lenient {
+		switch w {
+		case "True":
+			return true, nil
+		case "False":
+			return false, nil
+		case "None", "nil":
+			return nil, nil
+		case "NaN":
+			return math.NaN(), nil
+		case "Infinity":
+			return math.Inf(1), nil
+		}
+	}
+	p.pos = start
+	return nil, p.errorf("invalid token %q", truncate(w, 20))
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "..."
+	}
+	if s == "" {
+		return "<empty>"
+	}
+	return s
+}
+
+func (p *parser) number() (any, error) {
+	start := p.pos
+	if c, _ := p.peek(); c == '-' || c == '+' {
+		if c == '+' && p.mode == Strict {
+			return nil, p.errorf("invalid number")
+		}
+		p.pos++
+	}
+	digits := 0
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= '0' && c <= '9' {
+			digits++
+			p.pos++
+			continue
+		}
+		if c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if digits == 0 {
+		p.pos = start
+		return nil, p.errorf("invalid number")
+	}
+	f, err := strconv.ParseFloat(strings.TrimPrefix(p.src[start:p.pos], "+"), 64)
+	if err != nil {
+		p.pos = start
+		return nil, p.errorf("invalid number %q", p.src[start:p.pos])
+	}
+	return f, nil
+}
+
+func (p *parser) stringLit(quote byte) (string, error) {
+	if p.src[p.pos] != quote {
+		return "", p.errorf("expected string")
+	}
+	p.pos++
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == quote:
+			p.pos++
+			return b.String(), nil
+		case c == '\\':
+			if p.pos+1 >= len(p.src) {
+				return "", p.errorf("unterminated escape")
+			}
+			esc := p.src[p.pos+1]
+			p.pos += 2
+			switch esc {
+			case '"', '\\', '/', '\'':
+				b.WriteByte(esc)
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			case 'u':
+				r, err := p.unicodeEscape()
+				if err != nil {
+					return "", err
+				}
+				b.WriteRune(r)
+			default:
+				return "", p.errorf("invalid escape \\%c", esc)
+			}
+		case c == '\n' && p.mode == Strict:
+			return "", p.errorf("unescaped newline in string")
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return "", p.errorf("unterminated string")
+}
+
+func (p *parser) unicodeEscape() (rune, error) {
+	if p.pos+4 > len(p.src) {
+		return 0, p.errorf("truncated \\u escape")
+	}
+	n, err := strconv.ParseUint(p.src[p.pos:p.pos+4], 16, 32)
+	if err != nil {
+		return 0, p.errorf("invalid \\u escape")
+	}
+	p.pos += 4
+	r := rune(n)
+	if utf16.IsSurrogate(r) && strings.HasPrefix(p.src[p.pos:], `\u`) {
+		if p.pos+6 <= len(p.src) {
+			n2, err2 := strconv.ParseUint(p.src[p.pos+2:p.pos+6], 16, 32)
+			if err2 == nil {
+				if combined := utf16.DecodeRune(r, rune(n2)); combined != utf8.RuneError {
+					p.pos += 6
+					return combined, nil
+				}
+			}
+		}
+	}
+	if utf16.IsSurrogate(r) {
+		return utf8.RuneError, nil
+	}
+	return r, nil
+}
+
+func (p *parser) array() (any, error) {
+	p.pos++ // '['
+	out := []any{}
+	p.skipSpace()
+	if c, ok := p.peek(); ok && c == ']' {
+		p.pos++
+		return out, nil
+	}
+	for {
+		p.skipSpace()
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		p.skipSpace()
+		c, ok := p.peek()
+		if !ok {
+			return nil, p.errorf("unterminated array")
+		}
+		switch c {
+		case ',':
+			p.pos++
+			p.skipSpace()
+			if c2, ok2 := p.peek(); ok2 && c2 == ']' && p.mode == Lenient {
+				p.pos++
+				return out, nil
+			}
+		case ']':
+			p.pos++
+			return out, nil
+		default:
+			return nil, p.errorf("expected ',' or ']' in array")
+		}
+	}
+}
+
+func (p *parser) object() (any, error) {
+	p.pos++ // '{'
+	out := map[string]any{}
+	p.skipSpace()
+	if c, ok := p.peek(); ok && c == '}' {
+		p.pos++
+		return out, nil
+	}
+	for {
+		p.skipSpace()
+		key, err := p.objectKey()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if c, ok := p.peek(); !ok || c != ':' {
+			return nil, p.errorf("expected ':' after object key %q", key)
+		}
+		p.pos++
+		p.skipSpace()
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		out[key] = v
+		p.skipSpace()
+		c, ok := p.peek()
+		if !ok {
+			return nil, p.errorf("unterminated object")
+		}
+		switch c {
+		case ',':
+			p.pos++
+			p.skipSpace()
+			if c2, ok2 := p.peek(); ok2 && c2 == '}' && p.mode == Lenient {
+				p.pos++
+				return out, nil
+			}
+		case '}':
+			p.pos++
+			return out, nil
+		default:
+			return nil, p.errorf("expected ',' or '}' in object")
+		}
+	}
+}
+
+func (p *parser) objectKey() (string, error) {
+	c, ok := p.peek()
+	if !ok {
+		return "", p.errorf("unexpected end of object")
+	}
+	switch {
+	case c == '"':
+		return p.stringLit('"')
+	case c == '\'' && p.mode == Lenient:
+		return p.stringLit('\'')
+	case p.mode == Lenient && (isWordChar(c) && !(c >= '0' && c <= '9')):
+		start := p.pos
+		for p.pos < len(p.src) && isWordChar(p.src[p.pos]) {
+			p.pos++
+		}
+		return p.src[start:p.pos], nil
+	default:
+		return "", p.errorf("expected object key")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+// Encode renders a value (nil, bool, int, float64, string, []any,
+// map[string]any) as compact JSON with object keys sorted, so output is
+// deterministic.
+func Encode(v any) string {
+	var b strings.Builder
+	encode(&b, v, "", "")
+	return b.String()
+}
+
+// EncodeIndent renders v as JSON indented with the given unit.
+func EncodeIndent(v any, unit string) string {
+	var b strings.Builder
+	encode(&b, v, "", unit)
+	return b.String()
+}
+
+func encode(b *strings.Builder, v any, prefix, unit string) {
+	switch x := v.(type) {
+	case nil:
+		b.WriteString("null")
+	case bool:
+		if x {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case int:
+		b.WriteString(strconv.Itoa(x))
+	case int64:
+		b.WriteString(strconv.FormatInt(x, 10))
+	case float64:
+		if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+			b.WriteString(strconv.FormatInt(int64(x), 10))
+		} else {
+			b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+		}
+	case string:
+		encodeString(b, x)
+	case []any:
+		if len(x) == 0 {
+			b.WriteString("[]")
+			return
+		}
+		b.WriteByte('[')
+		inner := prefix + unit
+		for i, e := range x {
+			if i > 0 {
+				b.WriteByte(',')
+				if unit == "" {
+					b.WriteByte(' ')
+				}
+			}
+			if unit != "" {
+				b.WriteByte('\n')
+				b.WriteString(inner)
+			}
+			encode(b, e, inner, unit)
+		}
+		if unit != "" {
+			b.WriteByte('\n')
+			b.WriteString(prefix)
+		}
+		b.WriteByte(']')
+	case map[string]any:
+		if len(x) == 0 {
+			b.WriteString("{}")
+			return
+		}
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteByte('{')
+		inner := prefix + unit
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+				if unit == "" {
+					b.WriteByte(' ')
+				}
+			}
+			if unit != "" {
+				b.WriteByte('\n')
+				b.WriteString(inner)
+			}
+			encodeString(b, k)
+			b.WriteString(": ")
+			encode(b, x[k], inner, unit)
+		}
+		if unit != "" {
+			b.WriteByte('\n')
+			b.WriteString(prefix)
+		}
+		b.WriteByte('}')
+	default:
+		encodeString(b, fmt.Sprintf("%v", v))
+	}
+}
+
+func encodeString(b *strings.Builder, s string) {
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+}

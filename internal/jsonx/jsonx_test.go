@@ -1,0 +1,332 @@
+package jsonx
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseStrictBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{`null`, nil},
+		{`true`, true},
+		{`false`, false},
+		{`0`, 0.0},
+		{`-12.5`, -12.5},
+		{`1e3`, 1000.0},
+		{`"hi"`, "hi"},
+		{`""`, ""},
+		{`[]`, []any{}},
+		{`[1, 2]`, []any{1.0, 2.0}},
+		{`{}`, map[string]any{}},
+		{`{"a": 1, "b": [true, null]}`, map[string]any{"a": 1.0, "b": []any{true, nil}}},
+		{"  {\n\"x\":\t3}  ", map[string]any{"x": 3.0}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.src, Strict)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	got, err := Parse(`"a\"b\\c\nd\teAé"`, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\"b\\c\nd\teAé"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestParseSurrogatePair(t *testing.T) {
+	got, err := Parse(`"😀"`, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "😀" {
+		t.Errorf("got %q", got)
+	}
+	// Lone surrogate becomes the replacement rune, mirroring encoding/json.
+	got, err = Parse(`"\ud83dx"`, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(got.(string), "�") {
+		t.Errorf("lone surrogate: got %q", got)
+	}
+}
+
+func TestParseStrictRejections(t *testing.T) {
+	bad := []string{
+		``, `tru`, `[1,]`, `{"a":1,}`, `{a: 1}`, `'s'`, `[1 2]`,
+		`{"a" 1}`, `"unterminated`, `[1, 2] extra`, `+3`, `{,}`, `nul`,
+		`[`, `{`, `{"a":}`, "\"a\nb\"",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, Strict); err == nil {
+			t.Errorf("Parse(%q) strict: expected error", src)
+		} else if _, ok := err.(*SyntaxError); !ok {
+			t.Errorf("Parse(%q): error type %T", src, err)
+		}
+	}
+}
+
+func TestParseLenientExtensions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{`{'a': 1}`, map[string]any{"a": 1.0}},
+		{`{a: 1}`, map[string]any{"a": 1.0}},
+		{`[1, 2,]`, []any{1.0, 2.0}},
+		{`{"a": 1,}`, map[string]any{"a": 1.0}},
+		{`{"a": True, "b": False, "c": None}`, map[string]any{"a": true, "b": false, "c": nil}},
+		{"// comment\n{\"a\": 1}", map[string]any{"a": 1.0}},
+		{"{/* inline */ \"a\": 1}", map[string]any{"a": 1.0}},
+		{`+3`, 3.0},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.src, Lenient)
+		if err != nil {
+			t.Errorf("Parse(%q) lenient: %v", c.src, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseLenientNaN(t *testing.T) {
+	got, err := Parse(`NaN`, Lenient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.(float64)) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("{\n  \"a\": @\n}", Strict)
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if se.Line != 2 {
+		t.Errorf("Line = %d, want 2", se.Line)
+	}
+	if se.Col < 8 || se.Col > 11 {
+		t.Errorf("Col = %d, want ~9", se.Col)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	v, n, err := ParsePrefix(`{"x": 1} and trailing prose`, Lenient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v, map[string]any{"x": 1.0}) {
+		t.Errorf("v = %#v", v)
+	}
+	if n != len(`{"x": 1}`) {
+		t.Errorf("n = %d", n)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	text := "Here is the result:\n```json\n{\"a\": 1}\n```\nand code:\n```typescript\nlet x = 1;\n```\n"
+	bs := Blocks(text)
+	if len(bs) != 2 {
+		t.Fatalf("got %d blocks", len(bs))
+	}
+	if bs[0].Lang != "json" || strings.TrimSpace(bs[0].Body) != `{"a": 1}` {
+		t.Errorf("block 0 = %+v", bs[0])
+	}
+	if bs[1].Lang != "typescript" || strings.TrimSpace(bs[1].Body) != "let x = 1;" {
+		t.Errorf("block 1 = %+v", bs[1])
+	}
+}
+
+func TestBlocksUnterminated(t *testing.T) {
+	bs := Blocks("```json\n{\"a\": 1}")
+	if len(bs) != 1 || strings.TrimSpace(bs[0].Body) != `{"a": 1}` {
+		t.Errorf("blocks = %+v", bs)
+	}
+}
+
+func TestExtractBlock(t *testing.T) {
+	text := "```ts\ncode\n```"
+	got, err := ExtractBlock(text, "ts", false)
+	if err != nil || strings.TrimSpace(got) != "code" {
+		t.Errorf("got %q, %v", got, err)
+	}
+	if _, err := ExtractBlock(text, "python", false); err == nil {
+		t.Error("expected ErrNoBlock")
+	}
+	got, err = ExtractBlock(text, "python", true)
+	if err != nil || strings.TrimSpace(got) != "code" {
+		t.Errorf("fallback got %q, %v", got, err)
+	}
+	if _, err := ExtractBlock("no fences here", "json", true); err != ErrNoBlock {
+		t.Errorf("err = %v, want ErrNoBlock", err)
+	}
+}
+
+func TestExtractJSONFenced(t *testing.T) {
+	text := "The answer is:\n```json\n{\"reason\": \"because\", \"answer\": 42}\n```\nHope this helps!"
+	v, err := ExtractJSON(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	if m["answer"] != 42.0 {
+		t.Errorf("answer = %v", m["answer"])
+	}
+}
+
+func TestExtractJSONWrongTagFallsBack(t *testing.T) {
+	text := "```\n{\"answer\": 1}\n```"
+	v, err := ExtractJSON(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(map[string]any)["answer"] != 1.0 {
+		t.Errorf("v = %#v", v)
+	}
+}
+
+func TestExtractJSONBareObject(t *testing.T) {
+	text := `Sure! {"reason": "r", "answer": [1, 2]} — done.`
+	v, err := ExtractJSON(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	if !reflect.DeepEqual(m["answer"], []any{1.0, 2.0}) {
+		t.Errorf("answer = %#v", m["answer"])
+	}
+}
+
+func TestExtractJSONSkipsProseBraces(t *testing.T) {
+	text := "set {} empty braces first, then {\"answer\": 5}"
+	v, err := ExtractJSON(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(map[string]any)["answer"] != 5.0 {
+		t.Errorf("v = %#v", v)
+	}
+}
+
+func TestExtractJSONNone(t *testing.T) {
+	if _, err := ExtractJSON("no json anywhere"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestEncode(t *testing.T) {
+	cases := []struct {
+		v    any
+		want string
+	}{
+		{nil, "null"},
+		{true, "true"},
+		{42, "42"},
+		{3.0, "3"},
+		{3.5, "3.5"},
+		{"a\"b", `"a\"b"`},
+		{[]any{}, "[]"},
+		{[]any{1, "x"}, `[1, "x"]`},
+		{map[string]any{}, "{}"},
+		{map[string]any{"b": 2, "a": 1}, `{"a": 1, "b": 2}`},
+	}
+	for _, c := range cases {
+		if got := Encode(c.v); got != c.want {
+			t.Errorf("Encode(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestEncodeIndent(t *testing.T) {
+	got := EncodeIndent(map[string]any{"a": []any{1}}, "  ")
+	want := "{\n  \"a\": [\n    1\n  ]\n}"
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Property: our strict parser agrees with encoding/json on documents
+// encoding/json produces.
+func TestQuickAgreesWithStdlib(t *testing.T) {
+	f := func(m map[string]int, ss []string) bool {
+		doc := map[string]any{"m": m, "ss": ss}
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			return false
+		}
+		var want any
+		if err := json.Unmarshal(raw, &want); err != nil {
+			return false
+		}
+		got, err := Parse(string(raw), Strict)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Encode/Parse round-trips values built from the JSON data model.
+func TestQuickEncodeParseRoundTrip(t *testing.T) {
+	f := func(n float64, s string, b bool) bool {
+		if math.IsNaN(n) || math.IsInf(n, 0) {
+			return true
+		}
+		v := map[string]any{"n": n, "s": s, "b": b, "arr": []any{n, s}}
+		got, err := Parse(Encode(v), Strict)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParseLenient(b *testing.B) {
+	src := `{"reason": "step by step", "answer": [{"title": "SICP", "author": "Abelson", "year": 1984}, {"title": "TAPL", "author": "Pierce", "year": 2002}]}`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src, Lenient); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractJSON(b *testing.B) {
+	text := "Let me think step by step about this problem.\n\n```json\n{\"reason\": \"because\", \"answer\": 42}\n```\n"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtractJSON(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

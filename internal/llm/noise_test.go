@@ -1,0 +1,194 @@
+package llm
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/jsonx"
+	"repro/internal/prompt"
+	"repro/internal/template"
+	"repro/internal/types"
+)
+
+// buildPrompt builds a direct prompt for the reverse-string task.
+func buildPrompt(t testing.TB, s string) string {
+	t.Helper()
+	p, err := prompt.BuildDirect(prompt.DirectSpec{
+		Template: template.MustParse("Reverse the string {{s}}."),
+		Args:     map[string]any{"s": s},
+		Return:   types.Str,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestNoisePathsRemainExtractable verifies that the "robustness" noise
+// modes (lenient JSON, extra prose) still yield extractable, correct
+// answers, while the failure modes do not.
+func TestNoisePathsRemainExtractable(t *testing.T) {
+	robust := []Noise{
+		{LenientJSON: 1},
+		{ExtraProse: 1},
+	}
+	for _, n := range robust {
+		sim := NewSim(3)
+		sim.Noise = n
+		resp, err := sim.Complete(context.Background(), Request{Prompt: buildPrompt(t, "abc")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := jsonx.ExtractJSON(resp.Text)
+		if err != nil {
+			t.Errorf("noise %+v: extraction failed on %q", n, resp.Text)
+			continue
+		}
+		obj, ok := v.(map[string]any)
+		if !ok || obj["answer"] != "cba" {
+			t.Errorf("noise %+v: answer = %v", n, v)
+		}
+	}
+	failing := []struct {
+		n    Noise
+		kind string
+	}{
+		{Noise{NoJSON: 1}, "no-json"},
+		{Noise{WrongField: 1}, "wrong-field"},
+		{Noise{TypeMismatch: 1}, "type-mismatch"},
+	}
+	for _, c := range failing {
+		sim := NewSim(3)
+		sim.Noise = c.n
+		resp, err := sim.Complete(context.Background(), Request{Prompt: buildPrompt(t, "abc")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := jsonx.ExtractJSON(resp.Text)
+		switch c.kind {
+		case "no-json":
+			if err == nil {
+				t.Errorf("NoJSON noise still produced JSON: %q", resp.Text)
+			}
+		case "wrong-field":
+			if err != nil {
+				t.Fatalf("wrong-field should still be JSON: %v", err)
+			}
+			if _, has := v.(map[string]any)["answer"]; has {
+				t.Error("WrongField noise kept the answer field")
+			}
+		case "type-mismatch":
+			if err != nil {
+				t.Fatalf("type-mismatch should still be JSON: %v", err)
+			}
+			if types.Str.Validate(v.(map[string]any)["answer"]) == nil &&
+				v.(map[string]any)["answer"] == "cba" {
+				t.Error("TypeMismatch noise kept a well-typed correct answer")
+			}
+		}
+	}
+}
+
+func TestBlindSpotsAreStableAcrossRetries(t *testing.T) {
+	sim := NewSim(42)
+	sim.Noise = Noise{DirectBlind: 1}
+	p := buildPrompt(t, "stable")
+	for attempt := 0; attempt < 3; attempt++ {
+		cur := p
+		if attempt > 0 {
+			cur = prompt.BuildFeedback(p, "previous", prompt.Problem{Kind: "no-json"}, types.Str)
+		}
+		resp, err := sim.Complete(context.Background(), Request{Prompt: cur, Temperature: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := jsonx.ExtractJSON(resp.Text); err == nil {
+			t.Fatalf("attempt %d: blind task produced an answer: %q", attempt, resp.Text)
+		}
+	}
+}
+
+func TestBlindFractionApproximatesRate(t *testing.T) {
+	sim := NewSim(1)
+	sim.Noise = Noise{DirectBlind: 0.12}
+	blind := 0
+	const n = 300
+	for i := 0; i < n; i++ {
+		p := buildPrompt(t, strings.Repeat("x", i+1))
+		resp, err := sim.Complete(context.Background(), Request{Prompt: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := jsonx.ExtractJSON(resp.Text); err != nil {
+			blind++
+		}
+	}
+	rate := float64(blind) / n
+	if rate < 0.05 || rate > 0.22 {
+		t.Errorf("blind rate = %.2f, want near 0.12", rate)
+	}
+}
+
+func TestTemperatureZeroIsIdempotent(t *testing.T) {
+	sim := NewSim(9)
+	p := buildPrompt(t, "idem")
+	a, err := sim.Complete(context.Background(), Request{Prompt: p, Temperature: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Complete(context.Background(), Request{Prompt: p, Temperature: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Text != b.Text {
+		t.Error("temperature 0 must repeat the same completion")
+	}
+}
+
+func TestTemperatureSamplingVariesRetries(t *testing.T) {
+	sim := NewSim(9)
+	sim.Noise = Noise{ExtraProse: 0.5}
+	p := buildPrompt(t, "vary")
+	texts := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		resp, err := sim.Complete(context.Background(), Request{Prompt: p, Temperature: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		texts[resp.Text] = true
+	}
+	if len(texts) < 2 {
+		t.Error("temperature 1 should vary repeated completions")
+	}
+}
+
+func TestCountTokens(t *testing.T) {
+	if CountTokens("") != 0 {
+		t.Error("empty")
+	}
+	if CountTokens("abc") != 1 {
+		t.Error("short")
+	}
+	if got := CountTokens(strings.Repeat("a", 400)); got != 100 {
+		t.Errorf("400 chars = %d tokens", got)
+	}
+}
+
+func TestSolveSentiment(t *testing.T) {
+	cases := map[string]string{
+		"The product is fantastic. It exceeds all my expectations.": "positive",
+		"Terrible quality, it broke after one day.":                 "negative",
+		"It arrived on time.":                                       "positive", // neutral defaults positive
+	}
+	for review, want := range cases {
+		got, ok := SolveSentiment("What is the sentiment of 'review'?",
+			map[string]any{"review": review})
+		if !ok || got != want {
+			t.Errorf("sentiment(%q) = %v (%v), want %v", review, got, ok, want)
+		}
+	}
+	if _, ok := SolveSentiment("Compute the orbit of 'planet'.", map[string]any{"planet": "Mars"}); ok {
+		t.Error("unrelated task matched the sentiment skill")
+	}
+}

@@ -1,0 +1,566 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"repro/internal/jsonx"
+	"repro/internal/minilang"
+	"repro/internal/types"
+)
+
+// SolverFunc attempts to answer a directly answerable task. task is the
+// quoted task line ("List 'n' classic books on 'subject'."), args are the
+// bound argument values from the where clause. It returns the answer in
+// the JSON data model and whether it recognized the task.
+type SolverFunc func(task string, args map[string]any) (any, bool)
+
+// CodegenTask describes a function-synthesis request parsed from a
+// Figure 4 prompt.
+type CodegenTask struct {
+	Name   string
+	Params []types.Field
+	Return types.Type
+	Task   string // the body comment, i.e. the quoted prompt template
+}
+
+// SynthFunc attempts to write minilang source implementing a codegen
+// task. It returns the full source (an exported function named
+// task.Name) and whether it recognized the task.
+type SynthFunc func(task CodegenTask) (string, bool)
+
+// Noise configures the probability of each corruption the simulated
+// model applies to otherwise correct responses. All values are in [0, 1]
+// and are sampled independently in the order of the struct fields; the
+// first hit wins.
+type Noise struct {
+	// NoJSON answers in plain prose with no code block (direct mode) or
+	// emits code without fences (codegen mode).
+	NoJSON float64
+	// WrongField emits {"reason", "result"} instead of "answer".
+	WrongField float64
+	// TypeMismatch stringifies the answer value.
+	TypeMismatch float64
+	// LenientJSON uses single quotes and trailing commas; the lenient
+	// parser should still accept it (a robustness, not a failure, path).
+	LenientJSON float64
+	// ExtraProse wraps the valid payload in extra chatter.
+	ExtraProse float64
+	// BuggyCode mutates generated code so example tests fail.
+	BuggyCode float64
+	// FeedbackCompliance divides all probabilities on retry (feedback)
+	// prompts; 0 means the default of 4.
+	FeedbackCompliance float64
+	// DirectBlind is the fraction of tasks the model consistently
+	// cannot answer directly (stable per task text; retries never
+	// help). It reproduces GPT-4 solving only 1138/1319 GSM8K problems
+	// (paper Table III).
+	DirectBlind float64
+	// CodegenBlind is the fraction of tasks the model consistently
+	// cannot implement as code, independent of DirectBlind (paper:
+	// 1114 of 1138 programs generated).
+	CodegenBlind float64
+}
+
+// DefaultNoise reflects roughly how often chat models deviate from the
+// requested format; it makes a handful of the paper's 50 tasks take >0
+// retries, matching Table II.
+func DefaultNoise() Noise {
+	return Noise{
+		NoJSON:       0.04,
+		WrongField:   0.04,
+		TypeMismatch: 0.05,
+		LenientJSON:  0.08,
+		ExtraProse:   0.25,
+		BuggyCode:    0.08,
+		DirectBlind:  0.12,
+		CodegenBlind: 0.02,
+	}
+}
+
+// Stats counts what the simulated model has served.
+type Stats struct {
+	Calls     int
+	Direct    int
+	Codegen   int
+	Unknown   int
+	Corrupted int
+	Feedback  int
+	TokensIn  int
+	TokensOut int
+}
+
+// Sim is the deterministic simulated LLM.
+type Sim struct {
+	// Seed drives all noise decisions; identical (seed, prompt) pairs
+	// always produce identical responses.
+	Seed int64
+	// Noise is the corruption model; zero value means no corruption.
+	Noise Noise
+	// Clock overrides the per-model latency model when non-zero.
+	Clock *Clock
+
+	mu      sync.Mutex
+	solvers []SolverFunc
+	synths  []SynthFunc
+	stats   Stats
+	seen    map[uint64]int
+}
+
+// NewSim returns a simulated model with the default skills registered
+// and the default noise model.
+func NewSim(seed int64) *Sim {
+	s := &Sim{Seed: seed, Noise: DefaultNoise()}
+	s.RegisterSolver(SolveCommonTask)
+	s.RegisterSolver(SolveWordProblem)
+	s.RegisterSolver(SolveSentiment)
+	s.RegisterSynth(SynthesizeCommonTask)
+	s.RegisterSynth(SynthesizeWordProblem)
+	return s
+}
+
+// RegisterSolver appends a direct-answer skill; earlier solvers win.
+func (s *Sim) RegisterSolver(f SolverFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.solvers = append(s.solvers, f)
+}
+
+// RegisterSynth appends a code-synthesis skill; earlier synths win.
+func (s *Sim) RegisterSynth(f SynthFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.synths = append(s.synths, f)
+}
+
+// Stats returns a snapshot of the usage counters.
+func (s *Sim) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+var _ Client = (*Sim)(nil)
+
+// Complete implements Client.
+func (s *Sim) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	feedback := strings.Contains(req.Prompt, "Your previous response was:")
+	basePrompt := req.Prompt
+	if feedback {
+		basePrompt = req.Prompt[:strings.Index(req.Prompt, "Your previous response was:")]
+	}
+	// Temperature-1.0 sampling is modelled by folding the number of
+	// times this exact prompt has been seen into the noise seed: a
+	// retried prompt draws fresh noise (paper §III-D: "we seek a
+	// certain level of randomness ... to ensure a unique response for
+	// each retry"), while a whole run stays reproducible.
+	s.mu.Lock()
+	if s.seen == nil {
+		s.seen = map[uint64]int{}
+	}
+	ph := promptHash(req.Prompt)
+	occurrence := s.seen[ph]
+	if req.Temperature > 0 {
+		s.seen[ph]++
+	}
+	s.mu.Unlock()
+	rng := newRNG(s.Seed+int64(occurrence)*1_000_003, req.Prompt)
+	noise := s.Noise
+	if feedback {
+		div := noise.FeedbackCompliance
+		if div <= 0 {
+			div = 4
+		}
+		noise = Noise{
+			NoJSON:       noise.NoJSON / div,
+			WrongField:   noise.WrongField / div,
+			TypeMismatch: noise.TypeMismatch / div,
+			LenientJSON:  noise.LenientJSON,
+			ExtraProse:   noise.ExtraProse,
+			BuggyCode:    noise.BuggyCode / div,
+			// Capability limits are not sampling noise: feedback never
+			// cures a blind spot.
+			DirectBlind:  noise.DirectBlind,
+			CodegenBlind: noise.CodegenBlind,
+		}
+	}
+
+	var text string
+	var kind string
+	switch {
+	case strings.Contains(basePrompt, "Q: Implement the following function:"):
+		text, kind = s.completeCodegen(basePrompt, rng, noise)
+	case strings.Contains(basePrompt, "generates responses in JSON format"):
+		text, kind = s.completeDirect(basePrompt, rng, noise)
+	default:
+		text, kind = "I'm not sure how to help with that request.", "unknown"
+	}
+
+	in := CountTokens(req.Prompt)
+	out := CountTokens(text)
+	clock := ModelClock(req.Model)
+	if s.Clock != nil {
+		clock = *s.Clock
+	}
+
+	s.mu.Lock()
+	s.stats.Calls++
+	s.stats.TokensIn += in
+	s.stats.TokensOut += out
+	if feedback {
+		s.stats.Feedback++
+	}
+	switch kind {
+	case "direct":
+		s.stats.Direct++
+	case "codegen":
+		s.stats.Codegen++
+	case "corrupted-direct":
+		s.stats.Direct++
+		s.stats.Corrupted++
+	case "corrupted-codegen":
+		s.stats.Codegen++
+		s.stats.Corrupted++
+	default:
+		s.stats.Unknown++
+	}
+	s.mu.Unlock()
+
+	return Response{
+		Text:    text,
+		Usage:   Usage{PromptTokens: in, CompletionTokens: out},
+		Latency: clock.Latency(in, out),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Direct-answer completion
+
+func (s *Sim) completeDirect(prompt string, rng *rng, noise Noise) (string, string) {
+	task, args, ok := ParseDirectPrompt(prompt)
+	if !ok {
+		return "I could not identify the task in your request.", "unknown"
+	}
+	// Stable blind spot: keyed by the task text alone (not the retry
+	// prompt), so retries never recover — the model simply cannot solve
+	// this instance.
+	if s.stableHit(noise.DirectBlind, "direct|"+task+argKey(args)) {
+		return "I worked through the problem but I am not confident in a final value.", "unknown"
+	}
+	var answer any
+	solved := false
+	s.mu.Lock()
+	solvers := append([]SolverFunc(nil), s.solvers...)
+	s.mu.Unlock()
+	for _, f := range solvers {
+		if v, hit := f(task, args); hit {
+			answer, solved = v, true
+			break
+		}
+	}
+	if !solved {
+		return "I'm sorry, I cannot determine the answer to this task.", "unknown"
+	}
+	reason := "Solving step by step: the task asks to " + strings.TrimSuffix(strings.ToLower(firstSentence(task)), ".") + "; computing the result directly."
+	payload := map[string]any{"reason": reason, "answer": answer}
+
+	switch {
+	case rng.hit(noise.NoJSON):
+		return "The answer is " + jsonx.Encode(answer) + ". Let me know if you need anything else!", "corrupted-direct"
+	case rng.hit(noise.WrongField):
+		bad := map[string]any{"reason": reason, "result": answer}
+		return "```json\n" + jsonx.EncodeIndent(bad, "  ") + "\n```\n", "corrupted-direct"
+	case rng.hit(noise.TypeMismatch):
+		bad := map[string]any{"reason": reason, "answer": jsonx.Encode(answer)}
+		if _, isStr := answer.(string); isStr {
+			bad["answer"] = map[string]any{"value": answer}
+		}
+		return "```json\n" + jsonx.EncodeIndent(bad, "  ") + "\n```\n", "corrupted-direct"
+	case rng.hit(noise.LenientJSON):
+		encoded := jsonx.EncodeIndent(payload, "  ")
+		var loose string
+		if !strings.Contains(encoded, "'") {
+			// Python-style single quotes.
+			loose = strings.ReplaceAll(encoded, `"`, `'`)
+		} else {
+			// Trailing comma flavour instead, so the payload stays
+			// parseable under the lenient grammar.
+			loose = strings.TrimSuffix(encoded, "\n}") + ",\n}"
+		}
+		return "Sure! Here is the result:\n```json\n" + loose + "\n```\n", "direct"
+	case rng.hit(noise.ExtraProse):
+		return "Let me work through this carefully.\n\n" +
+			"First, I identify the inputs; then I compute the answer.\n" +
+			"```json\n" + jsonx.EncodeIndent(payload, "  ") + "\n```\n" +
+			"I hope this helps!", "direct"
+	default:
+		return "```json\n" + jsonx.EncodeIndent(payload, "  ") + "\n```\n", "direct"
+	}
+}
+
+// ParseDirectPrompt recovers the task line and bound arguments from a
+// Listing 2 prompt. Exported for the engine's tests.
+func ParseDirectPrompt(prompt string) (task string, args map[string]any, ok bool) {
+	marker := "Explain your answer step-by-step in the 'reason' field.\n"
+	i := strings.Index(prompt, marker)
+	if i < 0 {
+		return "", nil, false
+	}
+	rest := strings.TrimSpace(prompt[i+len(marker):])
+	// Skip an optional Examples: block.
+	if strings.HasPrefix(rest, "Examples:") {
+		lines := strings.Split(rest, "\n")
+		j := 1
+		for j < len(lines) && strings.HasPrefix(strings.TrimSpace(lines[j]), "-") {
+			j++
+		}
+		rest = strings.TrimSpace(strings.Join(lines[j:], "\n"))
+	}
+	args = map[string]any{}
+	whereIdx := strings.LastIndex(rest, "\nwhere ")
+	if whereIdx < 0 {
+		return strings.TrimSpace(rest), args, rest != ""
+	}
+	task = strings.TrimSpace(rest[:whereIdx])
+	clause := strings.TrimSpace(rest[whereIdx+len("\nwhere "):])
+	parsed, ok := parseWhereClause(clause)
+	if !ok {
+		return task, args, false
+	}
+	return task, parsed, true
+}
+
+// parseWhereClause parses "'n' = 5, 'subject' = \"cs\"" into a map.
+func parseWhereClause(clause string) (map[string]any, bool) {
+	args := map[string]any{}
+	i := 0
+	for i < len(clause) {
+		for i < len(clause) && (clause[i] == ' ' || clause[i] == ',') {
+			i++
+		}
+		if i >= len(clause) {
+			break
+		}
+		if clause[i] != '\'' {
+			return nil, false
+		}
+		end := strings.IndexByte(clause[i+1:], '\'')
+		if end < 0 {
+			return nil, false
+		}
+		name := clause[i+1 : i+1+end]
+		i += end + 2
+		for i < len(clause) && (clause[i] == ' ' || clause[i] == '=') {
+			i++
+		}
+		v, n, err := jsonx.ParsePrefix(clause[i:], jsonx.Lenient)
+		if err != nil {
+			return nil, false
+		}
+		args[name] = v
+		i += n
+	}
+	return args, true
+}
+
+// ---------------------------------------------------------------------------
+// Codegen completion
+
+func (s *Sim) completeCodegen(prompt string, rng *rng, noise Noise) (string, string) {
+	task, ok := ParseCodegenPrompt(prompt)
+	if !ok {
+		return "I could not parse the function you want me to implement.", "unknown"
+	}
+	if s.stableHit(noise.CodegenBlind, "codegen|"+task.Name+"|"+task.Task) {
+		return "I'm sorry, I was not able to produce a working implementation for this function.", "unknown"
+	}
+	var src string
+	solved := false
+	s.mu.Lock()
+	synths := append([]SynthFunc(nil), s.synths...)
+	s.mu.Unlock()
+	for _, f := range synths {
+		if out, hit := f(task); hit {
+			src, solved = out, true
+			break
+		}
+	}
+	if !solved {
+		return "I'm sorry, I don't know how to implement this function.", "unknown"
+	}
+
+	switch {
+	case rng.hit(noise.BuggyCode):
+		if mutated, changed := MutateSource(src); changed {
+			return "A:\n```typescript\n" + mutated + "```\n", "corrupted-codegen"
+		}
+		return "A:\n```typescript\n" + src + "```\n", "codegen"
+	case rng.hit(noise.NoJSON):
+		return "A: Here is the implementation:\n\n" + src + "\n", "corrupted-codegen"
+	case rng.hit(noise.ExtraProse):
+		return "A: Certainly! The function below implements the requested behaviour.\n" +
+			"```typescript\n" + src + "```\nFeel free to ask for adjustments.", "codegen"
+	default:
+		return "A:\n```typescript\n" + src + "```\n", "codegen"
+	}
+}
+
+// ParseCodegenPrompt extracts the final task of a Figure 4 prompt: the
+// function signature (name, parameter types, return type) and the body
+// comment describing the task.
+func ParseCodegenPrompt(prompt string) (CodegenTask, bool) {
+	blocks := jsonx.Blocks(prompt)
+	if len(blocks) == 0 {
+		return CodegenTask{}, false
+	}
+	body := blocks[len(blocks)-1].Body
+	// The body is an exported function with an empty body and a comment.
+	prog, err := minilang.Parse(body)
+	if err != nil {
+		return CodegenTask{}, false
+	}
+	funcs := prog.Funcs()
+	if len(funcs) != 1 {
+		return CodegenTask{}, false
+	}
+	var fd *minilang.FuncDecl
+	for _, f := range funcs {
+		fd = f
+	}
+	task := CodegenTask{Name: fd.Name, Return: fd.ReturnType}
+	for _, p := range fd.Params {
+		t := p.Type
+		if t == nil {
+			t = types.Any
+		}
+		task.Params = append(task.Params, types.Field{Name: p.Name, Type: t})
+	}
+	if task.Return == nil {
+		task.Return = types.Void
+	}
+	// Extract the comment line textually (the lexer drops comments).
+	for _, line := range strings.Split(body, "\n") {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "//") {
+			task.Task = strings.TrimSpace(strings.TrimPrefix(t, "//"))
+			break
+		}
+	}
+	if task.Task == "" {
+		return CodegenTask{}, false
+	}
+	return task, true
+}
+
+// MutateSource applies a small semantics-changing, syntax-preserving
+// mutation to minilang source, for the BuggyCode noise path. It returns
+// the mutated source and whether a usable mutation was found.
+func MutateSource(src string) (string, bool) {
+	mutations := []struct{ from, to string }{
+		{"<=", "<"},
+		{">=", ">"},
+		{"+ 1", "+ 2"},
+		{"- 1", "- 2"},
+		{"* i", "* (i + 1)"},
+		{"return 1;", "return 2;"},
+		{"+", "-"},
+	}
+	for _, m := range mutations {
+		if !strings.Contains(src, m.from) {
+			continue
+		}
+		out := strings.ReplaceAll(src, m.from, m.to)
+		if out == src {
+			continue
+		}
+		if _, err := minilang.Parse(out); err != nil {
+			continue
+		}
+		return out, true
+	}
+	return src, false
+}
+
+func firstSentence(s string) string {
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return s[:i+1]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+
+// stableHit draws a deterministic Bernoulli keyed by (seed, key) only —
+// unlike the per-response rng it ignores retry counts, modelling
+// capability limits rather than sampling noise.
+func (s *Sim) stableHit(p float64, key string) bool {
+	if p <= 0 {
+		return false
+	}
+	r := newRNG(s.Seed, key)
+	return r.hit(p)
+}
+
+// argKey folds direct-task argument values into the blind-spot key, so
+// different instances of one template fail independently.
+func argKey(args map[string]any) string {
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, jsonx.Encode(args[k]))
+	}
+	return b.String()
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+func promptHash(prompt string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(prompt))
+	return h.Sum64()
+}
+
+type rng struct{ state uint64 }
+
+func newRNG(seed int64, prompt string) *rng {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|", seed)
+	h.Write([]byte(prompt))
+	st := h.Sum64()
+	if st == 0 {
+		st = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: st}
+}
+
+func (r *rng) next() uint64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return r.state
+}
+
+// hit draws a uniform float in [0,1) and reports whether it is < p.
+func (r *rng) hit(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return float64(r.next()>>11)/float64(1<<53) < p
+}

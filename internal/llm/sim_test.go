@@ -1,0 +1,316 @@
+package llm
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/jsonx"
+	"repro/internal/minilang"
+	"repro/internal/prompt"
+	"repro/internal/template"
+	"repro/internal/types"
+)
+
+func directPrompt(t *testing.T, tpl string, args map[string]any, ret types.Type) string {
+	t.Helper()
+	p, err := prompt.BuildDirect(prompt.DirectSpec{
+		Template: template.MustParse(tpl),
+		Args:     args,
+		Return:   ret,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseDirectPrompt(t *testing.T) {
+	p := directPrompt(t, "List {{n}} classic books on {{subject}}.",
+		map[string]any{"n": 5, "subject": "computer science"}, types.List(types.Str))
+	task, args, ok := ParseDirectPrompt(p)
+	if !ok {
+		t.Fatalf("parse failed:\n%s", p)
+	}
+	if task != "List 'n' classic books on 'subject'." {
+		t.Errorf("task = %q", task)
+	}
+	if args["n"] != 5.0 || args["subject"] != "computer science" {
+		t.Errorf("args = %v", args)
+	}
+}
+
+func TestParseDirectPromptArrays(t *testing.T) {
+	p := directPrompt(t, "Sort the numbers {{ns}} in ascending order.",
+		map[string]any{"ns": []any{3.0, 1.0, 2.0}}, types.List(types.Float))
+	_, args, ok := ParseDirectPrompt(p)
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	arr, ok := args["ns"].([]any)
+	if !ok || len(arr) != 3 || arr[0] != 3.0 {
+		t.Errorf("ns = %#v", args["ns"])
+	}
+}
+
+func TestSimDirectAnswer(t *testing.T) {
+	sim := NewSim(1)
+	sim.Noise = Noise{} // no corruption
+	p := directPrompt(t, "Reverse the string {{s}}.", map[string]any{"s": "hello"}, types.Str)
+	resp, err := sim.Complete(context.Background(), Request{Prompt: p, Model: "gpt-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := jsonx.ExtractJSON(resp.Text)
+	if err != nil {
+		t.Fatalf("no JSON in %q", resp.Text)
+	}
+	m := v.(map[string]any)
+	if m["answer"] != "olleh" {
+		t.Errorf("answer = %v", m["answer"])
+	}
+	if _, ok := m["reason"].(string); !ok {
+		t.Error("missing reason field")
+	}
+	if resp.Latency <= 0 {
+		t.Error("latency not modelled")
+	}
+	if resp.Usage.PromptTokens == 0 || resp.Usage.CompletionTokens == 0 {
+		t.Error("usage not modelled")
+	}
+}
+
+func TestSimWordProblem(t *testing.T) {
+	sim := NewSim(1)
+	sim.Noise = Noise{}
+	p := directPrompt(t,
+		"{{name}} has {{a}} {{item}}. {{name}} buys {{b}} more {{item}} and then gives away {{c}} {{item}}. How many {{item}} does {{name}} have left?",
+		map[string]any{"name": "Ada", "a": 12.0, "item": "apples", "b": 7.0, "c": 3.0},
+		types.Float)
+	resp, err := sim.Complete(context.Background(), Request{Prompt: p, Model: "gpt-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := jsonx.ExtractJSON(resp.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(map[string]any)["answer"] != 16.0 {
+		t.Errorf("answer = %v", v.(map[string]any)["answer"])
+	}
+}
+
+func TestSimUnknownTask(t *testing.T) {
+	sim := NewSim(1)
+	p := directPrompt(t, "Translate the Voynich manuscript into {{lang}}.",
+		map[string]any{"lang": "English"}, types.Str)
+	resp, err := sim.Complete(context.Background(), Request{Prompt: p, Model: "gpt-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jsonx.ExtractJSON(resp.Text); err == nil {
+		t.Errorf("unknown task should not produce JSON: %q", resp.Text)
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	p := directPrompt(t, "Reverse the string {{s}}.", map[string]any{"s": "determinism"}, types.Str)
+	a, _ := NewSim(7).Complete(context.Background(), Request{Prompt: p})
+	b, _ := NewSim(7).Complete(context.Background(), Request{Prompt: p})
+	if a.Text != b.Text {
+		t.Error("same seed+prompt must give identical responses")
+	}
+	c, _ := NewSim(8).Complete(context.Background(), Request{Prompt: p + " "})
+	_ = c // different prompt may differ; no assertion needed
+}
+
+func TestSimCodegen(t *testing.T) {
+	sim := NewSim(1)
+	sim.Noise = Noise{}
+	spec := prompt.CodegenSpec{
+		FuncName: "calculateFactorial",
+		Template: template.MustParse("Calculate the factorial of {{n}}."),
+		Params:   []types.Field{{Name: "n", Type: types.Float}},
+		Return:   types.Float,
+	}
+	p, err := prompt.BuildCodegen(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sim.Complete(context.Background(), Request{Prompt: p, Model: "gpt-3.5-turbo-16k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := jsonx.ExtractBlock(resp.Text, "typescript", true)
+	if err != nil {
+		t.Fatalf("no code block in %q", resp.Text)
+	}
+	cf, err := minilang.CompileFunction(code, "calculateFactorial")
+	if err != nil {
+		t.Fatalf("generated code does not compile: %v\n%s", err, code)
+	}
+	v, err := cf.Call(map[string]any{"n": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 120.0 {
+		t.Errorf("factorial(5) = %v", v)
+	}
+}
+
+func TestParseCodegenPrompt(t *testing.T) {
+	spec := prompt.CodegenSpec{
+		FuncName: "sortNumbers",
+		Template: template.MustParse("Sort the numbers {{ns}} in ascending order."),
+		Params:   []types.Field{{Name: "ns", Type: types.List(types.Float)}},
+		Return:   types.List(types.Float),
+	}
+	p, err := prompt.BuildCodegen(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, ok := ParseCodegenPrompt(p)
+	if !ok {
+		t.Fatalf("parse failed:\n%s", p)
+	}
+	if task.Name != "sortNumbers" {
+		t.Errorf("name = %q", task.Name)
+	}
+	if task.Task != "Sort the numbers 'ns' in ascending order." {
+		t.Errorf("task = %q", task.Task)
+	}
+	if len(task.Params) != 1 || task.Params[0].Type.TS() != "number[]" {
+		t.Errorf("params = %+v", task.Params)
+	}
+	if task.Return.TS() != "number[]" {
+		t.Errorf("return = %s", task.Return.TS())
+	}
+}
+
+func TestMutateSourceChangesSemantics(t *testing.T) {
+	src := `export function f({n}: {n: number}): number {
+  let result = 1;
+  for (let i = 2; i <= n; i++) {
+    result *= i;
+  }
+  return result;
+}`
+	mutated, changed := MutateSource(src)
+	if !changed {
+		t.Fatal("no mutation applied")
+	}
+	if mutated == src {
+		t.Fatal("mutation did not change source")
+	}
+	if _, err := minilang.Parse(mutated); err != nil {
+		t.Fatalf("mutated source does not parse: %v\n%s", err, mutated)
+	}
+	a, err := minilang.CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := minilang.CompileFunction(mutated, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := a.Call(map[string]any{"n": 6})
+	vb, _ := b.Call(map[string]any{"n": 6})
+	if va == vb {
+		t.Errorf("mutation preserved behaviour: %v == %v", va, vb)
+	}
+}
+
+func TestNoiseProducesFailuresAndRecovery(t *testing.T) {
+	// With aggressive noise, some responses must be malformed; with a
+	// feedback prompt, the compliance divisor makes recovery likely.
+	sim := NewSim(99)
+	sim.Noise = Noise{NoJSON: 0.5}
+	p := directPrompt(t, "Reverse the string {{s}}.", map[string]any{"s": "x"}, types.Str)
+	fails := 0
+	for i := 0; i < 40; i++ {
+		// Vary the prompt to draw fresh noise.
+		resp, err := sim.Complete(context.Background(), Request{Prompt: p + strings.Repeat(" ", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := jsonx.ExtractJSON(resp.Text); err != nil {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Error("expected some corrupted responses at 50% noise")
+	}
+	if fails == 40 {
+		t.Error("expected some clean responses at 50% noise")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	sim := NewSim(1)
+	sim.Noise = Noise{}
+	p := directPrompt(t, "Reverse the string {{s}}.", map[string]any{"s": "x"}, types.Str)
+	for i := 0; i < 3; i++ {
+		if _, err := sim.Complete(context.Background(), Request{Prompt: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sim.Stats()
+	if st.Calls != 3 || st.Direct != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.TokensIn == 0 || st.TokensOut == 0 {
+		t.Errorf("token accounting missing: %+v", st)
+	}
+}
+
+func TestModelClockOrdering(t *testing.T) {
+	g4 := ModelClock("gpt-4").Latency(100, 100)
+	g35 := ModelClock("gpt-3.5-turbo-16k").Latency(100, 100)
+	if g4 <= g35 {
+		t.Errorf("gpt-4 should be slower: %v vs %v", g4, g35)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	sim := NewSim(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.Complete(ctx, Request{Prompt: "x"}); err == nil {
+		t.Error("expected context error")
+	}
+}
+
+func TestParseWhereClauseEdgeCases(t *testing.T) {
+	args, ok := parseWhereClause(`'s' = "a, b = c", 'n' = -3.5, 'flag' = true, 'xs' = [1, [2]], 'o' = {"k": "v"}`)
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if args["s"] != "a, b = c" || args["n"] != -3.5 || args["flag"] != true {
+		t.Errorf("args = %#v", args)
+	}
+	if _, ok := args["xs"].([]any); !ok {
+		t.Errorf("xs = %#v", args["xs"])
+	}
+	if _, ok := args["o"].(map[string]any); !ok {
+		t.Errorf("o = %#v", args["o"])
+	}
+}
+
+func BenchmarkSimDirect(b *testing.B) {
+	sim := NewSim(1)
+	p, err := prompt.BuildDirect(prompt.DirectSpec{
+		Template: template.MustParse("Reverse the string {{s}}."),
+		Args:     map[string]any{"s": "benchmark"},
+		Return:   types.Str,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Complete(context.Background(), Request{Prompt: p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

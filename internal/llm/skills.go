@@ -1,0 +1,118 @@
+package llm
+
+import (
+	"strings"
+
+	"repro/internal/tasks"
+	"repro/internal/types"
+)
+
+// The default skills adapt the shared task catalogs (internal/tasks) to
+// the Sim interfaces. Matching happens on the normalized task phrasing
+// recovered from the prompt — the same information a hosted model sees.
+
+// SolveCommonTask answers the 50 common coding tasks and the
+// HumanEval-like tasks directly.
+func SolveCommonTask(task string, args map[string]any) (any, bool) {
+	return solveFromCatalogs(task, args, tasks.Common, tasks.HumanEval)
+}
+
+// SolveWordProblem answers GSM8K-style word problems directly.
+func SolveWordProblem(task string, args map[string]any) (any, bool) {
+	return solveFromCatalogs(task, args, tasks.Word)
+}
+
+func solveFromCatalogs(task string, args map[string]any, cats ...*tasks.Catalog) (any, bool) {
+	for _, cat := range cats {
+		spec, names, ok := cat.Lookup(task)
+		if !ok {
+			continue
+		}
+		if !spec.Directly {
+			return nil, false
+		}
+		v, err := spec.SolveNamed(names, args)
+		if err != nil {
+			return nil, false
+		}
+		return v, true
+	}
+	return nil, false
+}
+
+// SynthesizeCommonTask writes code for the common and HumanEval-like
+// catalogs.
+func SynthesizeCommonTask(t CodegenTask) (string, bool) {
+	return synthFromCatalogs(t, tasks.Common, tasks.HumanEval)
+}
+
+// SynthesizeWordProblem writes straight-line arithmetic code for word
+// problems.
+func SynthesizeWordProblem(t CodegenTask) (string, bool) {
+	return synthFromCatalogs(t, tasks.Word)
+}
+
+func synthFromCatalogs(t CodegenTask, cats ...*tasks.Catalog) (string, bool) {
+	for _, cat := range cats {
+		spec, names, ok := cat.Lookup(t.Task)
+		if !ok {
+			continue
+		}
+		if !spec.Codable || spec.Hard || len(names) != len(spec.Params) {
+			continue
+		}
+		return spec.Source(t.Name, names), true
+	}
+	return "", false
+}
+
+// SolveSentiment handles the paper's motivating example (§II-A1):
+// sentiment classification of a product review. A lexicon stands in for
+// the language model's judgement — the path through prompt, envelope,
+// union-type validation and decoding is identical either way.
+func SolveSentiment(task string, args map[string]any) (any, bool) {
+	key, names := tasks.NormalizeTask(task)
+	switch key {
+	case "what is the sentiment of <1>?",
+		"determine the sentiment of this review: <1>",
+		"determine the sentiment of <1>.",
+		"classify the sentiment of the review <1>.":
+	default:
+		return nil, false
+	}
+	if len(names) != 1 {
+		return nil, false
+	}
+	review, ok := args[names[0]].(string)
+	if !ok {
+		return nil, false
+	}
+	score := 0
+	for _, w := range strings.FieldsFunc(strings.ToLower(review), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z')
+	}) {
+		switch w {
+		case "fantastic", "great", "excellent", "love", "amazing", "good",
+			"wonderful", "exceeds", "perfect", "happy", "best", "superb":
+			score++
+		case "terrible", "bad", "awful", "broke", "broken", "poor", "hate",
+			"disappointing", "worst", "useless", "defective", "refund":
+			score--
+		}
+	}
+	if score >= 0 {
+		return "positive", true
+	}
+	return "negative", true
+}
+
+// ParamFieldsFromNames builds a types.Field slice for actual parameter
+// names using a spec's canonical types; helper shared by datasets.
+func ParamFieldsFromNames(spec *tasks.Spec, names []string) []types.Field {
+	canonical := spec.ParamTypes()
+	out := make([]types.Field, len(names))
+	for i, n := range names {
+		out[i] = types.Field{Name: n, Type: canonical[i].Type}
+	}
+	return out
+}

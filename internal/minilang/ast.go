@@ -1,0 +1,320 @@
+package minilang
+
+import "repro/internal/types"
+
+// Node is any AST node.
+type Node interface {
+	NodePos() Pos
+}
+
+type base struct{ P Pos }
+
+func (b base) NodePos() Pos { return b.P }
+
+// ---------------------------------------------------------------------------
+// Program and declarations
+
+// Program is a parsed minilang source file: a list of statements, usually
+// one exported function declaration.
+type Program struct {
+	base
+	Stmts []Stmt
+}
+
+// Funcs returns the top-level function declarations by name.
+func (p *Program) Funcs() map[string]*FuncDecl {
+	out := map[string]*FuncDecl{}
+	for _, s := range p.Stmts {
+		if fd, ok := s.(*FuncDecl); ok {
+			out[fd.Name] = fd
+		}
+	}
+	return out
+}
+
+// Param is a named function parameter with an optional type annotation.
+type Param struct {
+	Name string
+	Type types.Type // may be nil when unannotated
+	Pos  Pos
+}
+
+// FuncDecl is `function name({a, b}: {a: T, b: T}): R { ... }` or
+// `function name(a, b) { ... }`. Destructured named-parameter style is
+// the form AskIt generates (paper §III-D); positional style is accepted
+// for hand-written helpers.
+type FuncDecl struct {
+	base
+	Name       string
+	Params     []Param
+	Named      bool // true when the parameter list is a destructured object
+	ReturnType types.Type
+	Body       *BlockStmt
+	Exported   bool
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// BlockStmt is `{ ... }`.
+type BlockStmt struct {
+	base
+	Stmts []Stmt
+}
+
+// VarDecl is `let|const|var name[: T] = init`. Init may be nil for `let x;`.
+type VarDecl struct {
+	base
+	Keyword string // let, const, var
+	Name    string
+	Type    types.Type // may be nil
+	Init    Expr
+}
+
+// AssignStmt is `target op value` where op is =, +=, -=, *=, /=, %=.
+// Target is an identifier, member or index expression.
+type AssignStmt struct {
+	base
+	Target Expr
+	Op     string
+	Value  Expr
+}
+
+// IncDecStmt is `x++` or `x--` used as a statement.
+type IncDecStmt struct {
+	base
+	Target Expr
+	Op     string // "++" or "--"
+}
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	base
+	X Expr
+}
+
+// IfStmt is `if (cond) then [else else]`.
+type IfStmt struct {
+	base
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is `while (cond) body`.
+type WhileStmt struct {
+	base
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is the classic `for (init; cond; post) body`. Init is a
+// *VarDecl, *AssignStmt or nil; Post is a statement or nil.
+type ForStmt struct {
+	base
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+// ForOfStmt is `for (const x of seq) body`. When In is true it is a
+// for..in loop (iterating object keys / array indices).
+type ForOfStmt struct {
+	base
+	Keyword string
+	Name    string
+	Seq     Expr
+	Body    Stmt
+	In      bool
+}
+
+// ReturnStmt is `return [expr]`.
+type ReturnStmt struct {
+	base
+	Value Expr // may be nil
+}
+
+// BreakStmt is `break`.
+type BreakStmt struct{ base }
+
+// ContinueStmt is `continue`.
+type ContinueStmt struct{ base }
+
+// ThrowStmt is `throw expr`. The interpreter turns it into a RuntimeError.
+type ThrowStmt struct {
+	base
+	Value Expr
+}
+
+func (*BlockStmt) stmt()    {}
+func (*VarDecl) stmt()      {}
+func (*AssignStmt) stmt()   {}
+func (*IncDecStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ForOfStmt) stmt()    {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ThrowStmt) stmt()    {}
+func (*FuncDecl) stmt()     {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	expr()
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	base
+	Value float64
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	base
+	Value string
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	base
+	Value bool
+}
+
+// NullLit is null or undefined.
+type NullLit struct{ base }
+
+// Ident is a variable reference.
+type Ident struct {
+	base
+	Name string
+}
+
+// ArrayLit is `[a, b, ...c]`.
+type ArrayLit struct {
+	base
+	Elems   []Expr
+	Spreads []bool // parallel to Elems; true when the element is ...spread
+}
+
+// ObjectField is one `key: value` (or shorthand `key`) in an object literal.
+type ObjectField struct {
+	Key   string
+	Value Expr // nil for shorthand {x}
+}
+
+// ObjectLit is `{ a: 1, b }`.
+type ObjectLit struct {
+	base
+	Fields []ObjectField
+}
+
+// TemplateLit is `a ${x} b`: alternating literal chunks and expressions.
+// len(Chunks) == len(Exprs)+1.
+type TemplateLit struct {
+	base
+	Chunks []string
+	Exprs  []Expr
+}
+
+// UnaryExpr is `-x`, `!x`, `+x`, `typeof x`.
+type UnaryExpr struct {
+	base
+	Op string
+	X  Expr
+}
+
+// BinaryExpr is a binary operation. `==`/`!=` are normalized to strict
+// semantics on parse (generated code uses them interchangeably).
+type BinaryExpr struct {
+	base
+	Op   string
+	L, R Expr
+}
+
+// CondExpr is `cond ? a : b`.
+type CondExpr struct {
+	base
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// MemberExpr is `x.name`.
+type MemberExpr struct {
+	base
+	X    Expr
+	Name string
+	Opt  bool // optional chaining x?.name
+}
+
+// IndexExpr is `x[i]`.
+type IndexExpr struct {
+	base
+	X     Expr
+	Index Expr
+}
+
+// CallExpr is `f(args...)` or `x.m(args...)`.
+type CallExpr struct {
+	base
+	Fn      Expr
+	Args    []Expr
+	Spreads []bool // parallel to Args
+}
+
+// NewExpr is `new Ctor(args...)`; only a few constructors are supported
+// by the runtime (Set, Map, Array, Error, Date).
+type NewExpr struct {
+	base
+	Ctor string
+	Args []Expr
+}
+
+// ArrowFunc is `(a, b) => expr` or `(a, b) => { ... }`.
+type ArrowFunc struct {
+	base
+	Params []Param
+	Expr   Expr       // non-nil for expression bodies
+	Body   *BlockStmt // non-nil for block bodies
+}
+
+// FuncLit is a `function (a, b) { ... }` expression.
+type FuncLit struct {
+	base
+	Params []Param
+	Named  bool
+	Body   *BlockStmt
+}
+
+func (*NumberLit) expr()   {}
+func (*StringLit) expr()   {}
+func (*BoolLit) expr()     {}
+func (*NullLit) expr()     {}
+func (*Ident) expr()       {}
+func (*ArrayLit) expr()    {}
+func (*ObjectLit) expr()   {}
+func (*TemplateLit) expr() {}
+func (*UnaryExpr) expr()   {}
+func (*BinaryExpr) expr()  {}
+func (*CondExpr) expr()    {}
+func (*MemberExpr) expr()  {}
+func (*IndexExpr) expr()   {}
+func (*CallExpr) expr()    {}
+func (*NewExpr) expr()     {}
+func (*ArrowFunc) expr()   {}
+func (*FuncLit) expr()     {}

@@ -1,0 +1,1017 @@
+package minilang
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/jsonx"
+)
+
+// member resolves property reads (not method calls) on a value.
+func (in *Interp) member(obj any, name string, at Pos) (any, error) {
+	switch x := obj.(type) {
+	case *Array:
+		if name == "length" {
+			return float64(len(x.Elems)), nil
+		}
+	case string:
+		if name == "length" {
+			return float64(len([]rune(x))), nil
+		}
+	case map[string]any:
+		return x[name], nil
+	case *CallableObj:
+		if v, ok := x.Props[name]; ok {
+			return v, nil
+		}
+	case *SetVal:
+		if name == "size" {
+			return float64(x.Len()), nil
+		}
+	case *MapVal:
+		if name == "size" {
+			return float64(x.Len()), nil
+		}
+	case nil:
+		return nil, &RuntimeError{Pos: at, Msg: fmt.Sprintf("cannot read property %q of null", name)}
+	}
+	return nil, &RuntimeError{Pos: at, Msg: fmt.Sprintf("unknown property %q on %s", name, TypeOf(obj))}
+}
+
+// callMethod dispatches a method call on a receiver. The bool result
+// reports whether the (receiver kind, name) pair names a built-in method.
+func (in *Interp) callMethod(recv any, name string, args []any, at Pos) (any, bool, error) {
+	switch x := recv.(type) {
+	case *Array:
+		return in.arrayMethod(x, name, args, at)
+	case string:
+		return stringMethod(x, name, args, at)
+	case *SetVal:
+		return setMethod(x, name, args)
+	case *MapVal:
+		return mapMethod(x, name, args)
+	case map[string]any:
+		if v, ok := x[name]; ok {
+			if _, isFn := v.(*Closure); isFn {
+				out, err := in.Call(v, args, at)
+				return out, true, err
+			}
+			if _, isFn := v.(*Builtin); isFn {
+				out, err := in.Call(v, args, at)
+				return out, true, err
+			}
+		}
+		switch name {
+		case "hasOwnProperty":
+			if len(args) == 1 {
+				_, ok := x[ToString(args[0])]
+				return ok, true, nil
+			}
+		case "toString":
+			return ToString(x), true, nil
+		}
+		return nil, false, nil
+	case float64:
+		switch name {
+		case "toFixed":
+			digits := 0
+			if len(args) > 0 {
+				digits = int(ToNumber(args[0]))
+			}
+			return strconv.FormatFloat(x, 'f', digits, 64), true, nil
+		case "toString":
+			return formatNum(x), true, nil
+		}
+		return nil, false, nil
+	}
+	return nil, false, nil
+}
+
+func (in *Interp) arrayMethod(arr *Array, name string, args []any, at Pos) (any, bool, error) {
+	argN := func(i int) float64 {
+		if i < len(args) {
+			return ToNumber(args[i])
+		}
+		return 0
+	}
+	switch name {
+	case "push":
+		arr.Elems = append(arr.Elems, args...)
+		return float64(len(arr.Elems)), true, nil
+	case "pop":
+		if len(arr.Elems) == 0 {
+			return nil, true, nil
+		}
+		v := arr.Elems[len(arr.Elems)-1]
+		arr.Elems = arr.Elems[:len(arr.Elems)-1]
+		return v, true, nil
+	case "shift":
+		if len(arr.Elems) == 0 {
+			return nil, true, nil
+		}
+		v := arr.Elems[0]
+		arr.Elems = arr.Elems[1:]
+		return v, true, nil
+	case "unshift":
+		arr.Elems = append(append([]any{}, args...), arr.Elems...)
+		return float64(len(arr.Elems)), true, nil
+	case "slice":
+		start, end := sliceBounds(len(arr.Elems), args)
+		out := append([]any(nil), arr.Elems[start:end]...)
+		return &Array{Elems: out}, true, nil
+	case "splice":
+		start := clampIndex(int(argN(0)), len(arr.Elems))
+		count := len(arr.Elems) - start
+		if len(args) > 1 {
+			count = int(argN(1))
+		}
+		if count < 0 {
+			count = 0
+		}
+		if start+count > len(arr.Elems) {
+			count = len(arr.Elems) - start
+		}
+		removed := append([]any(nil), arr.Elems[start:start+count]...)
+		var inserted []any
+		if len(args) > 2 {
+			inserted = args[2:]
+		}
+		tail := append([]any(nil), arr.Elems[start+count:]...)
+		arr.Elems = append(arr.Elems[:start], append(inserted, tail...)...)
+		return &Array{Elems: removed}, true, nil
+	case "concat":
+		out := append([]any(nil), arr.Elems...)
+		for _, a := range args {
+			if other, ok := a.(*Array); ok {
+				out = append(out, other.Elems...)
+			} else {
+				out = append(out, a)
+			}
+		}
+		return &Array{Elems: out}, true, nil
+	case "indexOf":
+		for i, e := range arr.Elems {
+			if len(args) > 0 && StrictEqual(e, args[0]) {
+				return float64(i), true, nil
+			}
+		}
+		return -1.0, true, nil
+	case "lastIndexOf":
+		for i := len(arr.Elems) - 1; i >= 0; i-- {
+			if len(args) > 0 && StrictEqual(arr.Elems[i], args[0]) {
+				return float64(i), true, nil
+			}
+		}
+		return -1.0, true, nil
+	case "includes":
+		for _, e := range arr.Elems {
+			if len(args) > 0 && StrictEqual(e, args[0]) {
+				return true, true, nil
+			}
+		}
+		return false, true, nil
+	case "join":
+		sep := ","
+		if len(args) > 0 {
+			sep = ToString(args[0])
+		}
+		parts := make([]string, len(arr.Elems))
+		for i, e := range arr.Elems {
+			if e != nil {
+				parts[i] = ToString(e)
+			}
+		}
+		return strings.Join(parts, sep), true, nil
+	case "reverse":
+		for i, j := 0, len(arr.Elems)-1; i < j; i, j = i+1, j-1 {
+			arr.Elems[i], arr.Elems[j] = arr.Elems[j], arr.Elems[i]
+		}
+		return arr, true, nil
+	case "sort":
+		var sortErr error
+		if len(args) == 1 {
+			cmp := args[0]
+			sort.SliceStable(arr.Elems, func(i, j int) bool {
+				if sortErr != nil {
+					return false
+				}
+				v, err := in.Call(cmp, []any{arr.Elems[i], arr.Elems[j]}, at)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				return ToNumber(v) < 0
+			})
+		} else {
+			// JS default sort: by string representation.
+			sort.SliceStable(arr.Elems, func(i, j int) bool {
+				return ToString(arr.Elems[i]) < ToString(arr.Elems[j])
+			})
+		}
+		return arr, true, sortErr
+	case "map":
+		out := make([]any, len(arr.Elems))
+		for i, e := range arr.Elems {
+			v, err := in.callIter(args, []any{e, float64(i), arr}, at)
+			if err != nil {
+				return nil, true, err
+			}
+			out[i] = v
+		}
+		return &Array{Elems: out}, true, nil
+	case "filter":
+		var out []any
+		for i, e := range arr.Elems {
+			v, err := in.callIter(args, []any{e, float64(i), arr}, at)
+			if err != nil {
+				return nil, true, err
+			}
+			if Truthy(v) {
+				out = append(out, e)
+			}
+		}
+		return &Array{Elems: out}, true, nil
+	case "forEach":
+		for i, e := range arr.Elems {
+			if _, err := in.callIter(args, []any{e, float64(i), arr}, at); err != nil {
+				return nil, true, err
+			}
+		}
+		return nil, true, nil
+	case "reduce":
+		var acc any
+		start := 0
+		if len(args) > 1 {
+			acc = args[1]
+		} else {
+			if len(arr.Elems) == 0 {
+				return nil, true, &RuntimeError{Pos: at, Msg: "reduce of empty array with no initial value"}
+			}
+			acc = arr.Elems[0]
+			start = 1
+		}
+		for i := start; i < len(arr.Elems); i++ {
+			v, err := in.callIter(args, []any{acc, arr.Elems[i], float64(i), arr}, at)
+			if err != nil {
+				return nil, true, err
+			}
+			acc = v
+		}
+		return acc, true, nil
+	case "some":
+		for i, e := range arr.Elems {
+			v, err := in.callIter(args, []any{e, float64(i), arr}, at)
+			if err != nil {
+				return nil, true, err
+			}
+			if Truthy(v) {
+				return true, true, nil
+			}
+		}
+		return false, true, nil
+	case "every":
+		for i, e := range arr.Elems {
+			v, err := in.callIter(args, []any{e, float64(i), arr}, at)
+			if err != nil {
+				return nil, true, err
+			}
+			if !Truthy(v) {
+				return false, true, nil
+			}
+		}
+		return true, true, nil
+	case "find":
+		for i, e := range arr.Elems {
+			v, err := in.callIter(args, []any{e, float64(i), arr}, at)
+			if err != nil {
+				return nil, true, err
+			}
+			if Truthy(v) {
+				return e, true, nil
+			}
+		}
+		return nil, true, nil
+	case "findIndex":
+		for i, e := range arr.Elems {
+			v, err := in.callIter(args, []any{e, float64(i), arr}, at)
+			if err != nil {
+				return nil, true, err
+			}
+			if Truthy(v) {
+				return float64(i), true, nil
+			}
+		}
+		return -1.0, true, nil
+	case "flat":
+		depth := 1
+		if len(args) > 0 {
+			depth = int(ToNumber(args[0]))
+		}
+		return &Array{Elems: flatten(arr.Elems, depth)}, true, nil
+	case "flatMap":
+		var out []any
+		for i, e := range arr.Elems {
+			v, err := in.callIter(args, []any{e, float64(i), arr}, at)
+			if err != nil {
+				return nil, true, err
+			}
+			if sub, ok := v.(*Array); ok {
+				out = append(out, sub.Elems...)
+			} else {
+				out = append(out, v)
+			}
+		}
+		return &Array{Elems: out}, true, nil
+	case "fill":
+		var v any
+		if len(args) > 0 {
+			v = args[0]
+		}
+		for i := range arr.Elems {
+			arr.Elems[i] = v
+		}
+		return arr, true, nil
+	case "keys":
+		out := make([]any, len(arr.Elems))
+		for i := range arr.Elems {
+			out[i] = float64(i)
+		}
+		return &Array{Elems: out}, true, nil
+	case "at":
+		i := int(argN(0))
+		if i < 0 {
+			i += len(arr.Elems)
+		}
+		if i < 0 || i >= len(arr.Elems) {
+			return nil, true, nil
+		}
+		return arr.Elems[i], true, nil
+	case "toString":
+		return ToString(arr), true, nil
+	}
+	return nil, false, nil
+}
+
+func (in *Interp) callIter(args, iterArgs []any, at Pos) (any, error) {
+	if len(args) == 0 {
+		return nil, &RuntimeError{Pos: at, Msg: "missing callback argument"}
+	}
+	return in.Call(args[0], iterArgs, at)
+}
+
+func flatten(elems []any, depth int) []any {
+	var out []any
+	for _, e := range elems {
+		if sub, ok := e.(*Array); ok && depth > 0 {
+			out = append(out, flatten(sub.Elems, depth-1)...)
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func sliceBounds(n int, args []any) (int, int) {
+	start, end := 0, n
+	if len(args) > 0 {
+		start = normIndex(int(ToNumber(args[0])), n)
+	}
+	if len(args) > 1 {
+		end = normIndex(int(ToNumber(args[1])), n)
+	}
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
+func normIndex(i, n int) int {
+	if i < 0 {
+		i += n
+	}
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+func clampIndex(i, n int) int { return normIndex(i, n) }
+
+func stringMethod(s, name string, args []any, at Pos) (any, bool, error) {
+	argS := func(i int) string {
+		if i < len(args) {
+			return ToString(args[i])
+		}
+		return ""
+	}
+	switch name {
+	case "toUpperCase":
+		return strings.ToUpper(s), true, nil
+	case "toLowerCase":
+		return strings.ToLower(s), true, nil
+	case "trim":
+		return strings.TrimSpace(s), true, nil
+	case "trimStart":
+		return strings.TrimLeft(s, " \t\n\r"), true, nil
+	case "trimEnd":
+		return strings.TrimRight(s, " \t\n\r"), true, nil
+	case "split":
+		if len(args) == 0 {
+			return &Array{Elems: []any{s}}, true, nil
+		}
+		sep := argS(0)
+		var parts []string
+		if sep == "" {
+			for _, r := range s {
+				parts = append(parts, string(r))
+			}
+		} else {
+			parts = strings.Split(s, sep)
+		}
+		out := make([]any, len(parts))
+		for i, p := range parts {
+			out[i] = p
+		}
+		return &Array{Elems: out}, true, nil
+	case "slice":
+		runes := []rune(s)
+		start, end := sliceBounds(len(runes), args)
+		return string(runes[start:end]), true, nil
+	case "substring":
+		runes := []rune(s)
+		start, end := 0, len(runes)
+		if len(args) > 0 {
+			start = normIndex(int(ToNumber(args[0])), len(runes))
+		}
+		if len(args) > 1 {
+			end = normIndex(int(ToNumber(args[1])), len(runes))
+		}
+		if start > end {
+			start, end = end, start
+		}
+		return string(runes[start:end]), true, nil
+	case "charAt":
+		runes := []rune(s)
+		i := 0
+		if len(args) > 0 {
+			i = int(ToNumber(args[0]))
+		}
+		if i < 0 || i >= len(runes) {
+			return "", true, nil
+		}
+		return string(runes[i]), true, nil
+	case "charCodeAt", "codePointAt":
+		runes := []rune(s)
+		i := 0
+		if len(args) > 0 {
+			i = int(ToNumber(args[0]))
+		}
+		if i < 0 || i >= len(runes) {
+			return math.NaN(), true, nil
+		}
+		return float64(runes[i]), true, nil
+	case "indexOf":
+		return float64(strings.Index(s, argS(0))), true, nil
+	case "lastIndexOf":
+		return float64(strings.LastIndex(s, argS(0))), true, nil
+	case "includes":
+		return strings.Contains(s, argS(0)), true, nil
+	case "startsWith":
+		return strings.HasPrefix(s, argS(0)), true, nil
+	case "endsWith":
+		return strings.HasSuffix(s, argS(0)), true, nil
+	case "replace":
+		return strings.Replace(s, argS(0), argS(1), 1), true, nil
+	case "replaceAll":
+		return strings.ReplaceAll(s, argS(0), argS(1)), true, nil
+	case "repeat":
+		n := 0
+		if len(args) > 0 {
+			n = int(ToNumber(args[0]))
+		}
+		if n < 0 {
+			return nil, true, &RuntimeError{Pos: at, Msg: "repeat count must be non-negative"}
+		}
+		return strings.Repeat(s, n), true, nil
+	case "padStart", "padEnd":
+		width := 0
+		if len(args) > 0 {
+			width = int(ToNumber(args[0]))
+		}
+		pad := " "
+		if len(args) > 1 {
+			pad = argS(1)
+		}
+		if pad == "" || len([]rune(s)) >= width {
+			return s, true, nil
+		}
+		need := width - len([]rune(s))
+		filler := strings.Repeat(pad, need/len([]rune(pad))+1)
+		filler = string([]rune(filler)[:need])
+		if name == "padStart" {
+			return filler + s, true, nil
+		}
+		return s + filler, true, nil
+	case "concat":
+		var b strings.Builder
+		b.WriteString(s)
+		for _, a := range args {
+			b.WriteString(ToString(a))
+		}
+		return b.String(), true, nil
+	case "at":
+		runes := []rune(s)
+		i := 0
+		if len(args) > 0 {
+			i = int(ToNumber(args[0]))
+		}
+		if i < 0 {
+			i += len(runes)
+		}
+		if i < 0 || i >= len(runes) {
+			return nil, true, nil
+		}
+		return string(runes[i]), true, nil
+	case "localeCompare":
+		o := argS(0)
+		switch {
+		case s < o:
+			return -1.0, true, nil
+		case s > o:
+			return 1.0, true, nil
+		default:
+			return 0.0, true, nil
+		}
+	case "toString":
+		return s, true, nil
+	}
+	return nil, false, nil
+}
+
+func setMethod(s *SetVal, name string, args []any) (any, bool, error) {
+	switch name {
+	case "add":
+		if len(args) > 0 {
+			s.Add(args[0])
+		}
+		return s, true, nil
+	case "has":
+		return len(args) > 0 && s.Has(args[0]), true, nil
+	case "delete":
+		return len(args) > 0 && s.Delete(args[0]), true, nil
+	case "clear":
+		*s = *NewSet()
+		return nil, true, nil
+	case "values", "keys":
+		return &Array{Elems: s.Values()}, true, nil
+	}
+	return nil, false, nil
+}
+
+func mapMethod(m *MapVal, name string, args []any) (any, bool, error) {
+	switch name {
+	case "set":
+		if len(args) >= 2 {
+			m.Set(args[0], args[1])
+		}
+		return m, true, nil
+	case "get":
+		if len(args) > 0 {
+			return m.Get(args[0]), true, nil
+		}
+		return nil, true, nil
+	case "has":
+		return len(args) > 0 && m.Has(args[0]), true, nil
+	case "delete":
+		return len(args) > 0 && m.Delete(args[0]), true, nil
+	case "keys":
+		return &Array{Elems: m.Keys()}, true, nil
+	case "values":
+		keys := m.Keys()
+		out := make([]any, len(keys))
+		for i, k := range keys {
+			out[i] = m.Get(k)
+		}
+		return &Array{Elems: out}, true, nil
+	case "entries":
+		keys := m.Keys()
+		out := make([]any, len(keys))
+		for i, k := range keys {
+			out[i] = NewArray(k, m.Get(k))
+		}
+		return &Array{Elems: out}, true, nil
+	}
+	return nil, false, nil
+}
+
+// ---------------------------------------------------------------------------
+// Globals
+
+func bi(name string, fn func(in *Interp, args []any) (any, error)) *Builtin {
+	return &Builtin{Name: name, Fn: fn}
+}
+
+func num1(name string, f func(float64) float64) *Builtin {
+	return bi(name, func(_ *Interp, args []any) (any, error) {
+		if len(args) < 1 {
+			return math.NaN(), nil
+		}
+		return f(ToNumber(args[0])), nil
+	})
+}
+
+func installGlobals(env *Env) {
+	mathObj := map[string]any{
+		"floor": num1("floor", math.Floor),
+		"ceil":  num1("ceil", math.Ceil),
+		"round": num1("round", func(f float64) float64 { return math.Floor(f + 0.5) }),
+		"trunc": num1("trunc", math.Trunc),
+		"abs":   num1("abs", math.Abs),
+		"sqrt":  num1("sqrt", math.Sqrt),
+		"cbrt":  num1("cbrt", math.Cbrt),
+		"log":   num1("log", math.Log),
+		"log2":  num1("log2", math.Log2),
+		"log10": num1("log10", math.Log10),
+		"exp":   num1("exp", math.Exp),
+		"sign": num1("sign", func(f float64) float64 {
+			switch {
+			case f > 0:
+				return 1
+			case f < 0:
+				return -1
+			}
+			return 0
+		}),
+		"pow": bi("pow", func(_ *Interp, args []any) (any, error) {
+			if len(args) < 2 {
+				return math.NaN(), nil
+			}
+			return math.Pow(ToNumber(args[0]), ToNumber(args[1])), nil
+		}),
+		"max": bi("max", func(_ *Interp, args []any) (any, error) {
+			out := math.Inf(-1)
+			for _, a := range args {
+				out = math.Max(out, ToNumber(a))
+			}
+			return out, nil
+		}),
+		"min": bi("min", func(_ *Interp, args []any) (any, error) {
+			out := math.Inf(1)
+			for _, a := range args {
+				out = math.Min(out, ToNumber(a))
+			}
+			return out, nil
+		}),
+		"hypot": bi("hypot", func(_ *Interp, args []any) (any, error) {
+			sum := 0.0
+			for _, a := range args {
+				f := ToNumber(a)
+				sum += f * f
+			}
+			return math.Sqrt(sum), nil
+		}),
+		"PI": math.Pi,
+		"E":  math.E,
+	}
+	jsonObj := map[string]any{
+		"stringify": bi("JSON.stringify", func(_ *Interp, args []any) (any, error) {
+			if len(args) == 0 {
+				return "undefined", nil
+			}
+			if len(args) >= 3 {
+				return jsonx.EncodeIndent(ToJSON(args[0]), indentUnit(args[2])), nil
+			}
+			return jsonx.Encode(ToJSON(args[0])), nil
+		}),
+		"parse": bi("JSON.parse", func(_ *Interp, args []any) (any, error) {
+			if len(args) == 0 {
+				return nil, &RuntimeError{Msg: "JSON.parse needs an argument"}
+			}
+			v, err := jsonx.Parse(ToString(args[0]), jsonx.Strict)
+			if err != nil {
+				return nil, &RuntimeError{Msg: "JSON.parse: " + err.Error()}
+			}
+			return FromJSON(v), nil
+		}),
+	}
+	objectObj := map[string]any{
+		"keys": bi("Object.keys", func(_ *Interp, args []any) (any, error) {
+			m, ok := arg0Map(args)
+			if !ok {
+				return &Array{}, nil
+			}
+			keys := sortedKeys(m)
+			out := make([]any, len(keys))
+			for i, k := range keys {
+				out[i] = k
+			}
+			return &Array{Elems: out}, nil
+		}),
+		"values": bi("Object.values", func(_ *Interp, args []any) (any, error) {
+			m, ok := arg0Map(args)
+			if !ok {
+				return &Array{}, nil
+			}
+			keys := sortedKeys(m)
+			out := make([]any, len(keys))
+			for i, k := range keys {
+				out[i] = m[k]
+			}
+			return &Array{Elems: out}, nil
+		}),
+		"entries": bi("Object.entries", func(_ *Interp, args []any) (any, error) {
+			m, ok := arg0Map(args)
+			if !ok {
+				return &Array{}, nil
+			}
+			keys := sortedKeys(m)
+			out := make([]any, len(keys))
+			for i, k := range keys {
+				out[i] = NewArray(k, m[k])
+			}
+			return &Array{Elems: out}, nil
+		}),
+		"assign": bi("Object.assign", func(_ *Interp, args []any) (any, error) {
+			if len(args) == 0 {
+				return map[string]any{}, nil
+			}
+			dst, ok := args[0].(map[string]any)
+			if !ok {
+				return nil, &RuntimeError{Msg: "Object.assign target must be an object"}
+			}
+			for _, src := range args[1:] {
+				if m, ok := src.(map[string]any); ok {
+					for k, v := range m {
+						dst[k] = v
+					}
+				}
+			}
+			return dst, nil
+		}),
+	}
+	arrayObj := map[string]any{
+		"isArray": bi("Array.isArray", func(_ *Interp, args []any) (any, error) {
+			if len(args) == 0 {
+				return false, nil
+			}
+			_, ok := args[0].(*Array)
+			return ok, nil
+		}),
+		"from": bi("Array.from", func(in *Interp, args []any) (any, error) {
+			if len(args) == 0 {
+				return &Array{}, nil
+			}
+			var items []any
+			// Array.from({length: n}, fn) array-like style first.
+			if m, ok := args[0].(map[string]any); ok {
+				if lv, has := m["length"]; has {
+					items = make([]any, int(ToNumber(lv)))
+				}
+			}
+			if items == nil {
+				var err error
+				items, err = iterate(args[0], false, Pos{})
+				if err != nil {
+					return nil, err
+				}
+			}
+			if len(args) > 1 {
+				out := make([]any, len(items))
+				for i, it := range items {
+					v, err := in.Call(args[1], []any{it, float64(i)}, Pos{})
+					if err != nil {
+						return nil, err
+					}
+					out[i] = v
+				}
+				return &Array{Elems: out}, nil
+			}
+			return &Array{Elems: items}, nil
+		}),
+	}
+	numberObj := map[string]any{
+		"isInteger": bi("Number.isInteger", func(_ *Interp, args []any) (any, error) {
+			if len(args) == 0 {
+				return false, nil
+			}
+			f, ok := args[0].(float64)
+			return ok && f == math.Trunc(f), nil
+		}),
+		"isFinite": bi("Number.isFinite", func(_ *Interp, args []any) (any, error) {
+			if len(args) == 0 {
+				return false, nil
+			}
+			f, ok := args[0].(float64)
+			return ok && !math.IsInf(f, 0) && !math.IsNaN(f), nil
+		}),
+		"isNaN": bi("Number.isNaN", func(_ *Interp, args []any) (any, error) {
+			if len(args) == 0 {
+				return false, nil
+			}
+			f, ok := args[0].(float64)
+			return ok && math.IsNaN(f), nil
+		}),
+		"parseFloat":        bi("Number.parseFloat", parseFloatFn),
+		"parseInt":          bi("Number.parseInt", parseIntFn),
+		"MAX_SAFE_INTEGER":  float64(1<<53 - 1),
+		"MIN_SAFE_INTEGER":  -float64(1<<53 - 1),
+		"POSITIVE_INFINITY": math.Inf(1),
+		"NEGATIVE_INFINITY": math.Inf(-1),
+		"EPSILON":           2.220446049250313e-16,
+	}
+	consoleObj := map[string]any{
+		"log":   bi("console.log", consoleLog),
+		"error": bi("console.error", consoleLog),
+		"warn":  bi("console.warn", consoleLog),
+	}
+	stringObj := map[string]any{
+		"fromCharCode": bi("String.fromCharCode", func(_ *Interp, args []any) (any, error) {
+			var b strings.Builder
+			for _, a := range args {
+				b.WriteRune(rune(int(ToNumber(a))))
+			}
+			return b.String(), nil
+		}),
+	}
+
+	stringCallable := &CallableObj{
+		Builtin: bi("String", func(_ *Interp, args []any) (any, error) {
+			if len(args) == 0 {
+				return "", nil
+			}
+			return ToString(args[0]), nil
+		}),
+		Props: stringObj,
+	}
+	numberCallable := &CallableObj{
+		Builtin: bi("Number", func(_ *Interp, args []any) (any, error) {
+			if len(args) == 0 {
+				return 0.0, nil
+			}
+			return ToNumber(args[0]), nil
+		}),
+		Props: numberObj,
+	}
+	defs := map[string]any{
+		"Math":     mathObj,
+		"JSON":     jsonObj,
+		"Object":   objectObj,
+		"Array":    arrayObj,
+		"Number":   numberCallable,
+		"console":  consoleObj,
+		"String":   stringCallable,
+		"Infinity": math.Inf(1),
+		"NaN":      math.NaN(),
+	}
+	for k, v := range defs {
+		_ = env.Define(k, v, true)
+	}
+	// Callable globals. String/Number/Boolean conversion functions shadow
+	// the property objects when called; the interpreter checks callability
+	// on the value, so install them as builtins under distinct handling:
+	// String(x) is resolved through stringCallable below.
+	_ = env.Define("parseInt", bi("parseInt", parseIntFn), true)
+	_ = env.Define("parseFloat", bi("parseFloat", parseFloatFn), true)
+	_ = env.Define("isNaN", bi("isNaN", func(_ *Interp, args []any) (any, error) {
+		if len(args) == 0 {
+			return true, nil
+		}
+		return math.IsNaN(ToNumber(args[0])), nil
+	}), true)
+	_ = env.Define("isFinite", bi("isFinite", func(_ *Interp, args []any) (any, error) {
+		if len(args) == 0 {
+			return false, nil
+		}
+		f := ToNumber(args[0])
+		return !math.IsNaN(f) && !math.IsInf(f, 0), nil
+	}), true)
+	_ = env.Define("Boolean", bi("Boolean", func(_ *Interp, args []any) (any, error) {
+		return len(args) > 0 && Truthy(args[0]), nil
+	}), true)
+}
+
+func indentUnit(v any) string {
+	if f, ok := v.(float64); ok {
+		return strings.Repeat(" ", int(f))
+	}
+	return ToString(v)
+}
+
+func arg0Map(args []any) (map[string]any, bool) {
+	if len(args) == 0 {
+		return nil, false
+	}
+	m, ok := args[0].(map[string]any)
+	return m, ok
+}
+
+func parseIntFn(_ *Interp, args []any) (any, error) {
+	if len(args) == 0 {
+		return math.NaN(), nil
+	}
+	s := strings.TrimSpace(ToString(args[0]))
+	radix := 10
+	if len(args) > 1 {
+		if r := int(ToNumber(args[1])); r >= 2 && r <= 36 {
+			radix = r
+		}
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	} else {
+		s = strings.TrimPrefix(s, "+")
+	}
+	// Consume the longest valid prefix, as JS does.
+	end := 0
+	for end < len(s) {
+		c := s[end]
+		var d int
+		switch {
+		case c >= '0' && c <= '9':
+			d = int(c - '0')
+		case c >= 'a' && c <= 'z':
+			d = int(c-'a') + 10
+		case c >= 'A' && c <= 'Z':
+			d = int(c-'A') + 10
+		default:
+			d = 99
+		}
+		if d >= radix {
+			break
+		}
+		end++
+	}
+	if end == 0 {
+		return math.NaN(), nil
+	}
+	n, err := strconv.ParseInt(s[:end], radix, 64)
+	if err != nil {
+		return math.NaN(), nil
+	}
+	if neg {
+		n = -n
+	}
+	return float64(n), nil
+}
+
+func parseFloatFn(_ *Interp, args []any) (any, error) {
+	if len(args) == 0 {
+		return math.NaN(), nil
+	}
+	s := strings.TrimSpace(ToString(args[0]))
+	end := 0
+	seenDot, seenExp, seenDigit := false, false, false
+	for end < len(s) {
+		c := s[end]
+		switch {
+		case c >= '0' && c <= '9':
+			seenDigit = true
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+		case (c == 'e' || c == 'E') && seenDigit && !seenExp:
+			seenExp = true
+		case (c == '+' || c == '-') && (end == 0 || s[end-1] == 'e' || s[end-1] == 'E'):
+			// sign ok
+		default:
+			goto done
+		}
+		end++
+	}
+done:
+	if end == 0 {
+		return math.NaN(), nil
+	}
+	f, err := strconv.ParseFloat(s[:end], 64)
+	if err != nil {
+		return math.NaN(), nil
+	}
+	return f, nil
+}
+
+func consoleLog(in *Interp, args []any) (any, error) {
+	if in.Stdout == nil {
+		return nil, nil
+	}
+	parts := make([]string, len(args))
+	for i, a := range args {
+		if s, ok := a.(string); ok {
+			parts[i] = s
+		} else if _, isObj := a.(map[string]any); isObj {
+			parts[i] = jsonx.Encode(ToJSON(a))
+		} else if _, isArr := a.(*Array); isArr {
+			parts[i] = jsonx.Encode(ToJSON(a))
+		} else {
+			parts[i] = ToString(a)
+		}
+	}
+	fmt.Fprintln(in.Stdout, strings.Join(parts, " "))
+	return nil, nil
+}

@@ -1,0 +1,268 @@
+package minilang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CheckErrors aggregates the static errors found in a program.
+type CheckErrors []*CompileError
+
+func (ce CheckErrors) Error() string {
+	msgs := make([]string, len(ce))
+	for i, e := range ce {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "; ")
+}
+
+// Check performs the static validation the AskIt compiler applies to
+// generated code before running example tests (paper §III-D Step 3,
+// "syntactic check"): every referenced identifier must be declared (or a
+// known global), declarations must not collide within a scope, const
+// variables must not be reassigned, and break/continue must appear inside
+// loops. It returns nil when the program is well formed.
+func Check(prog *Program) error {
+	c := &checker{}
+	global := newScope(nil)
+	for name := range builtinGlobals() {
+		global.declare(name, true)
+	}
+	// Hoist top-level functions, as JS does.
+	for _, s := range prog.Stmts {
+		if fd, ok := s.(*FuncDecl); ok {
+			global.declare(fd.Name, false)
+		}
+	}
+	for _, s := range prog.Stmts {
+		c.stmt(global, s, false)
+	}
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return c.errs
+}
+
+func builtinGlobals() map[string]bool {
+	return map[string]bool{
+		"Math": true, "JSON": true, "Object": true, "Array": true,
+		"Number": true, "String": true, "Boolean": true, "console": true,
+		"parseInt": true, "parseFloat": true, "isNaN": true,
+		"isFinite": true, "Infinity": true, "NaN": true,
+		"Set": true, "Map": true, "Error": true,
+		// Host bindings the AskIt engine provides for file-access tasks
+		// (the paper's §II-A2 CSV example); see core.Options.FS.
+		"appendFile": true, "readFile": true, "writeFile": true,
+	}
+}
+
+type scope struct {
+	parent *scope
+	names  map[string]bool // name -> const
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, names: map[string]bool{}}
+}
+
+func (s *scope) declare(name string, con bool) bool {
+	if _, dup := s.names[name]; dup {
+		return false
+	}
+	s.names[name] = con
+	return true
+}
+
+func (s *scope) lookup(name string) (con, ok bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if c, present := sc.names[name]; present {
+			return c, true
+		}
+	}
+	return false, false
+}
+
+type checker struct {
+	errs CheckErrors
+}
+
+func (c *checker) errf(pos Pos, format string, args ...any) {
+	c.errs = append(c.errs, &CompileError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) stmt(sc *scope, s Stmt, inLoop bool) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		inner := newScope(sc)
+		for _, sub := range st.Stmts {
+			if fd, ok := sub.(*FuncDecl); ok {
+				inner.declare(fd.Name, false)
+			}
+		}
+		for _, sub := range st.Stmts {
+			c.stmt(inner, sub, inLoop)
+		}
+	case *VarDecl:
+		if st.Init != nil {
+			c.expr(sc, st.Init)
+		}
+		if !sc.declare(st.Name, st.Keyword == "const") {
+			c.errf(st.P, "duplicate declaration of %q", st.Name)
+		}
+	case *AssignStmt:
+		c.assignTarget(sc, st.Target)
+		c.expr(sc, st.Value)
+	case *IncDecStmt:
+		c.assignTarget(sc, st.Target)
+	case *ExprStmt:
+		c.expr(sc, st.X)
+	case *IfStmt:
+		c.expr(sc, st.Cond)
+		c.stmt(sc, st.Then, inLoop)
+		if st.Else != nil {
+			c.stmt(sc, st.Else, inLoop)
+		}
+	case *WhileStmt:
+		c.expr(sc, st.Cond)
+		c.stmt(sc, st.Body, true)
+	case *ForStmt:
+		inner := newScope(sc)
+		if st.Init != nil {
+			c.stmt(inner, st.Init, false)
+		}
+		if st.Cond != nil {
+			c.expr(inner, st.Cond)
+		}
+		if st.Post != nil {
+			// Post runs inside the loop; ++/-- on the induction variable
+			// is an assignment, permitted even for let.
+			c.stmt(inner, st.Post, true)
+		}
+		c.stmt(inner, st.Body, true)
+	case *ForOfStmt:
+		c.expr(sc, st.Seq)
+		inner := newScope(sc)
+		inner.declare(st.Name, st.Keyword == "const")
+		c.stmt(inner, st.Body, true)
+	case *ReturnStmt:
+		if st.Value != nil {
+			c.expr(sc, st.Value)
+		}
+	case *BreakStmt:
+		if !inLoop {
+			c.errf(st.P, "break outside loop")
+		}
+	case *ContinueStmt:
+		if !inLoop {
+			c.errf(st.P, "continue outside loop")
+		}
+	case *ThrowStmt:
+		c.expr(sc, st.Value)
+	case *FuncDecl:
+		// Name already hoisted by the enclosing block.
+		inner := newScope(sc)
+		for _, p := range st.Params {
+			if !inner.declare(p.Name, false) {
+				c.errf(p.Pos, "duplicate parameter %q", p.Name)
+			}
+		}
+		c.stmt(inner, st.Body, false)
+	}
+}
+
+func (c *checker) assignTarget(sc *scope, e Expr) {
+	switch t := e.(type) {
+	case *Ident:
+		con, ok := sc.lookup(t.Name)
+		if !ok {
+			c.errf(t.P, "assignment to undeclared variable %q", t.Name)
+			return
+		}
+		if con {
+			c.errf(t.P, "assignment to constant %q", t.Name)
+		}
+	case *MemberExpr:
+		c.expr(sc, t.X)
+	case *IndexExpr:
+		c.expr(sc, t.X)
+		c.expr(sc, t.Index)
+	default:
+		c.errf(e.NodePos(), "invalid assignment target")
+	}
+}
+
+func (c *checker) expr(sc *scope, e Expr) {
+	switch x := e.(type) {
+	case *Ident:
+		if _, ok := sc.lookup(x.Name); !ok {
+			c.errf(x.P, "undefined variable %q", x.Name)
+		}
+	case *ArrayLit:
+		for _, el := range x.Elems {
+			c.expr(sc, el)
+		}
+	case *ObjectLit:
+		for _, f := range x.Fields {
+			if f.Value == nil {
+				if _, ok := sc.lookup(f.Key); !ok {
+					c.errf(x.P, "undefined variable %q in shorthand property", f.Key)
+				}
+				continue
+			}
+			c.expr(sc, f.Value)
+		}
+	case *TemplateLit:
+		for _, sub := range x.Exprs {
+			c.expr(sc, sub)
+		}
+	case *UnaryExpr:
+		c.expr(sc, x.X)
+	case *BinaryExpr:
+		c.expr(sc, x.L)
+		c.expr(sc, x.R)
+	case *CondExpr:
+		c.expr(sc, x.Cond)
+		c.expr(sc, x.Then)
+		c.expr(sc, x.Else)
+	case *MemberExpr:
+		c.expr(sc, x.X)
+	case *IndexExpr:
+		c.expr(sc, x.X)
+		c.expr(sc, x.Index)
+	case *CallExpr:
+		c.expr(sc, x.Fn)
+		for _, a := range x.Args {
+			c.expr(sc, a)
+		}
+	case *NewExpr:
+		switch x.Ctor {
+		case "Set", "Map", "Array", "Error", "TypeError", "RangeError":
+		default:
+			c.errf(x.P, "unsupported constructor %q", x.Ctor)
+		}
+		for _, a := range x.Args {
+			c.expr(sc, a)
+		}
+	case *ArrowFunc:
+		inner := newScope(sc)
+		for _, p := range x.Params {
+			if !inner.declare(p.Name, false) {
+				c.errf(p.Pos, "duplicate parameter %q", p.Name)
+			}
+		}
+		if x.Expr != nil {
+			c.expr(inner, x.Expr)
+		}
+		if x.Body != nil {
+			c.stmt(inner, x.Body, false)
+		}
+	case *FuncLit:
+		inner := newScope(sc)
+		for _, p := range x.Params {
+			if !inner.declare(p.Name, false) {
+				c.errf(p.Pos, "duplicate parameter %q", p.Name)
+			}
+		}
+		c.stmt(inner, x.Body, false)
+	}
+}

@@ -1,0 +1,348 @@
+package minilang
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Tests targeting branches the behavioural suites don't reach.
+
+func TestSetMapMethodsThroughInterp(t *testing.T) {
+	src := `
+export function f({}: {}): any {
+  const s = new Set([1, 2, 3]);
+  s.delete(2);
+  const values = s.values();
+  s.clear();
+  const afterClear = s.size;
+
+  const m = new Map();
+  m.set("a", 1).set("b", 2);
+  const hadB = m.has("b");
+  m.delete("b");
+  const keys = m.keys();
+  const vals = m.values();
+  return { values, afterClear, hadB, hasB: m.has("b"), keys, vals, size: m.size };
+}`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.(map[string]any)
+	if !reflect.DeepEqual(m["values"], []any{1.0, 3.0}) {
+		t.Errorf("values = %v", m["values"])
+	}
+	if m["afterClear"] != 0.0 || m["hadB"] != true || m["hasB"] != false {
+		t.Errorf("set/map state: %v", m)
+	}
+	if !reflect.DeepEqual(m["keys"], []any{"a"}) || !reflect.DeepEqual(m["vals"], []any{1.0}) {
+		t.Errorf("map keys/vals: %v %v", m["keys"], m["vals"])
+	}
+	if m["size"] != 1.0 {
+		t.Errorf("size = %v", m["size"])
+	}
+}
+
+func TestMapValDirectAPI(t *testing.T) {
+	m := NewMap()
+	if m.Has("x") || m.Delete("x") {
+		t.Error("empty map membership")
+	}
+	m.Set(1.0, "one")
+	if !m.Has(1.0) || m.Len() != 1 {
+		t.Error("after set")
+	}
+	if !m.Delete(1.0) || m.Len() != 0 {
+		t.Error("after delete")
+	}
+}
+
+func TestCompareMixedTypes(t *testing.T) {
+	cases := map[string]any{
+		`"5" < 10`:        true, // numeric coercion when not both strings
+		`"b" >= "a"`:      true,
+		`"b" <= "a"`:      false,
+		`true < 2`:        true,
+		`null <= 0`:       true,
+		"3 >= 3":          true,
+	}
+	for src, want := range cases {
+		if got := evalExpr(t, src); got != want {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestStrictEqualKinds(t *testing.T) {
+	obj := map[string]any{}
+	cases := []struct {
+		a, b any
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, 0.0, false},
+		{true, true, true},
+		{true, 1.0, false},
+		{"a", "a", true},
+		{"a", "b", false},
+		{1.5, 1.5, true},
+		{obj, obj, true},
+		{obj, map[string]any{}, false},
+	}
+	for _, c := range cases {
+		if got := StrictEqual(c.a, c.b); got != c.want {
+			t.Errorf("StrictEqual(%v, %v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestTruthyKinds(t *testing.T) {
+	truthy := []any{true, 1.0, -1.0, "x", NewArray(), map[string]any{}, NewSet()}
+	for _, v := range truthy {
+		if !Truthy(v) {
+			t.Errorf("Truthy(%v) = false", v)
+		}
+	}
+	falsy := []any{nil, false, 0.0, "", math.NaN()}
+	for _, v := range falsy {
+		if Truthy(v) {
+			t.Errorf("Truthy(%v) = true", v)
+		}
+	}
+}
+
+func TestToJSONConversions(t *testing.T) {
+	set := NewSet("b", "a")
+	m := NewMap()
+	m.Set("k", NewArray(1.0))
+	v := ToJSON(map[string]any{
+		"arr": NewArray(1.0, "x"),
+		"set": set,
+		"map": m,
+	})
+	want := map[string]any{
+		"arr": []any{1.0, "x"},
+		"set": []any{"a", "b"}, // sorted
+		"map": map[string]any{"k": []any{1.0}},
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Errorf("ToJSON = %#v", v)
+	}
+}
+
+func TestToStringFunctionValues(t *testing.T) {
+	cl := &Closure{Name: "myFn"}
+	if got := ToString(cl); !strings.Contains(got, "myFn") {
+		t.Errorf("closure = %q", got)
+	}
+	bi := &Builtin{Name: "nat"}
+	if got := ToString(bi); !strings.Contains(got, "nat") {
+		t.Errorf("builtin = %q", got)
+	}
+	if got := ToString(NewSet(1.0)); !strings.Contains(got, "Set") {
+		t.Errorf("set = %q", got)
+	}
+	if got := ToString(NewMap()); !strings.Contains(got, "Map") {
+		t.Errorf("map = %q", got)
+	}
+	if ToString(math.Inf(1)) != "Infinity" || ToString(math.Inf(-1)) != "-Infinity" || ToString(math.NaN()) != "NaN" {
+		t.Error("special float spellings")
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	toks := []Token{
+		{Kind: EOF},
+		{Kind: STRING, Text: "s"},
+		{Kind: NUMBER, Num: 3},
+		{Kind: IDENT, Text: "x"},
+	}
+	for _, tok := range toks {
+		if tok.String() == "" {
+			t.Errorf("empty String() for %v", tok.Kind)
+		}
+	}
+	if TokenKind(99).String() == "" {
+		t.Error("unknown kind")
+	}
+	if (Pos{Line: 2, Col: 3}).String() != "2:3" {
+		t.Error("pos format")
+	}
+}
+
+func TestFormatFuncAndAccessors(t *testing.T) {
+	src := `export function addOne({n}: {n: number}): number {
+  return n + 1;
+}`
+	cf, err := CompileFunction(src, "addOne")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Name() != "addOne" {
+		t.Errorf("Name = %q", cf.Name())
+	}
+	if cf.Source() != src {
+		t.Error("Source mismatch")
+	}
+	out := FormatFunc(cf.Decl)
+	if !strings.Contains(out, "function addOne") || !strings.Contains(out, "return n + 1;") {
+		t.Errorf("FormatFunc = %q", out)
+	}
+}
+
+func TestGlobalsAccessor(t *testing.T) {
+	in := NewInterp()
+	if err := in.Globals().Define("answer", 42.0, true); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Parse("const doubled = answer * 2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := in.LoadProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := env.Lookup("doubled")
+	if !ok || b.value != 84.0 {
+		t.Errorf("doubled = %v", b)
+	}
+}
+
+func TestValidateErrorMessages(t *testing.T) {
+	src := `export function f({n}: {n: number}): number { return n * 2; }`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cf.Validate([]Example{{Input: map[string]any{"n": 3.0}, Output: 7.0}})
+	if err == nil || !strings.Contains(err.Error(), "got 6, want 7") {
+		t.Errorf("err = %v", err)
+	}
+	// Structured outputs compare deeply.
+	src2 := `export function g({}: {}): any { return { xs: [1, 2], ok: true }; }`
+	cf2, err := CompileFunction(src2, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cf2.Validate([]Example{{
+		Input:  map[string]any{},
+		Output: map[string]any{"xs": []any{1.0, 2.0}, "ok": true},
+	}}); err != nil {
+		t.Errorf("deep validate: %v", err)
+	}
+	if err := cf2.Validate([]Example{{
+		Input:  map[string]any{},
+		Output: map[string]any{"xs": []any{1.0, 2.0}, "ok": false},
+	}}); err == nil {
+		t.Error("expected deep mismatch")
+	}
+}
+
+func TestQuoteJSEscapes(t *testing.T) {
+	prog, err := Parse("const s = \"a\\\"b\\\\c\\nd\\te\";")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(prog)
+	reparsed, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", out, err)
+	}
+	v1 := prog.Stmts[0].(*VarDecl).Init.(*StringLit).Value
+	v2 := reparsed.Stmts[0].(*VarDecl).Init.(*StringLit).Value
+	if v1 != v2 {
+		t.Errorf("escape round trip: %q vs %q", v1, v2)
+	}
+}
+
+func TestIfChainFormatting(t *testing.T) {
+	src := `function f(n) {
+  if (n < 0) { return -1; } else if (n === 0) { return 0; } else { return 1; }
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(prog)
+	if !strings.Contains(out, "} else if (n === 0) {") {
+		t.Errorf("else-if chain not flattened:\n%s", out)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+}
+
+func TestOptimizeStatementKinds(t *testing.T) {
+	// Exercise optStmt paths not hit by the arithmetic property test:
+	// for, for-of, throw, assignment, inc/dec, template folding inside
+	// statements.
+	src := `
+export function f({xs}: {xs: number[]}): string {
+  let acc = 0;
+  for (let i = 0; i < xs.length; i++) {
+    acc += xs[i] * (1 + 1);
+  }
+  for (const x of xs) {
+    acc += x > (2 * 2) ? 1 : 0;
+  }
+  if (acc < 0) {
+    throw new Error("neg " + "acc");
+  }
+  acc++;
+  return ` + "`total=${acc} fixed=${3 * 3}`" + `;
+}`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(cf.Prog)
+	if err := Check(opt); err != nil {
+		t.Fatal(err)
+	}
+	cf2 := &CompiledFunc{Prog: opt, Decl: opt.Funcs()["f"]}
+	args := map[string]any{"xs": []any{1.0, 5.0, 2.0}}
+	a, err1 := cf.Call(args)
+	b, err2 := cf2.Call(args)
+	if err1 != nil || err2 != nil || a != b {
+		t.Errorf("optimize changed behaviour: %v/%v vs %v/%v", a, err1, b, err2)
+	}
+	if !strings.Contains(Format(opt), "fixed=9") {
+		t.Errorf("template constant not folded:\n%s", Format(opt))
+	}
+}
+
+func TestTypeAnnotationVariants(t *testing.T) {
+	srcs := []string{
+		"let a: number[] = [];",
+		"let b: Array<string> = [];",
+		"let c: 'x' | 'y' = \"x\";",
+		"let d: { p: number, q: boolean } = { p: 1, q: true };",
+		"let e: (number | string)[] = [];",
+		"let f: true | false = true;",
+		"let g: null = null;",
+		"let h: -1 | 1 = 1;",
+		"function fn(a: number = 3) { return a; }",
+	}
+	for _, src := range srcs {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+	bad := []string{
+		"let a: Widget = 1;",
+		"let b: Array<number = [];",
+		"let c: { p number } = {};",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package minilang
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+func (in *Interp) eval(env *Env, e Expr) (any, error) {
+	if err := in.tick(e.NodePos()); err != nil {
+		return nil, err
+	}
+	switch x := e.(type) {
+	case *NumberLit:
+		return x.Value, nil
+	case *StringLit:
+		return x.Value, nil
+	case *BoolLit:
+		return x.Value, nil
+	case *NullLit:
+		return nil, nil
+	case *Ident:
+		b, ok := env.Lookup(x.Name)
+		if !ok {
+			return nil, &RuntimeError{Pos: x.P, Msg: fmt.Sprintf("undefined variable %q", x.Name)}
+		}
+		return b.value, nil
+	case *ArrayLit:
+		arr := &Array{}
+		for i, el := range x.Elems {
+			v, err := in.eval(env, el)
+			if err != nil {
+				return nil, err
+			}
+			if x.Spreads[i] {
+				items, err := iterate(v, false, el.NodePos())
+				if err != nil {
+					return nil, err
+				}
+				arr.Elems = append(arr.Elems, items...)
+			} else {
+				arr.Elems = append(arr.Elems, v)
+			}
+		}
+		return arr, nil
+	case *ObjectLit:
+		obj := make(map[string]any, len(x.Fields))
+		for _, f := range x.Fields {
+			if f.Value == nil {
+				b, ok := env.Lookup(f.Key)
+				if !ok {
+					return nil, &RuntimeError{Pos: x.P, Msg: fmt.Sprintf("undefined variable %q in shorthand property", f.Key)}
+				}
+				obj[f.Key] = b.value
+				continue
+			}
+			v, err := in.eval(env, f.Value)
+			if err != nil {
+				return nil, err
+			}
+			obj[f.Key] = v
+		}
+		return obj, nil
+	case *TemplateLit:
+		var b strings.Builder
+		for i, chunk := range x.Chunks {
+			b.WriteString(chunk)
+			if i < len(x.Exprs) {
+				v, err := in.eval(env, x.Exprs[i])
+				if err != nil {
+					return nil, err
+				}
+				b.WriteString(ToString(v))
+			}
+		}
+		return b.String(), nil
+	case *UnaryExpr:
+		v, err := in.eval(env, x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "-":
+			return -ToNumber(v), nil
+		case "+":
+			return ToNumber(v), nil
+		case "!":
+			return !Truthy(v), nil
+		case "~":
+			return float64(^int64(ToNumber(v))), nil
+		case "typeof":
+			return TypeOf(v), nil
+		}
+		return nil, &RuntimeError{Pos: x.P, Msg: fmt.Sprintf("unknown unary operator %q", x.Op)}
+	case *BinaryExpr:
+		switch x.Op {
+		case "&&":
+			l, err := in.eval(env, x.L)
+			if err != nil {
+				return nil, err
+			}
+			if !Truthy(l) {
+				return l, nil
+			}
+			return in.eval(env, x.R)
+		case "||":
+			l, err := in.eval(env, x.L)
+			if err != nil {
+				return nil, err
+			}
+			if Truthy(l) {
+				return l, nil
+			}
+			return in.eval(env, x.R)
+		case "??":
+			l, err := in.eval(env, x.L)
+			if err != nil {
+				return nil, err
+			}
+			if l != nil {
+				return l, nil
+			}
+			return in.eval(env, x.R)
+		}
+		l, err := in.eval(env, x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := in.eval(env, x.R)
+		if err != nil {
+			return nil, err
+		}
+		return binaryOp(x.Op, l, r, x.P)
+	case *CondExpr:
+		c, err := in.eval(env, x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(c) {
+			return in.eval(env, x.Then)
+		}
+		return in.eval(env, x.Else)
+	case *MemberExpr:
+		obj, err := in.eval(env, x.X)
+		if err != nil {
+			return nil, err
+		}
+		if obj == nil && x.Opt {
+			return nil, nil
+		}
+		return in.member(obj, x.Name, x.P)
+	case *IndexExpr:
+		obj, err := in.eval(env, x.X)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.eval(env, x.Index)
+		if err != nil {
+			return nil, err
+		}
+		return indexValue(obj, idx, x.P)
+	case *CallExpr:
+		return in.evalCall(env, x)
+	case *NewExpr:
+		return in.evalNew(env, x)
+	case *ArrowFunc:
+		return &Closure{Name: "<arrow>", Params: x.Params, Body: x.Body, Expr: x.Expr, Env: env}, nil
+	case *FuncLit:
+		return &Closure{Name: "<function>", Params: x.Params, Named: x.Named, Body: x.Body, Env: env}, nil
+	default:
+		return nil, &RuntimeError{Pos: e.NodePos(), Msg: fmt.Sprintf("unhandled expression %T", e)}
+	}
+}
+
+func (in *Interp) evalCall(env *Env, x *CallExpr) (any, error) {
+	// Method calls dispatch on the receiver so that `xs.push(v)` works
+	// without first materializing a bound-method value.
+	if m, ok := x.Fn.(*MemberExpr); ok {
+		recv, err := in.eval(env, m.X)
+		if err != nil {
+			return nil, err
+		}
+		if recv == nil && m.Opt {
+			return nil, nil
+		}
+		args, err := in.evalArgs(env, x)
+		if err != nil {
+			return nil, err
+		}
+		if v, handled, err := in.callMethod(recv, m.Name, args, m.P); handled {
+			return v, err
+		}
+		// Fall back to a plain property holding a function value
+		// (e.g. Math.floor, obj.fn).
+		fn, err := in.member(recv, m.Name, m.P)
+		if err != nil {
+			return nil, err
+		}
+		return in.Call(fn, args, x.P)
+	}
+	fn, err := in.eval(env, x.Fn)
+	if err != nil {
+		return nil, err
+	}
+	args, err := in.evalArgs(env, x)
+	if err != nil {
+		return nil, err
+	}
+	return in.Call(fn, args, x.P)
+}
+
+func (in *Interp) evalArgs(env *Env, x *CallExpr) ([]any, error) {
+	var args []any
+	for i, a := range x.Args {
+		v, err := in.eval(env, a)
+		if err != nil {
+			return nil, err
+		}
+		if i < len(x.Spreads) && x.Spreads[i] {
+			items, err := iterate(v, false, a.NodePos())
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, items...)
+			continue
+		}
+		args = append(args, v)
+	}
+	return args, nil
+}
+
+func (in *Interp) evalNew(env *Env, x *NewExpr) (any, error) {
+	var args []any
+	for _, a := range x.Args {
+		v, err := in.eval(env, a)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	switch x.Ctor {
+	case "Set":
+		s := NewSet()
+		if len(args) == 1 {
+			items, err := iterate(args[0], false, x.P)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range items {
+				s.Add(it)
+			}
+		}
+		return s, nil
+	case "Map":
+		m := NewMap()
+		if len(args) == 1 {
+			items, err := iterate(args[0], false, x.P)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range items {
+				pair, ok := it.(*Array)
+				if !ok || len(pair.Elems) != 2 {
+					return nil, &RuntimeError{Pos: x.P, Msg: "new Map expects [key, value] pairs"}
+				}
+				m.Set(pair.Elems[0], pair.Elems[1])
+			}
+		}
+		return m, nil
+	case "Array":
+		if len(args) == 1 {
+			if n, ok := args[0].(float64); ok {
+				return &Array{Elems: make([]any, int(n))}, nil
+			}
+		}
+		return &Array{Elems: args}, nil
+	case "Error", "TypeError", "RangeError":
+		msg := ""
+		if len(args) > 0 {
+			msg = ToString(args[0])
+		}
+		return map[string]any{"name": x.Ctor, "message": msg}, nil
+	default:
+		return nil, &RuntimeError{Pos: x.P, Msg: fmt.Sprintf("unsupported constructor %q", x.Ctor)}
+	}
+}
+
+func indexValue(obj, idx any, at Pos) (any, error) {
+	switch c := obj.(type) {
+	case *Array:
+		i := int(ToNumber(idx))
+		if i < 0 || i >= len(c.Elems) {
+			return nil, nil // out-of-range reads yield undefined, as in JS
+		}
+		return c.Elems[i], nil
+	case string:
+		i := int(ToNumber(idx))
+		runes := []rune(c)
+		if i < 0 || i >= len(runes) {
+			return nil, nil
+		}
+		return string(runes[i]), nil
+	case map[string]any:
+		return c[ToString(idx)], nil
+	case *MapVal:
+		return c.Get(idx), nil
+	case nil:
+		return nil, &RuntimeError{Pos: at, Msg: "cannot index null"}
+	default:
+		return nil, &RuntimeError{Pos: at, Msg: fmt.Sprintf("cannot index %s", TypeOf(obj))}
+	}
+}
+
+func binaryOp(op string, l, r any, at Pos) (any, error) {
+	switch op {
+	case "+":
+		if ls, ok := l.(string); ok {
+			return ls + ToString(r), nil
+		}
+		if rs, ok := r.(string); ok {
+			return ToString(l) + rs, nil
+		}
+		return ToNumber(l) + ToNumber(r), nil
+	case "-":
+		return ToNumber(l) - ToNumber(r), nil
+	case "*":
+		return ToNumber(l) * ToNumber(r), nil
+	case "/":
+		return ToNumber(l) / ToNumber(r), nil
+	case "%":
+		return math.Mod(ToNumber(l), ToNumber(r)), nil
+	case "**":
+		return math.Pow(ToNumber(l), ToNumber(r)), nil
+	case "==", "===":
+		return StrictEqual(l, r), nil
+	case "!=", "!==":
+		return !StrictEqual(l, r), nil
+	case "<", "<=", ">", ">=":
+		return compare(op, l, r), nil
+	case "&":
+		return float64(int64(ToNumber(l)) & int64(ToNumber(r))), nil
+	case "|":
+		return float64(int64(ToNumber(l)) | int64(ToNumber(r))), nil
+	case "^":
+		return float64(int64(ToNumber(l)) ^ int64(ToNumber(r))), nil
+	default:
+		return nil, &RuntimeError{Pos: at, Msg: fmt.Sprintf("unknown operator %q", op)}
+	}
+}
+
+func compare(op string, l, r any) bool {
+	if ls, ok := l.(string); ok {
+		if rs, ok := r.(string); ok {
+			switch op {
+			case "<":
+				return ls < rs
+			case "<=":
+				return ls <= rs
+			case ">":
+				return ls > rs
+			case ">=":
+				return ls >= rs
+			}
+		}
+	}
+	lf, rf := ToNumber(l), ToNumber(r)
+	switch op {
+	case "<":
+		return lf < rf
+	case "<=":
+		return lf <= rf
+	case ">":
+		return lf > rf
+	case ">=":
+		return lf >= rf
+	}
+	return false
+}

@@ -1,0 +1,279 @@
+package minilang
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestForInOverArrayIndices(t *testing.T) {
+	got := evalExpr(t, `(() => {
+		const xs = [10, 20, 30];
+		let idxSum = 0;
+		for (const i in xs) { idxSum += Number(i); }
+		return idxSum;
+	})()`)
+	if got != 3.0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestIterateStringRunes(t *testing.T) {
+	src := `
+export function f({s}: {s: string}): number {
+  let count = 0;
+  for (const ch of s) { count++; }
+  return count;
+}`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(map[string]any{"s": "héllo"})
+	if err != nil || got != 5.0 {
+		t.Errorf("got %v err %v (rune iteration)", got, err)
+	}
+}
+
+func TestOptionalChainingEval(t *testing.T) {
+	cases := map[string]any{
+		"(null)?.x":        nil,
+		"({a: 1})?.a":      1.0,
+		"(null)?.trim()":   nil,
+		`("  x ")?.trim()`: "x",
+	}
+	for src, want := range cases {
+		got := evalExpr(t, src)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %#v, want %#v", src, got, want)
+		}
+	}
+}
+
+func TestNullishChain(t *testing.T) {
+	got := evalExpr(t, "null ?? null ?? 3 ?? 4")
+	if got != 3.0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSpreadInCall(t *testing.T) {
+	got := evalExpr(t, "Math.max(1, ...[5, 2], 3)")
+	if got != 5.0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestObjectEntriesAndMapEntries(t *testing.T) {
+	got := evalExpr(t, `(() => {
+		let total = 0;
+		for (const pair of Object.entries({a: 1, b: 2})) {
+			total += pair[1];
+		}
+		const m = new Map([["x", 10], ["y", 20]]);
+		for (const pair of m.entries()) {
+			total += pair[1];
+		}
+		return total;
+	})()`)
+	if got != 33.0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestArrayFromLength(t *testing.T) {
+	got := evalExpr(t, "Array.from({ length: 4 }, (x, i) => i * i)")
+	want := []any{0.0, 1.0, 4.0, 9.0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestNumberMethods(t *testing.T) {
+	cases := map[string]any{
+		"(3.14159).toFixed(2)":      "3.14",
+		"(255).toString()":          "255",
+		"Number.isInteger(4)":       true,
+		"Number.isInteger(4.5)":     false,
+		"Number.isNaN(NaN)":         true,
+		"Number.isNaN(4)":           false,
+		"Number.isFinite(Infinity)": false,
+		"Number.parseInt(\"12px\")": 12.0,
+	}
+	for src, want := range cases {
+		got := evalExpr(t, src)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %#v, want %#v", src, got, want)
+		}
+	}
+}
+
+func TestJSONStringifyIndent(t *testing.T) {
+	got := evalExpr(t, "JSON.stringify({a: [1]}, null, 2)")
+	want := "{\n  \"a\": [\n    1\n  ]\n}"
+	if got != want {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDeepEqualSemantics(t *testing.T) {
+	a := NewArray(1.0, NewArray(2.0), map[string]any{"k": "v"})
+	b := NewArray(1.0, NewArray(2.0), map[string]any{"k": "v"})
+	if !DeepEqual(a, b) {
+		t.Error("structurally equal arrays differ")
+	}
+	c := NewArray(1.0, NewArray(2.0), map[string]any{"k": "w"})
+	if DeepEqual(a, c) {
+		t.Error("different nested values compare equal")
+	}
+	if StrictEqual(a, b) {
+		t.Error("=== must be reference identity for arrays")
+	}
+	if !StrictEqual(a, a) {
+		t.Error("self-identity")
+	}
+}
+
+func TestSetOrderAndDelete(t *testing.T) {
+	s := NewSet(3.0, 1.0, 3.0, 2.0)
+	if got := s.Values(); len(got) != 3 || got[0] != 3.0 || got[1] != 1.0 {
+		t.Errorf("insertion order lost: %v", got)
+	}
+	if !s.Delete(1.0) || s.Delete(1.0) {
+		t.Error("delete semantics")
+	}
+	if s.Len() != 2 || s.Has(1.0) {
+		t.Error("after delete")
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	m := NewMap()
+	m.Set("b", 1.0)
+	m.Set("a", 2.0)
+	m.Set("b", 3.0) // update keeps original position
+	keys := m.Keys()
+	if len(keys) != 2 || keys[0] != "b" || keys[1] != "a" {
+		t.Errorf("keys = %v", keys)
+	}
+	if m.Get("b") != 3.0 {
+		t.Errorf("get = %v", m.Get("b"))
+	}
+}
+
+func TestToStringCoercions(t *testing.T) {
+	cases := map[string]string{}
+	_ = cases
+	if got := ToString(NewArray(1.0, "a", nil)); got != "1,a," {
+		t.Errorf("array coercion = %q", got)
+	}
+	if got := ToString(map[string]any{"x": 1}); got != "[object Object]" {
+		t.Errorf("object coercion = %q", got)
+	}
+	tenth, fifth := 0.1, 0.2
+	if got := ToString(tenth + fifth); !strings.HasPrefix(got, "0.30000000000000") {
+		t.Errorf("float coercion = %q", got)
+	}
+}
+
+func TestToNumberCoercions(t *testing.T) {
+	cases := []struct {
+		in   any
+		want float64
+		nan  bool
+	}{
+		{nil, 0, false},
+		{true, 1, false},
+		{false, 0, false},
+		{"42", 42, false},
+		{" 3.5 ", 3.5, false},
+		{"", 0, false},
+		{"abc", 0, true},
+		{NewArray(), 0, true},
+	}
+	for _, c := range cases {
+		got := ToNumber(c.in)
+		if c.nan {
+			if got == got { // NaN != NaN
+				t.Errorf("ToNumber(%v) = %v, want NaN", c.in, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ToNumber(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: Format is idempotent and semantics-preserving over a family
+// of randomly generated arithmetic functions.
+func TestQuickFormatPreservesArithmetic(t *testing.T) {
+	f := func(seed uint32) bool {
+		src := randomArithFunc(int(seed))
+		cf1, err := CompileFunction(src, "g")
+		if err != nil {
+			return false
+		}
+		formatted := Format(cf1.Prog)
+		cf2, err := CompileFunction(formatted, "g")
+		if err != nil {
+			return false
+		}
+		if Format(cf2.Prog) != formatted {
+			return false
+		}
+		for _, n := range []float64{0, 1, 7, -3} {
+			a, err1 := cf1.Call(map[string]any{"x": n})
+			b, err2 := cf2.Call(map[string]any{"x": n})
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if err1 == nil && !reflect.DeepEqual(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomArithFunc builds a deterministic random function of one numeric
+// parameter from a seed.
+func randomArithFunc(seed int) string {
+	next := func() int {
+		seed = seed*1103515245 + 12345
+		if seed < 0 {
+			seed = -seed
+		}
+		return seed
+	}
+	var expr func(depth int) string
+	expr = func(depth int) string {
+		if depth <= 0 {
+			switch next() % 3 {
+			case 0:
+				return "x"
+			case 1:
+				return itoaStr(next() % 10)
+			default:
+				return "(x + " + itoaStr(next()%5) + ")"
+			}
+		}
+		ops := []string{"+", "-", "*"}
+		op := ops[next()%len(ops)]
+		return "(" + expr(depth-1) + " " + op + " " + expr(depth-1) + ")"
+	}
+	body := "return " + expr(2+next()%2) + ";"
+	return "export function g({x}: {x: number}): number {\n  " + body + "\n}\n"
+}
+
+func itoaStr(n int) string {
+	digits := "0123456789"
+	if n < 10 {
+		return string(digits[n])
+	}
+	return string(digits[n/10]) + string(digits[n%10])
+}

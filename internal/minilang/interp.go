@@ -1,0 +1,518 @@
+package minilang
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RuntimeError is raised while executing minilang code. A generated
+// function that raises a RuntimeError fails semantic validation and the
+// codegen loop retries (paper §III-D Step 3).
+type RuntimeError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Pos.Line == 0 {
+		return "minilang: runtime: " + e.Msg
+	}
+	return fmt.Sprintf("minilang: runtime: %s at %s", e.Msg, e.Pos)
+}
+
+// ErrFuel is the message used when a program exceeds its step budget.
+// Generated code is untrusted (paper §VI discusses safety); the fuel
+// limit bounds runaway loops during validation.
+const ErrFuel = "execution step budget exceeded"
+
+// Env is a lexical scope.
+type Env struct {
+	parent *Env
+	vars   map[string]*binding
+}
+
+type binding struct {
+	value any
+	con   bool // declared with const
+}
+
+// NewEnv returns a child scope of parent (parent may be nil).
+func NewEnv(parent *Env) *Env {
+	return &Env{parent: parent, vars: map[string]*binding{}}
+}
+
+// Define declares a new variable in this scope.
+func (e *Env) Define(name string, v any, con bool) error {
+	if _, dup := e.vars[name]; dup {
+		return fmt.Errorf("duplicate declaration of %q", name)
+	}
+	e.vars[name] = &binding{value: v, con: con}
+	return nil
+}
+
+// Lookup finds the binding for name in this or an enclosing scope.
+func (e *Env) Lookup(name string) (*binding, bool) {
+	for s := e; s != nil; s = s.parent {
+		if b, ok := s.vars[name]; ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// Interp executes minilang programs.
+type Interp struct {
+	// MaxSteps bounds the number of evaluation steps; <=0 means the
+	// default of 10 million.
+	MaxSteps int64
+	// Stdout receives console.log output; nil discards it.
+	Stdout io.Writer
+
+	steps   int64
+	globals *Env
+}
+
+// NewInterp returns an interpreter with the standard global environment
+// (Math, JSON, Object, Array, console, parseInt, ...).
+func NewInterp() *Interp {
+	in := &Interp{MaxSteps: 10_000_000}
+	in.globals = NewEnv(nil)
+	installGlobals(in.globals)
+	return in
+}
+
+// Globals returns the global scope, so callers can add host bindings.
+func (in *Interp) Globals() *Env { return in.globals }
+
+// LoadProgram evaluates the top-level statements of prog in a child of
+// the global scope and returns that scope. Function declarations become
+// closures; other statements run for effect.
+func (in *Interp) LoadProgram(prog *Program) (*Env, error) {
+	env := NewEnv(in.globals)
+	for _, s := range prog.Stmts {
+		if _, c, err := in.execStmt(env, s); err != nil {
+			return nil, err
+		} else if c != ctrlNone {
+			return nil, &RuntimeError{Pos: s.NodePos(), Msg: "break/continue/return at top level"}
+		}
+	}
+	return env, nil
+}
+
+// CallFunction loads prog and invokes the function decl fd with named
+// arguments args (the AskIt calling convention). The step budget applies
+// to the whole call.
+func (in *Interp) CallFunction(prog *Program, fd *FuncDecl, args map[string]any) (any, error) {
+	in.steps = 0
+	env, err := in.LoadProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := env.Lookup(fd.Name)
+	if !ok {
+		return nil, &RuntimeError{Pos: fd.P, Msg: fmt.Sprintf("function %q not loaded", fd.Name)}
+	}
+	cl, ok := b.value.(*Closure)
+	if !ok {
+		return nil, &RuntimeError{Pos: fd.P, Msg: fmt.Sprintf("%q is not a function", fd.Name)}
+	}
+	mlArgs := make(map[string]any, len(args))
+	for k, v := range args {
+		mlArgs[k] = FromJSON(v)
+	}
+	if cl.Named {
+		return in.callClosure(cl, []any{mapToObject(mlArgs)}, fd.P)
+	}
+	// Positional fallback: bind by declared order.
+	pos := make([]any, len(cl.Params))
+	for i, p := range cl.Params {
+		pos[i] = mlArgs[p.Name]
+	}
+	return in.callClosure(cl, pos, fd.P)
+}
+
+func mapToObject(m map[string]any) map[string]any { return m }
+
+// Call invokes a function value with positional arguments.
+func (in *Interp) Call(fn any, args []any, at Pos) (any, error) {
+	switch f := fn.(type) {
+	case *Closure:
+		return in.callClosure(f, args, at)
+	case *Builtin:
+		return f.Fn(in, args)
+	case *CallableObj:
+		return f.Builtin.Fn(in, args)
+	default:
+		return nil, &RuntimeError{Pos: at, Msg: fmt.Sprintf("%s is not a function", TypeOf(fn))}
+	}
+}
+
+func (in *Interp) callClosure(cl *Closure, args []any, at Pos) (any, error) {
+	env := NewEnv(cl.Env)
+	if cl.Named {
+		// One object argument carrying named parameters.
+		var obj map[string]any
+		if len(args) == 1 {
+			if m, ok := args[0].(map[string]any); ok {
+				obj = m
+			}
+		}
+		if obj == nil {
+			return nil, &RuntimeError{Pos: at, Msg: fmt.Sprintf("function %s expects a named-argument object", cl.Name)}
+		}
+		for _, p := range cl.Params {
+			v, ok := obj[p.Name]
+			if !ok {
+				return nil, &RuntimeError{Pos: at, Msg: fmt.Sprintf("missing argument %q in call to %s", p.Name, cl.Name)}
+			}
+			if err := env.Define(p.Name, v, false); err != nil {
+				return nil, &RuntimeError{Pos: at, Msg: err.Error()}
+			}
+		}
+	} else {
+		for i, p := range cl.Params {
+			var v any
+			if i < len(args) {
+				v = args[i]
+			}
+			if err := env.Define(p.Name, v, false); err != nil {
+				return nil, &RuntimeError{Pos: at, Msg: err.Error()}
+			}
+		}
+	}
+	if cl.Expr != nil {
+		return in.eval(env, cl.Expr)
+	}
+	v, c, err := in.execStmt(env, cl.Body)
+	if err != nil {
+		return nil, err
+	}
+	if c == ctrlReturn {
+		return v, nil
+	}
+	return nil, nil
+}
+
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlReturn
+	ctrlBreak
+	ctrlContinue
+)
+
+func (in *Interp) tick(at Pos) error {
+	in.steps++
+	limit := in.MaxSteps
+	if limit <= 0 {
+		limit = 10_000_000
+	}
+	if in.steps > limit {
+		return &RuntimeError{Pos: at, Msg: ErrFuel}
+	}
+	return nil
+}
+
+func (in *Interp) execStmt(env *Env, s Stmt) (any, ctrl, error) {
+	if err := in.tick(s.NodePos()); err != nil {
+		return nil, ctrlNone, err
+	}
+	switch st := s.(type) {
+	case *BlockStmt:
+		inner := NewEnv(env)
+		for _, sub := range st.Stmts {
+			v, c, err := in.execStmt(inner, sub)
+			if err != nil || c != ctrlNone {
+				return v, c, err
+			}
+		}
+		return nil, ctrlNone, nil
+	case *VarDecl:
+		var v any
+		if st.Init != nil {
+			var err error
+			v, err = in.eval(env, st.Init)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+		}
+		if err := env.Define(st.Name, v, st.Keyword == "const"); err != nil {
+			return nil, ctrlNone, &RuntimeError{Pos: st.P, Msg: err.Error()}
+		}
+		return nil, ctrlNone, nil
+	case *AssignStmt:
+		return nil, ctrlNone, in.assign(env, st)
+	case *IncDecStmt:
+		cur, err := in.eval(env, st.Target)
+		if err != nil {
+			return nil, ctrlNone, err
+		}
+		delta := 1.0
+		if st.Op == "--" {
+			delta = -1
+		}
+		return nil, ctrlNone, in.storeTo(env, st.Target, ToNumber(cur)+delta)
+	case *ExprStmt:
+		_, err := in.eval(env, st.X)
+		return nil, ctrlNone, err
+	case *IfStmt:
+		cond, err := in.eval(env, st.Cond)
+		if err != nil {
+			return nil, ctrlNone, err
+		}
+		if Truthy(cond) {
+			return in.execStmt(env, st.Then)
+		}
+		if st.Else != nil {
+			return in.execStmt(env, st.Else)
+		}
+		return nil, ctrlNone, nil
+	case *WhileStmt:
+		for {
+			cond, err := in.eval(env, st.Cond)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+			if !Truthy(cond) {
+				return nil, ctrlNone, nil
+			}
+			v, c, err := in.execStmt(env, st.Body)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+			switch c {
+			case ctrlReturn:
+				return v, c, nil
+			case ctrlBreak:
+				return nil, ctrlNone, nil
+			}
+		}
+	case *ForStmt:
+		loopEnv := NewEnv(env)
+		if st.Init != nil {
+			if _, c, err := in.execStmt(loopEnv, st.Init); err != nil || c != ctrlNone {
+				return nil, ctrlNone, err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				cond, err := in.eval(loopEnv, st.Cond)
+				if err != nil {
+					return nil, ctrlNone, err
+				}
+				if !Truthy(cond) {
+					return nil, ctrlNone, nil
+				}
+			}
+			v, c, err := in.execStmt(loopEnv, st.Body)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+			if c == ctrlReturn {
+				return v, c, nil
+			}
+			if c == ctrlBreak {
+				return nil, ctrlNone, nil
+			}
+			if st.Post != nil {
+				if _, _, err := in.execStmt(loopEnv, st.Post); err != nil {
+					return nil, ctrlNone, err
+				}
+			}
+		}
+	case *ForOfStmt:
+		seq, err := in.eval(env, st.Seq)
+		if err != nil {
+			return nil, ctrlNone, err
+		}
+		items, err := iterate(seq, st.In, st.P)
+		if err != nil {
+			return nil, ctrlNone, err
+		}
+		for _, item := range items {
+			iterEnv := NewEnv(env)
+			if err := iterEnv.Define(st.Name, item, st.Keyword == "const"); err != nil {
+				return nil, ctrlNone, &RuntimeError{Pos: st.P, Msg: err.Error()}
+			}
+			v, c, err := in.execStmt(iterEnv, st.Body)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+			if c == ctrlReturn {
+				return v, c, nil
+			}
+			if c == ctrlBreak {
+				return nil, ctrlNone, nil
+			}
+		}
+		return nil, ctrlNone, nil
+	case *ReturnStmt:
+		var v any
+		if st.Value != nil {
+			var err error
+			v, err = in.eval(env, st.Value)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+		}
+		return v, ctrlReturn, nil
+	case *BreakStmt:
+		return nil, ctrlBreak, nil
+	case *ContinueStmt:
+		return nil, ctrlContinue, nil
+	case *ThrowStmt:
+		v, err := in.eval(env, st.Value)
+		if err != nil {
+			return nil, ctrlNone, err
+		}
+		msg := ToString(v)
+		if m, ok := v.(map[string]any); ok {
+			if s, ok := m["message"].(string); ok {
+				msg = s
+			}
+		}
+		return nil, ctrlNone, &RuntimeError{Pos: st.P, Msg: "thrown: " + msg}
+	case *FuncDecl:
+		cl := &Closure{Name: st.Name, Params: st.Params, Named: st.Named, Body: st.Body, Env: env}
+		if err := env.Define(st.Name, cl, false); err != nil {
+			return nil, ctrlNone, &RuntimeError{Pos: st.P, Msg: err.Error()}
+		}
+		return nil, ctrlNone, nil
+	default:
+		return nil, ctrlNone, &RuntimeError{Pos: s.NodePos(), Msg: fmt.Sprintf("unhandled statement %T", s)}
+	}
+}
+
+func iterate(seq any, asIn bool, at Pos) ([]any, error) {
+	switch x := seq.(type) {
+	case *Array:
+		if asIn {
+			out := make([]any, len(x.Elems))
+			for i := range x.Elems {
+				out[i] = float64(i)
+			}
+			return out, nil
+		}
+		return append([]any(nil), x.Elems...), nil
+	case string:
+		var out []any
+		for _, r := range x {
+			out = append(out, string(r))
+		}
+		return out, nil
+	case map[string]any:
+		keys := sortedKeys(x)
+		out := make([]any, len(keys))
+		for i, k := range keys {
+			if asIn {
+				out[i] = k
+			} else {
+				out[i] = x[k]
+			}
+		}
+		return out, nil
+	case *SetVal:
+		return x.Values(), nil
+	case *MapVal:
+		keys := x.Keys()
+		out := make([]any, len(keys))
+		for i, k := range keys {
+			out[i] = NewArray(k, x.Get(k))
+		}
+		return out, nil
+	default:
+		return nil, &RuntimeError{Pos: at, Msg: fmt.Sprintf("value of type %s is not iterable", TypeOf(seq))}
+	}
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion order is not tracked; sorted order keeps runs deterministic
+	sortStrings(keys)
+	return keys
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+func (in *Interp) assign(env *Env, st *AssignStmt) error {
+	val, err := in.eval(env, st.Value)
+	if err != nil {
+		return err
+	}
+	if st.Op != "=" {
+		cur, err := in.eval(env, st.Target)
+		if err != nil {
+			return err
+		}
+		val, err = binaryOp(strings.TrimSuffix(st.Op, "="), cur, val, st.P)
+		if err != nil {
+			return err
+		}
+	}
+	return in.storeTo(env, st.Target, val)
+}
+
+func (in *Interp) storeTo(env *Env, target Expr, val any) error {
+	switch t := target.(type) {
+	case *Ident:
+		b, ok := env.Lookup(t.Name)
+		if !ok {
+			return &RuntimeError{Pos: t.P, Msg: fmt.Sprintf("assignment to undeclared variable %q", t.Name)}
+		}
+		if b.con {
+			return &RuntimeError{Pos: t.P, Msg: fmt.Sprintf("assignment to constant %q", t.Name)}
+		}
+		b.value = val
+		return nil
+	case *MemberExpr:
+		obj, err := in.eval(env, t.X)
+		if err != nil {
+			return err
+		}
+		m, ok := obj.(map[string]any)
+		if !ok {
+			return &RuntimeError{Pos: t.P, Msg: fmt.Sprintf("cannot set property %q on %s", t.Name, TypeOf(obj))}
+		}
+		m[t.Name] = val
+		return nil
+	case *IndexExpr:
+		obj, err := in.eval(env, t.X)
+		if err != nil {
+			return err
+		}
+		idx, err := in.eval(env, t.Index)
+		if err != nil {
+			return err
+		}
+		switch c := obj.(type) {
+		case *Array:
+			i := int(ToNumber(idx))
+			if i < 0 {
+				return &RuntimeError{Pos: t.P, Msg: fmt.Sprintf("negative array index %d", i)}
+			}
+			for len(c.Elems) <= i {
+				c.Elems = append(c.Elems, nil)
+			}
+			c.Elems[i] = val
+			return nil
+		case map[string]any:
+			c[ToString(idx)] = val
+			return nil
+		default:
+			return &RuntimeError{Pos: t.P, Msg: fmt.Sprintf("cannot index-assign on %s", TypeOf(obj))}
+		}
+	default:
+		return &RuntimeError{Pos: target.NodePos(), Msg: "invalid assignment target"}
+	}
+}

@@ -1,0 +1,701 @@
+package minilang
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// evalExpr runs `return <src>;` inside a function and returns the JSON value.
+func evalExpr(t *testing.T, src string) any {
+	t.Helper()
+	cf, err := CompileFunction("export function f({}: {}): any { return "+src+"; }", "f")
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	v, err := cf.Call(map[string]any{})
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]any{
+		"1 + 2":         3.0,
+		"10 - 4":        6.0,
+		"3 * 4":         12.0,
+		"10 / 4":        2.5,
+		"10 % 3":        1.0,
+		"2 ** 10":       1024.0,
+		"-5 + 2":        -3.0,
+		"1 + 2 * 3":     7.0,
+		"(1 + 2) * 3":   9.0,
+		"2 ** 3 ** 2":   512.0, // right associative
+		`"a" + "b"`:     "ab",
+		`"n=" + 5`:      "n=5",
+		`5 + "n"`:       "5n",
+		"1 < 2":         true,
+		"2 <= 2":        true,
+		"3 > 4":         false,
+		`"abc" < "abd"`: true,
+		"1 === 1":       true,
+		"1 == 1":        true,
+		`1 === "1"`:     false,
+		"1 !== 2":       true,
+		"true && false": false,
+		"true || false": true,
+		"!true":         false,
+		"null ?? 5":     5.0,
+		"0 ?? 5":        0.0,
+		"true ? 1 : 2":  1.0,
+		"false ? 1 : 2": 2.0,
+		"typeof 1":      "number",
+		`typeof "s"`:    "string",
+		"typeof true":   "boolean",
+		"typeof null":   "object",
+		"7 & 3":         3.0,
+		"4 | 1":         5.0,
+		"5 ^ 1":         4.0,
+		"~0":            -1.0,
+	}
+	for src, want := range cases {
+		got := evalExpr(t, src)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %#v, want %#v", src, got, want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	src := `
+export function f({}: {}): number {
+  let calls = 0;
+  const bump = () => { calls = calls + 1; return true; };
+  const a = false && bump();
+  const b = true || bump();
+  return calls;
+}`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cf.Call(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0.0 {
+		t.Errorf("calls = %v, want 0", v)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+export function classify({n}: {n: number}): string {
+  if (n < 0) {
+    return "negative";
+  } else if (n === 0) {
+    return "zero";
+  } else {
+    return "positive";
+  }
+}`
+	cf, err := CompileFunction(src, "classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]string{-3: "negative", 0: "zero", 9: "positive"}
+	for n, want := range cases {
+		got, err := cf.Call(map[string]any{"n": n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("classify(%v) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestLoops(t *testing.T) {
+	src := `
+export function sums({n}: {n: number}): number[] {
+  let whileSum = 0;
+  let i = 1;
+  while (i <= n) { whileSum += i; i++; }
+  let forSum = 0;
+  for (let j = 1; j <= n; j++) { forSum += j; }
+  let ofSum = 0;
+  const xs = [];
+  for (let k = 1; k <= n; k++) { xs.push(k); }
+  for (const x of xs) { ofSum += x; }
+  let doSum = 0;
+  let m = 1;
+  do { doSum += m; m++; } while (m <= n);
+  return [whileSum, forSum, ofSum, doSum];
+}`
+	cf, err := CompileFunction(src, "sums")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(map[string]any{"n": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []any{55.0, 55.0, 55.0, 55.0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sums = %v, want %v", got, want)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+export function f({}: {}): number {
+  let sum = 0;
+  for (let i = 0; i < 100; i++) {
+    if (i % 2 === 0) { continue; }
+    if (i > 10) { break; }
+    sum += i;
+  }
+  return sum;
+}`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 25.0 { // 1+3+5+7+9
+		t.Errorf("got %v, want 25", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	src := `
+export function fact({n}: {n: number}): number {
+  if (n <= 1) { return 1; }
+  return n * fact({n: n - 1});
+}`
+	cf, err := CompileFunction(src, "fact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(map[string]any{"n": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3628800.0 {
+		t.Errorf("fact(10) = %v", got)
+	}
+}
+
+func TestHelperFunctions(t *testing.T) {
+	src := `
+function double(x) { return x * 2; }
+export function f({n}: {n: number}): number {
+  return double(double(n));
+}`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(map[string]any{"n": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 12.0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestClosuresCapture(t *testing.T) {
+	src := `
+export function f({}: {}): number {
+  let counter = 0;
+  const inc = () => { counter += 1; return counter; };
+  inc();
+  inc();
+  return inc();
+}`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestArrayMethods(t *testing.T) {
+	cases := map[string]any{
+		"[1, 2, 3].length":                        3.0,
+		"[1, 2, 3].map((x) => x * 2)":             []any{2.0, 4.0, 6.0},
+		"[1, 2, 3, 4].filter((x) => x % 2 === 0)": []any{2.0, 4.0},
+		"[1, 2, 3].reduce((a, b) => a + b, 0)":    6.0,
+		"[1, 2, 3].reduce((a, b) => a + b)":       6.0,
+		"[3, 1, 2].sort((a, b) => a - b)":         []any{1.0, 2.0, 3.0},
+		"[10, 9, 1].sort()":                       []any{1.0, 10.0, 9.0}, // JS string sort
+		"[1, 2, 3].reverse()":                     []any{3.0, 2.0, 1.0},
+		"[1, 2, 3].includes(2)":                   true,
+		"[1, 2, 3].includes(9)":                   false,
+		"[1, 2, 3].indexOf(3)":                    2.0,
+		"[1, 2, 3].indexOf(9)":                    -1.0,
+		`["a", "b"].join("-")`:                    "a-b",
+		"[1, 2, 3, 4].slice(1, 3)":                []any{2.0, 3.0},
+		"[1, 2, 3].slice(-2)":                     []any{2.0, 3.0},
+		"[1, [2, [3]]].flat()":                    []any{1.0, 2.0, []any{3.0}},
+		"[1, [2, [3]]].flat(2)":                   []any{1.0, 2.0, 3.0},
+		"[1, 2].concat([3, 4], 5)":                []any{1.0, 2.0, 3.0, 4.0, 5.0},
+		"[1, 2, 3].some((x) => x > 2)":            true,
+		"[1, 2, 3].every((x) => x > 0)":           true,
+		"[1, 2, 3].every((x) => x > 1)":           false,
+		"[1, 2, 3].find((x) => x > 1)":            2.0,
+		"[1, 2, 3].findIndex((x) => x > 1)":       1.0,
+		"[1, 2].flatMap((x) => [x, x * 10])":      []any{1.0, 10.0, 2.0, 20.0},
+		"[...[1, 2], 3]":                          []any{1.0, 2.0, 3.0},
+		"[1, 2, 3].at(-1)":                        3.0,
+		"Array.from([1, 2])":                      []any{1.0, 2.0},
+		"Array.from([1, 2], (x) => x + 1)":        []any{2.0, 3.0},
+		"Array.isArray([1])":                      true,
+		"Array.isArray(3)":                        false,
+		"Math.max(...[4, 9, 2])":                  9.0,
+	}
+	for src, want := range cases {
+		got := evalExpr(t, src)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %#v, want %#v", src, got, want)
+		}
+	}
+}
+
+func TestArrayMutation(t *testing.T) {
+	src := `
+export function f({}: {}): any {
+  const xs = [1, 2, 3];
+  xs.push(4);
+  const popped = xs.pop();
+  xs.unshift(0);
+  const shifted = xs.shift();
+  xs[1] = 99;
+  const removed = xs.splice(1, 1, 7, 8);
+  return { xs, popped, shifted, removed };
+}`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.(map[string]any)
+	if !reflect.DeepEqual(m["xs"], []any{1.0, 7.0, 8.0, 3.0}) {
+		t.Errorf("xs = %v", m["xs"])
+	}
+	if m["popped"] != 4.0 || m["shifted"] != 0.0 {
+		t.Errorf("popped=%v shifted=%v", m["popped"], m["shifted"])
+	}
+	if !reflect.DeepEqual(m["removed"], []any{99.0}) {
+		t.Errorf("removed = %v", m["removed"])
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	cases := map[string]any{
+		`"hello".toUpperCase()`:              "HELLO",
+		`"HELLO".toLowerCase()`:              "hello",
+		`"  x  ".trim()`:                     "x",
+		`"a,b,c".split(",")`:                 []any{"a", "b", "c"},
+		`"abc".split("")`:                    []any{"a", "b", "c"},
+		`"hello".length`:                     5.0,
+		`"hello".charAt(1)`:                  "e",
+		`"hello"[1]`:                         "e",
+		`"hello".indexOf("ll")`:              2.0,
+		`"hello".includes("ell")`:            true,
+		`"hello".startsWith("he")`:           true,
+		`"hello".endsWith("lo")`:             true,
+		`"hello".slice(1, 3)`:                "el",
+		`"hello".slice(-3)`:                  "llo",
+		`"hello".substring(3, 1)`:            "el",
+		`"a-b-c".replace("-", "+")`:          "a+b-c",
+		`"a-b-c".replaceAll("-", "+")`:       "a+b+c",
+		`"ab".repeat(3)`:                     "ababab",
+		`"5".padStart(3, "0")`:               "005",
+		`"5".padEnd(3, "0")`:                 "500",
+		`"a".charCodeAt(0)`:                  97.0,
+		`String.fromCharCode(97, 98)`:        "ab",
+		`"abc".split("").reverse().join("")`: "cba",
+		`String(42)`:                         "42",
+		`Number("3.5")`:                      3.5,
+		`Boolean("")`:                        false,
+		`parseInt("42abc")`:                  42.0,
+		`parseInt("ff", 16)`:                 255.0,
+		`parseFloat("3.14xyz")`:              3.14,
+		`isNaN(Number("zz"))`:                true,
+		`"b".localeCompare("a")`:             1.0,
+	}
+	for src, want := range cases {
+		got := evalExpr(t, src)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %#v, want %#v", src, got, want)
+		}
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	cases := map[string]float64{
+		"Math.floor(2.7)":   2,
+		"Math.ceil(2.1)":    3,
+		"Math.round(2.5)":   3,
+		"Math.round(-2.5)":  -2, // JS half-up
+		"Math.abs(-4)":      4,
+		"Math.sqrt(16)":     4,
+		"Math.pow(2, 8)":    256,
+		"Math.max(1, 9, 4)": 9,
+		"Math.min(1, 9, 4)": 1,
+		"Math.trunc(-2.7)":  -2,
+		"Math.sign(-3)":     -1,
+		"Math.hypot(3, 4)":  5,
+		"Math.log2(8)":      3,
+	}
+	for src, want := range cases {
+		got := evalExpr(t, src)
+		if f, ok := got.(float64); !ok || math.Abs(f-want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestObjectsAndJSON(t *testing.T) {
+	cases := map[string]any{
+		`({a: 1, b: 2}).a`:              1.0,
+		`({a: 1})["a"]`:                 1.0,
+		`Object.keys({b: 1, a: 2})`:     []any{"a", "b"},
+		`Object.values({b: 1, a: 2})`:   []any{2.0, 1.0},
+		`JSON.stringify({a: [1, "x"]})`: `{"a": [1, "x"]}`,
+		`JSON.parse("[1, 2]")`:          []any{1.0, 2.0},
+		`JSON.parse("{\"k\": true}").k`: true,
+		`({a: 1}).hasOwnProperty("a")`:  true,
+		`({a: 1}).hasOwnProperty("z")`:  false,
+	}
+	for src, want := range cases {
+		got := evalExpr(t, src)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %#v, want %#v", src, got, want)
+		}
+	}
+}
+
+func TestObjectShorthandAndMutation(t *testing.T) {
+	src := `
+export function f({}: {}): any {
+  const a = 1;
+  const obj = { a, b: 2 };
+  obj.c = 3;
+  obj["d"] = 4;
+  let total = 0;
+  for (const k in obj) { total += obj[k]; }
+  return total;
+}`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10.0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSetAndMap(t *testing.T) {
+	src := `
+export function f({xs}: {xs: number[]}): any {
+  const seen = new Set();
+  const out = [];
+  for (const x of xs) {
+    if (!seen.has(x)) { seen.add(x); out.push(x); }
+  }
+  const counts = new Map();
+  for (const x of xs) {
+    counts.set(x, (counts.get(x) ?? 0) + 1);
+  }
+  return { unique: out, size: seen.size, twos: counts.get(2) };
+}`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(map[string]any{"xs": []any{1.0, 2.0, 2.0, 3.0, 1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.(map[string]any)
+	if !reflect.DeepEqual(m["unique"], []any{1.0, 2.0, 3.0}) {
+		t.Errorf("unique = %v", m["unique"])
+	}
+	if m["size"] != 3.0 || m["twos"] != 2.0 {
+		t.Errorf("size=%v twos=%v", m["size"], m["twos"])
+	}
+}
+
+func TestSpreadSet(t *testing.T) {
+	got := evalExpr(t, "[...new Set([3, 1, 3, 2])]")
+	if !reflect.DeepEqual(got, []any{3.0, 1.0, 2.0}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestTemplateLiterals(t *testing.T) {
+	src := `
+export function f({name, n}: {name: string, n: number}): string {
+  return ` + "`Hello ${name}, you have ${n + 1} items`" + `;
+}`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(map[string]any{"name": "Ada", "n": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "Hello Ada, you have 3 items" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestThrow(t *testing.T) {
+	src := `
+export function f({n}: {n: number}): number {
+  if (n < 0) { throw new Error("negative input"); }
+  return n;
+}`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.Call(map[string]any{"n": -1}); err == nil {
+		t.Fatal("expected error")
+	} else if !strings.Contains(err.Error(), "negative input") {
+		t.Errorf("err = %v", err)
+	}
+	if v, err := cf.Call(map[string]any{"n": 5}); err != nil || v != 5.0 {
+		t.Errorf("v=%v err=%v", v, err)
+	}
+}
+
+func TestFuelLimit(t *testing.T) {
+	src := `export function f({}: {}): number { while (true) {} return 1; }`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf.MaxSteps = 10000
+	_, err = cf.Call(nil)
+	if err == nil || !strings.Contains(err.Error(), ErrFuel) {
+		t.Errorf("err = %v, want fuel error", err)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []string{
+		`export function f({}: {}): any { return undefinedVar2; }`, // caught by Check actually
+	}
+	_ = cases
+	// Calling a non-function
+	cf, err := CompileFunction(`export function f({}: {}): any { const x = 3; return x(); }`, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.Call(nil); err == nil {
+		t.Error("expected 'not a function' error")
+	}
+	// Indexing null
+	cf, err = CompileFunction(`export function f({}: {}): any { const x = null; return x[0]; }`, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.Call(nil); err == nil {
+		t.Error("expected 'cannot index null' error")
+	}
+	// const reassignment at runtime via closure capture is caught statically;
+	// test the runtime path through an interpreter-level assignment:
+	cf, err = CompileFunction(`export function f({}: {}): any { let m = {}; m.x = 1; return m.x; }`, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := cf.Call(nil); err != nil || v != 1.0 {
+		t.Errorf("v=%v err=%v", v, err)
+	}
+}
+
+func TestNamedArgumentConvention(t *testing.T) {
+	src := `export function add({x, y}: {x: number, y: number}): number { return x + y; }`
+	cf, err := CompileFunction(src, "add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(map[string]any{"x": 2, "y": 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42.0 {
+		t.Errorf("got %v", got)
+	}
+	// Missing argument is an error.
+	if _, err := cf.Call(map[string]any{"x": 2}); err == nil {
+		t.Error("expected missing-argument error")
+	}
+}
+
+func TestPositionalFunctionViaCallFunction(t *testing.T) {
+	src := `export function add(x, y) { return x + y; }`
+	cf, err := CompileFunction(src, "add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cf.Call(map[string]any{"x": 1, "y": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestValidateExamples(t *testing.T) {
+	src := `export function rev({s}: {s: string}): string { return s.split("").reverse().join(""); }`
+	cf, err := CompileFunction(src, "rev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := []Example{
+		{Input: map[string]any{"s": "abc"}, Output: "cba"},
+		{Input: map[string]any{"s": ""}, Output: ""},
+	}
+	if err := cf.Validate(ok); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	bad := []Example{{Input: map[string]any{"s": "abc"}, Output: "abc"}}
+	if err := cf.Validate(bad); err == nil {
+		t.Error("expected validation failure")
+	}
+}
+
+func TestValidateFloatTolerance(t *testing.T) {
+	src := `export function avg({ns}: {ns: number[]}): number { return ns.reduce((a, b) => a + b, 0) / ns.length; }`
+	cf, err := CompileFunction(src, "avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs := []Example{{Input: map[string]any{"ns": []any{0.1, 0.2}}, Output: 0.15000000000000002}}
+	if err := cf.Validate(exs); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	exs2 := []Example{{Input: map[string]any{"ns": []any{0.1, 0.2}}, Output: 0.15}}
+	if err := cf.Validate(exs2); err != nil {
+		t.Errorf("Validate with tolerance: %v", err)
+	}
+}
+
+func TestConsoleLogCapture(t *testing.T) {
+	var buf strings.Builder
+	err := Run(`console.log("x =", 42, [1, 2], {a: 1});`, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `x = 42 [1, 2] {"a": 1}` + "\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}
+
+// Property: the interpreter's factorial matches Go's for n in [0, 15].
+func TestQuickFactorialAgainstGo(t *testing.T) {
+	src := `
+export function fact({n}: {n: number}): number {
+  let r = 1;
+  for (let i = 2; i <= n; i++) { r *= i; }
+  return r;
+}`
+	cf, err := CompileFunction(src, "fact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(n uint8) bool {
+		m := int(n % 16)
+		want := 1.0
+		for i := 2; i <= m; i++ {
+			want *= float64(i)
+		}
+		got, err := cf.Call(map[string]any{"n": m})
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sort with numeric comparator sorts any int slice.
+func TestQuickSortProperty(t *testing.T) {
+	src := `export function s({ns}: {ns: number[]}): number[] { return ns.sort((a, b) => a - b); }`
+	cf, err := CompileFunction(src, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ns []int16) bool {
+		in := make([]any, len(ns))
+		for i, n := range ns {
+			in[i] = float64(n)
+		}
+		got, err := cf.Call(map[string]any{"ns": in})
+		if err != nil {
+			return false
+		}
+		arr := got.([]any)
+		if len(arr) != len(ns) {
+			return false
+		}
+		for i := 1; i < len(arr); i++ {
+			if arr[i-1].(float64) > arr[i].(float64) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInterpFibonacci(b *testing.B) {
+	src := `
+export function fib({n}: {n: number}): number[] {
+  const out = [];
+  let a = 0;
+  let c = 1;
+  while (a <= n) { out.push(a); const t = a + c; a = c; c = t; }
+  return out;
+}`
+	cf, err := CompileFunction(src, "fib")
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := map[string]any{"n": 10000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cf.Call(args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package minilang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer tokenizes minilang source text.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize lexes the entire input, excluding comments.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *Lexer) at() Pos { return Pos{Offset: lx.pos, Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) errf(pos Pos, format string, args ...any) error {
+	return &CompileError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *Lexer) advance(n int) {
+	for i := 0; i < n && lx.pos < len(lx.src); i++ {
+		if lx.src[lx.pos] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.pos++
+	}
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance(1)
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.advance(1)
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			start := lx.at()
+			lx.advance(2)
+			closed := false
+			for lx.pos+1 < len(lx.src) {
+				if lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/' {
+					lx.advance(2)
+					closed = true
+					break
+				}
+				lx.advance(1)
+			}
+			if !closed {
+				return lx.errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-byte punctuation, longest first.
+var punct3 = []string{"===", "!==", "**=", "...", "&&=", "||="}
+var punct2 = []string{
+	"==", "!=", "<=", ">=", "&&", "||", "??", "=>", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "**",
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.at()
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case c == '"' || c == '\'':
+		s, err := lx.quoted(c)
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: STRING, Text: s, Pos: pos}, nil
+	case c == '`':
+		// Template literals are surfaced as a single TEMPLATE token whose
+		// Text is the raw body; the parser re-scans ${...} parts.
+		raw, err := lx.templateRaw()
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TEMPLATE, Text: raw, Pos: pos}, nil
+	case c >= '0' && c <= '9' || c == '.' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9':
+		return lx.number(pos)
+	case isIdentStart(rune(c)) || c >= utf8.RuneSelf:
+		return lx.identOrKeyword(pos)
+	default:
+		return lx.punct(pos)
+	}
+}
+
+func (lx *Lexer) quoted(q byte) (string, error) {
+	start := lx.at()
+	lx.advance(1)
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch c {
+		case q:
+			lx.advance(1)
+			return b.String(), nil
+		case '\\':
+			if lx.pos+1 >= len(lx.src) {
+				return "", lx.errf(start, "unterminated string")
+			}
+			esc := lx.src[lx.pos+1]
+			lx.advance(2)
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case '0':
+				b.WriteByte(0)
+			case 'u':
+				r, err := lx.unicodeEscape(start)
+				if err != nil {
+					return "", err
+				}
+				b.WriteRune(r)
+			case 'x':
+				if lx.pos+2 > len(lx.src) {
+					return "", lx.errf(start, "truncated \\x escape")
+				}
+				n, err := strconv.ParseUint(lx.src[lx.pos:lx.pos+2], 16, 8)
+				if err != nil {
+					return "", lx.errf(start, "invalid \\x escape")
+				}
+				lx.advance(2)
+				b.WriteByte(byte(n))
+			default:
+				b.WriteByte(esc)
+			}
+		case '\n':
+			return "", lx.errf(start, "unterminated string")
+		default:
+			b.WriteByte(c)
+			lx.advance(1)
+		}
+	}
+	return "", lx.errf(start, "unterminated string")
+}
+
+func (lx *Lexer) unicodeEscape(start Pos) (rune, error) {
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '{' {
+		end := strings.IndexByte(lx.src[lx.pos:], '}')
+		if end < 0 {
+			return 0, lx.errf(start, "unterminated \\u{...} escape")
+		}
+		n, err := strconv.ParseUint(lx.src[lx.pos+1:lx.pos+end], 16, 32)
+		if err != nil {
+			return 0, lx.errf(start, "invalid \\u{...} escape")
+		}
+		lx.advance(end + 1)
+		return rune(n), nil
+	}
+	if lx.pos+4 > len(lx.src) {
+		return 0, lx.errf(start, "truncated \\u escape")
+	}
+	n, err := strconv.ParseUint(lx.src[lx.pos:lx.pos+4], 16, 32)
+	if err != nil {
+		return 0, lx.errf(start, "invalid \\u escape")
+	}
+	lx.advance(4)
+	return rune(n), nil
+}
+
+// templateRaw consumes a backquoted template literal and returns its raw
+// body (between the backquotes), tracking nested ${ } so expressions can
+// contain braces and strings.
+func (lx *Lexer) templateRaw() (string, error) {
+	start := lx.at()
+	lx.advance(1) // consume `
+	var b strings.Builder
+	depth := 0
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\\' && lx.pos+1 < len(lx.src):
+			b.WriteByte(c)
+			b.WriteByte(lx.src[lx.pos+1])
+			lx.advance(2)
+		case c == '`' && depth == 0:
+			lx.advance(1)
+			return b.String(), nil
+		case c == '$' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '{':
+			depth++
+			b.WriteString("${")
+			lx.advance(2)
+		case c == '}' && depth > 0:
+			depth--
+			b.WriteByte('}')
+			lx.advance(1)
+		default:
+			b.WriteByte(c)
+			lx.advance(1)
+		}
+	}
+	return "", lx.errf(start, "unterminated template literal")
+}
+
+func (lx *Lexer) number(pos Pos) (Token, error) {
+	start := lx.pos
+	// hex/binary/octal
+	if lx.src[lx.pos] == '0' && lx.pos+1 < len(lx.src) {
+		switch lx.src[lx.pos+1] {
+		case 'x', 'X', 'b', 'B', 'o', 'O':
+			lx.advance(2)
+			for lx.pos < len(lx.src) && isHexDigit(lx.src[lx.pos]) {
+				lx.advance(1)
+			}
+			n, err := strconv.ParseInt(lx.src[start:lx.pos], 0, 64)
+			if err != nil {
+				return Token{}, lx.errf(pos, "invalid number %q", lx.src[start:lx.pos])
+			}
+			return Token{Kind: NUMBER, Num: float64(n), Pos: pos}, nil
+		}
+	}
+	seenDot, seenExp := false, false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			lx.advance(1)
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			lx.advance(1)
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			lx.advance(1)
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+				lx.advance(1)
+			}
+		case c == '_':
+			lx.advance(1)
+		default:
+			goto done
+		}
+	}
+done:
+	text := strings.ReplaceAll(lx.src[start:lx.pos], "_", "")
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return Token{}, lx.errf(pos, "invalid number %q", text)
+	}
+	return Token{Kind: NUMBER, Num: f, Pos: pos}, nil
+}
+
+func (lx *Lexer) identOrKeyword(pos Pos) (Token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if isIdentPart(r) {
+			lx.advance(size)
+			continue
+		}
+		break
+	}
+	text := lx.src[start:lx.pos]
+	kind := IDENT
+	if keywords[text] {
+		kind = KEYWORD
+	}
+	return Token{Kind: kind, Text: text, Pos: pos}, nil
+}
+
+func (lx *Lexer) punct(pos Pos) (Token, error) {
+	rest := lx.src[lx.pos:]
+	for _, p := range punct3 {
+		if strings.HasPrefix(rest, p) {
+			lx.advance(3)
+			return Token{Kind: PUNCT, Text: p, Pos: pos}, nil
+		}
+	}
+	for _, p := range punct2 {
+		if strings.HasPrefix(rest, p) {
+			lx.advance(2)
+			return Token{Kind: PUNCT, Text: p, Pos: pos}, nil
+		}
+	}
+	c := lx.src[lx.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '!', '(', ')', '[', ']',
+		'{', '}', ',', ';', ':', '.', '?', '&', '|', '^', '~':
+		lx.advance(1)
+		return Token{Kind: PUNCT, Text: string(c), Pos: pos}, nil
+	}
+	return Token{}, lx.errf(pos, "unexpected character %q", string(c))
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' || c == '_'
+}

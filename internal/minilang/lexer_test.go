@@ -1,0 +1,146 @@
+package minilang
+
+import (
+	"testing"
+)
+
+func lexKinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexKinds(t, `let x = 42;`)
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{KEYWORD, "let"}, {IDENT, "x"}, {PUNCT, "="}, {NUMBER, ""}, {PUNCT, ";"}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind {
+			t.Errorf("tok %d kind = %v, want %v", i, toks[i].Kind, w.kind)
+		}
+		if w.text != "" && toks[i].Text != w.text {
+			t.Errorf("tok %d text = %q, want %q", i, toks[i].Text, w.text)
+		}
+	}
+	if toks[3].Num != 42 {
+		t.Errorf("number = %v", toks[3].Num)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]float64{
+		"0":      0,
+		"3.14":   3.14,
+		"1e3":    1000,
+		"2.5e-2": 0.025,
+		"0x10":   16,
+		"0b101":  5,
+		"0o17":   15,
+		"1_000":  1000,
+		".5":     0.5,
+	}
+	for src, want := range cases {
+		toks := lexKinds(t, src)
+		if toks[0].Kind != NUMBER || toks[0].Num != want {
+			t.Errorf("lex(%q) = %v (%v), want %v", src, toks[0].Num, toks[0].Kind, want)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	cases := map[string]string{
+		`"hello"`:     "hello",
+		`'single'`:    "single",
+		`"a\nb\tc"`:   "a\nb\tc",
+		`"q\"uote"`:   `q"uote`,
+		`'it\'s'`:     "it's",
+		`"A"`:         "A",
+		`"\u{1F600}"`: "😀",
+		`"\x41"`:      "A",
+	}
+	for src, want := range cases {
+		toks := lexKinds(t, src)
+		if toks[0].Kind != STRING || toks[0].Text != want {
+			t.Errorf("lex(%s) = %q, want %q", src, toks[0].Text, want)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexKinds(t, "// line\nx /* block\nmultiline */ y")
+	if len(toks) != 3 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestLexTemplate(t *testing.T) {
+	toks := lexKinds(t, "`a ${x + 1} b`")
+	if toks[0].Kind != TEMPLATE {
+		t.Fatalf("kind = %v", toks[0].Kind)
+	}
+	if toks[0].Text != "a ${x + 1} b" {
+		t.Errorf("text = %q", toks[0].Text)
+	}
+}
+
+func TestLexTemplateNested(t *testing.T) {
+	toks := lexKinds(t, "`v: ${obj.f({a: 1})}`")
+	if toks[0].Kind != TEMPLATE || toks[0].Text != "v: ${obj.f({a: 1})}" {
+		t.Errorf("tok = %+v", toks[0])
+	}
+}
+
+func TestLexPunct(t *testing.T) {
+	toks := lexKinds(t, "=== !== == != <= >= && || ?? => ++ -- += -= ** ...")
+	wants := []string{"===", "!==", "==", "!=", "<=", ">=", "&&", "||", "??", "=>", "++", "--", "+=", "-=", "**", "..."}
+	for i, w := range wants {
+		if toks[i].Text != w {
+			t.Errorf("tok %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexKinds(t, "a\n  bb")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %v", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		`"unterminated`,
+		"'unterminated\nnewline'",
+		"`unterminated template",
+		"/* unterminated block",
+		"@",
+		`"bad \u00zz escape"`,
+	}
+	for _, src := range bad {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		} else if _, ok := err.(*CompileError); !ok {
+			t.Errorf("Tokenize(%q): error type %T", src, err)
+		}
+	}
+}
+
+func TestLexKeywordVsIdent(t *testing.T) {
+	toks := lexKinds(t, "functionx function returnValue return")
+	if toks[0].Kind != IDENT || toks[1].Kind != KEYWORD || toks[2].Kind != IDENT || toks[3].Kind != KEYWORD {
+		t.Errorf("kinds = %v %v %v %v", toks[0].Kind, toks[1].Kind, toks[2].Kind, toks[3].Kind)
+	}
+}

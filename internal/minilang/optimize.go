@@ -1,0 +1,277 @@
+package minilang
+
+// Optimization pass for generated code, addressing the paper's §VI
+// future-work item ("Another improvement would be to generate more
+// efficient code"): constant folding plus branch simplification. The
+// pass is semantics-preserving by construction — it evaluates foldable
+// subtrees with the same binaryOp/Truthy machinery the interpreter uses.
+
+// Optimize returns a new Program with constant expressions folded and
+// statically decidable branches simplified. The input is not modified.
+func Optimize(prog *Program) *Program {
+	out := &Program{base: prog.base}
+	for _, s := range prog.Stmts {
+		out.Stmts = append(out.Stmts, optStmt(s))
+	}
+	return out
+}
+
+func optStmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case *BlockStmt:
+		nb := &BlockStmt{base: st.base}
+		for _, sub := range st.Stmts {
+			nb.Stmts = append(nb.Stmts, optStmt(sub))
+		}
+		return nb
+	case *VarDecl:
+		nd := *st
+		if st.Init != nil {
+			nd.Init = optExpr(st.Init)
+		}
+		return &nd
+	case *AssignStmt:
+		na := *st
+		na.Value = optExpr(st.Value)
+		return &na
+	case *ExprStmt:
+		ne := *st
+		ne.X = optExpr(st.X)
+		return &ne
+	case *IfStmt:
+		cond := optExpr(st.Cond)
+		if v, ok := literalValue(cond); ok {
+			// Statically decidable branch: keep only the taken arm,
+			// wrapped in a block to preserve scoping.
+			if Truthy(v) {
+				return optStmt(st.Then)
+			}
+			if st.Else != nil {
+				return optStmt(st.Else)
+			}
+			return &BlockStmt{base: st.base}
+		}
+		ni := &IfStmt{base: st.base, Cond: cond, Then: optStmt(st.Then)}
+		if st.Else != nil {
+			ni.Else = optStmt(st.Else)
+		}
+		return ni
+	case *WhileStmt:
+		cond := optExpr(st.Cond)
+		if v, ok := literalValue(cond); ok && !Truthy(v) {
+			return &BlockStmt{base: st.base} // while (false) {} — dead
+		}
+		return &WhileStmt{base: st.base, Cond: cond, Body: optStmt(st.Body)}
+	case *ForStmt:
+		nf := &ForStmt{base: st.base, Body: optStmt(st.Body)}
+		if st.Init != nil {
+			nf.Init = optStmt(st.Init)
+		}
+		if st.Cond != nil {
+			nf.Cond = optExpr(st.Cond)
+		}
+		if st.Post != nil {
+			nf.Post = optStmt(st.Post)
+		}
+		return nf
+	case *ForOfStmt:
+		nf := *st
+		nf.Seq = optExpr(st.Seq)
+		nf.Body = optStmt(st.Body)
+		return &nf
+	case *ReturnStmt:
+		nr := *st
+		if st.Value != nil {
+			nr.Value = optExpr(st.Value)
+		}
+		return &nr
+	case *ThrowStmt:
+		nt := *st
+		nt.Value = optExpr(st.Value)
+		return &nt
+	case *FuncDecl:
+		nd := *st
+		nd.Body = optStmt(st.Body).(*BlockStmt)
+		return &nd
+	case *IncDecStmt:
+		return st
+	default:
+		return s
+	}
+}
+
+func optExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *UnaryExpr:
+		sub := optExpr(x.X)
+		if v, ok := literalValue(sub); ok {
+			switch x.Op {
+			case "-":
+				return &NumberLit{base: x.base, Value: -ToNumber(v)}
+			case "+":
+				return &NumberLit{base: x.base, Value: ToNumber(v)}
+			case "!":
+				return &BoolLit{base: x.base, Value: !Truthy(v)}
+			case "typeof":
+				return &StringLit{base: x.base, Value: TypeOf(v)}
+			}
+		}
+		nu := *x
+		nu.X = sub
+		return &nu
+	case *BinaryExpr:
+		l, r := optExpr(x.L), optExpr(x.R)
+		lv, lok := literalValue(l)
+		rv, rok := literalValue(r)
+		if lok && rok {
+			if folded, err := binaryOp(x.Op, lv, rv, x.P); err == nil {
+				if lit := valueToLit(folded, x.base); lit != nil {
+					return lit
+				}
+			}
+		}
+		// Short-circuit simplification with a literal left side.
+		if lok {
+			switch x.Op {
+			case "&&":
+				if !Truthy(lv) {
+					return l
+				}
+				return r
+			case "||":
+				if Truthy(lv) {
+					return l
+				}
+				return r
+			case "??":
+				if lv != nil {
+					return l
+				}
+				return r
+			}
+		}
+		nb := *x
+		nb.L, nb.R = l, r
+		return &nb
+	case *CondExpr:
+		cond := optExpr(x.Cond)
+		if v, ok := literalValue(cond); ok {
+			if Truthy(v) {
+				return optExpr(x.Then)
+			}
+			return optExpr(x.Else)
+		}
+		nc := &CondExpr{base: x.base, Cond: cond, Then: optExpr(x.Then), Else: optExpr(x.Else)}
+		return nc
+	case *ArrayLit:
+		na := &ArrayLit{base: x.base, Spreads: append([]bool(nil), x.Spreads...)}
+		for _, el := range x.Elems {
+			na.Elems = append(na.Elems, optExpr(el))
+		}
+		return na
+	case *ObjectLit:
+		no := &ObjectLit{base: x.base}
+		for _, f := range x.Fields {
+			nf := f
+			if f.Value != nil {
+				nf.Value = optExpr(f.Value)
+			}
+			no.Fields = append(no.Fields, nf)
+		}
+		return no
+	case *TemplateLit:
+		nt := &TemplateLit{base: x.base, Chunks: append([]string(nil), x.Chunks...)}
+		for _, sub := range x.Exprs {
+			nt.Exprs = append(nt.Exprs, optExpr(sub))
+		}
+		return foldTemplate(nt)
+	case *CallExpr:
+		nc := &CallExpr{base: x.base, Fn: optExpr(x.Fn), Spreads: append([]bool(nil), x.Spreads...)}
+		for _, a := range x.Args {
+			nc.Args = append(nc.Args, optExpr(a))
+		}
+		return nc
+	case *MemberExpr:
+		nm := *x
+		nm.X = optExpr(x.X)
+		return &nm
+	case *IndexExpr:
+		ni := *x
+		ni.X = optExpr(x.X)
+		ni.Index = optExpr(x.Index)
+		return &ni
+	case *ArrowFunc:
+		na := *x
+		if x.Expr != nil {
+			na.Expr = optExpr(x.Expr)
+		}
+		if x.Body != nil {
+			na.Body = optStmt(x.Body).(*BlockStmt)
+		}
+		return &na
+	case *FuncLit:
+		nf := *x
+		nf.Body = optStmt(x.Body).(*BlockStmt)
+		return &nf
+	case *NewExpr:
+		nn := *x
+		nn.Args = nil
+		for _, a := range x.Args {
+			nn.Args = append(nn.Args, optExpr(a))
+		}
+		return &nn
+	default:
+		return e
+	}
+}
+
+// literalValue extracts the runtime value of a literal expression node.
+func literalValue(e Expr) (any, bool) {
+	switch x := e.(type) {
+	case *NumberLit:
+		return x.Value, true
+	case *StringLit:
+		return x.Value, true
+	case *BoolLit:
+		return x.Value, true
+	case *NullLit:
+		return nil, true
+	}
+	return nil, false
+}
+
+// valueToLit converts a folded runtime value back to a literal node;
+// non-primitive results are not folded.
+func valueToLit(v any, b base) Expr {
+	switch x := v.(type) {
+	case float64:
+		return &NumberLit{base: b, Value: x}
+	case string:
+		return &StringLit{base: b, Value: x}
+	case bool:
+		return &BoolLit{base: b, Value: x}
+	case nil:
+		return &NullLit{base: b}
+	}
+	return nil
+}
+
+// foldTemplate merges literal interpolations into the surrounding
+// chunks: `a ${1+1} b` becomes "a 2 b".
+func foldTemplate(t *TemplateLit) Expr {
+	chunks := []string{t.Chunks[0]}
+	var exprs []Expr
+	for i, sub := range t.Exprs {
+		next := t.Chunks[i+1]
+		if v, ok := literalValue(sub); ok {
+			chunks[len(chunks)-1] += ToString(v) + next
+			continue
+		}
+		exprs = append(exprs, sub)
+		chunks = append(chunks, next)
+	}
+	if len(exprs) == 0 {
+		return &StringLit{base: t.base, Value: chunks[0]}
+	}
+	return &TemplateLit{base: t.base, Chunks: chunks, Exprs: exprs}
+}

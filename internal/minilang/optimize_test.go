@@ -1,0 +1,154 @@
+package minilang
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func optimizeSrc(t *testing.T, src string) string {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Format(Optimize(prog))
+}
+
+func TestOptimizeFoldsConstants(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // substring expected in the optimized output
+	}{
+		{"const x = 1 + 2 * 3;", "const x = 7;"},
+		{"const x = \"a\" + \"b\";", `const x = "ab";`},
+		{"const x = 10 / 4;", "const x = 2.5;"},
+		{"const x = 2 ** 8;", "const x = 256;"},
+		{"const x = !false;", "const x = true;"},
+		{"const x = -(3 + 4);", "const x = -7;"},
+		{"const x = 1 < 2;", "const x = true;"},
+		{"const x = true && false;", "const x = false;"},
+		{"const x = null ?? 5;", "const x = 5;"},
+		{"const x = true ? 1 : 2;", "const x = 1;"},
+		{"const x = typeof 3;", `const x = "number";`},
+		{"const x = `v=${1 + 1}`;", `const x = "v=2";`},
+	}
+	for _, c := range cases {
+		got := optimizeSrc(t, c.src)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("Optimize(%q) = %q, want to contain %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestOptimizeSimplifiesBranches(t *testing.T) {
+	src := `
+function f(x) {
+  if (1 < 2) {
+    return x;
+  } else {
+    return 0;
+  }
+}`
+	got := optimizeSrc(t, src)
+	if strings.Contains(got, "if") || strings.Contains(got, "return 0") {
+		t.Errorf("dead branch survived:\n%s", got)
+	}
+	src2 := "function g(x) { while (false) { x = x + 1; } return x; }"
+	got2 := optimizeSrc(t, src2)
+	if strings.Contains(got2, "while") {
+		t.Errorf("dead loop survived:\n%s", got2)
+	}
+}
+
+func TestOptimizeKeepsDynamicCode(t *testing.T) {
+	src := "function f(x) { return x + 1; }"
+	got := optimizeSrc(t, src)
+	if !strings.Contains(got, "x + 1") {
+		t.Errorf("dynamic expression altered:\n%s", got)
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	prog, err := Parse("const x = 1 + 2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Format(prog)
+	_ = Optimize(prog)
+	if Format(prog) != before {
+		t.Error("Optimize mutated its input")
+	}
+}
+
+// Property: Optimize preserves semantics for random arithmetic
+// functions with embedded constants.
+func TestQuickOptimizePreservesSemantics(t *testing.T) {
+	f := func(seed uint32) bool {
+		src := randomArithFunc(int(seed))
+		cf1, err := CompileFunction(src, "g")
+		if err != nil {
+			return false
+		}
+		opt := Optimize(cf1.Prog)
+		if err := Check(opt); err != nil {
+			return false
+		}
+		cf2 := &CompiledFunc{Prog: opt, Decl: opt.Funcs()[cf1.Decl.Name]}
+		if cf2.Decl == nil {
+			return false
+		}
+		for _, n := range []float64{0, 1, -2, 9} {
+			a, err1 := cf1.Call(map[string]any{"x": n})
+			b, err2 := cf2.Call(map[string]any{"x": n})
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if err1 == nil && !reflect.DeepEqual(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The ablation motivation: folding reduces interpreter steps for
+// constant-heavy generated code.
+func BenchmarkInterpUnoptimized(b *testing.B) {
+	benchOptimize(b, false)
+}
+
+func BenchmarkInterpOptimized(b *testing.B) {
+	benchOptimize(b, true)
+}
+
+func benchOptimize(b *testing.B, optimize bool) {
+	src := `
+export function f({n}: {n: number}): number {
+  let total = 0;
+  for (let i = 0; i < n; i++) {
+    total += (2 * 3 + 4) * (10 - 8) + (1 + 1);
+  }
+  return total;
+}`
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if optimize {
+		prog := Optimize(cf.Prog)
+		cf = &CompiledFunc{Prog: prog, Decl: prog.Funcs()["f"]}
+	}
+	args := map[string]any{"n": 2000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cf.Call(args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

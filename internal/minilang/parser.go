@@ -1,0 +1,1137 @@
+package minilang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Parse parses a minilang source file into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{base: base{P: Pos{Line: 1, Col: 1}}}
+	for !p.atEOF() {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, s)
+	}
+	return prog, nil
+}
+
+// ParseFunction parses a source file expected to contain exactly one
+// top-level function declaration named name (the shape the codegen
+// prompt requests); it returns that declaration. Extra helper functions
+// are allowed; the program is returned for execution context.
+func ParseFunction(src, name string) (*Program, *FuncDecl, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	fd := prog.Funcs()[name]
+	if fd == nil {
+		// Accept a single function under a different name: models
+		// occasionally rename. Use it when unambiguous.
+		funcs := prog.Funcs()
+		if len(funcs) == 1 {
+			for _, f := range funcs {
+				fd = f
+			}
+		}
+	}
+	if fd == nil {
+		return nil, nil, &CompileError{Msg: fmt.Sprintf("no function %q in generated code", name)}
+	}
+	return prog, fd, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.toks[p.i].Kind == EOF }
+
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if t.Kind != EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) is(kind TokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && t.Text == text
+}
+
+func (p *parser) isPunct(text string) bool   { return p.is(PUNCT, text) }
+func (p *parser) isKeyword(text string) bool { return p.is(KEYWORD, text) }
+
+func (p *parser) accept(kind TokenKind, text string) bool {
+	if p.is(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.is(kind, text) {
+		return p.next(), nil
+	}
+	return Token{}, p.errf("expected %q, found %s", text, p.cur())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &CompileError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSemis() {
+	for p.accept(PUNCT, ";") {
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) statement() (Stmt, error) {
+	pos := p.cur().Pos
+	switch {
+	case p.isKeyword("export"), p.isKeyword("async"):
+		exported := p.cur().Text == "export"
+		p.next()
+		// `export async function`, `async function`
+		if p.isKeyword("async") {
+			p.next()
+		}
+		if !p.isKeyword("function") {
+			return nil, p.errf("expected 'function' after modifier")
+		}
+		fd, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		fd.Exported = fd.Exported || exported
+		return fd, nil
+	case p.isKeyword("function"):
+		return p.funcDecl()
+	case p.isKeyword("let"), p.isKeyword("const"), p.isKeyword("var"):
+		s, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSemis()
+		return s, nil
+	case p.isKeyword("if"):
+		return p.ifStmt()
+	case p.isKeyword("while"):
+		return p.whileStmt()
+	case p.isKeyword("do"):
+		return p.doWhileStmt()
+	case p.isKeyword("for"):
+		return p.forStmt()
+	case p.isKeyword("return"):
+		p.next()
+		rs := &ReturnStmt{base: base{pos}}
+		if !p.isPunct(";") && !p.isPunct("}") && !p.atEOF() {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Value = v
+		}
+		p.skipSemis()
+		return rs, nil
+	case p.isKeyword("break"):
+		p.next()
+		p.skipSemis()
+		return &BreakStmt{base{pos}}, nil
+	case p.isKeyword("continue"):
+		p.next()
+		p.skipSemis()
+		return &ContinueStmt{base{pos}}, nil
+	case p.isKeyword("throw"):
+		p.next()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSemis()
+		return &ThrowStmt{base: base{pos}, Value: v}, nil
+	case p.isPunct("{"):
+		return p.block()
+	case p.isPunct(";"):
+		p.next()
+		return &BlockStmt{base: base{pos}}, nil
+	case p.isKeyword("switch"):
+		return nil, p.errf("switch statements are not supported; use if/else")
+	default:
+		return p.simpleStmt(true)
+	}
+}
+
+// simpleStmt parses an expression, assignment or inc/dec statement.
+// consumeSemis controls trailing-semicolon handling (off inside for headers).
+func (p *parser) simpleStmt(consumeSemis bool) (Stmt, error) {
+	pos := p.cur().Pos
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var st Stmt
+	switch {
+	case p.isPunct("=") || p.isPunct("+=") || p.isPunct("-=") || p.isPunct("*=") || p.isPunct("/=") || p.isPunct("%="):
+		op := p.next().Text
+		if !isAssignable(x) {
+			return nil, &CompileError{Pos: x.NodePos(), Msg: "invalid assignment target"}
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st = &AssignStmt{base: base{pos}, Target: x, Op: op, Value: v}
+	case p.isPunct("++") || p.isPunct("--"):
+		op := p.next().Text
+		if !isAssignable(x) {
+			return nil, &CompileError{Pos: x.NodePos(), Msg: "invalid increment target"}
+		}
+		st = &IncDecStmt{base: base{pos}, Target: x, Op: op}
+	default:
+		st = &ExprStmt{base: base{pos}, X: x}
+	}
+	if consumeSemis {
+		p.skipSemis()
+	}
+	return st, nil
+}
+
+func isAssignable(e Expr) bool {
+	switch e.(type) {
+	case *Ident, *MemberExpr, *IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	pos := p.cur().Pos
+	if _, err := p.expect(PUNCT, "{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{base: base{pos}}
+	for !p.isPunct("}") {
+		if p.atEOF() {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *parser) varDecl() (Stmt, error) {
+	pos := p.cur().Pos
+	kw := p.next().Text
+	nameTok := p.next()
+	if nameTok.Kind != IDENT {
+		return nil, &CompileError{Pos: nameTok.Pos, Msg: fmt.Sprintf("expected variable name, found %s", nameTok)}
+	}
+	vd := &VarDecl{base: base{pos}, Keyword: kw, Name: nameTok.Text}
+	if p.accept(PUNCT, ":") {
+		t, err := p.typeAnn()
+		if err != nil {
+			return nil, err
+		}
+		vd.Type = t
+	}
+	if p.accept(PUNCT, "=") {
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		vd.Init = init
+	} else if kw == "const" {
+		return nil, p.errf("const declaration requires an initializer")
+	}
+	return vd, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	pos := p.next().Pos // if
+	if _, err := p.expect(PUNCT, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(PUNCT, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{base: base{pos}, Cond: cond, Then: then}
+	if p.accept(KEYWORD, "else") {
+		els, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	pos := p.next().Pos // while
+	if _, err := p.expect(PUNCT, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(PUNCT, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{base: base{pos}, Cond: cond, Body: body}, nil
+}
+
+// doWhileStmt desugars `do body while (cond)` into body + while loop with
+// the body duplicated — adequate for generated code, which uses do-while
+// rarely; semantics match when the body has no continue.
+func (p *parser) doWhileStmt() (Stmt, error) {
+	pos := p.next().Pos // do
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KEYWORD, "while"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(PUNCT, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(PUNCT, ")"); err != nil {
+		return nil, err
+	}
+	p.skipSemis()
+	return &BlockStmt{base: base{pos}, Stmts: []Stmt{
+		body,
+		&WhileStmt{base: base{pos}, Cond: cond, Body: body},
+	}}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	pos := p.next().Pos // for
+	if _, err := p.expect(PUNCT, "("); err != nil {
+		return nil, err
+	}
+	// for ( [let|const|var] x of|in seq )
+	if p.isKeyword("let") || p.isKeyword("const") || p.isKeyword("var") {
+		save := p.i
+		kw := p.next().Text
+		if p.cur().Kind == IDENT {
+			name := p.next().Text
+			if p.isKeyword("of") || p.isKeyword("in") {
+				isIn := p.next().Text == "in"
+				seq, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(PUNCT, ")"); err != nil {
+					return nil, err
+				}
+				body, err := p.statement()
+				if err != nil {
+					return nil, err
+				}
+				return &ForOfStmt{base: base{pos}, Keyword: kw, Name: name, Seq: seq, Body: body, In: isIn}, nil
+			}
+		}
+		p.i = save
+	}
+	st := &ForStmt{base: base{pos}}
+	if !p.isPunct(";") {
+		var init Stmt
+		var err error
+		if p.isKeyword("let") || p.isKeyword("const") || p.isKeyword("var") {
+			init, err = p.varDecl()
+		} else {
+			init, err = p.simpleStmt(false)
+		}
+		if err != nil {
+			return nil, err
+		}
+		st.Init = init
+	}
+	if _, err := p.expect(PUNCT, ";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if _, err := p.expect(PUNCT, ";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		post, err := p.simpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(PUNCT, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	pos := p.next().Pos // function
+	nameTok := p.next()
+	if nameTok.Kind != IDENT {
+		return nil, &CompileError{Pos: nameTok.Pos, Msg: fmt.Sprintf("expected function name, found %s", nameTok)}
+	}
+	fd := &FuncDecl{base: base{pos}, Name: nameTok.Text}
+	params, named, err := p.paramList()
+	if err != nil {
+		return nil, err
+	}
+	fd.Params, fd.Named = params, named
+	if p.accept(PUNCT, ":") {
+		rt, err := p.typeAnn()
+		if err != nil {
+			return nil, err
+		}
+		fd.ReturnType = rt
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+// paramList parses either positional `(a: T, b: T)` or the destructured
+// named form `({a, b}: {a: T, b: T})` the codegen prompt mandates.
+func (p *parser) paramList() ([]Param, bool, error) {
+	if _, err := p.expect(PUNCT, "("); err != nil {
+		return nil, false, err
+	}
+	if p.accept(PUNCT, ")") {
+		return nil, false, nil
+	}
+	if p.isPunct("{") {
+		// Destructured named parameters.
+		p.next()
+		var params []Param
+		for !p.isPunct("}") {
+			t := p.next()
+			if t.Kind != IDENT {
+				return nil, false, &CompileError{Pos: t.Pos, Msg: fmt.Sprintf("expected parameter name, found %s", t)}
+			}
+			params = append(params, Param{Name: t.Text, Pos: t.Pos})
+			if p.accept(PUNCT, ",") {
+				if p.isPunct("}") {
+					break
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(PUNCT, "}"); err != nil {
+			return nil, false, err
+		}
+		if p.accept(PUNCT, ":") {
+			t, err := p.typeAnn()
+			if err != nil {
+				return nil, false, err
+			}
+			if d, ok := t.(interface{ Fields() []types.Field }); ok {
+				byName := map[string]types.Type{}
+				for _, f := range d.Fields() {
+					byName[f.Name] = f.Type
+				}
+				for i := range params {
+					params[i].Type = byName[params[i].Name]
+				}
+			}
+		}
+		if _, err := p.expect(PUNCT, ")"); err != nil {
+			return nil, false, err
+		}
+		return params, true, nil
+	}
+	var params []Param
+	for {
+		t := p.next()
+		if t.Kind != IDENT {
+			return nil, false, &CompileError{Pos: t.Pos, Msg: fmt.Sprintf("expected parameter name, found %s", t)}
+		}
+		prm := Param{Name: t.Text, Pos: t.Pos}
+		if p.accept(PUNCT, ":") {
+			ty, err := p.typeAnn()
+			if err != nil {
+				return nil, false, err
+			}
+			prm.Type = ty
+		}
+		if p.accept(PUNCT, "=") {
+			// Default values are parsed and discarded; callers always
+			// pass every parameter in generated code.
+			if _, err := p.expr(); err != nil {
+				return nil, false, err
+			}
+		}
+		params = append(params, prm)
+		if p.accept(PUNCT, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(PUNCT, ")"); err != nil {
+		return nil, false, err
+	}
+	return params, false, nil
+}
+
+// ---------------------------------------------------------------------------
+// Type annotations (token-stream parser producing types.Type)
+
+func (p *parser) typeAnn() (types.Type, error) {
+	first, err := p.typePostfix()
+	if err != nil {
+		return nil, err
+	}
+	members := []types.Type{first}
+	for p.accept(PUNCT, "|") {
+		m, err := p.typePostfix()
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+	}
+	if len(members) == 1 {
+		return members[0], nil
+	}
+	return types.Union(members...), nil
+}
+
+func (p *parser) typePostfix() (types.Type, error) {
+	t, err := p.typePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("[") {
+		save := p.i
+		p.next()
+		if !p.accept(PUNCT, "]") {
+			p.i = save
+			break
+		}
+		t = types.List(t)
+	}
+	return t, nil
+}
+
+func (p *parser) typePrimary() (types.Type, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == STRING:
+		p.next()
+		return types.Literal(t.Text), nil
+	case t.Kind == NUMBER:
+		p.next()
+		return types.Literal(t.Num), nil
+	case p.isPunct("-"):
+		p.next()
+		n := p.next()
+		if n.Kind != NUMBER {
+			return nil, p.errf("expected number after '-' in type")
+		}
+		return types.Literal(-n.Num), nil
+	case p.isPunct("("):
+		p.next()
+		inner, err := p.typeAnn()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(PUNCT, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.isPunct("{"):
+		p.next()
+		var fields []types.Field
+		for !p.isPunct("}") {
+			nameTok := p.next()
+			if nameTok.Kind != IDENT && nameTok.Kind != KEYWORD && nameTok.Kind != STRING {
+				return nil, &CompileError{Pos: nameTok.Pos, Msg: "expected field name in object type"}
+			}
+			p.accept(PUNCT, "?")
+			if _, err := p.expect(PUNCT, ":"); err != nil {
+				return nil, err
+			}
+			ft, err := p.typeAnn()
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, types.Field{Name: nameTok.Text, Type: ft})
+			if !p.accept(PUNCT, ";") && !p.accept(PUNCT, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(PUNCT, "}"); err != nil {
+			return nil, err
+		}
+		return types.Dict(fields...), nil
+	case t.Kind == IDENT || t.Kind == KEYWORD:
+		p.next()
+		switch t.Text {
+		case "number":
+			return types.Float, nil
+		case "string":
+			return types.Str, nil
+		case "boolean":
+			return types.Bool, nil
+		case "void", "null", "undefined":
+			return types.Void, nil
+		case "any", "unknown", "object":
+			return types.Any, nil
+		case "true":
+			return types.Literal(true), nil
+		case "false":
+			return types.Literal(false), nil
+		case "Date":
+			return types.Str, nil
+		case "Array":
+			if p.accept(PUNCT, "<") {
+				elem, err := p.typeAnn()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(PUNCT, ">"); err != nil {
+					return nil, err
+				}
+				return types.List(elem), nil
+			}
+			return types.List(types.Any), nil
+		default:
+			return nil, &CompileError{Pos: t.Pos, Msg: fmt.Sprintf("unknown type name %q", t.Text)}
+		}
+	default:
+		return nil, p.errf("expected type, found %s", t)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *parser) expr() (Expr, error) { return p.conditional() }
+
+func (p *parser) conditional() (Expr, error) {
+	cond, err := p.nullish()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isPunct("?") {
+		return cond, nil
+	}
+	pos := p.next().Pos
+	then, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(PUNCT, ":"); err != nil {
+		return nil, err
+	}
+	els, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{base: base{pos}, Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) binaryLevel(ops []string, sub func() (Expr, error)) (Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range ops {
+			if p.isPunct(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return l, nil
+		}
+		pos := p.next().Pos
+		r, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{base: base{pos}, Op: matched, L: l, R: r}
+	}
+}
+
+func (p *parser) nullish() (Expr, error) {
+	return p.binaryLevel([]string{"??"}, p.logicalOr)
+}
+
+func (p *parser) logicalOr() (Expr, error) {
+	return p.binaryLevel([]string{"||"}, p.logicalAnd)
+}
+
+func (p *parser) logicalAnd() (Expr, error) {
+	return p.binaryLevel([]string{"&&"}, p.bitOr)
+}
+
+func (p *parser) bitOr() (Expr, error) {
+	return p.binaryLevel([]string{"|"}, p.bitXor)
+}
+
+func (p *parser) bitXor() (Expr, error) {
+	return p.binaryLevel([]string{"^"}, p.bitAnd)
+}
+
+func (p *parser) bitAnd() (Expr, error) {
+	return p.binaryLevel([]string{"&"}, p.equality)
+}
+
+func (p *parser) equality() (Expr, error) {
+	return p.binaryLevel([]string{"===", "!==", "==", "!="}, p.relational)
+}
+
+func (p *parser) relational() (Expr, error) {
+	return p.binaryLevel([]string{"<=", ">=", "<", ">"}, p.additive)
+}
+
+func (p *parser) additive() (Expr, error) {
+	return p.binaryLevel([]string{"+", "-"}, p.multiplicative)
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	return p.binaryLevel([]string{"*", "/", "%"}, p.power)
+}
+
+func (p *parser) power() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	if p.isPunct("**") {
+		pos := p.next().Pos
+		r, err := p.power() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{base: base{pos}, Op: "**", L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	pos := p.cur().Pos
+	switch {
+	case p.isPunct("-"), p.isPunct("+"), p.isPunct("!"), p.isPunct("~"):
+		op := p.next().Text
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{base: base{pos}, Op: op, X: x}, nil
+	case p.isKeyword("typeof"):
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{base: base{pos}, Op: "typeof", X: x}, nil
+	case p.isKeyword("await"):
+		// await is a no-op in the reproduction's synchronous runtime.
+		p.next()
+		return p.unary()
+	case p.isKeyword("new"):
+		p.next()
+		ctor := p.next()
+		if ctor.Kind != IDENT {
+			return nil, &CompileError{Pos: ctor.Pos, Msg: "expected constructor name after new"}
+		}
+		ne := &NewExpr{base: base{pos}, Ctor: ctor.Text}
+		if p.accept(PUNCT, "(") {
+			for !p.isPunct(")") {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				ne.Args = append(ne.Args, a)
+				if !p.accept(PUNCT, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(PUNCT, ")"); err != nil {
+				return nil, err
+			}
+		}
+		return p.postfixOps(ne)
+	default:
+		return p.postfix()
+	}
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	return p.postfixOps(x)
+}
+
+func (p *parser) postfixOps(x Expr) (Expr, error) {
+	for {
+		pos := p.cur().Pos
+		switch {
+		case p.isPunct("."):
+			p.next()
+			name := p.next()
+			if name.Kind != IDENT && name.Kind != KEYWORD {
+				return nil, &CompileError{Pos: name.Pos, Msg: fmt.Sprintf("expected property name, found %s", name)}
+			}
+			x = &MemberExpr{base: base{pos}, X: x, Name: name.Text}
+		case p.isPunct("?") && p.i+1 < len(p.toks) && p.toks[p.i+1].Kind == PUNCT && p.toks[p.i+1].Text == ".":
+			p.next()
+			p.next()
+			name := p.next()
+			if name.Kind != IDENT && name.Kind != KEYWORD {
+				return nil, &CompileError{Pos: name.Pos, Msg: "expected property name after ?."}
+			}
+			x = &MemberExpr{base: base{pos}, X: x, Name: name.Text, Opt: true}
+		case p.isPunct("["):
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(PUNCT, "]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{base: base{pos}, X: x, Index: idx}
+		case p.isPunct("("):
+			p.next()
+			call := &CallExpr{base: base{pos}, Fn: x}
+			for !p.isPunct(")") {
+				spread := p.accept(PUNCT, "...")
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				call.Spreads = append(call.Spreads, spread)
+				if !p.accept(PUNCT, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(PUNCT, ")"); err != nil {
+				return nil, err
+			}
+			x = call
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	pos := t.Pos
+	switch {
+	case t.Kind == NUMBER:
+		p.next()
+		return &NumberLit{base: base{pos}, Value: t.Num}, nil
+	case t.Kind == STRING:
+		p.next()
+		return &StringLit{base: base{pos}, Value: t.Text}, nil
+	case t.Kind == TEMPLATE:
+		p.next()
+		return parseTemplate(t)
+	case p.isKeyword("true"):
+		p.next()
+		return &BoolLit{base: base{pos}, Value: true}, nil
+	case p.isKeyword("false"):
+		p.next()
+		return &BoolLit{base: base{pos}, Value: false}, nil
+	case p.isKeyword("null"), p.isKeyword("undefined"):
+		p.next()
+		return &NullLit{base{pos}}, nil
+	case p.isKeyword("function"):
+		p.next()
+		if p.cur().Kind == IDENT {
+			p.next() // function expressions may be named; name is unused
+		}
+		params, named, err := p.paramList()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(PUNCT, ":") {
+			if _, err := p.typeAnn(); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &FuncLit{base: base{pos}, Params: params, Named: named, Body: body}, nil
+	case t.Kind == IDENT:
+		// Could be `x => ...`.
+		if p.i+1 < len(p.toks) && p.toks[p.i+1].Kind == PUNCT && p.toks[p.i+1].Text == "=>" {
+			p.next()
+			p.next()
+			return p.arrowBody(pos, []Param{{Name: t.Text, Pos: pos}})
+		}
+		p.next()
+		return &Ident{base: base{pos}, Name: t.Text}, nil
+	case p.isPunct("("):
+		if p.isArrowAhead() {
+			params, _, err := p.paramList()
+			if err != nil {
+				return nil, err
+			}
+			if p.accept(PUNCT, ":") {
+				if _, err := p.typeAnn(); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(PUNCT, "=>"); err != nil {
+				return nil, err
+			}
+			return p.arrowBody(pos, params)
+		}
+		p.next()
+		inner, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(PUNCT, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.isPunct("["):
+		p.next()
+		al := &ArrayLit{base: base{pos}}
+		for !p.isPunct("]") {
+			spread := p.accept(PUNCT, "...")
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			al.Elems = append(al.Elems, e)
+			al.Spreads = append(al.Spreads, spread)
+			if !p.accept(PUNCT, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(PUNCT, "]"); err != nil {
+			return nil, err
+		}
+		return al, nil
+	case p.isPunct("{"):
+		p.next()
+		ol := &ObjectLit{base: base{pos}}
+		for !p.isPunct("}") {
+			keyTok := p.next()
+			var key string
+			switch keyTok.Kind {
+			case IDENT, KEYWORD, STRING:
+				key = keyTok.Text
+			case NUMBER:
+				key = trimFloat(keyTok.Num)
+			default:
+				return nil, &CompileError{Pos: keyTok.Pos, Msg: fmt.Sprintf("expected object key, found %s", keyTok)}
+			}
+			f := ObjectField{Key: key}
+			if p.accept(PUNCT, ":") {
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				f.Value = v
+			}
+			ol.Fields = append(ol.Fields, f)
+			if !p.accept(PUNCT, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(PUNCT, "}"); err != nil {
+			return nil, err
+		}
+		return ol, nil
+	default:
+		return nil, p.errf("unexpected token %s", t)
+	}
+}
+
+func (p *parser) arrowBody(pos Pos, params []Param) (Expr, error) {
+	if p.isPunct("{") {
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ArrowFunc{base: base{pos}, Params: params, Body: body}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ArrowFunc{base: base{pos}, Params: params, Expr: e}, nil
+}
+
+// isArrowAhead reports whether the '(' at the cursor opens an arrow
+// function parameter list, by scanning to the matching ')' and checking
+// for '=>' (optionally after a return-type annotation).
+func (p *parser) isArrowAhead() bool {
+	depth := 0
+	j := p.i
+	for ; j < len(p.toks); j++ {
+		t := p.toks[j]
+		if t.Kind != PUNCT {
+			continue
+		}
+		switch t.Text {
+		case "(", "[", "{":
+			depth++
+		case ")", "]", "}":
+			depth--
+			if depth == 0 {
+				goto after
+			}
+		}
+	}
+	return false
+after:
+	j++
+	if j >= len(p.toks) {
+		return false
+	}
+	if p.toks[j].Kind == PUNCT && p.toks[j].Text == "=>" {
+		return true
+	}
+	// (a: T): R => body — skip a possible return annotation.
+	if p.toks[j].Kind == PUNCT && p.toks[j].Text == ":" {
+		for k := j + 1; k < len(p.toks) && k < j+24; k++ {
+			if p.toks[k].Kind == PUNCT && p.toks[k].Text == "=>" {
+				return true
+			}
+			if p.toks[k].Kind == PUNCT && (p.toks[k].Text == ";" || p.toks[k].Text == ")") {
+				return false
+			}
+		}
+	}
+	return false
+}
+
+// parseTemplate re-scans a TEMPLATE token body into chunks and embedded
+// expressions.
+func parseTemplate(t Token) (Expr, error) {
+	raw := t.Text
+	tl := &TemplateLit{base: base{t.Pos}}
+	var chunk strings.Builder
+	i := 0
+	for i < len(raw) {
+		if raw[i] == '\\' && i+1 < len(raw) {
+			switch raw[i+1] {
+			case 'n':
+				chunk.WriteByte('\n')
+			case 't':
+				chunk.WriteByte('\t')
+			case '`':
+				chunk.WriteByte('`')
+			case '$':
+				chunk.WriteByte('$')
+			case '\\':
+				chunk.WriteByte('\\')
+			default:
+				chunk.WriteByte(raw[i+1])
+			}
+			i += 2
+			continue
+		}
+		if strings.HasPrefix(raw[i:], "${") {
+			depth := 1
+			j := i + 2
+			for j < len(raw) && depth > 0 {
+				switch raw[j] {
+				case '{':
+					depth++
+				case '}':
+					depth--
+				}
+				j++
+			}
+			if depth != 0 {
+				return nil, &CompileError{Pos: t.Pos, Msg: "unterminated ${ in template literal"}
+			}
+			exprSrc := raw[i+2 : j-1]
+			sub, err := Parse("(" + exprSrc + ")")
+			if err != nil {
+				return nil, &CompileError{Pos: t.Pos, Msg: fmt.Sprintf("invalid template expression %q: %v", exprSrc, err)}
+			}
+			if len(sub.Stmts) != 1 {
+				return nil, &CompileError{Pos: t.Pos, Msg: "template expression must be a single expression"}
+			}
+			es, ok := sub.Stmts[0].(*ExprStmt)
+			if !ok {
+				return nil, &CompileError{Pos: t.Pos, Msg: "template expression must be an expression"}
+			}
+			tl.Chunks = append(tl.Chunks, chunk.String())
+			chunk.Reset()
+			tl.Exprs = append(tl.Exprs, es.X)
+			i = j
+			continue
+		}
+		chunk.WriteByte(raw[i])
+		i++
+	}
+	tl.Chunks = append(tl.Chunks, chunk.String())
+	return tl, nil
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}

@@ -1,0 +1,330 @@
+package minilang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, src)
+	}
+	return prog
+}
+
+func TestParseFunctionSignature(t *testing.T) {
+	src := `export function func({x, y}: {x: number, y: number}): number {
+  return x + y;
+}`
+	prog := mustParse(t, src)
+	fd := prog.Funcs()["func"]
+	if fd == nil {
+		t.Fatal("function not found")
+	}
+	if !fd.Exported {
+		t.Error("not exported")
+	}
+	if !fd.Named {
+		t.Error("not named-parameter style")
+	}
+	if len(fd.Params) != 2 || fd.Params[0].Name != "x" || fd.Params[1].Name != "y" {
+		t.Errorf("params = %+v", fd.Params)
+	}
+	if fd.Params[0].Type == nil || fd.Params[0].Type.Kind() != types.KindFloat {
+		t.Errorf("param type = %v", fd.Params[0].Type)
+	}
+	if fd.ReturnType == nil || fd.ReturnType.Kind() != types.KindFloat {
+		t.Errorf("return type = %v", fd.ReturnType)
+	}
+}
+
+func TestParseReturnTypeUnion(t *testing.T) {
+	src := `function f({s}: {s: string}): 'positive' | 'negative' { return "positive"; }`
+	prog := mustParse(t, src)
+	fd := prog.Funcs()["f"]
+	want := types.StrEnum("positive", "negative")
+	if !types.Equal(fd.ReturnType, want) {
+		t.Errorf("return type = %s", fd.ReturnType.TS())
+	}
+}
+
+func TestParseArrayTypes(t *testing.T) {
+	src := `function f({ns}: {ns: number[]}): number[][] { return [ns]; }`
+	prog := mustParse(t, src)
+	fd := prog.Funcs()["f"]
+	if fd.Params[0].Type.TS() != "number[]" {
+		t.Errorf("param = %s", fd.Params[0].Type.TS())
+	}
+	if fd.ReturnType.TS() != "number[][]" {
+		t.Errorf("ret = %s", fd.ReturnType.TS())
+	}
+}
+
+func TestParseObjectReturnType(t *testing.T) {
+	src := `function f({}: {}): { title: string; year: number }[] { return []; }`
+	prog := mustParse(t, src)
+	fd := prog.Funcs()["f"]
+	want := types.List(types.Dict(types.Field{Name: "title", Type: types.Str}, types.Field{Name: "year", Type: types.Float}))
+	if !types.Equal(fd.ReturnType, want) {
+		t.Errorf("ret = %s", fd.ReturnType.TS())
+	}
+}
+
+func TestParseFunctionHelper(t *testing.T) {
+	src := `
+function helper(a, b) { return a * b; }
+export function main({n}: {n: number}): number { return helper(n, 2); }
+`
+	prog, fd, err := ParseFunction(src, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Name != "main" {
+		t.Errorf("name = %q", fd.Name)
+	}
+	if len(prog.Funcs()) != 2 {
+		t.Errorf("funcs = %d", len(prog.Funcs()))
+	}
+}
+
+func TestParseFunctionRenamedFallback(t *testing.T) {
+	src := `export function computeIt({n}: {n: number}): number { return n; }`
+	_, fd, err := ParseFunction(src, "expectedName")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Name != "computeIt" {
+		t.Errorf("fallback picked %q", fd.Name)
+	}
+}
+
+func TestParseFunctionMissing(t *testing.T) {
+	src := `function a({}: {}): void {}
+function b({}: {}): void {}`
+	if _, _, err := ParseFunction(src, "c"); err == nil {
+		t.Error("expected error for ambiguous missing function")
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"function f( { return 1; }",
+		"let = 5;",
+		"const x;",
+		"if (x { }",
+		"for (;;",
+		"return 1 +;",
+		"let x = [1, 2;",
+		"let o = {a: };",
+		"x === ;",
+		"function f() { switch (x) {} }",
+		"let y = 1; let y = 2;", // parses; duplicate caught by Check
+	}
+	for _, src := range bad[:len(bad)-1] {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseArrowVariants(t *testing.T) {
+	srcs := []string{
+		`const f = x => x + 1;`,
+		`const f = (x) => x + 1;`,
+		`const f = (x, y) => { return x + y; };`,
+		`const f = () => 42;`,
+		`const f = (a) => ({ v: a });`,
+		`const g = xs.map((x, i) => x * i);`,
+	}
+	for _, src := range srcs {
+		full := "const xs = [1];\n" + src
+		if _, err := Parse(full); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseOptionalChaining(t *testing.T) {
+	prog := mustParse(t, "const v = obj?.name;")
+	vd := prog.Stmts[0].(*VarDecl)
+	m, ok := vd.Init.(*MemberExpr)
+	if !ok || !m.Opt {
+		t.Errorf("init = %#v", vd.Init)
+	}
+}
+
+func TestCheckCatchesStaticErrors(t *testing.T) {
+	cases := []struct {
+		src string
+		sub string
+	}{
+		{`function f({}: {}): number { return undefinedThing; }`, "undefined variable"},
+		{`function f({}: {}): void { let x = 1; let x = 2; }`, "duplicate declaration"},
+		{`function f({}: {}): void { const c = 1; c = 2; }`, "assignment to constant"},
+		{`function f({}: {}): void { break; }`, "break outside loop"},
+		{`function f({}: {}): void { continue; }`, "continue outside loop"},
+		{`function f({}: {}): void { y = 3; }`, "undeclared variable"},
+		{`function f({x, x}: {x: number}): void {}`, "duplicate parameter"},
+		{`function f({}: {}): void { const d = new Widget(); }`, "unsupported constructor"},
+	}
+	for _, c := range cases {
+		prog, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		err = Check(prog)
+		if err == nil {
+			t.Errorf("Check(%q): expected error containing %q", c.src, c.sub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("Check(%q) = %q, want substring %q", c.src, err.Error(), c.sub)
+		}
+	}
+}
+
+func TestCheckAcceptsValidPrograms(t *testing.T) {
+	srcs := []string{
+		`function f({n}: {n: number}): number { let s = 0; for (let i = 0; i < n; i++) { s += i; } return s; }`,
+		`function f({}: {}): void { const xs = [1]; xs.push(2); }`, // const array mutation ok
+		`function outer({}: {}): number { function inner() { return 1; } return inner(); }`,
+		`function f({}: {}): number { return Math.floor(1.5) + parseInt("3"); }`,
+		`function f({}: {}): void { for (const x of [1, 2]) { console.log(x); } }`,
+		`function a({}: {}): number { return b(); }
+function b() { return 2; }`, // forward reference via hoisting
+	}
+	for _, src := range srcs {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if err := Check(prog); err != nil {
+			t.Errorf("Check(%q): %v", src, err)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{
+		`export function func({x, y}: {x: number, y: number}): number {
+  return x + y;
+}`,
+		`function f({ns}: {ns: number[]}): number {
+  let best = ns[0];
+  for (const n of ns) {
+    if (n > best) {
+      best = n;
+    }
+  }
+  return best;
+}`,
+		`function g({s}: {s: string}): string {
+  const parts = s.split("");
+  return parts.reverse().join("");
+}`,
+	}
+	for _, src := range srcs {
+		prog := mustParse(t, src)
+		formatted := Format(prog)
+		prog2, err := Parse(formatted)
+		if err != nil {
+			t.Errorf("re-parse formatted output: %v\n%s", err, formatted)
+			continue
+		}
+		formatted2 := Format(prog2)
+		if formatted != formatted2 {
+			t.Errorf("format not idempotent:\n--- first\n%s\n--- second\n%s", formatted, formatted2)
+		}
+	}
+}
+
+func TestFormatPreservesSemantics(t *testing.T) {
+	src := `export function f({n}: {n: number}): number {
+  let total = 0;
+  for (let i = 1; i <= n; i++) if (i % 3 === 0 || i % 5 === 0) total += i;
+  return total * (2 - 1);
+}`
+	cf1, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted := Format(cf1.Prog)
+	cf2, err := CompileFunction(formatted, "f")
+	if err != nil {
+		t.Fatalf("compile formatted: %v\n%s", err, formatted)
+	}
+	for _, n := range []int{0, 10, 100} {
+		a, err1 := cf1.Call(map[string]any{"n": n})
+		b, err2 := cf2.Call(map[string]any{"n": n})
+		if err1 != nil || err2 != nil || a != b {
+			t.Errorf("n=%d: %v/%v vs %v/%v", n, a, err1, b, err2)
+		}
+	}
+}
+
+func TestCountLOC(t *testing.T) {
+	src := `// header comment
+export function f({x}: {x: number}): number {
+
+  /* block
+     comment */
+  return x + 1; // trailing comment counts as code
+}
+`
+	if got := CountLOC(src); got != 3 {
+		t.Errorf("CountLOC = %d, want 3", got)
+	}
+	if got := CountLOC(""); got != 0 {
+		t.Errorf("CountLOC(empty) = %d", got)
+	}
+	if got := CountLOC("/* a */ let x = 1;"); got != 1 {
+		t.Errorf("CountLOC inline block = %d", got)
+	}
+}
+
+func TestPrecedencePrinting(t *testing.T) {
+	cases := []string{
+		"const v = (1 + 2) * 3;",
+		"const w = 1 + 2 * 3;",
+		"const x = (a || b) && c;",
+		"const y = -(a + b);",
+		"const z = a - (b - c);",
+	}
+	pre := "const a = 1; const b = 2; const c = 3;\n"
+	for _, src := range cases {
+		prog := mustParse(t, pre+src)
+		out := Format(prog)
+		prog2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", out, err)
+		}
+		if Format(prog2) != out {
+			t.Errorf("unstable formatting for %q:\n%s", src, out)
+		}
+	}
+}
+
+func BenchmarkParseFunction(b *testing.B) {
+	src := `export function calculateFactorial({n}: {n: number}): number {
+  if (n <= 1) {
+    return 1;
+  }
+  let result = 1;
+  for (let i = 2; i <= n; i++) {
+    result *= i;
+  }
+  return result;
+}`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

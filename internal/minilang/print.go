@@ -1,0 +1,436 @@
+package minilang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format pretty-prints a program in canonical style. Generated code is
+// stored formatted so that on-disk caches diff cleanly and LOC counting
+// (Table II, Figure 5) is stable.
+func Format(prog *Program) string {
+	p := &printer{}
+	for i, s := range prog.Stmts {
+		if i > 0 {
+			p.nl()
+		}
+		p.stmt(s)
+		p.nl()
+	}
+	return p.b.String()
+}
+
+// FormatFunc pretty-prints a single function declaration.
+func FormatFunc(fd *FuncDecl) string {
+	p := &printer{}
+	p.stmt(fd)
+	p.nl()
+	return p.b.String()
+}
+
+// CountLOC counts substantive lines of code in minilang source: lines
+// that are not blank and not comment-only (the Table II metric).
+func CountLOC(src string) int {
+	n := 0
+	inBlock := false
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if inBlock {
+			if idx := strings.Index(t, "*/"); idx >= 0 {
+				t = strings.TrimSpace(t[idx+2:])
+				inBlock = false
+			} else {
+				continue
+			}
+		}
+		if strings.HasPrefix(t, "/*") {
+			if !strings.Contains(t, "*/") {
+				inBlock = true
+				continue
+			}
+			t = strings.TrimSpace(t[strings.Index(t, "*/")+2:])
+		}
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) ws() { p.b.WriteString(strings.Repeat("  ", p.indent)) }
+func (p *printer) nl() { p.b.WriteByte('\n') }
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		p.ws()
+		p.block(st)
+	case *VarDecl:
+		p.ws()
+		p.b.WriteString(st.Keyword + " " + st.Name)
+		if st.Type != nil {
+			p.b.WriteString(": " + st.Type.TS())
+		}
+		if st.Init != nil {
+			p.b.WriteString(" = ")
+			p.expr(st.Init, 0)
+		}
+		p.b.WriteString(";")
+	case *AssignStmt:
+		p.ws()
+		p.expr(st.Target, 0)
+		p.b.WriteString(" " + st.Op + " ")
+		p.expr(st.Value, 0)
+		p.b.WriteString(";")
+	case *IncDecStmt:
+		p.ws()
+		p.expr(st.Target, 0)
+		p.b.WriteString(st.Op + ";")
+	case *ExprStmt:
+		p.ws()
+		p.expr(st.X, 0)
+		p.b.WriteString(";")
+	case *IfStmt:
+		p.ws()
+		p.ifChain(st)
+	case *WhileStmt:
+		p.ws()
+		p.b.WriteString("while (")
+		p.expr(st.Cond, 0)
+		p.b.WriteString(") ")
+		p.bodyOf(st.Body)
+	case *ForStmt:
+		p.ws()
+		p.b.WriteString("for (")
+		if st.Init != nil {
+			p.inline(st.Init)
+		}
+		p.b.WriteString("; ")
+		if st.Cond != nil {
+			p.expr(st.Cond, 0)
+		}
+		p.b.WriteString("; ")
+		if st.Post != nil {
+			p.inline(st.Post)
+		}
+		p.b.WriteString(") ")
+		p.bodyOf(st.Body)
+	case *ForOfStmt:
+		p.ws()
+		kw := "of"
+		if st.In {
+			kw = "in"
+		}
+		fmt.Fprintf(&p.b, "for (%s %s %s ", st.Keyword, st.Name, kw)
+		p.expr(st.Seq, 0)
+		p.b.WriteString(") ")
+		p.bodyOf(st.Body)
+	case *ReturnStmt:
+		p.ws()
+		p.b.WriteString("return")
+		if st.Value != nil {
+			p.b.WriteByte(' ')
+			p.expr(st.Value, 0)
+		}
+		p.b.WriteString(";")
+	case *BreakStmt:
+		p.ws()
+		p.b.WriteString("break;")
+	case *ContinueStmt:
+		p.ws()
+		p.b.WriteString("continue;")
+	case *ThrowStmt:
+		p.ws()
+		p.b.WriteString("throw ")
+		p.expr(st.Value, 0)
+		p.b.WriteString(";")
+	case *FuncDecl:
+		p.ws()
+		if st.Exported {
+			p.b.WriteString("export ")
+		}
+		p.b.WriteString("function " + st.Name + "(")
+		p.params(st.Params, st.Named)
+		p.b.WriteString(")")
+		if st.ReturnType != nil {
+			p.b.WriteString(": " + st.ReturnType.TS())
+		}
+		p.b.WriteByte(' ')
+		p.block(st.Body)
+	}
+}
+
+// inline prints a simple statement without indentation or trailing
+// semicolon (for for-headers).
+func (p *printer) inline(s Stmt) {
+	saved := p.indent
+	p.indent = 0
+	var tmp printer
+	tmp.stmt(s)
+	out := strings.TrimSuffix(strings.TrimSpace(tmp.b.String()), ";")
+	p.b.WriteString(out)
+	p.indent = saved
+}
+
+func (p *printer) ifChain(st *IfStmt) {
+	p.b.WriteString("if (")
+	p.expr(st.Cond, 0)
+	p.b.WriteString(") ")
+	p.bodyBraced(st.Then)
+	if st.Else == nil {
+		return
+	}
+	p.b.WriteString(" else ")
+	if next, ok := st.Else.(*IfStmt); ok {
+		p.ifChain(next)
+		return
+	}
+	p.bodyBraced(st.Else)
+}
+
+// bodyBraced prints a statement as a braced block (wrapping single
+// statements), keeping output canonical.
+func (p *printer) bodyBraced(s Stmt) {
+	if b, ok := s.(*BlockStmt); ok {
+		p.block(b)
+		return
+	}
+	p.block(&BlockStmt{Stmts: []Stmt{s}})
+}
+
+func (p *printer) bodyOf(s Stmt) { p.bodyBraced(s) }
+
+func (p *printer) block(b *BlockStmt) {
+	if len(b.Stmts) == 0 {
+		p.b.WriteString("{}")
+		return
+	}
+	p.b.WriteString("{")
+	p.nl()
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+		p.nl()
+	}
+	p.indent--
+	p.ws()
+	p.b.WriteString("}")
+}
+
+func (p *printer) params(params []Param, named bool) {
+	if named {
+		p.b.WriteString("{")
+		for i, prm := range params {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.b.WriteString(prm.Name)
+		}
+		p.b.WriteString("}: {")
+		for i, prm := range params {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.b.WriteString(prm.Name + ": ")
+			if prm.Type != nil {
+				p.b.WriteString(prm.Type.TS())
+			} else {
+				p.b.WriteString("any")
+			}
+		}
+		p.b.WriteString("}")
+		return
+	}
+	for i, prm := range params {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		p.b.WriteString(prm.Name)
+		if prm.Type != nil {
+			p.b.WriteString(": " + prm.Type.TS())
+		}
+	}
+}
+
+// operator precedence for parenthesization decisions
+var precOf = map[string]int{
+	"??": 1, "||": 2, "&&": 3,
+	"|": 4, "^": 5, "&": 6,
+	"==": 7, "!=": 7, "===": 7, "!==": 7,
+	"<": 8, "<=": 8, ">": 8, ">=": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+	"**": 11,
+}
+
+const unaryPrec = 12
+
+func (p *printer) expr(e Expr, parentPrec int) {
+	switch x := e.(type) {
+	case *NumberLit:
+		p.b.WriteString(formatNum(x.Value))
+	case *StringLit:
+		p.b.WriteString(quoteJS(x.Value))
+	case *BoolLit:
+		fmt.Fprintf(&p.b, "%v", x.Value)
+	case *NullLit:
+		p.b.WriteString("null")
+	case *Ident:
+		p.b.WriteString(x.Name)
+	case *ArrayLit:
+		p.b.WriteString("[")
+		for i, el := range x.Elems {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			if x.Spreads[i] {
+				p.b.WriteString("...")
+			}
+			p.expr(el, 0)
+		}
+		p.b.WriteString("]")
+	case *ObjectLit:
+		p.b.WriteString("{ ")
+		for i, f := range x.Fields {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.b.WriteString(f.Key)
+			if f.Value != nil {
+				p.b.WriteString(": ")
+				p.expr(f.Value, 0)
+			}
+		}
+		p.b.WriteString(" }")
+	case *TemplateLit:
+		p.b.WriteByte('`')
+		for i, chunk := range x.Chunks {
+			p.b.WriteString(strings.ReplaceAll(strings.ReplaceAll(chunk, "\\", "\\\\"), "`", "\\`"))
+			if i < len(x.Exprs) {
+				p.b.WriteString("${")
+				p.expr(x.Exprs[i], 0)
+				p.b.WriteString("}")
+			}
+		}
+		p.b.WriteByte('`')
+	case *UnaryExpr:
+		if x.Op == "typeof" {
+			p.b.WriteString("typeof ")
+		} else {
+			p.b.WriteString(x.Op)
+		}
+		p.expr(x.X, unaryPrec)
+	case *BinaryExpr:
+		prec := precOf[x.Op]
+		if prec < parentPrec {
+			p.b.WriteString("(")
+		}
+		p.expr(x.L, prec)
+		p.b.WriteString(" " + x.Op + " ")
+		p.expr(x.R, prec+1)
+		if prec < parentPrec {
+			p.b.WriteString(")")
+		}
+	case *CondExpr:
+		if parentPrec > 0 {
+			p.b.WriteString("(")
+		}
+		p.expr(x.Cond, 1)
+		p.b.WriteString(" ? ")
+		p.expr(x.Then, 0)
+		p.b.WriteString(" : ")
+		p.expr(x.Else, 0)
+		if parentPrec > 0 {
+			p.b.WriteString(")")
+		}
+	case *MemberExpr:
+		p.expr(x.X, unaryPrec)
+		if x.Opt {
+			p.b.WriteString("?.")
+		} else {
+			p.b.WriteString(".")
+		}
+		p.b.WriteString(x.Name)
+	case *IndexExpr:
+		p.expr(x.X, unaryPrec)
+		p.b.WriteString("[")
+		p.expr(x.Index, 0)
+		p.b.WriteString("]")
+	case *CallExpr:
+		p.expr(x.Fn, unaryPrec)
+		p.b.WriteString("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			if i < len(x.Spreads) && x.Spreads[i] {
+				p.b.WriteString("...")
+			}
+			p.expr(a, 0)
+		}
+		p.b.WriteString(")")
+	case *NewExpr:
+		p.b.WriteString("new " + x.Ctor + "(")
+		for i, a := range x.Args {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.b.WriteString(")")
+	case *ArrowFunc:
+		p.b.WriteString("(")
+		for i, prm := range x.Params {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.b.WriteString(prm.Name)
+		}
+		p.b.WriteString(") => ")
+		if x.Expr != nil {
+			if _, isObj := x.Expr.(*ObjectLit); isObj {
+				p.b.WriteString("(")
+				p.expr(x.Expr, 0)
+				p.b.WriteString(")")
+			} else {
+				p.expr(x.Expr, 1)
+			}
+			return
+		}
+		p.block(x.Body)
+	case *FuncLit:
+		p.b.WriteString("function (")
+		p.params(x.Params, x.Named)
+		p.b.WriteString(") ")
+		p.block(x.Body)
+	}
+}
+
+func quoteJS(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

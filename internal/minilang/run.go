@@ -1,0 +1,184 @@
+package minilang
+
+import (
+	"fmt"
+	"io"
+)
+
+// CompiledFunc is a parsed, checked minilang function ready to be called
+// with AskIt's named-argument convention. It is the runtime shape of a
+// "generated function" (paper §III-D): the replacement for a define call
+// once code generation succeeds.
+type CompiledFunc struct {
+	Prog *Program
+	Decl *FuncDecl
+	// MaxSteps overrides the interpreter step budget (<=0: default).
+	MaxSteps int64
+	// Stdout receives console.log output from the function; nil discards.
+	Stdout io.Writer
+	// Hosts are extra global bindings injected before execution, e.g.
+	// the appendFile/readFile file-access functions the AskIt engine
+	// provides for codable file tasks (paper §II-A2).
+	Hosts map[string]any
+	src   string
+}
+
+// CompileFunction parses src, locates function name, and statically
+// checks the whole program. Any error is a *CompileError or CheckErrors,
+// both of which the codegen loop treats as "invalid code, retry".
+func CompileFunction(src, name string) (*CompiledFunc, error) {
+	prog, decl, err := ParseFunction(src, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return &CompiledFunc{Prog: prog, Decl: decl, src: src}, nil
+}
+
+// Source returns the source text the function was compiled from.
+func (cf *CompiledFunc) Source() string { return cf.src }
+
+// Name returns the declared function name.
+func (cf *CompiledFunc) Name() string { return cf.Decl.Name }
+
+// Call invokes the function with named arguments expressed in the JSON
+// data model (nil, bool, float64/int, string, []any, map[string]any) and
+// returns the result converted back to the JSON data model.
+func (cf *CompiledFunc) Call(args map[string]any) (any, error) {
+	in := NewInterp()
+	if cf.MaxSteps > 0 {
+		in.MaxSteps = cf.MaxSteps
+	}
+	in.Stdout = cf.Stdout
+	for name, fn := range cf.Hosts {
+		_ = in.Globals().Define(name, fn, true)
+	}
+	v, err := in.CallFunction(cf.Prog, cf.Decl, args)
+	if err != nil {
+		return nil, err
+	}
+	return ToJSON(v), nil
+}
+
+// Run parses, checks and executes a whole program, returning anything
+// written via console.log to out. Used by cmd/minirun.
+func Run(src string, out io.Writer) error {
+	prog, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	if err := Check(prog); err != nil {
+		return err
+	}
+	in := NewInterp()
+	in.Stdout = out
+	_, err = in.LoadProgram(prog)
+	return err
+}
+
+// Example is an input/output pair used for semantic validation of
+// generated code (paper §III-B examples, §III-D Step 3).
+type Example struct {
+	Input  map[string]any
+	Output any
+}
+
+// Validate runs the function on each example and returns a descriptive
+// error for the first mismatch. Numeric outputs compare with a small
+// relative tolerance, because LLM-written arithmetic may reorder
+// floating-point operations.
+func (cf *CompiledFunc) Validate(examples []Example) error {
+	for i, ex := range examples {
+		got, err := cf.Call(ex.Input)
+		if err != nil {
+			return fmt.Errorf("example %d: %w", i, err)
+		}
+		if !jsonEqual(got, ex.Output) {
+			return fmt.Errorf("example %d: got %v, want %v", i, got, ex.Output)
+		}
+	}
+	return nil
+}
+
+func jsonEqual(a, b any) bool {
+	switch x := a.(type) {
+	case nil:
+		return b == nil
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case float64:
+		y, ok := toFloat(b)
+		return ok && floatClose(x, y)
+	case int:
+		y, ok := toFloat(b)
+		return ok && floatClose(float64(x), y)
+	case []any:
+		y, ok := b.([]any)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !jsonEqual(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case map[string]any:
+		y, ok := b.(map[string]any)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for k, v := range x {
+			w, present := y[k]
+			if !present || !jsonEqual(v, w) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+func floatClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := 1.0
+	if aa := abs(a); aa > scale {
+		scale = aa
+	}
+	if ab := abs(b); ab > scale {
+		scale = ab
+	}
+	return diff <= 1e-9*scale
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

@@ -1,0 +1,94 @@
+// Package minilang implements the TypeScript-subset language that serves
+// as AskIt's code-generation target in this reproduction (DESIGN.md
+// substitution 2). The paper's DSL compiler asks the LLM for a TypeScript
+// function body (Fig. 4), extracts it from a fenced code block, validates
+// it syntactically, runs it against example tests, and finally calls it
+// natively. minilang provides all of that machinery for Go: a lexer,
+// a recursive-descent parser, a resolver/static checker, a tree-walking
+// interpreter with the commonly generated runtime library (array/string
+// methods, Math, JSON), a pretty-printer and a LOC counter.
+package minilang
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds.
+const (
+	EOF TokenKind = iota
+	IDENT
+	NUMBER
+	STRING   // quoted string literal (value is the decoded text)
+	TEMPLATE // template literal chunk; parser assembles parts
+	PUNCT    // operators and punctuation
+	KEYWORD  // reserved word
+	COMMENT  // only produced when lexing with comments retained
+)
+
+var tokenKindNames = [...]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number", STRING: "string",
+	TEMPLATE: "template", PUNCT: "punctuation", KEYWORD: "keyword",
+	COMMENT: "comment",
+}
+
+func (k TokenKind) String() string {
+	if int(k) < len(tokenKindNames) {
+		return tokenKindNames[k]
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Pos is a position in the source text.
+type Pos struct {
+	Offset int
+	Line   int // 1-based
+	Col    int // 1-based
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text for IDENT/PUNCT/KEYWORD, decoded for STRING
+	Num  float64
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case STRING:
+		return fmt.Sprintf("string %q", t.Text)
+	case NUMBER:
+		return fmt.Sprintf("number %v", t.Num)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords of the subset. "export" and "async"/"await" are accepted and
+// ignored where harmless, because generated code often includes them.
+var keywords = map[string]bool{
+	"function": true, "return": true, "let": true, "const": true,
+	"var": true, "if": true, "else": true, "while": true, "for": true,
+	"of": true, "in": true, "break": true, "continue": true,
+	"true": true, "false": true, "null": true, "undefined": true,
+	"new": true, "typeof": true, "export": true, "throw": true,
+	"async": true, "await": true, "do": true, "switch": true,
+	"case": true, "default": true,
+}
+
+// CompileError is a syntax or static-semantics error in minilang source.
+// The AskIt codegen loop treats any CompileError as "the model produced
+// invalid code" and retries (paper §III-D Step 3).
+type CompileError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("minilang: %s at %s", e.Msg, e.Pos)
+}

@@ -1,0 +1,411 @@
+package minilang
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Runtime values are represented as:
+//
+//	nil            null / undefined
+//	bool           boolean
+//	float64        number
+//	string         string
+//	*Array         array (mutable, reference semantics)
+//	map[string]any object (reference semantics)
+//	*Closure       user function
+//	*Builtin       native function
+//	*SetVal        Set of primitives
+//	*MapVal        Map with primitive keys
+
+// Array is a mutable JS-style array.
+type Array struct {
+	Elems []any
+}
+
+// NewArray builds an array value from elements.
+func NewArray(elems ...any) *Array { return &Array{Elems: elems} }
+
+// Closure is a user-defined function value.
+type Closure struct {
+	Name   string
+	Params []Param
+	Named  bool // destructured named-parameter calling convention
+	Body   *BlockStmt
+	Expr   Expr // arrow expression body (exclusive with Body)
+	Env    *Env
+}
+
+// Builtin is a native function value.
+type Builtin struct {
+	Name string
+	Fn   func(in *Interp, args []any) (any, error)
+}
+
+// CallableObj is a value that is both callable and carries properties,
+// like the JS String and Number globals (String(x) vs String.fromCharCode).
+type CallableObj struct {
+	Builtin *Builtin
+	Props   map[string]any
+}
+
+// SetVal implements the JS Set for primitive members.
+type SetVal struct {
+	order []any
+	keys  map[string]bool
+}
+
+// NewSet builds a Set, deduplicating by primitive identity.
+func NewSet(elems ...any) *SetVal {
+	s := &SetVal{keys: map[string]bool{}}
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// Add inserts v; non-primitive members use printed identity.
+func (s *SetVal) Add(v any) {
+	k := primKey(v)
+	if !s.keys[k] {
+		s.keys[k] = true
+		s.order = append(s.order, v)
+	}
+}
+
+// Has reports membership.
+func (s *SetVal) Has(v any) bool { return s.keys[primKey(v)] }
+
+// Delete removes v and reports whether it was present.
+func (s *SetVal) Delete(v any) bool {
+	k := primKey(v)
+	if !s.keys[k] {
+		return false
+	}
+	delete(s.keys, k)
+	for i, e := range s.order {
+		if primKey(e) == k {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Len returns the number of members.
+func (s *SetVal) Len() int { return len(s.order) }
+
+// Values returns members in insertion order.
+func (s *SetVal) Values() []any { return append([]any(nil), s.order...) }
+
+// MapVal implements the JS Map for primitive keys.
+type MapVal struct {
+	order []any
+	items map[string]any
+	names map[string]any // key string -> original key value
+}
+
+// NewMap returns an empty Map.
+func NewMap() *MapVal {
+	return &MapVal{items: map[string]any{}, names: map[string]any{}}
+}
+
+// Set stores key -> value.
+func (m *MapVal) Set(k, v any) {
+	ks := primKey(k)
+	if _, ok := m.items[ks]; !ok {
+		m.order = append(m.order, k)
+		m.names[ks] = k
+	}
+	m.items[ks] = v
+}
+
+// Get returns the value for k, or nil.
+func (m *MapVal) Get(k any) any { return m.items[primKey(k)] }
+
+// Has reports whether k is present.
+func (m *MapVal) Has(k any) bool {
+	_, ok := m.items[primKey(k)]
+	return ok
+}
+
+// Delete removes k and reports whether it was present.
+func (m *MapVal) Delete(k any) bool {
+	ks := primKey(k)
+	if _, ok := m.items[ks]; !ok {
+		return false
+	}
+	delete(m.items, ks)
+	delete(m.names, ks)
+	for i, e := range m.order {
+		if primKey(e) == ks {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Len returns the entry count.
+func (m *MapVal) Len() int { return len(m.order) }
+
+// Keys returns keys in insertion order.
+func (m *MapVal) Keys() []any { return append([]any(nil), m.order...) }
+
+func primKey(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "n"
+	case bool:
+		return fmt.Sprintf("b%v", x)
+	case float64:
+		return "f" + strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return "s" + x
+	default:
+		return fmt.Sprintf("p%p", x)
+	}
+}
+
+// Truthy implements JS truthiness.
+func Truthy(v any) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case float64:
+		return x != 0 && !math.IsNaN(x)
+	case string:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+// StrictEqual implements ===: same dynamic type and value; reference
+// identity for arrays, objects, functions.
+func StrictEqual(a, b any) bool {
+	switch x := a.(type) {
+	case nil:
+		return b == nil
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case float64:
+		y, ok := b.(float64)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case *Array:
+		y, ok := b.(*Array)
+		return ok && x == y
+	case map[string]any:
+		// maps are not comparable with ==; compare via printed pointer
+		return fmt.Sprintf("%p", x) == fmt.Sprintf("%p", b)
+	default:
+		return a == b
+	}
+}
+
+// DeepEqual compares values structurally; arrays and objects are compared
+// element-wise. Used by example-test validation (the paper compares the
+// generated function's output to the expected constant).
+func DeepEqual(a, b any) bool {
+	switch x := a.(type) {
+	case nil:
+		return b == nil
+	case bool, string:
+		return a == b
+	case float64:
+		y, ok := b.(float64)
+		return ok && (x == y || math.IsNaN(x) && math.IsNaN(y))
+	case *Array:
+		y, ok := b.(*Array)
+		if !ok || len(x.Elems) != len(y.Elems) {
+			return false
+		}
+		for i := range x.Elems {
+			if !DeepEqual(x.Elems[i], y.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case map[string]any:
+		y, ok := b.(map[string]any)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for k, v := range x {
+			w, present := y[k]
+			if !present || !DeepEqual(v, w) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}
+
+// ToString renders a value the way JS string coercion does (approximately),
+// used by template literals, the + operator and console.log.
+func ToString(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return strconv.FormatBool(x)
+	case float64:
+		return formatNum(x)
+	case string:
+		return x
+	case *Array:
+		parts := make([]string, len(x.Elems))
+		for i, e := range x.Elems {
+			if e == nil {
+				parts[i] = ""
+			} else {
+				parts[i] = ToString(e)
+			}
+		}
+		return strings.Join(parts, ",")
+	case map[string]any:
+		return "[object Object]"
+	case *Closure:
+		return "[function " + x.Name + "]"
+	case *Builtin:
+		return "[builtin " + x.Name + "]"
+	case *SetVal:
+		return fmt.Sprintf("[Set(%d)]", x.Len())
+	case *MapVal:
+		return fmt.Sprintf("[Map(%d)]", x.Len())
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func formatNum(f float64) string {
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	if math.IsInf(f, 1) {
+		return "Infinity"
+	}
+	if math.IsInf(f, -1) {
+		return "-Infinity"
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e21 {
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// ToNumber implements JS number coercion for the values the subset uses.
+func ToNumber(v any) float64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case bool:
+		if x {
+			return 1
+		}
+		return 0
+	case float64:
+		return x
+	case string:
+		s := strings.TrimSpace(x)
+		if s == "" {
+			return 0
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	default:
+		return math.NaN()
+	}
+}
+
+// FromJSON converts a decoded JSON value ([]any / map[string]any tree)
+// into minilang runtime representation (*Array for slices).
+func FromJSON(v any) any {
+	switch x := v.(type) {
+	case []any:
+		elems := make([]any, len(x))
+		for i, e := range x {
+			elems[i] = FromJSON(e)
+		}
+		return &Array{Elems: elems}
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			out[k] = FromJSON(e)
+		}
+		return out
+	case int:
+		return float64(x)
+	case int64:
+		return float64(x)
+	default:
+		return v
+	}
+}
+
+// ToJSON converts a runtime value back to the JSON data model
+// (*Array -> []any). Sets become sorted arrays; Maps become objects.
+func ToJSON(v any) any {
+	switch x := v.(type) {
+	case *Array:
+		out := make([]any, len(x.Elems))
+		for i, e := range x.Elems {
+			out[i] = ToJSON(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			out[k] = ToJSON(e)
+		}
+		return out
+	case *SetVal:
+		vals := x.Values()
+		out := make([]any, len(vals))
+		for i, e := range vals {
+			out[i] = ToJSON(e)
+		}
+		sort.Slice(out, func(i, j int) bool { return ToString(out[i]) < ToString(out[j]) })
+		return out
+	case *MapVal:
+		out := make(map[string]any, x.Len())
+		for _, k := range x.Keys() {
+			out[ToString(k)] = ToJSON(x.Get(k))
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// TypeOf implements the typeof operator.
+func TypeOf(v any) string {
+	switch v.(type) {
+	case nil:
+		return "object" // typeof null
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case *Closure, *Builtin, *CallableObj:
+		return "function"
+	default:
+		return "object"
+	}
+}

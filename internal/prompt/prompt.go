@@ -1,0 +1,248 @@
+// Package prompt builds the prompts the AskIt compiler and runtime send
+// to the LLM: the direct-answer prompt with the typed JSON envelope
+// (paper Listing 2), the function-synthesis prompt (paper Figure 4), and
+// the feedback prompts used to refine malformed responses (paper §III-E
+// Step 3).
+package prompt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/jsonx"
+	"repro/internal/template"
+	"repro/internal/types"
+)
+
+// Example is a task input/output example attached to an ask or define
+// call, used for few-shot prompting and (for codable tasks) validation.
+type Example struct {
+	Input  map[string]any
+	Output any
+}
+
+// EnvelopeType wraps an answer type in the fixed
+// { reason: string; answer: T } response envelope. The paper keeps the
+// two fields in every response so extraction is uniform and the reason
+// field elicits chain-of-thought (§III-E).
+func EnvelopeType(answer types.Type) types.Type {
+	return types.Dict(
+		types.Field{Name: "reason", Type: types.Str},
+		types.Field{Name: "answer", Type: answer},
+	)
+}
+
+// DirectSpec describes one direct-answer interaction.
+type DirectSpec struct {
+	Template *template.Template
+	Args     map[string]any // bound template arguments; may be nil
+	Return   types.Type
+	Examples []Example // optional few-shot examples
+}
+
+// BuildDirect renders the runtime prompt of Listing 2: fixed JSON-format
+// preamble, the envelope type in TypeScript syntax, the CoT instruction,
+// then the task line with quoted placeholders and a "where" clause
+// listing the argument values.
+func BuildDirect(spec DirectSpec) (string, error) {
+	if spec.Template == nil {
+		return "", fmt.Errorf("prompt: nil template")
+	}
+	if spec.Return == nil {
+		return "", fmt.Errorf("prompt: nil return type")
+	}
+	if err := spec.Template.CheckArgs(argsOrEmpty(spec.Args)); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("You are a helpful assistant that generates responses in JSON format enclosed with ```json and ``` like:\n")
+	b.WriteString("```json\n")
+	b.WriteString(`{ "reason": "Step-by-step reason for the answer", "answer": "Final answer or result" }` + "\n")
+	b.WriteString("```\n")
+	b.WriteString("The response in the JSON code block should match the type defined as follows:\n")
+	b.WriteString("```ts\n")
+	b.WriteString(EnvelopeType(spec.Return).TS() + "\n")
+	b.WriteString("```\n")
+	b.WriteString("Explain your answer step-by-step in the 'reason' field.\n")
+	if len(spec.Examples) > 0 {
+		b.WriteString("\nExamples:\n")
+		for _, ex := range spec.Examples {
+			fmt.Fprintf(&b, "- input: %s, output: %s\n", jsonx.Encode(ex.Input), jsonx.Encode(ex.Output))
+		}
+	}
+	b.WriteString("\n")
+	b.WriteString(spec.Template.RenderQuoted())
+	if params := spec.Template.Params(); len(params) > 0 {
+		b.WriteString("\nwhere ")
+		for i, p := range params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			v, ok := spec.Args[p]
+			if !ok {
+				return "", fmt.Errorf("prompt: missing argument %q", p)
+			}
+			fmt.Fprintf(&b, "'%s' = %s", p, template.FormatValue(v))
+		}
+	}
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+func argsOrEmpty(m map[string]any) map[string]any {
+	if m == nil {
+		return map[string]any{}
+	}
+	return m
+}
+
+// Problem describes why a response failed validation; it feeds the
+// feedback prompt for the next retry.
+type Problem struct {
+	// Kind is one of "no-json", "no-answer-field", "type-mismatch".
+	Kind string
+	// Detail is the human-readable diagnosis (parser or validator error).
+	Detail string
+}
+
+// BuildFeedback appends the model's failing response and a corrective
+// instruction to the original prompt, per §III-E: "the DSL runtime
+// refines the prompt by adding the LLM's response and a new instruction
+// to the original prompt."
+func BuildFeedback(original, response string, p Problem, want types.Type) string {
+	var b strings.Builder
+	b.WriteString(original)
+	b.WriteString("\nYour previous response was:\n")
+	b.WriteString(response)
+	b.WriteString("\n\n")
+	switch p.Kind {
+	case "no-json":
+		b.WriteString("The response does not contain a JSON code block. ")
+	case "no-answer-field":
+		b.WriteString("The JSON object does not include the 'answer' field. ")
+	case "type-mismatch":
+		fmt.Fprintf(&b, "The 'answer' field does not match the expected type (%s). ", p.Detail)
+	default:
+		b.WriteString("The response is invalid. ")
+	}
+	fmt.Fprintf(&b, "Respond again with a ```json code block containing an object of type %s.\n", EnvelopeType(want).TS())
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Codegen prompts
+
+// CodegenSpec describes one function-synthesis request.
+type CodegenSpec struct {
+	// FuncName is the unique name assigned by the compiler; empty
+	// derives one from the template.
+	FuncName string
+	Template *template.Template
+	// Params are the function parameters in declaration order with
+	// their types (from the define call's second type parameter).
+	Params []types.Field
+	Return types.Type
+}
+
+// Name returns the function name, deriving a camelCase unique name from
+// the prompt template when none was set (paper: "The DSL compiler
+// assigns a unique name to the function").
+func (s CodegenSpec) Name() string {
+	if s.FuncName != "" {
+		return s.FuncName
+	}
+	return DeriveFuncName(s.Template.Source())
+}
+
+// DeriveFuncName builds a deterministic camelCase identifier from a
+// prompt template, suffixed with a short hash for uniqueness.
+func DeriveFuncName(templateSrc string) string {
+	words := splitWords(templateSrc)
+	var b strings.Builder
+	count := 0
+	for _, w := range words {
+		if count == 4 {
+			break
+		}
+		if w == "" {
+			continue
+		}
+		if count == 0 {
+			b.WriteString(strings.ToLower(w))
+		} else {
+			b.WriteString(strings.ToUpper(w[:1]) + strings.ToLower(w[1:]))
+		}
+		count++
+	}
+	if b.Len() == 0 {
+		b.WriteString("task")
+	}
+	sum := sha256.Sum256([]byte(templateSrc))
+	return b.String() + "_" + hex.EncodeToString(sum[:3])
+}
+
+func splitWords(s string) []string {
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+	})
+}
+
+// Signature renders the TypeScript-style signature of the function to be
+// generated, e.g.
+//
+//	export function func({x, y}: {x: number, y: number}): number
+func (s CodegenSpec) Signature() string {
+	var names, tps []string
+	for _, p := range s.Params {
+		names = append(names, p.Name)
+		tps = append(tps, p.Name+": "+p.Type.TS())
+	}
+	ret := "void"
+	if s.Return != nil {
+		ret = s.Return.TS()
+	}
+	return fmt.Sprintf("export function %s({%s}: {%s}): %s",
+		s.Name(), strings.Join(names, ", "), strings.Join(tps, ", "), ret)
+}
+
+// oneShot is the fixed example pair that opens every codegen prompt
+// (paper Figure 4, first two segments).
+const oneShotQ = "Q: Implement the following function:\n```typescript\nexport function func({x, y}: {x: number, y: number}): number {\n  // add 'x' and 'y'\n}\n```\n"
+const oneShotA = "A:\n```typescript\nexport function func({x, y}: {x: number, y: number}): number {\n  // add 'x' and 'y'\n  return x + y;\n}\n```\n"
+
+// BuildCodegen renders the Figure 4 prompt: one-shot example, then the
+// task-specific empty function whose body comment is the prompt template
+// with quoted placeholders.
+func BuildCodegen(spec CodegenSpec) (string, error) {
+	if spec.Template == nil {
+		return "", fmt.Errorf("prompt: nil template")
+	}
+	var b strings.Builder
+	b.WriteString(oneShotQ)
+	b.WriteString("\n")
+	b.WriteString(oneShotA)
+	b.WriteString("\n")
+	b.WriteString("Q: Implement the following function:\n")
+	b.WriteString("```typescript\n")
+	b.WriteString(spec.Signature() + " {\n")
+	fmt.Fprintf(&b, "  // %s\n", spec.Template.RenderQuoted())
+	b.WriteString("}\n")
+	b.WriteString("```\n")
+	return b.String(), nil
+}
+
+// BuildCodegenFeedback extends a codegen prompt with the failing
+// response and the validation error, asking for a corrected
+// implementation.
+func BuildCodegenFeedback(original, response, failure string) string {
+	var b strings.Builder
+	b.WriteString(original)
+	b.WriteString("\nYour previous response was:\n")
+	b.WriteString(response)
+	b.WriteString("\n\n")
+	fmt.Fprintf(&b, "That implementation is not acceptable: %s\n", failure)
+	b.WriteString("Respond again with a corrected implementation in a ```typescript code block.\n")
+	return b.String()
+}

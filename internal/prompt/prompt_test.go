@@ -1,0 +1,222 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/template"
+	"repro/internal/types"
+)
+
+func TestEnvelopeType(t *testing.T) {
+	book := types.Dict(
+		types.Field{Name: "title", Type: types.Str},
+		types.Field{Name: "author", Type: types.Str},
+		types.Field{Name: "year", Type: types.Int},
+	)
+	env := EnvelopeType(types.List(book))
+	want := "{ reason: string; answer: { title: string; author: string; year: number }[] }"
+	if got := env.TS(); got != want {
+		t.Errorf("TS = %q, want %q", got, want)
+	}
+}
+
+func TestBuildDirectMatchesListing2(t *testing.T) {
+	tpl := template.MustParse("List {{n}} classic books on {{subject}}.")
+	book := types.Dict(
+		types.Field{Name: "title", Type: types.Str},
+		types.Field{Name: "author", Type: types.Str},
+		types.Field{Name: "year", Type: types.Int},
+	)
+	p, err := BuildDirect(DirectSpec{
+		Template: tpl,
+		Args:     map[string]any{"n": 5, "subject": "computer science"},
+		Return:   types.List(book),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the structural landmarks of Listing 2.
+	landmarks := []string{
+		"You are a helpful assistant that generates responses in JSON format enclosed with ```json and ```",
+		`{ "reason": "Step-by-step reason for the answer", "answer": "Final answer or result" }`,
+		"The response in the JSON code block should match the type defined as follows:",
+		"```ts\n{ reason: string; answer: { title: string; author: string; year: number }[] }\n```",
+		"Explain your answer step-by-step in the 'reason' field.",
+		"List 'n' classic books on 'subject'.",
+		`where 'n' = 5, 'subject' = "computer science"`,
+	}
+	for _, l := range landmarks {
+		if !strings.Contains(p, l) {
+			t.Errorf("prompt missing landmark %q\n--- prompt:\n%s", l, p)
+		}
+	}
+}
+
+func TestBuildDirectNoParams(t *testing.T) {
+	tpl := template.MustParse("What is 7 times 8?")
+	p, err := BuildDirect(DirectSpec{Template: tpl, Return: types.Int})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p, "where ") {
+		t.Error("no-arg prompt should have no where clause")
+	}
+	if !strings.Contains(p, "What is 7 times 8?") {
+		t.Error("task line missing")
+	}
+}
+
+func TestBuildDirectArgErrors(t *testing.T) {
+	tpl := template.MustParse("Summarize {{text}}")
+	if _, err := BuildDirect(DirectSpec{Template: tpl, Return: types.Str}); err == nil {
+		t.Error("expected missing-arg error")
+	}
+	if _, err := BuildDirect(DirectSpec{
+		Template: tpl, Return: types.Str,
+		Args: map[string]any{"text": "x", "bogus": 1},
+	}); err == nil {
+		t.Error("expected unknown-arg error")
+	}
+	if _, err := BuildDirect(DirectSpec{Template: tpl, Args: map[string]any{"text": "x"}}); err == nil {
+		t.Error("expected nil-return error")
+	}
+}
+
+func TestBuildDirectExamples(t *testing.T) {
+	tpl := template.MustParse("Negate {{b}}")
+	p, err := BuildDirect(DirectSpec{
+		Template: tpl,
+		Args:     map[string]any{"b": true},
+		Return:   types.Bool,
+		Examples: []Example{{Input: map[string]any{"b": false}, Output: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p, "Examples:") || !strings.Contains(p, `{"b": false}`) {
+		t.Errorf("examples section missing:\n%s", p)
+	}
+}
+
+func TestBuildFeedbackKinds(t *testing.T) {
+	base := "PROMPT"
+	resp := "gibberish"
+	cases := map[string]string{
+		"no-json":         "does not contain a JSON code block",
+		"no-answer-field": "does not include the 'answer' field",
+		"type-mismatch":   "does not match the expected type",
+	}
+	for kind, sub := range cases {
+		out := BuildFeedback(base, resp, Problem{Kind: kind, Detail: "expected number"}, types.Int)
+		if !strings.HasPrefix(out, base) {
+			t.Errorf("%s: feedback must extend the original prompt", kind)
+		}
+		if !strings.Contains(out, resp) {
+			t.Errorf("%s: feedback must quote the response", kind)
+		}
+		if !strings.Contains(out, sub) {
+			t.Errorf("%s: feedback %q missing %q", kind, out, sub)
+		}
+	}
+}
+
+func TestSignature(t *testing.T) {
+	spec := CodegenSpec{
+		FuncName: "calculateFactorial",
+		Template: template.MustParse("Calculate the factorial of {{n}}"),
+		Params:   []types.Field{{Name: "n", Type: types.Float}},
+		Return:   types.Float,
+	}
+	want := "export function calculateFactorial({n}: {n: number}): number"
+	if got := spec.Signature(); got != want {
+		t.Errorf("Signature = %q, want %q", got, want)
+	}
+}
+
+func TestSignatureVoid(t *testing.T) {
+	spec := CodegenSpec{
+		FuncName: "appendReviewToCsv",
+		Template: template.MustParse("Append {{review}} to the file {{filename}}"),
+		Params: []types.Field{
+			{Name: "review", Type: types.Str},
+			{Name: "filename", Type: types.Str},
+		},
+	}
+	want := "export function appendReviewToCsv({review, filename}: {review: string, filename: string}): void"
+	if got := spec.Signature(); got != want {
+		t.Errorf("Signature = %q, want %q", got, want)
+	}
+}
+
+func TestBuildCodegenMatchesFigure4(t *testing.T) {
+	spec := CodegenSpec{
+		FuncName: "calculateFactorial",
+		Template: template.MustParse("Calculate the factorial of {{n}}"),
+		Params:   []types.Field{{Name: "n", Type: types.Float}},
+		Return:   types.Float,
+	}
+	p, err := BuildCodegen(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	landmarks := []string{
+		"Q: Implement the following function:",
+		"export function func({x, y}: {x: number, y: number}): number {\n  // add 'x' and 'y'\n}",
+		"A:",
+		"return x + y;",
+		"export function calculateFactorial({n}: {n: number}): number {\n  // Calculate the factorial of 'n'\n}",
+	}
+	for _, l := range landmarks {
+		if !strings.Contains(p, l) {
+			t.Errorf("codegen prompt missing %q\n--- prompt:\n%s", l, p)
+		}
+	}
+	// The one-shot example must precede the task.
+	if strings.Index(p, "return x + y;") > strings.Index(p, "calculateFactorial") {
+		t.Error("one-shot example should come before the task")
+	}
+}
+
+func TestDeriveFuncName(t *testing.T) {
+	a := DeriveFuncName("Reverse the string {{s}}.")
+	b := DeriveFuncName("Reverse the string {{s}}.")
+	c := DeriveFuncName("Sort the numbers {{ns}} in ascending order.")
+	if a != b {
+		t.Errorf("not deterministic: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Errorf("collision: %q", a)
+	}
+	if !strings.HasPrefix(a, "reverseTheString") {
+		t.Errorf("name = %q", a)
+	}
+	d := DeriveFuncName("!!!")
+	if !strings.HasPrefix(d, "task_") {
+		t.Errorf("degenerate name = %q", d)
+	}
+}
+
+func TestBuildCodegenFeedback(t *testing.T) {
+	out := BuildCodegenFeedback("ORIG", "RESP", "example 0: got 2, want 1")
+	for _, sub := range []string{"ORIG", "RESP", "example 0", "```typescript"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("feedback missing %q", sub)
+		}
+	}
+}
+
+func BenchmarkBuildDirect(b *testing.B) {
+	tpl := template.MustParse("List {{n}} classic books on {{subject}}.")
+	spec := DirectSpec{
+		Template: tpl,
+		Args:     map[string]any{"n": 5, "subject": "cs"},
+		Return:   types.List(types.Str),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildDirect(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,1438 @@
+package tasks
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/jsonx"
+	"repro/internal/types"
+)
+
+// Common is the catalog of the 50 common coding tasks (paper §IV-A1,
+// Table II). The first tasks reproduce the table's published rows
+// verbatim; the remainder follow the same style.
+var Common = NewCatalog(commonSpecs()...)
+
+// helpers ------------------------------------------------------------------
+
+func num(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int:
+		return float64(x)
+	case int64:
+		return float64(x)
+	}
+	return math.NaN()
+}
+
+func str(v any) string {
+	s, _ := v.(string)
+	return s
+}
+
+func nums(v any) []float64 {
+	arr, _ := v.([]any)
+	out := make([]float64, len(arr))
+	for i, e := range arr {
+		out[i] = num(e)
+	}
+	return out
+}
+
+func strs(v any) []string {
+	arr, _ := v.([]any)
+	out := make([]string, len(arr))
+	for i, e := range arr {
+		out[i] = str(e)
+	}
+	return out
+}
+
+func toAny(fs []float64) []any {
+	out := make([]any, len(fs))
+	for i, f := range fs {
+		out[i] = f
+	}
+	return out
+}
+
+// sig renders the destructured named-parameter function header.
+func sig(name string, actual []string, canonical []types.Field, ret types.Type) string {
+	names := strings.Join(actual, ", ")
+	tps := make([]string, len(actual))
+	for i := range actual {
+		tps[i] = actual[i] + ": " + canonical[i].Type.TS()
+	}
+	r := "void"
+	if ret != nil {
+		r = ret.TS()
+	}
+	return fmt.Sprintf("export function %s({%s}: {%s}): %s {", name, names, strings.Join(tps, ", "), r)
+}
+
+// src assembles a function from its header and body lines.
+func src(header string, body ...string) string {
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteByte('\n')
+	for _, line := range body {
+		b.WriteString("  " + line + "\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func fields(pairs ...any) []types.Field {
+	out := make([]types.Field, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, types.Field{Name: pairs[i].(string), Type: pairs[i+1].(types.Type)})
+	}
+	return out
+}
+
+func ex(out any, kv ...any) Example {
+	in := map[string]any{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		in[kv[i].(string)] = kv[i+1]
+	}
+	return Example{Input: in, Output: out}
+}
+
+func arr(vs ...any) []any { return vs }
+
+// daysFromCivil converts a Gregorian date to a day count (Howard
+// Hinnant's algorithm); mirrored in the minilang source of date-diff.
+func daysFromCivil(y, m, d int) int {
+	if m <= 2 {
+		y--
+	}
+	var era int
+	if y >= 0 {
+		era = y / 400
+	} else {
+		era = (y - 399) / 400
+	}
+	yoe := y - era*400
+	var mp int
+	if m > 2 {
+		mp = m - 3
+	} else {
+		mp = m + 9
+	}
+	doy := (153*mp+2)/5 + d - 1
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return era*146097 + doe - 719468
+}
+
+func parseISO(s string) (int, int, int, error) {
+	var y, m, d int
+	if _, err := fmt.Sscanf(s, "%d-%d-%d", &y, &m, &d); err != nil {
+		return 0, 0, 0, fmt.Errorf("tasks: invalid date %q", s)
+	}
+	return y, m, d, nil
+}
+
+// catalog ------------------------------------------------------------------
+
+func commonSpecs() []*Spec {
+	var specs []*Spec
+	add := func(s *Spec) { specs = append(specs, s) }
+
+	// #1 (Table II row 1)
+	add(&Spec{
+		ID:       "reverse-string",
+		Template: "Reverse the string {{s}}.",
+		Params:   fields("s", types.Str),
+		Return:   types.Str,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			r := []rune(str(a[0]))
+			for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+				r[i], r[j] = r[j], r[i]
+			}
+			return string(r), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str), types.Str),
+				fmt.Sprintf(`return %s.split("").reverse().join("");`, p[0]))
+		},
+		Examples: []Example{ex("olleh", "s", "hello"), ex("", "s", "")},
+	})
+
+	// #2 (Table II row 2)
+	add(&Spec{
+		ID:       "factorial",
+		Template: "Calculate the factorial of {{n}}.",
+		Params:   fields("n", types.Float),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			n := int(num(a[0]))
+			out := 1.0
+			for i := 2; i <= n; i++ {
+				out *= float64(i)
+			}
+			return out, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("n", types.Float), types.Float),
+				"if ("+p[0]+" <= 1) {",
+				"  return 1;",
+				"}",
+				"let result = 1;",
+				"for (let i = 2; i <= "+p[0]+"; i++) {",
+				"  result *= i;",
+				"}",
+				"return result;")
+		},
+		Examples: []Example{ex(120.0, "n", 5), ex(1.0, "n", 0)},
+	})
+
+	// #3
+	add(&Spec{
+		ID:       "concat-strings",
+		Template: "Concatenate the strings {{ss}}.",
+		Params:   fields("ss", types.List(types.Str)),
+		Return:   types.Str,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return strings.Join(strs(a[0]), ""), nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("ss", types.List(types.Str)), types.Str),
+				`return `+p[0]+`.join("");`)
+		},
+		Examples: []Example{ex("abc", "ss", arr("a", "b", "c"))},
+	})
+
+	// #4
+	add(&Spec{
+		ID:       "sort-numbers",
+		Template: "Sort the numbers {{ns}} in ascending order.",
+		Params:   fields("ns", types.List(types.Float)),
+		Return:   types.List(types.Float),
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			ns := nums(a[0])
+			sort.Float64s(ns)
+			return toAny(ns), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("ns", types.List(types.Float)), types.List(types.Float)),
+				"return "+p[0]+".slice().sort((a, b) => a - b);")
+		},
+		Examples: []Example{ex(arr(1.0, 2.0, 3.0), "ns", arr(3.0, 1.0, 2.0))},
+	})
+
+	// #5
+	add(&Spec{
+		ID:       "largest-number",
+		Template: "Find the largest number in {{ns}}.",
+		Params:   fields("ns", types.List(types.Float)),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			ns := nums(a[0])
+			if len(ns) == 0 {
+				return nil, fmt.Errorf("tasks: empty list")
+			}
+			best := ns[0]
+			for _, n := range ns {
+				best = math.Max(best, n)
+			}
+			return best, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("ns", types.List(types.Float)), types.Float),
+				"return Math.max(..."+p[0]+");")
+		},
+		Examples: []Example{ex(9.0, "ns", arr(4.0, 9.0, 2.0))},
+	})
+
+	// #6
+	add(&Spec{
+		ID:       "palindrome-number",
+		Template: "Check if {{n}} is a palindrome.",
+		Params:   fields("n", types.Float),
+		Return:   types.Bool,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			s := strings.TrimSuffix(fmt.Sprintf("%v", num(a[0])), ".0")
+			r := []rune(s)
+			for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+				if r[i] != r[j] {
+					return false, nil
+				}
+			}
+			return true, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("n", types.Float), types.Bool),
+				"const s = String("+p[0]+");",
+				`const rev = s.split("").reverse().join("");`,
+				"return s === rev;")
+		},
+		Examples: []Example{ex(true, "n", 121.0), ex(false, "n", 123.0)},
+	})
+
+	// #7
+	add(&Spec{
+		ID:       "sum-numbers",
+		Template: "Calculate the sum of all numbers in {{ns}}.",
+		Params:   fields("ns", types.List(types.Float)),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			sum := 0.0
+			for _, n := range nums(a[0]) {
+				sum += n
+			}
+			return sum, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("ns", types.List(types.Float)), types.Float),
+				"return "+p[0]+".reduce((acc, n) => acc + n, 0);")
+		},
+		Examples: []Example{ex(6.0, "ns", arr(1.0, 2.0, 3.0)), ex(0.0, "ns", arr())},
+	})
+
+	// #8
+	add(&Spec{
+		ID:       "average-numbers",
+		Template: "Calculate the average of all numbers in {{ns}}.",
+		Params:   fields("ns", types.List(types.Float)),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			ns := nums(a[0])
+			if len(ns) == 0 {
+				return nil, fmt.Errorf("tasks: empty list")
+			}
+			sum := 0.0
+			for _, n := range ns {
+				sum += n
+			}
+			return sum / float64(len(ns)), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("ns", types.List(types.Float)), types.Float),
+				"if ("+p[0]+".length === 0) {",
+				`  throw new Error("empty list");`,
+				"}",
+				"const total = "+p[0]+".reduce((acc, n) => acc + n, 0);",
+				"return total / "+p[0]+".length;")
+		},
+		Examples: []Example{ex(2.0, "ns", arr(1.0, 2.0, 3.0))},
+	})
+
+	// #9
+	add(&Spec{
+		ID:       "count-occurrences",
+		Template: "Count the number of occurrences of {{x}} in {{xs}}.",
+		Params:   fields("x", types.Float, "xs", types.List(types.Float)),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			x := num(a[0])
+			count := 0.0
+			for _, n := range nums(a[1]) {
+				if n == x {
+					count++
+				}
+			}
+			return count, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("x", types.Float, "xs", types.List(types.Float)), types.Float),
+				"let count = 0;",
+				"for (const item of "+p[1]+") {",
+				"  if (item === "+p[0]+") {",
+				"    count++;",
+				"  }",
+				"}",
+				"return count;")
+		},
+		Examples: []Example{ex(2.0, "x", 3.0, "xs", arr(3.0, 1.0, 3.0))},
+	})
+
+	// #10
+	add(&Spec{
+		ID:       "remove-instances",
+		Template: "Remove all instances of {{x}} from {{xs}}.",
+		Params:   fields("x", types.Float, "xs", types.List(types.Float)),
+		Return:   types.List(types.Float),
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			x := num(a[0])
+			var out []any
+			for _, n := range nums(a[1]) {
+				if n != x {
+					out = append(out, n)
+				}
+			}
+			if out == nil {
+				out = []any{}
+			}
+			return out, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("x", types.Float, "xs", types.List(types.Float)), types.List(types.Float)),
+				"return "+p[1]+".filter((item) => item !== "+p[0]+");")
+		},
+		Examples: []Example{ex(arr(1.0, 2.0), "x", 3.0, "xs", arr(3.0, 1.0, 3.0, 2.0))},
+	})
+
+	// #11
+	add(&Spec{
+		ID:       "unique-elements",
+		Template: "Return the unique elements in {{xs}}.",
+		Params:   fields("xs", types.List(types.Float)),
+		Return:   types.List(types.Float),
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			seen := map[float64]bool{}
+			out := []any{}
+			for _, n := range nums(a[0]) {
+				if !seen[n] {
+					seen[n] = true
+					out = append(out, n)
+				}
+			}
+			return out, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("xs", types.List(types.Float)), types.List(types.Float)),
+				"return [...new Set("+p[0]+")];")
+		},
+		Examples: []Example{ex(arr(1.0, 2.0, 3.0), "xs", arr(1.0, 2.0, 2.0, 3.0, 1.0))},
+	})
+
+	// #12 (same computation as #2 with the Table II row-12 phrasing)
+	add(&Spec{
+		ID:       "find-factorial",
+		Template: "Find the factorial of {{n}}.",
+		Params:   fields("n", types.Float),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			n := int(num(a[0]))
+			out := 1.0
+			for i := 2; i <= n; i++ {
+				out *= float64(i)
+			}
+			return out, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("n", types.Float), types.Float),
+				"let result = 1;",
+				"let i = 2;",
+				"while (i <= "+p[0]+") {",
+				"  result *= i;",
+				"  i++;",
+				"}",
+				"return result;")
+		},
+		Examples: []Example{ex(24.0, "n", 4)},
+	})
+
+	// #13
+	add(&Spec{
+		ID:       "smallest-number",
+		Template: "Find the smallest number in {{ns}}.",
+		Params:   fields("ns", types.List(types.Float)),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			ns := nums(a[0])
+			if len(ns) == 0 {
+				return nil, fmt.Errorf("tasks: empty list")
+			}
+			best := ns[0]
+			for _, n := range ns {
+				best = math.Min(best, n)
+			}
+			return best, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("ns", types.List(types.Float)), types.Float),
+				"return Math.min(..."+p[0]+");")
+		},
+		Examples: []Example{ex(2.0, "ns", arr(4.0, 9.0, 2.0))},
+	})
+
+	// #14 (Table II row 14)
+	add(&Spec{
+		ID:       "fibonacci",
+		Template: "Generate the Fibonacci sequence up to {{n}}.",
+		Params:   fields("n", types.Float),
+		Return:   types.List(types.Float),
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			n := num(a[0])
+			out := []any{}
+			x, y := 0.0, 1.0
+			for x <= n {
+				out = append(out, x)
+				x, y = y, x+y
+			}
+			return out, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("n", types.Float), types.List(types.Float)),
+				"const seq = [];",
+				"let a = 0;",
+				"let b = 1;",
+				"while (a <= "+p[0]+") {",
+				"  seq.push(a);",
+				"  const next = a + b;",
+				"  a = b;",
+				"  b = next;",
+				"}",
+				"return seq;")
+		},
+		Examples: []Example{ex(arr(0.0, 1.0, 1.0, 2.0, 3.0, 5.0, 8.0), "n", 10)},
+	})
+
+	// #15
+	add(&Spec{
+		ID:       "is-prime",
+		Template: "Check if {{n}} is a prime number.",
+		Params:   fields("n", types.Float),
+		Return:   types.Bool,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			n := int(num(a[0]))
+			if n < 2 {
+				return false, nil
+			}
+			for i := 2; i*i <= n; i++ {
+				if n%i == 0 {
+					return false, nil
+				}
+			}
+			return true, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("n", types.Float), types.Bool),
+				"if ("+p[0]+" < 2) {",
+				"  return false;",
+				"}",
+				"for (let i = 2; i * i <= "+p[0]+"; i++) {",
+				"  if ("+p[0]+" % i === 0) {",
+				"    return false;",
+				"  }",
+				"}",
+				"return true;")
+		},
+		Examples: []Example{ex(true, "n", 13.0), ex(false, "n", 12.0), ex(false, "n", 1.0)},
+	})
+
+	// #16
+	add(&Spec{
+		ID:       "gcd",
+		Template: "Find the greatest common divisor of {{a}} and {{b}}.",
+		Params:   fields("a", types.Float, "b", types.Float),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			x, y := math.Abs(num(a[0])), math.Abs(num(a[1]))
+			for y != 0 {
+				x, y = y, math.Mod(x, y)
+			}
+			return x, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("a", types.Float, "b", types.Float), types.Float),
+				"let x = Math.abs("+p[0]+");",
+				"let y = Math.abs("+p[1]+");",
+				"while (y !== 0) {",
+				"  const t = y;",
+				"  y = x % y;",
+				"  x = t;",
+				"}",
+				"return x;")
+		},
+		Examples: []Example{ex(6.0, "a", 54.0, "b", 24.0)},
+	})
+
+	// #17
+	add(&Spec{
+		ID:       "lcm",
+		Template: "Find the least common multiple of {{a}} and {{b}}.",
+		Params:   fields("a", types.Float, "b", types.Float),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			x, y := math.Abs(num(a[0])), math.Abs(num(a[1]))
+			if x == 0 || y == 0 {
+				return 0.0, nil
+			}
+			gx, gy := x, y
+			for gy != 0 {
+				gx, gy = gy, math.Mod(gx, gy)
+			}
+			return x / gx * y, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("a", types.Float, "b", types.Float), types.Float),
+				"if ("+p[0]+" === 0 || "+p[1]+" === 0) {",
+				"  return 0;",
+				"}",
+				"let x = Math.abs("+p[0]+");",
+				"let y = Math.abs("+p[1]+");",
+				"while (y !== 0) {",
+				"  const t = y;",
+				"  y = x % y;",
+				"  x = t;",
+				"}",
+				"return Math.abs("+p[0]+") / x * Math.abs("+p[1]+");")
+		},
+		Examples: []Example{ex(12.0, "a", 4.0, "b", 6.0)},
+	})
+
+	// #18
+	add(&Spec{
+		ID:       "vowel-count",
+		Template: "Count the vowels in the string {{s}}.",
+		Params:   fields("s", types.Str),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			count := 0.0
+			for _, r := range strings.ToLower(str(a[0])) {
+				if strings.ContainsRune("aeiou", r) {
+					count++
+				}
+			}
+			return count, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str), types.Float),
+				"let count = 0;",
+				"for (const ch of "+p[0]+".toLowerCase()) {",
+				`  if ("aeiou".includes(ch)) {`,
+				"    count++;",
+				"  }",
+				"}",
+				"return count;")
+		},
+		Examples: []Example{ex(2.0, "s", "hello")},
+	})
+
+	// #19
+	add(&Spec{
+		ID:       "capitalize-words",
+		Template: "Capitalize the first letter of each word in {{s}}.",
+		Params:   fields("s", types.Str),
+		Return:   types.Str,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			words := strings.Split(str(a[0]), " ")
+			for i, w := range words {
+				if w != "" {
+					words[i] = strings.ToUpper(w[:1]) + w[1:]
+				}
+			}
+			return strings.Join(words, " "), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str), types.Str),
+				"return "+p[0]+`.split(" ").map((w) => w === "" ? w : w.charAt(0).toUpperCase() + w.slice(1)).join(" ");`)
+		},
+		Examples: []Example{ex("Hello World", "s", "hello world")},
+	})
+
+	// #20
+	add(&Spec{
+		ID:       "palindrome-string",
+		Template: "Check if the string {{s}} is a palindrome.",
+		Params:   fields("s", types.Str),
+		Return:   types.Bool,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			r := []rune(str(a[0]))
+			for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+				if r[i] != r[j] {
+					return false, nil
+				}
+			}
+			return true, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str), types.Bool),
+				`return `+p[0]+` === `+p[0]+`.split("").reverse().join("");`)
+		},
+		Examples: []Example{ex(true, "s", "racecar"), ex(false, "s", "hello")},
+	})
+
+	// #21 (Table II row 21)
+	add(&Spec{
+		ID:       "json-stringify",
+		Template: "Convert the JSON object {{o}} into a string.",
+		Params:   fields("o", types.Any),
+		Return:   types.Str,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return jsonx.Encode(a[0]), nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("o", types.Any), types.Str),
+				"return JSON.stringify("+p[0]+");")
+		},
+		Examples: []Example{ex(`{"a": 1}`, "o", map[string]any{"a": 1.0})},
+	})
+
+	// #22
+	add(&Spec{
+		ID:       "json-parse",
+		Template: "Parse the JSON string {{s}} into an object.",
+		Params:   fields("s", types.Str),
+		Return:   types.Any,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			return jsonx.Parse(str(a[0]), jsonx.Strict)
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str), types.Any),
+				"return JSON.parse("+p[0]+");")
+		},
+		Examples: []Example{ex(map[string]any{"a": 1.0}, "s", `{"a": 1}`)},
+	})
+
+	// #23
+	add(&Spec{
+		ID:       "char-frequency",
+		Template: "Count the frequency of each character in {{s}}.",
+		Params:   fields("s", types.Str),
+		Return:   types.Any,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			out := map[string]any{}
+			for _, r := range str(a[0]) {
+				k := string(r)
+				if v, ok := out[k].(float64); ok {
+					out[k] = v + 1
+				} else {
+					out[k] = 1.0
+				}
+			}
+			return out, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str), types.Any),
+				"const freq = {};",
+				"for (const ch of "+p[0]+") {",
+				"  freq[ch] = (freq[ch] ?? 0) + 1;",
+				"}",
+				"return freq;")
+		},
+		Examples: []Example{ex(map[string]any{"a": 2.0, "b": 1.0}, "s", "aba")},
+	})
+
+	// #24 (Table II row 24; dates modelled as ISO 8601 strings)
+	add(&Spec{
+		ID:       "date-diff",
+		Template: "Find the difference between the dates {{d1}} and {{d2}}.",
+		Params:   fields("d1", types.Str, "d2", types.Str),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			y1, m1, dd1, err := parseISO(str(a[0]))
+			if err != nil {
+				return nil, err
+			}
+			y2, m2, dd2, err := parseISO(str(a[1]))
+			if err != nil {
+				return nil, err
+			}
+			return math.Abs(float64(daysFromCivil(y2, m2, dd2) - daysFromCivil(y1, m1, dd1))), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("d1", types.Str, "d2", types.Str), types.Float),
+				"function toDays(iso) {",
+				`  const parts = iso.split("-").map((x) => parseInt(x, 10));`,
+				"  let y = parts[0];",
+				"  const m = parts[1];",
+				"  const d = parts[2];",
+				"  if (m <= 2) { y = y - 1; }",
+				"  const era = Math.floor(y / 400);",
+				"  const yoe = y - era * 400;",
+				"  const mp = m > 2 ? m - 3 : m + 9;",
+				"  const doy = Math.floor((153 * mp + 2) / 5) + d - 1;",
+				"  const doe = yoe * 365 + Math.floor(yoe / 4) - Math.floor(yoe / 100) + doy;",
+				"  return era * 146097 + doe - 719468;",
+				"}",
+				"return Math.abs(toDays("+p[1]+") - toDays("+p[0]+"));")
+		},
+		Examples: []Example{ex(31.0, "d1", "2023-01-01", "d2", "2023-02-01"), ex(365.0, "d1", "2022-03-01", "d2", "2023-03-01")},
+	})
+
+	// #25
+	add(&Spec{
+		ID:       "celsius-to-fahrenheit",
+		Template: "Convert {{c}} degrees Celsius to Fahrenheit.",
+		Params:   fields("c", types.Float),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return num(a[0])*9/5 + 32, nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("c", types.Float), types.Float),
+				"return "+p[0]+" * 9 / 5 + 32;")
+		},
+		Examples: []Example{ex(212.0, "c", 100.0), ex(32.0, "c", 0.0)},
+	})
+
+	// #26
+	add(&Spec{
+		ID:       "to-binary",
+		Template: "Convert the number {{n}} to binary.",
+		Params:   fields("n", types.Float),
+		Return:   types.Str,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			n := int64(num(a[0]))
+			if n == 0 {
+				return "0", nil
+			}
+			neg := n < 0
+			if neg {
+				n = -n
+			}
+			out := ""
+			for n > 0 {
+				out = string(rune('0'+n%2)) + out
+				n /= 2
+			}
+			if neg {
+				out = "-" + out
+			}
+			return out, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("n", types.Float), types.Str),
+				"if ("+p[0]+" === 0) {",
+				`  return "0";`,
+				"}",
+				"let n = Math.abs("+p[0]+");",
+				`let out = "";`,
+				"while (n > 0) {",
+				"  out = String(n % 2) + out;",
+				"  n = Math.floor(n / 2);",
+				"}",
+				`return `+p[0]+` < 0 ? "-" + out : out;`)
+		},
+		Examples: []Example{ex("1010", "n", 10.0), ex("0", "n", 0.0)},
+	})
+
+	// #27
+	add(&Spec{
+		ID:       "range-spread",
+		Template: "Find the difference between the largest and smallest numbers in {{ns}}.",
+		Params:   fields("ns", types.List(types.Float)),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			ns := nums(a[0])
+			if len(ns) == 0 {
+				return nil, fmt.Errorf("tasks: empty list")
+			}
+			lo, hi := ns[0], ns[0]
+			for _, n := range ns {
+				lo, hi = math.Min(lo, n), math.Max(hi, n)
+			}
+			return hi - lo, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("ns", types.List(types.Float)), types.Float),
+				"return Math.max(..."+p[0]+") - Math.min(..."+p[0]+");")
+		},
+		Examples: []Example{ex(7.0, "ns", arr(4.0, 9.0, 2.0))},
+	})
+
+	// #28
+	add(&Spec{
+		ID:       "second-largest",
+		Template: "Find the second largest number in {{ns}}.",
+		Params:   fields("ns", types.List(types.Float)),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			seen := map[float64]bool{}
+			var uniq []float64
+			for _, n := range nums(a[0]) {
+				if !seen[n] {
+					seen[n] = true
+					uniq = append(uniq, n)
+				}
+			}
+			if len(uniq) < 2 {
+				return nil, fmt.Errorf("tasks: need two distinct values")
+			}
+			sort.Float64s(uniq)
+			return uniq[len(uniq)-2], nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("ns", types.List(types.Float)), types.Float),
+				"const uniq = [...new Set("+p[0]+")].sort((a, b) => a - b);",
+				"if (uniq.length < 2) {",
+				`  throw new Error("need two distinct values");`,
+				"}",
+				"return uniq[uniq.length - 2];")
+		},
+		Examples: []Example{ex(4.0, "ns", arr(4.0, 9.0, 2.0, 9.0))},
+	})
+
+	// #29
+	add(&Spec{
+		ID:       "sum-even",
+		Template: "Calculate the sum of the even numbers in {{ns}}.",
+		Params:   fields("ns", types.List(types.Float)),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			sum := 0.0
+			for _, n := range nums(a[0]) {
+				if math.Mod(n, 2) == 0 {
+					sum += n
+				}
+			}
+			return sum, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("ns", types.List(types.Float)), types.Float),
+				"return "+p[0]+".filter((n) => n % 2 === 0).reduce((acc, n) => acc + n, 0);")
+		},
+		Examples: []Example{ex(6.0, "ns", arr(1.0, 2.0, 3.0, 4.0))},
+	})
+
+	// #30
+	add(&Spec{
+		ID:       "sum-odd",
+		Template: "Calculate the sum of the odd numbers in {{ns}}.",
+		Params:   fields("ns", types.List(types.Float)),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			sum := 0.0
+			for _, n := range nums(a[0]) {
+				if math.Mod(math.Abs(n), 2) == 1 {
+					sum += n
+				}
+			}
+			return sum, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("ns", types.List(types.Float)), types.Float),
+				"return "+p[0]+".filter((n) => Math.abs(n) % 2 === 1).reduce((acc, n) => acc + n, 0);")
+		},
+		Examples: []Example{ex(4.0, "ns", arr(1.0, 2.0, 3.0, 4.0))},
+	})
+
+	// #31
+	add(&Spec{
+		ID:       "square-numbers",
+		Template: "Square each number in {{ns}}.",
+		Params:   fields("ns", types.List(types.Float)),
+		Return:   types.List(types.Float),
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			out := []any{}
+			for _, n := range nums(a[0]) {
+				out = append(out, n*n)
+			}
+			return out, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("ns", types.List(types.Float)), types.List(types.Float)),
+				"return "+p[0]+".map((n) => n * n);")
+		},
+		Examples: []Example{ex(arr(1.0, 4.0, 9.0), "ns", arr(1.0, 2.0, 3.0))},
+	})
+
+	// #32
+	add(&Spec{
+		ID:       "word-count",
+		Template: "Count the words in {{s}}.",
+		Params:   fields("s", types.Str),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			return float64(len(strings.Fields(str(a[0])))), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str), types.Float),
+				"const trimmed = "+p[0]+".trim();",
+				`if (trimmed === "") {`,
+				"  return 0;",
+				"}",
+				`return trimmed.split(" ").filter((w) => w !== "").length;`)
+		},
+		Examples: []Example{ex(3.0, "s", "one two  three"), ex(0.0, "s", "  ")},
+	})
+
+	// #33
+	add(&Spec{
+		ID:       "longest-word",
+		Template: "Find the longest word in {{s}}.",
+		Params:   fields("s", types.Str),
+		Return:   types.Str,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			best := ""
+			for _, w := range strings.Fields(str(a[0])) {
+				if len(w) > len(best) {
+					best = w
+				}
+			}
+			return best, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str), types.Str),
+				`let best = "";`,
+				`for (const w of `+p[0]+`.split(" ")) {`,
+				"  if (w.length > best.length) {",
+				"    best = w;",
+				"  }",
+				"}",
+				"return best;")
+		},
+		Examples: []Example{ex("three", "s", "one two three")},
+	})
+
+	// #34
+	add(&Spec{
+		ID:       "are-anagrams",
+		Template: "Check if {{a}} and {{b}} are anagrams.",
+		Params:   fields("a", types.Str, "b", types.Str),
+		Return:   types.Bool,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			norm := func(s string) string {
+				r := strings.Split(strings.ToLower(s), "")
+				sort.Strings(r)
+				return strings.Join(r, "")
+			}
+			return norm(str(a[0])) == norm(str(a[1])), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("a", types.Str, "b", types.Str), types.Bool),
+				`const norm = (s) => s.toLowerCase().split("").sort().join("");`,
+				"return norm("+p[0]+") === norm("+p[1]+");")
+		},
+		Examples: []Example{ex(true, "a", "listen", "b", "silent"), ex(false, "a", "ab", "b", "abc")},
+	})
+
+	// #35
+	add(&Spec{
+		ID:       "merge-sorted",
+		Template: "Merge the sorted arrays {{a}} and {{b}} into one sorted array.",
+		Params:   fields("a", types.List(types.Float), "b", types.List(types.Float)),
+		Return:   types.List(types.Float),
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			xs, ys := nums(a[0]), nums(a[1])
+			out := []any{}
+			i, j := 0, 0
+			for i < len(xs) && j < len(ys) {
+				if xs[i] <= ys[j] {
+					out = append(out, xs[i])
+					i++
+				} else {
+					out = append(out, ys[j])
+					j++
+				}
+			}
+			for ; i < len(xs); i++ {
+				out = append(out, xs[i])
+			}
+			for ; j < len(ys); j++ {
+				out = append(out, ys[j])
+			}
+			return out, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("a", types.List(types.Float), "b", types.List(types.Float)), types.List(types.Float)),
+				"const out = [];",
+				"let i = 0;",
+				"let j = 0;",
+				"while (i < "+p[0]+".length && j < "+p[1]+".length) {",
+				"  if ("+p[0]+"[i] <= "+p[1]+"[j]) {",
+				"    out.push("+p[0]+"[i]);",
+				"    i++;",
+				"  } else {",
+				"    out.push("+p[1]+"[j]);",
+				"    j++;",
+				"  }",
+				"}",
+				"while (i < "+p[0]+".length) { out.push("+p[0]+"[i]); i++; }",
+				"while (j < "+p[1]+".length) { out.push("+p[1]+"[j]); j++; }",
+				"return out;")
+		},
+		Examples: []Example{ex(arr(1.0, 2.0, 3.0, 4.0), "a", arr(1.0, 3.0), "b", arr(2.0, 4.0))},
+	})
+
+	// #36
+	add(&Spec{
+		ID:       "intersection",
+		Template: "Find the common elements of {{a}} and {{b}}.",
+		Params:   fields("a", types.List(types.Float), "b", types.List(types.Float)),
+		Return:   types.List(types.Float),
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			inB := map[float64]bool{}
+			for _, n := range nums(a[1]) {
+				inB[n] = true
+			}
+			seen := map[float64]bool{}
+			out := []any{}
+			for _, n := range nums(a[0]) {
+				if inB[n] && !seen[n] {
+					seen[n] = true
+					out = append(out, n)
+				}
+			}
+			return out, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("a", types.List(types.Float), "b", types.List(types.Float)), types.List(types.Float)),
+				"const setB = new Set("+p[1]+");",
+				"return [...new Set("+p[0]+")].filter((x) => setB.has(x));")
+		},
+		Examples: []Example{ex(arr(2.0, 3.0), "a", arr(1.0, 2.0, 3.0, 2.0), "b", arr(2.0, 3.0, 4.0))},
+	})
+
+	// #37
+	add(&Spec{
+		ID:       "flatten-array",
+		Template: "Flatten the nested array {{xs}}.",
+		Params:   fields("xs", types.List(types.Any)),
+		Return:   types.List(types.Float),
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			var out []any
+			var walk func(v any)
+			walk = func(v any) {
+				if arr, ok := v.([]any); ok {
+					for _, e := range arr {
+						walk(e)
+					}
+					return
+				}
+				out = append(out, v)
+			}
+			walk(a[0])
+			if out == nil {
+				out = []any{}
+			}
+			return out, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("xs", types.List(types.Any)), types.List(types.Float)),
+				"return "+p[0]+".flat(64);")
+		},
+		Examples: []Example{ex(arr(1.0, 2.0, 3.0), "xs", arr(1.0, arr(2.0, arr(3.0))))},
+	})
+
+	// #38
+	add(&Spec{
+		ID:       "power",
+		Template: "Calculate {{a}} raised to the power of {{b}}.",
+		Params:   fields("a", types.Float, "b", types.Float),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return math.Pow(num(a[0]), num(a[1])), nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("a", types.Float, "b", types.Float), types.Float),
+				"return Math.pow("+p[0]+", "+p[1]+");")
+		},
+		Examples: []Example{ex(256.0, "a", 2.0, "b", 8.0)},
+	})
+
+	// #39
+	add(&Spec{
+		ID:       "median",
+		Template: "Find the median of the numbers {{ns}}.",
+		Params:   fields("ns", types.List(types.Float)),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			ns := nums(a[0])
+			if len(ns) == 0 {
+				return nil, fmt.Errorf("tasks: empty list")
+			}
+			sort.Float64s(ns)
+			m := len(ns) / 2
+			if len(ns)%2 == 1 {
+				return ns[m], nil
+			}
+			return (ns[m-1] + ns[m]) / 2, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("ns", types.List(types.Float)), types.Float),
+				"const sorted = "+p[0]+".slice().sort((a, b) => a - b);",
+				"const mid = Math.floor(sorted.length / 2);",
+				"if (sorted.length % 2 === 1) {",
+				"  return sorted[mid];",
+				"}",
+				"return (sorted[mid - 1] + sorted[mid]) / 2;")
+		},
+		Examples: []Example{ex(2.0, "ns", arr(3.0, 1.0, 2.0)), ex(2.5, "ns", arr(1.0, 2.0, 3.0, 4.0))},
+	})
+
+	// #40
+	add(&Spec{
+		ID:       "number-range",
+		Template: "Generate a list of numbers from {{a}} to {{b}}.",
+		Params:   fields("a", types.Float, "b", types.Float),
+		Return:   types.List(types.Float),
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			lo, hi := num(a[0]), num(a[1])
+			out := []any{}
+			for v := lo; v <= hi; v++ {
+				out = append(out, v)
+			}
+			return out, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("a", types.Float, "b", types.Float), types.List(types.Float)),
+				"const out = [];",
+				"for (let v = "+p[0]+"; v <= "+p[1]+"; v++) {",
+				"  out.push(v);",
+				"}",
+				"return out;")
+		},
+		Examples: []Example{ex(arr(2.0, 3.0, 4.0), "a", 2.0, "b", 4.0)},
+	})
+
+	// #41
+	add(&Spec{
+		ID:       "swap-case",
+		Template: "Swap the case of each letter in {{s}}.",
+		Params:   fields("s", types.Str),
+		Return:   types.Str,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			var b strings.Builder
+			for _, r := range str(a[0]) {
+				switch {
+				case r >= 'a' && r <= 'z':
+					b.WriteRune(r - 32)
+				case r >= 'A' && r <= 'Z':
+					b.WriteRune(r + 32)
+				default:
+					b.WriteRune(r)
+				}
+			}
+			return b.String(), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str), types.Str),
+				"return "+p[0]+`.split("").map((ch) => ch === ch.toLowerCase() ? ch.toUpperCase() : ch.toLowerCase()).join("");`)
+		},
+		Examples: []Example{ex("hELLO", "s", "Hello")},
+	})
+
+	// #42
+	add(&Spec{
+		ID:       "truncate-string",
+		Template: "Truncate the string {{s}} to {{n}} characters.",
+		Params:   fields("s", types.Str, "n", types.Float),
+		Return:   types.Str,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			r := []rune(str(a[0]))
+			n := int(num(a[1]))
+			if n < 0 {
+				n = 0
+			}
+			if n > len(r) {
+				n = len(r)
+			}
+			return string(r[:n]), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str, "n", types.Float), types.Str),
+				"return "+p[0]+".slice(0, Math.max(0, "+p[1]+"));")
+		},
+		Examples: []Example{ex("hel", "s", "hello", "n", 3.0)},
+	})
+
+	// #43
+	add(&Spec{
+		ID:       "starts-with",
+		Template: "Check if {{s}} starts with {{prefix}}.",
+		Params:   fields("s", types.Str, "prefix", types.Str),
+		Return:   types.Bool,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			return strings.HasPrefix(str(a[0]), str(a[1])), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str, "prefix", types.Str), types.Bool),
+				"return "+p[0]+".startsWith("+p[1]+");")
+		},
+		Examples: []Example{ex(true, "s", "hello", "prefix", "he")},
+	})
+
+	// #44
+	add(&Spec{
+		ID:       "repeat-string",
+		Template: "Repeat the string {{s}} {{n}} times.",
+		Params:   fields("s", types.Str, "n", types.Float),
+		Return:   types.Str,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			n := int(num(a[1]))
+			if n < 0 {
+				return nil, fmt.Errorf("tasks: negative repeat count")
+			}
+			return strings.Repeat(str(a[0]), n), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str, "n", types.Float), types.Str),
+				"return "+p[0]+".repeat("+p[1]+");")
+		},
+		Examples: []Example{ex("ababab", "s", "ab", "n", 3.0)},
+	})
+
+	// #45
+	add(&Spec{
+		ID:       "sum-digits",
+		Template: "Calculate the sum of the digits of {{n}}.",
+		Params:   fields("n", types.Float),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			n := int64(math.Abs(num(a[0])))
+			sum := 0.0
+			for n > 0 {
+				sum += float64(n % 10)
+				n /= 10
+			}
+			return sum, nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("n", types.Float), types.Float),
+				"let n = Math.abs("+p[0]+");",
+				"let sum = 0;",
+				"while (n > 0) {",
+				"  sum += n % 10;",
+				"  n = Math.floor(n / 10);",
+				"}",
+				"return sum;")
+		},
+		Examples: []Example{ex(6.0, "n", 123.0), ex(0.0, "n", 0.0)},
+	})
+
+	// #46
+	add(&Spec{
+		ID:       "reverse-words",
+		Template: "Reverse the order of the words in {{s}}.",
+		Params:   fields("s", types.Str),
+		Return:   types.Str,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			ws := strings.Split(str(a[0]), " ")
+			for i, j := 0, len(ws)-1; i < j; i, j = i+1, j-1 {
+				ws[i], ws[j] = ws[j], ws[i]
+			}
+			return strings.Join(ws, " "), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str), types.Str),
+				`return `+p[0]+`.split(" ").reverse().join(" ");`)
+		},
+		Examples: []Example{ex("world hello", "s", "hello world")},
+	})
+
+	// #47
+	add(&Spec{
+		ID:       "to-camel-case",
+		Template: "Convert the string {{s}} to camelCase.",
+		Params:   fields("s", types.Str),
+		Return:   types.Str,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			words := strings.FieldsFunc(str(a[0]), func(r rune) bool {
+				return r == ' ' || r == '-' || r == '_'
+			})
+			var b strings.Builder
+			for i, w := range words {
+				lw := strings.ToLower(w)
+				if i == 0 {
+					b.WriteString(lw)
+					continue
+				}
+				b.WriteString(strings.ToUpper(lw[:1]) + lw[1:])
+			}
+			return b.String(), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("s", types.Str), types.Str),
+				"const words = "+p[0]+`.replaceAll("-", " ").replaceAll("_", " ").split(" ").filter((w) => w !== "");`,
+				"return words.map((w, i) => i === 0 ? w.toLowerCase() : w.charAt(0).toUpperCase() + w.slice(1).toLowerCase()).join(\"\");")
+		},
+		Examples: []Example{ex("helloWorldAgain", "s", "hello world-again")},
+	})
+
+	// #48
+	add(&Spec{
+		ID:       "is-leap-year",
+		Template: "Check if the year {{y}} is a leap year.",
+		Params:   fields("y", types.Float),
+		Return:   types.Bool,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			y := int(num(a[0]))
+			return y%4 == 0 && (y%100 != 0 || y%400 == 0), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("y", types.Float), types.Bool),
+				"return "+p[0]+" % 4 === 0 && ("+p[0]+" % 100 !== 0 || "+p[0]+" % 400 === 0);")
+		},
+		Examples: []Example{ex(true, "y", 2024.0), ex(false, "y", 1900.0), ex(true, "y", 2000.0)},
+	})
+
+	// #49 — the paper's motivating codable-but-not-directly-answerable
+	// task (§II-A2). File access is modelled by the appendFile host
+	// binding (see core.Options.FS).
+	add(&Spec{
+		ID:       "csv-append",
+		Template: "Append {{review}} and {{sentiment}} as a new row in the CSV file named {{filename}}",
+		Params:   fields("review", types.Str, "sentiment", types.Str, "filename", types.Str),
+		Return:   types.Void,
+		Directly: false, Codable: true,
+		Solve: func(a []any) (any, error) {
+			return nil, fmt.Errorf("tasks: csv-append is not directly answerable")
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("review", types.Str, "sentiment", types.Str, "filename", types.Str), types.Void),
+				`const quote = (field) => "\"" + field.replaceAll("\"", "\"\"") + "\"";`,
+				"appendFile("+p[2]+", quote("+p[0]+") + \",\" + quote("+p[1]+"));")
+		},
+	})
+
+	// #50
+	add(&Spec{
+		ID:       "ms-to-time",
+		Template: "Convert {{ms}} milliseconds into a string formatted as minutes:seconds.",
+		Params:   fields("ms", types.Float),
+		Return:   types.Str,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) {
+			total := int(num(a[0]) / 1000)
+			return fmt.Sprintf("%d:%02d", total/60, total%60), nil
+		},
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("ms", types.Float), types.Str),
+				"const total = Math.floor("+p[0]+" / 1000);",
+				"const minutes = Math.floor(total / 60);",
+				"const seconds = total % 60;",
+				`return String(minutes) + ":" + String(seconds).padStart(2, "0");`)
+		},
+		Examples: []Example{ex("2:05", "ms", 125000.0), ex("0:00", "ms", 900.0)},
+	})
+
+	return specs
+}

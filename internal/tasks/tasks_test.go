@@ -1,0 +1,298 @@
+package tasks
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/minilang"
+	"repro/internal/template"
+)
+
+func TestNormalizeTask(t *testing.T) {
+	key, params := NormalizeTask("Reverse the string 's'.")
+	if key != "reverse the string <1>." {
+		t.Errorf("key = %q", key)
+	}
+	if len(params) != 1 || params[0] != "s" {
+		t.Errorf("params = %v", params)
+	}
+	key2, params2 := NormalizeTask("Count the number of occurrences of 'x' in 'xs'.")
+	if key2 != "count the number of occurrences of <1> in <2>." {
+		t.Errorf("key2 = %q", key2)
+	}
+	if len(params2) != 2 || params2[0] != "x" || params2[1] != "xs" {
+		t.Errorf("params2 = %v", params2)
+	}
+	// Non-identifier quotes stay literal.
+	key3, params3 := NormalizeTask("it's a 'bad one' here")
+	if len(params3) != 0 {
+		t.Errorf("params3 = %v (key %q)", params3, key3)
+	}
+}
+
+func TestCatalogSizes(t *testing.T) {
+	if got := Common.Len(); got != 50 {
+		t.Errorf("Common has %d tasks, want 50", got)
+	}
+	if got := HumanEval.Len(); got != 164 {
+		t.Errorf("HumanEval has %d tasks, want 164", got)
+	}
+	if got := Word.Len(); got < 10 {
+		t.Errorf("Word has %d archetypes, want >= 10", got)
+	}
+}
+
+func TestHumanEvalHardFraction(t *testing.T) {
+	hard := 0
+	for _, s := range HumanEval.All() {
+		if s.Hard {
+			hard++
+		}
+	}
+	success := float64(164-hard) / 164 * 100
+	if success < 80 || success > 90 {
+		t.Errorf("success rate %.1f%%, want near the paper's 84.8%%", success)
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	for _, cat := range []*Catalog{Common, HumanEval, Word} {
+		for _, spec := range cat.All() {
+			tpl, err := template.Parse(spec.Template)
+			if err != nil {
+				t.Fatalf("%s: bad template: %v", spec.ID, err)
+			}
+			got, names, ok := cat.Lookup(tpl.RenderQuoted())
+			if !ok {
+				t.Errorf("%s: lookup failed for own template", spec.ID)
+				continue
+			}
+			if got.ID != spec.ID {
+				t.Errorf("%s: lookup returned %s", spec.ID, got.ID)
+			}
+			if len(names) != len(spec.Params) {
+				t.Errorf("%s: %d names, want %d", spec.ID, len(names), len(spec.Params))
+			}
+		}
+	}
+}
+
+func TestLookupRenamedParams(t *testing.T) {
+	// Renaming the template parameters must still match and solve.
+	spec, names, ok := Common.Lookup("Reverse the string 'inputText'.")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	if spec.ID != "reverse-string" || names[0] != "inputText" {
+		t.Fatalf("spec=%s names=%v", spec.ID, names)
+	}
+	v, err := spec.SolveNamed(names, map[string]any{"inputText": "abc"})
+	if err != nil || v != "cba" {
+		t.Errorf("v=%v err=%v", v, err)
+	}
+}
+
+// TestSpecsSourceMatchesSolve is the central cross-validation: for every
+// spec in every catalog, the minilang Source must compile, pass Check,
+// and produce the same outputs as the Go ground-truth solver on the
+// spec's examples.
+func TestSpecsSourceMatchesSolve(t *testing.T) {
+	for catName, cat := range map[string]*Catalog{"common": Common, "humaneval": HumanEval, "word": Word} {
+		for _, spec := range cat.All() {
+			spec := spec
+			t.Run(catName+"/"+spec.ID, func(t *testing.T) {
+				tpl := template.MustParse(spec.Template)
+				names := tpl.Params()
+				if len(names) != len(spec.Params) {
+					t.Fatalf("template params %v vs spec params %d", names, len(spec.Params))
+				}
+				srcText := spec.Source("generatedFunc", names)
+				cf, err := minilang.CompileFunction(srcText, "generatedFunc")
+				if err != nil {
+					t.Fatalf("compile: %v\n%s", err, srcText)
+				}
+				if spec.Handwritten != nil {
+					hw := spec.Handwritten("handWritten", names)
+					if _, err := minilang.CompileFunction(hw, "handWritten"); err != nil {
+						t.Fatalf("compile handwritten: %v\n%s", err, hw)
+					}
+				}
+				for i, ex := range spec.Examples {
+					// Examples use canonical names; remap to template names.
+					args := map[string]any{}
+					for j, f := range spec.Params {
+						v, ok := ex.Input[f.Name]
+						if !ok {
+							t.Fatalf("example %d missing %q", i, f.Name)
+						}
+						args[names[j]] = v
+					}
+					got, err := cf.Call(args)
+					if err != nil {
+						t.Fatalf("example %d: run: %v\n%s", i, err, srcText)
+					}
+					pos := make([]any, len(spec.Params))
+					for j, f := range spec.Params {
+						pos[j] = ex.Input[f.Name]
+					}
+					want, err := spec.Solve(pos)
+					if err != nil {
+						t.Fatalf("example %d: solve: %v", i, err)
+					}
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Errorf("example %d: source gives %v, solver gives %v", i, got, want)
+					}
+					if fmt.Sprint(want) != fmt.Sprint(ex.Output) {
+						t.Errorf("example %d: solver gives %v, example says %v", i, want, ex.Output)
+					}
+					// The return type must accept the answer.
+					if spec.Return != nil && spec.Return.Validate(normalize(want)) != nil {
+						t.Errorf("example %d: solver output %v does not validate against %s", i, want, spec.Return.TS())
+					}
+				}
+			})
+		}
+	}
+}
+
+// normalize converts ints to float64 for type validation.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case int:
+		return float64(x)
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = normalize(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			out[k] = normalize(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+func TestWordProblemsHaveGroundTruth(t *testing.T) {
+	// Spot-check each archetype with fixed values.
+	vals := map[string]any{
+		"name": "Ada", "name1": "Ada", "name2": "Bo", "item": "apples",
+		"a": 12.0, "b": 4.0, "c": 3.0, "d": 2.0,
+	}
+	for _, spec := range Word.All() {
+		pos := make([]any, len(spec.Params))
+		for i, f := range spec.Params {
+			v, ok := vals[f.Name]
+			if !ok {
+				t.Fatalf("%s: no test value for param %q", spec.ID, f.Name)
+			}
+			pos[i] = v
+		}
+		got, err := spec.Solve(pos)
+		if err != nil {
+			t.Errorf("%s: %v", spec.ID, err)
+			continue
+		}
+		if _, ok := got.(float64); !ok {
+			t.Errorf("%s: answer %T, want float64", spec.ID, got)
+		}
+	}
+}
+
+func TestCsvAppendNotDirectlyAnswerable(t *testing.T) {
+	spec, ok := Common.ByID("csv-append")
+	if !ok {
+		t.Fatal("csv-append missing")
+	}
+	if spec.Directly {
+		t.Error("csv-append must not be directly answerable (paper Figure 2)")
+	}
+	if !spec.Codable {
+		t.Error("csv-append must be codable")
+	}
+	if _, err := spec.Solve([]any{"r", "s", "f.csv"}); err == nil {
+		t.Error("Solve should refuse")
+	}
+}
+
+func TestDuplicateKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate template key")
+		}
+	}()
+	mk := func(id string) *Spec {
+		return &Spec{
+			ID: id, Template: "Do the thing with {{x}}.",
+			Params: Common.All()[0].Params, Return: Common.All()[0].Return,
+			Solve:  func([]any) (any, error) { return nil, nil },
+			Source: func(string, []string) string { return "" },
+		}
+	}
+	NewCatalog(mk("a"), mk("b"))
+}
+
+func TestHumanEvalLOCDistribution(t *testing.T) {
+	// Figure 5's shape requires variation: generated code is longer on
+	// average, but some tasks have shorter generated code.
+	genLonger, genShorter := 0, 0
+	for _, spec := range HumanEval.All() {
+		tpl := template.MustParse(spec.Template)
+		names := tpl.Params()
+		gen := minilang.CountLOC(spec.Source("f", names))
+		hand := minilang.CountLOC(spec.HandwrittenSource("f", names))
+		if gen > hand {
+			genLonger++
+		}
+		if gen < hand {
+			genShorter++
+		}
+	}
+	if genLonger == 0 {
+		t.Error("expected some tasks where generated code is longer")
+	}
+	if genShorter == 0 {
+		t.Error("expected some tasks where generated code is shorter (paper: 35.3%)")
+	}
+}
+
+// TestParamOrderMatchesTemplate enforces the catalog's positional
+// contract: Spec.Params must list parameters in template appearance
+// order, because the simulated model recovers names positionally from
+// the task text.
+func TestParamOrderMatchesTemplate(t *testing.T) {
+	for catName, cat := range map[string]*Catalog{"common": Common, "humaneval": HumanEval, "word": Word} {
+		for _, spec := range cat.All() {
+			tpl := template.MustParse(spec.Template)
+			names := tpl.Params()
+			if len(names) != len(spec.Params) {
+				t.Errorf("%s/%s: %d template params vs %d spec params", catName, spec.ID, len(names), len(spec.Params))
+				continue
+			}
+			for i := range names {
+				if names[i] != spec.Params[i].Name {
+					t.Errorf("%s/%s: param %d is %q in template but %q in spec",
+						catName, spec.ID, i, names[i], spec.Params[i].Name)
+				}
+			}
+		}
+	}
+}
+
+func TestTemplatesAreParseable(t *testing.T) {
+	for _, cat := range []*Catalog{Common, HumanEval, Word} {
+		for _, spec := range cat.All() {
+			if _, err := template.Parse(spec.Template); err != nil {
+				t.Errorf("%s: %v", spec.ID, err)
+			}
+			if strings.TrimSpace(spec.Template) == "" {
+				t.Errorf("%s: empty template", spec.ID)
+			}
+		}
+	}
+}

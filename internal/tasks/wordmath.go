@@ -1,0 +1,198 @@
+package tasks
+
+import (
+	"math"
+
+	"repro/internal/types"
+)
+
+// Word is the catalog of grade-school math word-problem archetypes, the
+// GSM8K substitute of §IV-C (DESIGN.md substitution 3). Each archetype
+// is a sentence skeleton whose quantities (and protagonist/item nouns)
+// are template parameters, mirroring the paper's preprocessing step:
+// "We converted numerical values surrounded by spaces in the problem
+// description into variables since the generated programs are often
+// reused with different values."
+var Word = NewCatalog(wordSpecs()...)
+
+func wordSpecs() []*Spec {
+	var specs []*Spec
+	add := func(s *Spec) { specs = append(specs, s) }
+
+	nameT := types.Str
+	numT := types.Float
+
+	// W1: add then subtract.
+	add(&Spec{
+		ID:       "w-buy-give",
+		Template: "{{name}} has {{a}} {{item}}. {{name}} buys {{b}} more {{item}} and then gives away {{c}} {{item}}. How many {{item}} does {{name}} have left?",
+		Params:   fields("name", nameT, "a", numT, "item", nameT, "b", numT, "c", numT),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return num(a[1]) + num(a[3]) - num(a[4]), nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("name", nameT, "a", numT, "item", nameT, "b", numT, "c", numT), types.Float),
+				"return "+p[1]+" + "+p[3]+" - "+p[4]+";")
+		},
+	})
+
+	// W2: multiplication (groups).
+	add(&Spec{
+		ID:       "w-groups",
+		Template: "There are {{a}} boxes and each box contains {{b}} {{item}}. How many {{item}} are there in total?",
+		Params:   fields("a", numT, "b", numT, "item", nameT),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return num(a[0]) * num(a[1]), nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("a", numT, "b", numT, "item", nameT), types.Float),
+				"return "+p[0]+" * "+p[1]+";")
+		},
+	})
+
+	// W3: equal sharing (division).
+	add(&Spec{
+		ID:       "w-share",
+		Template: "{{name}} has {{a}} {{item}} and shares them equally among {{b}} friends. How many {{item}} does each friend receive?",
+		Params:   fields("name", nameT, "a", numT, "item", nameT, "b", numT),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return num(a[1]) / num(a[3]), nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("name", nameT, "a", numT, "item", nameT, "b", numT), types.Float),
+				"return "+p[1]+" / "+p[3]+";")
+		},
+	})
+
+	// W4: change from a payment.
+	add(&Spec{
+		ID:       "w-change",
+		Template: "Each {{item}} costs {{a}} dollars. {{name}} buys {{b}} {{item}} and pays with a {{c}} dollar bill. How much change does {{name}} get back?",
+		Params:   fields("item", nameT, "a", numT, "name", nameT, "b", numT, "c", numT),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return num(a[4]) - num(a[1])*num(a[3]), nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("item", nameT, "a", numT, "name", nameT, "b", numT, "c", numT), types.Float),
+				"return "+p[4]+" - "+p[1]+" * "+p[3]+";")
+		},
+	})
+
+	// W5: halving then adding.
+	add(&Spec{
+		ID:       "w-half-then-buy",
+		Template: "{{name}} had {{a}} {{item}}. {{name}} gave half of them to a friend and then bought {{b}} more {{item}}. How many {{item}} does {{name}} have now?",
+		Params:   fields("name", nameT, "a", numT, "item", nameT, "b", numT),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return num(a[1])/2 + num(a[3]), nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("name", nameT, "a", numT, "item", nameT, "b", numT), types.Float),
+				"return "+p[1]+" / 2 + "+p[3]+";")
+		},
+	})
+
+	// W6: rate × time × duration.
+	add(&Spec{
+		ID:       "w-earnings",
+		Template: "{{name}} earns {{a}} dollars per hour and works {{b}} hours every day. How much money does {{name}} earn in {{c}} days?",
+		Params:   fields("name", nameT, "a", numT, "b", numT, "c", numT),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return num(a[1]) * num(a[2]) * num(a[3]), nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("name", nameT, "a", numT, "b", numT, "c", numT), types.Float),
+				"return "+p[1]+" * "+p[2]+" * "+p[3]+";")
+		},
+	})
+
+	// W7: comparison then total.
+	add(&Spec{
+		ID:       "w-more-than",
+		Template: "{{name1}} has {{a}} {{item}}. {{name2}} has {{b}} more {{item}} than {{name1}}. How many {{item}} do they have together?",
+		Params:   fields("name1", nameT, "a", numT, "item", nameT, "name2", nameT, "b", numT),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return num(a[1]) + num(a[1]) + num(a[4]), nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("name1", nameT, "a", numT, "item", nameT, "name2", nameT, "b", numT), types.Float),
+				"return "+p[1]+" + ("+p[1]+" + "+p[4]+");")
+		},
+	})
+
+	// W8: two purchases plus remainder budget.
+	add(&Spec{
+		ID:       "w-budget",
+		Template: "{{name}} has a budget of {{a}} dollars. {{name}} buys a book for {{b}} dollars and a pen for {{c}} dollars. How much money does {{name}} have left?",
+		Params:   fields("name", nameT, "a", numT, "b", numT, "c", numT),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return num(a[1]) - num(a[2]) - num(a[3]), nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("name", nameT, "a", numT, "b", numT, "c", numT), types.Float),
+				"return "+p[1]+" - "+p[2]+" - "+p[3]+";")
+		},
+	})
+
+	// W9: distance = speed × time, two legs.
+	add(&Spec{
+		ID:       "w-two-legs",
+		Template: "{{name}} drives at {{a}} miles per hour for {{b}} hours and then at {{c}} miles per hour for {{d}} hours. How many miles does {{name}} travel in total?",
+		Params:   fields("name", nameT, "a", numT, "b", numT, "c", numT, "d", numT),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return num(a[1])*num(a[2]) + num(a[3])*num(a[4]), nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("name", nameT, "a", numT, "b", numT, "c", numT, "d", numT), types.Float),
+				"return "+p[1]+" * "+p[2]+" + "+p[3]+" * "+p[4]+";")
+		},
+	})
+
+	// W10: doubling per period (exponential growth over small n).
+	add(&Spec{
+		ID:       "w-doubling",
+		Template: "A colony of bacteria starts with {{a}} cells and doubles every hour. How many cells are there after {{b}} hours?",
+		Params:   fields("a", numT, "b", numT),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return num(a[0]) * math.Pow(2, num(a[1])), nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("a", numT, "b", numT), types.Float),
+				"let cells = "+p[0]+";",
+				"for (let i = 0; i < "+p[1]+"; i++) {",
+				"  cells *= 2;",
+				"}",
+				"return cells;")
+		},
+	})
+
+	// W11: average of per-day counts.
+	add(&Spec{
+		ID:       "w-average-three",
+		Template: "{{name}} read {{a}} pages on Monday, {{b}} pages on Tuesday, and {{c}} pages on Wednesday. What is the average number of pages {{name}} read per day?",
+		Params:   fields("name", nameT, "a", numT, "b", numT, "c", numT),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return (num(a[1]) + num(a[2]) + num(a[3])) / 3, nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("name", nameT, "a", numT, "b", numT, "c", numT), types.Float),
+				"return ("+p[1]+" + "+p[2]+" + "+p[3]+") / 3;")
+		},
+	})
+
+	// W12: percentage discount.
+	add(&Spec{
+		ID:       "w-discount",
+		Template: "A {{item}} costs {{a}} dollars. It is on sale at a {{b}} percent discount. What is the sale price?",
+		Params:   fields("item", nameT, "a", numT, "b", numT),
+		Return:   types.Float,
+		Directly: true, Codable: true,
+		Solve: func(a []any) (any, error) { return num(a[1]) * (100 - num(a[2])) / 100, nil },
+		Source: func(name string, p []string) string {
+			return src(sig(name, p, fields("item", nameT, "a", numT, "b", numT), types.Float),
+				"return "+p[1]+" * (100 - "+p[2]+") / 100;")
+		},
+	})
+
+	return specs
+}

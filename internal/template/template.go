@@ -1,0 +1,261 @@
+// Package template implements AskIt prompt templates.
+//
+// A prompt template is a string literal with placeholders for variables,
+// written {{name}} (paper §III-B). The placeholder name must be a valid
+// identifier of the host language. Parsing a template yields the ordered
+// list of parameters and a structure that can be rendered either for
+// humans ('name' quoting, as in Listing 2 of the paper) or with values
+// substituted.
+package template
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Segment is one piece of a parsed template: either literal text or a
+// placeholder reference.
+type Segment struct {
+	// Text holds the literal text when IsVar is false.
+	Text string
+	// Name holds the variable name when IsVar is true.
+	Name string
+	// IsVar reports whether this segment is a {{name}} placeholder.
+	IsVar bool
+}
+
+// Template is a parsed prompt template.
+type Template struct {
+	source   string
+	segments []Segment
+	params   []string // unique, in order of first appearance
+}
+
+// ParseError describes a syntax error in a template.
+type ParseError struct {
+	Source string // the template source
+	Offset int    // byte offset of the error
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("template: %s at offset %d in %q", e.Msg, e.Offset, e.Source)
+}
+
+// Parse parses a prompt template. It returns a ParseError if a placeholder
+// is unterminated or its name is not a valid identifier.
+func Parse(src string) (*Template, error) {
+	t := &Template{source: src}
+	seen := make(map[string]bool)
+	i := 0
+	lit := strings.Builder{}
+	flush := func() {
+		if lit.Len() > 0 {
+			t.segments = append(t.segments, Segment{Text: lit.String()})
+			lit.Reset()
+		}
+	}
+	for i < len(src) {
+		if strings.HasPrefix(src[i:], "{{") {
+			end := strings.Index(src[i+2:], "}}")
+			if end < 0 {
+				return nil, &ParseError{Source: src, Offset: i, Msg: "unterminated placeholder"}
+			}
+			name := strings.TrimSpace(src[i+2 : i+2+end])
+			if !IsIdentifier(name) {
+				return nil, &ParseError{Source: src, Offset: i, Msg: fmt.Sprintf("invalid placeholder name %q", name)}
+			}
+			flush()
+			t.segments = append(t.segments, Segment{Name: name, IsVar: true})
+			if !seen[name] {
+				seen[name] = true
+				t.params = append(t.params, name)
+			}
+			i += 2 + end + 2
+			continue
+		}
+		lit.WriteByte(src[i])
+		i++
+	}
+	flush()
+	return t, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for
+// templates that are compile-time constants.
+func MustParse(src string) *Template {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Source returns the original template text.
+func (t *Template) Source() string { return t.source }
+
+// Segments returns the parsed segments in order.
+func (t *Template) Segments() []Segment { return append([]Segment(nil), t.segments...) }
+
+// Params returns the unique placeholder names in order of first appearance.
+func (t *Template) Params() []string { return append([]string(nil), t.params...) }
+
+// HasParams reports whether the template has at least one placeholder.
+func (t *Template) HasParams() bool { return len(t.params) > 0 }
+
+// RenderQuoted renders the template with each placeholder {{x}} replaced by
+// 'x' (single quotes), the form used in the task line of the generated
+// prompt (paper Listing 2, line 11).
+func (t *Template) RenderQuoted() string {
+	var b strings.Builder
+	for _, s := range t.segments {
+		if s.IsVar {
+			b.WriteByte('\'')
+			b.WriteString(s.Name)
+			b.WriteByte('\'')
+		} else {
+			b.WriteString(s.Text)
+		}
+	}
+	return b.String()
+}
+
+// Render substitutes concrete values for placeholders. Values are
+// formatted with formatValue; a missing binding is an error.
+func (t *Template) Render(args map[string]any) (string, error) {
+	var b strings.Builder
+	for _, s := range t.segments {
+		if !s.IsVar {
+			b.WriteString(s.Text)
+			continue
+		}
+		v, ok := args[s.Name]
+		if !ok {
+			return "", fmt.Errorf("template: missing argument %q", s.Name)
+		}
+		b.WriteString(FormatValue(v))
+	}
+	return b.String(), nil
+}
+
+// CheckArgs verifies that args binds exactly the template parameters:
+// no parameter missing and no extraneous argument.
+func (t *Template) CheckArgs(args map[string]any) error {
+	var missing, extra []string
+	for _, p := range t.params {
+		if _, ok := args[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	known := make(map[string]bool, len(t.params))
+	for _, p := range t.params {
+		known[p] = true
+	}
+	for k := range args {
+		if !known[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	switch {
+	case len(missing) > 0:
+		return fmt.Errorf("template: missing arguments: %s", strings.Join(missing, ", "))
+	case len(extra) > 0:
+		return fmt.Errorf("template: unknown arguments: %s", strings.Join(extra, ", "))
+	}
+	return nil
+}
+
+// FormatValue renders a Go value the way the AskIt runtime embeds argument
+// values in prompts ("where 'n' = 5, 'subject' = \"computer science\"").
+// Strings are double-quoted; composites use a JSON-like notation.
+func FormatValue(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case string:
+		return quote(x)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	case int:
+		return fmt.Sprintf("%d", x)
+	case int64:
+		return fmt.Sprintf("%d", x)
+	case []any:
+		parts := make([]string, len(x))
+		for i, e := range x {
+			parts[i] = FormatValue(e)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = quote(k) + ": " + FormatValue(x[k])
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+func formatFloat(f float64) string {
+	if f == float64(int64(f)) && f < 1e15 && f > -1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%g", f), "0"), ".")
+}
+
+func quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// IsIdentifier reports whether s is a valid host-language identifier:
+// a letter or underscore followed by letters, digits or underscores.
+func IsIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if r == '_' || unicode.IsLetter(r) {
+			continue
+		}
+		if i > 0 && unicode.IsDigit(r) {
+			continue
+		}
+		return false
+	}
+	return true
+}

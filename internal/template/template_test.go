@@ -1,0 +1,218 @@
+package template
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNoParams(t *testing.T) {
+	tpl, err := Parse("What is the capital of France?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.HasParams() {
+		t.Errorf("expected no params, got %v", tpl.Params())
+	}
+	if got := tpl.RenderQuoted(); got != "What is the capital of France?" {
+		t.Errorf("RenderQuoted = %q", got)
+	}
+}
+
+func TestParseSingleParam(t *testing.T) {
+	tpl, err := Parse("What is the sentiment of {{review}}?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"review"}
+	got := tpl.Params()
+	if len(got) != 1 || got[0] != want[0] {
+		t.Errorf("Params = %v, want %v", got, want)
+	}
+	if q := tpl.RenderQuoted(); q != "What is the sentiment of 'review'?" {
+		t.Errorf("RenderQuoted = %q", q)
+	}
+}
+
+func TestParseMultipleParamsOrder(t *testing.T) {
+	tpl := MustParse("Append {{review}} and {{sentiment}} as a new row in the CSV file named {{filename}}")
+	want := []string{"review", "sentiment", "filename"}
+	got := tpl.Params()
+	if len(got) != len(want) {
+		t.Fatalf("Params = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Params[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseRepeatedParamCountedOnce(t *testing.T) {
+	tpl := MustParse("Compare {{x}} with {{x}} and {{y}}")
+	if got := tpl.Params(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("Params = %v, want [x y]", got)
+	}
+}
+
+func TestParseWhitespaceInPlaceholder(t *testing.T) {
+	tpl, err := Parse("Sort {{ ns }} ascending")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tpl.Params(); len(got) != 1 || got[0] != "ns" {
+		t.Errorf("Params = %v, want [ns]", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src string
+		sub string
+	}{
+		{"hello {{name", "unterminated"},
+		{"bad {{1abc}} name", "invalid placeholder name"},
+		{"bad {{a b}} name", "invalid placeholder name"},
+		{"empty {{}} name", "invalid placeholder name"},
+		{"bad {{a-b}} name", "invalid placeholder name"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", c.src)
+			continue
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("Parse(%q): error type %T, want *ParseError", c.src, err)
+			continue
+		}
+		if !strings.Contains(pe.Error(), c.sub) {
+			t.Errorf("Parse(%q): error %q does not contain %q", c.src, pe.Error(), c.sub)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on invalid template")
+		}
+	}()
+	MustParse("{{")
+}
+
+func TestRender(t *testing.T) {
+	tpl := MustParse("List {{n}} classic books on {{subject}}.")
+	got, err := tpl.Render(map[string]any{"n": 5, "subject": "computer science"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `List 5 classic books on "computer science".`
+	if got != want {
+		t.Errorf("Render = %q, want %q", got, want)
+	}
+}
+
+func TestRenderMissingArg(t *testing.T) {
+	tpl := MustParse("List {{n}} books")
+	if _, err := tpl.Render(map[string]any{}); err == nil {
+		t.Error("expected error for missing argument")
+	}
+}
+
+func TestCheckArgs(t *testing.T) {
+	tpl := MustParse("Count {{x}} in {{xs}}")
+	if err := tpl.CheckArgs(map[string]any{"x": 1, "xs": []any{1.0, 2.0}}); err != nil {
+		t.Errorf("CheckArgs valid: %v", err)
+	}
+	if err := tpl.CheckArgs(map[string]any{"x": 1}); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("CheckArgs missing: %v", err)
+	}
+	if err := tpl.CheckArgs(map[string]any{"x": 1, "xs": 2, "zz": 3}); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("CheckArgs extra: %v", err)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{nil, "null"},
+		{"hi", `"hi"`},
+		{"a\"b\nc", `"a\"b\nc"`},
+		{true, "true"},
+		{false, "false"},
+		{42, "42"},
+		{int64(-7), "-7"},
+		{3.0, "3"},
+		{3.25, "3.25"},
+		{[]any{1, "a"}, `[1, "a"]`},
+		{map[string]any{"b": 2, "a": 1}, `{"a": 1, "b": 2}`},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.in); got != c.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsIdentifier(t *testing.T) {
+	valid := []string{"a", "x1", "_", "_private", "camelCase", "π"}
+	for _, s := range valid {
+		if !IsIdentifier(s) {
+			t.Errorf("IsIdentifier(%q) = false, want true", s)
+		}
+	}
+	invalid := []string{"", "1a", "a b", "a-b", "a.b", "{{"}
+	for _, s := range invalid {
+		if IsIdentifier(s) {
+			t.Errorf("IsIdentifier(%q) = true, want false", s)
+		}
+	}
+}
+
+// Property: for any template without placeholder markers, parsing is the
+// identity: one literal segment, RenderQuoted returns the source.
+func TestQuickPlainTextRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		if strings.Contains(s, "{{") || strings.Contains(s, "}}") {
+			return true // skip inputs with markers
+		}
+		tpl, err := Parse(s)
+		if err != nil {
+			return false
+		}
+		return tpl.RenderQuoted() == s && !tpl.HasParams()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rendering with string args never leaves {{ in the output when
+// the args themselves contain no braces.
+func TestQuickRenderComplete(t *testing.T) {
+	tpl := MustParse("a {{x}} b {{y}} c")
+	f := func(x, y string) bool {
+		if strings.ContainsAny(x+y, "{}") {
+			return true
+		}
+		out, err := tpl.Render(map[string]any{"x": x, "y": y})
+		return err == nil && !strings.Contains(out, "{{")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := "Append {{review}} and {{sentiment}} as a new row in the CSV file named {{filename}}"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

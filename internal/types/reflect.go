@@ -1,0 +1,101 @@
+package types
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// FromGo derives an AskIt type from a Go type via reflection, so that the
+// generic wrappers askit.AskAs[T]/DefineAs[T] can be used without spelling
+// the type out. Supported Go types:
+//
+//	int, int8..int64, uint..uint64  -> Int
+//	float32, float64                -> Float
+//	bool                            -> Bool
+//	string                          -> Str
+//	[]T                             -> List(FromGo(T))
+//	map[string]T                    -> a Dict is not derivable from a map
+//	                                   (no field set); use a struct.
+//	struct                          -> Dict with one field per exported
+//	                                   struct field; the `askit` tag (or
+//	                                   `json` tag) overrides the name.
+//	any                             -> Any
+//
+// Pointer types derive the type of their element. Unsupported types
+// return an error.
+func FromGo(t reflect.Type) (Type, error) {
+	switch t.Kind() {
+	case reflect.Pointer:
+		return FromGo(t.Elem())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return Int, nil
+	case reflect.Float32, reflect.Float64:
+		return Float, nil
+	case reflect.Bool:
+		return Bool, nil
+	case reflect.String:
+		return Str, nil
+	case reflect.Slice, reflect.Array:
+		elem, err := FromGo(t.Elem())
+		if err != nil {
+			return nil, err
+		}
+		return List(elem), nil
+	case reflect.Struct:
+		var fields []Field
+		for i := 0; i < t.NumField(); i++ {
+			sf := t.Field(i)
+			if !sf.IsExported() {
+				continue
+			}
+			name := fieldName(sf)
+			if name == "-" {
+				continue
+			}
+			ft, err := FromGo(sf.Type)
+			if err != nil {
+				return nil, fmt.Errorf("field %s: %w", sf.Name, err)
+			}
+			fields = append(fields, Field{Name: name, Type: ft})
+		}
+		return Dict(fields...), nil
+	case reflect.Interface:
+		if t.NumMethod() == 0 {
+			return Any, nil
+		}
+	}
+	return nil, fmt.Errorf("types: cannot derive AskIt type from Go type %s", t)
+}
+
+// FromGoValue derives the AskIt type of v's dynamic type.
+func FromGoValue(v any) (Type, error) {
+	if v == nil {
+		return Any, nil
+	}
+	return FromGo(reflect.TypeOf(v))
+}
+
+func fieldName(sf reflect.StructField) string {
+	for _, tag := range []string{"askit", "json"} {
+		if v, ok := sf.Tag.Lookup(tag); ok {
+			name, _, _ := strings.Cut(v, ",")
+			if name != "" {
+				return name
+			}
+		}
+	}
+	// Default: lower-case the first rune, matching the camelCase field
+	// names the paper's TypeScript types use.
+	r := []rune(sf.Name)
+	r[0] = toLower(r[0])
+	return string(r)
+}
+
+func toLower(r rune) rune {
+	if r >= 'A' && r <= 'Z' {
+		return r + ('a' - 'A')
+	}
+	return r
+}

@@ -1,0 +1,286 @@
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseTS parses a TypeScript type expression of the subset AskIt emits —
+// the inverse of Type.TS. Supported syntax:
+//
+//	number string boolean void any
+//	'lit' "lit" 123 true false        literal types
+//	T[]                               lists
+//	{ a: T; b: T } / { a: T, b: T }   objects
+//	A | B | C                         unions
+//	(T)                               grouping
+//
+// It is used by the minilang parser for annotations and by tests that
+// round-trip prompt type lines.
+func ParseTS(src string) (Type, error) {
+	p := &tsParser{src: src}
+	p.skip()
+	t, err := p.union()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos != len(p.src) {
+		return nil, p.errf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	return t, nil
+}
+
+// MustParseTS is ParseTS panicking on error, for constant type strings.
+func MustParseTS(src string) Type {
+	t, err := ParseTS(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type tsParser struct {
+	src string
+	pos int
+}
+
+func (p *tsParser) errf(format string, args ...any) error {
+	return fmt.Errorf("types: parse %q: %s (at offset %d)", p.src, fmt.Sprintf(format, args...), p.pos)
+}
+
+func (p *tsParser) skip() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *tsParser) union() (Type, error) {
+	first, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	members := []Type{first}
+	for {
+		p.skip()
+		if p.pos >= len(p.src) || p.src[p.pos] != '|' {
+			break
+		}
+		p.pos++
+		p.skip()
+		m, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+	}
+	if len(members) == 1 {
+		return members[0], nil
+	}
+	return Union(members...), nil
+}
+
+func (p *tsParser) postfix() (Type, error) {
+	t, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if strings.HasPrefix(p.src[p.pos:], "[]") {
+			p.pos += 2
+			t = List(t)
+			continue
+		}
+		return t, nil
+	}
+}
+
+func (p *tsParser) primary() (Type, error) {
+	p.skip()
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unexpected end of type")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		t, err := p.union()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.pos++
+		return t, nil
+	case c == '{':
+		return p.object()
+	case c == '\'' || c == '"':
+		s, err := p.quoted(c)
+		if err != nil {
+			return nil, err
+		}
+		return Literal(s), nil
+	case c == '-' || c >= '0' && c <= '9':
+		return p.numberLit()
+	default:
+		return p.keyword()
+	}
+}
+
+func (p *tsParser) quoted(q byte) (string, error) {
+	p.pos++
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '\\' && p.pos+1 < len(p.src) {
+			b.WriteByte(p.src[p.pos+1])
+			p.pos += 2
+			continue
+		}
+		if c == q {
+			p.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	return "", p.errf("unterminated string literal")
+}
+
+func (p *tsParser) numberLit() (Type, error) {
+	start := p.pos
+	if p.src[p.pos] == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return nil, p.errf("invalid number literal %q", p.src[start:p.pos])
+	}
+	return Literal(f), nil
+}
+
+func (p *tsParser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		r := rune(p.src[p.pos])
+		if r == '_' || unicode.IsLetter(r) || (p.pos > start && unicode.IsDigit(r)) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *tsParser) keyword() (Type, error) {
+	w := p.ident()
+	switch w {
+	case "number":
+		return Float, nil
+	case "int", "integer":
+		return Int, nil
+	case "string":
+		return Str, nil
+	case "boolean", "bool":
+		return Bool, nil
+	case "void", "undefined", "null":
+		return Void, nil
+	case "any", "unknown", "object":
+		return Any, nil
+	case "true":
+		return Literal(true), nil
+	case "false":
+		return Literal(false), nil
+	case "Array":
+		p.skip()
+		if p.pos < len(p.src) && p.src[p.pos] == '<' {
+			p.pos++
+			elem, err := p.union()
+			if err != nil {
+				return nil, err
+			}
+			p.skip()
+			if p.pos >= len(p.src) || p.src[p.pos] != '>' {
+				return nil, p.errf("expected '>'")
+			}
+			p.pos++
+			return List(elem), nil
+		}
+		return List(Any), nil
+	case "Date":
+		// The paper's Table II task #24 uses Date parameters; model
+		// them as strings (ISO 8601) in the reproduction.
+		return Str, nil
+	case "":
+		return nil, p.errf("expected type")
+	default:
+		return nil, p.errf("unknown type name %q", w)
+	}
+}
+
+func (p *tsParser) object() (Type, error) {
+	p.pos++ // '{'
+	var fields []Field
+	p.skip()
+	if p.pos < len(p.src) && p.src[p.pos] == '}' {
+		p.pos++
+		return Dict(fields...), nil
+	}
+	for {
+		p.skip()
+		name := p.ident()
+		if name == "" {
+			return nil, p.errf("expected field name")
+		}
+		p.skip()
+		if p.pos < len(p.src) && p.src[p.pos] == '?' {
+			p.pos++ // optional marker tolerated; field treated as required
+			p.skip()
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != ':' {
+			return nil, p.errf("expected ':' after field %q", name)
+		}
+		p.pos++
+		ft, err := p.union()
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, Field{Name: name, Type: ft})
+		p.skip()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated object type")
+		}
+		switch p.src[p.pos] {
+		case ';', ',':
+			p.pos++
+			p.skip()
+			if p.pos < len(p.src) && p.src[p.pos] == '}' {
+				p.pos++
+				return Dict(fields...), nil
+			}
+		case '}':
+			p.pos++
+			return Dict(fields...), nil
+		default:
+			return nil, p.errf("expected ';', ',' or '}' in object type")
+		}
+	}
+}

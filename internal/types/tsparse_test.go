@@ -1,0 +1,176 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTSRoundTrip(t *testing.T) {
+	srcs := []string{
+		"number",
+		"string",
+		"boolean",
+		"void",
+		"any",
+		"'yes'",
+		"123",
+		"true",
+		"number[]",
+		"string[][]",
+		"'positive' | 'negative'",
+		"('a' | 'b')[]",
+		"{ title: string; author: string; year: number }",
+		"{ title: string; author: string; year: number }[]",
+		"{ x: number; y: number }",
+		"number | string",
+	}
+	for _, src := range srcs {
+		tt, err := ParseTS(src)
+		if err != nil {
+			t.Errorf("ParseTS(%q): %v", src, err)
+			continue
+		}
+		// Float renders as "number"; re-parsing the rendering must be
+		// structurally equal to the first parse.
+		tt2, err := ParseTS(tt.TS())
+		if err != nil {
+			t.Errorf("re-parse %q: %v", tt.TS(), err)
+			continue
+		}
+		if !Equal(tt, tt2) {
+			t.Errorf("ParseTS(%q) round trip: %s != %s", src, tt.TS(), tt2.TS())
+		}
+	}
+}
+
+func TestParseTSVariants(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Type
+	}{
+		{"Array<number>", List(Float)},
+		{"Array", List(Any)},
+		{"{a: number, b: string}", Dict(Field{"a", Float}, Field{"b", Str})},
+		{"{a: number; b: string;}", Dict(Field{"a", Float}, Field{"b", Str})},
+		{"{a?: number}", Dict(Field{"a", Float})},
+		{`"yes" | "no"`, StrEnum("yes", "no")},
+		{"int", Int},
+		{"Date", Str},
+		{"-5", Literal(-5.0)},
+		{"(number)", Float},
+		{"{}", Dict()},
+	}
+	for _, c := range cases {
+		got, err := ParseTS(c.src)
+		if err != nil {
+			t.Errorf("ParseTS(%q): %v", c.src, err)
+			continue
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("ParseTS(%q) = %s, want %s", c.src, got.TS(), c.want.TS())
+		}
+	}
+}
+
+func TestParseTSErrors(t *testing.T) {
+	bad := []string{
+		"", "numbre", "number[", "{a}", "{a:}", "{a: number", "(number",
+		"number |", "Array<", "Array<number", "'unterminated",
+		"number extra",
+	}
+	for _, src := range bad {
+		if _, err := ParseTS(src); err == nil {
+			t.Errorf("ParseTS(%q): expected error", src)
+		}
+	}
+}
+
+func TestMustParseTSPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustParseTS("not a type !!")
+}
+
+// Property: TS() output of randomly built types always re-parses to an
+// equal type (generator builds depth-bounded random types).
+func TestQuickTSPrintParse(t *testing.T) {
+	f := func(seed uint32) bool {
+		tt := randomType(int(seed), 3)
+		got, err := ParseTS(tt.TS())
+		if err != nil {
+			return false
+		}
+		return Equal(normalizeNum(tt), normalizeNum(got))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomType deterministically builds a type from a seed.
+func randomType(seed, depth int) Type {
+	next := func() int {
+		seed = seed*1103515245 + 12345
+		if seed < 0 {
+			seed = -seed
+		}
+		return seed
+	}
+	var build func(d int) Type
+	build = func(d int) Type {
+		choices := 5
+		if d > 0 {
+			choices = 8
+		}
+		switch next() % choices {
+		case 0:
+			return Int
+		case 1:
+			return Str
+		case 2:
+			return Bool
+		case 3:
+			return Literal("v" + string(rune('a'+next()%26)))
+		case 4:
+			return Literal(float64(next() % 100))
+		case 5:
+			return List(build(d - 1))
+		case 6:
+			return Dict(Field{"a", build(d - 1)}, Field{"b", build(d - 1)})
+		default:
+			return Union(build(d-1), Literal("u"+string(rune('a'+next()%26))))
+		}
+	}
+	return build(depth)
+}
+
+// normalizeNum rewrites Int to Float everywhere, because "number" parses
+// back as Float.
+func normalizeNum(t Type) Type {
+	switch x := t.(type) {
+	case *primType:
+		if x.kind == KindInt {
+			return Float
+		}
+		return x
+	case *listType:
+		return List(normalizeNum(x.elem))
+	case *dictType:
+		fs := make([]Field, len(x.fields))
+		for i, f := range x.fields {
+			fs[i] = Field{f.Name, normalizeNum(f.Type)}
+		}
+		return Dict(fs...)
+	case *unionType:
+		ms := make([]Type, len(x.members))
+		for i, m := range x.members {
+			ms[i] = normalizeNum(m)
+		}
+		return Union(ms...)
+	default:
+		return t
+	}
+}

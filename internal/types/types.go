@@ -1,0 +1,617 @@
+// Package types implements the AskIt type system (paper Table I).
+//
+// A types.Type plays the role of the type parameter of ask<T>/define<T> in
+// the TypeScript implementation and of the type objects of the Python
+// implementation (§III-F). Types render themselves as TypeScript type
+// expressions — the notation the generated prompt uses to constrain the
+// LLM's JSON response (§III-E) — and validate/decode JSON values.
+//
+// The constructors mirror Table I of the paper:
+//
+//	Int, Float, Bool, Str          primitive types
+//	Literal(v)                     a literal type such as 123 or 'yes'
+//	List(elem)                     elem[]
+//	Dict(Field{...}, ...)          { x: number, y: number }
+//	Union(a, b, ...)               a | b
+//	Void                           void (codable tasks with no result)
+package types
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind identifies the shape of a Type.
+type Kind int
+
+// The kinds of AskIt types.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindBool
+	KindStr
+	KindLiteral
+	KindList
+	KindDict
+	KindUnion
+	KindVoid
+	KindAny
+)
+
+var kindNames = [...]string{
+	KindInt:     "int",
+	KindFloat:   "float",
+	KindBool:    "bool",
+	KindStr:     "str",
+	KindLiteral: "literal",
+	KindList:    "list",
+	KindDict:    "dict",
+	KindUnion:   "union",
+	KindVoid:    "void",
+	KindAny:     "any",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Type is an AskIt type. Implementations are immutable and safe for
+// concurrent use.
+type Type interface {
+	// Kind reports the shape of the type.
+	Kind() Kind
+	// TS renders the type as a TypeScript type expression, the form
+	// embedded in generated prompts (paper Listing 2 line 7).
+	TS() string
+	// Validate checks a decoded JSON value (nil, bool, float64, string,
+	// []any, map[string]any) against the type. It returns a
+	// *ValidationError locating the first mismatch.
+	Validate(v any) error
+	// Decode validates v and converts it to the canonical Go
+	// representation: int for KindInt, float64 for KindFloat, bool,
+	// string, []any and map[string]any with decoded elements. For
+	// unions it decodes with the first matching member.
+	Decode(v any) (any, error)
+}
+
+// ValidationError reports a value/type mismatch, with a JSON-path-like
+// location so the feedback loop can point the LLM at the offending part
+// of its response.
+type ValidationError struct {
+	Path string // e.g. "answer[2].year"
+	Want string // expected type, TS syntax
+	Got  string // description of the actual value
+}
+
+func (e *ValidationError) Error() string {
+	p := e.Path
+	if p == "" {
+		p = "value"
+	}
+	return fmt.Sprintf("types: %s: expected %s, got %s", p, e.Want, e.Got)
+}
+
+func mismatch(path string, want Type, v any) error {
+	return &ValidationError{Path: path, Want: want.TS(), Got: describe(v)}
+}
+
+func describe(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return fmt.Sprintf("boolean %v", x)
+	case float64:
+		return fmt.Sprintf("number %s", formatNumber(x))
+	case int:
+		return fmt.Sprintf("number %d", x)
+	case string:
+		return fmt.Sprintf("string %q", x)
+	case []any:
+		return fmt.Sprintf("array of length %d", len(x))
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return "object with keys {" + strings.Join(keys, ", ") + "}"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+func formatNumber(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+
+type primType struct {
+	kind Kind
+	ts   string
+}
+
+// Primitive and special types (Table I).
+var (
+	Int   Type = &primType{KindInt, "number"}
+	Float Type = &primType{KindFloat, "number"}
+	Bool  Type = &primType{KindBool, "boolean"}
+	Str   Type = &primType{KindStr, "string"}
+	Void  Type = &primType{KindVoid, "void"}
+	Any   Type = &primType{KindAny, "any"}
+)
+
+func (p *primType) Kind() Kind { return p.kind }
+func (p *primType) TS() string { return p.ts }
+
+func (p *primType) Validate(v any) error { return p.validate("", v) }
+
+func (p *primType) validate(path string, v any) error {
+	switch p.kind {
+	case KindInt:
+		f, ok := asNumber(v)
+		if !ok || f != math.Trunc(f) {
+			return mismatch(path, p, v)
+		}
+	case KindFloat:
+		if _, ok := asNumber(v); !ok {
+			return mismatch(path, p, v)
+		}
+	case KindBool:
+		if _, ok := v.(bool); !ok {
+			return mismatch(path, p, v)
+		}
+	case KindStr:
+		if _, ok := v.(string); !ok {
+			return mismatch(path, p, v)
+		}
+	case KindVoid:
+		if v != nil {
+			return mismatch(path, p, v)
+		}
+	case KindAny:
+		// everything validates
+	}
+	return nil
+}
+
+func (p *primType) Decode(v any) (any, error) {
+	if err := p.Validate(v); err != nil {
+		return nil, err
+	}
+	switch p.kind {
+	case KindInt:
+		f, _ := asNumber(v)
+		return int(f), nil
+	case KindFloat:
+		f, _ := asNumber(v)
+		return f, nil
+	case KindVoid:
+		return nil, nil
+	default:
+		return v, nil
+	}
+}
+
+func asNumber(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Literal
+
+type literalType struct {
+	value any // string, float64 or bool
+}
+
+// Literal returns a literal type, e.g. Literal(123) renders as 123 and
+// Literal("yes") renders as 'yes'. Accepted value kinds: string, bool,
+// int, int64, float64.
+func Literal(v any) Type {
+	switch x := v.(type) {
+	case string, bool, float64:
+		return &literalType{x}
+	case int:
+		return &literalType{float64(x)}
+	case int64:
+		return &literalType{float64(x)}
+	default:
+		panic(fmt.Sprintf("types.Literal: unsupported literal value %T", v))
+	}
+}
+
+func (l *literalType) Kind() Kind { return KindLiteral }
+
+func (l *literalType) TS() string {
+	switch x := l.value.(type) {
+	case string:
+		return "'" + strings.ReplaceAll(x, "'", `\'`) + "'"
+	case bool:
+		return fmt.Sprintf("%v", x)
+	case float64:
+		return formatNumber(x)
+	}
+	return "never"
+}
+
+// Value returns the Go value of the literal (string, bool, or float64).
+func (l *literalType) Value() any { return l.value }
+
+func (l *literalType) Validate(v any) error { return l.validate("", v) }
+
+func (l *literalType) validate(path string, v any) error {
+	switch want := l.value.(type) {
+	case string:
+		if s, ok := v.(string); ok && s == want {
+			return nil
+		}
+	case bool:
+		if b, ok := v.(bool); ok && b == want {
+			return nil
+		}
+	case float64:
+		if f, ok := asNumber(v); ok && f == want {
+			return nil
+		}
+	}
+	return mismatch(path, l, v)
+}
+
+func (l *literalType) Decode(v any) (any, error) {
+	if err := l.Validate(v); err != nil {
+		return nil, err
+	}
+	if f, ok := l.value.(float64); ok && f == math.Trunc(f) {
+		if _, isInt := v.(string); !isInt {
+			return int(f), nil
+		}
+	}
+	return l.value, nil
+}
+
+// ---------------------------------------------------------------------------
+// List
+
+type listType struct {
+	elem Type
+}
+
+// List returns the type elem[].
+func List(elem Type) Type { return &listType{elem} }
+
+func (l *listType) Kind() Kind { return KindList }
+
+// Elem returns the element type.
+func (l *listType) Elem() Type { return l.elem }
+
+func (l *listType) TS() string {
+	inner := l.elem.TS()
+	if l.elem.Kind() == KindUnion {
+		inner = "(" + inner + ")"
+	}
+	return inner + "[]"
+}
+
+func (l *listType) Validate(v any) error { return l.validate("", v) }
+
+func (l *listType) validate(path string, v any) error {
+	arr, ok := v.([]any)
+	if !ok {
+		return mismatch(path, l, v)
+	}
+	for i, e := range arr {
+		if err := validateAt(l.elem, fmt.Sprintf("%s[%d]", path, i), e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *listType) Decode(v any) (any, error) {
+	arr, ok := v.([]any)
+	if !ok {
+		return nil, mismatch("", l, v)
+	}
+	out := make([]any, len(arr))
+	for i, e := range arr {
+		d, err := l.elem.Decode(e)
+		if err != nil {
+			if ve, ok := err.(*ValidationError); ok {
+				ve.Path = fmt.Sprintf("[%d]%s", i, withDot(ve.Path))
+			}
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+func withDot(p string) string {
+	if p == "" || strings.HasPrefix(p, "[") {
+		return p
+	}
+	return "." + p
+}
+
+// ---------------------------------------------------------------------------
+// Dict
+
+// Field is one property of a Dict type.
+type Field struct {
+	Name string
+	Type Type
+}
+
+type dictType struct {
+	fields []Field
+	index  map[string]int
+}
+
+// Dict returns an object type with the given fields, in order. Field
+// order matters only for rendering; validation is by name.
+func Dict(fields ...Field) Type {
+	d := &dictType{fields: append([]Field(nil), fields...), index: make(map[string]int, len(fields))}
+	for i, f := range d.fields {
+		if _, dup := d.index[f.Name]; dup {
+			panic(fmt.Sprintf("types.Dict: duplicate field %q", f.Name))
+		}
+		d.index[f.Name] = i
+	}
+	return d
+}
+
+// DictOf is a convenience constructor taking name/type pairs in a map;
+// fields are ordered alphabetically. Use Dict for explicit ordering.
+func DictOf(fields map[string]Type) Type {
+	names := make([]string, 0, len(fields))
+	for n := range fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fs := make([]Field, len(names))
+	for i, n := range names {
+		fs[i] = Field{Name: n, Type: fields[n]}
+	}
+	return Dict(fs...)
+}
+
+func (d *dictType) Kind() Kind { return KindDict }
+
+// Fields returns the fields in declaration order.
+func (d *dictType) Fields() []Field { return append([]Field(nil), d.fields...) }
+
+func (d *dictType) TS() string {
+	parts := make([]string, len(d.fields))
+	for i, f := range d.fields {
+		parts[i] = f.Name + ": " + f.Type.TS()
+	}
+	return "{ " + strings.Join(parts, "; ") + " }"
+}
+
+func (d *dictType) Validate(v any) error { return d.validate("", v) }
+
+func (d *dictType) validate(path string, v any) error {
+	obj, ok := v.(map[string]any)
+	if !ok {
+		return mismatch(path, d, v)
+	}
+	for _, f := range d.fields {
+		fv, present := obj[f.Name]
+		fp := f.Name
+		if path != "" {
+			fp = path + "." + f.Name
+		}
+		if !present {
+			return &ValidationError{Path: fp, Want: f.Type.TS(), Got: "missing field"}
+		}
+		if err := validateAt(f.Type, fp, fv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *dictType) Decode(v any) (any, error) {
+	if err := d.Validate(v); err != nil {
+		return nil, err
+	}
+	obj := v.(map[string]any)
+	out := make(map[string]any, len(d.fields))
+	for _, f := range d.fields {
+		dv, err := f.Type.Decode(obj[f.Name])
+		if err != nil {
+			return nil, err
+		}
+		out[f.Name] = dv
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Union
+
+type unionType struct {
+	members []Type
+}
+
+// Union returns the union of the given member types, e.g.
+// Union(Literal("yes"), Literal("no")) renders as 'yes' | 'no'.
+// It panics when fewer than two members are supplied.
+func Union(members ...Type) Type {
+	if len(members) < 2 {
+		panic("types.Union: need at least two members")
+	}
+	return &unionType{append([]Type(nil), members...)}
+}
+
+// StrEnum builds a union of string literal types, the most common union
+// shape in the paper's benchmarks ('positive' | 'negative').
+func StrEnum(values ...string) Type {
+	ms := make([]Type, len(values))
+	for i, v := range values {
+		ms[i] = Literal(v)
+	}
+	if len(ms) == 1 {
+		return ms[0]
+	}
+	return Union(ms...)
+}
+
+func (u *unionType) Kind() Kind { return KindUnion }
+
+// Members returns the union members in order.
+func (u *unionType) Members() []Type { return append([]Type(nil), u.members...) }
+
+func (u *unionType) TS() string {
+	parts := make([]string, len(u.members))
+	for i, m := range u.members {
+		parts[i] = m.TS()
+	}
+	return strings.Join(parts, " | ")
+}
+
+func (u *unionType) Validate(v any) error { return u.validate("", v) }
+
+func (u *unionType) validate(path string, v any) error {
+	for _, m := range u.members {
+		if m.Validate(v) == nil {
+			return nil
+		}
+	}
+	return mismatch(path, u, v)
+}
+
+func (u *unionType) Decode(v any) (any, error) {
+	for _, m := range u.members {
+		if m.Validate(v) == nil {
+			return m.Decode(v)
+		}
+	}
+	return nil, mismatch("", u, v)
+}
+
+func validateAt(t Type, path string, v any) error {
+	var err error
+	switch x := t.(type) {
+	case *primType:
+		err = x.validate(path, v)
+	case *literalType:
+		err = x.validate(path, v)
+	case *listType:
+		err = x.validate(path, v)
+	case *dictType:
+		err = x.validate(path, v)
+	case *unionType:
+		err = x.validate(path, v)
+	default:
+		err = t.Validate(v)
+		if ve, ok := err.(*ValidationError); ok && ve.Path == "" {
+			ve.Path = path
+		}
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Structural operations
+
+// Equal reports whether two types are structurally identical (same kinds,
+// same literals, same field names/order, same union member order).
+func Equal(a, b Type) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch x := a.(type) {
+	case *primType:
+		return true
+	case *literalType:
+		return x.value == b.(*literalType).value
+	case *listType:
+		return Equal(x.elem, b.(*listType).elem)
+	case *dictType:
+		y := b.(*dictType)
+		if len(x.fields) != len(y.fields) {
+			return false
+		}
+		for i := range x.fields {
+			if x.fields[i].Name != y.fields[i].Name || !Equal(x.fields[i].Type, y.fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	case *unionType:
+		y := b.(*unionType)
+		if len(x.members) != len(y.members) {
+			return false
+		}
+		for i := range x.members {
+			if !Equal(x.members[i], y.members[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Walk calls fn for t and every type nested inside it, parents first.
+// It is the basis of the type-usage census of Figure 7.
+func Walk(t Type, fn func(Type)) {
+	fn(t)
+	switch x := t.(type) {
+	case *listType:
+		Walk(x.elem, fn)
+	case *dictType:
+		for _, f := range x.fields {
+			Walk(f.Type, fn)
+		}
+	case *unionType:
+		for _, m := range x.members {
+			Walk(m, fn)
+		}
+	}
+}
+
+// CensusCategory maps a type to the category names used on the x axis of
+// Figure 7: boolean, object, Array, literal, number, string, union.
+func CensusCategory(t Type) string {
+	switch t.Kind() {
+	case KindBool:
+		return "boolean"
+	case KindDict:
+		return "object"
+	case KindList:
+		return "Array"
+	case KindLiteral:
+		return "literal"
+	case KindInt, KindFloat:
+		return "number"
+	case KindStr:
+		return "string"
+	case KindUnion:
+		return "union"
+	case KindVoid:
+		return "void"
+	default:
+		return "any"
+	}
+}

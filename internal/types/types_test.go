@@ -1,0 +1,405 @@
+package types
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTSRendering(t *testing.T) {
+	book := Dict(
+		Field{"title", Str},
+		Field{"author", Str},
+		Field{"year", Int},
+	)
+	cases := []struct {
+		t    Type
+		want string
+	}{
+		{Int, "number"},
+		{Float, "number"},
+		{Bool, "boolean"},
+		{Str, "string"},
+		{Void, "void"},
+		{Any, "any"},
+		{Literal(123), "123"},
+		{Literal(1.5), "1.5"},
+		{Literal(true), "true"},
+		{Literal("yes"), "'yes'"},
+		{List(Int), "number[]"},
+		{List(List(Str)), "string[][]"},
+		{StrEnum("positive", "negative"), "'positive' | 'negative'"},
+		{List(StrEnum("a", "b")), "('a' | 'b')[]"},
+		{book, "{ title: string; author: string; year: number }"},
+		{List(book), "{ title: string; author: string; year: number }[]"},
+		{Union(Int, Str), "number | string"},
+	}
+	for _, c := range cases {
+		if got := c.t.TS(); got != c.want {
+			t.Errorf("TS() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestValidatePrimitives(t *testing.T) {
+	valid := []struct {
+		t Type
+		v any
+	}{
+		{Int, 42.0},
+		{Int, -3.0},
+		{Float, 3.14},
+		{Float, 2.0},
+		{Bool, true},
+		{Str, "hi"},
+		{Void, nil},
+		{Any, map[string]any{"x": 1.0}},
+	}
+	for _, c := range valid {
+		if err := c.t.Validate(c.v); err != nil {
+			t.Errorf("%s.Validate(%v): %v", c.t.TS(), c.v, err)
+		}
+	}
+	invalid := []struct {
+		t Type
+		v any
+	}{
+		{Int, 3.5},
+		{Int, "3"},
+		{Float, "3.14"},
+		{Bool, 1.0},
+		{Str, 42.0},
+		{Void, "x"},
+	}
+	for _, c := range invalid {
+		if err := c.t.Validate(c.v); err == nil {
+			t.Errorf("%s.Validate(%v): expected error", c.t.TS(), c.v)
+		}
+	}
+}
+
+func TestValidateLiteral(t *testing.T) {
+	if err := Literal("yes").Validate("yes"); err != nil {
+		t.Error(err)
+	}
+	if err := Literal("yes").Validate("no"); err == nil {
+		t.Error("expected mismatch")
+	}
+	if err := Literal(5).Validate(5.0); err != nil {
+		t.Error(err)
+	}
+	if err := Literal(5).Validate(6.0); err == nil {
+		t.Error("expected mismatch")
+	}
+	if err := Literal(true).Validate(true); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateListPath(t *testing.T) {
+	err := List(Int).Validate([]any{1.0, 2.0, "x"})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	ve, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ve.Path != "[2]" {
+		t.Errorf("Path = %q, want [2]", ve.Path)
+	}
+}
+
+func TestValidateDict(t *testing.T) {
+	book := Dict(Field{"title", Str}, Field{"year", Int})
+	if err := book.Validate(map[string]any{"title": "SICP", "year": 1984.0}); err != nil {
+		t.Error(err)
+	}
+	err := book.Validate(map[string]any{"title": "SICP"})
+	if err == nil || !strings.Contains(err.Error(), "missing field") {
+		t.Errorf("missing field error = %v", err)
+	}
+	err = book.Validate(map[string]any{"title": "SICP", "year": "1984"})
+	ve, ok := err.(*ValidationError)
+	if !ok || ve.Path != "year" {
+		t.Errorf("error = %v, want path 'year'", err)
+	}
+	// extra keys are tolerated (LLMs often add fields)
+	if err := book.Validate(map[string]any{"title": "a", "year": 1.0, "extra": true}); err != nil {
+		t.Errorf("extra key should be tolerated: %v", err)
+	}
+}
+
+func TestValidateNestedPath(t *testing.T) {
+	books := List(Dict(Field{"title", Str}, Field{"year", Int}))
+	err := books.Validate([]any{
+		map[string]any{"title": "a", "year": 1.0},
+		map[string]any{"title": "b", "year": "oops"},
+	})
+	ve, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if ve.Path != "[1].year" {
+		t.Errorf("Path = %q, want [1].year", ve.Path)
+	}
+}
+
+func TestValidateUnion(t *testing.T) {
+	u := StrEnum("positive", "negative")
+	if err := u.Validate("positive"); err != nil {
+		t.Error(err)
+	}
+	if err := u.Validate("neutral"); err == nil {
+		t.Error("expected mismatch")
+	}
+	mixed := Union(Int, Str)
+	for _, v := range []any{1.0, "x"} {
+		if err := mixed.Validate(v); err != nil {
+			t.Error(err)
+		}
+	}
+	if err := mixed.Validate(true); err == nil {
+		t.Error("expected mismatch")
+	}
+}
+
+func TestDecode(t *testing.T) {
+	cases := []struct {
+		t    Type
+		in   any
+		want any
+	}{
+		{Int, 42.0, 42},
+		{Float, 2.5, 2.5},
+		{Float, 2.0, 2.0},
+		{Str, "s", "s"},
+		{Bool, true, true},
+		{Literal("yes"), "yes", "yes"},
+		{Literal(7), 7.0, 7},
+		{Void, nil, nil},
+	}
+	for _, c := range cases {
+		got, err := c.t.Decode(c.in)
+		if err != nil {
+			t.Errorf("%s.Decode(%v): %v", c.t.TS(), c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s.Decode(%v) = %#v, want %#v", c.t.TS(), c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeList(t *testing.T) {
+	got, err := List(Int).Decode([]any{1.0, 2.0, 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []any{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Decode = %#v, want %#v", got, want)
+	}
+	if _, err := List(Int).Decode([]any{1.0, "x"}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestDecodeDictDropsExtraKeys(t *testing.T) {
+	d := Dict(Field{"x", Int})
+	got, err := d.Decode(map[string]any{"x": 1.0, "noise": "zz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.(map[string]any)
+	if len(m) != 1 || m["x"] != 1 {
+		t.Errorf("Decode = %#v", m)
+	}
+}
+
+func TestDecodeUnionFirstMatch(t *testing.T) {
+	u := Union(Int, Float)
+	got, err := u.Decode(3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 { // Int wins: decodes to int
+		t.Errorf("Decode = %#v (%T), want int 3", got, got)
+	}
+	got, err = u.Decode(3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.5 {
+		t.Errorf("Decode = %#v, want 3.5", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := List(Dict(Field{"x", Int}, Field{"y", Str}))
+	b := List(Dict(Field{"x", Int}, Field{"y", Str}))
+	c := List(Dict(Field{"y", Str}, Field{"x", Int}))
+	if !Equal(a, b) {
+		t.Error("a != b")
+	}
+	if Equal(a, c) {
+		t.Error("field order should matter")
+	}
+	if Equal(Int, Float) {
+		t.Error("Int == Float")
+	}
+	if !Equal(StrEnum("a", "b"), StrEnum("a", "b")) {
+		t.Error("equal unions differ")
+	}
+	if Equal(Literal("a"), Literal("b")) {
+		t.Error("distinct literals equal")
+	}
+}
+
+func TestWalkCensus(t *testing.T) {
+	tt := List(Dict(Field{"name", Str}, Field{"tags", List(Str)}))
+	counts := map[string]int{}
+	Walk(tt, func(x Type) { counts[CensusCategory(x)]++ })
+	want := map[string]int{"Array": 2, "object": 1, "string": 2}
+	if !reflect.DeepEqual(counts, want) {
+		t.Errorf("census = %v, want %v", counts, want)
+	}
+}
+
+func TestDictDuplicateFieldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Dict(Field{"x", Int}, Field{"x", Str})
+}
+
+func TestUnionArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Union(Int)
+}
+
+func TestDictOfOrdersAlphabetically(t *testing.T) {
+	d := DictOf(map[string]Type{"b": Int, "a": Str})
+	if got := d.TS(); got != "{ a: string; b: number }" {
+		t.Errorf("TS = %q", got)
+	}
+}
+
+func TestFromGo(t *testing.T) {
+	type Book struct {
+		Title  string
+		Author string
+		Year   int
+	}
+	bt, err := FromGo(reflect.TypeOf(Book{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bt.TS(); got != "{ title: string; author: string; year: number }" {
+		t.Errorf("TS = %q", got)
+	}
+	lt, err := FromGo(reflect.TypeOf([]Book{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lt.TS(); got != "{ title: string; author: string; year: number }[]" {
+		t.Errorf("TS = %q", got)
+	}
+}
+
+func TestFromGoTags(t *testing.T) {
+	type S struct {
+		A string `askit:"alpha"`
+		B int    `json:"beta,omitempty"`
+		C bool   `json:"-"`
+		d int    //lint:ignore U1000 unexported fields are skipped
+	}
+	_ = S{d: 0}
+	st, err := FromGo(reflect.TypeOf(S{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.TS(); got != "{ alpha: string; beta: number }" {
+		t.Errorf("TS = %q", got)
+	}
+}
+
+func TestFromGoUnsupported(t *testing.T) {
+	if _, err := FromGo(reflect.TypeOf(make(chan int))); err == nil {
+		t.Error("expected error for chan")
+	}
+	if _, err := FromGo(reflect.TypeOf(map[int]string{})); err == nil {
+		t.Error("expected error for non-struct map")
+	}
+}
+
+func TestFromGoValue(t *testing.T) {
+	tt, err := FromGoValue(3)
+	if err != nil || tt.Kind() != KindInt {
+		t.Errorf("FromGoValue(3) = %v, %v", tt, err)
+	}
+	tt, err = FromGoValue(nil)
+	if err != nil || tt.Kind() != KindAny {
+		t.Errorf("FromGoValue(nil) = %v, %v", tt, err)
+	}
+}
+
+// Property: Decode never succeeds on a value that Validate rejects, and
+// always succeeds on values Validate accepts (for int lists).
+func TestQuickValidateDecodeAgree(t *testing.T) {
+	lt := List(Int)
+	f := func(xs []int) bool {
+		arr := make([]any, len(xs))
+		for i, x := range xs {
+			arr[i] = float64(x)
+		}
+		if err := lt.Validate(arr); err != nil {
+			return false
+		}
+		_, err := lt.Decode(arr)
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a union validates exactly when one of its members does.
+func TestQuickUnionSemantics(t *testing.T) {
+	u := Union(Int, Str)
+	f := func(useStr bool, n int, s string) bool {
+		var v any
+		if useStr {
+			v = s
+		} else {
+			v = float64(n)
+		}
+		okU := u.Validate(v) == nil
+		okM := Int.Validate(v) == nil || Str.Validate(v) == nil
+		return okU == okM
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkValidateBookList(b *testing.B) {
+	books := List(Dict(Field{"title", Str}, Field{"author", Str}, Field{"year", Int}))
+	v := make([]any, 100)
+	for i := range v {
+		v[i] = map[string]any{"title": "t", "author": "a", "year": 2000.0}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := books.Validate(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

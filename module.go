@@ -1,0 +1,103 @@
+package askit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Module groups define calls the way a source file groups them in the
+// TypeScript implementation, supporting the paper's two ways to select
+// codable tasks (§III-D): compile every define in the "file"
+// (CompileAll) or only specific functions by name (CompileOnly).
+type Module struct {
+	ai *AskIt
+
+	mu    sync.Mutex
+	funcs []*Func
+	names map[string]*Func
+}
+
+// Module returns a new, empty function group.
+func (a *AskIt) Module() *Module {
+	return &Module{ai: a, names: map[string]*Func{}}
+}
+
+// Define is AskIt.Define, additionally registering the function in the
+// module under its (derived or fixed) name.
+func (m *Module) Define(ret Type, promptTemplate string, opts ...DefineOption) (*Func, error) {
+	f, err := m.ai.Define(ret, promptTemplate, opts...)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.names[f.Name()]; dup {
+		return nil, fmt.Errorf("askit: module already defines %q", f.Name())
+	}
+	m.funcs = append(m.funcs, f)
+	m.names[f.Name()] = f
+	return f, nil
+}
+
+// Funcs returns the registered functions in definition order.
+func (m *Module) Funcs() []*Func {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Func(nil), m.funcs...)
+}
+
+// Lookup returns the function registered under name.
+func (m *Module) Lookup(name string) (*Func, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.names[name]
+	return f, ok
+}
+
+// CompileAll compiles every function in the module (the "specify the
+// source file" mode). Failures are collected; functions that fail stay
+// in direct mode, exactly as an askit-compiled file would leave them.
+func (m *Module) CompileAll(ctx context.Context) error {
+	var errs []error
+	for _, f := range m.Funcs() {
+		if err := f.Compile(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", f.Name(), err))
+		}
+	}
+	return joinErrors(errs)
+}
+
+// CompileOnly compiles just the named functions (the "specify the
+// function name" mode). Unknown names are errors.
+func (m *Module) CompileOnly(ctx context.Context, names ...string) error {
+	var errs []error
+	for _, name := range names {
+		f, ok := m.Lookup(name)
+		if !ok {
+			errs = append(errs, fmt.Errorf("askit: module has no function %q", name))
+			continue
+		}
+		if err := f.Compile(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", name, err))
+		}
+	}
+	return joinErrors(errs)
+}
+
+func joinErrors(errs []error) error {
+	switch len(errs) {
+	case 0:
+		return nil
+	case 1:
+		return errs[0]
+	default:
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return errors.New(strings.Join(msgs, "; "))
+	}
+}

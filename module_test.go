@@ -1,0 +1,141 @@
+package askit
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestModuleCompileAll(t *testing.T) {
+	ai := newAI(t)
+	m := ai.Module()
+	rev, err := m.Define(Str, "Reverse the string {{s}}.",
+		WithParamTypes(Field{Name: "s", Type: Str}),
+		WithTests(Example{Input: Args{"s": "ab"}, Output: "ba"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact, err := m.Define(Float, "Calculate the factorial of {{n}}.",
+		WithParamTypes(Field{Name: "n", Type: Float}),
+		WithTests(Example{Input: Args{"n": 4.0}, Output: 24.0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CompileAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []*Func{rev, fact} {
+		if !f.IsCompiled() {
+			t.Errorf("%s not compiled by CompileAll", f.Name())
+		}
+	}
+	v, err := rev.Call(context.Background(), Args{"s": "module"})
+	if err != nil || v != "eludom" {
+		t.Errorf("rev = %v, %v", v, err)
+	}
+}
+
+func TestModuleCompileOnly(t *testing.T) {
+	ai := newAI(t)
+	m := ai.Module()
+	a, err := m.Define(Float, "Calculate the sum of all numbers in {{ns}}.",
+		WithParamTypes(Field{Name: "ns", Type: List(Float)}), WithName("sumAll"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Define(Float, "Find the largest number in {{ns}}.",
+		WithParamTypes(Field{Name: "ns", Type: List(Float)}), WithName("findMax"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CompileOnly(context.Background(), "sumAll"); err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsCompiled() {
+		t.Error("sumAll should be compiled")
+	}
+	if b.IsCompiled() {
+		t.Error("findMax should remain in direct mode")
+	}
+	err = m.CompileOnly(context.Background(), "noSuchFunc")
+	if err == nil || !strings.Contains(err.Error(), "noSuchFunc") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestModuleCollectsFailures(t *testing.T) {
+	sim := NewSimClient(42)
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	ai, err := New(Options{Client: sim, MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ai.Module()
+	good, err := m.Define(Str, "Reverse the string {{s}}.",
+		WithParamTypes(Field{Name: "s", Type: Str}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Define(Str, "Compose a haiku about {{topic}}."); err != nil {
+		t.Fatal(err)
+	}
+	err = m.CompileAll(context.Background())
+	if err == nil {
+		t.Fatal("expected a failure for the uncodable task")
+	}
+	if !good.IsCompiled() {
+		t.Error("the codable task should still compile")
+	}
+}
+
+func TestModuleDuplicateName(t *testing.T) {
+	ai := newAI(t)
+	m := ai.Module()
+	if _, err := m.Define(Str, "Reverse the string {{s}}.", WithName("f")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Define(Str, "Count the words in {{s}}.", WithName("f")); err == nil {
+		t.Error("expected duplicate-name error")
+	}
+}
+
+func TestFuncConcurrentCalls(t *testing.T) {
+	ai := newAI(t)
+	f, err := ai.Define(Float, "Calculate the factorial of {{n}}.",
+		WithParamTypes(Field{Name: "n", Type: Float}),
+		WithTests(Example{Input: Args{"n": 5.0}, Output: 120.0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Compile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			v, err := f.Call(context.Background(), Args{"n": 6})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if v != 720.0 {
+				errs <- errf("got %v", v)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
