@@ -111,8 +111,15 @@ type Options struct {
 	FS *core.VirtualFS
 	// MaxSteps bounds generated-code execution; 0 = default (10M steps).
 	MaxSteps int64
-	// Optimize applies the constant-folding pass to generated code.
+	// Optimize applies the constant-folding pass to generated code
+	// before it is stored (visible to Source() and the tree-walker).
+	// The default compiled engine always folds during lowering.
 	Optimize bool
+	// TreeWalker runs generated code on minilang's reference AST
+	// interpreter instead of the default compiled closure engine. The
+	// compiled engine is an order of magnitude faster; the tree-walker
+	// is kept for differential testing and debugging.
+	TreeWalker bool
 	// Logf receives diagnostic traces; nil disables.
 	Logf func(format string, args ...any)
 }
@@ -136,6 +143,7 @@ func New(opts Options) (*AskIt, error) {
 		FS:          opts.FS,
 		MaxSteps:    opts.MaxSteps,
 		Optimize:    opts.Optimize,
+		TreeWalker:  opts.TreeWalker,
 		Logf:        opts.Logf,
 	})
 	if err != nil {
@@ -202,6 +210,7 @@ type defineConfig struct {
 	examples []Example
 	tests    []Example
 	name     string
+	treeWalk bool
 }
 
 // WithParamTypes declares parameter types for the generated function
@@ -226,6 +235,12 @@ func WithName(name string) DefineOption {
 	return func(c *defineConfig) { c.name = name }
 }
 
+// WithTreeWalker makes this function execute generated code on the
+// reference AST interpreter instead of the compiled closure engine.
+func WithTreeWalker() DefineOption {
+	return func(c *defineConfig) { c.treeWalk = true }
+}
+
 // Define builds a reusable task function from a prompt template.
 func (a *AskIt) Define(ret Type, promptTemplate string, opts ...DefineOption) (*Func, error) {
 	var cfg defineConfig
@@ -244,6 +259,9 @@ func (a *AskIt) Define(ret Type, promptTemplate string, opts ...DefineOption) (*
 	}
 	if cfg.name != "" {
 		coreOpts = append(coreOpts, core.WithName(cfg.name))
+	}
+	if cfg.treeWalk {
+		coreOpts = append(coreOpts, core.WithTreeWalker())
 	}
 	inner, err := a.engine.Define(ret, promptTemplate, coreOpts...)
 	if err != nil {

@@ -142,6 +142,35 @@ func BenchmarkCompiledFuncCall(b *testing.B) {
 	}
 }
 
+// BenchmarkCompiledFuncCallTreeWalker is the same call on the reference
+// AST tree-walking engine — the seed implementation — kept as the
+// baseline the compiled closure engine is measured against.
+func BenchmarkCompiledFuncCallTreeWalker(b *testing.B) {
+	sim := NewSimClient(1)
+	sim.Noise.CodegenBlind = 0
+	ai, err := New(Options{Client: sim, TreeWalker: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := ai.Define(Float, "Calculate the factorial of {{n}}.",
+		WithParamTypes(Field{Name: "n", Type: Float}),
+		WithTests(Example{Input: Args{"n": 5.0}, Output: 120.0}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Compile(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	args := Args{"n": 12}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Call(context.Background(), args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDefineCompile measures the whole codegen loop (prompt,
 // synthesis, parse, check, example tests) without disk caching.
 func BenchmarkDefineCompile(b *testing.B) {

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	askit "repro"
+)
+
+// The micro-benchmark suite mirrors the root bench_test.go hot-path
+// benchmarks and serializes the results, so the execution-tier perf
+// trajectory (ns/op, allocs/op) is tracked in version control from PR 1
+// onward. Run with:
+//
+//	askit-bench -exp bench -benchout BENCH_1.json
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"iterations"`
+}
+
+// BenchReport is the BENCH_<n>.json schema.
+type BenchReport struct {
+	Note       string                 `json:"note"`
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+}
+
+func toResult(r testing.BenchmarkResult) BenchResult {
+	return BenchResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+	}
+}
+
+func compiledCallBench(treeWalker bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		sim := askit.NewSimClient(1)
+		sim.Noise.CodegenBlind = 0
+		ai, err := askit.New(askit.Options{Client: sim, TreeWalker: treeWalker})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := ai.Define(askit.Float, "Calculate the factorial of {{n}}.",
+			askit.WithParamTypes(askit.Field{Name: "n", Type: askit.Float}),
+			askit.WithTests(askit.Example{Input: askit.Args{"n": 5.0}, Output: 120.0}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Compile(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		args := askit.Args{"n": 12}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.Call(context.Background(), args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func askDirectBench(b *testing.B) {
+	sim := askit.NewSimClient(1)
+	sim.Noise.DirectBlind = 0
+	ai, err := askit.New(askit.Options{Client: sim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := askit.Args{"ns": []any{5.0, 3.0, 9.0, 1.0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ai.Ask(context.Background(), askit.Float,
+			"Find the largest number in {{ns}}.", args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func defineCompileBench(b *testing.B) {
+	sim := askit.NewSimClient(1)
+	sim.Noise.CodegenBlind = 0
+	ai, err := askit.New(askit.Options{Client: sim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := ai.Define(askit.Str, "Reverse the string {{s}}.",
+			askit.WithParamTypes(askit.Field{Name: "s", Type: askit.Str}),
+			askit.WithTests(askit.Example{Input: askit.Args{"s": "ab"}, Output: "ba"}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Compile(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runBenchJSON measures the hot-path micro benchmarks and writes the
+// report to path.
+func runBenchJSON(path string) error {
+	report := BenchReport{
+		Note: "hot-path micro benchmarks; CompiledFuncCall runs the slot-resolved closure engine, the TreeWalker variant is the reference AST interpreter baseline",
+		Benchmarks: map[string]BenchResult{
+			"BenchmarkCompiledFuncCall":           toResult(testing.Benchmark(compiledCallBench(false))),
+			"BenchmarkCompiledFuncCallTreeWalker": toResult(testing.Benchmark(compiledCallBench(true))),
+			"BenchmarkAskDirect":                  toResult(testing.Benchmark(askDirectBench)),
+			"BenchmarkDefineCompile":              toResult(testing.Benchmark(defineCompileBench)),
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	for name, r := range report.Benchmarks {
+		fmt.Printf("  %-40s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	return nil
+}

@@ -4,6 +4,7 @@
 //	askit-bench                       # run everything
 //	askit-bench -exp table3 -n 200    # one experiment, smaller workload
 //	askit-bench -csv out/             # also write CSV series for plotting
+//	askit-bench -exp bench            # hot-path micro benchmarks -> BENCH_1.json
 package main
 
 import (
@@ -18,13 +19,23 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|all")
+		which    = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|bench|all")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		problems = flag.Int("n", 0, "GSM8K problem count for table3 (0 = full 1319)")
 		workers  = flag.Int("workers", 8, "worker pool size for table3")
 		csvDir   = flag.String("csv", "", "directory to write CSV series into (optional)")
+		benchOut = flag.String("benchout", "BENCH_1.json", "output path for -exp bench")
 	)
 	flag.Parse()
+
+	// The micro-benchmark suite is opt-in: it is not part of "all"
+	// because it takes a while and writes a tracked file.
+	if *which == "bench" {
+		if err := runBenchJSON(*benchOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := exp.Config{Seed: *seed, Problems: *problems, Workers: *workers}
 	run := func(name string) bool { return *which == "all" || *which == name }

@@ -41,8 +41,15 @@ type Options struct {
 	// MaxSteps bounds generated-code execution (fuel); 0 = default.
 	MaxSteps int64
 	// Optimize applies minilang's constant-folding pass to accepted
-	// generated code (the paper's §VI efficiency direction).
+	// generated code (the paper's §VI efficiency direction) before it
+	// is stored, so the tree-walker also executes the folded AST. The
+	// default compiled closure engine always folds during lowering
+	// regardless of this flag; folding is semantics-preserving.
 	Optimize bool
+	// TreeWalker executes generated code with minilang's reference AST
+	// interpreter instead of the default slot-resolved closure engine.
+	// Useful for differential debugging; an order of magnitude slower.
+	TreeWalker bool
 	// CacheDir, when non-empty, persists generated functions to disk in
 	// the paper's askit/ directory convention.
 	CacheDir string

@@ -32,6 +32,7 @@ type Func struct {
 	examples []prompt.Example // few-shot examples for direct calls
 	tests    []prompt.Example // validation examples for codegen
 	name     string
+	treeWalk bool // force the reference engine for this Func
 
 	mu       sync.Mutex
 	compiled *minilang.CompiledFunc
@@ -65,6 +66,12 @@ func WithTests(tests []prompt.Example) DefineOption {
 // from the template.
 func WithName(name string) DefineOption {
 	return func(f *Func) { f.name = name }
+}
+
+// WithTreeWalker makes this Func execute generated code with minilang's
+// reference AST interpreter instead of the compiled closure engine.
+func WithTreeWalker() DefineOption {
+	return func(f *Func) { f.treeWalk = true }
 }
 
 // Define parses the template and returns a Func.
@@ -284,6 +291,14 @@ func (f *Func) compileSource(src string) (*minilang.CompiledFunc, error) {
 	}
 	if f.engine.opts.FS != nil {
 		cf.Hosts = f.engine.opts.FS.hostBindings()
+	}
+	if f.engine.opts.TreeWalker || f.treeWalk {
+		cf.TreeWalker = true
+	} else if err := cf.Prepare(); err != nil {
+		// Lowering happens now, after host bindings are set, so the
+		// first Call pays no compilation cost. On failure every Call
+		// silently uses the ~8x slower tree-walker — worth a trace.
+		f.engine.logf("core: %s: compiled engine unavailable, using tree-walker: %v", f.name, err)
 	}
 	return cf, nil
 }

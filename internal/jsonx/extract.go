@@ -71,6 +71,9 @@ func ExtractBlock(text, lang string, fallbackAny bool) (string, error) {
 // ExtractJSON locates and parses the JSON payload of an LLM response
 // (paper §III-E Step 3, criterion 1). The search order is:
 //
+//  0. the whole (trimmed) response, when it is already a bare JSON
+//     object or array with no code fences — a single-pass fast path
+//     that avoids the fence scan and the balanced-region rescan,
 //  1. the first ```json fenced block,
 //  2. any other fenced block that parses as JSON,
 //  3. the first balanced {...} or [...] region in the raw text.
@@ -78,6 +81,13 @@ func ExtractBlock(text, lang string, fallbackAny bool) (string, error) {
 // Parsing is lenient. The returned error describes what was wrong so the
 // feedback prompt can relay it to the model.
 func ExtractJSON(text string) (any, error) {
+	if trimmed := strings.TrimSpace(text); len(trimmed) > 0 &&
+		(trimmed[0] == '{' || trimmed[0] == '[') &&
+		!strings.Contains(trimmed, "```") {
+		if v, err := Parse(trimmed, Lenient); err == nil {
+			return v, nil
+		}
+	}
 	var firstErr error
 	blocks := Blocks(text)
 	for _, b := range blocks {

@@ -55,11 +55,8 @@ func (in *Interp) callMethod(recv any, name string, args []any, at Pos) (any, bo
 		return mapMethod(x, name, args)
 	case map[string]any:
 		if v, ok := x[name]; ok {
-			if _, isFn := v.(*Closure); isFn {
-				out, err := in.Call(v, args, at)
-				return out, true, err
-			}
-			if _, isFn := v.(*Builtin); isFn {
+			switch v.(type) {
+			case *Closure, *compiledClosure, *Builtin:
 				out, err := in.Call(v, args, at)
 				return out, true, err
 			}

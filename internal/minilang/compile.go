@@ -1,0 +1,1411 @@
+package minilang
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// The compiled engine. CompileProgram lowers a checked (and
+// constant-folded) AST into a tree of Go closures over slot-resolved
+// frames: each Expr becomes an exprFn, each Stmt a stmtFn, and each
+// function a funcProto whose activations are slice-backed frames instead
+// of map-based Envs. The lowering happens once per program; Call() then
+// executes pure closure dispatch with pooled frames — no AST walking, no
+// map lookups, no per-call global-environment construction.
+//
+// The tree-walker (eval.go / interp.go) is retained as the reference
+// implementation behind CompiledFunc.TreeWalker; engine_diff_test.go
+// asserts both engines agree on the full corpus.
+
+type exprFn func(fr *frame) (any, error)
+
+type stmtFn func(fr *frame) (any, ctrl, error)
+
+// funcProto is the compiled form of one function: its parameter scope,
+// calling convention and lowered body. Closure values pair a proto with
+// a defining frame.
+type funcProto struct {
+	name   string
+	params []Param
+	named  bool
+	scope  *scopeInfo
+	body   stmtFn // block body (nil for expression-bodied arrows)
+	expr   exprFn // arrow expression body
+}
+
+// compiledClosure is the compiled engine's function value, the
+// counterpart of the tree-walker's *Closure.
+type compiledClosure struct {
+	proto *funcProto
+	env   *frame
+}
+
+// invoke calls the closure with positional (or one named-object)
+// arguments, mirroring Interp.callClosure.
+func (c *compiledClosure) invoke(in *Interp, args []any, at Pos) (any, error) {
+	p := c.proto
+	fr := newFrame(p.scope, c.env, in)
+	if p.named {
+		var obj map[string]any
+		if len(args) == 1 {
+			obj, _ = args[0].(map[string]any)
+		}
+		if obj == nil {
+			releaseFrame(fr, p.scope)
+			return nil, &RuntimeError{Pos: at, Msg: fmt.Sprintf("function %s expects a named-argument object", p.name)}
+		}
+		for i, prm := range p.params {
+			v, ok := obj[prm.Name]
+			if !ok {
+				releaseFrame(fr, p.scope)
+				return nil, &RuntimeError{Pos: at, Msg: fmt.Sprintf("missing argument %q in call to %s", prm.Name, p.name)}
+			}
+			fr.slots[i] = v
+		}
+	} else {
+		for i := range p.params {
+			if i < len(args) {
+				fr.slots[i] = args[i]
+			} else {
+				fr.slots[i] = nil
+			}
+		}
+	}
+	return c.finish(fr)
+}
+
+// finish runs the body with the bound parameter frame and releases it.
+func (c *compiledClosure) finish(fr *frame) (any, error) {
+	p := c.proto
+	if p.expr != nil {
+		v, err := p.expr(fr)
+		releaseFrame(fr, p.scope)
+		return v, err
+	}
+	v, ctl, err := p.body(fr)
+	releaseFrame(fr, p.scope)
+	if err != nil {
+		return nil, err
+	}
+	if ctl == ctrlReturn {
+		return v, nil
+	}
+	return nil, nil
+}
+
+// compiledProgram is a fully lowered program ready for repeated calls.
+type compiledProgram struct {
+	globals     map[string]any
+	moduleInfo  *scopeInfo
+	moduleSlots map[string]int
+	topStmts    []stmtFn
+	topPos      []Pos
+
+	// static is true when the top level consists solely of function
+	// declarations and no code assigns to a module-level binding: the
+	// loaded module frame is then immutable and shared across calls.
+	static    bool
+	staticMod *frame
+}
+
+// callInterpPool recycles the per-call interpreter state (fuel counter,
+// stdout) of compiled calls.
+var callInterpPool = sync.Pool{New: func() any { return new(Interp) }}
+
+// mayMutateSharedGlobals conservatively reports whether the program
+// could write to (or alias) one of the shared global container objects
+// (Math, JSON, Object, Array, console, ...). The compiled engine
+// captures those objects once per program, while the tree-walker
+// rebuilds them per call; a program that mutates them would leak state
+// across calls and race under concurrency, so such programs are
+// declined and run on the reference engine instead.
+//
+// A global name is safe when it only appears as the base of a member
+// or index read (Math.floor, JSON["parse"]) or as a direct callee —
+// positions whose result is an immutable builtin or number, never the
+// container map itself. Any other occurrence (argument, initializer,
+// store-target root, operand, ...) may let the map escape and flags
+// the program. Shadowing is ignored: a local named Math also flags,
+// which only costs a false positive.
+func mayMutateSharedGlobals(prog *Program, globals map[string]bool) bool {
+	s := &globalScan{globals: globals}
+	for _, st := range prog.Stmts {
+		s.stmt(st)
+	}
+	return s.escapes
+}
+
+type globalScan struct {
+	globals map[string]bool
+	escapes bool
+}
+
+func (s *globalScan) stmt(st Stmt) {
+	if s.escapes || st == nil {
+		return
+	}
+	switch t := st.(type) {
+	case *BlockStmt:
+		for _, sub := range t.Stmts {
+			s.stmt(sub)
+		}
+	case *VarDecl:
+		s.expr(t.Init, false)
+	case *AssignStmt:
+		s.target(t.Target)
+		s.expr(t.Value, false)
+	case *IncDecStmt:
+		s.target(t.Target)
+	case *ExprStmt:
+		s.expr(t.X, false)
+	case *IfStmt:
+		s.expr(t.Cond, false)
+		s.stmt(t.Then)
+		s.stmt(t.Else)
+	case *WhileStmt:
+		s.expr(t.Cond, false)
+		s.stmt(t.Body)
+	case *ForStmt:
+		s.stmt(t.Init)
+		s.expr(t.Cond, false)
+		s.stmt(t.Post)
+		s.stmt(t.Body)
+	case *ForOfStmt:
+		s.expr(t.Seq, false)
+		s.stmt(t.Body)
+	case *ReturnStmt:
+		s.expr(t.Value, false)
+	case *ThrowStmt:
+		s.expr(t.Value, false)
+	case *FuncDecl:
+		s.stmt(t.Body)
+	}
+}
+
+// target scans an assignment target: a store whose base chain is rooted
+// at a global name writes into a shared object.
+func (s *globalScan) target(e Expr) {
+	switch t := e.(type) {
+	case *Ident:
+		// Plain variable stores cannot reach a global object (globals
+		// are const; the checker rejects assigning them).
+	case *MemberExpr:
+		s.storeBase(t.X)
+	case *IndexExpr:
+		s.storeBase(t.X)
+		s.expr(t.Index, false)
+	default:
+		s.expr(e, false)
+	}
+}
+
+func (s *globalScan) storeBase(e Expr) {
+	switch t := e.(type) {
+	case *Ident:
+		if s.globals[t.Name] {
+			s.escapes = true
+		}
+	case *MemberExpr:
+		s.storeBase(t.X)
+	case *IndexExpr:
+		s.storeBase(t.X)
+		s.expr(t.Index, false)
+	default:
+		s.expr(e, false)
+	}
+}
+
+func (s *globalScan) expr(e Expr, safe bool) {
+	if s.escapes || e == nil {
+		return
+	}
+	switch t := e.(type) {
+	case *Ident:
+		if !safe && s.globals[t.Name] {
+			s.escapes = true
+		}
+	case *ArrayLit:
+		for _, el := range t.Elems {
+			s.expr(el, false)
+		}
+	case *ObjectLit:
+		for _, f := range t.Fields {
+			s.expr(f.Value, false)
+		}
+	case *TemplateLit:
+		for _, sub := range t.Exprs {
+			s.expr(sub, false)
+		}
+	case *UnaryExpr:
+		s.expr(t.X, false)
+	case *BinaryExpr:
+		s.expr(t.L, false)
+		s.expr(t.R, false)
+	case *CondExpr:
+		s.expr(t.Cond, false)
+		s.expr(t.Then, false)
+		s.expr(t.Else, false)
+	case *MemberExpr:
+		s.expr(t.X, true)
+	case *IndexExpr:
+		s.expr(t.X, true)
+		s.expr(t.Index, false)
+	case *CallExpr:
+		s.expr(t.Fn, true)
+		for _, a := range t.Args {
+			s.expr(a, false)
+		}
+	case *NewExpr:
+		for _, a := range t.Args {
+			s.expr(a, false)
+		}
+	case *ArrowFunc:
+		s.expr(t.Expr, false)
+		if t.Body != nil {
+			s.stmt(t.Body)
+		}
+	case *FuncLit:
+		if t.Body != nil {
+			s.stmt(t.Body)
+		}
+	}
+}
+
+// compileProgram lowers prog. hosts are extra global bindings (the
+// file-access functions); their values are captured at compile time.
+func compileProgram(prog *Program, hosts map[string]any) *compiledProgram {
+	genv := NewEnv(nil)
+	installGlobals(genv)
+	globals := make(map[string]any, len(genv.vars)+len(hosts))
+	for k, b := range genv.vars {
+		globals[k] = b.value
+	}
+	for k, v := range hosts {
+		globals[k] = v
+	}
+
+	cp := &compiledProgram{globals: globals, moduleSlots: map[string]int{}}
+	c := &compiler{cp: cp}
+	mod := c.res.pushScope(true)
+	mod.info.escapes = true // module frames are captured by every closure
+	c.moduleScope = mod
+	c.res.hoistFuncDecls(prog.Stmts)
+	static := true
+	for _, s := range prog.Stmts {
+		if _, ok := s.(*FuncDecl); !ok {
+			static = false
+		}
+	}
+	cp.topStmts = make([]stmtFn, len(prog.Stmts))
+	cp.topPos = make([]Pos, len(prog.Stmts))
+	for i, s := range prog.Stmts {
+		cp.topStmts[i] = c.stmt(s)
+		cp.topPos[i] = s.NodePos()
+	}
+	cp.moduleInfo = mod.info
+	for name, b := range mod.names {
+		cp.moduleSlots[name] = b.slot
+	}
+	c.res.popScope()
+	cp.static = static && !c.moduleMutated
+	return cp
+}
+
+// load executes the top-level statements in a fresh module frame.
+func (cp *compiledProgram) load(in *Interp) (*frame, error) {
+	fr := newFrame(cp.moduleInfo, nil, in)
+	for i, fn := range cp.topStmts {
+		_, ctl, err := fn(fr)
+		if err != nil {
+			return nil, err
+		}
+		if ctl != ctrlNone {
+			return nil, &RuntimeError{Pos: cp.topPos[i], Msg: "break/continue/return at top level"}
+		}
+	}
+	return fr, nil
+}
+
+// callFunction implements the AskIt named-argument calling convention on
+// the compiled program, mirroring Interp.CallFunction.
+func (cp *compiledProgram) callFunction(in *Interp, fd *FuncDecl, args map[string]any) (any, error) {
+	mod := cp.staticMod
+	if mod == nil {
+		m, err := cp.load(in)
+		if err != nil {
+			return nil, err
+		}
+		mod = m
+	}
+	slot, ok := cp.moduleSlots[fd.Name]
+	if !ok {
+		return nil, &RuntimeError{Pos: fd.P, Msg: fmt.Sprintf("function %q not loaded", fd.Name)}
+	}
+	v := mod.slots[slot]
+	if v == unbound {
+		return nil, &RuntimeError{Pos: fd.P, Msg: fmt.Sprintf("function %q not loaded", fd.Name)}
+	}
+	cl, ok := v.(*compiledClosure)
+	if !ok {
+		return nil, &RuntimeError{Pos: fd.P, Msg: fmt.Sprintf("%q is not a function", fd.Name)}
+	}
+	p := cl.proto
+	fr := newFrame(p.scope, cl.env, in)
+	if p.named {
+		for i, prm := range p.params {
+			raw, present := args[prm.Name]
+			if !present {
+				releaseFrame(fr, p.scope)
+				return nil, &RuntimeError{Pos: fd.P, Msg: fmt.Sprintf("missing argument %q in call to %s", prm.Name, p.name)}
+			}
+			fr.slots[i] = FromJSON(raw)
+		}
+	} else {
+		for i, prm := range p.params {
+			if raw, present := args[prm.Name]; present {
+				fr.slots[i] = FromJSON(raw)
+			} else {
+				fr.slots[i] = nil
+			}
+		}
+	}
+	return cl.finish(fr)
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+
+type compiler struct {
+	res           resolver
+	cp            *compiledProgram
+	moduleScope   *rscope
+	moduleMutated bool
+}
+
+func (c *compiler) stmts(list []Stmt) []stmtFn {
+	out := make([]stmtFn, len(list))
+	for i, s := range list {
+		out[i] = c.stmt(s)
+	}
+	return out
+}
+
+func runSeq(fr *frame, fns []stmtFn) (any, ctrl, error) {
+	for _, fn := range fns {
+		v, ctl, err := fn(fr)
+		if err != nil || ctl != ctrlNone {
+			return v, ctl, err
+		}
+	}
+	return nil, ctrlNone, nil
+}
+
+func (c *compiler) stmt(s Stmt) stmtFn {
+	switch st := s.(type) {
+	case *BlockStmt:
+		pos := st.P
+		if countDecls(st.Stmts) == 0 {
+			fns := c.stmts(st.Stmts)
+			return func(fr *frame) (any, ctrl, error) {
+				if err := fr.in.tick(pos); err != nil {
+					return nil, ctrlNone, err
+				}
+				return runSeq(fr, fns)
+			}
+		}
+		sc := c.res.pushScope(true)
+		c.res.hoistFuncDecls(st.Stmts)
+		fns := c.stmts(st.Stmts)
+		info := sc.info
+		c.res.popScope()
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			inner := newFrame(info, fr, fr.in)
+			v, ctl, err := runSeq(inner, fns)
+			releaseFrame(inner, info)
+			return v, ctl, err
+		}
+
+	case *VarDecl:
+		pos, name := st.P, st.Name
+		var initFn exprFn
+		if st.Init != nil {
+			initFn = c.expr(st.Init)
+		}
+		slot := c.res.declare(name, st.Keyword == "const")
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			var v any
+			if initFn != nil {
+				var err error
+				if v, err = initFn(fr); err != nil {
+					return nil, ctrlNone, err
+				}
+			}
+			if fr.slots[slot] != unbound {
+				return nil, ctrlNone, &RuntimeError{Pos: pos, Msg: fmt.Sprintf("duplicate declaration of %q", name)}
+			}
+			fr.slots[slot] = v
+			return nil, ctrlNone, nil
+		}
+
+	case *AssignStmt:
+		pos := st.P
+		valFn := c.expr(st.Value)
+		store := c.storeTarget(st.Target)
+		if st.Op == "=" {
+			return func(fr *frame) (any, ctrl, error) {
+				if err := fr.in.tick(pos); err != nil {
+					return nil, ctrlNone, err
+				}
+				v, err := valFn(fr)
+				if err != nil {
+					return nil, ctrlNone, err
+				}
+				return nil, ctrlNone, store(fr, v)
+			}
+		}
+		readFn := c.expr(st.Target)
+		op := strings.TrimSuffix(st.Op, "=")
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			v, err := valFn(fr)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+			cur, err := readFn(fr)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+			v, err = binaryOp(op, cur, v, pos)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+			return nil, ctrlNone, store(fr, v)
+		}
+
+	case *IncDecStmt:
+		pos := st.P
+		readFn := c.expr(st.Target)
+		store := c.storeTarget(st.Target)
+		delta := 1.0
+		if st.Op == "--" {
+			delta = -1
+		}
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			cur, err := readFn(fr)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+			return nil, ctrlNone, store(fr, boxNumber(ToNumber(cur)+delta))
+		}
+
+	case *ExprStmt:
+		pos := st.P
+		xFn := c.expr(st.X)
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			_, err := xFn(fr)
+			return nil, ctrlNone, err
+		}
+
+	case *IfStmt:
+		pos := st.P
+		condFn := c.expr(st.Cond)
+		thenFn := c.stmt(st.Then)
+		var elseFn stmtFn
+		if st.Else != nil {
+			elseFn = c.stmt(st.Else)
+		}
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			cond, err := condFn(fr)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+			if Truthy(cond) {
+				return thenFn(fr)
+			}
+			if elseFn != nil {
+				return elseFn(fr)
+			}
+			return nil, ctrlNone, nil
+		}
+
+	case *WhileStmt:
+		pos := st.P
+		condFn := c.expr(st.Cond)
+		bodyFn := c.stmt(st.Body)
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			for {
+				cond, err := condFn(fr)
+				if err != nil {
+					return nil, ctrlNone, err
+				}
+				if !Truthy(cond) {
+					return nil, ctrlNone, nil
+				}
+				v, ctl, err := bodyFn(fr)
+				if err != nil {
+					return nil, ctrlNone, err
+				}
+				switch ctl {
+				case ctrlReturn:
+					return v, ctl, nil
+				case ctrlBreak:
+					return nil, ctrlNone, nil
+				}
+			}
+		}
+
+	case *ForStmt:
+		pos := st.P
+		// The loop scope materializes only when the init declares a
+		// variable; an empty loop scope is semantically transparent.
+		var sc *rscope
+		if _, declares := st.Init.(*VarDecl); declares {
+			sc = c.res.pushScope(true)
+		}
+		var initFn, postFn stmtFn
+		var condFn exprFn
+		if st.Init != nil {
+			initFn = c.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			condFn = c.expr(st.Cond)
+		}
+		if st.Post != nil {
+			postFn = c.stmt(st.Post)
+		}
+		bodyFn := c.stmt(st.Body)
+		var info *scopeInfo
+		if sc != nil {
+			info = sc.info
+			c.res.popScope()
+		}
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			loopFr := fr
+			if info != nil {
+				loopFr = newFrame(info, fr, fr.in)
+				defer releaseFrame(loopFr, info)
+			}
+			if initFn != nil {
+				if _, ctl, err := initFn(loopFr); err != nil || ctl != ctrlNone {
+					return nil, ctrlNone, err
+				}
+			}
+			for {
+				if condFn != nil {
+					cond, err := condFn(loopFr)
+					if err != nil {
+						return nil, ctrlNone, err
+					}
+					if !Truthy(cond) {
+						return nil, ctrlNone, nil
+					}
+				}
+				v, ctl, err := bodyFn(loopFr)
+				if err != nil {
+					return nil, ctrlNone, err
+				}
+				if ctl == ctrlReturn {
+					return v, ctl, nil
+				}
+				if ctl == ctrlBreak {
+					return nil, ctrlNone, nil
+				}
+				if postFn != nil {
+					if _, _, err := postFn(loopFr); err != nil {
+						return nil, ctrlNone, err
+					}
+				}
+			}
+		}
+
+	case *ForOfStmt:
+		pos := st.P
+		seqFn := c.expr(st.Seq)
+		sc := c.res.pushScope(true)
+		slot := c.res.declare(st.Name, st.Keyword == "const")
+		bodyFn := c.stmt(st.Body)
+		info := sc.info
+		c.res.popScope()
+		asIn := st.In
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			seq, err := seqFn(fr)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+			items, err := iterate(seq, asIn, pos)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+			for _, item := range items {
+				iterFr := newFrame(info, fr, fr.in)
+				iterFr.slots[slot] = item
+				v, ctl, err := bodyFn(iterFr)
+				releaseFrame(iterFr, info)
+				if err != nil {
+					return nil, ctrlNone, err
+				}
+				if ctl == ctrlReturn {
+					return v, ctl, nil
+				}
+				if ctl == ctrlBreak {
+					return nil, ctrlNone, nil
+				}
+			}
+			return nil, ctrlNone, nil
+		}
+
+	case *ReturnStmt:
+		pos := st.P
+		if st.Value == nil {
+			return func(fr *frame) (any, ctrl, error) {
+				if err := fr.in.tick(pos); err != nil {
+					return nil, ctrlNone, err
+				}
+				return nil, ctrlReturn, nil
+			}
+		}
+		valFn := c.expr(st.Value)
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			v, err := valFn(fr)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+			return v, ctrlReturn, nil
+		}
+
+	case *BreakStmt:
+		pos := st.P
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			return nil, ctrlBreak, nil
+		}
+
+	case *ContinueStmt:
+		pos := st.P
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			return nil, ctrlContinue, nil
+		}
+
+	case *ThrowStmt:
+		pos := st.P
+		valFn := c.expr(st.Value)
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			v, err := valFn(fr)
+			if err != nil {
+				return nil, ctrlNone, err
+			}
+			msg := ToString(v)
+			if m, ok := v.(map[string]any); ok {
+				if s, ok := m["message"].(string); ok {
+					msg = s
+				}
+			}
+			return nil, ctrlNone, &RuntimeError{Pos: pos, Msg: "thrown: " + msg}
+		}
+
+	case *FuncDecl:
+		pos, name := st.P, st.Name
+		var slot int
+		if b, ok := c.res.cur.names[name]; ok {
+			slot = b.slot // hoisted by the enclosing block
+		} else {
+			slot = c.res.declare(name, false)
+		}
+		proto := c.compileProto(name, st.Params, st.Named, st.Body, nil)
+		return func(fr *frame) (any, ctrl, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, ctrlNone, err
+			}
+			if fr.slots[slot] != unbound {
+				return nil, ctrlNone, &RuntimeError{Pos: pos, Msg: fmt.Sprintf("duplicate declaration of %q", name)}
+			}
+			fr.slots[slot] = &compiledClosure{proto: proto, env: fr}
+			return nil, ctrlNone, nil
+		}
+
+	default:
+		pos := s.NodePos()
+		msg := fmt.Sprintf("unhandled statement %T", s)
+		return func(fr *frame) (any, ctrl, error) {
+			return nil, ctrlNone, &RuntimeError{Pos: pos, Msg: msg}
+		}
+	}
+}
+
+// storeTarget compiles an assignment target into a store function,
+// mirroring Interp.storeTo.
+func (c *compiler) storeTarget(target Expr) func(fr *frame, val any) error {
+	switch t := target.(type) {
+	case *Ident:
+		pos, name := t.P, t.Name
+		cands := c.res.lookup(name)
+		for _, cd := range cands {
+			if cd.sc == c.moduleScope {
+				c.moduleMutated = true
+			}
+		}
+		_, hasGlobal := c.cp.globals[name]
+		if len(cands) == 1 && cands[0].depth == 0 && !cands[0].con && !hasGlobal {
+			slot := cands[0].slot
+			return func(fr *frame, val any) error {
+				if fr.slots[slot] == unbound {
+					return &RuntimeError{Pos: pos, Msg: fmt.Sprintf("assignment to undeclared variable %q", name)}
+				}
+				fr.slots[slot] = val
+				return nil
+			}
+		}
+		return func(fr *frame, val any) error {
+			for _, cd := range cands {
+				tf := fr.hop(cd.depth)
+				if tf.slots[cd.slot] == unbound {
+					continue
+				}
+				if cd.con {
+					return &RuntimeError{Pos: pos, Msg: fmt.Sprintf("assignment to constant %q", name)}
+				}
+				tf.slots[cd.slot] = val
+				return nil
+			}
+			if hasGlobal {
+				// All installed globals and host bindings are const.
+				return &RuntimeError{Pos: pos, Msg: fmt.Sprintf("assignment to constant %q", name)}
+			}
+			return &RuntimeError{Pos: pos, Msg: fmt.Sprintf("assignment to undeclared variable %q", name)}
+		}
+
+	case *MemberExpr:
+		pos, name := t.P, t.Name
+		objFn := c.expr(t.X)
+		return func(fr *frame, val any) error {
+			obj, err := objFn(fr)
+			if err != nil {
+				return err
+			}
+			m, ok := obj.(map[string]any)
+			if !ok {
+				return &RuntimeError{Pos: pos, Msg: fmt.Sprintf("cannot set property %q on %s", name, TypeOf(obj))}
+			}
+			m[name] = val
+			return nil
+		}
+
+	case *IndexExpr:
+		pos := t.P
+		objFn := c.expr(t.X)
+		idxFn := c.expr(t.Index)
+		return func(fr *frame, val any) error {
+			obj, err := objFn(fr)
+			if err != nil {
+				return err
+			}
+			idx, err := idxFn(fr)
+			if err != nil {
+				return err
+			}
+			switch cv := obj.(type) {
+			case *Array:
+				i := int(ToNumber(idx))
+				if i < 0 {
+					return &RuntimeError{Pos: pos, Msg: fmt.Sprintf("negative array index %d", i)}
+				}
+				for len(cv.Elems) <= i {
+					cv.Elems = append(cv.Elems, nil)
+				}
+				cv.Elems[i] = val
+				return nil
+			case map[string]any:
+				cv[ToString(idx)] = val
+				return nil
+			default:
+				return &RuntimeError{Pos: pos, Msg: fmt.Sprintf("cannot index-assign on %s", TypeOf(obj))}
+			}
+		}
+
+	default:
+		pos := target.NodePos()
+		return func(fr *frame, val any) error {
+			return &RuntimeError{Pos: pos, Msg: "invalid assignment target"}
+		}
+	}
+}
+
+// compileProto lowers a function body in a fresh parameter scope. Every
+// open frame is marked escaping: the closure value may outlive them.
+func (c *compiler) compileProto(name string, params []Param, named bool, body *BlockStmt, expr Expr) *funcProto {
+	c.res.markEscapes()
+	sc := c.res.pushScope(true)
+	for _, prm := range params {
+		c.res.declare(prm.Name, false)
+	}
+	p := &funcProto{name: name, params: params, named: named, scope: sc.info}
+	if expr != nil {
+		p.expr = c.expr(expr)
+	} else {
+		p.body = c.stmt(body)
+	}
+	c.res.popScope()
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (c *compiler) expr(e Expr) exprFn {
+	switch x := e.(type) {
+	case *NumberLit:
+		pos := x.P
+		v := boxNumber(x.Value)
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			return v, nil
+		}
+	case *StringLit:
+		pos := x.P
+		v := x.Value
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			return v, nil
+		}
+	case *BoolLit:
+		pos := x.P
+		v := x.Value
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			return v, nil
+		}
+	case *NullLit:
+		pos := x.P
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+
+	case *Ident:
+		return c.identRead(x.Name, x.P)
+
+	case *ArrayLit:
+		pos := x.P
+		elems := make([]exprFn, len(x.Elems))
+		positions := make([]Pos, len(x.Elems))
+		for i, el := range x.Elems {
+			elems[i] = c.expr(el)
+			positions[i] = el.NodePos()
+		}
+		spreads := append([]bool(nil), x.Spreads...)
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			arr := &Array{}
+			for i, el := range elems {
+				v, err := el(fr)
+				if err != nil {
+					return nil, err
+				}
+				if spreads[i] {
+					items, err := iterate(v, false, positions[i])
+					if err != nil {
+						return nil, err
+					}
+					arr.Elems = append(arr.Elems, items...)
+				} else {
+					arr.Elems = append(arr.Elems, v)
+				}
+			}
+			return arr, nil
+		}
+
+	case *ObjectLit:
+		pos := x.P
+		keys := make([]string, len(x.Fields))
+		vals := make([]exprFn, len(x.Fields))
+		for i, f := range x.Fields {
+			keys[i] = f.Key
+			if f.Value == nil {
+				// Shorthand {x}: read the identifier from scope.
+				vals[i] = c.shorthandRead(f.Key, x.P)
+			} else {
+				vals[i] = c.expr(f.Value)
+			}
+		}
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			obj := make(map[string]any, len(keys))
+			for i, k := range keys {
+				v, err := vals[i](fr)
+				if err != nil {
+					return nil, err
+				}
+				obj[k] = v
+			}
+			return obj, nil
+		}
+
+	case *TemplateLit:
+		pos := x.P
+		chunks := append([]string(nil), x.Chunks...)
+		exprs := make([]exprFn, len(x.Exprs))
+		for i, sub := range x.Exprs {
+			exprs[i] = c.expr(sub)
+		}
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			var b strings.Builder
+			for i, chunk := range chunks {
+				b.WriteString(chunk)
+				if i < len(exprs) {
+					v, err := exprs[i](fr)
+					if err != nil {
+						return nil, err
+					}
+					b.WriteString(ToString(v))
+				}
+			}
+			return b.String(), nil
+		}
+
+	case *UnaryExpr:
+		pos, op := x.P, x.Op
+		xFn := c.expr(x.X)
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			v, err := xFn(fr)
+			if err != nil {
+				return nil, err
+			}
+			switch op {
+			case "-":
+				return boxNumber(-ToNumber(v)), nil
+			case "+":
+				return boxNumber(ToNumber(v)), nil
+			case "!":
+				return !Truthy(v), nil
+			case "~":
+				return boxNumber(float64(^int64(ToNumber(v)))), nil
+			case "typeof":
+				return TypeOf(v), nil
+			}
+			return nil, &RuntimeError{Pos: pos, Msg: fmt.Sprintf("unknown unary operator %q", op)}
+		}
+
+	case *BinaryExpr:
+		pos, op := x.P, x.Op
+		lFn := c.expr(x.L)
+		rFn := c.expr(x.R)
+		switch op {
+		case "&&":
+			return func(fr *frame) (any, error) {
+				if err := fr.in.tick(pos); err != nil {
+					return nil, err
+				}
+				l, err := lFn(fr)
+				if err != nil || !Truthy(l) {
+					return l, err
+				}
+				return rFn(fr)
+			}
+		case "||":
+			return func(fr *frame) (any, error) {
+				if err := fr.in.tick(pos); err != nil {
+					return nil, err
+				}
+				l, err := lFn(fr)
+				if err != nil || Truthy(l) {
+					return l, err
+				}
+				return rFn(fr)
+			}
+		case "??":
+			return func(fr *frame) (any, error) {
+				if err := fr.in.tick(pos); err != nil {
+					return nil, err
+				}
+				l, err := lFn(fr)
+				if err != nil || l != nil {
+					return l, err
+				}
+				return rFn(fr)
+			}
+		}
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			l, err := lFn(fr)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rFn(fr)
+			if err != nil {
+				return nil, err
+			}
+			return binaryOp(op, l, r, pos)
+		}
+
+	case *CondExpr:
+		pos := x.P
+		condFn := c.expr(x.Cond)
+		thenFn := c.expr(x.Then)
+		elseFn := c.expr(x.Else)
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			cond, err := condFn(fr)
+			if err != nil {
+				return nil, err
+			}
+			if Truthy(cond) {
+				return thenFn(fr)
+			}
+			return elseFn(fr)
+		}
+
+	case *MemberExpr:
+		pos, name, opt := x.P, x.Name, x.Opt
+		objFn := c.expr(x.X)
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			obj, err := objFn(fr)
+			if err != nil {
+				return nil, err
+			}
+			if obj == nil && opt {
+				return nil, nil
+			}
+			return fr.in.member(obj, name, pos)
+		}
+
+	case *IndexExpr:
+		pos := x.P
+		objFn := c.expr(x.X)
+		idxFn := c.expr(x.Index)
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			obj, err := objFn(fr)
+			if err != nil {
+				return nil, err
+			}
+			idx, err := idxFn(fr)
+			if err != nil {
+				return nil, err
+			}
+			return indexValue(obj, idx, pos)
+		}
+
+	case *CallExpr:
+		return c.call(x)
+
+	case *NewExpr:
+		return c.newExpr(x)
+
+	case *ArrowFunc:
+		pos := x.P
+		proto := c.compileProto("<arrow>", x.Params, false, x.Body, x.Expr)
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			return &compiledClosure{proto: proto, env: fr}, nil
+		}
+
+	case *FuncLit:
+		pos := x.P
+		proto := c.compileProto("<function>", x.Params, x.Named, x.Body, nil)
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			return &compiledClosure{proto: proto, env: fr}, nil
+		}
+
+	default:
+		pos := e.NodePos()
+		msg := fmt.Sprintf("unhandled expression %T", e)
+		return func(fr *frame) (any, error) {
+			return nil, &RuntimeError{Pos: pos, Msg: msg}
+		}
+	}
+}
+
+// identRead compiles a variable reference. The common case — a single
+// candidate in the current frame and no global of the same name — is a
+// direct indexed load.
+func (c *compiler) identRead(name string, pos Pos) exprFn {
+	cands := c.res.lookup(name)
+	gval, hasGlobal := c.cp.globals[name]
+	if len(cands) == 0 {
+		if hasGlobal {
+			return func(fr *frame) (any, error) {
+				if err := fr.in.tick(pos); err != nil {
+					return nil, err
+				}
+				return gval, nil
+			}
+		}
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			return nil, &RuntimeError{Pos: pos, Msg: fmt.Sprintf("undefined variable %q", name)}
+		}
+	}
+	if len(cands) == 1 && cands[0].depth == 0 && !hasGlobal {
+		slot := cands[0].slot
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			if v := fr.slots[slot]; v != unbound {
+				return v, nil
+			}
+			return nil, &RuntimeError{Pos: pos, Msg: fmt.Sprintf("undefined variable %q", name)}
+		}
+	}
+	return func(fr *frame) (any, error) {
+		if err := fr.in.tick(pos); err != nil {
+			return nil, err
+		}
+		for _, cd := range cands {
+			if v := fr.hop(cd.depth).slots[cd.slot]; v != unbound {
+				return v, nil
+			}
+		}
+		if hasGlobal {
+			return gval, nil
+		}
+		return nil, &RuntimeError{Pos: pos, Msg: fmt.Sprintf("undefined variable %q", name)}
+	}
+}
+
+// shorthandRead is identRead with the shorthand-property error message.
+func (c *compiler) shorthandRead(name string, pos Pos) exprFn {
+	inner := c.identRead(name, pos)
+	return func(fr *frame) (any, error) {
+		v, err := inner(fr)
+		if err != nil {
+			if re, ok := err.(*RuntimeError); ok && strings.HasPrefix(re.Msg, "undefined variable") {
+				return nil, &RuntimeError{Pos: pos, Msg: fmt.Sprintf("undefined variable %q in shorthand property", name)}
+			}
+			return nil, err
+		}
+		return v, nil
+	}
+}
+
+type argSpec struct {
+	fn     exprFn
+	spread bool
+	pos    Pos
+}
+
+func (c *compiler) argSpecs(args []Expr, spreads []bool) []argSpec {
+	out := make([]argSpec, len(args))
+	for i, a := range args {
+		out[i] = argSpec{fn: c.expr(a), pos: a.NodePos()}
+		if i < len(spreads) && spreads[i] {
+			out[i].spread = true
+		}
+	}
+	return out
+}
+
+func evalCompiledArgs(fr *frame, specs []argSpec) ([]any, error) {
+	args := make([]any, 0, len(specs))
+	for _, a := range specs {
+		v, err := a.fn(fr)
+		if err != nil {
+			return nil, err
+		}
+		if a.spread {
+			items, err := iterate(v, false, a.pos)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, items...)
+			continue
+		}
+		args = append(args, v)
+	}
+	return args, nil
+}
+
+// call lowers a call expression, with the same method fast path as
+// Interp.evalCall: `xs.push(v)` dispatches on the receiver without
+// materializing a bound-method value.
+func (c *compiler) call(x *CallExpr) exprFn {
+	pos := x.P
+	specs := c.argSpecs(x.Args, x.Spreads)
+	if m, ok := x.Fn.(*MemberExpr); ok {
+		mpos, name, opt := m.P, m.Name, m.Opt
+		recvFn := c.expr(m.X)
+		return func(fr *frame) (any, error) {
+			if err := fr.in.tick(pos); err != nil {
+				return nil, err
+			}
+			recv, err := recvFn(fr)
+			if err != nil {
+				return nil, err
+			}
+			if recv == nil && opt {
+				return nil, nil
+			}
+			args, err := evalCompiledArgs(fr, specs)
+			if err != nil {
+				return nil, err
+			}
+			in := fr.in
+			if v, handled, err := in.callMethod(recv, name, args, mpos); handled {
+				return v, err
+			}
+			fn, err := in.member(recv, name, mpos)
+			if err != nil {
+				return nil, err
+			}
+			return in.Call(fn, args, pos)
+		}
+	}
+	fnFn := c.expr(x.Fn)
+	return func(fr *frame) (any, error) {
+		if err := fr.in.tick(pos); err != nil {
+			return nil, err
+		}
+		fn, err := fnFn(fr)
+		if err != nil {
+			return nil, err
+		}
+		args, err := evalCompiledArgs(fr, specs)
+		if err != nil {
+			return nil, err
+		}
+		return fr.in.Call(fn, args, pos)
+	}
+}
+
+func (c *compiler) newExpr(x *NewExpr) exprFn {
+	pos, ctor := x.P, x.Ctor
+	argFns := make([]exprFn, len(x.Args))
+	for i, a := range x.Args {
+		argFns[i] = c.expr(a)
+	}
+	return func(fr *frame) (any, error) {
+		if err := fr.in.tick(pos); err != nil {
+			return nil, err
+		}
+		args := make([]any, len(argFns))
+		for i, fn := range argFns {
+			v, err := fn(fr)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return constructValue(ctor, args, pos)
+	}
+}
+
+// constructValue implements `new Ctor(args...)`; shared by both engines.
+func constructValue(ctor string, args []any, at Pos) (any, error) {
+	switch ctor {
+	case "Set":
+		s := NewSet()
+		if len(args) == 1 {
+			items, err := iterate(args[0], false, at)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range items {
+				s.Add(it)
+			}
+		}
+		return s, nil
+	case "Map":
+		m := NewMap()
+		if len(args) == 1 {
+			items, err := iterate(args[0], false, at)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range items {
+				pair, ok := it.(*Array)
+				if !ok || len(pair.Elems) != 2 {
+					return nil, &RuntimeError{Pos: at, Msg: "new Map expects [key, value] pairs"}
+				}
+				m.Set(pair.Elems[0], pair.Elems[1])
+			}
+		}
+		return m, nil
+	case "Array":
+		if len(args) == 1 {
+			if n, ok := args[0].(float64); ok {
+				return &Array{Elems: make([]any, int(n))}, nil
+			}
+		}
+		return &Array{Elems: args}, nil
+	case "Error", "TypeError", "RangeError":
+		msg := ""
+		if len(args) > 0 {
+			msg = ToString(args[0])
+		}
+		return map[string]any{"name": ctor, "message": msg}, nil
+	default:
+		return nil, &RuntimeError{Pos: at, Msg: fmt.Sprintf("unsupported constructor %q", ctor)}
+	}
+}

@@ -1,0 +1,433 @@
+package minilang
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The differential corpus: every program is executed by both engines —
+// the compiled closure IR and the reference tree-walker — and must
+// produce identical JSON results (or both fail). This is the acceptance
+// gate for the compiled engine.
+
+type diffCase struct {
+	name string
+	src  string // full program; entry function is always "f"
+	args map[string]any
+}
+
+var diffCorpus = []diffCase{
+	{"arith", `export function f({a, b}: {a: number, b: number}): number {
+  return (a + b) * (a - b) / 2 + a % b + a ** 2;
+}`, map[string]any{"a": 9.0, "b": 4.0}},
+
+	{"string-ops", `export function f({s}: {s: string}): string {
+  return s.toUpperCase() + "|" + s.split("").reverse().join("") + "|" + s.slice(1, 3) + s.padStart(8, "*");
+}`, map[string]any{"s": "hello"}},
+
+	{"factorial-loop", `export function f({n}: {n: number}): number {
+  if (n <= 1) { return 1; }
+  let result = 1;
+  for (let i = 2; i <= n; i++) { result *= i; }
+  return result;
+}`, map[string]any{"n": 10}},
+
+	{"factorial-recursive", `export function f({n}: {n: number}): number {
+  return n <= 1 ? 1 : n * f({n: n - 1});
+}`, map[string]any{"n": 8}},
+
+	{"mutual-recursion", `function isEven(n) { return n === 0 ? true : isOdd(n - 1); }
+function isOdd(n) { return n === 0 ? false : isEven(n - 1); }
+export function f({n}: {n: number}): boolean { return isEven(n); }`,
+		map[string]any{"n": 17}},
+
+	{"shadowing", `export function f({x}: {x: number}): number {
+  let y = x;
+  {
+    let y = x * 10;
+    {
+      let y = x * 100;
+      x = y + 1;
+    }
+    y = y + 2;
+    x = x + y;
+  }
+  return x + y;
+}`, map[string]any{"x": 3}},
+
+	{"closure-counter", `export function f({n}: {n: number}): number {
+  let count = 0;
+  const bump = () => { count = count + 1; return count; };
+  for (let i = 0; i < n; i++) { bump(); }
+  return count;
+}`, map[string]any{"n": 7}},
+
+	{"closure-capture-forof", `export function f({xs}: {xs: number[]}): number[] {
+  const fns = [];
+  for (const x of xs) {
+    fns.push(() => x * 2);
+  }
+  return fns.map((g) => g());
+}`, map[string]any{"xs": []any{1.0, 2.0, 3.0}}},
+
+	{"closure-capture-for-let", `export function f({n}: {n: number}): number[] {
+  const fns = [];
+  for (let i = 0; i < n; i++) {
+    fns.push(() => i);
+  }
+  return fns.map((g) => g());
+}`, map[string]any{"n": 3}},
+
+	{"spread-array", `export function f({xs, ys}: {xs: number[], ys: number[]}): number[] {
+  const all = [...xs, 99, ...ys];
+  return [...all];
+}`, map[string]any{"xs": []any{1.0, 2.0}, "ys": []any{3.0, 4.0}}},
+
+	{"spread-call", `function sum3(a, b, c) { return a + b + c; }
+export function f({xs}: {xs: number[]}): number { return sum3(...xs); }`,
+		map[string]any{"xs": []any{1.0, 2.0, 3.0}}},
+
+	{"object-shorthand", `export function f({a}: {a: number}): any {
+  const b = a * 2;
+  return {a, b, c: a + b};
+}`, map[string]any{"a": 5}},
+
+	{"template-literal", `export function f({name, n}: {name: string, n: number}): string {
+  return ` + "`hello ${name}, you have ${n * 2} points`" + `;
+}`, map[string]any{"name": "ada", "n": 21}},
+
+	{"array-methods", `export function f({xs}: {xs: number[]}): any {
+  const evens = xs.filter((x) => x % 2 === 0);
+  const doubled = xs.map((x) => x * 2);
+  const total = xs.reduce((a, x) => a + x, 0);
+  const sorted = [...xs].sort((a, b) => b - a);
+  return {evens, doubled, total, sorted, has: xs.includes(3), idx: xs.indexOf(4)};
+}`, map[string]any{"xs": []any{5.0, 3.0, 8.0, 1.0, 4.0}}},
+
+	{"object-iteration", `export function f({o}: {o: any}): any {
+  const keys = [];
+  for (const k in o) { keys.push(k); }
+  const vals = Object.values(o);
+  const entries = Object.entries(o).map((e) => e[0] + "=" + e[1]);
+  return {keys, vals, entries};
+}`, map[string]any{"o": map[string]any{"b": 2.0, "a": 1.0, "c": 3.0}}},
+
+	{"set-map", `export function f({xs}: {xs: number[]}): any {
+  const s = new Set(xs);
+  s.add(100);
+  const m = new Map();
+  for (const x of xs) { m.set(x, x * x); }
+  m.delete(xs[0]);
+  return {size: s.size, has: s.has(100), squares: m.values(), keys: m.keys()};
+}`, map[string]any{"xs": []any{1.0, 2.0, 2.0, 3.0}}},
+
+	{"while-break-continue", `export function f({n}: {n: number}): number {
+  let i = 0;
+  let sum = 0;
+  while (true) {
+    i++;
+    if (i > n) { break; }
+    if (i % 2 === 0) { continue; }
+    sum += i;
+  }
+  return sum;
+}`, map[string]any{"n": 10}},
+
+	{"nested-loops-labelless", `export function f({n}: {n: number}): number {
+  let hits = 0;
+  for (let i = 0; i < n; i++) {
+    for (let j = 0; j < n; j++) {
+      if (j > i) { break; }
+      hits++;
+    }
+  }
+  return hits;
+}`, map[string]any{"n": 5}},
+
+	{"throw", `export function f({x}: {x: number}): number {
+  if (x < 0) { throw new Error("negative input"); }
+  return Math.sqrt(x);
+}`, map[string]any{"x": -4}},
+
+	{"throw-string", `export function f({x}: {x: number}): number {
+  if (x < 0) { throw "bad"; }
+  return x;
+}`, map[string]any{"x": -1}},
+
+	{"optional-chaining", `export function f({o}: {o: any}): any {
+  return [o?.a, o?.missing, o.a?.b];
+}`, map[string]any{"o": map[string]any{"a": map[string]any{"b": 7.0}}}},
+
+	{"typeof-coercion", `export function f({}: {}): any {
+  return [typeof 1, typeof "s", typeof true, typeof null, typeof [], typeof {},
+          "5" * 2, "3" + 4, +"7", -"2", !0, !!"x", 1 < "2", "10" > 9];
+}`, map[string]any{}},
+
+	{"math-json", `export function f({x}: {x: number}): any {
+  const o = {a: Math.floor(x), b: Math.max(1, x, 3), c: Math.abs(-x)};
+  return JSON.parse(JSON.stringify(o));
+}`, map[string]any{"x": 6.7}},
+
+	{"string-number-callables", `export function f({x}: {x: number}): any {
+  return [String(x), Number("42"), Boolean(x), String.fromCharCode(72, 105),
+          parseInt("3fx", 16), parseFloat("2.5e1z"), isNaN("abc"), isFinite("12")];
+}`, map[string]any{"x": 9}},
+
+	{"index-assign-grow", `export function f({n}: {n: number}): any {
+  const a = [];
+  a[n] = "end";
+  a[0] = "start";
+  const o = {};
+  o["k" + n] = n;
+  o.direct = true;
+  return {a, o, len: a.length};
+}`, map[string]any{"n": 4}},
+
+	{"compound-assign", `export function f({x}: {x: number}): any {
+  let a = x;
+  a += 3; a -= 1; a *= 4; a /= 2; a %= 7;
+  const arr = [1, 2, 3];
+  arr[1] += 10;
+  const o = {v: 5};
+  o.v *= 3;
+  return [a, arr, o.v];
+}`, map[string]any{"x": 5}},
+
+	{"incdec-targets", `export function f({}: {}): any {
+  let i = 0;
+  i++; i++; i--;
+  const a = [5];
+  a[0]++;
+  const o = {n: 1};
+  o.n--;
+  return [i, a[0], o.n];
+}`, map[string]any{}},
+
+	{"func-expr-named-params", `export function f({x}: {x: number}): number {
+  const g = function(a, b) { return a * b; };
+  return g(x, x + 1);
+}`, map[string]any{"x": 6}},
+
+	{"arrow-block-body", `export function f({xs}: {xs: number[]}): number {
+  const pick = (arr) => {
+    let best = arr[0];
+    for (const v of arr) { if (v > best) { best = v; } }
+    return best;
+  };
+  return pick(xs);
+}`, map[string]any{"xs": []any{3.0, 9.0, 4.0}}},
+
+	{"higher-order-return", `export function f({n}: {n: number}): number {
+  const adder = (k) => (x) => x + k;
+  const add5 = adder(5);
+  return add5(n) + adder(1)(n);
+}`, map[string]any{"n": 10}},
+
+	{"toplevel-const", `const BASE = 10;
+let calls = 0;
+function helper(x) { calls = calls + 1; return x * BASE; }
+export function f({n}: {n: number}): number {
+  return helper(n) + calls;
+}`, map[string]any{"n": 3}},
+
+	{"helper-funcs", `function square(x) { return x * x; }
+function cube(x) { return x * square(x); }
+export function f({n}: {n: number}): number { return square(n) + cube(n); }`,
+		map[string]any{"n": 4}},
+
+	{"forin-array", `export function f({xs}: {xs: string[]}): any {
+  const out = [];
+  for (const i in xs) { out.push(i + ":" + xs[i]); }
+  return out;
+}`, map[string]any{"xs": []any{"a", "b"}}},
+
+	{"string-iterate", `export function f({s}: {s: string}): any {
+  const out = [];
+  for (const ch of s) { out.push(ch.toUpperCase()); }
+  return out.join("-");
+}`, map[string]any{"s": "abc"}},
+
+	{"deep-equal-structures", `export function f({}: {}): any {
+  return {list: [[1, [2, 3]], {k: [true, null, "s"]}], nested: {a: {b: {c: 1}}}};
+}`, map[string]any{}},
+
+	{"flat-flatmap", `export function f({}: {}): any {
+  const nested = [[1, 2], [3, [4, 5]]];
+  return [nested.flat(), nested.flat(2), [1, 2, 3].flatMap((x) => [x, x * 10])];
+}`, map[string]any{}},
+
+	{"slice-splice", `export function f({}: {}): any {
+  const a = [1, 2, 3, 4, 5];
+  const removed = a.splice(1, 2, 9, 9, 9);
+  return {a, removed, tail: a.slice(-2), mid: a.slice(1, 3)};
+}`, map[string]any{}},
+
+	{"undefined-variable-error", `function late() { return ghost(); }
+export function f({}: {}): any { return late(); }
+function ghost() { return 1; }`, map[string]any{}},
+
+	{"array-from", `export function f({n}: {n: number}): any {
+  return [Array.from({length: n}, (_, i) => i * i), Array.from("ab"), Array.from(new Set([1, 1, 2]))];
+}`, map[string]any{"n": 4}},
+
+	{"number-methods", `export function f({x}: {x: number}): any {
+  return [x.toFixed(2), (x * 100).toString(), Number.isInteger(x), Number.isNaN(x / 0 * 0)];
+}`, map[string]any{"x": 3.14159}},
+
+	{"fuel-exhaustion", `export function f({}: {}): number {
+  let i = 0;
+  while (true) { i++; }
+  return i;
+}`, map[string]any{}},
+
+	{"global-object-mutation", `export function f({}: {}): number {
+  if (Math.counter == null) { Math.counter = 0; }
+  Math.counter = Math.counter + 1;
+  return Math.counter;
+}`, map[string]any{}},
+}
+
+// TestEngineGlobalMutationIsolation verifies per-call isolation of
+// writes to builtin global objects across repeated calls: the compiled
+// engine must decline such programs (shared globals) and match the
+// tree-walker's fresh-environment-per-call behaviour.
+func TestEngineGlobalMutationIsolation(t *testing.T) {
+	src := diffCorpus[len(diffCorpus)-1].src
+	cf, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cf.Engine(); got != "tree-walker" {
+		t.Fatalf("Engine() = %q, want tree-walker (global-mutating program must be declined)", got)
+	}
+	for i := 0; i < 3; i++ {
+		v, err := cf.Call(map[string]any{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 1.0 {
+			t.Fatalf("call %d: Math.counter = %v, want 1 (no state leak across calls)", i, v)
+		}
+	}
+}
+
+// runBoth executes one case under both engines, with stdout captured.
+func runBoth(t *testing.T, src string, args map[string]any, maxSteps int64) (anyC, anyT any, errC, errT error, outC, outT string) {
+	t.Helper()
+	cfC, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfT, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfT.TreeWalker = true
+	var bufC, bufT bytes.Buffer
+	cfC.Stdout, cfT.Stdout = &bufC, &bufT
+	cfC.MaxSteps, cfT.MaxSteps = maxSteps, maxSteps
+	anyC, errC = cfC.Call(args)
+	anyT, errT = cfT.Call(args)
+	return anyC, anyT, errC, errT, bufC.String(), bufT.String()
+}
+
+func TestEngineDifferentialCorpus(t *testing.T) {
+	for _, tc := range diffCorpus {
+		t.Run(tc.name, func(t *testing.T) {
+			vC, vT, errC, errT, outC, outT := runBoth(t, tc.src, tc.args, 200_000)
+			if (errC == nil) != (errT == nil) {
+				t.Fatalf("engine disagreement: compiled err=%v, tree-walker err=%v", errC, errT)
+			}
+			if errC != nil {
+				// Fuel exhaustion reports the node being evaluated when
+				// the budget ran out; the two engines spend a constant
+				// few steps differently (static module load), so only
+				// the error kind is compared for fuel errors.
+				if strings.Contains(errC.Error(), ErrFuel) && strings.Contains(errT.Error(), ErrFuel) {
+					return
+				}
+				if errC.Error() != errT.Error() {
+					t.Errorf("error text diverges:\n  compiled:    %v\n  tree-walker: %v", errC, errT)
+				}
+				return
+			}
+			if !reflect.DeepEqual(vC, vT) {
+				t.Errorf("result diverges:\n  compiled:    %#v\n  tree-walker: %#v", vC, vT)
+			}
+			if outC != outT {
+				t.Errorf("stdout diverges:\n  compiled:    %q\n  tree-walker: %q", outC, outT)
+			}
+		})
+	}
+}
+
+// TestEngineDifferentialConsole checks console.log parity including
+// per-call isolation of top-level side effects.
+func TestEngineDifferentialConsole(t *testing.T) {
+	src := `console.log("load");
+export function f({x}: {x: number}): number {
+  console.log("call", x, [1, 2], {a: x});
+  return x;
+}`
+	cfC, _ := CompileFunction(src, "f")
+	cfT, _ := CompileFunction(src, "f")
+	cfT.TreeWalker = true
+	var bufC, bufT bytes.Buffer
+	cfC.Stdout, cfT.Stdout = &bufC, &bufT
+	for i := 0; i < 3; i++ {
+		if _, err := cfC.Call(map[string]any{"x": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cfT.Call(map[string]any{"x": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bufC.String() != bufT.String() {
+		t.Errorf("stdout diverges:\n  compiled:    %q\n  tree-walker: %q", bufC.String(), bufT.String())
+	}
+}
+
+// TestEngineDifferentialFuzz runs randomly generated straight-line
+// arithmetic/string programs through both engines. The generator leans
+// on constructs the LLM synthesizer emits: locals, loops, conditionals,
+// array building and folding.
+func TestEngineDifferentialFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ops := []string{"+", "-", "*", "%"}
+	for trial := 0; trial < 60; trial++ {
+		var b strings.Builder
+		b.WriteString("export function f({n}: {n: number}): any {\n")
+		b.WriteString("  let acc = n;\n  const out = [];\n")
+		count := 2 + rng.Intn(5)
+		for s := 0; s < count; s++ {
+			switch rng.Intn(5) {
+			case 0:
+				fmt.Fprintf(&b, "  acc = acc %s %d;\n", ops[rng.Intn(len(ops))], 1+rng.Intn(9))
+			case 1:
+				fmt.Fprintf(&b, "  for (let i = 0; i < %d; i++) { acc = acc + i %s %d; }\n",
+					1+rng.Intn(6), ops[rng.Intn(len(ops))], 1+rng.Intn(5))
+			case 2:
+				fmt.Fprintf(&b, "  if (acc %% 2 === 0) { acc = acc + %d; } else { acc = acc - %d; }\n",
+					rng.Intn(10), rng.Intn(10))
+			case 3:
+				fmt.Fprintf(&b, "  out.push(acc %s %d);\n", ops[rng.Intn(len(ops))], 1+rng.Intn(9))
+			case 4:
+				fmt.Fprintf(&b, "  { let acc = %d; out.push(acc); }\n", rng.Intn(100))
+			}
+		}
+		b.WriteString("  return {acc, out, sum: out.reduce((a, x) => a + x, 0)};\n}\n")
+		src := b.String()
+		args := map[string]any{"n": float64(rng.Intn(50))}
+		vC, vT, errC, errT, _, _ := runBoth(t, src, args, 500_000)
+		if (errC == nil) != (errT == nil) {
+			t.Fatalf("trial %d: engine disagreement\nprogram:\n%s\ncompiled err=%v, tree err=%v", trial, src, errC, errT)
+		}
+		if errC == nil && !reflect.DeepEqual(vC, vT) {
+			t.Fatalf("trial %d: result diverges\nprogram:\n%s\ncompiled=%#v\ntree=%#v", trial, src, vC, vT)
+		}
+	}
+}

@@ -238,51 +238,7 @@ func (in *Interp) evalNew(env *Env, x *NewExpr) (any, error) {
 		}
 		args = append(args, v)
 	}
-	switch x.Ctor {
-	case "Set":
-		s := NewSet()
-		if len(args) == 1 {
-			items, err := iterate(args[0], false, x.P)
-			if err != nil {
-				return nil, err
-			}
-			for _, it := range items {
-				s.Add(it)
-			}
-		}
-		return s, nil
-	case "Map":
-		m := NewMap()
-		if len(args) == 1 {
-			items, err := iterate(args[0], false, x.P)
-			if err != nil {
-				return nil, err
-			}
-			for _, it := range items {
-				pair, ok := it.(*Array)
-				if !ok || len(pair.Elems) != 2 {
-					return nil, &RuntimeError{Pos: x.P, Msg: "new Map expects [key, value] pairs"}
-				}
-				m.Set(pair.Elems[0], pair.Elems[1])
-			}
-		}
-		return m, nil
-	case "Array":
-		if len(args) == 1 {
-			if n, ok := args[0].(float64); ok {
-				return &Array{Elems: make([]any, int(n))}, nil
-			}
-		}
-		return &Array{Elems: args}, nil
-	case "Error", "TypeError", "RangeError":
-		msg := ""
-		if len(args) > 0 {
-			msg = ToString(args[0])
-		}
-		return map[string]any{"name": x.Ctor, "message": msg}, nil
-	default:
-		return nil, &RuntimeError{Pos: x.P, Msg: fmt.Sprintf("unsupported constructor %q", x.Ctor)}
-	}
+	return constructValue(x.Ctor, args, x.P)
 }
 
 func indexValue(obj, idx any, at Pos) (any, error) {
@@ -320,17 +276,17 @@ func binaryOp(op string, l, r any, at Pos) (any, error) {
 		if rs, ok := r.(string); ok {
 			return ToString(l) + rs, nil
 		}
-		return ToNumber(l) + ToNumber(r), nil
+		return boxNumber(ToNumber(l) + ToNumber(r)), nil
 	case "-":
-		return ToNumber(l) - ToNumber(r), nil
+		return boxNumber(ToNumber(l) - ToNumber(r)), nil
 	case "*":
-		return ToNumber(l) * ToNumber(r), nil
+		return boxNumber(ToNumber(l) * ToNumber(r)), nil
 	case "/":
-		return ToNumber(l) / ToNumber(r), nil
+		return boxNumber(ToNumber(l) / ToNumber(r)), nil
 	case "%":
-		return math.Mod(ToNumber(l), ToNumber(r)), nil
+		return boxNumber(math.Mod(ToNumber(l), ToNumber(r))), nil
 	case "**":
-		return math.Pow(ToNumber(l), ToNumber(r)), nil
+		return boxNumber(math.Pow(ToNumber(l), ToNumber(r))), nil
 	case "==", "===":
 		return StrictEqual(l, r), nil
 	case "!=", "!==":
@@ -338,11 +294,11 @@ func binaryOp(op string, l, r any, at Pos) (any, error) {
 	case "<", "<=", ">", ">=":
 		return compare(op, l, r), nil
 	case "&":
-		return float64(int64(ToNumber(l)) & int64(ToNumber(r))), nil
+		return boxNumber(float64(int64(ToNumber(l)) & int64(ToNumber(r)))), nil
 	case "|":
-		return float64(int64(ToNumber(l)) | int64(ToNumber(r))), nil
+		return boxNumber(float64(int64(ToNumber(l)) | int64(ToNumber(r)))), nil
 	case "^":
-		return float64(int64(ToNumber(l)) ^ int64(ToNumber(r))), nil
+		return boxNumber(float64(int64(ToNumber(l)) ^ int64(ToNumber(r)))), nil
 	default:
 		return nil, &RuntimeError{Pos: at, Msg: fmt.Sprintf("unknown operator %q", op)}
 	}

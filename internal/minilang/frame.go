@@ -1,0 +1,105 @@
+package minilang
+
+import "sync"
+
+// The compiled engine replaces the map-based Env with slice-backed
+// frames. Every lexical scope that declares at least one name is lowered
+// to a frame whose size is known at compile time; identifier access
+// becomes a (depth, slot) walk instead of a map lookup chain.
+//
+// Frames for scopes that provably do not escape (no closure is created
+// anywhere inside them) are recycled through a sync.Pool, so a
+// steady-state Call() of straight-line generated code performs no
+// environment allocation at all.
+
+// unbound marks a slot whose declaration has not executed yet. It plays
+// the role of "name not present in Env": reads fall through to outer
+// candidates (or fail with "undefined variable"), and a VarDecl hitting
+// a bound slot reports the same duplicate-declaration error Env.Define
+// does.
+type unboundMarker struct{}
+
+var unbound any = unboundMarker{}
+
+// scopeInfo is the compile-time description of one materialized scope.
+type scopeInfo struct {
+	nslots  int
+	escapes bool // a closure may capture this frame; do not pool it
+}
+
+// frame is one activation of a scope: a fixed-size slot array plus the
+// lexical parent chain and the per-call interpreter state (fuel budget,
+// stdout) shared by all frames of the call.
+type frame struct {
+	slots  []any
+	parent *frame
+	in     *Interp
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+func newFrame(sc *scopeInfo, parent *frame, in *Interp) *frame {
+	var fr *frame
+	if sc.escapes {
+		fr = new(frame)
+	} else {
+		fr = framePool.Get().(*frame)
+	}
+	if cap(fr.slots) < sc.nslots {
+		fr.slots = make([]any, sc.nslots)
+	} else {
+		fr.slots = fr.slots[:sc.nslots]
+	}
+	for i := range fr.slots {
+		fr.slots[i] = unbound
+	}
+	fr.parent = parent
+	fr.in = in
+	return fr
+}
+
+// releaseFrame returns a non-escaping frame to the pool. Slots are
+// cleared so pooled frames do not retain user values.
+func releaseFrame(fr *frame, sc *scopeInfo) {
+	if sc.escapes {
+		return
+	}
+	for i := range fr.slots {
+		fr.slots[i] = nil
+	}
+	fr.parent = nil
+	fr.in = nil
+	framePool.Put(fr)
+}
+
+// hop returns the frame depth levels up the parent chain.
+func (fr *frame) hop(depth int) *frame {
+	for ; depth > 0; depth-- {
+		fr = fr.parent
+	}
+	return fr
+}
+
+// ---------------------------------------------------------------------------
+// Small-number interning. Boxing a float64 into an interface allocates;
+// loop counters and small results dominate generated-code arithmetic, so
+// integral values in [0,256] are served from a static table.
+
+var smallNums [257]any
+
+func init() {
+	for i := range smallNums {
+		smallNums[i] = float64(i)
+	}
+}
+
+// boxNumber converts f to an interface value, reusing preboxed values
+// for small non-negative integers.
+func boxNumber(f float64) any {
+	if f >= 0 && f <= 256 {
+		if i := int(f); float64(i) == f {
+			return smallNums[i]
+		}
+	}
+	return f
+}

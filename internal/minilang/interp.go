@@ -134,11 +134,15 @@ func (in *Interp) CallFunction(prog *Program, fd *FuncDecl, args map[string]any)
 
 func mapToObject(m map[string]any) map[string]any { return m }
 
-// Call invokes a function value with positional arguments.
+// Call invokes a function value with positional arguments. Both
+// engines' function values are accepted, so builtins taking callbacks
+// (sort, map, Array.from, ...) work identically under either engine.
 func (in *Interp) Call(fn any, args []any, at Pos) (any, error) {
 	switch f := fn.(type) {
 	case *Closure:
 		return in.callClosure(f, args, at)
+	case *compiledClosure:
+		return f.invoke(in, args, at)
 	case *Builtin:
 		return f.Fn(in, args)
 	case *CallableObj:

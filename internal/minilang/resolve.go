@@ -1,0 +1,170 @@
+package minilang
+
+// Slot resolution for the compiled engine. The resolver mirrors the
+// scoping discipline of the tree-walker (interp.go) and the static
+// checker (check.go): function declarations are hoisted to the top of
+// their block, let/const/var names become visible at their declaration,
+// and every other name falls through to an enclosing scope or a global.
+//
+// Because the tree-walker resolves names dynamically — a hoisted
+// function name only "exists" once its declaration statement has
+// executed — a reference can have several candidate bindings: the
+// innermost slot that is bound at run time wins, and an unbound slot
+// falls through to the next candidate exactly like a name missing from
+// an Env map. In practice almost every reference has a single candidate
+// and compiles to a direct slot access.
+
+// slotCand is one candidate binding for a name: slot `slot` of the frame
+// `depth` hops up the chain, declared const or not. sc identifies the
+// declaring scope (compile-time only, used to detect module mutation).
+type slotCand struct {
+	depth int
+	slot  int
+	con   bool
+	sc    *rscope
+}
+
+// rbind is a binding inside one resolver scope.
+type rbind struct {
+	slot int
+	con  bool
+}
+
+// rscope is a compile-time scope. info is nil for scopes that declare no
+// names and therefore materialize no frame at run time.
+type rscope struct {
+	parent *rscope
+	info   *scopeInfo
+	names  map[string]rbind
+}
+
+// resolver tracks the scope chain and the stack of open materialized
+// scopes (for closure-escape marking) during compilation.
+type resolver struct {
+	cur  *rscope
+	open []*scopeInfo // materialized scopes currently being compiled
+}
+
+// pushScope opens a new scope. When materialize is true the scope gets a
+// frame at run time even if it declares no names (function parameter
+// scopes, the module scope).
+func (r *resolver) pushScope(materialize bool) *rscope {
+	sc := &rscope{parent: r.cur, names: map[string]rbind{}}
+	if materialize {
+		sc.info = &scopeInfo{}
+		r.open = append(r.open, sc.info)
+	}
+	r.cur = sc
+	return sc
+}
+
+// materialize upgrades the current scope to frame-backed. Used when a
+// block's declaration pre-scan finds at least one declaration.
+func (r *resolver) materialize() {
+	if r.cur.info == nil {
+		r.cur.info = &scopeInfo{}
+		r.open = append(r.open, r.cur.info)
+	}
+}
+
+func (r *resolver) popScope() {
+	if r.cur.info != nil {
+		r.open = r.open[:len(r.open)-1]
+	}
+	r.cur = r.cur.parent
+}
+
+// declare assigns the next slot of the current scope to name.
+func (r *resolver) declare(name string, con bool) int {
+	sc := r.cur
+	if b, dup := sc.names[name]; dup {
+		// The checker rejects duplicate declarations; keep the original
+		// slot so compilation stays total.
+		return b.slot
+	}
+	slot := sc.info.nslots
+	sc.info.nslots++
+	sc.names[name] = rbind{slot: slot, con: con}
+	return slot
+}
+
+// lookup collects every visible candidate binding for name, innermost
+// first, with depths counted in materialized frames.
+func (r *resolver) lookup(name string) []slotCand {
+	var cands []slotCand
+	depth := 0
+	for sc := r.cur; sc != nil; sc = sc.parent {
+		if b, ok := sc.names[name]; ok {
+			cands = append(cands, slotCand{depth: depth, slot: b.slot, con: b.con, sc: sc})
+		}
+		if sc.info != nil {
+			depth++
+		}
+	}
+	return cands
+}
+
+// markEscapes flags every open materialized scope as captured. Called
+// when a closure value (arrow, function literal or declaration) is
+// compiled: the closure's environment chain is exactly the stack of open
+// frames, so none of them may be pooled.
+func (r *resolver) markEscapes() {
+	for _, info := range r.open {
+		info.escapes = true
+	}
+}
+
+// countDecls reports how many declarations the statements introduce into
+// the scope of the enclosing block — declarations nested inside child
+// blocks, loops or function bodies bind there instead, but a bare
+// (non-block) if/while/for body shares the enclosing scope, matching the
+// tree-walker's execStmt, which only NewEnvs for BlockStmt.
+func countDecls(stmts []Stmt) int {
+	n := 0
+	for _, s := range stmts {
+		n += countStmtDecls(s)
+	}
+	return n
+}
+
+func countStmtDecls(s Stmt) int {
+	switch st := s.(type) {
+	case *VarDecl, *FuncDecl:
+		return 1
+	case *IfStmt:
+		n := countBareDecls(st.Then)
+		if st.Else != nil {
+			n += countBareDecls(st.Else)
+		}
+		return n
+	case *WhileStmt:
+		return countBareDecls(st.Body)
+	case *ForStmt:
+		// The for statement has its own loop scope; nothing binds here.
+		return 0
+	case *ForOfStmt:
+		return 0
+	default:
+		return 0
+	}
+}
+
+// countBareDecls counts declarations of a statement used as a bare
+// (non-block) body, which binds into the enclosing scope.
+func countBareDecls(s Stmt) int {
+	if _, isBlock := s.(*BlockStmt); isBlock {
+		return 0
+	}
+	return countStmtDecls(s)
+}
+
+// hoistFuncDecls pre-declares function names so that forward references
+// (mutual recursion) resolve to the block's own slots, mirroring the
+// checker's hoisting pass.
+func (r *resolver) hoistFuncDecls(stmts []Stmt) {
+	for _, s := range stmts {
+		if fd, ok := s.(*FuncDecl); ok {
+			r.declare(fd.Name, false)
+		}
+	}
+}

@@ -3,12 +3,18 @@ package minilang
 import (
 	"fmt"
 	"io"
+	"sync"
 )
 
 // CompiledFunc is a parsed, checked minilang function ready to be called
 // with AskIt's named-argument convention. It is the runtime shape of a
 // "generated function" (paper §III-D): the replacement for a define call
 // once code generation succeeds.
+//
+// Two execution engines back Call: the default slot-resolved closure IR
+// (compile.go), lowered once per function and cached here, and the
+// original AST tree-walker (eval.go), retained as the reference
+// implementation behind the TreeWalker switch.
 type CompiledFunc struct {
 	Prog *Program
 	Decl *FuncDecl
@@ -18,10 +24,25 @@ type CompiledFunc struct {
 	Stdout io.Writer
 	// Hosts are extra global bindings injected before execution, e.g.
 	// the appendFile/readFile file-access functions the AskIt engine
-	// provides for codable file tasks (paper §II-A2).
+	// provides for codable file tasks (paper §II-A2). The compiled
+	// engine captures host bindings when the program is prepared; set
+	// them before the first Call (or Prepare).
 	Hosts map[string]any
-	src   string
+	// TreeWalker forces the reference AST-walking engine for every Call.
+	TreeWalker bool
+	src        string
+
+	prepOnce sync.Once
+	prepared *compiledProgram
+	prepDecl *FuncDecl
+	prepErr  error
 }
+
+// ErrSharedGlobalMutation is the Prepare error for programs the
+// compiled engine declines because they may write to (or alias) a
+// shared builtin global object; Call transparently uses the
+// tree-walker for them.
+var ErrSharedGlobalMutation = fmt.Errorf("minilang: program may mutate shared globals; using tree-walker engine")
 
 // CompileFunction parses src, locates function name, and statically
 // checks the whole program. Any error is a *CompileError or CheckErrors,
@@ -43,10 +64,86 @@ func (cf *CompiledFunc) Source() string { return cf.src }
 // Name returns the declared function name.
 func (cf *CompiledFunc) Name() string { return cf.Decl.Name }
 
+// Prepare lowers the program to the slot-resolved closure IR
+// (compile.go), constant-folding it first with the Optimize pass. It
+// runs once; subsequent calls return the cached result. Call invokes it
+// lazily, so using Prepare directly is only needed to front-load the
+// cost or to inspect lowering errors. On error Call falls back to the
+// tree-walker, so a Prepare failure never breaks execution.
+func (cf *CompiledFunc) Prepare() error {
+	cf.prepOnce.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				cf.prepErr = fmt.Errorf("minilang: compile panic: %v", r)
+			}
+		}()
+		prog := Optimize(cf.Prog)
+		decl := prog.Funcs()[cf.Decl.Name]
+		if decl == nil {
+			cf.prepErr = fmt.Errorf("minilang: function %q lost during optimization", cf.Decl.Name)
+			return
+		}
+		// The compiled engine shares the builtin global objects across
+		// calls; a program that could mutate or alias them must run on
+		// the per-call tree-walker to keep calls isolated (and to avoid
+		// unsynchronized writes to shared maps under concurrency).
+		names := builtinGlobals()
+		for name := range cf.Hosts {
+			names[name] = true
+		}
+		if mayMutateSharedGlobals(prog, names) {
+			cf.prepErr = ErrSharedGlobalMutation
+			return
+		}
+		cp := compileProgram(prog, cf.Hosts)
+		if cp.static {
+			// The top level holds only immutable function declarations:
+			// load the module once and share the frame across calls.
+			in := &Interp{MaxSteps: cf.MaxSteps}
+			mod, err := cp.load(in)
+			if err != nil {
+				cf.prepErr = err
+				return
+			}
+			mod.in = nil
+			cp.staticMod = mod
+		}
+		cf.prepared, cf.prepDecl = cp, decl
+	})
+	return cf.prepErr
+}
+
+// Engine reports which engine Call will use: "compiled" or "tree-walker".
+func (cf *CompiledFunc) Engine() string {
+	if cf.TreeWalker || cf.Prepare() != nil {
+		return "tree-walker"
+	}
+	return "compiled"
+}
+
 // Call invokes the function with named arguments expressed in the JSON
 // data model (nil, bool, float64/int, string, []any, map[string]any) and
 // returns the result converted back to the JSON data model.
 func (cf *CompiledFunc) Call(args map[string]any) (any, error) {
+	if cf.TreeWalker || cf.Prepare() != nil {
+		return cf.callTreeWalker(args)
+	}
+	in := callInterpPool.Get().(*Interp)
+	in.MaxSteps = cf.MaxSteps
+	in.Stdout = cf.Stdout
+	in.steps = 0
+	v, err := cf.prepared.callFunction(in, cf.prepDecl, args)
+	in.Stdout = nil
+	callInterpPool.Put(in)
+	if err != nil {
+		return nil, err
+	}
+	return ToJSON(v), nil
+}
+
+// callTreeWalker executes via the reference AST interpreter, building a
+// fresh environment per call exactly as the seed implementation did.
+func (cf *CompiledFunc) callTreeWalker(args map[string]any) (any, error) {
 	in := NewInterp()
 	if cf.MaxSteps > 0 {
 		in.MaxSteps = cf.MaxSteps

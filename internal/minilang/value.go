@@ -278,6 +278,8 @@ func ToString(v any) string {
 		return "[object Object]"
 	case *Closure:
 		return "[function " + x.Name + "]"
+	case *compiledClosure:
+		return "[function " + x.proto.name + "]"
 	case *Builtin:
 		return "[builtin " + x.Name + "]"
 	case *SetVal:
@@ -403,7 +405,7 @@ func TypeOf(v any) string {
 		return "number"
 	case string:
 		return "string"
-	case *Closure, *Builtin, *CallableObj:
+	case *Closure, *compiledClosure, *Builtin, *CallableObj:
 		return "function"
 	default:
 		return "object"

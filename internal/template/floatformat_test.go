@@ -1,0 +1,20 @@
+package template
+
+import "testing"
+
+func TestAppendFloatExponents(t *testing.T) {
+	cases := map[float64]string{
+		1e20:   "1e+20",
+		1e-20:  "1e-20",
+		2.5e30: "2.5e+30",
+		3.14:   "3.14",
+		0.1:    "0.1",
+		42:     "42",
+		-7.5:   "-7.5",
+	}
+	for f, want := range cases {
+		if got := FormatValue(f); got != want {
+			t.Errorf("FormatValue(%v) = %q, want %q", f, got, want)
+		}
+	}
+}

@@ -11,8 +11,11 @@ package template
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Segment is one piece of a parsed template: either literal text or a
@@ -105,39 +108,68 @@ func (t *Template) Params() []string { return append([]string(nil), t.params...)
 // HasParams reports whether the template has at least one placeholder.
 func (t *Template) HasParams() bool { return len(t.params) > 0 }
 
+// bufPool recycles the scratch buffers of Render/RenderQuoted and
+// FormatValue. Prompt rendering runs on every direct ask and every
+// codegen attempt; reusing the grown buffers keeps the hot path to a
+// single pass and a single final string copy.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
+func getBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+func putBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
 // RenderQuoted renders the template with each placeholder {{x}} replaced by
 // 'x' (single quotes), the form used in the task line of the generated
 // prompt (paper Listing 2, line 11).
 func (t *Template) RenderQuoted() string {
-	var b strings.Builder
+	bp := getBuf()
+	buf := *bp
 	for _, s := range t.segments {
 		if s.IsVar {
-			b.WriteByte('\'')
-			b.WriteString(s.Name)
-			b.WriteByte('\'')
+			buf = append(buf, '\'')
+			buf = append(buf, s.Name...)
+			buf = append(buf, '\'')
 		} else {
-			b.WriteString(s.Text)
+			buf = append(buf, s.Text...)
 		}
 	}
-	return b.String()
+	out := string(buf)
+	*bp = buf
+	putBuf(bp)
+	return out
 }
 
-// Render substitutes concrete values for placeholders. Values are
-// formatted with formatValue; a missing binding is an error.
+// Render substitutes concrete values for placeholders in a single pass
+// over the segments. Values are formatted with AppendValue; a missing
+// binding is an error.
 func (t *Template) Render(args map[string]any) (string, error) {
-	var b strings.Builder
+	bp := getBuf()
+	buf := *bp
 	for _, s := range t.segments {
 		if !s.IsVar {
-			b.WriteString(s.Text)
+			buf = append(buf, s.Text...)
 			continue
 		}
 		v, ok := args[s.Name]
 		if !ok {
+			*bp = buf
+			putBuf(bp)
 			return "", fmt.Errorf("template: missing argument %q", s.Name)
 		}
-		b.WriteString(FormatValue(v))
+		buf = AppendValue(buf, v)
 	}
-	return b.String(), nil
+	out := string(buf)
+	*bp = buf
+	putBuf(bp)
+	return out, nil
 }
 
 // CheckArgs verifies that args binds exactly the template parameters:
@@ -172,74 +204,95 @@ func (t *Template) CheckArgs(args map[string]any) error {
 // values in prompts ("where 'n' = 5, 'subject' = \"computer science\"").
 // Strings are double-quoted; composites use a JSON-like notation.
 func FormatValue(v any) string {
+	bp := getBuf()
+	buf := AppendValue(*bp, v)
+	out := string(buf)
+	*bp = buf
+	putBuf(bp)
+	return out
+}
+
+// AppendValue appends the prompt rendering of v to dst and returns the
+// extended buffer — the allocation-free form of FormatValue, used by
+// Render and the prompt builders.
+func AppendValue(dst []byte, v any) []byte {
 	switch x := v.(type) {
 	case nil:
-		return "null"
+		return append(dst, "null"...)
 	case string:
-		return quote(x)
+		return appendQuoted(dst, x)
 	case bool:
 		if x {
-			return "true"
+			return append(dst, "true"...)
 		}
-		return "false"
+		return append(dst, "false"...)
 	case float64:
-		return formatFloat(x)
+		return appendFloat(dst, x)
 	case float32:
-		return formatFloat(float64(x))
+		return appendFloat(dst, float64(x))
 	case int:
-		return fmt.Sprintf("%d", x)
+		return strconv.AppendInt(dst, int64(x), 10)
 	case int64:
-		return fmt.Sprintf("%d", x)
+		return strconv.AppendInt(dst, x, 10)
 	case []any:
-		parts := make([]string, len(x))
+		dst = append(dst, '[')
 		for i, e := range x {
-			parts[i] = FormatValue(e)
+			if i > 0 {
+				dst = append(dst, ", "...)
+			}
+			dst = AppendValue(dst, e)
 		}
-		return "[" + strings.Join(parts, ", ") + "]"
+		return append(dst, ']')
 	case map[string]any:
 		keys := make([]string, 0, len(x))
 		for k := range x {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		parts := make([]string, len(keys))
+		dst = append(dst, '{')
 		for i, k := range keys {
-			parts[i] = quote(k) + ": " + FormatValue(x[k])
+			if i > 0 {
+				dst = append(dst, ", "...)
+			}
+			dst = appendQuoted(dst, k)
+			dst = append(dst, ": "...)
+			dst = AppendValue(dst, x[k])
 		}
-		return "{" + strings.Join(parts, ", ") + "}"
+		return append(dst, '}')
 	default:
-		return fmt.Sprintf("%v", x)
+		return fmt.Appendf(dst, "%v", x)
 	}
 }
 
-func formatFloat(f float64) string {
+func appendFloat(dst []byte, f float64) []byte {
 	if f == float64(int64(f)) && f < 1e15 && f > -1e15 {
-		return fmt.Sprintf("%d", int64(f))
+		return strconv.AppendInt(dst, int64(f), 10)
 	}
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%g", f), "0"), ".")
+	// Shortest round-trip representation; unlike the previous
+	// TrimRight('0') post-processing this cannot corrupt exponent
+	// notation (1e+20 must not become "1e+2").
+	return strconv.AppendFloat(dst, f, 'g', -1, 64)
 }
 
-func quote(s string) string {
-	var b strings.Builder
-	b.WriteByte('"')
+func appendQuoted(dst []byte, s string) []byte {
+	dst = append(dst, '"')
 	for _, r := range s {
 		switch r {
 		case '"':
-			b.WriteString(`\"`)
+			dst = append(dst, `\"`...)
 		case '\\':
-			b.WriteString(`\\`)
+			dst = append(dst, `\\`...)
 		case '\n':
-			b.WriteString(`\n`)
+			dst = append(dst, `\n`...)
 		case '\t':
-			b.WriteString(`\t`)
+			dst = append(dst, `\t`...)
 		case '\r':
-			b.WriteString(`\r`)
+			dst = append(dst, `\r`...)
 		default:
-			b.WriteRune(r)
+			dst = utf8.AppendRune(dst, r)
 		}
 	}
-	b.WriteByte('"')
-	return b.String()
+	return append(dst, '"')
 }
 
 // IsIdentifier reports whether s is a valid host-language identifier:
