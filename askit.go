@@ -28,7 +28,13 @@
 // This reproduction is offline: NewSimClient returns a deterministic
 // simulated chat model (see internal/llm). Any other llm.Client
 // implementation, e.g. one backed by a hosted API, plugs in the same
-// way.
+// way — including NewRouter, which fans one client interface over
+// several backends with failover and bounded concurrency.
+//
+// The engine is safe for concurrent use: identical concurrent Ask/Call
+// requests coalesce through a sharded answer cache, concurrent Compile
+// calls share one codegen loop, and AskBatch/CallBatch fan slices of
+// Args over a worker pool. Stats reports the serving counters.
 package askit
 
 import (
@@ -101,8 +107,19 @@ type Options struct {
 	// MaxRetries bounds retries after the first attempt (default 9,
 	// the paper's limit).
 	MaxRetries int
-	// Temperature is the sampling temperature (default 1.0).
-	Temperature float64
+	// Temperature is the sampling temperature; nil means the default
+	// 1.0. Use Temp to set it inline: Temperature: askit.Temp(0)
+	// requests greedy decoding, which is distinct from leaving it unset.
+	Temperature *float64
+	// AnswerCacheSize bounds the memoized direct-call answer cache
+	// (total entries): 0 means the default (core.DefaultAnswerCacheSize),
+	// negative disables caching. With caching on, identical concurrent
+	// Ask/Call requests coalesce into one model round-trip.
+	AnswerCacheSize int
+	// RetryBackoff is the base delay before resending after a transient
+	// client error (exponential, context-aware). 0 means the default
+	// 10ms; negative disables backoff.
+	RetryBackoff time.Duration
 	// CacheDir persists generated functions (the paper's askit/
 	// directory); empty disables the disk cache.
 	CacheDir string
@@ -127,6 +144,22 @@ type Options struct {
 // NewVirtualFS returns an empty virtual file system for Options.FS.
 func NewVirtualFS() *core.VirtualFS { return core.NewVirtualFS() }
 
+// Temp returns a pointer to v, for Options.Temperature.
+func Temp(v float64) *float64 { return &v }
+
+// NewRouter returns an llm.Router fanning requests over several
+// backends with round-robin placement, failover, and per-backend
+// bounded concurrency; use it as Options.Client for multi-backend
+// serving.
+func NewRouter(backends ...llm.Backend) (*llm.Router, error) { return llm.NewRouter(backends...) }
+
+// RouterBackend describes one upstream of NewRouter.
+type RouterBackend = llm.Backend
+
+// Stats is a snapshot of the engine's serving counters: answer-cache
+// hits/misses/coalesces, compile singleflight coalesces, and call mix.
+type Stats = core.Stats
+
 // AskIt is the top-level handle.
 type AskIt struct {
 	engine *core.Engine
@@ -135,16 +168,18 @@ type AskIt struct {
 // New validates opts and returns an AskIt instance.
 func New(opts Options) (*AskIt, error) {
 	engine, err := core.NewEngine(core.Options{
-		Client:      opts.Client,
-		Model:       opts.Model,
-		MaxRetries:  opts.MaxRetries,
-		Temperature: opts.Temperature,
-		CacheDir:    opts.CacheDir,
-		FS:          opts.FS,
-		MaxSteps:    opts.MaxSteps,
-		Optimize:    opts.Optimize,
-		TreeWalker:  opts.TreeWalker,
-		Logf:        opts.Logf,
+		Client:          opts.Client,
+		Model:           opts.Model,
+		MaxRetries:      opts.MaxRetries,
+		Temperature:     opts.Temperature,
+		AnswerCacheSize: opts.AnswerCacheSize,
+		RetryBackoff:    opts.RetryBackoff,
+		CacheDir:        opts.CacheDir,
+		FS:              opts.FS,
+		MaxSteps:        opts.MaxSteps,
+		Optimize:        opts.Optimize,
+		TreeWalker:      opts.TreeWalker,
+		Logf:            opts.Logf,
 	})
 	if err != nil {
 		return nil, err
@@ -155,6 +190,9 @@ func New(opts Options) (*AskIt, error) {
 // Engine exposes the underlying engine for advanced use (experiment
 // harnesses, ablations).
 func (a *AskIt) Engine() *core.Engine { return a.engine }
+
+// Stats returns a snapshot of the engine's serving counters.
+func (a *AskIt) Stats() Stats { return a.engine.Stats() }
 
 // Ask performs one directly answerable task (paper §III-A): it renders
 // the prompt template with args, constrains the response to ret, and

@@ -1,0 +1,73 @@
+package askit
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// BatchResult is one element's outcome in a batch call. Results are
+// returned in input order; each element carries its own error, so one
+// failed task does not discard the rest of the batch.
+type BatchResult struct {
+	// Index is the position of the Args element in the input slice.
+	Index int
+	// Value is the decoded answer when Err is nil.
+	Value any
+	// Err is the element's failure, if any.
+	Err error
+}
+
+// CallBatch fans argsList over a worker pool and executes the task for
+// each element, returning per-element results in input order. workers
+// bounds the concurrency; <=0 means runtime.GOMAXPROCS(0). Identical
+// elements coalesce through the engine's answer cache, so a batch with
+// duplicates pays one model round-trip per distinct element. A canceled
+// ctx stops scheduling new elements; already-started elements report
+// their own cancellation errors.
+func (f *Func) CallBatch(ctx context.Context, argsList []Args, workers int) []BatchResult {
+	results := make([]BatchResult, len(argsList))
+	if len(argsList) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(argsList) {
+		workers = len(argsList)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := f.Call(ctx, argsList[i])
+				results[i] = BatchResult{Index: i, Value: v, Err: err}
+			}
+		}()
+	}
+	for i := range argsList {
+		if err := ctx.Err(); err != nil {
+			results[i] = BatchResult{Index: i, Err: err}
+			continue
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// AskBatch answers one directly answerable task for every element of
+// argsList concurrently: Define once, then CallBatch. The returned
+// error covers template problems only; per-element failures are
+// reported in the results.
+func (a *AskIt) AskBatch(ctx context.Context, ret Type, promptTemplate string, argsList []Args, workers int) ([]BatchResult, error) {
+	f, err := a.Define(ret, promptTemplate)
+	if err != nil {
+		return nil, err
+	}
+	return f.CallBatch(ctx, argsList, workers), nil
+}

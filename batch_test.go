@@ -1,0 +1,113 @@
+package askit_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	askit "repro"
+)
+
+func newBatchAI(t *testing.T) *askit.AskIt {
+	t.Helper()
+	sim := askit.NewSimClient(7)
+	sim.Noise.DirectBlind = 0
+	ai, err := askit.New(askit.Options{Client: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ai
+}
+
+func TestAskBatchOrdersResults(t *testing.T) {
+	ai := newBatchAI(t)
+	var argsList []askit.Args
+	for i := 0; i < 20; i++ {
+		argsList = append(argsList, askit.Args{"s": fmt.Sprintf("item-%02d", i)})
+	}
+	results, err := ai.AskBatch(context.Background(), askit.Str,
+		"Reverse the string {{s}}.", argsList, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(argsList) {
+		t.Fatalf("got %d results, want %d", len(results), len(argsList))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+		if r.Err != nil {
+			t.Errorf("element %d: %v", i, r.Err)
+			continue
+		}
+		if want := reverseString(fmt.Sprintf("item-%02d", i)); r.Value != want {
+			t.Errorf("element %d: value = %v, want %q", i, r.Value, want)
+		}
+	}
+}
+
+func reverseString(s string) string {
+	r := []rune(s)
+	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+		r[i], r[j] = r[j], r[i]
+	}
+	return string(r)
+}
+
+func TestCallBatchCoalescesDuplicates(t *testing.T) {
+	ai := newBatchAI(t)
+	f, err := ai.Define(askit.Float, "Calculate the factorial of {{n}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 elements, only 4 distinct: the answer cache should serve the
+	// duplicates without extra model traffic.
+	var argsList []askit.Args
+	for i := 0; i < 64; i++ {
+		argsList = append(argsList, askit.Args{"n": float64(3 + i%4)})
+	}
+	results := f.CallBatch(context.Background(), argsList, 16)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("element %d: %v", r.Index, r.Err)
+		}
+	}
+	if results[0].Value != 6.0 || results[1].Value != 24.0 {
+		t.Errorf("values = %v, %v", results[0].Value, results[1].Value)
+	}
+	s := ai.Stats()
+	if s.AnswerMisses != 4 {
+		t.Errorf("answer misses = %d, want 4 (one per distinct element)", s.AnswerMisses)
+	}
+	if s.AnswerHits+s.AnswerCoalesced != 60 {
+		t.Errorf("hits+coalesced = %d+%d, want 60", s.AnswerHits, s.AnswerCoalesced)
+	}
+}
+
+func TestCallBatchCanceledContext(t *testing.T) {
+	ai := newBatchAI(t)
+	f, err := ai.Define(askit.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := f.CallBatch(ctx, []askit.Args{{"s": "a"}, {"s": "b"}}, 2)
+	for _, r := range results {
+		if r.Err == nil {
+			t.Errorf("element %d succeeded under canceled context", r.Index)
+		}
+	}
+}
+
+func TestCallBatchEmpty(t *testing.T) {
+	ai := newBatchAI(t)
+	f, err := ai.Define(askit.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.CallBatch(context.Background(), nil, 4); len(got) != 0 {
+		t.Errorf("results = %v", got)
+	}
+}

@@ -5,6 +5,7 @@
 //	askit-bench -exp table3 -n 200    # one experiment, smaller workload
 //	askit-bench -csv out/             # also write CSV series for plotting
 //	askit-bench -exp bench            # hot-path micro benchmarks -> BENCH_1.json
+//	askit-bench -exp serve            # serving-tier benchmark -> BENCH_2.json
 package main
 
 import (
@@ -19,19 +20,33 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|bench|all")
+		which    = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|bench|serve|all")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		problems = flag.Int("n", 0, "GSM8K problem count for table3 (0 = full 1319)")
 		workers  = flag.Int("workers", 8, "worker pool size for table3")
 		csvDir   = flag.String("csv", "", "directory to write CSV series into (optional)")
-		benchOut = flag.String("benchout", "BENCH_1.json", "output path for -exp bench")
+		benchOut = flag.String("benchout", "", "output path for -exp bench/serve (default BENCH_1.json / BENCH_2.json)")
 	)
 	flag.Parse()
 
-	// The micro-benchmark suite is opt-in: it is not part of "all"
-	// because it takes a while and writes a tracked file.
+	// The benchmark suites are opt-in: they are not part of "all"
+	// because they take a while and write tracked files.
 	if *which == "bench" {
-		if err := runBenchJSON(*benchOut); err != nil {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_1.json"
+		}
+		if err := runBenchJSON(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *which == "serve" {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_2.json"
+		}
+		if err := runServeJSON(out, *seed); err != nil {
 			fatal(err)
 		}
 		return

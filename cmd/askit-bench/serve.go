@@ -1,0 +1,228 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	askit "repro"
+)
+
+// The serve benchmark drives the engine the way the ROADMAP's serving
+// tier is meant to be driven: K goroutines hammering a shared engine
+// with a skewed direct-call workload (few distinct requests, many
+// repetitions — the shape of production question traffic). It compares
+// against a serialized, cache-disabled engine on the same workload, so
+// the answer cache + in-flight coalescing + multi-backend router show
+// up as an aggregate throughput multiple. Run with:
+//
+//	askit-bench -exp serve            # writes BENCH_2.json
+type serveWorkload struct {
+	Goroutines    int `json:"goroutines"`
+	Calls         int `json:"calls"`
+	DistinctTasks int `json:"distinct_tasks"`
+	Backends      int `json:"backends"`
+}
+
+// serveSide is one configuration's measurement.
+type serveSide struct {
+	Goroutines       int     `json:"goroutines"`
+	Calls            int     `json:"calls"`
+	Errors           int     `json:"errors"`
+	WallMs           float64 `json:"wall_ms"`
+	ThroughputPerSec float64 `json:"throughput_per_s"`
+	P50Us            float64 `json:"p50_us"`
+	P99Us            float64 `json:"p99_us"`
+	CacheHits        uint64  `json:"cache_hits"`
+	CacheMisses      uint64  `json:"cache_misses"`
+	Coalesced        uint64  `json:"coalesced"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+}
+
+// ServeReport is the BENCH_2.json schema.
+type ServeReport struct {
+	Note       string        `json:"note"`
+	Workload   serveWorkload `json:"workload"`
+	Serialized serveSide     `json:"serialized_no_cache"`
+	Concurrent serveSide     `json:"concurrent_cached"`
+	Speedup    float64       `json:"speedup"`
+}
+
+const (
+	serveGoroutines = 16
+	serveCalls      = 4096
+	serveDistinct   = 64
+	serveBackends   = 4
+)
+
+// serveTask is one direct-call task instance of the workload.
+type serveTask struct {
+	f    *askit.Func
+	args askit.Args
+}
+
+// serveEngine builds an engine over a round-robin router of simulated
+// backends, plus the workload's Funcs. cache=false disables the answer
+// cache (the serialized baseline).
+func serveEngine(seed int64, cache bool) (*askit.AskIt, []serveTask, error) {
+	backends := make([]askit.RouterBackend, serveBackends)
+	for i := range backends {
+		sim := askit.NewSimClient(seed)
+		sim.Noise.DirectBlind = 0 // a serving workload wants answers, not blind spots
+		backends[i] = askit.RouterBackend{
+			Name:          fmt.Sprintf("sim-%d", i),
+			Client:        sim,
+			MaxConcurrent: serveGoroutines,
+		}
+	}
+	router, err := askit.NewRouter(backends...)
+	if err != nil {
+		return nil, nil, err
+	}
+	cacheSize := 0
+	if !cache {
+		cacheSize = -1
+	}
+	ai, err := askit.New(askit.Options{Client: router, AnswerCacheSize: cacheSize})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	templates := []struct {
+		ret  askit.Type
+		tpl  string
+		args func(i int) askit.Args
+	}{
+		{askit.Float, "Calculate the factorial of {{n}}.",
+			func(i int) askit.Args { return askit.Args{"n": float64(3 + i%12)} }},
+		{askit.Str, "Reverse the string {{s}}.",
+			func(i int) askit.Args { return askit.Args{"s": fmt.Sprintf("request-%03d", i)} }},
+		{askit.Float, "Find the largest number in {{ns}}.",
+			func(i int) askit.Args {
+				return askit.Args{"ns": []any{float64(i), float64(i * 3 % 17), float64(i * 7 % 29)}}
+			}},
+		{askit.Bool, "Check if {{n}} is a prime number.",
+			func(i int) askit.Args { return askit.Args{"n": float64(100 + i)} }},
+	}
+	tasks := make([]serveTask, 0, serveDistinct)
+	for i := 0; len(tasks) < serveDistinct; i++ {
+		tc := templates[i%len(templates)]
+		f, err := ai.Define(tc.ret, tc.tpl)
+		if err != nil {
+			return nil, nil, err
+		}
+		tasks = append(tasks, serveTask{f: f, args: tc.args(i / len(templates))})
+	}
+	return ai, tasks, nil
+}
+
+// driveServe issues `calls` task executions from `goroutines` workers,
+// walking the task ring so every distinct task is hit ~calls/distinct
+// times, and collects per-call latencies.
+func driveServe(ai *askit.AskIt, tasks []serveTask, goroutines, calls int) serveSide {
+	latencies := make([]time.Duration, calls)
+	var errs atomic.Int64
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= calls {
+					return
+				}
+				task := tasks[i%len(tasks)]
+				t0 := time.Now()
+				_, err := task.f.Call(context.Background(), task.args)
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	stats := ai.Stats()
+	side := serveSide{
+		Goroutines:       goroutines,
+		Calls:            calls,
+		Errors:           int(errs.Load()),
+		WallMs:           float64(wall.Nanoseconds()) / 1e6,
+		ThroughputPerSec: float64(calls) / wall.Seconds(),
+		P50Us:            float64(latencies[calls/2].Nanoseconds()) / 1e3,
+		P99Us:            float64(latencies[calls*99/100].Nanoseconds()) / 1e3,
+		CacheHits:        stats.AnswerHits,
+		CacheMisses:      stats.AnswerMisses,
+		Coalesced:        stats.AnswerCoalesced,
+	}
+	if total := stats.AnswerHits + stats.AnswerMisses + stats.AnswerCoalesced; total > 0 {
+		side.CacheHitRate = float64(stats.AnswerHits+stats.AnswerCoalesced) / float64(total)
+	}
+	return side
+}
+
+// runServeJSON runs the serve benchmark and writes the report to path.
+func runServeJSON(path string, seed int64) error {
+	// Serialized baseline: one caller, no answer cache — every call
+	// pays the full model path.
+	aiBase, tasksBase, err := serveEngine(seed, false)
+	if err != nil {
+		return err
+	}
+	serialized := driveServe(aiBase, tasksBase, 1, serveCalls)
+
+	// Serving configuration: 16 goroutines over the cached engine.
+	aiServe, tasksServe, err := serveEngine(seed, true)
+	if err != nil {
+		return err
+	}
+	concurrent := driveServe(aiServe, tasksServe, serveGoroutines, serveCalls)
+
+	report := ServeReport{
+		Note: fmt.Sprintf("serving-tier benchmark: %d direct calls over %d distinct tasks, %d-backend router; "+
+			"concurrent side runs %d goroutines with the sharded answer cache + in-flight coalescing, "+
+			"baseline is serialized with the cache disabled",
+			serveCalls, serveDistinct, serveBackends, serveGoroutines),
+		Workload: serveWorkload{
+			Goroutines:    serveGoroutines,
+			Calls:         serveCalls,
+			DistinctTasks: serveDistinct,
+			Backends:      serveBackends,
+		},
+		Serialized: serialized,
+		Concurrent: concurrent,
+	}
+	if concurrent.ThroughputPerSec > 0 && serialized.ThroughputPerSec > 0 {
+		report.Speedup = concurrent.ThroughputPerSec / serialized.ThroughputPerSec
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("  serialized (no cache): %8.0f calls/s  p50 %7.1fus  p99 %8.1fus\n",
+		serialized.ThroughputPerSec, serialized.P50Us, serialized.P99Us)
+	fmt.Printf("  concurrent x%d cached: %8.0f calls/s  p50 %7.1fus  p99 %8.1fus  hit rate %.3f\n",
+		serveGoroutines, concurrent.ThroughputPerSec, concurrent.P50Us, concurrent.P99Us, concurrent.CacheHitRate)
+	fmt.Printf("  speedup: %.1fx\n", report.Speedup)
+	if concurrent.Errors+serialized.Errors > 0 {
+		fmt.Printf("  WARNING: %d/%d errors (serialized/concurrent)\n", serialized.Errors, concurrent.Errors)
+	}
+	return nil
+}

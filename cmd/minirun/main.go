@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -72,7 +73,7 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("-args must be a JSON object"))
 		}
-		out, err := cf.Call(obj)
+		out, err := cf.Call(context.Background(), obj)
 		if err != nil {
 			fatal(err)
 		}

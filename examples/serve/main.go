@@ -1,0 +1,67 @@
+// Serve: the PR 2 serving tier in one program — a multi-backend router
+// as the engine's client, a batch of direct tasks fanned over a worker
+// pool, duplicate requests coalescing through the sharded answer cache,
+// and the engine counters that make all of it observable.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	askit "repro"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Three simulated backends behind one round-robin router, each
+	// bounded to 8 in-flight requests.
+	var backends []askit.RouterBackend
+	for i := 0; i < 3; i++ {
+		sim := askit.NewSimClient(int64(11 + i))
+		sim.Noise.DirectBlind = 0
+		backends = append(backends, askit.RouterBackend{
+			Name:          fmt.Sprintf("sim-%d", i),
+			Client:        sim,
+			MaxConcurrent: 8,
+		})
+	}
+	router, err := askit.NewRouter(backends...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ai, err := askit.New(askit.Options{
+		Client:      router,
+		Temperature: askit.Temp(0), // greedy decoding, now expressible
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A batch with heavy duplication: 32 elements, 8 distinct values.
+	var batch []askit.Args
+	for i := 0; i < 32; i++ {
+		batch = append(batch, askit.Args{"n": float64(3 + i%8)})
+	}
+	results, err := ai.AskBatch(ctx, askit.Float,
+		"Calculate the factorial of {{n}}.", batch, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results[:8] {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("factorial(%v) = %v\n", batch[r.Index]["n"], r.Value)
+	}
+
+	stats := ai.Stats()
+	fmt.Printf("\nengine: %d direct calls, %d model round-trips, %d served by cache, %d coalesced\n",
+		stats.DirectCalls, stats.AnswerMisses, stats.AnswerHits, stats.AnswerCoalesced)
+	rs := router.Stats()
+	for _, b := range rs.Backends {
+		fmt.Printf("router: %-6s served %d requests (%d failures)\n", b.Name, b.Requests, b.Failures)
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/llm"
+)
+
+// DefaultAnswerCacheSize is the total entry bound of the answer cache
+// when Options.AnswerCacheSize is 0.
+const DefaultAnswerCacheSize = 4096
+
+// answerShardCount is the number of independently locked cache shards;
+// a power of two so the key hash maps with a mask.
+const answerShardCount = 16
+
+// Stats is a snapshot of the engine's serving counters. All counters
+// are cumulative since the engine was created.
+type Stats struct {
+	// AnswerHits counts direct calls served from the memoized answer
+	// cache without touching the model.
+	AnswerHits uint64
+	// AnswerMisses counts direct calls that ran the §III-E loop (the
+	// result, if successful, was then cached).
+	AnswerMisses uint64
+	// AnswerCoalesced counts direct calls that joined an identical
+	// in-flight call instead of issuing their own (singleflight).
+	AnswerCoalesced uint64
+	// AnswerEntries is the current number of cached answers.
+	AnswerEntries int
+	// CompileCoalesced counts Compile calls that joined an in-flight
+	// codegen loop instead of starting their own.
+	CompileCoalesced uint64
+	// DirectCalls counts Func.Call invocations answered by the model
+	// path (cached or not); CompiledCalls counts those answered by
+	// generated code.
+	DirectCalls   uint64
+	CompiledCalls uint64
+	// TransientRetries counts Client.Complete errors that consumed
+	// retry budget instead of aborting the call.
+	TransientRetries uint64
+}
+
+// engineStats is the atomic backing store for Stats.
+type engineStats struct {
+	answerHits       atomic.Uint64
+	answerMisses     atomic.Uint64
+	answerCoalesced  atomic.Uint64
+	compileCoalesced atomic.Uint64
+	directCalls      atomic.Uint64
+	compiledCalls    atomic.Uint64
+	transientRetries atomic.Uint64
+}
+
+// Stats returns a snapshot of the serving counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		AnswerHits:       e.stats.answerHits.Load(),
+		AnswerMisses:     e.stats.answerMisses.Load(),
+		AnswerCoalesced:  e.stats.answerCoalesced.Load(),
+		CompileCoalesced: e.stats.compileCoalesced.Load(),
+		DirectCalls:      e.stats.directCalls.Load(),
+		CompiledCalls:    e.stats.compiledCalls.Load(),
+		TransientRetries: e.stats.transientRetries.Load(),
+	}
+	if e.answers != nil {
+		s.AnswerEntries = e.answers.len()
+	}
+	return s
+}
+
+// answerCache memoizes successful direct-call answers keyed by
+// (template, args, return type) and coalesces identical in-flight
+// calls, so concurrent traffic asking the same question pays one model
+// round-trip. It is sharded to keep lock contention off the hot path
+// and size-bounded with FIFO eviction per shard.
+type answerCache struct {
+	shards      [answerShardCount]answerShard
+	perShardCap int
+}
+
+type answerShard struct {
+	mu      sync.Mutex
+	entries map[string]*answerEntry
+	order   []string // completed keys in insertion order, for eviction
+}
+
+// answerEntry is one cache slot. done is closed when the flight
+// completes; val/info/err are immutable afterwards.
+type answerEntry struct {
+	done chan struct{}
+	val  any
+	info CallInfo
+	err  error
+}
+
+func newAnswerCache(totalCap int) *answerCache {
+	per := totalCap / answerShardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &answerCache{perShardCap: per}
+	for i := range c.shards {
+		c.shards[i].entries = map[string]*answerEntry{}
+	}
+	return c
+}
+
+func (c *answerCache) shard(key string) *answerShard {
+	// Inline FNV-1a over the string: the hash/fnv API would allocate a
+	// hasher and a byte slice per lookup, on the hottest serving path.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h&(answerShardCount-1)]
+}
+
+// cloneJSON deep-copies a value in the JSON data model. Cached answers
+// are handed to callers as copies so a caller mutating its result (e.g.
+// sorting a returned slice) cannot poison the cache for later callers.
+// Scalars are immutable and pass through without allocation.
+func cloneJSON(v any) any {
+	switch x := v.(type) {
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = cloneJSON(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			out[k] = cloneJSON(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+func (c *answerCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// do returns the cached answer for key, or runs fn exactly once per
+// concurrent group of callers and caches a successful result. Failed
+// flights are not cached: the entry is removed so a later call retries.
+// When the leading caller is canceled, waiting callers whose own
+// context is still live re-enter and elect a new leader.
+func (e *Engine) do(ctx context.Context, key string, fn func() (any, CallInfo, error)) (any, CallInfo, error) {
+	c := e.answers
+	sh := c.shard(key)
+	for {
+		sh.mu.Lock()
+		if ent, ok := sh.entries[key]; ok {
+			select {
+			case <-ent.done: // completed entry: a pure cache hit
+				sh.mu.Unlock()
+				e.stats.answerHits.Add(1)
+				return cloneJSON(ent.val), ent.info, ent.err
+			default:
+			}
+			sh.mu.Unlock()
+			e.stats.answerCoalesced.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil, CallInfo{}, ctx.Err()
+			case <-ent.done:
+			}
+			if ent.err == nil {
+				return cloneJSON(ent.val), ent.info, nil
+			}
+			if llm.IsCancellation(ent.err) && ctx.Err() == nil {
+				continue // the leader was canceled, not us: try again
+			}
+			return nil, ent.info, ent.err
+		}
+		ent := &answerEntry{done: make(chan struct{})}
+		sh.entries[key] = ent
+		sh.mu.Unlock()
+		e.stats.answerMisses.Add(1)
+
+		// Complete the flight in a defer so a panic in fn (llm.Client is
+		// user-implementable) cannot leave the entry in-flight forever,
+		// wedging every future identical call.
+		completed := false
+		func() {
+			defer func() {
+				if !completed && ent.err == nil {
+					ent.err = errors.New("core: direct call panicked")
+				}
+				sh.mu.Lock()
+				if ent.err != nil {
+					delete(sh.entries, key)
+				} else {
+					sh.order = append(sh.order, key)
+					if len(sh.order) > c.perShardCap {
+						oldest := sh.order[0]
+						sh.order = sh.order[1:]
+						delete(sh.entries, oldest)
+					}
+				}
+				sh.mu.Unlock()
+				close(ent.done)
+			}()
+			ent.val, ent.info, ent.err = fn()
+			completed = true
+		}()
+		// The leader's returned value aliases the cached one; copy it
+		// for the same reason hits are copied.
+		return cloneJSON(ent.val), ent.info, ent.err
+	}
+}

@@ -1,0 +1,658 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/prompt"
+	"repro/internal/template"
+	"repro/internal/types"
+)
+
+// countingClient wraps a Client and counts codegen and direct requests.
+type countingClient struct {
+	inner   llm.Client
+	codegen atomic.Int64
+	direct  atomic.Int64
+}
+
+func (c *countingClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	if strings.Contains(req.Prompt, "Q: Implement the following function:") {
+		c.codegen.Add(1)
+	} else {
+		c.direct.Add(1)
+	}
+	return c.inner.Complete(ctx, req)
+}
+
+func noiselessSim(seed int64) *llm.Sim {
+	sim := llm.NewSim(seed)
+	sim.Noise = llm.Noise{}
+	return sim
+}
+
+func factorialFunc(t testing.TB, e *Engine) *Func {
+	t.Helper()
+	f, err := e.Define(types.Float, "Calculate the factorial of {{n}}.",
+		WithParamTypes([]types.Field{{Name: "n", Type: types.Float}}),
+		WithTests([]prompt.Example{{Input: map[string]any{"n": 5.0}, Output: 120.0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestCompileSingleflight(t *testing.T) {
+	counter := &countingClient{inner: noiselessSim(42)}
+	client := &blockingClient{inner: counter, release: make(chan struct{})}
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := factorialFunc(t, e)
+
+	const callers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			info, err := f.Compile(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if info.Source == "" {
+				t.Error("caller got empty compile info")
+			}
+		}()
+	}
+	// The leader blocks inside Complete; wait until every other caller
+	// has joined the in-flight loop, then release the leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().CompileCoalesced < callers-1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(client.release)
+	wg.Wait()
+
+	// With zero noise the loop succeeds on its first attempt, so exactly
+	// one codegen completion proves exactly one loop ran.
+	if got := counter.codegen.Load(); got != 1 {
+		t.Errorf("%d codegen completions for %d concurrent Compile calls, want 1", got, callers)
+	}
+	if !f.IsCompiled() {
+		t.Error("function not compiled")
+	}
+	if s := e.Stats(); s.CompileCoalesced != callers-1 {
+		t.Errorf("coalesced = %d, want %d", s.CompileCoalesced, callers-1)
+	}
+}
+
+// TestFuncStress hammers one Func with parallel Call/Compile/IsCompiled
+// under -race: every caller must get a correct answer whether it ran the
+// direct path, joined the codegen loop, or hit the compiled function.
+func TestFuncStress(t *testing.T) {
+	client := &countingClient{inner: noiselessSim(42)}
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := factorialFunc(t, e)
+
+	const workers = 24
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 20; j++ {
+				switch (id + j) % 3 {
+				case 0:
+					res, err := f.Call(context.Background(), map[string]any{"n": 6.0})
+					if err != nil {
+						t.Errorf("call: %v", err)
+					} else if res.Value != 720.0 && res.Value != 720 {
+						t.Errorf("value = %v", res.Value)
+					}
+				case 1:
+					if _, err := f.Compile(context.Background()); err != nil {
+						t.Errorf("compile: %v", err)
+					}
+				default:
+					f.IsCompiled()
+				}
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := client.codegen.Load(); got != 1 {
+		t.Errorf("%d codegen completions, want 1 (singleflight)", got)
+	}
+	s := e.Stats()
+	if s.CompiledCalls == 0 {
+		t.Error("no calls hit the compiled function")
+	}
+}
+
+// flakyClient fails the first failN calls with err, then delegates.
+type flakyClient struct {
+	inner llm.Client
+	err   error
+	failN int64
+	left  atomic.Int64
+}
+
+func newFlakyClient(inner llm.Client, err error, failN int64) *flakyClient {
+	c := &flakyClient{inner: inner, err: err, failN: failN}
+	c.left.Store(failN)
+	return c
+}
+
+func (c *flakyClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	if c.left.Add(-1) >= 0 {
+		return llm.Response{}, c.err
+	}
+	return c.inner.Complete(ctx, req)
+}
+
+func TestAskDirectTransientRetryAccounting(t *testing.T) {
+	transient := llm.MarkTransient(errors.New("connection reset"))
+	cases := []struct {
+		name         string
+		failN        int64
+		err          error
+		maxRetries   int
+		wantAttempts int
+		wantErr      bool
+		wantCancel   bool
+	}{
+		{name: "no failures", failN: 0, err: transient, maxRetries: 2, wantAttempts: 1},
+		{name: "two transient then success", failN: 2, err: transient, maxRetries: 3, wantAttempts: 3},
+		{name: "budget consumed exactly", failN: 3, err: transient, maxRetries: 3, wantAttempts: 4},
+		{name: "budget exhausted", failN: 10, err: transient, maxRetries: 2, wantAttempts: 3, wantErr: true},
+		{name: "permanent error fails fast", failN: 1, err: errors.New("invalid api key"), maxRetries: 9, wantAttempts: 1, wantErr: true},
+		{name: "cancellation aborts immediately", failN: 10, err: fmt.Errorf("rpc: %w", context.Canceled), maxRetries: 9, wantAttempts: 1, wantErr: true, wantCancel: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			client := newFlakyClient(noiselessSim(42), c.err, c.failN)
+			e, err := NewEngine(Options{Client: client, Model: "gpt-4", MaxRetries: c.maxRetries})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tpl := template.MustParse("Reverse the string {{s}}.")
+			v, info, err := e.AskDirect(context.Background(), tpl, map[string]any{"s": "abc"}, types.Str, nil)
+			if info.Attempts != c.wantAttempts {
+				t.Errorf("attempts = %d, want %d", info.Attempts, c.wantAttempts)
+			}
+			if c.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				if c.wantCancel {
+					if !errors.Is(err, context.Canceled) {
+						t.Errorf("err = %v, want context.Canceled", err)
+					}
+					return
+				}
+				var re *RetryError
+				if !errors.As(err, &re) {
+					t.Fatalf("error type %T", err)
+				}
+				if re.LastKind != "llm-error" {
+					t.Errorf("kind = %q, want llm-error", re.LastKind)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != "cba" {
+				t.Errorf("v = %v", v)
+			}
+		})
+	}
+}
+
+func TestCompileTransientRetryAccounting(t *testing.T) {
+	transient := llm.MarkTransient(errors.New("backend overloaded"))
+	t.Run("transient consumed then success", func(t *testing.T) {
+		client := newFlakyClient(noiselessSim(42), transient, 2)
+		e, err := NewEngine(Options{Client: client, Model: "gpt-4", MaxRetries: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := factorialFunc(t, e)
+		info, err := f.Compile(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Attempts != 3 {
+			t.Errorf("attempts = %d, want 3", info.Attempts)
+		}
+		if e.Stats().TransientRetries != 2 {
+			t.Errorf("transient retries = %d, want 2", e.Stats().TransientRetries)
+		}
+	})
+	t.Run("budget exhausted", func(t *testing.T) {
+		client := newFlakyClient(noiselessSim(42), transient, 100)
+		e, err := NewEngine(Options{Client: client, Model: "gpt-4", MaxRetries: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := factorialFunc(t, e)
+		_, err = f.Compile(context.Background())
+		var ce *CompileError
+		if !errors.As(err, &ce) {
+			t.Fatalf("error = %v (%T)", err, err)
+		}
+		if ce.Attempts != 2 {
+			t.Errorf("attempts = %d, want 2", ce.Attempts)
+		}
+		if !llm.IsTransient(err) {
+			t.Errorf("exhausted transient failure should unwrap as transient: %v", err)
+		}
+	})
+	t.Run("cancellation aborts", func(t *testing.T) {
+		client := newFlakyClient(noiselessSim(42), context.DeadlineExceeded, 100)
+		e, err := NewEngine(Options{Client: client, Model: "gpt-4"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := factorialFunc(t, e)
+		_, err = f.Compile(context.Background())
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("err = %v, want DeadlineExceeded", err)
+		}
+	})
+}
+
+// recordingClient captures the requests it serves.
+type recordingClient struct {
+	inner llm.Client
+	mu    sync.Mutex
+	reqs  []llm.Request
+}
+
+func (c *recordingClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	c.mu.Lock()
+	c.reqs = append(c.reqs, req)
+	c.mu.Unlock()
+	return c.inner.Complete(ctx, req)
+}
+
+func TestTemperatureZeroReachesClient(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  *float64
+		want float64
+	}{
+		{name: "unset defaults to 1.0", opt: nil, want: 1.0},
+		{name: "zero means greedy", opt: ptr(0.0), want: 0.0},
+		{name: "explicit value forwarded", opt: ptr(0.7), want: 0.7},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			client := &recordingClient{inner: noiselessSim(42)}
+			e, err := NewEngine(Options{Client: client, Model: "gpt-4", Temperature: c.opt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tpl := template.MustParse("Reverse the string {{s}}.")
+			if _, _, err := e.AskDirect(context.Background(), tpl, map[string]any{"s": "x"}, types.Str, nil); err != nil {
+				t.Fatal(err)
+			}
+			client.mu.Lock()
+			defer client.mu.Unlock()
+			if len(client.reqs) == 0 {
+				t.Fatal("no requests recorded")
+			}
+			if got := client.reqs[0].Temperature; got != c.want {
+				t.Errorf("temperature = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// blockingClient parks every Complete call until released.
+type blockingClient struct {
+	inner   llm.Client
+	release chan struct{}
+	calls   atomic.Int64
+}
+
+func (c *blockingClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	c.calls.Add(1)
+	select {
+	case <-c.release:
+	case <-ctx.Done():
+		return llm.Response{}, ctx.Err()
+	}
+	return c.inner.Complete(ctx, req)
+}
+
+func TestAnswerCacheCoalescesInflightCalls(t *testing.T) {
+	client := &blockingClient{inner: noiselessSim(42), release: make(chan struct{})}
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := f.Call(context.Background(), map[string]any{"s": "same"})
+			if err != nil {
+				t.Error(err)
+			} else if res.Value != "emas" {
+				t.Errorf("value = %v", res.Value)
+			}
+		}()
+	}
+	// Wait until the leader reaches the model, then release it; every
+	// other caller must coalesce rather than issue its own completion.
+	deadline := time.Now().Add(2 * time.Second)
+	for client.calls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(client.release)
+	wg.Wait()
+	if got := client.calls.Load(); got != 1 {
+		t.Errorf("%d model calls for %d identical concurrent requests, want 1", got, callers)
+	}
+	s := e.Stats()
+	if s.AnswerMisses != 1 {
+		t.Errorf("misses = %d, want 1", s.AnswerMisses)
+	}
+	if s.AnswerCoalesced != callers-1 {
+		t.Errorf("coalesced = %d, want %d", s.AnswerCoalesced, callers-1)
+	}
+}
+
+func TestAnswerCacheHitSkipsModel(t *testing.T) {
+	client := &countingClient{inner: noiselessSim(42)}
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		res, err := f.Call(context.Background(), map[string]any{"s": "hello"})
+		if err != nil || res.Value != "olleh" {
+			t.Fatalf("call %d: %v, %v", i, res.Value, err)
+		}
+	}
+	if got := client.direct.Load(); got != 1 {
+		t.Errorf("%d model calls for 5 identical sequential requests, want 1", got)
+	}
+	s := e.Stats()
+	if s.AnswerHits != 4 || s.AnswerMisses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 4/1", s.AnswerHits, s.AnswerMisses)
+	}
+	if s.AnswerEntries != 1 {
+		t.Errorf("entries = %d, want 1", s.AnswerEntries)
+	}
+}
+
+func TestAnswerCacheDisabled(t *testing.T) {
+	client := &countingClient{inner: noiselessSim(42)}
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4", AnswerCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Call(context.Background(), map[string]any{"s": "hello"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := client.direct.Load(); got != 3 {
+		t.Errorf("%d model calls, want 3 with caching disabled", got)
+	}
+}
+
+func TestAnswerCacheBounded(t *testing.T) {
+	// Total capacity 16 over 16 shards = 1 entry per shard; after many
+	// distinct calls the cache must stay at or below capacity.
+	client := &countingClient{inner: noiselessSim(42)}
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4", AnswerCacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := f.Call(context.Background(), map[string]any{"s": fmt.Sprintf("v%03d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Stats().AnswerEntries; got > 16 {
+		t.Errorf("cache holds %d entries, capacity 16", got)
+	}
+}
+
+func TestAnswerCacheDoesNotCacheFailures(t *testing.T) {
+	transient := llm.MarkTransient(errors.New("down"))
+	client := newFlakyClient(noiselessSim(42), transient, 1)
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4", MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Call(context.Background(), map[string]any{"s": "x"}); err == nil {
+		t.Fatal("first call should fail (no retries, one transient failure)")
+	}
+	res, err := f.Call(context.Background(), map[string]any{"s": "x"})
+	if err != nil {
+		t.Fatalf("second call must retry, not replay the cached failure: %v", err)
+	}
+	if res.Value != "x" {
+		t.Errorf("value = %v", res.Value)
+	}
+}
+
+func ptr(v float64) *float64 { return &v }
+
+func TestAnswerCacheIsolatesMutableResults(t *testing.T) {
+	e, err := NewEngine(Options{Client: noiselessSim(42), Model: "gpt-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.List(types.Float), "Sort the numbers {{ns}} in ascending order.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := map[string]any{"ns": []any{3.0, 1.0, 2.0}}
+	res1, err := f.Call(context.Background(), args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A caller mutating its result must not poison the cache.
+	list := res1.Value.([]any)
+	list[0] = "poisoned"
+	res2, err := f.Call(context.Background(), args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []any{1.0, 2.0, 3.0}
+	got, ok := res2.Value.([]any)
+	if !ok || len(got) != 3 {
+		t.Fatalf("value = %#v", res2.Value)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cached value mutated: got %#v, want %#v", got, want)
+		}
+	}
+}
+
+func TestOptionsCopyDetachesTemperature(t *testing.T) {
+	orig := ptr(0.5)
+	e, err := NewEngine(Options{Client: noiselessSim(42), Temperature: orig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	*orig = 2.0 // the caller's pointer must not reach into the engine
+	if got := e.opts.temperature(); got != 0.5 {
+		t.Errorf("engine temperature = %v, want 0.5", got)
+	}
+	opts := e.Options()
+	*opts.Temperature = 1.5 // nor must the returned copy's
+	if got := e.opts.temperature(); got != 0.5 {
+		t.Errorf("engine temperature after Options() write = %v, want 0.5", got)
+	}
+}
+
+// panicClient panics on the first call, then delegates.
+type panicClient struct {
+	inner llm.Client
+	first atomic.Bool
+}
+
+func (c *panicClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	if c.first.CompareAndSwap(false, true) {
+		panic("client bug")
+	}
+	return c.inner.Complete(ctx, req)
+}
+
+func TestAnswerFlightSurvivesClientPanic(t *testing.T) {
+	e, err := NewEngine(Options{Client: &panicClient{inner: noiselessSim(42)}, Model: "gpt-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := map[string]any{"s": "abc"}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader call should propagate the panic")
+			}
+		}()
+		f.Call(context.Background(), args)
+	}()
+	// The key must not be wedged: the next identical call runs fresh.
+	res, err := f.Call(context.Background(), args)
+	if err != nil || res.Value != "cba" {
+		t.Fatalf("call after panic: %v, %v", res.Value, err)
+	}
+}
+
+func TestCompileFlightSurvivesClientPanic(t *testing.T) {
+	e, err := NewEngine(Options{Client: &panicClient{inner: noiselessSim(42)}, Model: "gpt-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := factorialFunc(t, e)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader compile should propagate the panic")
+			}
+		}()
+		f.Compile(context.Background())
+	}()
+	if _, err := f.Compile(context.Background()); err != nil {
+		t.Fatalf("compile after panic: %v", err)
+	}
+	if !f.IsCompiled() {
+		t.Error("not compiled after recovery")
+	}
+}
+
+func TestBackoffAbortsOnCancellation(t *testing.T) {
+	transient := llm.MarkTransient(errors.New("down"))
+	client := newFlakyClient(noiselessSim(42), transient, 1000)
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4",
+		MaxRetries: 9, RetryBackoff: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	tpl := template.MustParse("Reverse the string {{s}}.")
+	start := time.Now()
+	_, info, err := e.AskDirect(ctx, tpl, map[string]any{"s": "x"}, types.Str, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if info.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (cancellation during backoff)", info.Attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("backoff ignored cancellation (took %v)", elapsed)
+	}
+}
+
+func TestCompiledCallObservesCancellation(t *testing.T) {
+	// Generated code with an unbounded loop and an enormous fuel budget:
+	// only context cancellation can stop it quickly. Both execution
+	// engines must observe it.
+	for _, treeWalk := range []bool{false, true} {
+		t.Run(fmt.Sprintf("treeWalker=%v", treeWalk), func(t *testing.T) {
+			e, err := NewEngine(Options{Client: loopClient{}, Model: "gpt-4",
+				MaxSteps: 1 << 40, MaxRetries: -1, TreeWalker: treeWalk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := e.Define(types.Float, "Spin forever on {{n}}.",
+				WithParamTypes([]types.Field{{Name: "n", Type: types.Float}}),
+				WithName("spin"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Compile(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err = f.Call(ctx, map[string]any{"n": 1})
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Fatal("expected cancellation error")
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("err = %v, want DeadlineExceeded", err)
+			}
+			if elapsed > 2*time.Second {
+				t.Errorf("cancellation took %v; the step loop is not polling ctx", elapsed)
+			}
+		})
+	}
+}

@@ -2,6 +2,16 @@
 // directly answerable tasks (paper §III-E) and the code-generation loop
 // for codable tasks (paper §III-D), over any llm.Client.
 //
+// The engine is safe for concurrent use and built for it: direct-call
+// answers are memoized in a sharded, size-bounded cache with in-flight
+// coalescing (identical concurrent calls share one model round-trip),
+// concurrent Compile calls on one Func share a single codegen loop
+// (singleflight), and Engine.Stats exposes the serving counters.
+// Client errors marked transient (llm.MarkTransient) consume the retry
+// budget with backoff; unclassified errors fail fast; context
+// cancellation aborts immediately, including inside generated-code
+// execution.
+//
 // The public user-facing API lives in the repo-root askit package; core
 // holds the machinery.
 package core
@@ -33,8 +43,22 @@ type Options struct {
 	// MaxRetries bounds retries after the first attempt; 0 means
 	// DefaultMaxRetries, negative means no retries.
 	MaxRetries int
-	// Temperature is forwarded to the client (paper: default 1.0).
-	Temperature float64
+	// Temperature is the sampling temperature forwarded to the client;
+	// nil means the paper's default of 1.0. Zero is a meaningful value
+	// (greedy decoding), which is why this is a pointer and not a float.
+	Temperature *float64
+	// AnswerCacheSize bounds the engine's memoized direct-call answer
+	// cache (total entries across shards): 0 means
+	// DefaultAnswerCacheSize, negative disables caching entirely.
+	// Identical concurrent calls coalesce into one model round-trip
+	// whenever the cache is enabled.
+	AnswerCacheSize int
+	// RetryBackoff is the base delay before resending a prompt after a
+	// transient client error (doubling per consecutive failure, capped
+	// at 32x the base, aborted by context cancellation). 0 means the
+	// default of 10ms; negative disables backoff. Malformed-response
+	// retries are not delayed — the model answered, just badly.
+	RetryBackoff time.Duration
 	// FS, when non-nil, provides the appendFile/readFile/writeFile host
 	// bindings to generated code.
 	FS *VirtualFS
@@ -69,15 +93,69 @@ func (o *Options) maxRetries() int {
 }
 
 func (o *Options) temperature() float64 {
-	if o.Temperature == 0 {
+	if o.Temperature == nil {
 		return 1.0
 	}
-	return o.Temperature
+	return *o.Temperature
+}
+
+// classifyCompleteErr decides what a Client.Complete error means for a
+// retry loop. It returns retry=true after consuming budget accounting
+// and backoff for a transient error; abortErr non-nil when the error
+// (or the backoff) hit cancellation and must be returned raw; and
+// (false, nil) for permanent errors, which the caller wraps in its own
+// error type and fails fast on — only failures marked with
+// llm.MarkTransient are worth resending the same prompt for.
+func (e *Engine) classifyCompleteErr(ctx context.Context, err error, attempt, budget int, streak *int) (retry bool, abortErr error) {
+	if llm.IsCancellation(err) || ctx.Err() != nil {
+		return false, err // the caller is gone; retrying cannot help
+	}
+	if !llm.IsTransient(err) {
+		return false, nil // permanent (auth, bad request, ...): fail fast
+	}
+	e.stats.transientRetries.Add(1)
+	e.logf("core: attempt %d failed (llm-error: %v); retrying", attempt+1, err)
+	if attempt+1 < budget {
+		if berr := e.backoff(ctx, *streak); berr != nil {
+			return false, berr
+		}
+	}
+	*streak++
+	return true, nil
+}
+
+// backoff sleeps before transient-retry attempt n (0-based count of
+// consecutive transient failures so far), respecting ctx. Without it, a
+// backend outage would turn every call into an immediate burst of
+// budget+1 attempts — multiplied by the router's backend count — against
+// backends that are already failing.
+func (e *Engine) backoff(ctx context.Context, n int) error {
+	base := e.opts.RetryBackoff
+	if base < 0 {
+		return nil
+	}
+	if base == 0 {
+		base = 10 * time.Millisecond
+	}
+	shift := n
+	if shift > 5 {
+		shift = 5 // cap at 32x base
+	}
+	t := time.NewTimer(base << shift)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Engine executes AskIt calls.
 type Engine struct {
-	opts Options
+	opts    Options
+	stats   engineStats
+	answers *answerCache // nil when caching is disabled
 }
 
 // NewEngine validates opts and returns an engine.
@@ -88,11 +166,34 @@ func NewEngine(opts Options) (*Engine, error) {
 	if opts.Model == "" {
 		opts.Model = "gpt-4"
 	}
-	return &Engine{opts: opts}, nil
+	if opts.Temperature != nil {
+		// Snapshot the pointed-to value: the caller keeping (and later
+		// writing through) the pointer must not change a live engine.
+		t := *opts.Temperature
+		opts.Temperature = &t
+	}
+	e := &Engine{opts: opts}
+	if opts.AnswerCacheSize >= 0 {
+		size := opts.AnswerCacheSize
+		if size == 0 {
+			size = DefaultAnswerCacheSize
+		}
+		e.answers = newAnswerCache(size)
+	}
+	return e, nil
 }
 
-// Options returns a copy of the engine's configuration.
-func (e *Engine) Options() Options { return e.opts }
+// Options returns a copy of the engine's configuration. The copy is
+// detached: mutating it (including through its Temperature pointer)
+// does not affect the engine.
+func (e *Engine) Options() Options {
+	opts := e.opts
+	if opts.Temperature != nil {
+		t := *opts.Temperature
+		opts.Temperature = &t
+	}
+	return opts
+}
 
 func (e *Engine) logf(format string, args ...any) {
 	if e.opts.Logf != nil {
@@ -148,6 +249,7 @@ func (e *Engine) AskDirect(ctx context.Context, tpl *template.Template, args map
 	budget := e.opts.maxRetries() + 1
 	var lastProblem prompt.Problem
 	var lastErr error
+	transientStreak := 0
 	for attempt := 0; attempt < budget; attempt++ {
 		resp, err := e.opts.Client.Complete(ctx, llm.Request{
 			Prompt:      cur,
@@ -156,8 +258,22 @@ func (e *Engine) AskDirect(ctx context.Context, tpl *template.Template, args map
 		})
 		info.Attempts++
 		if err != nil {
-			return nil, info, &RetryError{Attempts: info.Attempts, LastKind: "llm-error", Last: err}
+			// A transient backend failure consumes retry budget like a
+			// malformed response, but there is nothing to critique, so
+			// the feedback loop is skipped and the same prompt is resent
+			// after a backoff. Cancellation and permanent errors abort.
+			retry, abortErr := e.classifyCompleteErr(ctx, err, attempt, budget, &transientStreak)
+			if abortErr != nil {
+				return nil, info, abortErr
+			}
+			if !retry {
+				return nil, info, &RetryError{Attempts: info.Attempts, LastKind: "llm-error", Last: err}
+			}
+			lastProblem = prompt.Problem{Kind: "llm-error", Detail: err.Error()}
+			lastErr = err
+			continue
 		}
+		transientStreak = 0
 		info.Latency += resp.Latency
 		info.Usage.PromptTokens += resp.Usage.PromptTokens
 		info.Usage.CompletionTokens += resp.Usage.CompletionTokens

@@ -32,11 +32,21 @@ type Func struct {
 	examples []prompt.Example // few-shot examples for direct calls
 	tests    []prompt.Example // validation examples for codegen
 	name     string
-	treeWalk bool // force the reference engine for this Func
+	treeWalk bool   // force the reference engine for this Func
+	extraSig string // cache-key fragment for the few-shot examples
 
 	mu       sync.Mutex
 	compiled *minilang.CompiledFunc
 	compInfo *CompileInfo
+	inflight *compileFlight // non-nil while a codegen loop is running
+}
+
+// compileFlight is one in-progress codegen loop; concurrent Compile
+// calls share it (singleflight) so exactly one loop runs per Func.
+type compileFlight struct {
+	done chan struct{}
+	info *CompileInfo
+	err  error
 }
 
 // DefineOption customizes a Func.
@@ -98,6 +108,15 @@ func (e *Engine) Define(ret types.Type, templateSrc string, opts ...DefineOption
 	if err := checkParamCoverage(tpl, f.params); err != nil {
 		return nil, err
 	}
+	if len(f.examples) > 0 {
+		// Few-shot examples change the direct prompt, so they are part
+		// of the answer-cache identity.
+		parts := make([]string, 0, 2*len(f.examples))
+		for _, ex := range f.examples {
+			parts = append(parts, jsonx.Encode(ex.Input), jsonx.Encode(ex.Output))
+		}
+		f.extraSig = strings.Join(parts, "\x01")
+	}
 	return f, nil
 }
 
@@ -143,22 +162,41 @@ type CallResult struct {
 }
 
 // Call executes the task with named arguments. Compiled functions run
-// natively; otherwise the engine performs a direct LLM interaction.
+// natively; otherwise the engine performs a direct LLM interaction,
+// memoized through the engine's answer cache (identical concurrent
+// calls coalesce into a single model round-trip).
 func (f *Func) Call(ctx context.Context, args map[string]any) (CallResult, error) {
 	f.mu.Lock()
 	compiled := f.compiled
 	f.mu.Unlock()
 	if compiled != nil {
+		f.engine.stats.compiledCalls.Add(1)
 		start := time.Now()
-		v, err := compiled.Call(args)
+		v, err := compiled.Call(ctx, args)
 		elapsed := time.Since(start)
 		if err != nil {
 			return CallResult{Compiled: true, ExecTime: elapsed}, err
 		}
 		return CallResult{Value: v, Compiled: true, ExecTime: elapsed}, nil
 	}
-	v, info, err := f.engine.AskDirect(ctx, f.tpl, args, f.ret, f.examples)
+	f.engine.stats.directCalls.Add(1)
+	if f.engine.answers == nil {
+		v, info, err := f.engine.AskDirect(ctx, f.tpl, args, f.ret, f.examples)
+		return CallResult{Value: v, LLM: info}, err
+	}
+	v, info, err := f.engine.do(ctx, f.answerKey(args), func() (any, CallInfo, error) {
+		return f.engine.AskDirect(ctx, f.tpl, args, f.ret, f.examples)
+	})
+	// Hits and coalesced calls report the originating call's CallInfo:
+	// it describes how the cached answer was obtained.
 	return CallResult{Value: v, LLM: info}, err
+}
+
+// answerKey is the answer-cache identity of one direct call: the
+// template, the bound arguments, the return type, and the few-shot
+// examples (anything that shapes the prompt or the decoding).
+func (f *Func) answerKey(args map[string]any) string {
+	return f.tpl.Source() + "\x00" + f.ret.TS() + "\x00" + jsonx.Encode(args) + "\x00" + f.extraSig
 }
 
 // CompileInfo reports how code generation went.
@@ -194,15 +232,69 @@ func (e *CompileError) Unwrap() error { return e.Last }
 // examples), retrying with feedback until the budget is exhausted. The
 // accepted function replaces the LLM for subsequent calls and is stored
 // in the on-disk cache when configured.
+//
+// Concurrent Compile calls on one Func coalesce: exactly one codegen
+// loop runs and every caller receives its result (singleflight). A
+// caller whose own context is canceled while waiting gets its context
+// error; if the loop-running caller is canceled instead, one of the
+// waiters starts a fresh loop.
 func (f *Func) Compile(ctx context.Context) (*CompileInfo, error) {
-	f.mu.Lock()
-	if f.compiled != nil {
-		info := *f.compInfo
+	for {
+		f.mu.Lock()
+		if f.compiled != nil {
+			info := *f.compInfo
+			f.mu.Unlock()
+			return &info, nil
+		}
+		if fl := f.inflight; fl != nil {
+			f.mu.Unlock()
+			f.engine.stats.compileCoalesced.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-fl.done:
+			}
+			if fl.err == nil {
+				info := *fl.info
+				return &info, nil
+			}
+			if llm.IsCancellation(fl.err) && ctx.Err() == nil {
+				continue // the leader was canceled, not us: start over
+			}
+			return nil, fl.err
+		}
+		fl := &compileFlight{done: make(chan struct{})}
+		f.inflight = fl
 		f.mu.Unlock()
+
+		// Complete the flight in a defer so a panic in the codegen loop
+		// (user-implementable client) cannot leave f.inflight set and
+		// wedge every future Compile call.
+		completed := false
+		func() {
+			defer func() {
+				if !completed && fl.err == nil {
+					fl.err = fmt.Errorf("core: codegen loop panicked")
+				}
+				f.mu.Lock()
+				f.inflight = nil
+				f.mu.Unlock()
+				close(fl.done)
+			}()
+			fl.info, fl.err = f.compileOnce(ctx)
+			completed = true
+		}()
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		info := *fl.info
 		return &info, nil
 	}
-	f.mu.Unlock()
+}
 
+// compileOnce performs one full codegen loop (disk cache probe, model
+// attempts, validation, install). Callers hold the singleflight slot.
+func (f *Func) compileOnce(ctx context.Context) (*CompileInfo, error) {
 	e := f.engine
 	spec := prompt.CodegenSpec{
 		FuncName: f.name,
@@ -213,7 +305,7 @@ func (f *Func) Compile(ctx context.Context) (*CompileInfo, error) {
 
 	if src, ok := e.loadCache(f.cacheKey()); ok {
 		cf, err := f.compileSource(src)
-		if err == nil && f.validate(cf) == nil {
+		if err == nil && f.validate(ctx, cf) == nil {
 			info := &CompileInfo{FromCache: true, LOC: minilang.CountLOC(src), Source: src}
 			f.install(cf, info)
 			return info, nil
@@ -229,6 +321,7 @@ func (f *Func) Compile(ctx context.Context) (*CompileInfo, error) {
 	budget := e.opts.maxRetries() + 1
 	info := &CompileInfo{}
 	var lastErr error
+	transientStreak := 0
 	start := time.Now()
 	for attempt := 0; attempt < budget; attempt++ {
 		resp, err := e.opts.Client.Complete(ctx, llm.Request{
@@ -238,8 +331,20 @@ func (f *Func) Compile(ctx context.Context) (*CompileInfo, error) {
 		})
 		info.Attempts++
 		if err != nil {
-			return nil, &CompileError{Attempts: info.Attempts, Last: err}
+			// Transient backend failure: consume budget and resend the
+			// same prompt (no response to build feedback from) after a
+			// backoff. Cancellation and permanent errors abort.
+			retry, abortErr := e.classifyCompleteErr(ctx, err, attempt, budget, &transientStreak)
+			if abortErr != nil {
+				return nil, abortErr
+			}
+			if !retry {
+				return nil, &CompileError{Attempts: info.Attempts, Last: err}
+			}
+			lastErr = err
+			continue
 		}
+		transientStreak = 0
 		info.CompileTime += resp.Latency
 
 		src, err := jsonx.ExtractBlock(resp.Text, "typescript", true)
@@ -255,7 +360,7 @@ func (f *Func) Compile(ctx context.Context) (*CompileInfo, error) {
 			cur = prompt.BuildCodegenFeedback(base, resp.Text, lastErr.Error())
 			continue
 		}
-		if err := f.validate(cf); err != nil {
+		if err := f.validate(ctx, cf); err != nil {
 			lastErr = fmt.Errorf("code fails example tests: %w", err)
 			cur = prompt.BuildCodegenFeedback(base, resp.Text, lastErr.Error())
 			continue
@@ -303,12 +408,12 @@ func (f *Func) compileSource(src string) (*minilang.CompiledFunc, error) {
 	return cf, nil
 }
 
-func (f *Func) validate(cf *minilang.CompiledFunc) error {
+func (f *Func) validate(ctx context.Context, cf *minilang.CompiledFunc) error {
 	examples := make([]minilang.Example, len(f.tests))
 	for i, t := range f.tests {
 		examples[i] = minilang.Example{Input: t.Input, Output: t.Output}
 	}
-	return cf.Validate(examples)
+	return cf.Validate(ctx, examples)
 }
 
 func (f *Func) install(cf *minilang.CompiledFunc, info *CompileInfo) {

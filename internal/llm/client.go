@@ -8,6 +8,12 @@
 // error-handling path of the runtime is exercised. Latency is modelled
 // with a virtual token clock calibrated to the paper's reported GPT
 // latencies, so the Table III speedup compares the same quantities.
+//
+// For multi-backend serving, Router composes several Clients behind the
+// same interface (round-robin, failover, per-backend bounded
+// concurrency), and MarkTransient/IsTransient/IsCancellation classify
+// errors so retry loops can tell a retryable backend failure from a
+// canceled caller.
 package llm
 
 import (

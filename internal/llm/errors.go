@@ -1,0 +1,43 @@
+package llm
+
+import (
+	"context"
+	"errors"
+)
+
+// TransientError marks a backend failure as retryable: the request was
+// well-formed but the backend could not serve it right now (overload,
+// connection reset, rate limit). The engine's retry loops consume their
+// budget on transient errors; the Router fails them over to the next
+// backend. Cancellation errors are never transient.
+type TransientError struct {
+	Err error
+}
+
+func (e *TransientError) Error() string { return "llm: transient: " + e.Err.Error() }
+
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// MarkTransient wraps err so IsTransient reports true. A nil error stays
+// nil, a cancellation error is returned unchanged (cancellation is a
+// caller decision, not a backend fault), and an already-transient error
+// is not double-wrapped.
+func MarkTransient(err error) error {
+	if err == nil || IsCancellation(err) || IsTransient(err) {
+		return err
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// IsCancellation reports whether err stems from context cancellation or
+// deadline expiry — the one error class retry loops must never consume
+// budget on: the caller is gone.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

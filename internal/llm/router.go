@@ -1,0 +1,156 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Backend describes one upstream Client in a Router.
+type Backend struct {
+	// Name identifies the backend in stats; defaults to "backend-<i>".
+	Name string
+	// Client serves the completions; required.
+	Client Client
+	// MaxConcurrent bounds in-flight Complete calls on this backend;
+	// <=0 means unbounded. Callers beyond the bound block until a slot
+	// frees (or their context is canceled).
+	MaxConcurrent int
+}
+
+// Router is a Client that fans requests over several backends with
+// round-robin placement, failover on backend errors, and per-backend
+// bounded concurrency. It is the multi-backend serving tier: one engine
+// can drive N simulated (or real) model endpoints as a single Client.
+//
+// Placement: each request starts at the next backend in round-robin
+// order and walks the ring on failure. Cancellation errors abort
+// immediately and are returned as-is; any other backend error counts as
+// a failover and the next backend is tried. When every backend has
+// failed, the last error is returned wrapped as transient, so the
+// engine's retry loops know the request is retryable.
+type Router struct {
+	backends  []*routerBackend
+	next      atomic.Uint64
+	requests  atomic.Uint64
+	failovers atomic.Uint64
+	exhausted atomic.Uint64
+}
+
+type routerBackend struct {
+	name     string
+	client   Client
+	sem      chan struct{} // nil = unbounded
+	requests atomic.Uint64
+	failures atomic.Uint64
+}
+
+// NewRouter validates the backends and returns a Router.
+func NewRouter(backends ...Backend) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("llm: router needs at least one backend")
+	}
+	r := &Router{}
+	for i, b := range backends {
+		if b.Client == nil {
+			return nil, fmt.Errorf("llm: router backend %d has no client", i)
+		}
+		rb := &routerBackend{name: b.Name, client: b.Client}
+		if rb.name == "" {
+			rb.name = fmt.Sprintf("backend-%d", i)
+		}
+		if b.MaxConcurrent > 0 {
+			rb.sem = make(chan struct{}, b.MaxConcurrent)
+		}
+		r.backends = append(r.backends, rb)
+	}
+	return r, nil
+}
+
+var _ Client = (*Router)(nil)
+
+func (b *routerBackend) acquire(ctx context.Context) error {
+	if b.sem == nil {
+		return nil
+	}
+	select {
+	case b.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (b *routerBackend) release() {
+	if b.sem != nil {
+		<-b.sem
+	}
+}
+
+// Complete implements Client by routing the request to a backend.
+func (r *Router) Complete(ctx context.Context, req Request) (Response, error) {
+	r.requests.Add(1)
+	n := len(r.backends)
+	start := int((r.next.Add(1) - 1) % uint64(n)) // mod before int: never negative, even past overflow
+	var lastErr error
+	for i := 0; i < n; i++ {
+		b := r.backends[(start+i)%n]
+		if err := b.acquire(ctx); err != nil {
+			return Response{}, err
+		}
+		resp, err := b.client.Complete(ctx, req)
+		b.release()
+		b.requests.Add(1)
+		if err == nil {
+			return resp, nil
+		}
+		b.failures.Add(1)
+		if IsCancellation(err) || ctx.Err() != nil {
+			return Response{}, err
+		}
+		lastErr = err
+		if i < n-1 {
+			r.failovers.Add(1)
+		}
+	}
+	r.exhausted.Add(1)
+	return Response{}, MarkTransient(fmt.Errorf("llm: router: all %d backends failed: %w", n, lastErr))
+}
+
+// BackendStats is one backend's traffic snapshot.
+type BackendStats struct {
+	Name     string
+	Requests uint64
+	Failures uint64
+}
+
+// RouterStats is a snapshot of the router's counters.
+type RouterStats struct {
+	// Requests counts Complete calls on the router.
+	Requests uint64
+	// Failovers counts backend errors that moved a request to the next
+	// backend in the ring.
+	Failovers uint64
+	// Exhausted counts requests for which every backend failed.
+	Exhausted uint64
+	// Backends holds per-backend counters in ring order.
+	Backends []BackendStats
+}
+
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() RouterStats {
+	s := RouterStats{
+		Requests:  r.requests.Load(),
+		Failovers: r.failovers.Load(),
+		Exhausted: r.exhausted.Load(),
+	}
+	for _, b := range r.backends {
+		s.Backends = append(s.Backends, BackendStats{
+			Name:     b.name,
+			Requests: b.requests.Load(),
+			Failures: b.failures.Load(),
+		})
+	}
+	return s
+}

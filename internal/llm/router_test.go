@@ -1,0 +1,219 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeBackend is a scriptable Client that records traffic and can track
+// its maximum observed concurrency.
+type fakeBackend struct {
+	fail    atomic.Int64 // fail the next N calls with a transient error
+	calls   atomic.Int64
+	active  atomic.Int64
+	maxSeen atomic.Int64
+	block   chan struct{} // when non-nil, calls wait here
+}
+
+func (f *fakeBackend) Complete(ctx context.Context, req Request) (Response, error) {
+	f.calls.Add(1)
+	cur := f.active.Add(1)
+	defer f.active.Add(-1)
+	for {
+		prev := f.maxSeen.Load()
+		if cur <= prev || f.maxSeen.CompareAndSwap(prev, cur) {
+			break
+		}
+	}
+	if f.block != nil {
+		select {
+		case <-f.block:
+		case <-ctx.Done():
+			return Response{}, ctx.Err()
+		}
+	}
+	if f.fail.Add(-1) >= 0 {
+		return Response{}, MarkTransient(errors.New("backend overloaded"))
+	}
+	return Response{Text: "ok"}, nil
+}
+
+func TestRouterRoundRobinSpreadsLoad(t *testing.T) {
+	a, b, c := &fakeBackend{}, &fakeBackend{}, &fakeBackend{}
+	a.fail.Store(-1 << 30)
+	b.fail.Store(-1 << 30)
+	c.fail.Store(-1 << 30)
+	r, err := NewRouter(Backend{Client: a}, Backend{Client: b}, Backend{Client: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := r.Complete(context.Background(), Request{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, f := range []*fakeBackend{a, b, c} {
+		if got := f.calls.Load(); got != 10 {
+			t.Errorf("backend %d served %d calls, want 10", i, got)
+		}
+	}
+	if s := r.Stats(); s.Requests != 30 || s.Failovers != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRouterFailsOverOnTransientError(t *testing.T) {
+	a, b := &fakeBackend{}, &fakeBackend{}
+	a.fail.Store(1 << 30) // a always fails
+	b.fail.Store(-1 << 30)
+	r, err := NewRouter(Backend{Name: "bad", Client: a}, Backend{Name: "good", Client: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		resp, err := r.Complete(context.Background(), Request{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Text != "ok" {
+			t.Fatalf("resp = %+v", resp)
+		}
+	}
+	s := r.Stats()
+	if s.Failovers != 5 {
+		t.Errorf("failovers = %d, want 5 (every request starting at 'bad')", s.Failovers)
+	}
+	if b.calls.Load() != 10 {
+		t.Errorf("good backend served %d, want 10", b.calls.Load())
+	}
+}
+
+func TestRouterAllBackendsFailedIsTransient(t *testing.T) {
+	a, b := &fakeBackend{}, &fakeBackend{}
+	a.fail.Store(1 << 30)
+	b.fail.Store(1 << 30)
+	r, err := NewRouter(Backend{Client: a}, Backend{Client: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Complete(context.Background(), Request{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !IsTransient(err) {
+		t.Errorf("exhausted-router error must be transient, got %v", err)
+	}
+	if s := r.Stats(); s.Exhausted != 1 {
+		t.Errorf("exhausted = %d", s.Exhausted)
+	}
+}
+
+func TestRouterCancellationAbortsWithoutFailover(t *testing.T) {
+	a := &fakeBackend{block: make(chan struct{})}
+	b := &fakeBackend{}
+	b.fail.Store(-1 << 30)
+	r, err := NewRouter(Backend{Client: a}, Backend{Client: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Complete(ctx, Request{})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !IsCancellation(err) {
+			t.Errorf("err = %v, want cancellation", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("router did not observe cancellation")
+	}
+	if b.calls.Load() != 0 {
+		t.Error("cancellation must not fail over to the next backend")
+	}
+	if s := r.Stats(); s.Failovers != 0 {
+		t.Errorf("failovers = %d, want 0", s.Failovers)
+	}
+}
+
+func TestRouterBoundsPerBackendConcurrency(t *testing.T) {
+	f := &fakeBackend{block: make(chan struct{})}
+	f.fail.Store(-1 << 30)
+	r, err := NewRouter(Backend{Client: f, MaxConcurrent: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Complete(context.Background(), Request{}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Let callers pile up against the semaphore, then drain.
+	time.Sleep(20 * time.Millisecond)
+	close(f.block)
+	wg.Wait()
+	if got := f.maxSeen.Load(); got > 3 {
+		t.Errorf("observed %d concurrent calls, bound is 3", got)
+	}
+	if f.calls.Load() != callers {
+		t.Errorf("served %d calls, want %d", f.calls.Load(), callers)
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(); err == nil {
+		t.Error("empty router must be rejected")
+	}
+	if _, err := NewRouter(Backend{}); err == nil {
+		t.Error("nil client must be rejected")
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	base := errors.New("boom")
+	cases := []struct {
+		err       error
+		transient bool
+		cancel    bool
+	}{
+		{nil, false, false},
+		{base, false, false},
+		{MarkTransient(base), true, false},
+		{fmt.Errorf("wrapped: %w", MarkTransient(base)), true, false},
+		{context.Canceled, false, true},
+		{context.DeadlineExceeded, false, true},
+		{fmt.Errorf("rpc: %w", context.Canceled), false, true},
+	}
+	for i, c := range cases {
+		if got := IsTransient(c.err); got != c.transient {
+			t.Errorf("case %d: IsTransient = %v, want %v", i, got, c.transient)
+		}
+		if got := IsCancellation(c.err); got != c.cancel {
+			t.Errorf("case %d: IsCancellation = %v, want %v", i, got, c.cancel)
+		}
+	}
+	// Cancellation is never marked transient, and transient errors are
+	// not double-wrapped.
+	if MarkTransient(context.Canceled) != context.Canceled {
+		t.Error("cancellation must not be marked transient")
+	}
+	te := MarkTransient(base)
+	if MarkTransient(te) != te {
+		t.Error("transient error double-wrapped")
+	}
+}

@@ -149,7 +149,7 @@ func TestSimCodegen(t *testing.T) {
 	if err != nil {
 		t.Fatalf("generated code does not compile: %v\n%s", err, code)
 	}
-	v, err := cf.Call(map[string]any{"n": 5})
+	v, err := cf.Call(context.Background(), map[string]any{"n": 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,8 +213,8 @@ func TestMutateSourceChangesSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	va, _ := a.Call(map[string]any{"n": 6})
-	vb, _ := b.Call(map[string]any{"n": 6})
+	va, _ := a.Call(context.Background(), map[string]any{"n": 6})
+	vb, _ := b.Call(context.Background(), map[string]any{"n": 6})
 	if va == vb {
 		t.Errorf("mutation preserved behaviour: %v == %v", va, vb)
 	}

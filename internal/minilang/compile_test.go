@@ -1,6 +1,7 @@
 package minilang
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -23,7 +24,7 @@ func compiledCall(t *testing.T, src string, args map[string]any) any {
 	if got := cf.Engine(); got != "compiled" {
 		t.Fatalf("Engine() = %q, want compiled", got)
 	}
-	v, err := cf.Call(args)
+	v, err := cf.Call(context.Background(), args)
 	if err != nil {
 		t.Fatalf("call: %v", err)
 	}
@@ -129,7 +130,7 @@ func TestCompiledNamedParamDestructuring(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := cf.Call(map[string]any{"a": 5, "b": "x=", "c": true})
+	v, err := cf.Call(context.Background(), map[string]any{"a": 5, "b": "x=", "c": true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestCompiledNamedParamDestructuring(t *testing.T) {
 		t.Errorf("named params = %v, want x=10", v)
 	}
 	// A missing argument is the same error the tree-walker raises.
-	_, err = cf.Call(map[string]any{"a": 5, "b": "x="})
+	_, err = cf.Call(context.Background(), map[string]any{"a": 5, "b": "x="})
 	if err == nil || !strings.Contains(err.Error(), `missing argument "c"`) {
 		t.Errorf("missing argument error = %v", err)
 	}
@@ -152,7 +153,7 @@ func TestCompiledTreeWalkerSwitch(t *testing.T) {
 	if got := cf.Engine(); got != "tree-walker" {
 		t.Errorf("Engine() = %q, want tree-walker", got)
 	}
-	v, err := cf.Call(map[string]any{"n": 1})
+	v, err := cf.Call(context.Background(), map[string]any{"n": 1})
 	if err != nil || v != 2.0 {
 		t.Errorf("tree-walker call = %v, %v", v, err)
 	}
@@ -160,7 +161,7 @@ func TestCompiledTreeWalkerSwitch(t *testing.T) {
 	if got := cf.Engine(); got != "compiled" {
 		t.Errorf("Engine() = %q, want compiled", got)
 	}
-	v, err = cf.Call(map[string]any{"n": 1})
+	v, err = cf.Call(context.Background(), map[string]any{"n": 1})
 	if err != nil || v != 2.0 {
 		t.Errorf("compiled call = %v, %v", v, err)
 	}
@@ -176,7 +177,7 @@ func TestCompiledHostBindings(t *testing.T) {
 			return strings.ToUpper(ToString(args[0])) + "!", nil
 		}},
 	}
-	v, err := cf.Call(map[string]any{"s": "hi"})
+	v, err := cf.Call(context.Background(), map[string]any{"s": "hi"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestCompiledFuelBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	cf.MaxSteps = 1000
-	_, err = cf.Call(map[string]any{})
+	_, err = cf.Call(context.Background(), map[string]any{})
 	if err == nil || !strings.Contains(err.Error(), ErrFuel) {
 		t.Errorf("fuel error = %v", err)
 	}
@@ -210,7 +211,7 @@ export function f({}: {}): number { counter = counter + 1; return counter; }`, "
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		v, err := cf.Call(map[string]any{})
+		v, err := cf.Call(context.Background(), map[string]any{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -289,11 +290,11 @@ func TestCompiledSteadyStateAllocations(t *testing.T) {
 	}
 	args := map[string]any{"n": 10.0}
 	// Warm up pools and the prepared program.
-	if _, err := cf.Call(args); err != nil {
+	if _, err := cf.Call(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		if _, err := cf.Call(args); err != nil {
+		if _, err := cf.Call(context.Background(), args); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -331,7 +332,7 @@ export function f({n}: {n: number}): number { return fib(n); }`, "f")
 	for g := 0; g < 8; g++ {
 		go func() {
 			for i := 0; i < 50; i++ {
-				v, err := cf.Call(map[string]any{"n": 10.0})
+				v, err := cf.Call(context.Background(), map[string]any{"n": 10.0})
 				if err != nil {
 					done <- err
 					return

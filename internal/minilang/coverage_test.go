@@ -1,6 +1,7 @@
 package minilang
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"strings"
@@ -30,7 +31,7 @@ export function f({}: {}): any {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cf.Call(nil)
+	got, err := cf.Call(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,12 +66,12 @@ func TestMapValDirectAPI(t *testing.T) {
 
 func TestCompareMixedTypes(t *testing.T) {
 	cases := map[string]any{
-		`"5" < 10`:        true, // numeric coercion when not both strings
-		`"b" >= "a"`:      true,
-		`"b" <= "a"`:      false,
-		`true < 2`:        true,
-		`null <= 0`:       true,
-		"3 >= 3":          true,
+		`"5" < 10`:   true, // numeric coercion when not both strings
+		`"b" >= "a"`: true,
+		`"b" <= "a"`: false,
+		`true < 2`:   true,
+		`null <= 0`:  true,
+		"3 >= 3":     true,
 	}
 	for src, want := range cases {
 		if got := evalExpr(t, src); got != want {
@@ -221,7 +222,7 @@ func TestValidateErrorMessages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = cf.Validate([]Example{{Input: map[string]any{"n": 3.0}, Output: 7.0}})
+	err = cf.Validate(context.Background(), []Example{{Input: map[string]any{"n": 3.0}, Output: 7.0}})
 	if err == nil || !strings.Contains(err.Error(), "got 6, want 7") {
 		t.Errorf("err = %v", err)
 	}
@@ -231,13 +232,13 @@ func TestValidateErrorMessages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cf2.Validate([]Example{{
+	if err := cf2.Validate(context.Background(), []Example{{
 		Input:  map[string]any{},
 		Output: map[string]any{"xs": []any{1.0, 2.0}, "ok": true},
 	}}); err != nil {
 		t.Errorf("deep validate: %v", err)
 	}
-	if err := cf2.Validate([]Example{{
+	if err := cf2.Validate(context.Background(), []Example{{
 		Input:  map[string]any{},
 		Output: map[string]any{"xs": []any{1.0, 2.0}, "ok": false},
 	}}); err == nil {
@@ -308,8 +309,8 @@ export function f({xs}: {xs: number[]}): string {
 	}
 	cf2 := &CompiledFunc{Prog: opt, Decl: opt.Funcs()["f"]}
 	args := map[string]any{"xs": []any{1.0, 5.0, 2.0}}
-	a, err1 := cf.Call(args)
-	b, err2 := cf2.Call(args)
+	a, err1 := cf.Call(context.Background(), args)
+	b, err2 := cf2.Call(context.Background(), args)
 	if err1 != nil || err2 != nil || a != b {
 		t.Errorf("optimize changed behaviour: %v/%v vs %v/%v", a, err1, b, err2)
 	}

@@ -2,6 +2,7 @@ package minilang
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -305,7 +306,7 @@ func TestEngineGlobalMutationIsolation(t *testing.T) {
 		t.Fatalf("Engine() = %q, want tree-walker (global-mutating program must be declined)", got)
 	}
 	for i := 0; i < 3; i++ {
-		v, err := cf.Call(map[string]any{})
+		v, err := cf.Call(context.Background(), map[string]any{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -330,8 +331,8 @@ func runBoth(t *testing.T, src string, args map[string]any, maxSteps int64) (any
 	var bufC, bufT bytes.Buffer
 	cfC.Stdout, cfT.Stdout = &bufC, &bufT
 	cfC.MaxSteps, cfT.MaxSteps = maxSteps, maxSteps
-	anyC, errC = cfC.Call(args)
-	anyT, errT = cfT.Call(args)
+	anyC, errC = cfC.Call(context.Background(), args)
+	anyT, errT = cfT.Call(context.Background(), args)
 	return anyC, anyT, errC, errT, bufC.String(), bufT.String()
 }
 
@@ -379,10 +380,10 @@ export function f({x}: {x: number}): number {
 	var bufC, bufT bytes.Buffer
 	cfC.Stdout, cfT.Stdout = &bufC, &bufT
 	for i := 0; i < 3; i++ {
-		if _, err := cfC.Call(map[string]any{"x": float64(i)}); err != nil {
+		if _, err := cfC.Call(context.Background(), map[string]any{"x": float64(i)}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := cfT.Call(map[string]any{"x": float64(i)}); err != nil {
+		if _, err := cfT.Call(context.Background(), map[string]any{"x": float64(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}

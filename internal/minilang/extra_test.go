@@ -1,6 +1,7 @@
 package minilang
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -30,7 +31,7 @@ export function f({s}: {s: string}): number {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cf.Call(map[string]any{"s": "héllo"})
+	got, err := cf.Call(context.Background(), map[string]any{"s": "héllo"})
 	if err != nil || got != 5.0 {
 		t.Errorf("got %v err %v (rune iteration)", got, err)
 	}
@@ -224,8 +225,8 @@ func TestQuickFormatPreservesArithmetic(t *testing.T) {
 			return false
 		}
 		for _, n := range []float64{0, 1, 7, -3} {
-			a, err1 := cf1.Call(map[string]any{"x": n})
-			b, err2 := cf2.Call(map[string]any{"x": n})
+			a, err1 := cf1.Call(context.Background(), map[string]any{"x": n})
+			b, err2 := cf2.Call(context.Background(), map[string]any{"x": n})
 			if (err1 == nil) != (err2 == nil) {
 				return false
 			}

@@ -1,6 +1,7 @@
 package minilang
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -68,6 +69,10 @@ type Interp struct {
 	MaxSteps int64
 	// Stdout receives console.log output; nil discards it.
 	Stdout io.Writer
+	// Ctx, when non-nil, is polled periodically by the step loop so a
+	// canceled or timed-out caller stops generated code promptly instead
+	// of burning the remaining fuel budget.
+	Ctx context.Context
 
 	steps   int64
 	globals *Env
@@ -215,6 +220,13 @@ func (in *Interp) tick(at Pos) error {
 	}
 	if in.steps > limit {
 		return &RuntimeError{Pos: at, Msg: ErrFuel}
+	}
+	// Poll the caller's context every 1024 steps: cheap enough for the
+	// hot loop, frequent enough that cancellation lands in microseconds.
+	if in.steps&1023 == 0 && in.Ctx != nil {
+		if err := in.Ctx.Err(); err != nil {
+			return fmt.Errorf("minilang: execution canceled at %s: %w", at, err)
+		}
 	}
 	return nil
 }

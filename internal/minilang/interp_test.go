@@ -1,6 +1,7 @@
 package minilang
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"strings"
@@ -15,7 +16,7 @@ func evalExpr(t *testing.T, src string) any {
 	if err != nil {
 		t.Fatalf("compile %q: %v", src, err)
 	}
-	v, err := cf.Call(map[string]any{})
+	v, err := cf.Call(context.Background(), map[string]any{})
 	if err != nil {
 		t.Fatalf("eval %q: %v", src, err)
 	}
@@ -82,7 +83,7 @@ export function f({}: {}): number {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := cf.Call(nil)
+	v, err := cf.Call(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ export function classify({n}: {n: number}): string {
 	}
 	cases := map[float64]string{-3: "negative", 0: "zero", 9: "positive"}
 	for n, want := range cases {
-		got, err := cf.Call(map[string]any{"n": n})
+		got, err := cf.Call(context.Background(), map[string]any{"n": n})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +140,7 @@ export function sums({n}: {n: number}): number[] {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cf.Call(map[string]any{"n": 10})
+	got, err := cf.Call(context.Background(), map[string]any{"n": 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ export function f({}: {}): number {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cf.Call(nil)
+	got, err := cf.Call(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ export function fact({n}: {n: number}): number {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cf.Call(map[string]any{"n": 10})
+	got, err := cf.Call(context.Background(), map[string]any{"n": 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ export function f({n}: {n: number}): number {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cf.Call(map[string]any{"n": 3})
+	got, err := cf.Call(context.Background(), map[string]any{"n": 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ export function f({}: {}): number {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cf.Call(nil)
+	got, err := cf.Call(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ export function f({}: {}): any {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cf.Call(nil)
+	got, err := cf.Call(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,7 +409,7 @@ export function f({}: {}): any {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cf.Call(nil)
+	got, err := cf.Call(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,7 +436,7 @@ export function f({xs}: {xs: number[]}): any {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cf.Call(map[string]any{"xs": []any{1.0, 2.0, 2.0, 3.0, 1.0}})
+	got, err := cf.Call(context.Background(), map[string]any{"xs": []any{1.0, 2.0, 2.0, 3.0, 1.0}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +465,7 @@ export function f({name, n}: {name: string, n: number}): string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cf.Call(map[string]any{"name": "Ada", "n": 2})
+	got, err := cf.Call(context.Background(), map[string]any{"name": "Ada", "n": 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -483,12 +484,12 @@ export function f({n}: {n: number}): number {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cf.Call(map[string]any{"n": -1}); err == nil {
+	if _, err := cf.Call(context.Background(), map[string]any{"n": -1}); err == nil {
 		t.Fatal("expected error")
 	} else if !strings.Contains(err.Error(), "negative input") {
 		t.Errorf("err = %v", err)
 	}
-	if v, err := cf.Call(map[string]any{"n": 5}); err != nil || v != 5.0 {
+	if v, err := cf.Call(context.Background(), map[string]any{"n": 5}); err != nil || v != 5.0 {
 		t.Errorf("v=%v err=%v", v, err)
 	}
 }
@@ -500,7 +501,7 @@ func TestFuelLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	cf.MaxSteps = 10000
-	_, err = cf.Call(nil)
+	_, err = cf.Call(context.Background(), nil)
 	if err == nil || !strings.Contains(err.Error(), ErrFuel) {
 		t.Errorf("err = %v, want fuel error", err)
 	}
@@ -516,7 +517,7 @@ func TestRuntimeErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cf.Call(nil); err == nil {
+	if _, err := cf.Call(context.Background(), nil); err == nil {
 		t.Error("expected 'not a function' error")
 	}
 	// Indexing null
@@ -524,7 +525,7 @@ func TestRuntimeErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cf.Call(nil); err == nil {
+	if _, err := cf.Call(context.Background(), nil); err == nil {
 		t.Error("expected 'cannot index null' error")
 	}
 	// const reassignment at runtime via closure capture is caught statically;
@@ -533,7 +534,7 @@ func TestRuntimeErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, err := cf.Call(nil); err != nil || v != 1.0 {
+	if v, err := cf.Call(context.Background(), nil); err != nil || v != 1.0 {
 		t.Errorf("v=%v err=%v", v, err)
 	}
 }
@@ -544,7 +545,7 @@ func TestNamedArgumentConvention(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cf.Call(map[string]any{"x": 2, "y": 40})
+	got, err := cf.Call(context.Background(), map[string]any{"x": 2, "y": 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -552,7 +553,7 @@ func TestNamedArgumentConvention(t *testing.T) {
 		t.Errorf("got %v", got)
 	}
 	// Missing argument is an error.
-	if _, err := cf.Call(map[string]any{"x": 2}); err == nil {
+	if _, err := cf.Call(context.Background(), map[string]any{"x": 2}); err == nil {
 		t.Error("expected missing-argument error")
 	}
 }
@@ -563,7 +564,7 @@ func TestPositionalFunctionViaCallFunction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cf.Call(map[string]any{"x": 1, "y": 2})
+	got, err := cf.Call(context.Background(), map[string]any{"x": 1, "y": 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -582,11 +583,11 @@ func TestValidateExamples(t *testing.T) {
 		{Input: map[string]any{"s": "abc"}, Output: "cba"},
 		{Input: map[string]any{"s": ""}, Output: ""},
 	}
-	if err := cf.Validate(ok); err != nil {
+	if err := cf.Validate(context.Background(), ok); err != nil {
 		t.Errorf("Validate: %v", err)
 	}
 	bad := []Example{{Input: map[string]any{"s": "abc"}, Output: "abc"}}
-	if err := cf.Validate(bad); err == nil {
+	if err := cf.Validate(context.Background(), bad); err == nil {
 		t.Error("expected validation failure")
 	}
 }
@@ -598,11 +599,11 @@ func TestValidateFloatTolerance(t *testing.T) {
 		t.Fatal(err)
 	}
 	exs := []Example{{Input: map[string]any{"ns": []any{0.1, 0.2}}, Output: 0.15000000000000002}}
-	if err := cf.Validate(exs); err != nil {
+	if err := cf.Validate(context.Background(), exs); err != nil {
 		t.Errorf("Validate: %v", err)
 	}
 	exs2 := []Example{{Input: map[string]any{"ns": []any{0.1, 0.2}}, Output: 0.15}}
-	if err := cf.Validate(exs2); err != nil {
+	if err := cf.Validate(context.Background(), exs2); err != nil {
 		t.Errorf("Validate with tolerance: %v", err)
 	}
 }
@@ -637,7 +638,7 @@ export function fact({n}: {n: number}): number {
 		for i := 2; i <= m; i++ {
 			want *= float64(i)
 		}
-		got, err := cf.Call(map[string]any{"n": m})
+		got, err := cf.Call(context.Background(), map[string]any{"n": m})
 		return err == nil && got == want
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -657,7 +658,7 @@ func TestQuickSortProperty(t *testing.T) {
 		for i, n := range ns {
 			in[i] = float64(n)
 		}
-		got, err := cf.Call(map[string]any{"ns": in})
+		got, err := cf.Call(context.Background(), map[string]any{"ns": in})
 		if err != nil {
 			return false
 		}
@@ -694,7 +695,7 @@ export function fib({n}: {n: number}): number[] {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cf.Call(args); err != nil {
+		if _, err := cf.Call(context.Background(), args); err != nil {
 			b.Fatal(err)
 		}
 	}

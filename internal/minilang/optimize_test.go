@@ -1,6 +1,7 @@
 package minilang
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -100,8 +101,8 @@ func TestQuickOptimizePreservesSemantics(t *testing.T) {
 			return false
 		}
 		for _, n := range []float64{0, 1, -2, 9} {
-			a, err1 := cf1.Call(map[string]any{"x": n})
-			b, err2 := cf2.Call(map[string]any{"x": n})
+			a, err1 := cf1.Call(context.Background(), map[string]any{"x": n})
+			b, err2 := cf2.Call(context.Background(), map[string]any{"x": n})
 			if (err1 == nil) != (err2 == nil) {
 				return false
 			}
@@ -147,7 +148,7 @@ export function f({n}: {n: number}): number {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cf.Call(args); err != nil {
+		if _, err := cf.Call(context.Background(), args); err != nil {
 			b.Fatal(err)
 		}
 	}

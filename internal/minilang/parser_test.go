@@ -1,6 +1,7 @@
 package minilang
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -260,8 +261,8 @@ func TestFormatPreservesSemantics(t *testing.T) {
 		t.Fatalf("compile formatted: %v\n%s", err, formatted)
 	}
 	for _, n := range []int{0, 10, 100} {
-		a, err1 := cf1.Call(map[string]any{"n": n})
-		b, err2 := cf2.Call(map[string]any{"n": n})
+		a, err1 := cf1.Call(context.Background(), map[string]any{"n": n})
+		b, err2 := cf2.Call(context.Background(), map[string]any{"n": n})
 		if err1 != nil || err2 != nil || a != b {
 			t.Errorf("n=%d: %v/%v vs %v/%v", n, a, err1, b, err2)
 		}

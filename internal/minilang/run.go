@@ -1,6 +1,7 @@
 package minilang
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -123,17 +124,21 @@ func (cf *CompiledFunc) Engine() string {
 
 // Call invokes the function with named arguments expressed in the JSON
 // data model (nil, bool, float64/int, string, []any, map[string]any) and
-// returns the result converted back to the JSON data model.
-func (cf *CompiledFunc) Call(args map[string]any) (any, error) {
+// returns the result converted back to the JSON data model. The step
+// loop polls ctx, so cancelling it stops runaway generated code without
+// waiting for the fuel budget; a nil ctx disables the polling.
+func (cf *CompiledFunc) Call(ctx context.Context, args map[string]any) (any, error) {
 	if cf.TreeWalker || cf.Prepare() != nil {
-		return cf.callTreeWalker(args)
+		return cf.callTreeWalker(ctx, args)
 	}
 	in := callInterpPool.Get().(*Interp)
 	in.MaxSteps = cf.MaxSteps
 	in.Stdout = cf.Stdout
+	in.Ctx = ctx
 	in.steps = 0
 	v, err := cf.prepared.callFunction(in, cf.prepDecl, args)
 	in.Stdout = nil
+	in.Ctx = nil
 	callInterpPool.Put(in)
 	if err != nil {
 		return nil, err
@@ -143,12 +148,13 @@ func (cf *CompiledFunc) Call(args map[string]any) (any, error) {
 
 // callTreeWalker executes via the reference AST interpreter, building a
 // fresh environment per call exactly as the seed implementation did.
-func (cf *CompiledFunc) callTreeWalker(args map[string]any) (any, error) {
+func (cf *CompiledFunc) callTreeWalker(ctx context.Context, args map[string]any) (any, error) {
 	in := NewInterp()
 	if cf.MaxSteps > 0 {
 		in.MaxSteps = cf.MaxSteps
 	}
 	in.Stdout = cf.Stdout
+	in.Ctx = ctx
 	for name, fn := range cf.Hosts {
 		_ = in.Globals().Define(name, fn, true)
 	}
@@ -185,10 +191,11 @@ type Example struct {
 // Validate runs the function on each example and returns a descriptive
 // error for the first mismatch. Numeric outputs compare with a small
 // relative tolerance, because LLM-written arithmetic may reorder
-// floating-point operations.
-func (cf *CompiledFunc) Validate(examples []Example) error {
+// floating-point operations. ctx bounds the example executions the same
+// way it bounds Call.
+func (cf *CompiledFunc) Validate(ctx context.Context, examples []Example) error {
 	for i, ex := range examples {
-		got, err := cf.Call(ex.Input)
+		got, err := cf.Call(ctx, ex.Input)
 		if err != nil {
 			return fmt.Errorf("example %d: %w", i, err)
 		}

@@ -1,6 +1,7 @@
 package tasks
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -42,7 +43,7 @@ func TestRandomizedCrossCheck(t *testing.T) {
 						pos[i] = v
 					}
 					want, errW := spec.Solve(pos)
-					got, errG := cf.Call(args)
+					got, errG := cf.Call(context.Background(), args)
 					if (errW == nil) != (errG == nil) {
 						// Preconditions (empty list, <2 distinct values)
 						// may fail differently; tolerate only when one

@@ -1,6 +1,7 @@
 package tasks
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -128,7 +129,7 @@ func TestSpecsSourceMatchesSolve(t *testing.T) {
 						}
 						args[names[j]] = v
 					}
-					got, err := cf.Call(args)
+					got, err := cf.Call(context.Background(), args)
 					if err != nil {
 						t.Fatalf("example %d: run: %v\n%s", i, err, srcText)
 					}
