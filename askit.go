@@ -35,6 +35,12 @@
 // requests coalesce through a sharded answer cache, concurrent Compile
 // calls share one codegen loop, and AskBatch/CallBatch fan slices of
 // Args over a worker pool. Stats reports the serving counters.
+//
+// Compiled functions can outlive the process: Options.StorePath points
+// the engine at a persistent artifact store, so a restarted replica
+// re-installs previously generated code with zero codegen LLM calls,
+// and SnapshotAnswers extends the warm start to memoized direct-call
+// answers.
 package askit
 
 import (
@@ -48,6 +54,7 @@ import (
 	"repro/internal/jsonx"
 	"repro/internal/llm"
 	"repro/internal/prompt"
+	"repro/internal/store"
 	"repro/internal/types"
 )
 
@@ -121,8 +128,20 @@ type Options struct {
 	// 10ms; negative disables backoff.
 	RetryBackoff time.Duration
 	// CacheDir persists generated functions (the paper's askit/
-	// directory); empty disables the disk cache.
+	// directory); empty disables the legacy disk cache. Prefer
+	// StorePath: the artifact store adds integrity checking, engine
+	// versioning, and validation records.
 	CacheDir string
+	// StorePath, when non-empty, opens (creating if needed) the
+	// persistent artifact store rooted at that directory. Compiled
+	// functions outlive the process: a restarted replica re-installs
+	// them from disk with zero codegen LLM calls, and SnapshotAnswers
+	// extends the warm start to memoized direct-call answers. Use Store
+	// instead to share one opened store across engines.
+	StorePath string
+	// Store is an already-open artifact store; see StorePath. When both
+	// are set, Store wins.
+	Store *Store
 	// FS provides the virtual file system for file-access tasks; nil
 	// disables the appendFile/readFile/writeFile host bindings.
 	FS *core.VirtualFS
@@ -143,6 +162,27 @@ type Options struct {
 
 // NewVirtualFS returns an empty virtual file system for Options.FS.
 func NewVirtualFS() *core.VirtualFS { return core.NewVirtualFS() }
+
+// Store is the persistent artifact store: a content-addressed,
+// versioned on-disk record of every compiled function (generated
+// source, cache identity, validation record) plus an optional snapshot
+// of the answer cache. See Options.StorePath.
+type Store = store.Store
+
+// OpenStore opens (creating if needed) the artifact store rooted at
+// dir, for sharing one store across several engines via
+// Options.Store / WithStore.
+func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
+
+// WithStore returns a copy of o using s as the persistence tier; a
+// chaining convenience for sharing one opened store:
+//
+//	st, _ := askit.OpenStore(dir)
+//	ai, _ := askit.New(askit.Options{Client: client}.WithStore(st))
+func (o Options) WithStore(s *Store) Options {
+	o.Store = s
+	return o
+}
 
 // Temp returns a pointer to v, for Options.Temperature.
 func Temp(v float64) *float64 { return &v }
@@ -167,6 +207,13 @@ type AskIt struct {
 
 // New validates opts and returns an AskIt instance.
 func New(opts Options) (*AskIt, error) {
+	st := opts.Store
+	if st == nil && opts.StorePath != "" {
+		var err error
+		if st, err = store.Open(opts.StorePath); err != nil {
+			return nil, err
+		}
+	}
 	engine, err := core.NewEngine(core.Options{
 		Client:          opts.Client,
 		Model:           opts.Model,
@@ -175,6 +222,7 @@ func New(opts Options) (*AskIt, error) {
 		AnswerCacheSize: opts.AnswerCacheSize,
 		RetryBackoff:    opts.RetryBackoff,
 		CacheDir:        opts.CacheDir,
+		Store:           st,
 		FS:              opts.FS,
 		MaxSteps:        opts.MaxSteps,
 		Optimize:        opts.Optimize,
@@ -193,6 +241,13 @@ func (a *AskIt) Engine() *core.Engine { return a.engine }
 
 // Stats returns a snapshot of the engine's serving counters.
 func (a *AskIt) Stats() Stats { return a.engine.Stats() }
+
+// SnapshotAnswers persists the memoized direct-call answer cache to
+// the configured artifact store and returns the number of answers
+// written. A replica restarted against the same store then serves
+// those answers without any model traffic. Requires Options.StorePath
+// or Options.Store, and the answer cache enabled.
+func (a *AskIt) SnapshotAnswers() (int, error) { return a.engine.SnapshotAnswers() }
 
 // Ask performs one directly answerable task (paper §III-A): it renders
 // the prompt template with args, constrains the response to ret, and

@@ -201,6 +201,99 @@ func TestNewRequiresClient(t *testing.T) {
 	}
 }
 
+func TestStorePathWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	newWarmable := func() (*AskIt, *Func) {
+		sim := NewSimClient(42)
+		sim.Noise.DirectBlind = 0
+		sim.Noise.CodegenBlind = 0
+		ai, err := New(Options{Client: sim, Model: "gpt-4", StorePath: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := ai.Define(Float, "Calculate the factorial of {{n}}.",
+			WithParamTypes(Field{Name: "n", Type: Float}),
+			WithTests(Example{Input: Args{"n": 5.0}, Output: 120.0}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ai, f
+	}
+
+	// Cold replica: compile, serve a direct call, snapshot.
+	cold, f := newWarmable()
+	if err := f.Compile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats().CodegenLLMCalls == 0 {
+		t.Error("cold compile was free")
+	}
+	if _, err := cold.Ask(context.Background(), Str, "Reverse the string {{s}}.", Args{"s": "warm"}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cold.SnapshotAnswers(); err != nil || n == 0 {
+		t.Fatalf("snapshot: n=%d err=%v", n, err)
+	}
+
+	// Warm replica over the same StorePath: compiled function and
+	// memoized answer both come back with zero model traffic.
+	warm, g := newWarmable()
+	if err := g.Compile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	v, err := g.Call(context.Background(), Args{"n": 6.0})
+	if err != nil || v != 720.0 {
+		t.Fatalf("warm call: %v, %v", v, err)
+	}
+	ans, err := warm.Ask(context.Background(), Str, "Reverse the string {{s}}.", Args{"s": "warm"})
+	if err != nil || ans != "mraw" {
+		t.Fatalf("warm ask: %v, %v", ans, err)
+	}
+	s := warm.Stats()
+	if s.CodegenLLMCalls != 0 {
+		t.Errorf("warm restart made %d codegen LLM calls, want 0", s.CodegenLLMCalls)
+	}
+	if s.StoreHits != 1 || s.AnswersRestored == 0 || s.AnswerHits == 0 {
+		t.Errorf("warm stats = %+v", s)
+	}
+}
+
+func TestWithStoreShares(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *AskIt {
+		sim := NewSimClient(42)
+		sim.Noise.CodegenBlind = 0
+		ai, err := New(Options{Client: sim, Model: "gpt-4"}.WithStore(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ai
+	}
+	define := func(ai *AskIt) *Func {
+		f, err := ai.Define(Float, "Calculate the factorial of {{n}}.",
+			WithParamTypes(Field{Name: "n", Type: Float}),
+			WithTests(Example{Input: Args{"n": 5.0}, Output: 120.0}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a, b := mk(), mk()
+	if err := define(a).Compile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The second engine shares the store: its compile is a store hit.
+	if err := define(b).Compile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s := b.Stats(); s.CodegenLLMCalls != 0 || s.StoreHits != 1 {
+		t.Errorf("shared-store stats = %+v", s)
+	}
+}
+
 func TestTypeReExports(t *testing.T) {
 	book := Dict(
 		Field{Name: "title", Type: Str},

@@ -43,6 +43,12 @@ func (f *Func) CallBatch(ctx context.Context, argsList []Args, workers int) []Ba
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if err := ctx.Err(); err != nil {
+					// Dispatched in the same instant the context died:
+					// this element never started, report it canceled.
+					results[i] = BatchResult{Index: i, Err: err}
+					continue
+				}
 				v, err := f.Call(ctx, argsList[i])
 				results[i] = BatchResult{Index: i, Value: v, Err: err}
 			}
@@ -53,7 +59,16 @@ func (f *Func) CallBatch(ctx context.Context, argsList []Args, workers int) []Ba
 			results[i] = BatchResult{Index: i, Err: err}
 			continue
 		}
-		next <- i
+		// The send races the context: with all workers busy, a plain
+		// `next <- i` would sit blocked through a mid-batch cancellation
+		// until a worker happened to free up, and the element would then
+		// be started against a dead context instead of being reported as
+		// canceled.
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			results[i] = BatchResult{Index: i, Err: ctx.Err()}
+		}
 	}
 	close(next)
 	wg.Wait()

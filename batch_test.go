@@ -2,10 +2,13 @@ package askit_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	askit "repro"
+	"repro/internal/llm"
 )
 
 func newBatchAI(t *testing.T) *askit.AskIt {
@@ -97,6 +100,71 @@ func TestCallBatchCanceledContext(t *testing.T) {
 	for _, r := range results {
 		if r.Err == nil {
 			t.Errorf("element %d succeeded under canceled context", r.Index)
+		}
+	}
+}
+
+// gateClient wedges every Complete call until its context dies,
+// signalling each arrival on started.
+type gateClient struct {
+	started chan struct{}
+}
+
+func (c *gateClient) Complete(ctx context.Context, _ llm.Request) (llm.Response, error) {
+	c.started <- struct{}{}
+	<-ctx.Done()
+	return llm.Response{}, ctx.Err()
+}
+
+func TestCallBatchMidBatchCancellation(t *testing.T) {
+	// Two workers wedge on the first two elements; the dispatcher is
+	// blocked handing out the third when the context is canceled. Every
+	// not-yet-started element must come back with ctx.Err(), never a
+	// zero-valued result — and the batch must return promptly instead
+	// of waiting out the worker queue.
+	const elements = 8
+	client := &gateClient{started: make(chan struct{}, elements)}
+	ai, err := askit.New(askit.Options{Client: client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ai.Define(askit.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var argsList []askit.Args
+	for i := 0; i < elements; i++ {
+		argsList = append(argsList, askit.Args{"s": fmt.Sprintf("item-%d", i)})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	resultsCh := make(chan []askit.BatchResult, 1)
+	go func() { resultsCh <- f.CallBatch(ctx, argsList, 2) }()
+
+	// Wait until both workers are wedged inside the model call, then
+	// cancel mid-batch.
+	<-client.started
+	<-client.started
+	cancel()
+
+	var results []askit.BatchResult
+	select {
+	case results = <-resultsCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("CallBatch did not return after mid-batch cancellation")
+	}
+	if len(results) != elements {
+		t.Fatalf("got %d results, want %d", len(results), elements)
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Errorf("element %d: nil error (value %v) after cancellation", i, r.Value)
+			continue
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("element %d: err = %v, want context.Canceled", i, r.Err)
+		}
+		if r.Index != i {
+			t.Errorf("element %d carries index %d", i, r.Index)
 		}
 	}
 }

@@ -6,6 +6,7 @@
 //	askit-bench -csv out/             # also write CSV series for plotting
 //	askit-bench -exp bench            # hot-path micro benchmarks -> BENCH_1.json
 //	askit-bench -exp serve            # serving-tier benchmark -> BENCH_2.json
+//	askit-bench -exp warm             # persistence-tier benchmark -> BENCH_3.json
 package main
 
 import (
@@ -20,12 +21,13 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|bench|serve|all")
+		which    = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|bench|serve|warm|all")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		problems = flag.Int("n", 0, "GSM8K problem count for table3 (0 = full 1319)")
 		workers  = flag.Int("workers", 8, "worker pool size for table3")
 		csvDir   = flag.String("csv", "", "directory to write CSV series into (optional)")
-		benchOut = flag.String("benchout", "", "output path for -exp bench/serve (default BENCH_1.json / BENCH_2.json)")
+		benchOut = flag.String("benchout", "", "output path for -exp bench/serve/warm (default BENCH_<n>.json)")
+		storeDir = flag.String("storedir", "", "artifact store directory for -exp warm (default: a temp dir)")
 	)
 	flag.Parse()
 
@@ -47,6 +49,16 @@ func main() {
 			out = "BENCH_2.json"
 		}
 		if err := runServeJSON(out, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *which == "warm" {
+		out := *benchOut
+		if out == "" {
+			out = "BENCH_3.json"
+		}
+		if err := runWarmJSON(out, *seed, *storeDir); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/prompt"
+	"repro/internal/store"
+	"repro/internal/tasks"
+)
+
+// The warm benchmark measures the persistence tier (ROADMAP PR 3): a
+// cold replica pays the full codegen loop for every Func, then a
+// "restarted" replica — a fresh engine over the same artifact store —
+// must install every previously compiled function with zero codegen
+// LLM calls and reach its first native call in local-validation time
+// instead of model time. Run with:
+//
+//	askit-bench -exp warm             # writes BENCH_3.json
+//
+// The run doubles as a smoke test: it exits non-zero if the warm
+// replica touched the model for codegen, so CI catches persistence
+// regressions.
+const (
+	warmFuncs       = 24  // codable tasks drawn from the Table II catalog
+	warmSteadyCalls = 200 // per-func native calls for the parity check
+)
+
+// warmSide is one replica's measurement.
+type warmSide struct {
+	Funcs           int    `json:"funcs"`
+	CodegenLLMCalls uint64 `json:"codegen_llm_calls"`
+	CompileAttempts int    `json:"compile_attempts"`
+	StoreHits       uint64 `json:"store_hits"`
+	StoreMisses     uint64 `json:"store_misses"`
+	AnswersRestored uint64 `json:"answers_restored"`
+	// TTFC ("time to first call") per func: wall-clock define + compile
+	// + first native call, plus the simulated model latency the compile
+	// accumulated — the end-to-end delay a production caller would see.
+	TTFCTotalMs float64 `json:"ttfc_total_ms"`
+	TTFCMeanMs  float64 `json:"ttfc_mean_ms"`
+	// SteadyP50Us is the median native call latency after warm-up —
+	// cold and warm replicas must agree (steady-state parity).
+	SteadyP50Us float64 `json:"steady_p50_us"`
+}
+
+// WarmReport is the BENCH_3.json schema.
+type WarmReport struct {
+	Note               string   `json:"note"`
+	Funcs              int      `json:"funcs"`
+	AnswersSnapshotted int      `json:"answers_snapshotted"`
+	Cold               warmSide `json:"cold_start"`
+	Warm               warmSide `json:"warm_restart"`
+	TTFCSpeedup        float64  `json:"ttfc_speedup"`
+}
+
+// warmSpecs selects the codable, non-hard catalog tasks the benchmark
+// compiles on both sides.
+func warmSpecs() []*tasks.Spec {
+	var specs []*tasks.Spec
+	for _, spec := range tasks.Common.All() {
+		if spec.Codable && !spec.Hard && len(spec.Examples) > 0 {
+			specs = append(specs, spec)
+		}
+		if len(specs) == warmFuncs {
+			break
+		}
+	}
+	return specs
+}
+
+func warmEngine(seed int64, st *store.Store) (*core.Engine, error) {
+	sim := llm.NewSim(seed)
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	return core.NewEngine(core.Options{Client: sim, Model: "gpt-4", Store: st})
+}
+
+// driveWarm defines, compiles, and first-calls every spec on a fresh
+// engine, then runs the steady-state loop; it is the whole lifecycle
+// of one replica.
+func driveWarm(eng *core.Engine, specs []*tasks.Spec) (warmSide, error) {
+	side := warmSide{Funcs: len(specs)}
+	ctx := context.Background()
+	var steady []time.Duration
+	for _, spec := range specs {
+		tests := make([]prompt.Example, len(spec.Examples))
+		for i, ex := range spec.Examples {
+			tests[i] = prompt.Example{Input: ex.Input, Output: ex.Output}
+		}
+		t0 := time.Now()
+		f, err := eng.Define(spec.Return, spec.Template,
+			core.WithParamTypes(spec.ParamTypes()),
+			core.WithTests(tests))
+		if err != nil {
+			return side, fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		info, err := f.Compile(ctx)
+		if err != nil {
+			return side, fmt.Errorf("%s: compile: %w", spec.ID, err)
+		}
+		args := specArgs(spec)
+		if _, err := f.Call(ctx, args); err != nil {
+			return side, fmt.Errorf("%s: first call: %w", spec.ID, err)
+		}
+		// Wall time (define + compile + first call) plus the simulated
+		// model latency of the codegen loop: the paper's virtual clock
+		// accumulates instead of sleeping, so it is added back here.
+		side.TTFCTotalMs += float64((time.Since(t0) + info.CompileTime).Nanoseconds()) / 1e6
+		side.CompileAttempts += info.Attempts
+
+		for i := 0; i < warmSteadyCalls; i++ {
+			c0 := time.Now()
+			if _, err := f.Call(ctx, args); err != nil {
+				return side, fmt.Errorf("%s: steady call: %w", spec.ID, err)
+			}
+			steady = append(steady, time.Since(c0))
+		}
+	}
+	sort.Slice(steady, func(i, j int) bool { return steady[i] < steady[j] })
+	side.SteadyP50Us = float64(steady[len(steady)/2].Nanoseconds()) / 1e3
+	side.TTFCMeanMs = side.TTFCTotalMs / float64(len(specs))
+	stats := eng.Stats()
+	side.CodegenLLMCalls = stats.CodegenLLMCalls
+	side.StoreHits = stats.StoreHits
+	side.StoreMisses = stats.StoreMisses
+	side.AnswersRestored = stats.AnswersRestored
+	return side, nil
+}
+
+// specArgs builds one canonical argument set from the spec's first
+// example.
+func specArgs(spec *tasks.Spec) map[string]any {
+	args := make(map[string]any, len(spec.Examples[0].Input))
+	for k, v := range spec.Examples[0].Input {
+		args[k] = v
+	}
+	return args
+}
+
+// runWarmJSON runs the cold/warm pair and writes the report to path.
+// storeDir "" uses a fresh temporary directory.
+func runWarmJSON(path string, seed int64, storeDir string) error {
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "askit-store-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		return err
+	}
+	specs := warmSpecs()
+
+	// Cold replica: every compile pays the model. A handful of direct
+	// calls populate the answer cache, which is then snapshotted so the
+	// restarted replica is warm on direct traffic too.
+	coldEng, err := warmEngine(seed, st)
+	if err != nil {
+		return err
+	}
+	cold, err := driveWarm(coldEng, specs)
+	if err != nil {
+		return fmt.Errorf("cold: %w", err)
+	}
+	df, err := coldEng.Define(specs[0].Return, specs[0].Template,
+		core.WithParamTypes(specs[0].ParamTypes()))
+	if err != nil {
+		return err
+	}
+	if _, err := df.Call(context.Background(), specArgs(specs[0])); err != nil {
+		return fmt.Errorf("cold direct call: %w", err)
+	}
+	snapshotted, err := coldEng.SnapshotAnswers()
+	if err != nil {
+		return err
+	}
+
+	// Warm replica: a fresh engine over the same store.
+	warmEng, err := warmEngine(seed, st)
+	if err != nil {
+		return err
+	}
+	warm, err := driveWarm(warmEng, specs)
+	if err != nil {
+		return fmt.Errorf("warm: %w", err)
+	}
+
+	report := WarmReport{
+		Note: fmt.Sprintf("persistence-tier benchmark: %d codable catalog tasks compiled cold, then on a "+
+			"restarted replica over the same artifact store; warm restart must make zero codegen LLM calls "+
+			"and reach first native call in local-validation time", len(specs)),
+		Funcs:              len(specs),
+		AnswersSnapshotted: snapshotted,
+		Cold:               cold,
+		Warm:               warm,
+	}
+	if warm.TTFCTotalMs > 0 {
+		report.TTFCSpeedup = cold.TTFCTotalMs / warm.TTFCTotalMs
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("  cold start:   %2d funcs  %3d codegen LLM calls  ttfc %8.1fms/func (model time included)\n",
+		cold.Funcs, cold.CodegenLLMCalls, cold.TTFCMeanMs)
+	fmt.Printf("  warm restart: %2d funcs  %3d codegen LLM calls  ttfc %8.1fms/func  (%d store hits)\n",
+		warm.Funcs, warm.CodegenLLMCalls, warm.TTFCMeanMs, warm.StoreHits)
+	fmt.Printf("  steady state: cold p50 %.1fus vs warm p50 %.1fus; ttfc speedup %.0fx; %d answers snapshotted, %d restored\n",
+		cold.SteadyP50Us, warm.SteadyP50Us, report.TTFCSpeedup, snapshotted, warm.AnswersRestored)
+
+	// Smoke-test contract: a warm restart that touched the model for
+	// codegen is a persistence regression, not a measurement.
+	if warm.CodegenLLMCalls != 0 {
+		return fmt.Errorf("warm restart made %d codegen LLM calls, want 0", warm.CodegenLLMCalls)
+	}
+	if warm.StoreHits != uint64(len(specs)) {
+		return fmt.Errorf("warm restart hit the store %d times, want %d", warm.StoreHits, len(specs))
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Persist: the PR 3 persistence tier in one program — two replica
+// lifecycles over one artifact store. The first replica pays the LLM
+// codegen loop and a direct model call, snapshots its answer cache,
+// and exits; the second replica warm-starts from disk: the compiled
+// function installs with zero codegen LLM calls and the memoized
+// answer is served without model traffic.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	askit "repro"
+)
+
+func main() {
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "askit-store-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Println("== replica 1 (cold) ==")
+	runReplica(ctx, dir, true)
+	fmt.Println("\n== replica 2 (restarted, same store) ==")
+	runReplica(ctx, dir, false)
+}
+
+// runReplica is one process lifecycle: define, compile, serve, and (on
+// the cold replica) snapshot the answer cache before "exiting".
+func runReplica(ctx context.Context, storePath string, cold bool) {
+	sim := askit.NewSimClient(7)
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	ai, err := askit.New(askit.Options{
+		Client:    sim,
+		StorePath: storePath, // the persistence tier: one line
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A codable task: the first replica's Compile runs the LLM codegen
+	// loop; the second replica's Compile re-installs the stored
+	// artifact after revalidating it against the same example tests.
+	fact, err := ai.Define(askit.Float, "Calculate the factorial of {{n}}.",
+		askit.WithParamTypes(askit.Field{Name: "n", Type: askit.Float}),
+		askit.WithTests(askit.Example{Input: askit.Args{"n": 5.0}, Output: 120.0}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := fact.CompileInfo(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := fact.Call(ctx, askit.Args{"n": 10.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("factorial(10) = %v  (compile: fromCache=%v, %d attempts)\n",
+		v, stats.FromCache, stats.Attempts)
+
+	// A direct call: memoized in the answer cache, which the cold
+	// replica persists so the restarted one is warm here too.
+	sentiment, err := ai.Ask(ctx, askit.StrEnum("positive", "negative"),
+		"What is the sentiment of {{review}}?",
+		askit.Args{"review": "The product is fantastic."})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sentiment = %v\n", sentiment)
+
+	s := ai.Stats()
+	fmt.Printf("codegen LLM calls: %d   store hits: %d   answers restored: %d   answer hits: %d\n",
+		s.CodegenLLMCalls, s.StoreHits, s.AnswersRestored, s.AnswerHits)
+
+	if cold {
+		n, err := ai.SnapshotAnswers()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshotted %d memoized answers before exit\n", n)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/llm"
+	"repro/internal/store"
 )
 
 // DefaultAnswerCacheSize is the total entry bound of the answer cache
@@ -42,6 +43,19 @@ type Stats struct {
 	// TransientRetries counts Client.Complete errors that consumed
 	// retry budget instead of aborting the call.
 	TransientRetries uint64
+	// CodegenLLMCalls counts Client.Complete calls made by codegen
+	// loops. A warm restart against a populated artifact store keeps
+	// this at zero for previously compiled functions.
+	CodegenLLMCalls uint64
+	// StoreHits counts Compile calls served from the persistent
+	// artifact store (no LLM); StoreMisses counts store probes that fell
+	// back to codegen (absent, corrupt, or stale artifacts, and
+	// artifacts that failed revalidation).
+	StoreHits   uint64
+	StoreMisses uint64
+	// AnswersRestored counts answer-cache entries warm-started from a
+	// persisted snapshot when the engine was created.
+	AnswersRestored uint64
 }
 
 // engineStats is the atomic backing store for Stats.
@@ -53,6 +67,10 @@ type engineStats struct {
 	directCalls      atomic.Uint64
 	compiledCalls    atomic.Uint64
 	transientRetries atomic.Uint64
+	codegenLLMCalls  atomic.Uint64
+	storeHits        atomic.Uint64
+	storeMisses      atomic.Uint64
+	answersRestored  atomic.Uint64
 }
 
 // Stats returns a snapshot of the serving counters.
@@ -65,6 +83,10 @@ func (e *Engine) Stats() Stats {
 		DirectCalls:      e.stats.directCalls.Load(),
 		CompiledCalls:    e.stats.compiledCalls.Load(),
 		TransientRetries: e.stats.transientRetries.Load(),
+		CodegenLLMCalls:  e.stats.codegenLLMCalls.Load(),
+		StoreHits:        e.stats.storeHits.Load(),
+		StoreMisses:      e.stats.storeMisses.Load(),
+		AnswersRestored:  e.stats.answersRestored.Load(),
 	}
 	if e.answers != nil {
 		s.AnswerEntries = e.answers.len()
@@ -76,10 +98,22 @@ func (e *Engine) Stats() Stats {
 // (template, args, return type) and coalesces identical in-flight
 // calls, so concurrent traffic asking the same question pays one model
 // round-trip. It is sharded to keep lock contention off the hot path
-// and size-bounded with FIFO eviction per shard.
+// and size-bounded with FIFO eviction.
+//
+// The bound is global, not per shard: completed entries are counted in
+// one atomic, and an insert that pushes the total past the capacity
+// evicts the oldest entry other than the one just admitted — from the
+// inserting shard when it has one, otherwise from the first non-empty
+// other shard. Dividing the capacity
+// across shards instead (the obvious scheme) lets total residency
+// drift from Options.AnswerCacheSize under uneven key hashing — a hot
+// shard caps out while cold shards sit empty, and for capacities that
+// don't divide by the shard count the rounded per-shard cap over- or
+// under-admits (cap 10 over 16 shards would hold up to 16 entries).
 type answerCache struct {
-	shards      [answerShardCount]answerShard
-	perShardCap int
+	shards [answerShardCount]answerShard
+	cap    int
+	size   atomic.Int64 // completed entries across all shards
 }
 
 type answerShard struct {
@@ -98,15 +132,63 @@ type answerEntry struct {
 }
 
 func newAnswerCache(totalCap int) *answerCache {
-	per := totalCap / answerShardCount
-	if per < 1 {
-		per = 1
+	if totalCap < 1 {
+		totalCap = 1
 	}
-	c := &answerCache{perShardCap: per}
+	c := &answerCache{cap: totalCap}
 	for i := range c.shards {
 		c.shards[i].entries = map[string]*answerEntry{}
 	}
 	return c
+}
+
+// admit records one completed entry under the shard's lock (the caller
+// holds it) and, when the global count exceeds the capacity, evicts
+// this shard's oldest *other* entry — never the one just admitted: a
+// new key landing in an otherwise-empty shard at capacity must not
+// self-evict, or that key becomes permanently uncacheable (a miss and
+// a fresh model round-trip on every call) while cold entries elsewhere
+// sit immortal. When the shard has nothing else to give, admit returns
+// true and the caller settles the overflow with evictOther once the
+// lock is released (two shard locks are never held at once, so there
+// is no ordering to deadlock on).
+func (c *answerCache) admit(sh *answerShard, key string) (overflow bool) {
+	sh.order = append(sh.order, key)
+	if c.size.Add(1) <= int64(c.cap) {
+		return false
+	}
+	if len(sh.order) > 1 {
+		oldest := sh.order[0]
+		sh.order = sh.order[1:]
+		delete(sh.entries, oldest)
+		c.size.Add(-1)
+		return false
+	}
+	return true
+}
+
+// evictOther resolves an overflow by evicting the oldest entry of the
+// first non-empty shard other than keep. Called with no shard lock
+// held. Finding no victim is only possible transiently (concurrent
+// removals already brought the count down), in which case the bound
+// holds without us.
+func (c *answerCache) evictOther(keep *answerShard) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		if sh == keep {
+			continue
+		}
+		sh.mu.Lock()
+		if len(sh.order) > 0 {
+			oldest := sh.order[0]
+			sh.order = sh.order[1:]
+			delete(sh.entries, oldest)
+			c.size.Add(-1)
+			sh.mu.Unlock()
+			return
+		}
+		sh.mu.Unlock()
+	}
 }
 
 func (c *answerCache) shard(key string) *answerShard {
@@ -141,6 +223,52 @@ func cloneJSON(v any) any {
 	default:
 		return v
 	}
+}
+
+// snapshot returns every completed, successful entry. Keys in a
+// shard's order list are completed by construction (failed flights are
+// deleted rather than ordered), so no waiting is involved.
+func (c *answerCache) snapshot() []store.AnswerRecord {
+	var out []store.AnswerRecord
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, key := range sh.order {
+			if ent := sh.entries[key]; ent != nil && ent.err == nil {
+				out = append(out, store.AnswerRecord{Key: key, Value: cloneJSON(ent.val)})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// restore inserts records as completed entries (skipping keys already
+// present) and returns how many were admitted. Restored entries carry a
+// zero CallInfo: the model round-trip happened in a previous process.
+func (c *answerCache) restore(recs []store.AnswerRecord) int {
+	n := 0
+	for _, r := range recs {
+		if r.Key == "" {
+			continue
+		}
+		sh := c.shard(r.Key)
+		sh.mu.Lock()
+		if _, ok := sh.entries[r.Key]; ok {
+			sh.mu.Unlock()
+			continue
+		}
+		ent := &answerEntry{done: make(chan struct{}), val: r.Value}
+		close(ent.done)
+		sh.entries[r.Key] = ent
+		overflow := c.admit(sh, r.Key)
+		sh.mu.Unlock()
+		if overflow {
+			c.evictOther(sh)
+		}
+		n++
+	}
+	return n
 }
 
 func (c *answerCache) len() int {
@@ -201,19 +329,18 @@ func (e *Engine) do(ctx context.Context, key string, fn func() (any, CallInfo, e
 				if !completed && ent.err == nil {
 					ent.err = errors.New("core: direct call panicked")
 				}
+				overflow := false
 				sh.mu.Lock()
 				if ent.err != nil {
 					delete(sh.entries, key)
 				} else {
-					sh.order = append(sh.order, key)
-					if len(sh.order) > c.perShardCap {
-						oldest := sh.order[0]
-						sh.order = sh.order[1:]
-						delete(sh.entries, oldest)
-					}
+					overflow = c.admit(sh, key)
 				}
 				sh.mu.Unlock()
 				close(ent.done)
+				if overflow {
+					c.evictOther(sh)
+				}
 			}()
 			ent.val, ent.info, ent.err = fn()
 			completed = true

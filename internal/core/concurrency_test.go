@@ -457,6 +457,109 @@ func TestAnswerCacheBounded(t *testing.T) {
 	}
 }
 
+func TestAnswerCacheResidencyNeverExceedsCapacity(t *testing.T) {
+	// Regression: the old per-shard rounding (capacity/16, min 1) let
+	// total residency drift from Options.AnswerCacheSize — a capacity
+	// of 10 admitted up to 16 entries (one per shard), and uneven key
+	// hashing starved hot shards while cold ones sat empty. The bound
+	// is global now: residency must never exceed the configured total,
+	// for any capacity, under any hash distribution.
+	for _, capacity := range []int{1, 3, 10, 17, 100} {
+		client := &countingClient{inner: noiselessSim(42)}
+		e, err := NewEngine(Options{Client: client, Model: "gpt-4", AnswerCacheSize: capacity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := e.Define(types.Str, "Reverse the string {{s}}.")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3*capacity+40; i++ {
+			if _, err := f.Call(context.Background(), map[string]any{"s": fmt.Sprintf("v%04d", i)}); err != nil {
+				t.Fatal(err)
+			}
+			if got := e.Stats().AnswerEntries; got > capacity {
+				t.Fatalf("capacity %d: residency %d after insert %d", capacity, got, i)
+			}
+		}
+		if got := e.Stats().AnswerEntries; got == 0 {
+			t.Errorf("capacity %d: cache empty after inserts", capacity)
+		}
+	}
+}
+
+func TestAnswerCacheAtCapacityKeepsNewEntriesCacheable(t *testing.T) {
+	// Regression: with the global bound enforced by evicting the
+	// inserting shard's oldest entry, a new key landing in an
+	// otherwise-empty shard at capacity evicted *itself* — every
+	// repeat call missed and paid a model round-trip forever. Eviction
+	// must always pick a victim other than the entry just admitted.
+	const capacity = 10
+	client := &countingClient{inner: noiselessSim(42)}
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4", AnswerCacheSize: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := func(s string) {
+		t.Helper()
+		if _, err := f.Call(context.Background(), map[string]any{"s": s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fill to capacity with cold keys, then touch 20 hot keys twice
+	// each. Whatever shard a hot key hashes to, its second call must
+	// be served from the cache.
+	for i := 0; i < capacity; i++ {
+		call(fmt.Sprintf("cold-%02d", i))
+	}
+	for i := 0; i < 20; i++ {
+		hot := fmt.Sprintf("hot-%02d", i)
+		call(hot)
+		call(hot)
+	}
+	s := e.Stats()
+	if s.AnswerHits != 20 {
+		t.Errorf("hits = %d, want 20 (every repeat call served from cache)", s.AnswerHits)
+	}
+	if s.AnswerMisses != uint64(capacity)+20 {
+		t.Errorf("misses = %d, want %d", s.AnswerMisses, capacity+20)
+	}
+	if got := s.AnswerEntries; got > capacity {
+		t.Errorf("residency %d exceeds capacity %d", got, capacity)
+	}
+}
+
+func TestAnswerCacheResidencyBoundUnderConcurrency(t *testing.T) {
+	const capacity = 10
+	client := &countingClient{inner: noiselessSim(42)}
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4", AnswerCacheSize: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				f.Call(context.Background(), map[string]any{"s": fmt.Sprintf("w%d-%03d", w, i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := e.Stats().AnswerEntries; got > capacity {
+		t.Errorf("residency %d exceeds capacity %d", got, capacity)
+	}
+}
+
 func TestAnswerCacheDoesNotCacheFailures(t *testing.T) {
 	transient := llm.MarkTransient(errors.New("down"))
 	client := newFlakyClient(noiselessSim(42), transient, 1)

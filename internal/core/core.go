@@ -12,6 +12,11 @@
 // cancellation aborts immediately, including inside generated-code
 // execution.
 //
+// With Options.Store set, codegen artifacts persist across process
+// restarts: Compile consults the store (and writes back) inside its
+// singleflight, and the answer cache can be snapshotted/restored, so a
+// restarted replica warm-starts with zero codegen LLM calls.
+//
 // The public user-facing API lives in the repo-root askit package; core
 // holds the machinery.
 package core
@@ -25,6 +30,7 @@ import (
 	"repro/internal/jsonx"
 	"repro/internal/llm"
 	"repro/internal/prompt"
+	"repro/internal/store"
 	"repro/internal/template"
 	"repro/internal/types"
 )
@@ -75,8 +81,16 @@ type Options struct {
 	// Useful for differential debugging; an order of magnitude slower.
 	TreeWalker bool
 	// CacheDir, when non-empty, persists generated functions to disk in
-	// the paper's askit/ directory convention.
+	// the paper's askit/ directory convention. Superseded by Store,
+	// which adds integrity checking, versioning, and validation
+	// records; CacheDir is kept for the paper-faithful layout.
 	CacheDir string
+	// Store, when non-nil, is the persistence tier: Compile consults it
+	// before running a codegen loop and writes accepted artifacts back,
+	// so a restarted process warm-starts with zero codegen LLM calls
+	// for previously compiled functions. SnapshotAnswers/restore extend
+	// the same warm start to the direct-call answer cache.
+	Store *store.Store
 	// Logf, when non-nil, receives diagnostic traces.
 	Logf func(format string, args ...any)
 }
@@ -180,6 +194,7 @@ func NewEngine(opts Options) (*Engine, error) {
 		}
 		e.answers = newAnswerCache(size)
 	}
+	e.restoreAnswers()
 	return e, nil
 }
 

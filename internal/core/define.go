@@ -303,11 +303,18 @@ func (f *Func) compileOnce(ctx context.Context) (*CompileInfo, error) {
 		Return:   f.ret,
 	}
 
+	// The persistence tier first: a trustworthy artifact that passes
+	// revalidation installs with zero LLM traffic (warm start).
+	if info := f.loadStored(ctx); info != nil {
+		return info, nil
+	}
+
 	if src, ok := e.loadCache(f.cacheKey()); ok {
 		cf, err := f.compileSource(src)
 		if err == nil && f.validate(ctx, cf) == nil {
 			info := &CompileInfo{FromCache: true, LOC: minilang.CountLOC(src), Source: src}
 			f.install(cf, info)
+			f.saveStored(info) // migrate the legacy cache entry forward
 			return info, nil
 		}
 		e.logf("core: cached code for %s invalid; regenerating", f.name)
@@ -324,6 +331,7 @@ func (f *Func) compileOnce(ctx context.Context) (*CompileInfo, error) {
 	transientStreak := 0
 	start := time.Now()
 	for attempt := 0; attempt < budget; attempt++ {
+		e.stats.codegenLLMCalls.Add(1)
 		resp, err := e.opts.Client.Complete(ctx, llm.Request{
 			Prompt:      cur,
 			Model:       e.opts.Model,
@@ -372,6 +380,7 @@ func (f *Func) compileOnce(ctx context.Context) (*CompileInfo, error) {
 		info.Source = src
 		e.storeCache(f.cacheKey(), src)
 		f.install(cf, info)
+		f.saveStored(info)
 		return info, nil
 	}
 	if lastErr == nil {

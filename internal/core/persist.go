@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+
+	"repro/internal/jsonx"
+	"repro/internal/llm"
+	"repro/internal/prompt"
+	"repro/internal/store"
+)
+
+// EngineVersion stamps every persisted artifact and answer snapshot
+// with the engine + prompt revision that produced it. Bump it whenever
+// prompt synthesis, validation semantics, or minilang compatibility
+// change in a way that makes previously accepted artifacts suspect:
+// every stored entry then becomes a miss and is regenerated once.
+const EngineVersion = "askit-go/1"
+
+// storeKey is the artifact-store identity of this Func: everything
+// that shapes what code the model would be asked to write or how it
+// would be validated. Unlike the legacy CacheDir key it includes the
+// validation examples and the function name, so changing either
+// invalidates the stored artifact instead of silently reusing it.
+func (f *Func) storeKey() store.Key {
+	sig := f.tpl.Source() +
+		"\x00" + f.ret.TS() +
+		"\x00" + paramSig(f.params) +
+		"\x00" + testsSig(f.tests) +
+		"\x00" + f.name
+	return store.Key{Engine: EngineVersion, Signature: sig, Slug: slugify(f.tpl.Source())}
+}
+
+// testsSig canonically encodes the validation examples for the store
+// signature.
+func testsSig(tests []prompt.Example) string {
+	parts := make([]string, 0, 2*len(tests))
+	for _, t := range tests {
+		parts = append(parts, jsonx.Encode(t.Input), jsonx.Encode(t.Output))
+	}
+	return strings.Join(parts, "\x01")
+}
+
+// loadStored probes the artifact store for this Func and, when a
+// trustworthy artifact revalidates against the current example tests,
+// installs it. It returns the CompileInfo on success and nil on any
+// miss. A stored artifact that no longer passes the tests (the tests
+// changed, or the file decayed in a way the checksums cannot see) is
+// invalidated so the follow-up codegen write replaces it — unless the
+// revalidation failed only because ctx died, which says nothing about
+// the artifact.
+func (f *Func) loadStored(ctx context.Context) *CompileInfo {
+	e := f.engine
+	st := e.opts.Store
+	if st == nil {
+		return nil
+	}
+	key := f.storeKey()
+	art, err := st.Load(key)
+	if err != nil {
+		if !errors.Is(err, store.ErrMiss) {
+			e.logf("core: artifact store load for %s: %v", f.name, err)
+		}
+		e.stats.storeMisses.Add(1)
+		return nil
+	}
+	cf, cerr := f.compileSource(art.Source)
+	if cerr == nil {
+		verr := f.validate(ctx, cf)
+		if verr == nil {
+			e.stats.storeHits.Add(1)
+			info := &CompileInfo{FromCache: true, LOC: art.LOC, Source: art.Source}
+			f.install(cf, info)
+			return info
+		}
+		if llm.IsCancellation(verr) || ctx.Err() != nil {
+			// The caller died mid-revalidation; that is a verdict on
+			// the caller, not the artifact. Leave it on disk for the
+			// next (live) Compile — invalidating here would let one
+			// canceled request destroy the warm start for every
+			// future restart.
+			e.stats.storeMisses.Add(1)
+			return nil
+		}
+	}
+	e.logf("core: stored artifact for %s failed revalidation; regenerating", f.name)
+	st.Invalidate(key)
+	e.stats.storeMisses.Add(1)
+	return nil
+}
+
+// saveStored writes an accepted codegen result to the artifact store,
+// recording the validation examples it passed. Persistence failures
+// are logged, never surfaced: the Func is already installed and
+// serving.
+func (f *Func) saveStored(info *CompileInfo) {
+	e := f.engine
+	st := e.opts.Store
+	if st == nil {
+		return
+	}
+	validation := make([]store.ValidationRecord, len(f.tests))
+	for i, t := range f.tests {
+		validation[i] = store.ValidationRecord{Input: t.Input, Output: t.Output}
+	}
+	art := &store.Artifact{
+		FuncName:   f.name,
+		Source:     info.Source,
+		LOC:        info.LOC,
+		Attempts:   info.Attempts,
+		Validation: validation,
+	}
+	if err := st.Save(f.storeKey(), art); err != nil {
+		e.logf("core: artifact store save for %s: %v", f.name, err)
+	}
+}
+
+// SnapshotAnswers persists the current answer cache to the engine's
+// store, so a restarted replica also starts warm on direct calls. It
+// returns the number of answers written. Calling it with no store or
+// with caching disabled is an error.
+func (e *Engine) SnapshotAnswers() (int, error) {
+	if e.opts.Store == nil {
+		return 0, errors.New("core: no artifact store configured")
+	}
+	if e.answers == nil {
+		return 0, errors.New("core: answer cache disabled")
+	}
+	recs := e.answers.snapshot()
+	if err := e.opts.Store.SaveAnswers(EngineVersion, recs); err != nil {
+		return 0, err
+	}
+	return len(recs), nil
+}
+
+// restoreAnswers warm-starts the answer cache from the store's
+// snapshot, if one exists for this engine revision. Best-effort: a
+// missing or stale snapshot restores nothing.
+func (e *Engine) restoreAnswers() {
+	if e.opts.Store == nil || e.answers == nil {
+		return
+	}
+	recs := e.opts.Store.LoadAnswers(EngineVersion)
+	if len(recs) == 0 {
+		return
+	}
+	n := e.answers.restore(recs)
+	e.stats.answersRestored.Add(uint64(n))
+	e.logf("core: restored %d memoized answers from %s", n, e.opts.Store.Dir())
+}

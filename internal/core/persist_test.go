@@ -1,0 +1,328 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/prompt"
+	"repro/internal/store"
+	"repro/internal/types"
+)
+
+func openStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func newStoreEngine(t *testing.T, st *store.Store) (*Engine, *countingClient) {
+	t.Helper()
+	client := &countingClient{inner: noiselessSim(42)}
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4", Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, client
+}
+
+func TestWarmRestartPerformsZeroCodegenLLMCalls(t *testing.T) {
+	st := openStore(t)
+
+	// Cold process: compile pays the model.
+	cold, coldClient := newStoreEngine(t, st)
+	f := factorialFunc(t, cold)
+	info, err := f.Compile(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FromCache {
+		t.Error("cold compile reported FromCache")
+	}
+	if got := cold.Stats().CodegenLLMCalls; got == 0 {
+		t.Error("cold compile made no codegen LLM calls")
+	}
+	if got := coldClient.codegen.Load(); got == 0 {
+		t.Error("client saw no codegen traffic on the cold path")
+	}
+	coldRes, err := f.Call(context.Background(), map[string]any{"n": 6.0})
+	if err != nil || coldRes.Value != 720.0 {
+		t.Fatalf("cold call: %v, %v", coldRes.Value, err)
+	}
+
+	// "Restart": a fresh engine over the same store directory. The
+	// acceptance bar for the persistence tier: zero codegen LLM calls
+	// for a previously compiled function.
+	warm, warmClient := newStoreEngine(t, st)
+	g := factorialFunc(t, warm)
+	winfo, err := g.Compile(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !winfo.FromCache {
+		t.Error("warm compile did not come from the store")
+	}
+	if winfo.Source != info.Source {
+		t.Error("warm restart installed different source")
+	}
+	s := warm.Stats()
+	if s.CodegenLLMCalls != 0 {
+		t.Errorf("warm restart made %d codegen LLM calls, want 0", s.CodegenLLMCalls)
+	}
+	if s.StoreHits != 1 || s.StoreMisses != 0 {
+		t.Errorf("store hits/misses = %d/%d, want 1/0", s.StoreHits, s.StoreMisses)
+	}
+	if got := warmClient.codegen.Load(); got != 0 {
+		t.Errorf("client saw %d codegen calls on the warm path, want 0", got)
+	}
+	res, err := g.Call(context.Background(), map[string]any{"n": 6.0})
+	if err != nil || res.Value != 720.0 {
+		t.Errorf("warm call: %v, %v", res.Value, err)
+	}
+	if !res.Compiled {
+		t.Error("warm call did not run generated code")
+	}
+}
+
+func TestStoreCorruptArtifactFallsBackToCodegenAndRewrites(t *testing.T) {
+	st := openStore(t)
+	cold, _ := newStoreEngine(t, st)
+	if _, err := factorialFunc(t, cold).Compile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", []byte(`{"format": 1, "engine": "as`)},
+		{"garbled", []byte("\x00\x01\x02 definitely not json")},
+		{"stale version", []byte(`{"format": 999}`)},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			// Poison the single artifact file in place.
+			matches, err := filepath.Glob(filepath.Join(st.Dir(), "*.json"))
+			if err != nil || len(matches) != 1 {
+				t.Fatalf("artifact files: %v %v", matches, err)
+			}
+			if err := os.WriteFile(matches[0], tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			warm, client := newStoreEngine(t, st)
+			f := factorialFunc(t, warm)
+			info, err := f.Compile(context.Background())
+			if err != nil {
+				t.Fatalf("corrupt artifact must fall back to codegen, got %v", err)
+			}
+			if info.FromCache {
+				t.Error("corrupt artifact reported FromCache")
+			}
+			s := warm.Stats()
+			if s.StoreMisses != 1 || s.StoreHits != 0 {
+				t.Errorf("store hits/misses = %d/%d, want 0/1", s.StoreHits, s.StoreMisses)
+			}
+			if client.codegen.Load() == 0 {
+				t.Error("fallback did not reach the model")
+			}
+			res, err := f.Call(context.Background(), map[string]any{"n": 5.0})
+			if err != nil || res.Value != 120.0 {
+				t.Errorf("call after fallback: %v, %v", res.Value, err)
+			}
+
+			// The codegen result must have rewritten the poisoned file:
+			// the next restart warm-starts again.
+			again, clientAgain := newStoreEngine(t, st)
+			if _, err := factorialFunc(t, again).Compile(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if got := clientAgain.codegen.Load(); got != 0 {
+				t.Errorf("artifact not rewritten: restart made %d codegen calls", got)
+			}
+		})
+	}
+}
+
+func TestStoreArtifactFailingRevalidationIsRegenerated(t *testing.T) {
+	// An artifact written for one example set must not satisfy a Func
+	// whose examples changed — the storage key includes the validation
+	// examples, so the changed Func misses and compiles fresh.
+	st := openStore(t)
+	cold, _ := newStoreEngine(t, st)
+	if _, err := factorialFunc(t, cold).Compile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, client := newStoreEngine(t, st)
+	f, err := warm.Define(types.Float, "Calculate the factorial of {{n}}.",
+		WithParamTypes([]types.Field{{Name: "n", Type: types.Float}}),
+		WithTests([]prompt.Example{
+			{Input: map[string]any{"n": 5.0}, Output: 120.0},
+			{Input: map[string]any{"n": 6.0}, Output: 720.0},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Compile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if client.codegen.Load() == 0 {
+		t.Error("changed example set must not reuse the stored artifact")
+	}
+	if s := warm.Stats(); s.StoreMisses != 1 {
+		t.Errorf("store misses = %d, want 1", s.StoreMisses)
+	}
+}
+
+func TestCanceledRevalidationDoesNotInvalidateArtifact(t *testing.T) {
+	// A caller whose context dies while the stored artifact is being
+	// revalidated must not take the artifact down with it: the next
+	// (live) restart still warm-starts. The generated function loops
+	// long enough that validation crosses the engines' context-poll
+	// interval, so the dead context is actually observed.
+	client := staticClient{text: "A:\n```typescript\n" +
+		"export function sumto({n}: {n: number}): number {\n" +
+		"  let s = 0;\n  let i = 0;\n" +
+		"  while (i < n) {\n    s = s + i;\n    i = i + 1;\n  }\n" +
+		"  return s;\n}\n```\n"}
+	st := openStore(t)
+	sumtoFunc := func(e *Engine) *Func {
+		f, err := e.Define(types.Float, "Sum the integers below {{n}}.",
+			WithParamTypes([]types.Field{{Name: "n", Type: types.Float}}),
+			WithName("sumto"),
+			WithTests([]prompt.Example{{Input: map[string]any{"n": 100000.0}, Output: 4999950000.0}}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	mk := func() *Engine {
+		e, err := NewEngine(Options{Client: client, Model: "gpt-4", MaxRetries: -1, Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	cold := mk()
+	if _, err := sumtoFunc(cold).Compile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d artifacts, want 1", st.Len())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sumtoFunc(mk()).Compile(ctx); err == nil {
+		t.Fatal("compile under a dead context must fail")
+	}
+	if st.Len() != 1 {
+		t.Fatal("canceled revalidation removed the stored artifact")
+	}
+
+	warm := mk()
+	if _, err := sumtoFunc(warm).Compile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := warm.Stats()
+	if s.CodegenLLMCalls != 0 || s.StoreHits != 1 {
+		t.Errorf("artifact was invalidated by the canceled caller: stats = %+v", s)
+	}
+}
+
+func TestAnswerSnapshotWarmStartsDirectCalls(t *testing.T) {
+	st := openStore(t)
+	cold, _ := newStoreEngine(t, st)
+	f, err := cold.Define(types.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := f.Call(context.Background(), map[string]any{"s": fmt.Sprintf("word-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := cold.SnapshotAnswers()
+	if err != nil || n != 5 {
+		t.Fatalf("snapshot: n=%d err=%v", n, err)
+	}
+
+	warm, client := newStoreEngine(t, st)
+	if got := warm.Stats().AnswersRestored; got != 5 {
+		t.Errorf("restored %d answers, want 5", got)
+	}
+	g, err := warm.Define(types.Str, "Reverse the string {{s}}.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Call(context.Background(), map[string]any{"s": "word-3"})
+	if err != nil || res.Value != "3-drow" {
+		t.Fatalf("warm direct call: %v, %v", res.Value, err)
+	}
+	if got := client.direct.Load(); got != 0 {
+		t.Errorf("warm direct call reached the model %d times, want 0", got)
+	}
+	if s := warm.Stats(); s.AnswerHits != 1 {
+		t.Errorf("answer hits = %d, want 1", s.AnswerHits)
+	}
+}
+
+func TestSnapshotAnswersRequiresStoreAndCache(t *testing.T) {
+	e, err := NewEngine(Options{Client: noiselessSim(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SnapshotAnswers(); err == nil {
+		t.Error("snapshot without a store must fail")
+	}
+	e2, err := NewEngine(Options{Client: noiselessSim(1), Store: openStore(t), AnswerCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.SnapshotAnswers(); err == nil {
+		t.Error("snapshot with caching disabled must fail")
+	}
+}
+
+func TestConcurrentCompileAgainstStoreLoadsOnce(t *testing.T) {
+	// Warm start under concurrency: many goroutines compiling distinct
+	// Funcs over one shared store must each end up installed with zero
+	// model traffic and exactly one store hit per Func.
+	st := openStore(t)
+	cold, _ := newStoreEngine(t, st)
+	if _, err := factorialFunc(t, cold).Compile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, client := newStoreEngine(t, st)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := factorialFunc(t, warm)
+			if _, err := f.Compile(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			if res, err := f.Call(context.Background(), map[string]any{"n": 5.0}); err != nil || res.Value != 120.0 {
+				t.Errorf("call: %v, %v", res, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := client.codegen.Load(); got != 0 {
+		t.Errorf("concurrent warm start made %d codegen calls, want 0", got)
+	}
+	if s := warm.Stats(); s.StoreHits != 8 {
+		t.Errorf("store hits = %d, want 8 (one per Func)", s.StoreHits)
+	}
+}

@@ -25,17 +25,22 @@ type Backend struct {
 // can drive N simulated (or real) model endpoints as a single Client.
 //
 // Placement: each request starts at the next backend in round-robin
-// order and walks the ring on failure. Cancellation errors abort
-// immediately and are returned as-is; any other backend error counts as
-// a failover and the next backend is tried. When every backend has
-// failed, the last error is returned wrapped as transient, so the
-// engine's retry loops know the request is retryable.
+// order and walks the ring on failure. A backend whose concurrency
+// bound is saturated is skipped on the first (non-blocking) walk —
+// another backend may be idle — and only when *every* backend is
+// either saturated or has already failed does the request block for a
+// slot. Cancellation errors abort immediately and are returned as-is;
+// any other backend error counts as a failover and the next backend is
+// tried. When every backend has failed, the last error is returned
+// wrapped as transient, so the engine's retry loops know the request
+// is retryable.
 type Router struct {
-	backends  []*routerBackend
-	next      atomic.Uint64
-	requests  atomic.Uint64
-	failovers atomic.Uint64
-	exhausted atomic.Uint64
+	backends        []*routerBackend
+	next            atomic.Uint64
+	requests        atomic.Uint64
+	failovers       atomic.Uint64
+	exhausted       atomic.Uint64
+	saturationSkips atomic.Uint64
 }
 
 type routerBackend struct {
@@ -82,6 +87,19 @@ func (b *routerBackend) acquire(ctx context.Context) error {
 	}
 }
 
+// tryAcquire takes a concurrency slot only if one is free right now.
+func (b *routerBackend) tryAcquire() bool {
+	if b.sem == nil {
+		return true
+	}
+	select {
+	case b.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
 func (b *routerBackend) release() {
 	if b.sem != nil {
 		<-b.sem
@@ -94,24 +112,61 @@ func (r *Router) Complete(ctx context.Context, req Request) (Response, error) {
 	n := len(r.backends)
 	start := int((r.next.Add(1) - 1) % uint64(n)) // mod before int: never negative, even past overflow
 	var lastErr error
-	for i := 0; i < n; i++ {
-		b := r.backends[(start+i)%n]
-		if err := b.acquire(ctx); err != nil {
-			return Response{}, err
-		}
+
+	// attempt runs the request on an already-acquired backend. abort is
+	// true for cancellation; a failover is counted unless this was the
+	// request's final candidate.
+	attempt := func(b *routerBackend, last bool) (Response, error, bool) {
 		resp, err := b.client.Complete(ctx, req)
 		b.release()
 		b.requests.Add(1)
 		if err == nil {
-			return resp, nil
+			return resp, nil, false
 		}
 		b.failures.Add(1)
 		if IsCancellation(err) || ctx.Err() != nil {
-			return Response{}, err
+			return Response{}, err, true
 		}
 		lastErr = err
-		if i < n-1 {
+		if !last {
 			r.failovers.Add(1)
+		}
+		return Response{}, err, false
+	}
+
+	// Pass 1: non-blocking walk of the ring. A saturated backend is
+	// skipped, not waited on — an idle backend further along the ring
+	// should take the request instead.
+	var saturated []*routerBackend
+	for i := 0; i < n; i++ {
+		b := r.backends[(start+i)%n]
+		if !b.tryAcquire() {
+			r.saturationSkips.Add(1)
+			saturated = append(saturated, b)
+			continue
+		}
+		resp, err, abort := attempt(b, i == n-1 && len(saturated) == 0)
+		if err == nil {
+			return resp, nil
+		}
+		if abort {
+			return Response{}, err
+		}
+	}
+
+	// Pass 2: every backend was saturated or has already failed; now
+	// blocking on the saturated ones (in ring order) is the only option
+	// left short of failing the request.
+	for j, b := range saturated {
+		if err := b.acquire(ctx); err != nil {
+			return Response{}, err
+		}
+		resp, err, abort := attempt(b, j == len(saturated)-1)
+		if err == nil {
+			return resp, nil
+		}
+		if abort {
+			return Response{}, err
 		}
 	}
 	r.exhausted.Add(1)
@@ -134,6 +189,9 @@ type RouterStats struct {
 	Failovers uint64
 	// Exhausted counts requests for which every backend failed.
 	Exhausted uint64
+	// SaturationSkips counts non-blocking walk steps that skipped a
+	// backend because its concurrency bound was full.
+	SaturationSkips uint64
 	// Backends holds per-backend counters in ring order.
 	Backends []BackendStats
 }
@@ -141,9 +199,10 @@ type RouterStats struct {
 // Stats returns a snapshot of the router's counters.
 func (r *Router) Stats() RouterStats {
 	s := RouterStats{
-		Requests:  r.requests.Load(),
-		Failovers: r.failovers.Load(),
-		Exhausted: r.exhausted.Load(),
+		Requests:        r.requests.Load(),
+		Failovers:       r.failovers.Load(),
+		Exhausted:       r.exhausted.Load(),
+		SaturationSkips: r.saturationSkips.Load(),
 	}
 	for _, b := range r.backends {
 		s.Backends = append(s.Backends, BackendStats{

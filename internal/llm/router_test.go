@@ -175,6 +175,142 @@ func TestRouterBoundsPerBackendConcurrency(t *testing.T) {
 	}
 }
 
+func TestRouterSkipsSaturatedBackendForIdleOne(t *testing.T) {
+	// Backend a is bounded at 1 and wedged by an in-flight call; b is
+	// idle. A request whose round-robin start lands on a must not block
+	// on a's semaphore — it must fail over to b immediately.
+	a := &fakeBackend{block: make(chan struct{})}
+	b := &fakeBackend{}
+	a.fail.Store(-1 << 30)
+	b.fail.Store(-1 << 30)
+	r, err := NewRouter(
+		Backend{Name: "wedged", Client: a, MaxConcurrent: 1},
+		Backend{Name: "idle", Client: b},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Request 1 (start index 0) occupies a's only slot and blocks.
+	occupied := make(chan struct{})
+	go func() {
+		close(occupied)
+		r.Complete(context.Background(), Request{})
+	}()
+	<-occupied
+	for a.active.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Request 2 (start index 1) goes to b directly; request 3 (start
+	// index 0 again) finds a saturated and must skip to b without
+	// blocking. Before the try-acquire walk, it would hang here until
+	// a's call finished.
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := r.Complete(context.Background(), Request{})
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("request failed: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("request blocked on a saturated backend with an idle one in the ring")
+		}
+	}
+	if got := b.calls.Load(); got != 2 {
+		t.Errorf("idle backend served %d calls, want 2", got)
+	}
+	s := r.Stats()
+	if s.SaturationSkips == 0 {
+		t.Error("saturation skip not counted")
+	}
+	close(a.block)
+}
+
+func TestRouterBlocksOnlyWhenAllBackendsSaturated(t *testing.T) {
+	// Both backends bounded at 1 and wedged: a new request has nowhere
+	// to go and must block (pass 2), then complete once a slot frees.
+	a := &fakeBackend{block: make(chan struct{})}
+	b := &fakeBackend{block: make(chan struct{})}
+	a.fail.Store(-1 << 30)
+	b.fail.Store(-1 << 30)
+	r, err := NewRouter(
+		Backend{Client: a, MaxConcurrent: 1},
+		Backend{Client: b, MaxConcurrent: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Complete(context.Background(), Request{})
+		}()
+	}
+	for a.active.Load() == 0 || b.active.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Complete(context.Background(), Request{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("request completed with all backends saturated: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(a.block)
+	close(b.block)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("queued request failed after slots freed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued request never ran after slots freed")
+	}
+	wg.Wait()
+}
+
+func TestRouterSaturatedBlockingRespectsCancellation(t *testing.T) {
+	a := &fakeBackend{block: make(chan struct{})}
+	a.fail.Store(-1 << 30)
+	r, err := NewRouter(Backend{Client: a, MaxConcurrent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go r.Complete(context.Background(), Request{})
+	for a.active.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Complete(ctx, Request{})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !IsCancellation(err) {
+			t.Errorf("err = %v, want cancellation", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked caller did not observe cancellation")
+	}
+	close(a.block)
+}
+
 func TestNewRouterValidation(t *testing.T) {
 	if _, err := NewRouter(); err == nil {
 		t.Error("empty router must be rejected")

@@ -1,0 +1,352 @@
+// Package store is the persistence tier of the engine: a
+// content-addressed, versioned on-disk artifact store for compiled
+// functions and (optionally) a snapshot of the memoized direct-call
+// answer cache.
+//
+// The paper's headline economics — pay the LLM codegen cost once, run
+// at native speed forever after — only hold within one process without
+// this package: every replica restart would re-run the full retry loop
+// for every Func. A Store makes "once" mean once per *artifact*: the
+// accepted minilang source, its identity (template + signature +
+// examples + engine revision), and its validation record are written to
+// disk, so a restarted replica (or a fresh replica sharing the
+// directory) warm-starts with zero codegen LLM calls.
+//
+// Integrity model: an artifact file is trusted only when every check
+// passes — format version, engine revision, addressing hash, signature
+// echo, and a source checksum. Anything else (truncated file, garbled
+// JSON, stale version, hash mismatch) is a cache miss, never an error
+// surfaced to the serving path: the engine falls back to codegen and
+// rewrites the entry.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FormatVersion is the on-disk artifact schema revision. Bump it when
+// the Artifact layout changes incompatibly; older files become misses.
+const FormatVersion = 1
+
+// ErrMiss is returned by Load when no trustworthy artifact exists for a
+// key — missing, truncated, garbled, stale, or tampered files all
+// collapse into this one value so callers treat them uniformly as "go
+// generate it again".
+var ErrMiss = errors.New("store: artifact miss")
+
+// Key identifies one artifact. Engine is the engine/prompt revision
+// stamp (a new revision invalidates every artifact wholesale, because
+// the code the model would generate may differ); Signature is the full
+// identity of the compiled function (template, return type, parameter
+// signature, validation examples, function name); Slug is a
+// human-readable filename fragment.
+type Key struct {
+	Engine    string
+	Signature string
+	Slug      string
+}
+
+// Hash returns the content address of the key: sha256 over the engine
+// revision and the signature.
+func (k Key) Hash() string {
+	h := sha256.Sum256([]byte(k.Engine + "\x00" + k.Signature))
+	return hex.EncodeToString(h[:])
+}
+
+// filename is "<slug>_<hash12>.json"; the hash prefix is the address,
+// the slug is for humans browsing the directory.
+func (k Key) filename() string {
+	slug := k.Slug
+	if slug == "" {
+		slug = "artifact"
+	}
+	return slug + "_" + k.Hash()[:12] + ".json"
+}
+
+// ValidationRecord is one example the artifact's source passed when it
+// was accepted — kept so an operator can audit what a stored function
+// was validated against, and so the engine can tell when the example
+// set has changed since.
+type ValidationRecord struct {
+	Input  map[string]any `json:"input"`
+	Output any            `json:"output"`
+}
+
+// Artifact is one persisted compiled function.
+type Artifact struct {
+	// Format is the schema revision (FormatVersion at write time).
+	Format int `json:"format"`
+	// Engine echoes Key.Engine; a mismatch is a miss.
+	Engine string `json:"engine"`
+	// Key echoes Key.Hash(); a mismatch (e.g. a file renamed onto
+	// another address) is a miss.
+	Key string `json:"key"`
+	// FuncName is the generated function's declared name.
+	FuncName string `json:"func_name"`
+	// Signature echoes Key.Signature so collisions and stale identities
+	// are detected by comparison, not just by hash.
+	Signature string `json:"signature"`
+	// Source is the accepted minilang source.
+	Source string `json:"source"`
+	// Checksum is the sha256 of Source; a mismatch is a miss.
+	Checksum string `json:"checksum"`
+	// LOC is the substantive line count of Source.
+	LOC int `json:"loc"`
+	// Attempts records how many LLM completions the original codegen
+	// loop used — the cost this artifact saves on every warm start.
+	Attempts int `json:"attempts"`
+	// CreatedAt is the RFC3339 write time.
+	CreatedAt string `json:"created_at"`
+	// Validation lists the examples the source passed at accept time.
+	Validation []ValidationRecord `json:"validation,omitempty"`
+}
+
+// Checksum returns the content hash of a source string.
+func Checksum(source string) string {
+	h := sha256.Sum256([]byte(source))
+	return hex.EncodeToString(h[:])
+}
+
+// Store is a directory of artifacts. It is safe for concurrent use;
+// concurrent Loads of the same key coalesce into one disk read
+// (singleflight), and writes are atomic (temp file + rename) so a
+// crashed writer can never leave a half-written artifact that a
+// concurrent or later reader would trust.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	loading map[string]*loadFlight
+}
+
+// loadFlight is one in-progress disk load; concurrent Load calls for
+// the same key share it.
+type loadFlight struct {
+	done chan struct{}
+	art  *Artifact
+	err  error
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir, loading: map[string]*loadFlight{}}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Load returns the artifact for key, or ErrMiss. Every integrity
+// failure — unreadable file, malformed JSON, format or engine revision
+// mismatch, address or signature mismatch, source checksum mismatch —
+// is reported as ErrMiss: the caller's recovery is identical (fall back
+// to codegen and rewrite), and a poisoned file must never poison a
+// Func. Concurrent Loads of one key perform a single disk read.
+func (s *Store) Load(key Key) (*Artifact, error) {
+	addr := key.Hash()
+	s.mu.Lock()
+	if fl, ok := s.loading[addr]; ok {
+		s.mu.Unlock()
+		<-fl.done
+		return fl.art, fl.err
+	}
+	fl := &loadFlight{done: make(chan struct{})}
+	s.loading[addr] = fl
+	s.mu.Unlock()
+
+	fl.art, fl.err = s.loadOnce(key, addr)
+	s.mu.Lock()
+	delete(s.loading, addr)
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.art, fl.err
+}
+
+func (s *Store) loadOnce(key Key, addr string) (*Artifact, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, key.filename()))
+	if err != nil {
+		return nil, ErrMiss
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, ErrMiss // truncated or garbled
+	}
+	switch {
+	case art.Format != FormatVersion:
+		return nil, ErrMiss // stale schema
+	case art.Engine != key.Engine:
+		return nil, ErrMiss // stale engine/prompt revision
+	case art.Key != addr:
+		return nil, ErrMiss // file moved onto a foreign address
+	case art.Signature != key.Signature:
+		return nil, ErrMiss // hash collision or stale identity
+	case art.Source == "" || art.Checksum != Checksum(art.Source):
+		return nil, ErrMiss // source tampered or truncated
+	}
+	return &art, nil
+}
+
+// Save writes the artifact for key, overwriting any previous (possibly
+// corrupt) file at that address. The addressing fields (Format, Engine,
+// Key, Signature, Checksum, CreatedAt) are stamped by the store; the
+// caller fills the payload (FuncName, Source, LOC, Attempts,
+// Validation).
+func (s *Store) Save(key Key, art *Artifact) error {
+	cp := *art
+	cp.Format = FormatVersion
+	cp.Engine = key.Engine
+	cp.Key = key.Hash()
+	cp.Signature = key.Signature
+	cp.Checksum = Checksum(cp.Source)
+	if cp.CreatedAt == "" {
+		cp.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	data, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return s.writeAtomic(key.filename(), append(data, '\n'))
+}
+
+// Invalidate removes the artifact for key, if present.
+func (s *Store) Invalidate(key Key) {
+	_ = os.Remove(filepath.Join(s.dir, key.filename()))
+}
+
+// writeAtomic writes name under the store root via a temp file + rename
+// so readers never observe a partial file.
+func (s *Store) writeAtomic(name string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, "."+name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Len reports how many artifact files the store currently holds
+// (answer snapshots excluded).
+func (s *Store) Len() int {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") && e.Name() != answersFile {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Answer-cache snapshot: a restarted replica can also start warm on
+// direct calls, not just on compiled ones.
+
+// answersFile is the snapshot's filename under the store root.
+const answersFile = "answers.json"
+
+// AnswerRecord is one memoized direct-call answer. Key is the engine's
+// answer-cache identity string; Value is the decoded answer in the JSON
+// data model.
+type AnswerRecord struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// answerSnapshot is the on-disk envelope for answer records. Checksum
+// covers the canonical encoding of Answers, mirroring the artifact
+// integrity model: a snapshot whose records were altered after the
+// write (bit rot that still parses, a tampering co-tenant of the
+// directory) must restore nothing, not poison the cache.
+type answerSnapshot struct {
+	Format    int            `json:"format"`
+	Engine    string         `json:"engine"`
+	CreatedAt string         `json:"created_at"`
+	Checksum  string         `json:"checksum"`
+	Answers   []AnswerRecord `json:"answers"`
+}
+
+// answersChecksum canonically encodes the records and hashes them.
+// Both sides of the comparison pass through encoding/json (values are
+// JSON data-model only), so the encoding is stable across a
+// save/load round-trip.
+func answersChecksum(answers []AnswerRecord) (string, error) {
+	payload, err := json.Marshal(answers)
+	if err != nil {
+		return "", err
+	}
+	return Checksum(string(payload)), nil
+}
+
+// SaveAnswers persists a snapshot of memoized direct-call answers,
+// replacing any previous snapshot.
+func (s *Store) SaveAnswers(engine string, answers []AnswerRecord) error {
+	sum, err := answersChecksum(answers)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	snap := answerSnapshot{
+		Format:    FormatVersion,
+		Engine:    engine,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Checksum:  sum,
+		Answers:   answers,
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return s.writeAtomic(answersFile, append(data, '\n'))
+}
+
+// LoadAnswers returns the answer snapshot for the given engine
+// revision. Like Load, every integrity failure — unreadable, garbled,
+// stale format or engine revision, checksum mismatch — is a plain
+// miss (nil records, no error): warm-starting the answer cache is
+// best-effort.
+func (s *Store) LoadAnswers(engine string) []AnswerRecord {
+	data, err := os.ReadFile(filepath.Join(s.dir, answersFile))
+	if err != nil {
+		return nil
+	}
+	var snap answerSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil
+	}
+	if snap.Format != FormatVersion || snap.Engine != engine {
+		return nil
+	}
+	if sum, err := answersChecksum(snap.Answers); err != nil || sum != snap.Checksum {
+		return nil
+	}
+	return snap.Answers
+}

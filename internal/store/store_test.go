@@ -1,0 +1,269 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testKey() Key {
+	return Key{
+		Engine:    "askit-go/1",
+		Signature: "Calculate the factorial of {{n}}.\x00number\x00n:number\x00\x00factorial",
+		Slug:      "calculate-the-factorial-of-n",
+	}
+}
+
+func testArtifact() *Artifact {
+	return &Artifact{
+		FuncName: "factorial",
+		Source:   "export function factorial({n}: {n: number}): number {\n  return n <= 1 ? 1 : n * factorial({n: n - 1});\n}\n",
+		LOC:      3,
+		Attempts: 2,
+		Validation: []ValidationRecord{
+			{Input: map[string]any{"n": 5.0}, Output: 120.0},
+		},
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	if _, err := s.Load(key); !errors.Is(err, ErrMiss) {
+		t.Fatalf("empty store: err = %v, want ErrMiss", err)
+	}
+	if err := s.Save(key, testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	art, err := s.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.FuncName != "factorial" || art.Attempts != 2 || len(art.Validation) != 1 {
+		t.Errorf("artifact = %+v", art)
+	}
+	if art.Source != testArtifact().Source {
+		t.Errorf("source round-trip mismatch")
+	}
+	if art.Format != FormatVersion || art.Engine != key.Engine || art.Key != key.Hash() {
+		t.Errorf("addressing fields not stamped: %+v", art)
+	}
+	if art.CreatedAt == "" {
+		t.Error("CreatedAt not stamped")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestStoreKeyIdentity(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	if err := s.Save(key, testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	// A different signature (e.g. changed validation examples) or a
+	// different engine revision must not see the artifact.
+	other := key
+	other.Signature += "\x01extra-example"
+	if _, err := s.Load(other); !errors.Is(err, ErrMiss) {
+		t.Errorf("changed signature: err = %v, want ErrMiss", err)
+	}
+	stale := key
+	stale.Engine = "askit-go/0"
+	if _, err := s.Load(stale); !errors.Is(err, ErrMiss) {
+		t.Errorf("changed engine revision: err = %v, want ErrMiss", err)
+	}
+}
+
+// artifactPath locates the single artifact file for key.
+func artifactPath(t *testing.T, s *Store, key Key) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(s.Dir(), "*"+key.Hash()[:12]+".json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("artifact file not found: %v %v", matches, err)
+	}
+	return matches[0]
+}
+
+func TestStoreCorruptionIsAMiss(t *testing.T) {
+	key := testKey()
+	mutate := func(change func(*Artifact)) []byte {
+		art := testArtifact()
+		art.Format = FormatVersion
+		art.Engine = key.Engine
+		art.Key = key.Hash()
+		art.Signature = key.Signature
+		art.Checksum = Checksum(art.Source)
+		change(art)
+		data, err := json.Marshal(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty file", nil},
+		{"truncated json", []byte(`{"format": 1, "engine": "askit-go/1", "source": "export fun`)},
+		{"garbled bytes", []byte("\x00\x7f\xffnot json at all")},
+		{"not an object", []byte(`"just a string"`)},
+		{"stale format version", mutate(func(a *Artifact) { a.Format = FormatVersion + 1 })},
+		{"zero format version", mutate(func(a *Artifact) { a.Format = 0 })},
+		{"stale engine revision", mutate(func(a *Artifact) { a.Engine = "askit-go/0" })},
+		{"foreign address", mutate(func(a *Artifact) { a.Key = strings.Repeat("ab", 32) })},
+		{"stale signature", mutate(func(a *Artifact) { a.Signature = "something else" })},
+		{"tampered source", mutate(func(a *Artifact) { a.Source += "// trailing edit\n" })},
+		{"empty source", mutate(func(a *Artifact) { a.Source = ""; a.Checksum = Checksum("") })},
+		{"bad checksum", mutate(func(a *Artifact) { a.Checksum = "deadbeef" })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Plant a valid artifact, then overwrite it with the bad bytes.
+			if err := s.Save(key, testArtifact()); err != nil {
+				t.Fatal(err)
+			}
+			path := artifactPath(t, s, key)
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Load(key); !errors.Is(err, ErrMiss) {
+				t.Fatalf("err = %v, want ErrMiss", err)
+			}
+			// Save must rewrite the poisoned file and make it loadable.
+			if err := s.Save(key, testArtifact()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Load(key); err != nil {
+				t.Fatalf("rewritten artifact: %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreInvalidate(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	if err := s.Save(key, testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	s.Invalidate(key)
+	if _, err := s.Load(key); !errors.Is(err, ErrMiss) {
+		t.Errorf("err = %v, want ErrMiss after Invalidate", err)
+	}
+	s.Invalidate(key) // idempotent
+}
+
+func TestStoreConcurrentLoadsAndSaves(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	if err := s.Save(key, testArtifact()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%4 == 0 {
+				if err := s.Save(key, testArtifact()); err != nil {
+					t.Error(err)
+				}
+				return
+			}
+			if _, err := s.Load(key); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestAnswerSnapshotRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LoadAnswers("askit-go/1"); got != nil {
+		t.Errorf("empty store returned answers: %v", got)
+	}
+	recs := []AnswerRecord{
+		{Key: "k1", Value: "olleh"},
+		{Key: "k2", Value: 120.0},
+		{Key: "k3", Value: []any{1.0, 2.0}},
+	}
+	if err := s.SaveAnswers("askit-go/1", recs); err != nil {
+		t.Fatal(err)
+	}
+	got := s.LoadAnswers("askit-go/1")
+	if len(got) != 3 || got[0].Value != "olleh" || got[1].Value != 120.0 {
+		t.Errorf("answers = %+v", got)
+	}
+	// A different engine revision must not trust the snapshot; a
+	// garbled snapshot is a silent miss.
+	if got := s.LoadAnswers("askit-go/0"); got != nil {
+		t.Errorf("stale-engine snapshot returned answers: %v", got)
+	}
+	// A record altered after the write (still valid JSON) must fail the
+	// snapshot checksum and restore nothing.
+	if err := s.SaveAnswers("askit-go/1", recs); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Dir(), "answers.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), "olleh", "wrong", 1)
+	if tampered == string(data) {
+		t.Fatal("tamper target not found in snapshot")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LoadAnswers("askit-go/1"); got != nil {
+		t.Errorf("tampered snapshot returned answers: %v", got)
+	}
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LoadAnswers("askit-go/1"); got != nil {
+		t.Errorf("garbled snapshot returned answers: %v", got)
+	}
+	// Answer snapshots do not count as artifacts.
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("empty dir must be rejected")
+	}
+	dir := filepath.Join(t.TempDir(), "nested", "store")
+	if _, err := Open(dir); err != nil {
+		t.Errorf("Open must create nested directories: %v", err)
+	}
+}
