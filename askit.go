@@ -46,6 +46,7 @@ package askit
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"reflect"
 	"time"
@@ -239,8 +240,48 @@ func New(opts Options) (*AskIt, error) {
 // harnesses, ablations).
 func (a *AskIt) Engine() *core.Engine { return a.engine }
 
-// Stats returns a snapshot of the engine's serving counters.
+// Stats returns a snapshot of the engine's serving counters. The
+// snapshot is taken atomically (best-effort stable read), so its fields
+// are mutually consistent under concurrent load; take one snapshot and
+// read every field from it rather than calling Stats per field.
 func (a *AskIt) Stats() Stats { return a.engine.Stats() }
+
+// ErrDraining is returned by Compile when the engine is draining: a
+// shutting-down replica refuses to start fresh codegen LLM loops while
+// still finishing in-flight calls and warm installs. See BeginDrain.
+var ErrDraining = core.ErrDraining
+
+// BeginDrain flips the engine into draining mode ahead of shutdown:
+// calls keep executing and artifact-store warm installs still succeed,
+// but Compile calls that would start a new codegen LLM loop fail fast
+// with ErrDraining. A serving tier calls this when it stops admitting
+// requests, then waits for Stats().InflightCalls to reach zero before
+// Close. Draining is one-way.
+func (a *AskIt) BeginDrain() { a.engine.BeginDrain() }
+
+// Store returns the configured artifact store, or nil.
+func (a *AskIt) Store() *Store { return a.engine.Options().Store }
+
+// Close flushes the warm-start state and closes the artifact store:
+// the answer cache is snapshotted (when a store and the cache are
+// configured) and the store stops accepting writes, so the state a
+// restarted replica sees is exactly the state at Close. An AskIt
+// without a store closes trivially. Close does not wait for in-flight
+// calls; drain first (BeginDrain + Stats().InflightCalls).
+func (a *AskIt) Close() error {
+	st := a.Store()
+	if st == nil {
+		return nil
+	}
+	_, err := a.engine.SnapshotAnswers()
+	if errors.Is(err, core.ErrAnswersDisabled) || errors.Is(err, store.ErrClosed) {
+		// Nothing to snapshot, or already snapshotted by an earlier
+		// Close: both are a clean shutdown, not a failure — Close (and
+		// Server.Drain above it) must be idempotent.
+		err = nil
+	}
+	return errors.Join(err, st.Close())
+}
 
 // SnapshotAnswers persists the memoized direct-call answer cache to
 // the configured artifact store and returns the number of answers

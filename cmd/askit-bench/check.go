@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The -check flag turns a benchmark run into a CI regression gate: the
+// freshly measured BENCH json is compared against the checked-in
+// baseline, and any headline metric more than -checkfactor worse fails
+// the run (exit non-zero). The factor is deliberately loose (default
+// 2x): CI runners are noisy, and the gate exists to catch order-of-
+// magnitude regressions — an accidental tree-walker fallback, a lost
+// cache — not 10% jitter. The baseline schemas are detected by shape:
+//
+//	BENCH_1-style: {"benchmarks": {name: {"ns_per_op": ...}}}
+//	BENCH_2-style: {"concurrent_cached": {"throughput_per_s": ...}}
+//	BENCH_5-style: {"warm_restart": {"levels": [{"throughput_per_s": ...}]}}
+
+// checkAgainstBaseline loads both reports and compares every headline
+// metric the schemas share. It returns the human-readable verdicts and
+// an error when any metric regressed beyond factor.
+func checkAgainstBaseline(currentPath, baselinePath string, factor float64) ([]string, error) {
+	cur, err := readJSONFile(currentPath)
+	if err != nil {
+		return nil, fmt.Errorf("check: current: %w", err)
+	}
+	base, err := readJSONFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("check: baseline: %w", err)
+	}
+	var verdicts []string
+	var failures []string
+
+	// Lower-is-better: per-benchmark ns/op.
+	if curB, baseB := subMap(cur, "benchmarks"), subMap(base, "benchmarks"); curB != nil && baseB != nil {
+		for name, bv := range baseB {
+			baseNs := number(bv, "ns_per_op")
+			curNs := number(curB[name], "ns_per_op")
+			if baseNs <= 0 || curNs <= 0 {
+				continue // benchmark removed or malformed; not a regression
+			}
+			v := fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (x%.2f, limit x%.1f)",
+				name, curNs, baseNs, curNs/baseNs, factor)
+			verdicts = append(verdicts, v)
+			if curNs > baseNs*factor {
+				failures = append(failures, v)
+			}
+		}
+	}
+
+	// Higher-is-better: cached-serve aggregate throughput.
+	if curTP, baseTP := number(subMapAny(cur, "concurrent_cached"), "throughput_per_s"),
+		number(subMapAny(base, "concurrent_cached"), "throughput_per_s"); baseTP > 0 && curTP > 0 {
+		v := fmt.Sprintf("cached-serve throughput: %.0f/s vs baseline %.0f/s (x%.2f, limit x%.1f)",
+			curTP, baseTP, baseTP/curTP, factor)
+		verdicts = append(verdicts, v)
+		if curTP < baseTP/factor {
+			failures = append(failures, v)
+		}
+	}
+
+	// Higher-is-better: warm daemon peak HTTP throughput.
+	if curTP, baseTP := peakLevelThroughput(cur), peakLevelThroughput(base); baseTP > 0 && curTP > 0 {
+		v := fmt.Sprintf("warm http peak throughput: %.0f/s vs baseline %.0f/s (x%.2f, limit x%.1f)",
+			curTP, baseTP, baseTP/curTP, factor)
+		verdicts = append(verdicts, v)
+		if curTP < baseTP/factor {
+			failures = append(failures, v)
+		}
+	}
+
+	if len(verdicts) == 0 {
+		return nil, fmt.Errorf("check: %s and %s share no comparable metrics", currentPath, baselinePath)
+	}
+	if len(failures) > 0 {
+		return verdicts, fmt.Errorf("check: %d metric(s) regressed beyond x%.1f:\n  %s",
+			len(failures), factor, failures[0])
+	}
+	return verdicts, nil
+}
+
+func readJSONFile(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func subMap(m map[string]any, key string) map[string]any {
+	if m == nil {
+		return nil
+	}
+	sub, _ := m[key].(map[string]any)
+	return sub
+}
+
+func subMapAny(m map[string]any, key string) any {
+	if m == nil {
+		return nil
+	}
+	return m[key]
+}
+
+func number(v any, key string) float64 {
+	m, _ := v.(map[string]any)
+	if m == nil {
+		return 0
+	}
+	n, _ := m[key].(float64)
+	return n
+}
+
+// peakLevelThroughput extracts the best warm-restart level throughput
+// from a BENCH_5-style report.
+func peakLevelThroughput(m map[string]any) float64 {
+	warm := subMap(m, "warm_restart")
+	levels, _ := subMapAny(warm, "levels").([]any)
+	best := 0.0
+	for _, l := range levels {
+		if tp := number(l, "throughput_per_s"); tp > best {
+			best = tp
+		}
+	}
+	return best
+}
+
+// runCheck applies checkAgainstBaseline and prints the verdicts.
+func runCheck(currentPath, baselinePath string, factor float64) error {
+	if factor <= 1 {
+		return fmt.Errorf("check: -checkfactor must be > 1, got %v", factor)
+	}
+	verdicts, err := checkAgainstBaseline(currentPath, baselinePath, factor)
+	for _, v := range verdicts {
+		fmt.Println("  check:", v)
+	}
+	return err
+}

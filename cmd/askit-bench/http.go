@@ -1,0 +1,395 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	askit "repro"
+	"repro/internal/jsonx"
+	"repro/internal/server"
+	"repro/internal/tasks"
+)
+
+// The http benchmark measures the network serving tier end-to-end: a
+// real askitd serving stack (engine + admission control + artifact
+// store) behind a loopback TCP listener, driven by HTTP clients the
+// way production traffic would drive it — nothing is called in-process.
+// It runs the full daemon lifecycle twice: a cold start that pays the
+// codegen loop for every installed function, a graceful drain
+// (snapshot + store close), and a warm restart over the same store
+// that must install the same functions with zero codegen LLM calls.
+// Each phase then serves a skewed ask/call workload at several
+// concurrency levels. Run with:
+//
+//	askit-bench -exp http            # writes BENCH_5.json
+const (
+	httpFuncs         = 8    // installed compiled functions per phase
+	httpCallsPerLevel = 2000 // requests per concurrency level
+	httpMaxInflight   = 256
+	httpBenchBackends = 4
+	httpDistinctAsks  = 32 // distinct direct-ask requests (cache-heavy)
+)
+
+var httpConcurrencyLevels = []int{1, 4, 16}
+
+// httpLevel is one concurrency level's client-side measurement.
+type httpLevel struct {
+	Concurrency      int     `json:"concurrency"`
+	Calls            int     `json:"calls"`
+	Errors           int     `json:"errors"`
+	WallMs           float64 `json:"wall_ms"`
+	ThroughputPerSec float64 `json:"throughput_per_s"`
+	P50Us            float64 `json:"p50_us"`
+	P99Us            float64 `json:"p99_us"`
+}
+
+// httpSide is one daemon lifecycle's measurement (cold or warm).
+type httpSide struct {
+	Funcs           int         `json:"funcs"`
+	InstallMs       float64     `json:"install_ms"`
+	CodegenLLMCalls uint64      `json:"codegen_llm_calls"`
+	StoreHits       uint64      `json:"store_hits"`
+	AnswersRestored uint64      `json:"answers_restored"`
+	Levels          []httpLevel `json:"levels"`
+}
+
+// HTTPReport is the BENCH_5.json schema.
+type HTTPReport struct {
+	Note        string   `json:"note"`
+	MaxInflight int      `json:"max_inflight"`
+	Backends    int      `json:"backends"`
+	Cold        httpSide `json:"cold_start"`
+	Warm        httpSide `json:"warm_restart"`
+	// InstallSpeedup is cold install time over warm install time — the
+	// network-tier view of the persistence tier's win.
+	InstallSpeedup float64 `json:"install_speedup"`
+}
+
+// httpDaemon is one in-process askitd instance bound to a loopback
+// listener. The benchmark talks to it exclusively over httpURL.
+type httpDaemon struct {
+	ai      *askit.AskIt
+	srv     *server.Server
+	httpSrv *http.Server
+	url     string
+}
+
+func startHTTPDaemon(seed int64, storeDir string) (*httpDaemon, error) {
+	backends := make([]askit.RouterBackend, httpBenchBackends)
+	for i := range backends {
+		sim := askit.NewSimClient(seed + int64(i))
+		sim.Noise.DirectBlind = 0
+		sim.Noise.CodegenBlind = 0
+		backends[i] = askit.RouterBackend{
+			Name:          fmt.Sprintf("sim-%d", i),
+			Client:        sim,
+			MaxConcurrent: httpMaxInflight,
+		}
+	}
+	router, err := askit.NewRouter(backends...)
+	if err != nil {
+		return nil, err
+	}
+	ai, err := askit.New(askit.Options{Client: router, StorePath: storeDir})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{AskIt: ai, MaxInflight: httpMaxInflight})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	d := &httpDaemon{
+		ai:      ai,
+		srv:     srv,
+		httpSrv: &http.Server{Handler: srv.Handler()},
+		url:     "http://" + ln.Addr().String(),
+	}
+	go d.httpSrv.Serve(ln)
+	return d, nil
+}
+
+// stop performs the daemon's graceful shutdown: drain (snapshot +
+// store close), then listener teardown.
+func (d *httpDaemon) stop() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	left, err := d.srv.Drain(ctx)
+	if err == nil && left > 0 {
+		err = fmt.Errorf("drain left %d requests in flight", left)
+	}
+	if serr := d.httpSrv.Shutdown(ctx); serr != nil && err == nil {
+		err = serr
+	}
+	return err
+}
+
+func (d *httpDaemon) post(path, body string) (int, map[string]any, error) {
+	resp, err := http.Post(d.url+path, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, decoded, nil
+}
+
+// engineStats reads the daemon's engine counters over the wire.
+func (d *httpDaemon) engineStats() (map[string]any, error) {
+	resp, err := http.Get(d.url + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var decoded struct {
+		Engine map[string]any `json:"engine"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		return nil, err
+	}
+	return decoded.Engine, nil
+}
+
+// httpSpecs selects the codable catalog tasks the benchmark installs.
+func httpSpecs() []*tasks.Spec {
+	var specs []*tasks.Spec
+	for _, spec := range tasks.Common.All() {
+		if spec.Codable && !spec.Hard && len(spec.Examples) > 0 {
+			specs = append(specs, spec)
+		}
+		if len(specs) == httpFuncs {
+			break
+		}
+	}
+	return specs
+}
+
+// installFuncs POSTs every spec to /v1/funcs and returns the installed
+// names plus the wall time.
+func installFuncs(d *httpDaemon, specs []*tasks.Spec) ([]string, float64, error) {
+	names := make([]string, 0, len(specs))
+	t0 := time.Now()
+	for _, spec := range specs {
+		req := map[string]any{
+			"type":     spec.Return.TS(),
+			"template": spec.Template,
+		}
+		params := []any{}
+		for _, p := range spec.ParamTypes() {
+			params = append(params, map[string]any{"name": p.Name, "type": p.Type.TS()})
+		}
+		req["params"] = params
+		testsJSON := []any{}
+		for _, ex := range spec.Examples {
+			testsJSON = append(testsJSON, map[string]any{"input": ex.Input, "output": ex.Output})
+		}
+		req["tests"] = testsJSON
+		// jsonx, not encoding/json: the specs hold nil []any for empty
+		// arrays, which encoding/json would ship as null — a different
+		// value on the other side of the wire.
+		body := jsonx.Encode(req)
+		code, resp, err := d.post("/v1/funcs", body)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		if code != http.StatusOK {
+			return nil, 0, fmt.Errorf("%s: install status %d: %v", spec.ID, code, resp)
+		}
+		name, _ := resp["name"].(string)
+		if name == "" {
+			return nil, 0, fmt.Errorf("%s: install response has no name: %v", spec.ID, resp)
+		}
+		names = append(names, name)
+	}
+	return names, float64(time.Since(t0).Nanoseconds()) / 1e6, nil
+}
+
+// httpWorkload is the per-phase request mix: compiled-function calls
+// interleaved with cache-heavy direct asks, the shape of production
+// traffic over a warm daemon.
+type httpWorkload struct {
+	specs []*tasks.Spec
+	names []string
+}
+
+// request returns the (path, body) of the i-th request.
+func (w *httpWorkload) request(i int) (string, string) {
+	if i%2 == 0 {
+		k := (i / 2) % len(w.names)
+		spec := w.specs[k]
+		return "/v1/funcs/" + w.names[k] + "/call", `{"args":` + jsonx.Encode(spec.Examples[0].Input) + `}`
+	}
+	n := 3 + (i/2)%httpDistinctAsks
+	return "/v1/ask", fmt.Sprintf(
+		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":%d}}`, n)
+}
+
+// driveHTTP issues calls requests from conc client goroutines and
+// collects client-side latencies.
+func driveHTTP(d *httpDaemon, w *httpWorkload, conc, calls int) httpLevel {
+	latencies := make([]time.Duration, calls)
+	var errs atomic.Int64
+	var next atomic.Int64
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conc}}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < conc; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= calls {
+					return
+				}
+				path, body := w.request(i)
+				t0 := time.Now()
+				resp, err := client.Post(d.url+path, "application/json", bytes.NewReader([]byte(body)))
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	ls := summarizeLatencies(latencies, wall)
+	return httpLevel{
+		Concurrency:      conc,
+		Calls:            calls,
+		Errors:           int(errs.Load()),
+		WallMs:           ls.WallMs,
+		ThroughputPerSec: ls.ThroughputPerSec,
+		P50Us:            ls.P50Us,
+		P99Us:            ls.P99Us,
+	}
+}
+
+// driveHTTPPhase runs one daemon lifecycle: install, serve at every
+// concurrency level, read the engine counters over the wire.
+func driveHTTPPhase(d *httpDaemon, specs []*tasks.Spec) (httpSide, error) {
+	side := httpSide{Funcs: len(specs)}
+	names, installMs, err := installFuncs(d, specs)
+	if err != nil {
+		return side, err
+	}
+	side.InstallMs = installMs
+	w := &httpWorkload{specs: specs, names: names}
+	for _, conc := range httpConcurrencyLevels {
+		side.Levels = append(side.Levels, driveHTTP(d, w, conc, httpCallsPerLevel))
+	}
+	es, err := d.engineStats()
+	if err != nil {
+		return side, err
+	}
+	asUint := func(k string) uint64 {
+		v, _ := es[k].(float64)
+		return uint64(v)
+	}
+	side.CodegenLLMCalls = asUint("codegen_llm_calls")
+	side.StoreHits = asUint("store_hits")
+	side.AnswersRestored = asUint("answers_restored")
+	return side, nil
+}
+
+// runHTTPJSON runs the cold/warm daemon pair and writes BENCH_5.json.
+func runHTTPJSON(path string, seed int64, storeDir string) error {
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "askit-httpbench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+	}
+	specs := httpSpecs()
+
+	cold, err := startHTTPDaemon(seed, storeDir)
+	if err != nil {
+		return err
+	}
+	coldSide, err := driveHTTPPhase(cold, specs)
+	if err != nil {
+		return fmt.Errorf("cold: %w", err)
+	}
+	if err := cold.stop(); err != nil {
+		return fmt.Errorf("cold stop: %w", err)
+	}
+
+	warm, err := startHTTPDaemon(seed, storeDir)
+	if err != nil {
+		return err
+	}
+	warmSide, err := driveHTTPPhase(warm, specs)
+	if err != nil {
+		return fmt.Errorf("warm: %w", err)
+	}
+	if err := warm.stop(); err != nil {
+		return fmt.Errorf("warm stop: %w", err)
+	}
+
+	report := HTTPReport{
+		Note: fmt.Sprintf("network serving tier benchmark: real HTTP daemon on a loopback listener, %d compiled "+
+			"functions + cache-heavy direct asks at concurrency %v; cold start pays codegen, graceful drain "+
+			"snapshots the store, warm restart must make zero codegen LLM calls", len(specs), httpConcurrencyLevels),
+		MaxInflight: httpMaxInflight,
+		Backends:    httpBenchBackends,
+		Cold:        coldSide,
+		Warm:        warmSide,
+	}
+	if warmSide.InstallMs > 0 {
+		report.InstallSpeedup = coldSide.InstallMs / warmSide.InstallMs
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	for _, pair := range []struct {
+		name string
+		side httpSide
+	}{{"cold", coldSide}, {"warm", warmSide}} {
+		fmt.Printf("  %s start: %d funcs installed in %.1fms, %d codegen LLM calls, %d store hits\n",
+			pair.name, pair.side.Funcs, pair.side.InstallMs, pair.side.CodegenLLMCalls, pair.side.StoreHits)
+		for _, l := range pair.side.Levels {
+			fmt.Printf("    c=%2d: %8.0f req/s  p50 %7.1fus  p99 %8.1fus  (%d errors)\n",
+				l.Concurrency, l.ThroughputPerSec, l.P50Us, l.P99Us, l.Errors)
+		}
+	}
+
+	// Smoke contract, same as -exp warm: a warm restart that touched
+	// the model for codegen is a regression.
+	if warmSide.CodegenLLMCalls != 0 {
+		return fmt.Errorf("warm daemon made %d codegen LLM calls, want 0", warmSide.CodegenLLMCalls)
+	}
+	if warmSide.StoreHits != uint64(len(specs)) {
+		return fmt.Errorf("warm daemon hit the store %d times, want %d", warmSide.StoreHits, len(specs))
+	}
+	return nil
+}

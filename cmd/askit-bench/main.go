@@ -7,6 +7,11 @@
 //	askit-bench -exp bench            # hot-path micro benchmarks -> BENCH_1.json
 //	askit-bench -exp serve            # serving-tier benchmark -> BENCH_2.json
 //	askit-bench -exp warm             # persistence-tier benchmark -> BENCH_3.json
+//	askit-bench -exp http             # network-tier daemon benchmark -> BENCH_5.json
+//
+// With -check <baseline.json>, the fresh measurement is compared to the
+// checked-in baseline and the run fails on a regression beyond
+// -checkfactor (default 2x) — the CI bench-regression gate.
 package main
 
 import (
@@ -21,45 +26,41 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|bench|serve|warm|all")
-		seed     = flag.Int64("seed", 42, "simulation seed")
-		problems = flag.Int("n", 0, "GSM8K problem count for table3 (0 = full 1319)")
-		workers  = flag.Int("workers", 8, "worker pool size for table3")
-		csvDir   = flag.String("csv", "", "directory to write CSV series into (optional)")
-		benchOut = flag.String("benchout", "", "output path for -exp bench/serve/warm (default BENCH_<n>.json)")
-		storeDir = flag.String("storedir", "", "artifact store directory for -exp warm (default: a temp dir)")
+		which       = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|bench|serve|warm|http|all")
+		seed        = flag.Int64("seed", 42, "simulation seed")
+		problems    = flag.Int("n", 0, "GSM8K problem count for table3 (0 = full 1319)")
+		workers     = flag.Int("workers", 8, "worker pool size for table3")
+		csvDir      = flag.String("csv", "", "directory to write CSV series into (optional)")
+		benchOut    = flag.String("benchout", "", "output path for -exp bench/serve/warm/http (default BENCH_<n>.json)")
+		storeDir    = flag.String("storedir", "", "artifact store directory for -exp warm/http (default: a temp dir)")
+		checkPath   = flag.String("check", "", "baseline BENCH json to compare against; regressions beyond -checkfactor fail the run")
+		checkFactor = flag.Float64("checkfactor", 2.0, "allowed slowdown factor for -check")
 	)
 	flag.Parse()
 
 	// The benchmark suites are opt-in: they are not part of "all"
 	// because they take a while and write tracked files.
-	if *which == "bench" {
-		out := *benchOut
-		if out == "" {
-			out = "BENCH_1.json"
-		}
-		if err := runBenchJSON(out); err != nil {
-			fatal(err)
-		}
-		return
+	benchSuites := map[string]struct {
+		defaultOut string
+		run        func(out string) error
+	}{
+		"bench": {"BENCH_1.json", func(out string) error { return runBenchJSON(out) }},
+		"serve": {"BENCH_2.json", func(out string) error { return runServeJSON(out, *seed) }},
+		"warm":  {"BENCH_3.json", func(out string) error { return runWarmJSON(out, *seed, *storeDir) }},
+		"http":  {"BENCH_5.json", func(out string) error { return runHTTPJSON(out, *seed, *storeDir) }},
 	}
-	if *which == "serve" {
+	if suite, ok := benchSuites[*which]; ok {
 		out := *benchOut
 		if out == "" {
-			out = "BENCH_2.json"
+			out = suite.defaultOut
 		}
-		if err := runServeJSON(out, *seed); err != nil {
+		if err := suite.run(out); err != nil {
 			fatal(err)
 		}
-		return
-	}
-	if *which == "warm" {
-		out := *benchOut
-		if out == "" {
-			out = "BENCH_3.json"
-		}
-		if err := runWarmJSON(out, *seed, *storeDir); err != nil {
-			fatal(err)
+		if *checkPath != "" {
+			if err := runCheck(out, *checkPath, *checkFactor); err != nil {
+				fatal(err)
+			}
 		}
 		return
 	}

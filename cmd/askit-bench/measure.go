@@ -1,0 +1,29 @@
+package main
+
+import (
+	"sort"
+	"time"
+)
+
+// latencyStats is the client-side summary every drive loop reports:
+// wall clock, aggregate throughput, and latency percentiles. Shared by
+// the serve and http benchmarks so the math cannot silently diverge
+// between BENCH reports.
+type latencyStats struct {
+	WallMs           float64
+	ThroughputPerSec float64
+	P50Us            float64
+	P99Us            float64
+}
+
+// summarizeLatencies sorts latencies in place and derives the summary.
+func summarizeLatencies(latencies []time.Duration, wall time.Duration) latencyStats {
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	calls := len(latencies)
+	return latencyStats{
+		WallMs:           float64(wall.Nanoseconds()) / 1e6,
+		ThroughputPerSec: float64(calls) / wall.Seconds(),
+		P50Us:            float64(latencies[calls/2].Nanoseconds()) / 1e3,
+		P99Us:            float64(latencies[calls*99/100].Nanoseconds()) / 1e3,
+	}
+}

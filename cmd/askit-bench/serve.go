@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -152,16 +151,16 @@ func driveServe(ai *askit.AskIt, tasks []serveTask, goroutines, calls int) serve
 	wg.Wait()
 	wall := time.Since(start)
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	ls := summarizeLatencies(latencies, wall)
 	stats := ai.Stats()
 	side := serveSide{
 		Goroutines:       goroutines,
 		Calls:            calls,
 		Errors:           int(errs.Load()),
-		WallMs:           float64(wall.Nanoseconds()) / 1e6,
-		ThroughputPerSec: float64(calls) / wall.Seconds(),
-		P50Us:            float64(latencies[calls/2].Nanoseconds()) / 1e3,
-		P99Us:            float64(latencies[calls*99/100].Nanoseconds()) / 1e3,
+		WallMs:           ls.WallMs,
+		ThroughputPerSec: ls.ThroughputPerSec,
+		P50Us:            ls.P50Us,
+		P99Us:            ls.P99Us,
 		CacheHits:        stats.AnswerHits,
 		CacheMisses:      stats.AnswerMisses,
 		Coalesced:        stats.AnswerCoalesced,

@@ -1,0 +1,155 @@
+// Command askitd serves an AskIt engine over HTTP — the network
+// boundary of the serving tier. Callers that cannot (or should not)
+// link the Go package talk JSON to this daemon instead; the daemon
+// owns the engine, the sharded answer cache, the multi-backend router,
+// and the persistent artifact store, so every client shares one warm
+// serving core.
+//
+//	askitd -addr 127.0.0.1:8080 -store /var/lib/askit
+//
+//	curl -s localhost:8080/v1/ask -d '{
+//	  "type": "number",
+//	  "template": "Calculate the factorial of {{n}}.",
+//	  "args": {"n": 5}}'
+//
+// Load management: at most -max-inflight requests run at once; excess
+// traffic gets an immediate 429 with a Retry-After hint instead of
+// queuing without bound. Every admitted request runs under -timeout.
+// On SIGTERM/SIGINT the daemon drains gracefully: health flips to 503
+// so load balancers stop routing, new work is rejected, in-flight
+// requests finish (bounded by -drain-timeout), the answer cache is
+// snapshotted, and the artifact store is closed. A restarted daemon
+// over the same -store warm-starts: previously compiled functions
+// install with zero codegen LLM calls.
+//
+// This reproduction is offline, so the model side is the deterministic
+// simulated client (a router over -backends of them). A hosted client
+// implementing llm.Client plugs into the same engine without touching
+// this file's serving logic.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	askit "repro"
+	"repro/internal/llm"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		storePath    = flag.String("store", "", "artifact store directory; empty disables persistence")
+		maxInflight  = flag.Int("max-inflight", server.DefaultMaxInflight, "admitted-request bound; excess gets 429 (negative = unlimited)")
+		reqTimeout   = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request timeout (negative = none)")
+		drainTimeout = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "graceful-drain bound on SIGTERM")
+		backends     = flag.Int("backends", 2, "simulated model backends behind the router")
+		seed         = flag.Int64("seed", 1, "simulation seed")
+		cacheSize    = flag.Int("cache-size", 0, "answer cache entries (0 = default, negative = disabled)")
+		noise        = flag.Bool("noise", false, "keep the simulated model's blind spots (refusals) enabled")
+	)
+	flag.Parse()
+
+	client, err := buildClient(*backends, *seed, *noise, *maxInflight)
+	if err != nil {
+		log.Fatalf("askitd: %v", err)
+	}
+	ai, err := askit.New(askit.Options{
+		Client:          client,
+		StorePath:       *storePath,
+		AnswerCacheSize: *cacheSize,
+	})
+	if err != nil {
+		log.Fatalf("askitd: %v", err)
+	}
+	srv, err := server.New(server.Config{
+		AskIt:          ai,
+		MaxInflight:    *maxInflight,
+		RequestTimeout: *reqTimeout,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("askitd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("askitd: %v", err)
+	}
+	// The resolved address line is a contract: harnesses (the http
+	// benchmark, the CI smoke) pass port 0 and scrape the port.
+	log.Printf("askitd: listening on http://%s (store=%q max-inflight=%d backends=%d)",
+		ln.Addr(), *storePath, *maxInflight, *backends)
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("askitd: serve: %v", err)
+	case sig := <-sigCh:
+		log.Printf("askitd: %v received, draining (bound %s)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	left, drainErr := srv.Drain(ctx)     // reject new work, finish in-flight, snapshot, close store
+	shutdownErr := httpSrv.Shutdown(ctx) // then close listeners and idle connections
+
+	stats := ai.Stats()
+	log.Printf("askitd: drained; served %d direct + %d compiled calls, %d answer hits, %d store hits, %d codegen LLM calls",
+		stats.DirectCalls, stats.CompiledCalls, stats.AnswerHits, stats.StoreHits, stats.CodegenLLMCalls)
+	if left > 0 || drainErr != nil || shutdownErr != nil {
+		log.Printf("askitd: unclean shutdown: inflight=%d drain=%v shutdown=%v", left, drainErr, shutdownErr)
+		os.Exit(1)
+	}
+}
+
+// buildClient returns the engine's model client: one simulated backend,
+// or a failover router over several.
+func buildClient(n int, seed int64, noise bool, maxInflight int) (askit.Client, error) {
+	newSim := func(i int) *llm.Sim {
+		sim := askit.NewSimClient(seed + int64(i))
+		if !noise {
+			// A serving daemon wants answers, not simulated blind spots;
+			// format noise (and the retry loop it exercises) stays on.
+			sim.Noise.DirectBlind = 0
+			sim.Noise.CodegenBlind = 0
+		}
+		return sim
+	}
+	if n <= 1 {
+		return newSim(0), nil
+	}
+	perBackend := 0
+	if maxInflight > 0 {
+		// Spread the admission bound over the ring so one backend can
+		// never absorb the daemon's whole budget while others idle.
+		perBackend = (maxInflight + n - 1) / n
+	}
+	bs := make([]askit.RouterBackend, n)
+	for i := range bs {
+		bs[i] = askit.RouterBackend{
+			Name:          fmt.Sprintf("sim-%d", i),
+			Client:        newSim(i),
+			MaxConcurrent: perBackend,
+		}
+	}
+	return askit.NewRouter(bs...)
+}

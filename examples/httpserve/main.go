@@ -1,0 +1,106 @@
+// Httpserve: the PR 5 network tier in one program — an embedded askitd
+// serving stack (engine + admission control + artifact store) on a
+// loopback listener, driven purely over HTTP: install a function, call
+// it natively, watch the counters, then drain gracefully and restart
+// warm from the store with zero codegen LLM calls.
+//
+// The standalone daemon is `go run ./cmd/askitd`; this example embeds
+// the same internal/server package so it can show the restart cycle in
+// one process.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	askit "repro"
+	"repro/internal/server"
+)
+
+const installFact = `{
+  "name": "fact", "type": "number",
+  "template": "Calculate the factorial of {{n}}.",
+  "params": [{"name": "n", "type": "number"}],
+  "tests": [{"input": {"n": 5}, "output": 120}]}`
+
+func main() {
+	dir, err := os.MkdirTemp("", "askit-httpserve-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Lifecycle 1: cold start. Installing fact pays the codegen loop.
+	url, drain := startDaemon(dir)
+	fmt.Println("cold install:", post(url+"/v1/funcs", installFact))
+	fmt.Println("call:        ", post(url+"/v1/funcs/fact/call", `{"args":{"n":10}}`))
+	fmt.Println("ask:         ", post(url+"/v1/ask",
+		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":5}}`))
+	drain() // graceful: finish in-flight, snapshot answers, close store
+
+	// Lifecycle 2: warm restart over the same store. The install is a
+	// store hit — no model involved — and the memoized answer survives.
+	url, drain = startDaemon(dir)
+	fmt.Println("\nwarm install:", post(url+"/v1/funcs", installFact))
+	stats := post(url + "/v1/stats")
+	for _, want := range []string{`"codegen_llm_calls":0`, `"store_hits":1`} {
+		if !strings.Contains(stats, want) {
+			log.Fatalf("warm restart stats missing %s: %s", want, stats)
+		}
+	}
+	fmt.Println("warm restart made zero codegen LLM calls")
+	drain()
+}
+
+// startDaemon boots the serving stack on a loopback port and returns
+// its base URL plus a graceful-shutdown func.
+func startDaemon(storeDir string) (string, func()) {
+	sim := askit.NewSimClient(1)
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	ai, err := askit.New(askit.Options{Client: sim, StorePath: storeDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{AskIt: ai, MaxInflight: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() {
+		if _, err := srv.Drain(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+		httpSrv.Close()
+	}
+}
+
+func post(url string, body ...string) string {
+	var resp *http.Response
+	var err error
+	if len(body) > 0 {
+		resp, err = http.Post(url, "application/json", strings.NewReader(body[0]))
+	} else {
+		resp, err = http.Get(url)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return strings.TrimSpace(string(data))
+}

@@ -56,6 +56,16 @@ type Stats struct {
 	// AnswersRestored counts answer-cache entries warm-started from a
 	// persisted snapshot when the engine was created.
 	AnswersRestored uint64
+	// InflightCalls is the number of Func.Call and Func.Compile
+	// invocations currently executing (a gauge, not a counter) — what a
+	// serving tier drains to zero before shutting down. Compile counts
+	// so that draining cannot close the store under an in-flight warm
+	// install.
+	InflightCalls int
+	// Draining reports whether BeginDrain was called: the engine still
+	// serves calls and warm installs but refuses to start new codegen
+	// LLM loops.
+	Draining bool
 }
 
 // engineStats is the atomic backing store for Stats.
@@ -71,11 +81,16 @@ type engineStats struct {
 	storeHits        atomic.Uint64
 	storeMisses      atomic.Uint64
 	answersRestored  atomic.Uint64
+	inflight         atomic.Int64
+	draining         atomic.Bool
 }
 
-// Stats returns a snapshot of the serving counters.
-func (e *Engine) Stats() Stats {
-	s := Stats{
+// readCounters loads every atomic counter once, in field order. The
+// result of a single pass is not necessarily mutually consistent: a
+// concurrent call may have bumped directCalls but not yet answerMisses
+// when the reader passes between them.
+func (e *Engine) readCounters() Stats {
+	return Stats{
 		AnswerHits:       e.stats.answerHits.Load(),
 		AnswerMisses:     e.stats.answerMisses.Load(),
 		AnswerCoalesced:  e.stats.answerCoalesced.Load(),
@@ -87,12 +102,43 @@ func (e *Engine) Stats() Stats {
 		StoreHits:        e.stats.storeHits.Load(),
 		StoreMisses:      e.stats.storeMisses.Load(),
 		AnswersRestored:  e.stats.answersRestored.Load(),
+		InflightCalls:    int(e.stats.inflight.Load()),
+		Draining:         e.stats.draining.Load(),
+	}
+}
+
+// Stats returns a snapshot of the serving counters. The snapshot is
+// mutually consistent under load on a best-effort basis: the counters
+// are re-read until two consecutive passes agree (bounded), so a
+// reporter summing e.g. AnswerHits+AnswerMisses+AnswerCoalesced against
+// DirectCalls sees one coherent moment rather than fields torn across
+// concurrent updates. Reporters should take one snapshot and read all
+// fields from it, never call Stats() per field.
+func (e *Engine) Stats() Stats {
+	s := e.readCounters()
+	for i := 0; i < 4; i++ {
+		again := e.readCounters()
+		if again == s {
+			break
+		}
+		s = again
 	}
 	if e.answers != nil {
 		s.AnswerEntries = e.answers.len()
 	}
 	return s
 }
+
+// BeginDrain flips the engine into draining mode: in-flight and new
+// calls still execute (a serving tier stops admitting work at its own
+// boundary), warm installs from the artifact store still succeed, but a
+// Compile that would have to start a fresh codegen LLM loop fails fast
+// with ErrDraining — a shutting-down replica must not start multi-second
+// model conversations it would then abandon. Draining is one-way.
+func (e *Engine) BeginDrain() { e.stats.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (e *Engine) Draining() bool { return e.stats.draining.Load() }
 
 // answerCache memoizes successful direct-call answers keyed by
 // (template, args, return type) and coalesces identical in-flight

@@ -39,6 +39,11 @@ import (
 // retry limit, which was set to 9", §IV-A1).
 const DefaultMaxRetries = 9
 
+// ErrDraining is returned by Compile when the engine is draining
+// (BeginDrain) and serving the call would require starting a fresh
+// codegen LLM loop. Calls and warm installs are unaffected.
+var ErrDraining = errors.New("core: engine is draining")
+
 // Options configures an Engine.
 type Options struct {
 	// Client is the LLM backend; required.

@@ -166,6 +166,8 @@ type CallResult struct {
 // memoized through the engine's answer cache (identical concurrent
 // calls coalesce into a single model round-trip).
 func (f *Func) Call(ctx context.Context, args map[string]any) (CallResult, error) {
+	f.engine.stats.inflight.Add(1)
+	defer f.engine.stats.inflight.Add(-1)
 	f.mu.Lock()
 	compiled := f.compiled
 	f.mu.Unlock()
@@ -239,6 +241,11 @@ func (e *CompileError) Unwrap() error { return e.Last }
 // error; if the loop-running caller is canceled instead, one of the
 // waiters starts a fresh loop.
 func (f *Func) Compile(ctx context.Context) (*CompileInfo, error) {
+	// Compile counts toward the inflight gauge like Call: the drain
+	// recipe (BeginDrain, wait for InflightCalls to hit zero, Close)
+	// must not close the store under a warm install in progress.
+	f.engine.stats.inflight.Add(1)
+	defer f.engine.stats.inflight.Add(-1)
 	for {
 		f.mu.Lock()
 		if f.compiled != nil {
@@ -318,6 +325,12 @@ func (f *Func) compileOnce(ctx context.Context) (*CompileInfo, error) {
 			return info, nil
 		}
 		e.logf("core: cached code for %s invalid; regenerating", f.name)
+	}
+
+	// The cheap local paths above (store probe, legacy cache) stay open
+	// during drain; the model conversation below does not.
+	if e.stats.draining.Load() {
+		return nil, ErrDraining
 	}
 
 	base, err := prompt.BuildCodegen(spec)

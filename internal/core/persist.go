@@ -116,16 +116,25 @@ func (f *Func) saveStored(info *CompileInfo) {
 	}
 }
 
+// ErrNoStore is returned by SnapshotAnswers when the engine has no
+// artifact store; ErrAnswersDisabled when the answer cache is off.
+// Shutdown paths that snapshot best-effort match on these to tell
+// "nothing to snapshot" apart from a failed disk write.
+var (
+	ErrNoStore         = errors.New("core: no artifact store configured")
+	ErrAnswersDisabled = errors.New("core: answer cache disabled")
+)
+
 // SnapshotAnswers persists the current answer cache to the engine's
 // store, so a restarted replica also starts warm on direct calls. It
 // returns the number of answers written. Calling it with no store or
-// with caching disabled is an error.
+// with caching disabled is an error (ErrNoStore, ErrAnswersDisabled).
 func (e *Engine) SnapshotAnswers() (int, error) {
 	if e.opts.Store == nil {
-		return 0, errors.New("core: no artifact store configured")
+		return 0, ErrNoStore
 	}
 	if e.answers == nil {
-		return 0, errors.New("core: answer cache disabled")
+		return 0, ErrAnswersDisabled
 	}
 	recs := e.answers.snapshot()
 	if err := e.opts.Store.SaveAnswers(EngineVersion, recs); err != nil {

@@ -1,0 +1,143 @@
+package minilang
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzEngineDiff is the native-fuzzing form of the engine-parity gate:
+// the fuzzer's bytes drive a structured program generator (so every
+// input is a valid program by construction — coverage goes into the
+// two engines, not the parser's error paths), and the compiled closure
+// engine must agree with the reference tree-walker on result, error
+// presence, and stdout. Run continuously with:
+//
+//	go test -fuzz=FuzzEngineDiff -fuzztime=30s ./internal/minilang
+//
+// The generator leans on the constructs the LLM synthesizer emits
+// (locals, loops, conditionals, closures, array building and folding)
+// plus the shadowing and capture shapes that historically diverge
+// between environment- and slot-based scoping.
+func FuzzEngineDiff(f *testing.F) {
+	f.Add([]byte{0}, int64(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, int64(7))
+	f.Add([]byte{0xff, 0x80, 0x41, 0x13, 0x9c, 0x22}, int64(40))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, int64(13))
+	f.Fuzz(func(t *testing.T, program []byte, n int64) {
+		src := genProgram(program)
+		args := map[string]any{"n": float64(n % 50)}
+		vC, vT, errC, errT, outC, outT := fuzzRunBoth(t, src, args)
+		if (errC == nil) != (errT == nil) {
+			t.Fatalf("engine disagreement\nprogram:\n%s\ncompiled err=%v, tree err=%v", src, errC, errT)
+		}
+		if errC != nil {
+			// Fuel errors report the node under evaluation when the
+			// budget died; the engines spend a constant few steps
+			// differently, so only the kind is compared (as in the
+			// differential corpus test).
+			if strings.Contains(errC.Error(), ErrFuel) && strings.Contains(errT.Error(), ErrFuel) {
+				return
+			}
+			if errC.Error() != errT.Error() {
+				t.Fatalf("error text diverges\nprogram:\n%s\ncompiled:    %v\ntree-walker: %v", src, errC, errT)
+			}
+			return
+		}
+		if !reflect.DeepEqual(vC, vT) {
+			t.Fatalf("result diverges\nprogram:\n%s\ncompiled=%#v\ntree=%#v", src, vC, vT)
+		}
+		if outC != outT {
+			t.Fatalf("stdout diverges\nprogram:\n%s\ncompiled=%q\ntree=%q", src, outC, outT)
+		}
+	})
+}
+
+// fuzzRunBoth mirrors engine_diff_test.go's runBoth but never calls
+// t.Fatal on compile errors: genProgram emits valid programs by
+// construction, so a compile failure is itself a bug worth reporting
+// with the program attached.
+func fuzzRunBoth(t *testing.T, src string, args map[string]any) (anyC, anyT any, errC, errT error, outC, outT string) {
+	t.Helper()
+	cfC, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatalf("generated program does not compile: %v\nprogram:\n%s", err, src)
+	}
+	cfT, err := CompileFunction(src, "f")
+	if err != nil {
+		t.Fatalf("generated program does not compile: %v\nprogram:\n%s", err, src)
+	}
+	cfT.TreeWalker = true
+	var bufC, bufT bytes.Buffer
+	cfC.Stdout, cfT.Stdout = &bufC, &bufT
+	cfC.MaxSteps, cfT.MaxSteps = 300_000, 300_000
+	anyC, errC = cfC.Call(context.Background(), args)
+	anyT, errT = cfT.Call(context.Background(), args)
+	return anyC, anyT, errC, errT, bufC.String(), bufT.String()
+}
+
+// byteStream hands out generator decisions from the fuzz input,
+// cycling when the input is short so every byte slice yields a
+// terminating program.
+type byteStream struct {
+	data []byte
+	pos  int
+}
+
+func (s *byteStream) next() byte {
+	if len(s.data) == 0 {
+		return 0
+	}
+	b := s.data[s.pos%len(s.data)]
+	s.pos++
+	return b
+}
+
+func (s *byteStream) intn(n int) int { return int(s.next()) % n }
+
+// genProgram lowers fuzz bytes into one exported minilang function.
+// Statement count and every statement's shape come from the stream, so
+// the fuzzer's mutations explore program space rather than byte soup.
+func genProgram(data []byte) string {
+	s := &byteStream{data: data}
+	var b strings.Builder
+	b.WriteString("export function f({n}: {n: number}): any {\n")
+	b.WriteString("  let acc = n;\n  const out = [];\n")
+	ops := []string{"+", "-", "*", "%"}
+	count := 1 + s.intn(8)
+	for i := 0; i < count; i++ {
+		switch s.intn(10) {
+		case 0:
+			fmt.Fprintf(&b, "  acc = acc %s %d;\n", ops[s.intn(len(ops))], 1+s.intn(9))
+		case 1:
+			fmt.Fprintf(&b, "  for (let i = 0; i < %d; i++) { acc = acc + i %s %d; }\n",
+				1+s.intn(6), ops[s.intn(len(ops))], 1+s.intn(5))
+		case 2:
+			fmt.Fprintf(&b, "  if (acc %% 2 === 0) { acc = acc + %d; } else { acc = acc - %d; }\n",
+				s.intn(10), s.intn(10))
+		case 3:
+			fmt.Fprintf(&b, "  out.push(acc %s %d);\n", ops[s.intn(len(ops))], 1+s.intn(9))
+		case 4:
+			fmt.Fprintf(&b, "  { let acc = %d; out.push(acc); }\n", s.intn(100))
+		case 5:
+			// Closure capture of a loop variable: the shape that tells
+			// per-iteration bindings apart from a shared slot.
+			fmt.Fprintf(&b, "  { const fns = []; for (let i = 0; i < %d; i++) { fns.push(() => i + acc); } "+
+				"out.push(fns.map((g) => g()).reduce((a, x) => a + x, 0)); }\n", 1+s.intn(4))
+		case 6:
+			fmt.Fprintf(&b, "  acc = ((x) => x %s %d)(acc);\n", ops[s.intn(len(ops))], 1+s.intn(9))
+		case 7:
+			fmt.Fprintf(&b, "  while (acc > %d) { acc = acc - %d; }\n", 50+s.intn(50), 1+s.intn(9))
+		case 8:
+			fmt.Fprintf(&b, "  out.push([%d, %d].filter((x) => x %% 2 === %d).length);\n",
+				s.intn(20), s.intn(20), s.intn(2))
+		case 9:
+			fmt.Fprintf(&b, "  console.log(\"s%d\", acc);\n", i)
+		}
+	}
+	b.WriteString("  return {acc, out, sum: out.reduce((a, x) => a + x, 0)};\n}\n")
+	return b.String()
+}

@@ -1,0 +1,569 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	askit "repro"
+	"repro/internal/core"
+	"repro/internal/llm"
+)
+
+// maxBodyBytes bounds request bodies; oversized payloads are a 400,
+// not an OOM.
+const maxBodyBytes = 1 << 20
+
+// maxBatchElems bounds one batch request's element count, and
+// maxBatchWorkers its worker fan-out. Without these, a single admitted
+// batch request could spawn thousands of concurrent engine calls —
+// exactly the unbounded concurrency the in-flight admission gate
+// exists to prevent, hidden inside one inflight slot.
+const (
+	maxBatchElems   = 4096
+	maxBatchWorkers = 64
+)
+
+// clampWorkers applies the server-side fan-out bound to a
+// client-supplied workers value (0 keeps the engine default, which is
+// GOMAXPROCS and therefore already bounded).
+func clampWorkers(workers int) int {
+	if workers > maxBatchWorkers {
+		return maxBatchWorkers
+	}
+	return workers
+}
+
+// exampleJSON is the wire form of askit.Example.
+type exampleJSON struct {
+	Input  map[string]any `json:"input"`
+	Output any            `json:"output"`
+}
+
+func toExamples(in []exampleJSON) []askit.Example {
+	out := make([]askit.Example, len(in))
+	for i, e := range in {
+		out[i] = askit.Example{Input: e.Input, Output: e.Output}
+	}
+	return out
+}
+
+// paramJSON declares one parameter's type in a func install.
+type paramJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// errorResponse is the uniform error envelope. Transient tells clients
+// whether retrying the identical request can succeed (overload, drain,
+// backend hiccup) or cannot (bad request, permanent engine failure).
+type errorResponse struct {
+	Error     string `json:"error"`
+	Kind      string `json:"kind"`
+	Transient bool   `json:"transient,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, kind, msg string, transient bool) {
+	writeJSON(w, code, errorResponse{Error: msg, Kind: kind, Transient: transient})
+}
+
+// decodeBody decodes a JSON request body, reporting malformed input as
+// a 400 (written by the caller via the returned error string).
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-json", "invalid request body: "+err.Error(), false)
+		return false
+	}
+	return true
+}
+
+// writeEngineError maps an engine failure onto a status code and the
+// transient classification: timeouts are 504, drain and transient
+// backend failures are 503 (retry elsewhere or later), an exhausted
+// retry budget is 502 (the model conversation itself failed), anything
+// else is a 500.
+func writeEngineError(w http.ResponseWriter, err error) {
+	var rerr *core.RetryError
+	var cerr *core.CompileError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "timeout", err.Error(), true)
+	case errors.Is(err, context.Canceled):
+		// The client is gone; 499 (nginx convention) documents it in
+		// logs. Transient matches the batch-element classification of
+		// the same condition: a retry with a live client can succeed.
+		writeError(w, 499, "client-closed", err.Error(), true)
+	case errors.Is(err, core.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), true)
+	case errors.As(err, &rerr):
+		writeError(w, http.StatusBadGateway, "retry-exhausted", err.Error(), llm.IsTransient(rerr.Last))
+	case errors.As(err, &cerr):
+		writeError(w, http.StatusBadGateway, "codegen-failed", err.Error(), llm.IsTransient(cerr.Last))
+	case llm.IsTransient(err):
+		writeError(w, http.StatusServiceUnavailable, "transient", err.Error(), true)
+	default:
+		writeError(w, http.StatusInternalServerError, "engine", err.Error(), false)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/ask
+
+type askRequest struct {
+	// Type is the expected answer type as a TypeScript type expression
+	// (paper Table I), e.g. "number", "string[]", "{a: number}".
+	Type     string         `json:"type"`
+	Template string         `json:"template"`
+	Args     map[string]any `json:"args"`
+	Examples []exampleJSON  `json:"examples,omitempty"`
+}
+
+type askResponse struct {
+	Value any `json:"value"`
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	var req askRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ret, err := askit.ParseTS(req.Type)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-type", err.Error(), false)
+		return
+	}
+	var opts []askit.DefineOption
+	if len(req.Examples) > 0 {
+		opts = append(opts, askit.WithExamples(toExamples(req.Examples)...))
+	}
+	f, err := s.ai.Define(ret, req.Template, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-template", err.Error(), false)
+		return
+	}
+	v, err := f.Call(r.Context(), req.Args)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, askResponse{Value: v})
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/ask/batch
+
+type askBatchRequest struct {
+	Type     string           `json:"type"`
+	Template string           `json:"template"`
+	ArgsList []map[string]any `json:"args_list"`
+	// Workers bounds the fan-out; 0 means the engine default.
+	Workers int `json:"workers,omitempty"`
+}
+
+type batchElem struct {
+	Index     int    `json:"index"`
+	Value     any    `json:"value,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Transient bool   `json:"transient,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchElem `json:"results"`
+	Errors  int         `json:"errors"`
+}
+
+// checkBatchSize enforces maxBatchElems and converts the wire form to
+// engine Args; on violation it writes the 400 and returns ok=false.
+func checkBatchSize(w http.ResponseWriter, in []map[string]any) ([]askit.Args, bool) {
+	if len(in) > maxBatchElems {
+		writeError(w, http.StatusBadRequest, "batch-too-large",
+			fmt.Sprintf("batch has %d elements, limit %d", len(in), maxBatchElems), false)
+		return nil, false
+	}
+	argsList := make([]askit.Args, len(in))
+	for i, a := range in {
+		argsList[i] = a
+	}
+	return argsList, true
+}
+
+func toBatchResponse(results []askit.BatchResult) batchResponse {
+	resp := batchResponse{Results: make([]batchElem, len(results))}
+	for i, r := range results {
+		el := batchElem{Index: r.Index, Value: r.Value}
+		if r.Err != nil {
+			el.Error = r.Err.Error()
+			el.Transient = llm.IsTransient(r.Err) || llm.IsCancellation(r.Err)
+			resp.Errors++
+		}
+		resp.Results[i] = el
+	}
+	return resp
+}
+
+func (s *Server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
+	var req askBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ret, err := askit.ParseTS(req.Type)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-type", err.Error(), false)
+		return
+	}
+	argsList, ok := checkBatchSize(w, req.ArgsList)
+	if !ok {
+		return
+	}
+	results, err := s.ai.AskBatch(r.Context(), ret, req.Template, argsList, clampWorkers(req.Workers))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-template", err.Error(), false)
+		return
+	}
+	writeJSON(w, http.StatusOK, toBatchResponse(results))
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/funcs — define (and by default compile) a task function.
+
+type installRequest struct {
+	// Name fixes the installed function's name; empty derives one from
+	// the template (and the response reports it).
+	Name     string        `json:"name,omitempty"`
+	Type     string        `json:"type"`
+	Template string        `json:"template"`
+	Params   []paramJSON   `json:"params,omitempty"`
+	Examples []exampleJSON `json:"examples,omitempty"`
+	Tests    []exampleJSON `json:"tests,omitempty"`
+	// Compile controls whether install runs the codegen loop now;
+	// default true. With a warm artifact store the compile is a store
+	// hit and makes zero model calls.
+	Compile *bool `json:"compile,omitempty"`
+}
+
+type installResponse struct {
+	Name      string `json:"name"`
+	Compiled  bool   `json:"compiled"`
+	FromCache bool   `json:"from_cache,omitempty"`
+	Attempts  int    `json:"attempts,omitempty"`
+	LOC       int    `json:"loc,omitempty"`
+	// Existing is true when the name was already installed with the
+	// same spec and the existing function was reused.
+	Existing bool `json:"existing,omitempty"`
+}
+
+// specKey is the identity two installs must share to be the same
+// function: everything that shapes codegen or the direct-call prompt
+// (few-shot examples change the latter, so they are part of the key —
+// an install with different examples must not silently reuse a Func
+// built with the old ones).
+func (req *installRequest) specKey() string {
+	// Normalize nil to empty so an omitted field and an explicit []
+	// (semantically identical requests) produce the same key instead
+	// of a spurious 409.
+	params, examples, tests := req.Params, req.Examples, req.Tests
+	if params == nil {
+		params = []paramJSON{}
+	}
+	if examples == nil {
+		examples = []exampleJSON{}
+	}
+	if tests == nil {
+		tests = []exampleJSON{}
+	}
+	b, _ := json.Marshal(struct {
+		Type     string        `json:"type"`
+		Template string        `json:"template"`
+		Params   []paramJSON   `json:"params"`
+		Examples []exampleJSON `json:"examples"`
+		Tests    []exampleJSON `json:"tests"`
+	}{req.Type, req.Template, params, examples, tests})
+	return string(b)
+}
+
+func (s *Server) handleInstallFunc(w http.ResponseWriter, r *http.Request) {
+	var req installRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ret, err := askit.ParseTS(req.Type)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-type", err.Error(), false)
+		return
+	}
+	opts := []askit.DefineOption{}
+	if req.Name != "" {
+		opts = append(opts, askit.WithName(req.Name))
+	}
+	if len(req.Params) > 0 {
+		fields := make([]askit.Field, len(req.Params))
+		for i, p := range req.Params {
+			t, err := askit.ParseTS(p.Type)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad-type",
+					fmt.Sprintf("param %q: %v", p.Name, err), false)
+				return
+			}
+			fields[i] = askit.Field{Name: p.Name, Type: t}
+		}
+		opts = append(opts, askit.WithParamTypes(fields...))
+	}
+	if len(req.Examples) > 0 {
+		opts = append(opts, askit.WithExamples(toExamples(req.Examples)...))
+	}
+	if len(req.Tests) > 0 {
+		opts = append(opts, askit.WithTests(toExamples(req.Tests)...))
+	}
+	f, err := s.ai.Define(ret, req.Template, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-template", err.Error(), false)
+		return
+	}
+
+	// Register under the (possibly derived) name. A re-install of the
+	// identical spec reuses the installed Func — its compile state and
+	// singleflight included — so concurrent identical installs trigger
+	// one codegen loop, not one per request. A different spec under a
+	// taken name is a conflict, not a silent replacement.
+	name := f.Name()
+	key := req.specKey()
+	s.mu.Lock()
+	existing, taken := s.funcs[name]
+	if taken && existing.specKey == key {
+		f = existing.fn
+	} else if taken {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "name-taken",
+			fmt.Sprintf("function %q is installed with a different spec", name), false)
+		return
+	} else {
+		existing = &registeredFunc{fn: f, template: req.Template, retTS: req.Type, specKey: key}
+		s.funcs[name] = existing
+	}
+	s.mu.Unlock()
+	resp := installResponse{Name: name, Existing: taken}
+
+	if req.Compile == nil || *req.Compile {
+		info, err := f.CompileInfo(r.Context())
+		if err != nil {
+			// Release the name: a registration whose compile failed must
+			// not squat it, or the client could never re-POST a corrected
+			// spec (the fix differs from the broken one, so it would 409
+			// forever). This applies whether this request created the
+			// registration or inherited an uncompiled one (an earlier
+			// compile:false install of the same broken spec); a
+			// previously *compiled* function can never reach this branch.
+			s.mu.Lock()
+			if cur, ok := s.funcs[name]; ok && cur == existing && !cur.fn.IsCompiled() {
+				delete(s.funcs, name)
+			}
+			s.mu.Unlock()
+			writeEngineError(w, err)
+			return
+		}
+		resp.Compiled = true
+		resp.FromCache = info.FromCache
+		resp.Attempts = info.Attempts
+		resp.LOC = info.LOC
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------------
+// GET /v1/funcs
+
+type funcInfo struct {
+	Name     string `json:"name"`
+	Template string `json:"template"`
+	Type     string `json:"type"`
+	Compiled bool   `json:"compiled"`
+}
+
+func (s *Server) handleListFuncs(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]funcInfo, 0, len(s.funcs))
+	for name, reg := range s.funcs {
+		infos = append(infos, funcInfo{
+			Name:     name,
+			Template: reg.template,
+			Type:     reg.retTS,
+			Compiled: reg.fn.IsCompiled(),
+		})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"funcs": infos})
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/funcs/{name}/call and /batch
+
+type callRequest struct {
+	Args map[string]any `json:"args"`
+}
+
+type callResponse struct {
+	Value    any  `json:"value"`
+	Compiled bool `json:"compiled"`
+}
+
+func (s *Server) lookupFunc(w http.ResponseWriter, r *http.Request) (*askit.Func, bool) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	reg, ok := s.funcs[name]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown-func",
+			fmt.Sprintf("no function %q installed", name), false)
+		return nil, false
+	}
+	return reg.fn, true
+}
+
+func (s *Server) handleCallFunc(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.lookupFunc(w, r)
+	if !ok {
+		return
+	}
+	var req callRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	v, info, err := f.CallInfo(r.Context(), req.Args)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, callResponse{Value: v, Compiled: info.Compiled})
+}
+
+type callBatchRequest struct {
+	ArgsList []map[string]any `json:"args_list"`
+	Workers  int              `json:"workers,omitempty"`
+}
+
+func (s *Server) handleCallBatch(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.lookupFunc(w, r)
+	if !ok {
+		return
+	}
+	var req callBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	argsList, ok := checkBatchSize(w, req.ArgsList)
+	if !ok {
+		return
+	}
+	results := f.CallBatch(r.Context(), argsList, clampWorkers(req.Workers))
+	writeJSON(w, http.StatusOK, toBatchResponse(results))
+}
+
+// ---------------------------------------------------------------------------
+// GET /healthz and /v1/stats
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		// A load balancer health-checking the daemon must stop routing
+		// to a draining replica, hence 503 rather than a soft flag.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"inflight": s.Inflight(),
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// engineStatsJSON is core.Stats in wire form.
+type engineStatsJSON struct {
+	AnswerHits       uint64 `json:"answer_hits"`
+	AnswerMisses     uint64 `json:"answer_misses"`
+	AnswerCoalesced  uint64 `json:"answer_coalesced"`
+	AnswerEntries    int    `json:"answer_entries"`
+	CompileCoalesced uint64 `json:"compile_coalesced"`
+	DirectCalls      uint64 `json:"direct_calls"`
+	CompiledCalls    uint64 `json:"compiled_calls"`
+	TransientRetries uint64 `json:"transient_retries"`
+	CodegenLLMCalls  uint64 `json:"codegen_llm_calls"`
+	StoreHits        uint64 `json:"store_hits"`
+	StoreMisses      uint64 `json:"store_misses"`
+	AnswersRestored  uint64 `json:"answers_restored"`
+	InflightCalls    int    `json:"inflight_calls"`
+	Draining         bool   `json:"draining"`
+}
+
+type serverStatsJSON struct {
+	Admitted         uint64  `json:"admitted"`
+	RejectedLimit    uint64  `json:"rejected_limit"`
+	RejectedDraining uint64  `json:"rejected_draining"`
+	Errors4xx        uint64  `json:"errors_4xx"`
+	Errors5xx        uint64  `json:"errors_5xx"`
+	Inflight         int     `json:"inflight"`
+	MaxInflight      int     `json:"max_inflight"`
+	P50Ms            float64 `json:"p50_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	UptimeS          float64 `json:"uptime_s"`
+	Draining         bool    `json:"draining"`
+}
+
+type statsResponse struct {
+	Server serverStatsJSON `json:"server"`
+	Engine engineStatsJSON `json:"engine"`
+	Funcs  int             `json:"funcs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// One engine snapshot, every field read from it: the snapshot is
+	// mutually consistent; repeated Stats() calls would not be.
+	es := s.ai.Stats()
+	p50, p99 := s.stats.percentiles()
+	s.mu.RLock()
+	nfuncs := len(s.funcs)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Server: serverStatsJSON{
+			Admitted:         s.stats.admitted.Load(),
+			RejectedLimit:    s.stats.rejectedLimit.Load(),
+			RejectedDraining: s.stats.rejectedDraining.Load(),
+			Errors4xx:        s.stats.errors4xx.Load(),
+			Errors5xx:        s.stats.errors5xx.Load(),
+			Inflight:         s.Inflight(),
+			MaxInflight:      s.cfg.MaxInflight,
+			P50Ms:            float64(p50.Nanoseconds()) / 1e6,
+			P99Ms:            float64(p99.Nanoseconds()) / 1e6,
+			UptimeS:          time.Since(s.start).Seconds(),
+			Draining:         s.draining.Load(),
+		},
+		Engine: engineStatsJSON{
+			AnswerHits:       es.AnswerHits,
+			AnswerMisses:     es.AnswerMisses,
+			AnswerCoalesced:  es.AnswerCoalesced,
+			AnswerEntries:    es.AnswerEntries,
+			CompileCoalesced: es.CompileCoalesced,
+			DirectCalls:      es.DirectCalls,
+			CompiledCalls:    es.CompiledCalls,
+			TransientRetries: es.TransientRetries,
+			CodegenLLMCalls:  es.CodegenLLMCalls,
+			StoreHits:        es.StoreHits,
+			StoreMisses:      es.StoreMisses,
+			AnswersRestored:  es.AnswersRestored,
+			InflightCalls:    es.InflightCalls,
+			Draining:         es.Draining,
+		},
+		Funcs: nfuncs,
+	})
+}

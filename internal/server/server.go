@@ -1,0 +1,292 @@
+// Package server exposes an AskIt engine over HTTP/JSON — the network
+// boundary the ROADMAP's serving tier needs: callers stop linking the
+// Go package and instead talk to a daemon (cmd/askitd) that owns the
+// engine, the answer cache, and the artifact store.
+//
+// The surface mirrors the library API one-to-one:
+//
+//	POST /v1/ask               one directly answerable task
+//	POST /v1/ask/batch         AskBatch over an Args list
+//	POST /v1/funcs             define (+ compile) a task function
+//	GET  /v1/funcs             list installed functions
+//	POST /v1/funcs/{name}/call call an installed function
+//	POST /v1/funcs/{name}/batch CallBatch over an Args list
+//	GET  /healthz              liveness + drain state
+//	GET  /v1/stats             engine + server counters
+//
+// Load management is the daemon's job, not the engine's: a bounded
+// in-flight admission gate turns overload into fast 429s with a
+// Retry-After hint instead of unbounded queuing, every admitted request
+// runs under a per-request timeout, and Drain performs the graceful
+// half of a SIGTERM — stop admitting, finish in-flight work, snapshot
+// the answer cache, close the store — so a warm restart over the same
+// store serves previously compiled functions with zero codegen LLM
+// calls.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	askit "repro"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxInflight    = 256
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultDrainTimeout   = 15 * time.Second
+	DefaultRetryAfter     = 1 * time.Second
+)
+
+// Config configures a Server.
+type Config struct {
+	// AskIt is the engine the server fronts; required.
+	AskIt *askit.AskIt
+	// MaxInflight bounds concurrently admitted work requests; excess
+	// requests are rejected immediately with 429 and a Retry-After
+	// header rather than queued. 0 means DefaultMaxInflight, negative
+	// means unlimited (no admission control).
+	MaxInflight int
+	// RequestTimeout bounds each admitted request's context. 0 means
+	// DefaultRequestTimeout, negative disables the per-request timeout.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses. 0 means
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+	// Logf receives operational traces; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP serving tier over one AskIt engine. Create with
+// New, mount via Handler, shut down via Drain.
+type Server struct {
+	cfg   Config
+	ai    *askit.AskIt
+	mux   *http.ServeMux
+	start time.Time
+
+	inflight atomic.Int64
+	draining atomic.Bool
+	idle     chan struct{} // closed when draining and inflight hits zero
+	idleOnce sync.Once
+
+	stats serverStats
+
+	mu    sync.RWMutex
+	funcs map[string]*registeredFunc
+}
+
+// registeredFunc is one installed task function plus the spec it was
+// installed from, echoed in listings and compared on re-install.
+type registeredFunc struct {
+	fn       *askit.Func
+	template string
+	retTS    string
+	specKey  string
+}
+
+// New validates cfg and returns a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.AskIt == nil {
+		return nil, fmt.Errorf("server: Config.AskIt is required")
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	s := &Server{
+		cfg:   cfg,
+		ai:    cfg.AskIt,
+		start: time.Now(),
+		idle:  make(chan struct{}),
+		funcs: map[string]*registeredFunc{},
+	}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/funcs", s.handleListFuncs)
+	s.mux.Handle("POST /v1/ask", s.admit(s.handleAsk))
+	s.mux.Handle("POST /v1/ask/batch", s.admit(s.handleAskBatch))
+	s.mux.Handle("POST /v1/funcs", s.admit(s.handleInstallFunc))
+	s.mux.Handle("POST /v1/funcs/{name}/call", s.admit(s.handleCallFunc))
+	s.mux.Handle("POST /v1/funcs/{name}/batch", s.admit(s.handleCallBatch))
+}
+
+// admit is the admission gate every work endpoint passes through:
+// draining rejects with 503 (the load balancer should already have
+// stopped sending — this closes the race), saturation rejects with 429
+// + Retry-After instead of queuing, and admitted requests run under
+// the per-request timeout with their latency recorded.
+func (s *Server) admit(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Increment before checking the drain flag: Drain stores the
+		// flag and then reads the gauge, so every request either sees
+		// draining here or is visible to Drain's wait — a check-first
+		// order would let a request slip through after Drain concluded
+		// the server was idle and closed the store under it.
+		n := s.inflight.Add(1)
+		if s.draining.Load() {
+			s.exit()
+			s.stats.rejectedDraining.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", true)
+			return
+		}
+		if s.cfg.MaxInflight > 0 && n > int64(s.cfg.MaxInflight) {
+			s.exit()
+			s.stats.rejectedLimit.Add(1)
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
+			writeError(w, http.StatusTooManyRequests, "saturated",
+				fmt.Sprintf("in-flight limit (%d) reached", s.cfg.MaxInflight), true)
+			return
+		}
+		defer s.exit()
+		s.stats.admitted.Add(1)
+
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		s.stats.observe(time.Since(t0), sw.code)
+	})
+}
+
+// exit releases one admission slot and, when the server is draining and
+// this was the last in-flight request, signals idle.
+func (s *Server) exit() {
+	if s.inflight.Add(-1) == 0 && s.draining.Load() {
+		s.idleOnce.Do(func() { close(s.idle) })
+	}
+}
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Inflight returns the number of currently admitted work requests.
+func (s *Server) Inflight() int { return int(s.inflight.Load()) }
+
+// Drain performs the graceful half of shutdown, in order: stop
+// admitting new work (healthz flips to draining, work endpoints return
+// 503), tell the engine to refuse fresh codegen loops, wait for every
+// in-flight request to finish (bounded by ctx), then snapshot the
+// answer cache and close the artifact store via AskIt.Close. It
+// returns the number of requests still in flight when the wait ended —
+// zero on a clean drain — joined with any snapshot/close error.
+// Calling Drain more than once is safe; later calls re-run only the
+// wait and close (both idempotent).
+func (s *Server) Drain(ctx context.Context) (int, error) {
+	s.draining.Store(true)
+	s.ai.BeginDrain()
+	// The last in-flight request may have exited between our store and
+	// its load of draining; seed the idle signal if we are already idle.
+	if s.inflight.Load() == 0 {
+		s.idleOnce.Do(func() { close(s.idle) })
+	}
+	left := 0
+	select {
+	case <-s.idle:
+		// All admitted work finished. The raw gauge is not consulted
+		// here: a straggler request arriving this instant bumps it
+		// transiently on its way to a 503 rejection, and counting it
+		// would make a perfectly clean drain report as unclean.
+	case <-ctx.Done():
+		left = int(s.inflight.Load())
+		s.logf("server: drain timed out with %d requests in flight", left)
+	}
+	err := s.ai.Close()
+	if err != nil {
+		s.logf("server: close: %v", err)
+	}
+	return left, err
+}
+
+// ---------------------------------------------------------------------------
+// Server-side counters: requests, rejections, error classes, and a
+// bounded latency reservoir for p50/p99. The engine has its own
+// counters (core.Stats); these measure the HTTP boundary.
+
+// latencyWindow bounds the latency reservoir; a power of two ring of
+// the most recent admitted-request latencies.
+const latencyWindow = 2048
+
+type serverStats struct {
+	admitted         atomic.Uint64
+	rejectedLimit    atomic.Uint64
+	rejectedDraining atomic.Uint64
+	errors4xx        atomic.Uint64
+	errors5xx        atomic.Uint64
+
+	mu   sync.Mutex
+	ring [latencyWindow]time.Duration
+	n    uint64 // total observations; ring index = n % latencyWindow
+}
+
+func (st *serverStats) observe(d time.Duration, code int) {
+	switch {
+	case code >= 500:
+		st.errors5xx.Add(1)
+	case code >= 400:
+		st.errors4xx.Add(1)
+	}
+	st.mu.Lock()
+	st.ring[st.n%latencyWindow] = d
+	st.n++
+	st.mu.Unlock()
+}
+
+// percentiles returns p50/p99 over the current window.
+func (st *serverStats) percentiles() (p50, p99 time.Duration) {
+	st.mu.Lock()
+	n := st.n
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	window := make([]time.Duration, n)
+	copy(window, st.ring[:n])
+	st.mu.Unlock()
+	if len(window) == 0 {
+		return 0, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	return window[len(window)/2], window[len(window)*99/100]
+}

@@ -1,0 +1,560 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	askit "repro"
+	"repro/internal/llm"
+	"repro/internal/store"
+)
+
+// newTestAskIt returns an engine over a quiet simulated client.
+func newTestAskIt(t *testing.T, opts askit.Options) *askit.AskIt {
+	t.Helper()
+	if opts.Client == nil {
+		sim := askit.NewSimClient(1)
+		sim.Noise.DirectBlind = 0
+		sim.Noise.CodegenBlind = 0
+		opts.Client = sim
+	}
+	ai, err := askit.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ai
+}
+
+// newTestServer returns a Server over a fresh engine plus an httptest
+// frontend.
+func newTestServer(t *testing.T, cfg Config, opts askit.Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.AskIt == nil {
+		cfg.AskIt = newTestAskIt(t, opts)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("response %q is not JSON: %v", buf.String(), err)
+	}
+	return resp, decoded
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	return resp, decoded
+}
+
+const factInstall = `{"name":"fact","type":"number",
+	"template":"Calculate the factorial of {{n}}.",
+	"params":[{"name":"n","type":"number"}],
+	"tests":[{"input":{"n":5},"output":120}]}`
+
+func TestAskEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, askit.Options{})
+	resp, body := postJSON(t, ts.URL+"/v1/ask",
+		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":5}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %v", resp.StatusCode, body)
+	}
+	if body["value"] != 120.0 {
+		t.Fatalf("value = %v, want 120", body["value"])
+	}
+}
+
+func TestFuncInstallCallAndList(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, askit.Options{})
+	resp, body := postJSON(t, ts.URL+"/v1/funcs", factInstall)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("install status = %d, body %v", resp.StatusCode, body)
+	}
+	if body["compiled"] != true {
+		t.Fatalf("install response = %v, want compiled", body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/funcs/fact/call", `{"args":{"n":6}}`)
+	if resp.StatusCode != http.StatusOK || body["value"] != 720.0 {
+		t.Fatalf("call: status %d body %v, want 720", resp.StatusCode, body)
+	}
+	if body["compiled"] != true {
+		t.Fatalf("call should have run generated code: %v", body)
+	}
+
+	resp, body = getJSON(t, ts.URL+"/v1/funcs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status = %d", resp.StatusCode)
+	}
+	funcs := body["funcs"].([]any)
+	if len(funcs) != 1 || funcs[0].(map[string]any)["name"] != "fact" {
+		t.Fatalf("list = %v", body)
+	}
+
+	// Re-installing the identical spec reuses the compiled function.
+	resp, body = postJSON(t, ts.URL+"/v1/funcs", factInstall)
+	if resp.StatusCode != http.StatusOK || body["existing"] != true {
+		t.Fatalf("re-install: status %d body %v, want existing", resp.StatusCode, body)
+	}
+}
+
+// TestRequestValidation is the error-mapping table: every malformed
+// request must produce the right 4xx and error kind, never a 5xx.
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, askit.Options{})
+	if _, body := postJSON(t, ts.URL+"/v1/funcs", factInstall); body["compiled"] != true {
+		t.Fatalf("install failed: %v", body)
+	}
+	cases := []struct {
+		name     string
+		path     string
+		body     string
+		wantCode int
+		wantKind string
+	}{
+		{"bad-json", "/v1/ask", `{"type": "number",`, http.StatusBadRequest, "bad-json"},
+		{"not-json", "/v1/ask", `hello`, http.StatusBadRequest, "bad-json"},
+		{"bad-type", "/v1/ask", `{"type":"numbr","template":"x {{a}}","args":{"a":1}}`, http.StatusBadRequest, "bad-type"},
+		{"bad-template", "/v1/ask", `{"type":"number","template":"x {{unclosed","args":{}}`, http.StatusBadRequest, "bad-template"},
+		{"bad-batch-type", "/v1/ask/batch", `{"type":"wat","template":"x","args_list":[]}`, http.StatusBadRequest, "bad-type"},
+		{"bad-install-json", "/v1/funcs", `{{`, http.StatusBadRequest, "bad-json"},
+		{"bad-install-param", "/v1/funcs", `{"type":"number","template":"y {{n}}","params":[{"name":"n","type":"zzz"}]}`, http.StatusBadRequest, "bad-type"},
+		{"unknown-func", "/v1/funcs/ghost/call", `{"args":{}}`, http.StatusNotFound, "unknown-func"},
+		{"unknown-func-batch", "/v1/funcs/ghost/batch", `{"args_list":[]}`, http.StatusNotFound, "unknown-func"},
+		{"conflict", "/v1/funcs", `{"name":"fact","type":"string","template":"Reverse the string {{s}}.","params":[{"name":"s","type":"string"}]}`, http.StatusConflict, "name-taken"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+tc.path, tc.body)
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status = %d, want %d (body %v)", resp.StatusCode, tc.wantCode, body)
+			}
+			if body["kind"] != tc.wantKind {
+				t.Fatalf("kind = %v, want %q (body %v)", body["kind"], tc.wantKind, body)
+			}
+		})
+	}
+}
+
+// failingClient always fails with a transient error — the shape of a
+// backend outage.
+type failingClient struct{}
+
+func (failingClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	return llm.Response{}, llm.MarkTransient(errors.New("backend down"))
+}
+
+// blockingClient parks every Complete until release is closed (or the
+// context dies).
+type blockingClient struct {
+	started chan struct{} // one send per Complete that begins
+	release chan struct{}
+}
+
+func (c *blockingClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	select {
+	case c.started <- struct{}{}:
+	default:
+	}
+	select {
+	case <-c.release:
+		return llm.Response{}, llm.MarkTransient(errors.New("released"))
+	case <-ctx.Done():
+		return llm.Response{}, ctx.Err()
+	}
+}
+
+// TestEngineErrorMapping checks the 5xx side of the table: engine
+// failures must arrive classified, so clients know what is retryable.
+func TestEngineErrorMapping(t *testing.T) {
+	t.Run("retry-exhausted-transient", func(t *testing.T) {
+		ai := newTestAskIt(t, askit.Options{
+			Client:       failingClient{},
+			MaxRetries:   1,
+			RetryBackoff: -1, // no backoff in tests
+		})
+		_, ts := newTestServer(t, Config{AskIt: ai}, askit.Options{})
+		resp, body := postJSON(t, ts.URL+"/v1/ask",
+			`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":3}}`)
+		if resp.StatusCode != http.StatusBadGateway {
+			t.Fatalf("status = %d, want 502 (body %v)", resp.StatusCode, body)
+		}
+		if body["kind"] != "retry-exhausted" || body["transient"] != true {
+			t.Fatalf("body = %v, want retry-exhausted + transient", body)
+		}
+	})
+
+	t.Run("timeout", func(t *testing.T) {
+		bc := &blockingClient{started: make(chan struct{}, 64), release: make(chan struct{})}
+		defer close(bc.release)
+		ai := newTestAskIt(t, askit.Options{Client: bc})
+		_, ts := newTestServer(t, Config{AskIt: ai, RequestTimeout: 50 * time.Millisecond}, askit.Options{})
+		resp, body := postJSON(t, ts.URL+"/v1/ask",
+			`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":3}}`)
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("status = %d, want 504 (body %v)", resp.StatusCode, body)
+		}
+		if body["kind"] != "timeout" || body["transient"] != true {
+			t.Fatalf("body = %v, want timeout + transient", body)
+		}
+	})
+}
+
+// TestAdmissionControl429 saturates the in-flight limit and checks the
+// overload behaviour: an immediate 429 with a Retry-After hint, not a
+// queued request.
+func TestAdmissionControl429(t *testing.T) {
+	bc := &blockingClient{started: make(chan struct{}, 64), release: make(chan struct{})}
+	ai := newTestAskIt(t, askit.Options{Client: bc})
+	s, ts := newTestServer(t, Config{AskIt: ai, MaxInflight: 2, RetryAfter: 3 * time.Second}, askit.Options{})
+
+	// Park two requests inside the engine (the limit).
+	errCh := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(n int) {
+			_, err := http.Post(ts.URL+"/v1/ask", "application/json",
+				strings.NewReader(fmt.Sprintf(
+					`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":%d}}`, n)))
+			errCh <- err
+		}(i + 3)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-bc.started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("blocked requests never reached the client")
+		}
+	}
+	for deadline := time.Now().Add(5 * time.Second); s.Inflight() < 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight = %d, want 2", s.Inflight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The third request must bounce fast.
+	resp, body := postJSON(t, ts.URL+"/v1/ask",
+		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":9}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %v)", resp.StatusCode, body)
+	}
+	if body["kind"] != "saturated" || body["transient"] != true {
+		t.Fatalf("body = %v, want saturated + transient", body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", ra)
+	}
+
+	// Health and stats are not subject to admission: they must answer
+	// even when the work plane is saturated.
+	if resp, _ := getJSON(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under saturation = %d, want 200", resp.StatusCode)
+	}
+	resp, body = getJSON(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats under saturation = %d", resp.StatusCode)
+	}
+	srvStats := body["server"].(map[string]any)
+	if srvStats["rejected_limit"].(float64) < 1 {
+		t.Fatalf("rejected_limit = %v, want >= 1", srvStats["rejected_limit"])
+	}
+
+	close(bc.release)
+	for i := 0; i < 2; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDrainOrdering exercises the graceful-shutdown sequence: once
+// Drain begins, health flips to 503 and new work is rejected, but the
+// in-flight request finishes successfully; afterwards the answer cache
+// is snapshotted and the store is closed.
+func TestDrainOrdering(t *testing.T) {
+	dir := t.TempDir()
+	bc := &blockingClient{started: make(chan struct{}, 4), release: make(chan struct{})}
+	ai := newTestAskIt(t, askit.Options{Client: bc, StorePath: dir, MaxRetries: 1, RetryBackoff: -1})
+	s, ts := newTestServer(t, Config{AskIt: ai}, askit.Options{})
+
+	type result struct {
+		code int
+		err  error
+	}
+	inflightDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/ask", "application/json",
+			strings.NewReader(`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":4}}`))
+		if err != nil {
+			inflightDone <- result{err: err}
+			return
+		}
+		resp.Body.Close()
+		inflightDone <- result{code: resp.StatusCode}
+	}()
+	select {
+	case <-bc.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never reached the client")
+	}
+
+	drainDone := make(chan error, 1)
+	go func() {
+		left, err := s.Drain(context.Background())
+		if left != 0 && err == nil {
+			err = fmt.Errorf("drain left %d in flight", left)
+		}
+		drainDone <- err
+	}()
+
+	// Drain must be observable before it completes: health 503, new
+	// work 503 + draining kind.
+	for deadline := time.Now().Add(5 * time.Second); !s.Draining(); {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp, body := getJSON(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("healthz while draining = %d %v, want 503 draining", resp.StatusCode, body)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/ask",
+		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":7}}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || body["kind"] != "draining" {
+		t.Fatalf("work while draining = %d %v, want 503 draining", resp.StatusCode, body)
+	}
+
+	// The parked in-flight request still completes: drain waits for it.
+	select {
+	case err := <-drainDone:
+		t.Fatalf("drain finished before the in-flight request: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(bc.release) // blockingClient fails transiently once released; the call errors but finishes
+	r := <-inflightDone
+	if r.err != nil {
+		t.Fatalf("in-flight request: %v", r.err)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Post-drain: the store must be closed (no late writes).
+	st := ai.Store()
+	if st == nil {
+		t.Fatal("no store")
+	}
+	if err := st.Save(store.Key{Engine: "x", Signature: "y"}, &store.Artifact{Source: "z"}); !errors.Is(err, store.ErrClosed) {
+		t.Fatalf("store.Save after drain = %v, want ErrClosed", err)
+	}
+}
+
+// TestDrainSnapshotsAnswers: answers memoized before the drain must be
+// on disk afterwards, and a restarted engine over the same store must
+// serve them without model traffic.
+func TestDrainSnapshotsAnswers(t *testing.T) {
+	dir := t.TempDir()
+	ai := newTestAskIt(t, askit.Options{StorePath: dir})
+	s, ts := newTestServer(t, Config{AskIt: ai}, askit.Options{})
+
+	if resp, body := postJSON(t, ts.URL+"/v1/ask",
+		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":5}}`); resp.StatusCode != 200 {
+		t.Fatalf("ask: %d %v", resp.StatusCode, body)
+	}
+	if _, err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Drain is documented idempotent: a second SIGTERM path re-running
+	// it must not report an unclean shutdown.
+	if _, err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+
+	restarted := newTestAskIt(t, askit.Options{Client: failingClient{}, StorePath: dir})
+	stats := restarted.Stats()
+	if stats.AnswersRestored == 0 {
+		t.Fatalf("restarted engine restored %d answers, want > 0", stats.AnswersRestored)
+	}
+	// failingClient proves the answer comes from the snapshot: any
+	// model traffic would error.
+	v, err := restarted.Ask(context.Background(), askit.Float,
+		"Calculate the factorial of {{n}}.", askit.Args{"n": 5.0})
+	if err != nil || v != 120.0 {
+		t.Fatalf("warm answer = %v, %v; want 120 with no model traffic", v, err)
+	}
+}
+
+// TestWarmRestartThroughServer is the acceptance criterion at the HTTP
+// level: a restarted daemon over the same store installs a previously
+// compiled function with zero codegen LLM calls.
+func TestWarmRestartThroughServer(t *testing.T) {
+	dir := t.TempDir()
+
+	ai1 := newTestAskIt(t, askit.Options{StorePath: dir})
+	s1, ts1 := newTestServer(t, Config{AskIt: ai1}, askit.Options{})
+	if resp, body := postJSON(t, ts1.URL+"/v1/funcs", factInstall); resp.StatusCode != 200 || body["compiled"] != true {
+		t.Fatalf("cold install: %d %v", resp.StatusCode, body)
+	}
+	if ai1.Stats().CodegenLLMCalls == 0 {
+		t.Fatal("cold install made no codegen calls; the warm side would prove nothing")
+	}
+	if _, err := s1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ai2 := newTestAskIt(t, askit.Options{StorePath: dir})
+	_, ts2 := newTestServer(t, Config{AskIt: ai2}, askit.Options{})
+	resp, body := postJSON(t, ts2.URL+"/v1/funcs", factInstall)
+	if resp.StatusCode != 200 || body["compiled"] != true || body["from_cache"] != true {
+		t.Fatalf("warm install: %d %v, want compiled from_cache", resp.StatusCode, body)
+	}
+	stats := ai2.Stats()
+	if stats.CodegenLLMCalls != 0 {
+		t.Fatalf("warm install made %d codegen LLM calls, want 0", stats.CodegenLLMCalls)
+	}
+	if resp, body := postJSON(t, ts2.URL+"/v1/funcs/fact/call", `{"args":{"n":6}}`); resp.StatusCode != 200 || body["value"] != 720.0 {
+		t.Fatalf("warm call: %d %v", resp.StatusCode, body)
+	}
+}
+
+// TestBatchEndpoints covers the fan-out surface: ordered results,
+// per-element errors.
+func TestBatchEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, askit.Options{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/ask/batch",
+		`{"type":"number","template":"Calculate the factorial of {{n}}.",
+		  "args_list":[{"n":3},{"n":4},{"n":5}],"workers":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask/batch: %d %v", resp.StatusCode, body)
+	}
+	results := body["results"].([]any)
+	want := []float64{6, 24, 120}
+	if len(results) != 3 {
+		t.Fatalf("results = %v", results)
+	}
+	for i, r := range results {
+		el := r.(map[string]any)
+		if el["index"].(float64) != float64(i) || el["value"].(float64) != want[i] {
+			t.Fatalf("result[%d] = %v, want index %d value %v", i, el, i, want[i])
+		}
+	}
+
+	if resp, body := postJSON(t, ts.URL+"/v1/funcs", factInstall); resp.StatusCode != 200 {
+		t.Fatalf("install: %v", body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/funcs/fact/batch",
+		`{"args_list":[{"n":3},{"n":10}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("funcs batch: %d %v", resp.StatusCode, body)
+	}
+	results = body["results"].([]any)
+	if v := results[1].(map[string]any)["value"].(float64); v != 3628800 {
+		t.Fatalf("batch[1] = %v, want 3628800", v)
+	}
+}
+
+// TestBatchTooLarge: one admitted batch request must not smuggle
+// unbounded work past the admission gate.
+func TestBatchTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, askit.Options{})
+	var sb strings.Builder
+	sb.WriteString(`{"type":"number","template":"Calculate the factorial of {{n}}.","args_list":[`)
+	for i := 0; i <= 4096; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"n":%d}`, i%10)
+	}
+	sb.WriteString(`]}`)
+	resp, body := postJSON(t, ts.URL+"/v1/ask/batch", sb.String())
+	if resp.StatusCode != http.StatusBadRequest || body["kind"] != "batch-too-large" {
+		t.Fatalf("oversized batch: %d %v, want 400 batch-too-large", resp.StatusCode, body)
+	}
+}
+
+// TestConcurrentStress hammers every endpoint class from many
+// goroutines; run under -race this is the data-race gate for the
+// serving tier.
+func TestConcurrentStress(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInflight: 128}, askit.Options{})
+	if resp, body := postJSON(t, ts.URL+"/v1/funcs", factInstall); resp.StatusCode != 200 {
+		t.Fatalf("install: %v", body)
+	}
+
+	const goroutines = 16
+	const perG = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				var resp *http.Response
+				var err error
+				switch i % 4 {
+				case 0:
+					resp, err = http.Post(ts.URL+"/v1/ask", "application/json",
+						strings.NewReader(fmt.Sprintf(
+							`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":%d}}`, 3+i%8)))
+				case 1:
+					resp, err = http.Post(ts.URL+"/v1/funcs/fact/call", "application/json",
+						strings.NewReader(fmt.Sprintf(`{"args":{"n":%d}}`, 3+i%8)))
+				case 2:
+					resp, err = http.Get(ts.URL + "/v1/stats")
+				case 3:
+					resp, err = http.Get(ts.URL + "/healthz")
+				}
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("goroutine %d call %d: status %d", g, i, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -42,6 +43,11 @@ const FormatVersion = 1
 // collapse into this one value so callers treat them uniformly as "go
 // generate it again".
 var ErrMiss = errors.New("store: artifact miss")
+
+// ErrClosed is returned by operations on a store after Close. A closed
+// store writes nothing: a daemon that has finished its shutdown
+// snapshot must not race a late background save into the directory.
+var ErrClosed = errors.New("store: closed")
 
 // Key identifies one artifact. Engine is the engine/prompt revision
 // stamp (a new revision invalidates every artifact wholesale, because
@@ -124,6 +130,8 @@ func Checksum(source string) string {
 type Store struct {
 	dir string
 
+	closed atomic.Bool
+
 	mu      sync.Mutex
 	loading map[string]*loadFlight
 }
@@ -150,6 +158,17 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Close marks the store closed. Everything on disk stays (artifacts are
+// plain files; there is nothing buffered to flush), but subsequent
+// Save/SaveAnswers calls fail with ErrClosed and Load reports misses,
+// which is what a shutting-down daemon wants: the state written by its
+// final snapshot is the state a warm restart will see, with no late
+// writer racing it. Closing twice is a no-op.
+func (s *Store) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
 // Load returns the artifact for key, or ErrMiss. Every integrity
 // failure — unreadable file, malformed JSON, format or engine revision
 // mismatch, address or signature mismatch, source checksum mismatch —
@@ -157,6 +176,9 @@ func (s *Store) Dir() string { return s.dir }
 // to codegen and rewrite), and a poisoned file must never poison a
 // Func. Concurrent Loads of one key perform a single disk read.
 func (s *Store) Load(key Key) (*Artifact, error) {
+	if s.closed.Load() {
+		return nil, ErrMiss
+	}
 	addr := key.Hash()
 	s.mu.Lock()
 	if fl, ok := s.loading[addr]; ok {
@@ -206,6 +228,9 @@ func (s *Store) loadOnce(key Key, addr string) (*Artifact, error) {
 // caller fills the payload (FuncName, Source, LOC, Attempts,
 // Validation).
 func (s *Store) Save(key Key, art *Artifact) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	cp := *art
 	cp.Format = FormatVersion
 	cp.Engine = key.Engine
@@ -310,6 +335,9 @@ func answersChecksum(answers []AnswerRecord) (string, error) {
 // SaveAnswers persists a snapshot of memoized direct-call answers,
 // replacing any previous snapshot.
 func (s *Store) SaveAnswers(engine string, answers []AnswerRecord) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	sum, err := answersChecksum(answers)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the askitd daemon: boot it against an empty
+# artifact store, serve one direct ask, install + call one compiled
+# function, shut down gracefully on SIGTERM, then restart over the
+# same store and require the warm install to make zero codegen LLM
+# calls. CI runs this against the real binary; it also works locally:
+#
+#   go build -o /tmp/askitd ./cmd/askitd
+#   ASKITD=/tmp/askitd scripts/askitd-smoke.sh
+set -euo pipefail
+
+ASKITD="${ASKITD:-./askitd}"
+ADDR="${ADDR:-127.0.0.1:18321}"
+STORE="${STORE:-$(mktemp -d /tmp/askitd-smoke-XXXXXX)}"
+LOG="${LOG:-$STORE/askitd.log}"
+
+DAEMON_PID=""
+cleanup() { [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+fail() { echo "askitd-smoke: FAIL: $*" >&2; [ -f "$LOG" ] && tail -20 "$LOG" >&2; exit 1; }
+
+wait_healthy() {
+  for _ in $(seq 1 50); do
+    # Require OUR daemon to be alive before trusting a healthz answer:
+    # if it died on startup (port already in use), polling would
+    # otherwise hand the rest of the script to whatever stale process
+    # owns the port — and its store, not ours.
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon process died during startup (is $ADDR already in use?)"
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  fail "daemon never became healthy"
+}
+
+start_daemon() {
+  "$ASKITD" -addr "$ADDR" -store "$STORE" >>"$LOG" 2>&1 &
+  DAEMON_PID=$!
+  wait_healthy
+}
+
+stop_daemon() {
+  kill -TERM "$DAEMON_PID"
+  local code=0
+  wait "$DAEMON_PID" || code=$?
+  DAEMON_PID=""
+  [ "$code" -eq 0 ] || fail "daemon exited $code on SIGTERM (graceful drain failed)"
+}
+
+install_body='{"name":"fact","type":"number",
+  "template":"Calculate the factorial of {{n}}.",
+  "params":[{"name":"n","type":"number"}],
+  "tests":[{"input":{"n":5},"output":120}]}'
+
+# --- cold lifecycle ---------------------------------------------------------
+start_daemon
+
+ask=$(curl -fsS "http://$ADDR/v1/ask" \
+  -d '{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":5}}')
+echo "$ask" | grep -q '"value":120' || fail "ask returned $ask"
+
+install=$(curl -fsS "http://$ADDR/v1/funcs" -d "$install_body")
+echo "$install" | grep -q '"compiled":true' || fail "cold install returned $install"
+
+call=$(curl -fsS "http://$ADDR/v1/funcs/fact/call" -d '{"args":{"n":10}}')
+echo "$call" | grep -q '"value":3628800' || fail "func call returned $call"
+
+# Error mapping over the wire: an install reusing the name with a
+# different spec must be a 409 conflict, not a silent replacement.
+conflict=$(curl -sS -o /dev/null -w '%{http_code}' "http://$ADDR/v1/funcs" \
+  -d '{"name":"fact","type":"string","template":"Reverse the string {{s}}.","params":[{"name":"s","type":"string"}]}')
+[ "$conflict" = "409" ] || fail "conflicting install returned HTTP $conflict, want 409"
+
+stop_daemon
+
+# --- warm lifecycle ---------------------------------------------------------
+start_daemon
+
+warm=$(curl -fsS "http://$ADDR/v1/funcs" -d "$install_body")
+echo "$warm" | grep -q '"from_cache":true' || fail "warm install returned $warm (want from_cache)"
+
+# Anchored on the delimiter so "store_hits":12 cannot pass as ":1".
+stats=$(curl -fsS "http://$ADDR/v1/stats")
+echo "$stats" | grep -q '"codegen_llm_calls":0[,}]' || fail "warm daemon made codegen LLM calls: $stats"
+echo "$stats" | grep -q '"store_hits":1[,}]' || fail "warm daemon missed the store: $stats"
+
+call=$(curl -fsS "http://$ADDR/v1/funcs/fact/call" -d '{"args":{"n":6}}')
+echo "$call" | grep -q '"value":720' || fail "warm func call returned $call"
+
+stop_daemon
+
+echo "askitd-smoke: OK (store: $STORE)"
