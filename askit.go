@@ -46,7 +46,6 @@ package askit
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"reflect"
 	"time"
@@ -125,9 +124,15 @@ type Options struct {
 	// Ask/Call requests coalesce into one model round-trip.
 	AnswerCacheSize int
 	// RetryBackoff is the base delay before resending after a transient
-	// client error (exponential, context-aware). 0 means the default
-	// 10ms; negative disables backoff.
+	// client error (full-jitter exponential, context-aware, Retry-After
+	// hints honored). 0 means the default 10ms base; negative disables
+	// backoff.
 	RetryBackoff time.Duration
+	// RetryBudget is the engine-wide transient-retry token pool; an
+	// empty pool fails calls fast with a classified transient error
+	// instead of amplifying retries against a failing backend. 0 means
+	// the default (64); negative disables the budget.
+	RetryBudget int
 	// CacheDir persists generated functions (the paper's askit/
 	// directory); empty disables the legacy disk cache. Prefer
 	// StorePath: the artifact store adds integrity checking, engine
@@ -140,9 +145,9 @@ type Options struct {
 	// extends the warm start to memoized direct-call answers. Use Store
 	// instead to share one opened store across engines.
 	StorePath string
-	// Store is an already-open artifact store; see StorePath. When both
-	// are set, Store wins.
-	Store *Store
+	// Store is an already-open artifact store (or any StoreBackend
+	// wrapper around one); see StorePath. When both are set, Store wins.
+	Store StoreBackend
 	// FS provides the virtual file system for file-access tasks; nil
 	// disables the appendFile/readFile/writeFile host bindings.
 	FS *core.VirtualFS
@@ -170,6 +175,11 @@ func NewVirtualFS() *core.VirtualFS { return core.NewVirtualFS() }
 // of the answer cache. See Options.StorePath.
 type Store = store.Store
 
+// StoreBackend is the persistence interface the engine programs
+// against; *Store is the canonical implementation, and wrappers (e.g.
+// fault injection) interpose by implementing it.
+type StoreBackend = store.Backend
+
 // OpenStore opens (creating if needed) the artifact store rooted at
 // dir, for sharing one store across several engines via
 // Options.Store / WithStore.
@@ -180,7 +190,7 @@ func OpenStore(dir string) (*Store, error) { return store.Open(dir) }
 //
 //	st, _ := askit.OpenStore(dir)
 //	ai, _ := askit.New(askit.Options{Client: client}.WithStore(st))
-func (o Options) WithStore(s *Store) Options {
+func (o Options) WithStore(s StoreBackend) Options {
 	o.Store = s
 	return o
 }
@@ -222,6 +232,7 @@ func New(opts Options) (*AskIt, error) {
 		Temperature:     opts.Temperature,
 		AnswerCacheSize: opts.AnswerCacheSize,
 		RetryBackoff:    opts.RetryBackoff,
+		RetryBudget:     opts.RetryBudget,
 		CacheDir:        opts.CacheDir,
 		Store:           st,
 		FS:              opts.FS,
@@ -259,8 +270,8 @@ var ErrDraining = core.ErrDraining
 // Close. Draining is one-way.
 func (a *AskIt) BeginDrain() { a.engine.BeginDrain() }
 
-// Store returns the configured artifact store, or nil.
-func (a *AskIt) Store() *Store { return a.engine.Options().Store }
+// Store returns the configured artifact store backend, or nil.
+func (a *AskIt) Store() StoreBackend { return a.engine.Options().Store }
 
 // Close flushes the warm-start state and closes the artifact store:
 // the answer cache is snapshotted (when a store and the cache are
@@ -268,19 +279,22 @@ func (a *AskIt) Store() *Store { return a.engine.Options().Store }
 // restarted replica sees is exactly the state at Close. An AskIt
 // without a store closes trivially. Close does not wait for in-flight
 // calls; drain first (BeginDrain + Stats().InflightCalls).
+//
+// A snapshot that fails on store I/O does not fail Close: the answer
+// snapshot is warm-start cache state, so losing it costs the next
+// replica some answer hits, never correctness — and a flaky disk at
+// shutdown must not turn a graceful drain into an unclean exit. The
+// failure is recorded in Stats().StoreErrors.
 func (a *AskIt) Close() error {
 	st := a.Store()
 	if st == nil {
 		return nil
 	}
-	_, err := a.engine.SnapshotAnswers()
-	if errors.Is(err, core.ErrAnswersDisabled) || errors.Is(err, store.ErrClosed) {
-		// Nothing to snapshot, or already snapshotted by an earlier
-		// Close: both are a clean shutdown, not a failure — Close (and
-		// Server.Drain above it) must be idempotent.
-		err = nil
-	}
-	return errors.Join(err, st.Close())
+	// Best-effort: ErrAnswersDisabled and ErrClosed (an earlier Close
+	// already snapshotted) are clean shutdowns, and I/O failures are
+	// already counted by the engine.
+	_, _ = a.engine.SnapshotAnswers()
+	return st.Close()
 }
 
 // SnapshotAnswers persists the memoized direct-call answer cache to

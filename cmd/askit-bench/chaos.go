@@ -1,0 +1,466 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	askit "repro"
+	"repro/internal/fault"
+	"repro/internal/jsonx"
+	"repro/internal/server"
+)
+
+// The chaos experiment is the robustness capstone: the same loopback
+// daemon as -exp http, but with a deterministic fault schedule wrapped
+// around every model backend and the artifact store. It measures what
+// the resilience machinery (router breakers + hedging, engine retry
+// budget + jittered backoff, store degradation) actually buys:
+//
+//   - zero wrong answers: a 200 under fault load always carries the
+//     same value a fault-free daemon returns;
+//   - zero corrupted artifacts accepted: torn store writes read back
+//     as clean misses, never as installed functions;
+//   - goodput under 10% transient faults stays within chaosMinGoodput
+//     of the fault-free baseline;
+//   - a drain that begins while faulted requests are in flight still
+//     reaches zero in-flight.
+//
+// Run with:
+//
+//	askit-bench -exp chaos           # writes BENCH_6.json
+const (
+	chaosFaultRate  = 0.10
+	chaosCalls      = 800
+	chaosConc       = 8
+	chaosMinGoodput = 0.80 // chaos goodput / baseline goodput floor
+	chaosTimeout    = 5 * time.Second
+)
+
+// chaosPhase is one daemon lifecycle's verified measurement: every
+// response is checked against the known-correct value, so goodput is
+// "correct 200s", not just "200s".
+type chaosPhase struct {
+	Calls            int     `json:"calls"`
+	Correct          int     `json:"correct"`
+	Wrong            int     `json:"wrong"`
+	Errors           int     `json:"errors"`
+	Goodput          float64 `json:"goodput"`
+	WallMs           float64 `json:"wall_ms"`
+	ThroughputPerSec float64 `json:"throughput_per_s"`
+	P50Us            float64 `json:"p50_us"`
+	P99Us            float64 `json:"p99_us"`
+}
+
+// chaosInjected records what the fault layer actually did — the
+// denominators behind the goodput claim.
+type chaosInjected struct {
+	LLMCalls      uint64 `json:"llm_calls"`
+	Transients    uint64 `json:"transients"`
+	Hangs         uint64 `json:"hangs"`
+	Garbled       uint64 `json:"garbled"`
+	StoreSaveFail uint64 `json:"store_save_fails"`
+	StoreTorn     uint64 `json:"store_torn_writes"`
+}
+
+// ChaosReport is the BENCH_6.json schema.
+type ChaosReport struct {
+	Note         string        `json:"note"`
+	FaultRate    float64       `json:"fault_rate"`
+	Seed         int64         `json:"seed"`
+	Baseline     chaosPhase    `json:"baseline"`
+	Chaos        chaosPhase    `json:"chaos"`
+	GoodputRatio float64       `json:"goodput_ratio"`
+	Injected     chaosInjected `json:"injected"`
+	// DrainLeft is the in-flight count after draining under fault load;
+	// the contract is 0.
+	DrainLeft int `json:"drain_left"`
+	// RecoveryWrong counts installed functions that returned a wrong
+	// answer after a fault-free restart over the chaos-torn store — a
+	// corrupted artifact that was accepted. The contract is 0.
+	RecoveryFuncs int `json:"recovery_funcs"`
+	RecoveryWrong int `json:"recovery_wrong"`
+}
+
+// chaosDaemon bundles a loopback daemon with its fault wrappers so the
+// run can read injection counters afterwards.
+type chaosDaemon struct {
+	*httpDaemon
+	fclients []*fault.Client
+	fstore   *fault.Store
+}
+
+// startChaosDaemon builds the -exp http serving stack; rate > 0 wraps
+// every backend and the store with schedule-driven fault injection.
+func startChaosDaemon(seed int64, storeDir string, rate float64, sched *fault.Schedule) (*chaosDaemon, error) {
+	d := &chaosDaemon{}
+	backends := make([]askit.RouterBackend, httpBenchBackends)
+	for i := range backends {
+		sim := askit.NewSimClient(seed + int64(i))
+		sim.Noise.DirectBlind = 0
+		sim.Noise.CodegenBlind = 0
+		var client askit.Client = sim
+		if rate > 0 {
+			fc := fault.WrapClient(sim, fault.ClientPlan{
+				TransientRate: rate,
+				RetryAfter:    10 * time.Millisecond,
+				GarbleRate:    rate / 4,
+				HangRate:      rate / 50,
+			}, sched)
+			d.fclients = append(d.fclients, fc)
+			client = fc
+		}
+		backends[i] = askit.RouterBackend{
+			Name:          fmt.Sprintf("sim-%d", i),
+			Client:        client,
+			MaxConcurrent: httpMaxInflight,
+		}
+	}
+	router, err := askit.NewRouter(backends...)
+	if err != nil {
+		return nil, err
+	}
+	// No answer cache: a cache-heavy mix would absorb the faults before
+	// they reach the model, and a goodput claim over cache hits is
+	// vacuous. Every direct ask here pays a (possibly faulted) model
+	// call.
+	opts := askit.Options{Client: router, AnswerCacheSize: -1}
+	if rate > 0 {
+		st, err := askit.OpenStore(storeDir)
+		if err != nil {
+			return nil, err
+		}
+		d.fstore = fault.WrapStore(st, fault.StorePlan{
+			SaveFailRate:  rate,
+			TornWriteRate: rate / 4,
+		}, sched)
+		opts.Store = d.fstore
+	} else {
+		opts.StorePath = storeDir
+	}
+	ai, err := askit.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serverNew(ai)
+	if err != nil {
+		return nil, err
+	}
+	d.httpDaemon = srv
+	return d, nil
+}
+
+// injected sums the fault wrappers' counters.
+func (d *chaosDaemon) injected() chaosInjected {
+	var inj chaosInjected
+	for _, fc := range d.fclients {
+		s := fc.Stats()
+		inj.LLMCalls += s.Calls
+		inj.Transients += s.Transients
+		inj.Hangs += s.Hangs
+		inj.Garbled += s.Garbled
+	}
+	if d.fstore != nil {
+		s := d.fstore.Stats()
+		inj.StoreSaveFail += s.SaveFails
+		inj.StoreTorn += s.TornWrites
+	}
+	return inj
+}
+
+// chaosExpect returns the (path, body, expected value) of request i:
+// the same skewed call/ask mix as -exp http, but with the correct
+// answer alongside so every response can be engine-diffed.
+func chaosExpect(w *httpWorkload, i int) (string, string, any) {
+	if i%2 == 0 {
+		k := (i / 2) % len(w.names)
+		spec := w.specs[k]
+		return "/v1/funcs/" + w.names[k] + "/call",
+			`{"args":` + jsonx.Encode(spec.Examples[0].Input) + `}`,
+			jsonNorm(spec.Examples[0].Output)
+	}
+	n := 3 + (i/2)%8
+	fact := 1.0
+	for j := 2; j <= n; j++ {
+		fact *= float64(j)
+	}
+	return "/v1/ask", fmt.Sprintf(
+		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":%d}}`, n), fact
+}
+
+// jsonNorm round-trips v through JSON so expected values compare
+// cleanly against decoded response bodies (ints become float64s, maps
+// become map[string]any).
+func jsonNorm(v any) any {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return v
+	}
+	var out any
+	if err := json.Unmarshal(data, &out); err != nil {
+		return v
+	}
+	return out
+}
+
+// driveChaos issues calls requests from conc goroutines, verifying
+// every 200 against the known-correct value.
+func driveChaos(d *httpDaemon, w *httpWorkload, conc, calls int) chaosPhase {
+	latencies := make([]time.Duration, calls)
+	var correct, wrong, errs atomic.Int64
+	var next atomic.Int64
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conc}}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < conc; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= calls {
+					return
+				}
+				path, body, want := chaosExpect(w, i)
+				t0 := time.Now()
+				resp, err := client.Post(d.url+path, "application/json", bytes.NewReader([]byte(body)))
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					resp.Body.Close()
+					continue
+				}
+				var decoded map[string]any
+				err = json.NewDecoder(resp.Body).Decode(&decoded)
+				resp.Body.Close()
+				if err == nil && reflect.DeepEqual(decoded["value"], want) {
+					correct.Add(1)
+				} else {
+					wrong.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	ls := summarizeLatencies(latencies, wall)
+	p := chaosPhase{
+		Calls:            calls,
+		Correct:          int(correct.Load()),
+		Wrong:            int(wrong.Load()),
+		Errors:           int(errs.Load()),
+		WallMs:           ls.WallMs,
+		ThroughputPerSec: ls.ThroughputPerSec,
+		P50Us:            ls.P50Us,
+		P99Us:            ls.P99Us,
+	}
+	if calls > 0 {
+		p.Goodput = float64(p.Correct) / float64(calls)
+	}
+	return p
+}
+
+// drainUnderLoad fires background traffic at the daemon, then drains
+// mid-flight and reports how many requests were left in flight.
+func drainUnderLoad(d *httpDaemon, w *httpWorkload) (int, error) {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; ; i += 4 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path, body, _ := chaosExpect(w, i)
+				resp, err := http.Post(d.url+path, "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					return // listener closing under drain: expected
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	time.Sleep(100 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	left, err := d.srv.Drain(ctx)
+	close(stop)
+	shutdownErr := d.httpSrv.Shutdown(ctx)
+	wg.Wait()
+	if err == nil {
+		err = shutdownErr
+	}
+	return left, err
+}
+
+// runChaosJSON runs the baseline/chaos/recovery sequence and writes
+// BENCH_6.json. Every robustness contract is a hard failure, not just
+// a number in the report.
+func runChaosJSON(path string, seed int64, storeDir string) error {
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "askit-chaosbench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+	}
+	specs := httpSpecs()
+
+	// Phase 1: fault-free baseline over its own store.
+	baseDir, err := os.MkdirTemp("", "askit-chaosbase-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(baseDir)
+	base, err := startChaosDaemon(seed, baseDir, 0, nil)
+	if err != nil {
+		return err
+	}
+	baseNames, _, err := installFuncs(base.httpDaemon, specs)
+	if err != nil {
+		return fmt.Errorf("baseline install: %w", err)
+	}
+	baseW := &httpWorkload{specs: specs, names: baseNames}
+	basePhase := driveChaos(base.httpDaemon, baseW, chaosConc, chaosCalls)
+	if err := base.stop(); err != nil {
+		return fmt.Errorf("baseline stop: %w", err)
+	}
+
+	// Phase 2: same workload at chaosFaultRate injected faults.
+	sched := fault.NewSchedule(seed)
+	chaos, err := startChaosDaemon(seed, storeDir, chaosFaultRate, sched)
+	if err != nil {
+		return err
+	}
+	chaosNames, _, err := installFuncs(chaos.httpDaemon, specs)
+	if err != nil {
+		return fmt.Errorf("chaos install: %w", err)
+	}
+	chaosW := &httpWorkload{specs: specs, names: chaosNames}
+	chaosPhaseRes := driveChaos(chaos.httpDaemon, chaosW, chaosConc, chaosCalls)
+	left, err := drainUnderLoad(chaos.httpDaemon, chaosW)
+	if err != nil {
+		return fmt.Errorf("chaos drain: %w", err)
+	}
+	injected := chaos.injected()
+
+	// Phase 3: fault-free restart over the chaos-torn store. Corrupted
+	// or torn artifacts must surface as misses (recompiled correctly),
+	// never as functions that answer wrongly.
+	recov, err := startChaosDaemon(seed, storeDir, 0, nil)
+	if err != nil {
+		return err
+	}
+	recovNames, _, err := installFuncs(recov.httpDaemon, specs)
+	if err != nil {
+		return fmt.Errorf("recovery install: %w", err)
+	}
+	recovWrong := 0
+	for k, name := range recovNames {
+		spec := specs[k]
+		code, resp, err := recov.post("/v1/funcs/"+name+"/call",
+			`{"args":`+jsonx.Encode(spec.Examples[0].Input)+`}`)
+		if err != nil || code != http.StatusOK ||
+			!reflect.DeepEqual(resp["value"], jsonNorm(spec.Examples[0].Output)) {
+			recovWrong++
+		}
+	}
+	if err := recov.stop(); err != nil {
+		return fmt.Errorf("recovery stop: %w", err)
+	}
+
+	report := ChaosReport{
+		Note: fmt.Sprintf("chaos benchmark: loopback daemon with %.0f%% injected transient faults (plus garbling, "+
+			"hangs, store write failures and torn writes) on a deterministic schedule; every response verified "+
+			"against the fault-free answer; drain begins under fault load; a fault-free restart over the torn "+
+			"store must recompile, never accept, corrupted artifacts", chaosFaultRate*100),
+		FaultRate:     chaosFaultRate,
+		Seed:          seed,
+		Baseline:      basePhase,
+		Chaos:         chaosPhaseRes,
+		Injected:      injected,
+		DrainLeft:     left,
+		RecoveryFuncs: len(recovNames),
+		RecoveryWrong: recovWrong,
+	}
+	if basePhase.Goodput > 0 {
+		report.GoodputRatio = chaosPhaseRes.Goodput / basePhase.Goodput
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("  baseline: %d calls, goodput %.3f, %8.0f req/s p99 %.1fus\n",
+		basePhase.Calls, basePhase.Goodput, basePhase.ThroughputPerSec, basePhase.P99Us)
+	fmt.Printf("  chaos:    %d calls, goodput %.3f (%d wrong, %d errors), %8.0f req/s p99 %.1fus\n",
+		chaosPhaseRes.Calls, chaosPhaseRes.Goodput, chaosPhaseRes.Wrong, chaosPhaseRes.Errors,
+		chaosPhaseRes.ThroughputPerSec, chaosPhaseRes.P99Us)
+	fmt.Printf("  injected: %d/%d transient, %d garbled, %d hangs, %d store save fails, %d torn writes\n",
+		injected.Transients, injected.LLMCalls, injected.Garbled, injected.Hangs,
+		injected.StoreSaveFail, injected.StoreTorn)
+	fmt.Printf("  drain under fault load left %d in flight; recovery: %d/%d funcs correct\n",
+		left, report.RecoveryFuncs-recovWrong, report.RecoveryFuncs)
+
+	// The robustness contracts.
+	if chaosPhaseRes.Wrong != 0 {
+		return fmt.Errorf("chaos: %d responses returned 200 with a wrong answer", chaosPhaseRes.Wrong)
+	}
+	if recovWrong != 0 {
+		return fmt.Errorf("chaos: %d corrupted artifacts accepted after restart", recovWrong)
+	}
+	if left != 0 {
+		return fmt.Errorf("chaos: drain under fault load left %d in flight", left)
+	}
+	if report.GoodputRatio < chaosMinGoodput {
+		return fmt.Errorf("chaos: goodput ratio %.3f below the %.2f floor", report.GoodputRatio, chaosMinGoodput)
+	}
+	return nil
+}
+
+// serverNew builds the loopback daemon shell around an engine — the
+// same stack as startHTTPDaemon, but with a bounded request timeout so
+// an injected hang costs at most chaosTimeout.
+func serverNew(ai *askit.AskIt) (*httpDaemon, error) {
+	srv, err := server.New(server.Config{
+		AskIt:          ai,
+		MaxInflight:    httpMaxInflight,
+		RequestTimeout: chaosTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	d := &httpDaemon{
+		ai:      ai,
+		srv:     srv,
+		httpSrv: &http.Server{Handler: srv.Handler()},
+		url:     "http://" + ln.Addr().String(),
+	}
+	go d.httpSrv.Serve(ln)
+	return d, nil
+}

@@ -17,6 +17,7 @@ import (
 //	BENCH_1-style: {"benchmarks": {name: {"ns_per_op": ...}}}
 //	BENCH_2-style: {"concurrent_cached": {"throughput_per_s": ...}}
 //	BENCH_5-style: {"warm_restart": {"levels": [{"throughput_per_s": ...}]}}
+//	BENCH_6-style: {"goodput_ratio": ..., "chaos": {"goodput": ...}}
 
 // checkAgainstBaseline loads both reports and compares every headline
 // metric the schemas share. It returns the human-readable verdicts and
@@ -71,6 +72,19 @@ func checkAgainstBaseline(currentPath, baselinePath string, factor float64) ([]s
 		}
 	}
 
+	// Higher-is-better: goodput under fault injection relative to the
+	// fault-free baseline. Goodput is a ratio in (0, 1], so the loose
+	// slowdown factor would never fire; compare against the baseline's
+	// own measured ratio with a fixed 10-point tolerance instead.
+	if curGP, baseGP := topNumber(cur, "goodput_ratio"), topNumber(base, "goodput_ratio"); baseGP > 0 && curGP > 0 {
+		v := fmt.Sprintf("chaos goodput ratio: %.3f vs baseline %.3f (floor %.3f)",
+			curGP, baseGP, baseGP-0.10)
+		verdicts = append(verdicts, v)
+		if curGP < baseGP-0.10 {
+			failures = append(failures, v)
+		}
+	}
+
 	if len(verdicts) == 0 {
 		return nil, fmt.Errorf("check: %s and %s share no comparable metrics", currentPath, baselinePath)
 	}
@@ -106,6 +120,14 @@ func subMapAny(m map[string]any, key string) any {
 		return nil
 	}
 	return m[key]
+}
+
+func topNumber(m map[string]any, key string) float64 {
+	if m == nil {
+		return 0
+	}
+	n, _ := m[key].(float64)
+	return n
 }
 
 func number(v any, key string) float64 {

@@ -8,6 +8,7 @@
 //	askit-bench -exp serve            # serving-tier benchmark -> BENCH_2.json
 //	askit-bench -exp warm             # persistence-tier benchmark -> BENCH_3.json
 //	askit-bench -exp http             # network-tier daemon benchmark -> BENCH_5.json
+//	askit-bench -exp chaos            # fault-injection robustness drill -> BENCH_6.json
 //
 // With -check <baseline.json>, the fresh measurement is compared to the
 // checked-in baseline and the run fails on a regression beyond
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		which       = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|bench|serve|warm|http|all")
+		which       = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|bench|serve|warm|http|chaos|all")
 		seed        = flag.Int64("seed", 42, "simulation seed")
 		problems    = flag.Int("n", 0, "GSM8K problem count for table3 (0 = full 1319)")
 		workers     = flag.Int("workers", 8, "worker pool size for table3")
@@ -48,6 +49,7 @@ func main() {
 		"serve": {"BENCH_2.json", func(out string) error { return runServeJSON(out, *seed) }},
 		"warm":  {"BENCH_3.json", func(out string) error { return runWarmJSON(out, *seed, *storeDir) }},
 		"http":  {"BENCH_5.json", func(out string) error { return runHTTPJSON(out, *seed, *storeDir) }},
+		"chaos": {"BENCH_6.json", func(out string) error { return runChaosJSON(out, *seed, *storeDir) }},
 	}
 	if suite, ok := benchSuites[*which]; ok {
 		out := *benchOut

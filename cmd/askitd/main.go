@@ -41,8 +41,10 @@ import (
 	"time"
 
 	askit "repro"
+	"repro/internal/fault"
 	"repro/internal/llm"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -56,6 +58,8 @@ func main() {
 		seed         = flag.Int64("seed", 1, "simulation seed")
 		cacheSize    = flag.Int("cache-size", 0, "answer cache entries (0 = default, negative = disabled)")
 		noise        = flag.Bool("noise", false, "keep the simulated model's blind spots (refusals) enabled")
+		faultRate    = flag.Float64("fault-rate", 0, "chaos mode: inject transient LLM faults and store write failures at this rate (0..1)")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule (with -fault-rate)")
 	)
 	flag.Parse()
 
@@ -63,11 +67,40 @@ func main() {
 	if err != nil {
 		log.Fatalf("askitd: %v", err)
 	}
-	ai, err := askit.New(askit.Options{
+	var sched *fault.Schedule
+	if *faultRate > 0 {
+		// Chaos mode: the daemon's own resilience machinery (breakers,
+		// hedging, retry budget, store degradation) must absorb the
+		// injected faults; clients should only ever see retried — never
+		// wrong — answers. Deterministic per -fault-seed.
+		sched = fault.NewSchedule(*faultSeed)
+		client = fault.WrapClient(client, fault.ClientPlan{
+			TransientRate: *faultRate,
+			RetryAfter:    50 * time.Millisecond,
+			GarbleRate:    *faultRate / 4,
+			HangRate:      *faultRate / 50,
+		}, sched)
+		log.Printf("askitd: chaos mode on (rate=%g seed=%d)", *faultRate, *faultSeed)
+	}
+	opts := askit.Options{
 		Client:          client,
-		StorePath:       *storePath,
 		AnswerCacheSize: *cacheSize,
-	})
+	}
+	if *storePath != "" {
+		st, err := store.Open(*storePath)
+		if err != nil {
+			log.Fatalf("askitd: %v", err)
+		}
+		if sched != nil {
+			opts.Store = fault.WrapStore(st, fault.StorePlan{
+				SaveFailRate:  *faultRate,
+				TornWriteRate: *faultRate / 4,
+			}, sched)
+		} else {
+			opts.Store = st
+		}
+	}
+	ai, err := askit.New(opts)
 	if err != nil {
 		log.Fatalf("askitd: %v", err)
 	}

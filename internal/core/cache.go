@@ -43,6 +43,20 @@ type Stats struct {
 	// TransientRetries counts Client.Complete errors that consumed
 	// retry budget instead of aborting the call.
 	TransientRetries uint64
+	// RetryBudgetExhausted counts calls failed fast because the
+	// engine-wide retry token bucket was empty (ErrRetryBudgetExhausted).
+	RetryBudgetExhausted uint64
+	// RetryBudgetTokens is the current (whole) token level of the
+	// engine-wide retry bucket; -1 when the budget is disabled. A gauge.
+	RetryBudgetTokens int
+	// StoreErrors counts artifact-store I/O failures (load, save,
+	// snapshot) observed by the engine; misses are not errors.
+	StoreErrors uint64
+	// StoreDegradedTrips counts transitions into degraded (in-memory-
+	// only) persistence; StoreDegraded reports whether the engine is
+	// degraded right now (a gauge).
+	StoreDegradedTrips uint64
+	StoreDegraded      bool
 	// CodegenLLMCalls counts Client.Complete calls made by codegen
 	// loops. A warm restart against a populated artifact store keeps
 	// this at zero for previously compiled functions.
@@ -70,19 +84,22 @@ type Stats struct {
 
 // engineStats is the atomic backing store for Stats.
 type engineStats struct {
-	answerHits       atomic.Uint64
-	answerMisses     atomic.Uint64
-	answerCoalesced  atomic.Uint64
-	compileCoalesced atomic.Uint64
-	directCalls      atomic.Uint64
-	compiledCalls    atomic.Uint64
-	transientRetries atomic.Uint64
-	codegenLLMCalls  atomic.Uint64
-	storeHits        atomic.Uint64
-	storeMisses      atomic.Uint64
-	answersRestored  atomic.Uint64
-	inflight         atomic.Int64
-	draining         atomic.Bool
+	answerHits           atomic.Uint64
+	answerMisses         atomic.Uint64
+	answerCoalesced      atomic.Uint64
+	compileCoalesced     atomic.Uint64
+	directCalls          atomic.Uint64
+	compiledCalls        atomic.Uint64
+	transientRetries     atomic.Uint64
+	retryBudgetExhausted atomic.Uint64
+	codegenLLMCalls      atomic.Uint64
+	storeHits            atomic.Uint64
+	storeMisses          atomic.Uint64
+	storeErrors          atomic.Uint64
+	storeDegradedTrips   atomic.Uint64
+	answersRestored      atomic.Uint64
+	inflight             atomic.Int64
+	draining             atomic.Bool
 }
 
 // readCounters loads every atomic counter once, in field order. The
@@ -91,19 +108,22 @@ type engineStats struct {
 // when the reader passes between them.
 func (e *Engine) readCounters() Stats {
 	return Stats{
-		AnswerHits:       e.stats.answerHits.Load(),
-		AnswerMisses:     e.stats.answerMisses.Load(),
-		AnswerCoalesced:  e.stats.answerCoalesced.Load(),
-		CompileCoalesced: e.stats.compileCoalesced.Load(),
-		DirectCalls:      e.stats.directCalls.Load(),
-		CompiledCalls:    e.stats.compiledCalls.Load(),
-		TransientRetries: e.stats.transientRetries.Load(),
-		CodegenLLMCalls:  e.stats.codegenLLMCalls.Load(),
-		StoreHits:        e.stats.storeHits.Load(),
-		StoreMisses:      e.stats.storeMisses.Load(),
-		AnswersRestored:  e.stats.answersRestored.Load(),
-		InflightCalls:    int(e.stats.inflight.Load()),
-		Draining:         e.stats.draining.Load(),
+		AnswerHits:           e.stats.answerHits.Load(),
+		AnswerMisses:         e.stats.answerMisses.Load(),
+		AnswerCoalesced:      e.stats.answerCoalesced.Load(),
+		CompileCoalesced:     e.stats.compileCoalesced.Load(),
+		DirectCalls:          e.stats.directCalls.Load(),
+		CompiledCalls:        e.stats.compiledCalls.Load(),
+		TransientRetries:     e.stats.transientRetries.Load(),
+		RetryBudgetExhausted: e.stats.retryBudgetExhausted.Load(),
+		CodegenLLMCalls:      e.stats.codegenLLMCalls.Load(),
+		StoreHits:            e.stats.storeHits.Load(),
+		StoreMisses:          e.stats.storeMisses.Load(),
+		StoreErrors:          e.stats.storeErrors.Load(),
+		StoreDegradedTrips:   e.stats.storeDegradedTrips.Load(),
+		AnswersRestored:      e.stats.answersRestored.Load(),
+		InflightCalls:        int(e.stats.inflight.Load()),
+		Draining:             e.stats.draining.Load(),
 	}
 }
 
@@ -126,6 +146,10 @@ func (e *Engine) Stats() Stats {
 	if e.answers != nil {
 		s.AnswerEntries = e.answers.len()
 	}
+	// Gauges computed outside the agreement loop: the token level
+	// time-refills and would keep two passes from ever matching.
+	s.RetryBudgetTokens = e.retries.level()
+	s.StoreDegraded = e.storeDegraded()
 	return s
 }
 

@@ -25,6 +25,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
+	"sync"
 	"time"
 
 	"repro/internal/jsonx"
@@ -39,10 +41,30 @@ import (
 // retry limit, which was set to 9", §IV-A1).
 const DefaultMaxRetries = 9
 
+// DefaultRetryBudget is the engine-wide retry token pool when
+// Options.RetryBudget is 0. Per-call MaxRetries bounds how persistent
+// one call may be; the budget bounds how persistent all calls together
+// may be — under a brownout, N concurrent calls each retrying 9 times
+// would multiply the load on a backend that is already failing by 10x
+// exactly when it can least afford it.
+const DefaultRetryBudget = 64
+
+// maxRetryAfterHint caps how long a backend's Retry-After hint can
+// stall a retry loop; a confused (or injected-fault) backend must not
+// park a call for minutes.
+const maxRetryAfterHint = 5 * time.Second
+
 // ErrDraining is returned by Compile when the engine is draining
 // (BeginDrain) and serving the call would require starting a fresh
 // codegen LLM loop. Calls and warm installs are unaffected.
 var ErrDraining = errors.New("core: engine is draining")
+
+// ErrRetryBudgetExhausted is returned (wrapped, marked transient) when
+// a transient client error would be retried but the engine-wide retry
+// budget has no tokens left. The call fails fast — classified so a
+// serving tier maps it to 503 + Retry-After rather than 5xx-unknown —
+// instead of joining a retry storm.
+var ErrRetryBudgetExhausted = errors.New("core: retry budget exhausted")
 
 // Options configures an Engine.
 type Options struct {
@@ -65,11 +87,23 @@ type Options struct {
 	// whenever the cache is enabled.
 	AnswerCacheSize int
 	// RetryBackoff is the base delay before resending a prompt after a
-	// transient client error (doubling per consecutive failure, capped
-	// at 32x the base, aborted by context cancellation). 0 means the
-	// default of 10ms; negative disables backoff. Malformed-response
-	// retries are not delayed — the model answered, just badly.
+	// transient client error. The delay is full-jitter exponential:
+	// uniform in [0, base<<n) for the n-th consecutive failure, capped
+	// at 32x the base, aborted by context cancellation — jitter
+	// decorrelates the retry spikes of concurrent callers that all saw
+	// the same outage at the same moment. A Retry-After hint from the
+	// backend (llm.WithRetryAfter, e.g. a 429 envelope) overrides the
+	// computed delay. 0 means the default base of 10ms; negative
+	// disables backoff. Malformed-response retries are not delayed —
+	// the model answered, just badly.
 	RetryBackoff time.Duration
+	// RetryBudget is the engine-wide transient-retry token pool: each
+	// retry takes a token, each successful completion refills half of
+	// one, and an empty pool fails calls fast with a transient-
+	// classified ErrRetryBudgetExhausted instead of amplifying load on
+	// a browning-out backend. 0 means DefaultRetryBudget; negative
+	// disables the budget (retries bounded per-call only).
+	RetryBudget int
 	// FS, when non-nil, provides the appendFile/readFile/writeFile host
 	// bindings to generated code.
 	FS *VirtualFS
@@ -94,8 +128,12 @@ type Options struct {
 	// before running a codegen loop and writes accepted artifacts back,
 	// so a restarted process warm-starts with zero codegen LLM calls
 	// for previously compiled functions. SnapshotAnswers/restore extend
-	// the same warm start to the direct-call answer cache.
-	Store *store.Store
+	// the same warm start to the direct-call answer cache. Any
+	// store.Backend works — *store.Store for the on-disk tier, or a
+	// wrapper (e.g. fault injection) around one. A store that keeps
+	// failing demotes the engine to in-memory-only (Stats.StoreDegraded)
+	// instead of failing calls; it is probed back in after a cooldown.
+	Store store.Backend
 	// Logf, when non-nil, receives diagnostic traces.
 	Logf func(format string, args ...any)
 }
@@ -118,13 +156,96 @@ func (o *Options) temperature() float64 {
 	return *o.Temperature
 }
 
+// retryBudget is the engine-wide transient-retry token bucket (the
+// gRPC retry-throttling scheme): every retry takes one token, every
+// successful completion refills half of one, and a slow time-based
+// drip guarantees eventual recovery even without traffic. An empty
+// bucket means the backend fleet is failing faster than it is serving;
+// retrying harder at that point is how brownouts become blackouts.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	last   time.Time // last refill timestamp
+}
+
+// refillPerSuccess is the token fraction returned per successful
+// completion; timeRefillPerSec is the unconditional drip.
+const (
+	refillPerSuccess = 0.5
+	timeRefillPerSec = 1.0
+)
+
+func newRetryBudget(max int) *retryBudget {
+	if max < 0 {
+		return nil // disabled
+	}
+	if max == 0 {
+		max = DefaultRetryBudget
+	}
+	return &retryBudget{tokens: float64(max), max: float64(max), last: time.Now()}
+}
+
+// drip applies the time-based refill; callers hold mu.
+func (b *retryBudget) drip(now time.Time) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * timeRefillPerSec
+		if b.tokens > b.max {
+			b.tokens = b.max
+		}
+	}
+	b.last = now
+}
+
+// take consumes one token for a retry, reporting false (and consuming
+// nothing) when the bucket is empty.
+func (b *retryBudget) take() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.drip(time.Now())
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// success refills the bucket after a successful completion.
+func (b *retryBudget) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.drip(time.Now())
+	b.tokens += refillPerSuccess
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// level returns the current (whole) token count, for Stats.
+func (b *retryBudget) level() int {
+	if b == nil {
+		return -1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.drip(time.Now())
+	return int(b.tokens)
+}
+
 // classifyCompleteErr decides what a Client.Complete error means for a
 // retry loop. It returns retry=true after consuming budget accounting
 // and backoff for a transient error; abortErr non-nil when the error
-// (or the backoff) hit cancellation and must be returned raw; and
-// (false, nil) for permanent errors, which the caller wraps in its own
-// error type and fails fast on — only failures marked with
-// llm.MarkTransient are worth resending the same prompt for.
+// (or the backoff) hit cancellation — or the engine-wide retry budget
+// ran dry — and must be returned raw; and (false, nil) for permanent
+// errors, which the caller wraps in its own error type and fails fast
+// on — only failures marked with llm.MarkTransient are worth resending
+// the same prompt for.
 func (e *Engine) classifyCompleteErr(ctx context.Context, err error, attempt, budget int, streak *int) (retry bool, abortErr error) {
 	if llm.IsCancellation(err) || ctx.Err() != nil {
 		return false, err // the caller is gone; retrying cannot help
@@ -135,7 +256,15 @@ func (e *Engine) classifyCompleteErr(ctx context.Context, err error, attempt, bu
 	e.stats.transientRetries.Add(1)
 	e.logf("core: attempt %d failed (llm-error: %v); retrying", attempt+1, err)
 	if attempt+1 < budget {
-		if berr := e.backoff(ctx, *streak); berr != nil {
+		// A token is taken only when another attempt will actually be
+		// sent; the final attempt of a call consumes nothing extra.
+		if !e.retries.take() {
+			e.stats.retryBudgetExhausted.Add(1)
+			e.logf("core: retry budget exhausted; failing fast")
+			return false, llm.MarkTransient(fmt.Errorf("%w (after attempt %d: %v)", ErrRetryBudgetExhausted, attempt+1, err))
+		}
+		hint, _ := llm.RetryAfterHint(err)
+		if berr := e.backoff(ctx, *streak, hint); berr != nil {
 			return false, berr
 		}
 	}
@@ -147,8 +276,11 @@ func (e *Engine) classifyCompleteErr(ctx context.Context, err error, attempt, bu
 // consecutive transient failures so far), respecting ctx. Without it, a
 // backend outage would turn every call into an immediate burst of
 // budget+1 attempts — multiplied by the router's backend count — against
-// backends that are already failing.
-func (e *Engine) backoff(ctx context.Context, n int) error {
+// backends that are already failing. The delay is full-jitter: uniform
+// in [0, base<<n), so concurrent callers that failed together do not
+// retry together. A positive hint (the backend's own Retry-After) is
+// used verbatim instead, capped at maxRetryAfterHint.
+func (e *Engine) backoff(ctx context.Context, n int, hint time.Duration) error {
 	base := e.opts.RetryBackoff
 	if base < 0 {
 		return nil
@@ -160,7 +292,16 @@ func (e *Engine) backoff(ctx context.Context, n int) error {
 	if shift > 5 {
 		shift = 5 // cap at 32x base
 	}
-	t := time.NewTimer(base << shift)
+	d := base << shift
+	if hint > 0 {
+		d = hint
+		if d > maxRetryAfterHint {
+			d = maxRetryAfterHint
+		}
+	} else if d > 1 {
+		d = time.Duration(rand.Int64N(int64(d))) // full jitter
+	}
+	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
@@ -175,6 +316,8 @@ type Engine struct {
 	opts    Options
 	stats   engineStats
 	answers *answerCache // nil when caching is disabled
+	retries *retryBudget // nil when the budget is disabled
+	shealth storeHealth
 }
 
 // NewEngine validates opts and returns an engine.
@@ -191,7 +334,7 @@ func NewEngine(opts Options) (*Engine, error) {
 		t := *opts.Temperature
 		opts.Temperature = &t
 	}
-	e := &Engine{opts: opts}
+	e := &Engine{opts: opts, retries: newRetryBudget(opts.RetryBudget)}
 	if opts.AnswerCacheSize >= 0 {
 		size := opts.AnswerCacheSize
 		if size == 0 {
@@ -293,6 +436,7 @@ func (e *Engine) AskDirect(ctx context.Context, tpl *template.Template, args map
 			lastErr = err
 			continue
 		}
+		e.retries.success()
 		transientStreak = 0
 		info.Latency += resp.Latency
 		info.Usage.PromptTokens += resp.Usage.PromptTokens

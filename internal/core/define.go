@@ -365,6 +365,7 @@ func (f *Func) compileOnce(ctx context.Context) (*CompileInfo, error) {
 			lastErr = err
 			continue
 		}
+		e.retries.success()
 		transientStreak = 0
 		info.CompileTime += resp.Latency
 

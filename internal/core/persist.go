@@ -4,12 +4,102 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/jsonx"
 	"repro/internal/llm"
 	"repro/internal/prompt"
 	"repro/internal/store"
 )
+
+// Store-degradation knobs: after storeFailThreshold consecutive store
+// I/O failures the engine demotes to in-memory-only for storeCooldown,
+// then lets one probe operation through; a failing probe re-demotes
+// after a single failure, a success restores full persistence.
+const (
+	storeFailThreshold = 3
+	storeCooldown      = 5 * time.Second
+)
+
+// storeHealth tracks whether the persistence tier is trustworthy. The
+// engine never fails a call on a store error — persistence is an
+// optimization — but a disk that fails every write should not be paid
+// a syscall + serialization tax on every call either, so repeated
+// failures demote the engine to in-memory-only until a cooldown probe
+// succeeds.
+type storeHealth struct {
+	mu       sync.Mutex
+	fails    int       // consecutive failures
+	until    time.Time // degraded until (probe allowed after)
+	degraded bool
+}
+
+// storeAvailable reports whether store operations should be attempted
+// right now. While degraded it returns false until the cooldown
+// expires, then true exactly once per cooldown (the probe): the probe
+// op's outcome, reported via noteStoreResult, decides recovery.
+func (e *Engine) storeAvailable() bool {
+	if e.opts.Store == nil {
+		return false
+	}
+	h := &e.shealth
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.degraded {
+		return true
+	}
+	now := time.Now()
+	if now.Before(h.until) {
+		return false
+	}
+	// Cooldown over: admit one probe, and push the window out so a
+	// burst of concurrent calls does not all probe a still-dead disk.
+	h.until = now.Add(storeCooldown)
+	h.fails = storeFailThreshold - 1 // one more failure re-demotes
+	return true
+}
+
+// noteStoreResult records a store operation's outcome for degradation
+// tracking. ErrMiss is health-neutral-positive (the store answered; it
+// just has no artifact) and ErrClosed is ignored (shutdown, not
+// sickness); any other error counts toward demotion.
+func (e *Engine) noteStoreResult(err error) {
+	h := &e.shealth
+	if err == nil || errors.Is(err, store.ErrMiss) {
+		h.mu.Lock()
+		if h.degraded {
+			e.logf("core: store recovered; persistence re-enabled")
+		}
+		h.fails = 0
+		h.degraded = false
+		h.mu.Unlock()
+		return
+	}
+	if errors.Is(err, store.ErrClosed) {
+		return
+	}
+	e.stats.storeErrors.Add(1)
+	h.mu.Lock()
+	h.fails++
+	if h.fails >= storeFailThreshold && !h.degraded {
+		h.degraded = true
+		h.until = time.Now().Add(storeCooldown)
+		e.stats.storeDegradedTrips.Add(1)
+		e.logf("core: store failing (%d consecutive errors); degrading to in-memory-only", h.fails)
+	} else if h.fails >= storeFailThreshold {
+		h.until = time.Now().Add(storeCooldown)
+	}
+	h.mu.Unlock()
+}
+
+// storeDegraded reports the current degradation state, for Stats.
+func (e *Engine) storeDegraded() bool {
+	h := &e.shealth
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.degraded
+}
 
 // EngineVersion stamps every persisted artifact and answer snapshot
 // with the engine + prompt revision that produced it. Bump it whenever
@@ -56,8 +146,15 @@ func (f *Func) loadStored(ctx context.Context) *CompileInfo {
 	if st == nil {
 		return nil
 	}
+	if !e.storeAvailable() {
+		// Degraded: the store has been failing; don't pay for a probe on
+		// every call. The cooldown probe in storeAvailable re-admits it.
+		e.stats.storeMisses.Add(1)
+		return nil
+	}
 	key := f.storeKey()
 	art, err := st.Load(key)
+	e.noteStoreResult(err)
 	if err != nil {
 		if !errors.Is(err, store.ErrMiss) {
 			e.logf("core: artifact store load for %s: %v", f.name, err)
@@ -100,6 +197,10 @@ func (f *Func) saveStored(info *CompileInfo) {
 	if st == nil {
 		return
 	}
+	if !e.storeAvailable() {
+		e.logf("core: store degraded; artifact for %s kept in memory only", f.name)
+		return
+	}
 	validation := make([]store.ValidationRecord, len(f.tests))
 	for i, t := range f.tests {
 		validation[i] = store.ValidationRecord{Input: t.Input, Output: t.Output}
@@ -111,7 +212,9 @@ func (f *Func) saveStored(info *CompileInfo) {
 		Attempts:   info.Attempts,
 		Validation: validation,
 	}
-	if err := st.Save(f.storeKey(), art); err != nil {
+	err := st.Save(f.storeKey(), art)
+	e.noteStoreResult(err)
+	if err != nil {
 		e.logf("core: artifact store save for %s: %v", f.name, err)
 	}
 }
@@ -137,7 +240,11 @@ func (e *Engine) SnapshotAnswers() (int, error) {
 		return 0, ErrAnswersDisabled
 	}
 	recs := e.answers.snapshot()
-	if err := e.opts.Store.SaveAnswers(EngineVersion, recs); err != nil {
+	// Snapshots are attempted even while degraded: this is the shutdown
+	// path's one chance at warm-start state, worth one write either way.
+	err := e.opts.Store.SaveAnswers(EngineVersion, recs)
+	e.noteStoreResult(err)
+	if err != nil {
 		return 0, err
 	}
 	return len(recs), nil

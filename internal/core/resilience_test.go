@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/store"
+	"repro/internal/template"
+	"repro/internal/types"
+)
+
+// TestRetryBudgetExhaustionClassifiedTransient verifies the
+// engine-wide retry budget: once the token pool is empty, a transient
+// client error is not retried — the call fails fast with an error that
+// is both errors.Is-identifiable and classified transient (so the
+// serving tier maps it to a retryable 503, not a 500).
+func TestRetryBudgetExhaustionClassifiedTransient(t *testing.T) {
+	transient := llm.MarkTransient(errors.New("backend down"))
+	client := newFlakyClient(noiselessSim(7), transient, 1<<30)
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4",
+		MaxRetries: 9, RetryBudget: 2, RetryBackoff: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := template.MustParse("Reverse the string {{s}}.")
+	_, info, err := e.AskDirect(context.Background(), tpl, map[string]any{"s": "x"}, types.Str, nil)
+	if !errors.Is(err, ErrRetryBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrRetryBudgetExhausted", err)
+	}
+	if !llm.IsTransient(err) {
+		t.Fatal("budget-exhaustion error must be classified transient")
+	}
+	// 1 initial attempt + 2 budgeted retries; the third retry had no
+	// token and aborted before sending.
+	if info.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (budget of 2 retry tokens)", info.Attempts)
+	}
+	s := e.Stats()
+	if s.RetryBudgetExhausted != 1 {
+		t.Errorf("RetryBudgetExhausted = %d, want 1", s.RetryBudgetExhausted)
+	}
+	if s.RetryBudgetTokens != 0 {
+		t.Errorf("RetryBudgetTokens = %d, want 0", s.RetryBudgetTokens)
+	}
+}
+
+// TestRetryBudgetRecoversByDrip verifies automatic recovery: an empty
+// bucket refills on the time drip alone, so the engine resumes
+// retrying once the outage pressure stops — no operator action.
+func TestRetryBudgetRecoversByDrip(t *testing.T) {
+	transient := llm.MarkTransient(errors.New("backend down"))
+	client := newFlakyClient(noiselessSim(7), transient, 2)
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4",
+		MaxRetries: 9, RetryBudget: 1, RetryBackoff: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := template.MustParse("Reverse the string {{s}}.")
+	// Drain the single token (fails twice, one retry token available).
+	_, _, err = e.AskDirect(context.Background(), tpl, map[string]any{"s": "x"}, types.Str, nil)
+	if !errors.Is(err, ErrRetryBudgetExhausted) {
+		t.Fatalf("err = %v, want exhaustion", err)
+	}
+	// The drip refills 1 token/second; after ~1.1s the same call (now
+	// against a healthy client) retries and succeeds.
+	time.Sleep(1100 * time.Millisecond)
+	client.left.Store(1) // one more transient failure, then success
+	v, _, err := e.AskDirect(context.Background(), tpl, map[string]any{"s": "ab"}, types.Str, nil)
+	if err != nil {
+		t.Fatalf("post-recovery call: %v", err)
+	}
+	if v != "ba" {
+		t.Errorf("v = %v, want \"ba\"", v)
+	}
+}
+
+// TestRetryAfterHintOverridesBackoff verifies the 429-envelope path: a
+// transient error carrying a Retry-After hint delays the retry by the
+// hint, not by the (much shorter, jittered) computed backoff.
+func TestRetryAfterHintOverridesBackoff(t *testing.T) {
+	hinted := llm.WithRetryAfter(errors.New("rate limited"), 60*time.Millisecond)
+	client := newFlakyClient(noiselessSim(7), hinted, 1)
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4",
+		MaxRetries: 3, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := template.MustParse("Reverse the string {{s}}.")
+	start := time.Now()
+	_, info, err := e.AskDirect(context.Background(), tpl, map[string]any{"s": "x"}, types.Str, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", info.Attempts)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("retry after %v, want >= ~60ms (the backend's hint)", elapsed)
+	}
+}
+
+// failingBackend is a store.Backend whose every I/O operation fails —
+// the disk that died under the daemon.
+type failingBackend struct{}
+
+var errDisk = errors.New("I/O error (injected)")
+
+func (failingBackend) Load(store.Key) (*store.Artifact, error)        { return nil, errDisk }
+func (failingBackend) Save(store.Key, *store.Artifact) error          { return errDisk }
+func (failingBackend) Invalidate(store.Key)                           {}
+func (failingBackend) SaveAnswers(string, []store.AnswerRecord) error { return errDisk }
+func (failingBackend) LoadAnswers(string) []store.AnswerRecord        { return nil }
+func (failingBackend) Dir() string                                    { return "" }
+func (failingBackend) Close() error                                   { return nil }
+
+// TestStoreDegradationDemotesToMemory verifies that a store failing
+// every operation never fails a call: after storeFailThreshold
+// consecutive errors the engine demotes to in-memory-only
+// (StoreDegraded), stops paying for store I/O, and keeps serving.
+func TestStoreDegradationDemotesToMemory(t *testing.T) {
+	client := &countingClient{inner: noiselessSim(42)}
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4", Store: failingBackend{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each compile costs one failing Load (+ one failing Save while not
+	// yet degraded); two compiles cross the threshold of 3.
+	for i, tplSrc := range []string{
+		"Calculate the factorial of {{n}}.",
+		"Find the factorial of {{n}}.",
+	} {
+		f, err := e.Define(types.Float, tplSrc,
+			WithParamTypes([]types.Field{{Name: "n", Type: types.Float}}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Compile(context.Background()); err != nil {
+			t.Fatalf("compile %d over a dead store must succeed in-memory: %v", i, err)
+		}
+	}
+	s := e.Stats()
+	if !s.StoreDegraded {
+		t.Error("engine not degraded after repeated store failures")
+	}
+	if s.StoreDegradedTrips != 1 {
+		t.Errorf("StoreDegradedTrips = %d, want 1", s.StoreDegradedTrips)
+	}
+	if s.StoreErrors < uint64(storeFailThreshold) {
+		t.Errorf("StoreErrors = %d, want >= %d", s.StoreErrors, storeFailThreshold)
+	}
+	// Degraded persistence must not leak into the serving path.
+	f, err := e.Define(types.Float, "Calculate the sum of the digits of {{n}}.",
+		WithParamTypes([]types.Field{{Name: "n", Type: types.Float}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errsBefore := e.Stats().StoreErrors
+	if _, err := f.Compile(context.Background()); err != nil {
+		t.Fatalf("compile while degraded: %v", err)
+	}
+	if got := e.Stats().StoreErrors; got != errsBefore {
+		t.Errorf("degraded engine still paid store I/O (%d -> %d errors)", errsBefore, got)
+	}
+}

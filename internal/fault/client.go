@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/llm"
+)
+
+// ClientPlan sets the per-call injection rates for a wrapped
+// llm.Client. Rates are probabilities in [0, 1]; zero disables that
+// fault class. Fault classes are drawn in a fixed order (hang,
+// transient, permanent, then — around a real completion — latency,
+// truncation, garbling) and at most one of hang/transient/permanent
+// fires per call.
+type ClientPlan struct {
+	// HangRate blocks the call until its context is canceled — the
+	// upstream that accepts a request and never answers. The caller's
+	// timeout or a hedged sibling is the only way out.
+	HangRate float64
+	// TransientRate fails the call with an llm.MarkTransient error
+	// before any model work, like a connection reset or 503.
+	TransientRate float64
+	// RetryAfter, when positive, is attached (llm.WithRetryAfter) to
+	// half of the injected transient errors — the 429-with-header case.
+	RetryAfter time.Duration
+	// PermanentRate fails the call with an unclassified error (auth
+	// failure, malformed request): retrying must not help.
+	PermanentRate float64
+	// LatencyRate adds Latency to the response's (virtual) model
+	// latency, simulating a slow completion without stalling the
+	// wall-clock harness.
+	LatencyRate float64
+	Latency     time.Duration
+	// TruncateRate cuts the completion text mid-stream, like a
+	// connection dropped halfway through a streamed response.
+	TruncateRate float64
+	// GarbleRate corrupts the completion's JSON structure, like a
+	// model emitting malformed output.
+	GarbleRate float64
+}
+
+// ClientStats counts the faults a Client actually injected.
+type ClientStats struct {
+	Calls      uint64
+	Hangs      uint64
+	Transients uint64
+	Permanents uint64
+	Latencies  uint64
+	Truncated  uint64
+	Garbled    uint64
+}
+
+// Client wraps an llm.Client with schedule-driven fault injection.
+type Client struct {
+	base  llm.Client
+	plan  ClientPlan
+	sched *Schedule
+
+	calls      atomic.Uint64
+	hangs      atomic.Uint64
+	transients atomic.Uint64
+	permanents atomic.Uint64
+	latencies  atomic.Uint64
+	truncated  atomic.Uint64
+	garbled    atomic.Uint64
+}
+
+// WrapClient wraps base; sched may be shared with other wrappers.
+func WrapClient(base llm.Client, plan ClientPlan, sched *Schedule) *Client {
+	return &Client{base: base, plan: plan, sched: sched}
+}
+
+var _ llm.Client = (*Client)(nil)
+
+// ErrInjectedTransient and ErrInjectedPermanent are the base errors of
+// injected failures, so tests and harnesses can tell injected faults
+// from organic ones with errors.Is.
+var (
+	ErrInjectedTransient = errors.New("fault: injected transient failure")
+	ErrInjectedPermanent = errors.New("fault: injected permanent failure")
+)
+
+// Complete implements llm.Client.
+func (c *Client) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	c.calls.Add(1)
+	if c.sched.Hit(c.plan.HangRate) {
+		c.hangs.Add(1)
+		<-ctx.Done()
+		return llm.Response{}, ctx.Err()
+	}
+	if c.sched.Hit(c.plan.TransientRate) {
+		c.transients.Add(1)
+		if c.plan.RetryAfter > 0 && c.sched.Hit(0.5) {
+			return llm.Response{}, llm.WithRetryAfter(ErrInjectedTransient, c.plan.RetryAfter)
+		}
+		return llm.Response{}, llm.MarkTransient(ErrInjectedTransient)
+	}
+	if c.sched.Hit(c.plan.PermanentRate) {
+		c.permanents.Add(1)
+		return llm.Response{}, ErrInjectedPermanent
+	}
+	resp, err := c.base.Complete(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	if c.sched.Hit(c.plan.LatencyRate) {
+		c.latencies.Add(1)
+		resp.Latency += c.plan.Latency
+	}
+	if c.sched.Hit(c.plan.TruncateRate) {
+		c.truncated.Add(1)
+		resp.Text = resp.Text[:c.sched.Intn(len(resp.Text)+1)]
+	}
+	if c.sched.Hit(c.plan.GarbleRate) {
+		c.garbled.Add(1)
+		resp.Text = garble(resp.Text)
+	}
+	return resp, nil
+}
+
+// garble destroys the JSON structure of a completion without changing
+// its length much — the shape of a model emitting syntactically broken
+// output (or a response corrupted in flight past the HTTP layer).
+func garble(text string) string {
+	r := strings.NewReplacer("{", "<", "}", ">", "\"", "'")
+	return r.Replace(text)
+}
+
+// Stats returns what has been injected so far.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Calls:      c.calls.Load(),
+		Hangs:      c.hangs.Load(),
+		Transients: c.transients.Load(),
+		Permanents: c.permanents.Load(),
+		Latencies:  c.latencies.Load(),
+		Truncated:  c.truncated.Load(),
+		Garbled:    c.garbled.Load(),
+	}
+}

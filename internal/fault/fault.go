@@ -1,0 +1,72 @@
+// Package fault is the deterministic fault-injection layer for the
+// askit serving stack. It wraps the three trust boundaries the engine
+// depends on — the LLM client (Client), the artifact store (Store),
+// and the HTTP transport/listener (RoundTripper, Listener) — and makes
+// each misbehave at seeded, replayable rates: injected latency,
+// transient and permanent errors, garbled or truncated completions,
+// hangs, torn writes, read corruption, connection resets.
+//
+// Every wrapper draws its failure decisions from a Schedule, a seeded
+// PRNG behind a mutex: the same seed yields the same decision sequence,
+// so a chaos run that found a bug replays exactly (single-threaded), and
+// under concurrency the multiset of injected faults is still fully
+// seed-determined. Nothing in this package fails on its own schedule's
+// clock — wrappers only act when the wrapped operation is invoked, so
+// injection is proportional to real traffic.
+//
+// The package injects faults; it never hides them. A wrapped operation
+// that the plan spares behaves byte-for-byte like the unwrapped one.
+package fault
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Schedule is a seeded source of fault decisions, safe for concurrent
+// use. All wrappers sharing one Schedule draw from one decision stream.
+type Schedule struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	ops uint64
+}
+
+// NewSchedule returns a schedule seeded with seed.
+func NewSchedule(seed int64) *Schedule {
+	return &Schedule{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Hit draws one Bernoulli decision with probability p. p <= 0 never
+// hits (and consumes no draw, keeping unused fault classes out of the
+// decision stream); p >= 1 always hits but still consumes a draw.
+func (s *Schedule) Hit(p float64) bool {
+	if s == nil || p <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	return s.rng.Float64() < p
+}
+
+// Intn draws a uniform int in [0, n); n <= 1 returns 0 without a draw.
+func (s *Schedule) Intn(n int) int {
+	if s == nil || n <= 1 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	return s.rng.Intn(n)
+}
+
+// Ops reports how many decisions have been drawn — a cheap way for
+// tests to assert two runs consumed identical schedules.
+func (s *Schedule) Ops() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops
+}

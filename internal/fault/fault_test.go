@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/store"
+)
+
+// TestScheduleDeterminism: the whole point of a seeded schedule is
+// replay — two schedules with one seed must agree on every decision,
+// and a different seed must (for this seed pair) diverge.
+func TestScheduleDeterminism(t *testing.T) {
+	draw := func(s *Schedule) []bool {
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = s.Hit(0.3)
+		}
+		return out
+	}
+	a, b := draw(NewSchedule(7)), draw(NewSchedule(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := draw(NewSchedule(8))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+	if NewSchedule(7).Ops() != 0 {
+		t.Fatal("fresh schedule has nonzero ops")
+	}
+}
+
+// TestScheduleZeroRateConsumesNoDraw: a zero-rate fault class must not
+// perturb the sequence, so adding a disabled class to a plan cannot
+// shift every later decision of a replayed run.
+func TestScheduleZeroRateConsumesNoDraw(t *testing.T) {
+	a, b := NewSchedule(3), NewSchedule(3)
+	for i := 0; i < 50; i++ {
+		a.Hit(0) // disabled class, must be draw-free
+		if a.Hit(0.4) != b.Hit(0.4) {
+			t.Fatalf("zero-rate Hit consumed a draw (diverged at %d)", i)
+		}
+	}
+}
+
+// echoClient returns its prompt as the completion, so corruption is
+// observable.
+type echoClient struct{ calls int }
+
+func (c *echoClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	c.calls++
+	return llm.Response{Text: `{"answer": 42}`, Latency: time.Millisecond}, nil
+}
+
+// TestClientInjection drives a wrapped client at full rates and checks
+// each fault class does what it says.
+func TestClientInjection(t *testing.T) {
+	t.Run("transient", func(t *testing.T) {
+		base := &echoClient{}
+		c := WrapClient(base, ClientPlan{TransientRate: 1}, NewSchedule(1))
+		_, err := c.Complete(context.Background(), llm.Request{})
+		if !errors.Is(err, ErrInjectedTransient) || !llm.IsTransient(err) {
+			t.Fatalf("err = %v, want injected transient", err)
+		}
+		if base.calls != 0 {
+			t.Fatal("transient fault reached the base client")
+		}
+		if s := c.Stats(); s.Transients != 1 || s.Calls != 1 {
+			t.Fatalf("stats = %+v", s)
+		}
+	})
+
+	t.Run("transient with retry-after", func(t *testing.T) {
+		c := WrapClient(&echoClient{}, ClientPlan{TransientRate: 1, RetryAfter: 80 * time.Millisecond}, NewSchedule(1))
+		sawHint := false
+		for i := 0; i < 20 && !sawHint; i++ {
+			_, err := c.Complete(context.Background(), llm.Request{})
+			if _, ok := llm.RetryAfterHint(err); ok {
+				sawHint = true
+			}
+		}
+		if !sawHint {
+			t.Fatal("no injected transient carried the Retry-After hint")
+		}
+	})
+
+	t.Run("permanent", func(t *testing.T) {
+		c := WrapClient(&echoClient{}, ClientPlan{PermanentRate: 1}, NewSchedule(1))
+		_, err := c.Complete(context.Background(), llm.Request{})
+		if !errors.Is(err, ErrInjectedPermanent) {
+			t.Fatalf("err = %v", err)
+		}
+		if llm.IsTransient(err) {
+			t.Fatal("permanent fault must not be classified transient")
+		}
+	})
+
+	t.Run("hang respects context", func(t *testing.T) {
+		c := WrapClient(&echoClient{}, ClientPlan{HangRate: 1}, NewSchedule(1))
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		_, err := c.Complete(ctx, llm.Request{})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v", err)
+		}
+		if time.Since(start) < 15*time.Millisecond {
+			t.Fatal("hang returned before the context expired")
+		}
+	})
+
+	t.Run("latency is virtual", func(t *testing.T) {
+		c := WrapClient(&echoClient{}, ClientPlan{LatencyRate: 1, Latency: time.Hour}, NewSchedule(1))
+		start := time.Now()
+		resp, err := c.Complete(context.Background(), llm.Request{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Latency < time.Hour {
+			t.Fatalf("latency = %v, want >= 1h injected", resp.Latency)
+		}
+		if time.Since(start) > time.Second {
+			t.Fatal("virtual latency stalled the wall clock")
+		}
+	})
+
+	t.Run("garble breaks JSON", func(t *testing.T) {
+		c := WrapClient(&echoClient{}, ClientPlan{GarbleRate: 1}, NewSchedule(1))
+		resp, err := c.Complete(context.Background(), llm.Request{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.ContainsAny(resp.Text, "{}\"") {
+			t.Fatalf("garbled text still structurally valid: %q", resp.Text)
+		}
+	})
+
+	t.Run("truncate shortens", func(t *testing.T) {
+		c := WrapClient(&echoClient{}, ClientPlan{TruncateRate: 1}, NewSchedule(1))
+		full := len(`{"answer": 42}`)
+		shorter := false
+		for i := 0; i < 50 && !shorter; i++ {
+			resp, err := c.Complete(context.Background(), llm.Request{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Text) < full {
+				shorter = true
+			}
+		}
+		if !shorter {
+			t.Fatal("truncation never shortened the completion")
+		}
+	})
+}
+
+// TestStoreTornWriteIsACleanMiss is the end-to-end corruption story:
+// an injected torn write reports success to the writer, yet the store's
+// integrity checks make the next Load a clean miss — never a parsed,
+// half-written artifact.
+func TestStoreTornWriteIsACleanMiss(t *testing.T) {
+	base, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	fs := WrapStore(base, StorePlan{TornWriteRate: 1}, NewSchedule(1))
+
+	key := store.Key{Engine: "askit-go/1", Signature: "sig", Slug: "torn"}
+	art := &store.Artifact{
+		FuncName: "torn",
+		Source:   strings.Repeat("export function torn(): number { return 1; }\n", 8),
+		LOC:      8,
+	}
+	if err := fs.Save(key, art); err != nil {
+		t.Fatalf("torn Save must still report success: %v", err)
+	}
+	if got := fs.Stats().TornWrites; got != 1 {
+		t.Fatalf("torn writes = %d, want 1", got)
+	}
+	if _, err := fs.Load(key); !errors.Is(err, store.ErrMiss) {
+		t.Fatalf("Load after torn write = %v, want ErrMiss", err)
+	}
+}
+
+// TestStoreReadFaults covers the Load-side injections: I/O errors are
+// distinguishable from misses, and corrupt reads return an artifact
+// whose checksum no longer matches its source.
+func TestStoreReadFaults(t *testing.T) {
+	base, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	key := store.Key{Engine: "askit-go/1", Signature: "sig", Slug: "read"}
+	art := &store.Artifact{FuncName: "read", Source: "export function read(): number { return 2; }\n", LOC: 1}
+	if err := base.Save(key, art); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("io error", func(t *testing.T) {
+		fs := WrapStore(base, StorePlan{ReadErrRate: 1}, NewSchedule(1))
+		_, err := fs.Load(key)
+		if !errors.Is(err, ErrInjectedIO) {
+			t.Fatalf("err = %v, want ErrInjectedIO", err)
+		}
+		if errors.Is(err, store.ErrMiss) {
+			t.Fatal("injected I/O error must not be a plain miss")
+		}
+	})
+
+	t.Run("corrupt read fails checksum", func(t *testing.T) {
+		fs := WrapStore(base, StorePlan{CorruptReadRate: 1}, NewSchedule(1))
+		got, err := fs.Load(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Checksum == store.Checksum(got.Source) {
+			t.Fatal("corrupt read left checksum consistent — undetectable")
+		}
+		// The base store's on-disk copy must be untouched.
+		clean, err := base.Load(key)
+		if err != nil || clean.Source != art.Source {
+			t.Fatalf("base store corrupted: %v %v", clean, err)
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// NetPlan sets the injection rates for HTTP traffic (RoundTripper,
+// client side) and raw connections (Listener, server side).
+type NetPlan struct {
+	// ResetRate fails the request/connection with a connection-reset
+	// style error.
+	ResetRate float64
+	// StallRate delays the request (or the accepted connection's first
+	// read) by StallFor of real wall-clock time.
+	StallRate float64
+	StallFor  time.Duration
+	// TruncateRate cuts the response body short of its declared
+	// Content-Length (RoundTripper) or closes the connection after a
+	// bounded number of bytes (Listener), so the peer sees an
+	// unexpected EOF mid-message.
+	TruncateRate float64
+}
+
+// NetStats counts the faults actually injected on the network path.
+type NetStats struct {
+	Requests  uint64
+	Resets    uint64
+	Stalls    uint64
+	Truncated uint64
+}
+
+// ErrInjectedReset is the base error of injected connection resets.
+var ErrInjectedReset = errors.New("fault: injected connection reset")
+
+// RoundTripper wraps an http.RoundTripper with schedule-driven fault
+// injection on the client side of askitd traffic.
+type RoundTripper struct {
+	base  http.RoundTripper
+	plan  NetPlan
+	sched *Schedule
+
+	requests  atomic.Uint64
+	resets    atomic.Uint64
+	stalls    atomic.Uint64
+	truncated atomic.Uint64
+}
+
+// WrapRoundTripper wraps base (nil means http.DefaultTransport).
+func WrapRoundTripper(base http.RoundTripper, plan NetPlan, sched *Schedule) *RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &RoundTripper{base: base, plan: plan, sched: sched}
+}
+
+var _ http.RoundTripper = (*RoundTripper)(nil)
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.requests.Add(1)
+	if rt.sched.Hit(rt.plan.ResetRate) {
+		rt.resets.Add(1)
+		return nil, ErrInjectedReset
+	}
+	if rt.plan.StallFor > 0 && rt.sched.Hit(rt.plan.StallRate) {
+		rt.stalls.Add(1)
+		select {
+		case <-time.After(rt.plan.StallFor):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := rt.base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if resp.ContentLength > 1 && rt.sched.Hit(rt.plan.TruncateRate) {
+		rt.truncated.Add(1)
+		// Keep the declared Content-Length, deliver fewer bytes: the
+		// reader hits io.ErrUnexpectedEOF mid-body, exactly like a
+		// connection dropped while streaming.
+		n := resp.ContentLength / 2
+		body := resp.Body
+		resp.Body = &truncatedBody{r: io.LimitReader(body, n), c: body}
+	}
+	return resp, nil
+}
+
+// Stats returns what has been injected so far.
+func (rt *RoundTripper) Stats() NetStats {
+	return NetStats{
+		Requests:  rt.requests.Load(),
+		Resets:    rt.resets.Load(),
+		Stalls:    rt.stalls.Load(),
+		Truncated: rt.truncated.Load(),
+	}
+}
+
+// truncatedBody yields a prefix of the real body, then reports the
+// abrupt end the way a dropped connection does.
+type truncatedBody struct {
+	r io.Reader
+	c io.Closer
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.c.Close() }
+
+// Listener wraps a net.Listener with schedule-driven connection
+// faults on the server side: accepted connections may stall before
+// their first read or die after a bounded number of written bytes.
+type Listener struct {
+	net.Listener
+	plan  NetPlan
+	sched *Schedule
+
+	accepts   atomic.Uint64
+	resets    atomic.Uint64
+	stalls    atomic.Uint64
+	truncated atomic.Uint64
+}
+
+// WrapListener wraps base; sched may be shared with other wrappers.
+func WrapListener(base net.Listener, plan NetPlan, sched *Schedule) *Listener {
+	return &Listener{Listener: base, plan: plan, sched: sched}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return conn, err
+	}
+	l.accepts.Add(1)
+	fc := &faultConn{Conn: conn}
+	if l.sched.Hit(l.plan.ResetRate) {
+		l.resets.Add(1)
+		fc.resetNow = true
+	}
+	if l.plan.StallFor > 0 && l.sched.Hit(l.plan.StallRate) {
+		l.stalls.Add(1)
+		fc.stall = l.plan.StallFor
+	}
+	if l.sched.Hit(l.plan.TruncateRate) {
+		l.truncated.Add(1)
+		// Die mid-response: allow a bounded number of written bytes,
+		// enough for headers to depart but not a full body.
+		fc.writeBudget = int64(64 + l.sched.Intn(192))
+	}
+	return fc, nil
+}
+
+// Stats returns what has been injected so far.
+func (l *Listener) Stats() NetStats {
+	return NetStats{
+		Requests:  l.accepts.Load(),
+		Resets:    l.resets.Load(),
+		Stalls:    l.stalls.Load(),
+		Truncated: l.truncated.Load(),
+	}
+}
+
+// faultConn is one accepted connection with its injected behavior.
+type faultConn struct {
+	net.Conn
+	resetNow    bool
+	stall       time.Duration
+	writeBudget int64 // 0 = unlimited; counts down when positive
+	limited     bool
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.resetNow {
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	if c.stall > 0 {
+		time.Sleep(c.stall)
+		c.stall = 0
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.resetNow {
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	if c.writeBudget > 0 {
+		c.limited = true
+		if int64(len(p)) > c.writeBudget {
+			p = p[:c.writeBudget]
+		}
+	}
+	n, err := c.Conn.Write(p)
+	if c.limited {
+		c.writeBudget -= int64(n)
+		if c.writeBudget <= 0 {
+			c.Conn.Close()
+			if err == nil {
+				err = ErrInjectedReset
+			}
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// StorePlan sets the injection rates for a wrapped store.Backend.
+type StorePlan struct {
+	// SaveFailRate fails Save (and SaveAnswers) with an I/O error
+	// before anything reaches disk.
+	SaveFailRate float64
+	// TornWriteRate lets Save succeed, then truncates the artifact
+	// file on disk to a prefix — the half-written file a crashed or
+	// fsync-less writer leaves behind. Save still reports success, as
+	// it would to a process that died after the syscall returned.
+	TornWriteRate float64
+	// ReadErrRate fails Load with an I/O error (not a miss).
+	ReadErrRate float64
+	// CorruptReadRate returns the loaded artifact with its Source
+	// bit-rotted — the corruption the store's own checksums cannot see
+	// because it happens after they were verified.
+	CorruptReadRate float64
+	// SlowRate stalls the operation for SlowFor (real wall-clock: slow
+	// disks are genuinely slow).
+	SlowRate float64
+	SlowFor  time.Duration
+}
+
+// StoreStats counts the faults a Store actually injected.
+type StoreStats struct {
+	SaveFails    uint64
+	TornWrites   uint64
+	ReadErrs     uint64
+	CorruptReads uint64
+	Slows        uint64
+}
+
+// ErrInjectedIO is the base error of injected store I/O failures.
+var ErrInjectedIO = errors.New("fault: injected store I/O error")
+
+// Store wraps a store.Backend with schedule-driven fault injection.
+// Torn writes require the base backend to be (or wrap) an on-disk
+// store whose Dir() is real; with an empty Dir they degrade to plain
+// save failures.
+type Store struct {
+	base  store.Backend
+	plan  StorePlan
+	sched *Schedule
+
+	saveFails    atomic.Uint64
+	tornWrites   atomic.Uint64
+	readErrs     atomic.Uint64
+	corruptReads atomic.Uint64
+	slows        atomic.Uint64
+}
+
+// WrapStore wraps base; sched may be shared with other wrappers.
+func WrapStore(base store.Backend, plan StorePlan, sched *Schedule) *Store {
+	return &Store{base: base, plan: plan, sched: sched}
+}
+
+var _ store.Backend = (*Store)(nil)
+
+func (s *Store) slow() {
+	if s.plan.SlowFor > 0 && s.sched.Hit(s.plan.SlowRate) {
+		s.slows.Add(1)
+		time.Sleep(s.plan.SlowFor)
+	}
+}
+
+// Load implements store.Backend.
+func (s *Store) Load(key store.Key) (*store.Artifact, error) {
+	s.slow()
+	if s.sched.Hit(s.plan.ReadErrRate) {
+		s.readErrs.Add(1)
+		return nil, ErrInjectedIO
+	}
+	art, err := s.base.Load(key)
+	if err != nil {
+		return art, err
+	}
+	if s.sched.Hit(s.plan.CorruptReadRate) {
+		s.corruptReads.Add(1)
+		cp := *art
+		cp.Source = garble(cp.Source) + "\n<bitrot>"
+		return &cp, nil
+	}
+	return art, nil
+}
+
+// Save implements store.Backend.
+func (s *Store) Save(key store.Key, art *store.Artifact) error {
+	s.slow()
+	if s.sched.Hit(s.plan.SaveFailRate) {
+		s.saveFails.Add(1)
+		return ErrInjectedIO
+	}
+	err := s.base.Save(key, art)
+	if err == nil && s.sched.Hit(s.plan.TornWriteRate) {
+		s.tornWrites.Add(1)
+		s.tear(key.Filename())
+	}
+	return err
+}
+
+// tear truncates the named file under the base store's directory to a
+// prefix, emulating the on-disk state after a crash mid-write. Errors
+// are ignored: a file that is already gone cannot be torn.
+func (s *Store) tear(name string) {
+	dir := s.base.Dir()
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name)
+	if info, err := os.Stat(path); err == nil && info.Size() > 1 {
+		_ = os.Truncate(path, info.Size()/2)
+	}
+}
+
+// Invalidate implements store.Backend (pass-through).
+func (s *Store) Invalidate(key store.Key) { s.base.Invalidate(key) }
+
+// SaveAnswers implements store.Backend.
+func (s *Store) SaveAnswers(engine string, answers []store.AnswerRecord) error {
+	s.slow()
+	if s.sched.Hit(s.plan.SaveFailRate) {
+		s.saveFails.Add(1)
+		return ErrInjectedIO
+	}
+	return s.base.SaveAnswers(engine, answers)
+}
+
+// LoadAnswers implements store.Backend (pass-through: the snapshot has
+// its own checksum envelope; corrupting it just restores nothing).
+func (s *Store) LoadAnswers(engine string) []store.AnswerRecord {
+	return s.base.LoadAnswers(engine)
+}
+
+// Dir implements store.Backend.
+func (s *Store) Dir() string { return s.base.Dir() }
+
+// Close implements store.Backend (pass-through; injection never blocks
+// shutdown).
+func (s *Store) Close() error { return s.base.Close() }
+
+// Stats returns what has been injected so far.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		SaveFails:    s.saveFails.Load(),
+		TornWrites:   s.tornWrites.Load(),
+		ReadErrs:     s.readErrs.Load(),
+		CorruptReads: s.corruptReads.Load(),
+		Slows:        s.slows.Load(),
+	}
+}

@@ -1,0 +1,161 @@
+package llm
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker defaults (RouterOptions zero values).
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerOpenFor   = time.Second
+)
+
+// breakerState is the classic three-state circuit breaker state.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-backend circuit breaker. Closed passes traffic and
+// counts consecutive failures; at the threshold it opens and the router
+// skips the backend, shedding load off a dying upstream instead of
+// feeding it retries. After openFor it half-opens: exactly one probe
+// request is admitted, and its outcome decides — success closes the
+// breaker, failure re-opens it for another openFor. Cancellation is
+// never an outcome: a caller hanging up says nothing about the backend.
+//
+// A nil *breaker is a disabled breaker: every method short-circuits to
+// the pass-through behavior.
+type breaker struct {
+	threshold int
+	openFor   time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	opens    uint64
+}
+
+func newBreaker(threshold int, openFor time.Duration) *breaker {
+	if threshold < 0 {
+		return nil // disabled
+	}
+	if threshold == 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if openFor <= 0 {
+		openFor = DefaultBreakerOpenFor
+	}
+	return &breaker{threshold: threshold, openFor: openFor}
+}
+
+// allow reports whether a request may hit the backend right now. probe
+// is true when the request was admitted as the single half-open probe;
+// the caller must settle it with onResult or, if it never reaches the
+// backend (e.g. the concurrency slot was unavailable), cancelProbe.
+func (b *breaker) allow(now time.Time) (ok, probe bool) {
+	if b == nil {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.openFor {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// cancelProbe returns an unused half-open probe slot.
+func (b *breaker) cancelProbe() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// onResult records a request outcome. Cancellation outcomes must not be
+// reported (the router filters them before calling).
+func (b *breaker) onResult(now time.Time, success bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		// Any success — probe or a straggler admitted before the open —
+		// proves the backend serves again.
+		b.state = breakerClosed
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		b.opens++
+		b.probing = false
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.opens++
+		}
+	case breakerOpen:
+		// A straggler admitted before the trip failed too; the clock is
+		// deliberately not refreshed — recovery probes stay on schedule.
+	}
+}
+
+// snapshot returns the displayed state ("off" when disabled) and the
+// open-transition count.
+func (b *breaker) snapshot(now time.Time) (state string, opens uint64) {
+	if b == nil {
+		return "off", 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.state
+	if s == breakerOpen && now.Sub(b.openedAt) >= b.openFor {
+		// Cosmetic: an open breaker past its cooldown would half-open on
+		// the next request; report it that way so operators reading
+		// Stats during a quiet period see "ready to probe", not "open".
+		s = breakerHalfOpen
+	}
+	return s.String(), b.opens
+}

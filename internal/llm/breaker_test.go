@@ -1,0 +1,231 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBreakerTransitions drives one backend through the full circuit:
+// closed → open (threshold failures) → fast-fail while open →
+// half-open probe failure → re-open → half-open probe success →
+// closed.
+func TestBreakerTransitions(t *testing.T) {
+	f := &fakeBackend{}
+	f.fail.Store(2)
+	r, err := NewRouterWithOptions(RouterOptions{
+		BreakerThreshold: 2,
+		BreakerOpenFor:   30 * time.Millisecond,
+		HedgeDelay:       -1,
+	}, Backend{Name: "only", Client: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Two failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Complete(ctx, Request{}); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	s := r.Stats()
+	if got := s.Backends[0].Breaker; got != "open" {
+		t.Fatalf("breaker = %q after threshold failures, want open", got)
+	}
+	if s.Backends[0].BreakerOpens != 1 {
+		t.Fatalf("opens = %d, want 1", s.Backends[0].BreakerOpens)
+	}
+
+	// While open: fail fast, classified transient, without touching the
+	// backend.
+	before := f.calls.Load()
+	_, err = r.Complete(ctx, Request{})
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("open-breaker error = %v, want transient", err)
+	}
+	if f.calls.Load() != before {
+		t.Fatal("open breaker let a request through")
+	}
+	if s := r.Stats(); s.BreakerFastFails != 1 {
+		t.Fatalf("fast-fails = %d, want 1", s.BreakerFastFails)
+	}
+
+	// After the open window, the single probe is admitted; it fails, so
+	// the breaker re-opens.
+	f.fail.Store(1)
+	time.Sleep(40 * time.Millisecond)
+	if _, err := r.Complete(ctx, Request{}); err == nil {
+		t.Fatal("probe should have failed")
+	}
+	if f.calls.Load() != before+1 {
+		t.Fatalf("probe calls = %d, want %d", f.calls.Load(), before+1)
+	}
+	s = r.Stats()
+	if got := s.Backends[0].Breaker; got != "open" {
+		t.Fatalf("breaker = %q after failed probe, want open", got)
+	}
+	if s.Backends[0].BreakerOpens != 2 {
+		t.Fatalf("opens = %d, want 2", s.Backends[0].BreakerOpens)
+	}
+
+	// Second probe succeeds: the breaker closes and traffic flows.
+	time.Sleep(40 * time.Millisecond)
+	if _, err := r.Complete(ctx, Request{}); err != nil {
+		t.Fatalf("recovery probe: %v", err)
+	}
+	if got := r.Stats().Backends[0].Breaker; got != "closed" {
+		t.Fatalf("breaker = %q after successful probe, want closed", got)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := r.Complete(ctx, Request{}); err != nil {
+			t.Fatalf("post-recovery call %d: %v", i, err)
+		}
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe verifies only one probe is admitted
+// per half-open window: a second request while the probe is in flight
+// is rejected, not queued behind a possibly-dead backend.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	f := &fakeBackend{block: make(chan struct{})}
+	f.fail.Store(1)
+	r, err := NewRouterWithOptions(RouterOptions{
+		BreakerThreshold: 1,
+		BreakerOpenFor:   10 * time.Millisecond,
+		HedgeDelay:       -1,
+	}, Backend{Client: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	close(f.block) // first (failing) call must not hang
+	if _, err := r.Complete(ctx, Request{}); err == nil {
+		t.Fatal("expected trip failure")
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	f.block = make(chan struct{}) // hold the probe in flight
+	probeDone := make(chan error, 1)
+	go func() {
+		_, err := r.Complete(ctx, Request{})
+		probeDone <- err
+	}()
+	// Wait for the probe to reach the backend, then a second request
+	// must fast-fail instead of becoming probe #2.
+	for i := 0; i < 200 && f.active.Load() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	before := f.calls.Load()
+	if _, err := r.Complete(ctx, Request{}); err == nil || !IsTransient(err) {
+		t.Fatalf("second half-open request = %v, want transient fast-fail", err)
+	}
+	if f.calls.Load() != before {
+		t.Fatal("second request reached the backend during a probe")
+	}
+	close(f.block)
+	if err := <-probeDone; err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if got := r.Stats().Backends[0].Breaker; got != "closed" {
+		t.Fatalf("breaker = %q after probe success, want closed", got)
+	}
+}
+
+// TestRouterHedgeWinsAndCancelsLoser verifies the hedge race: a
+// straggling primary is overtaken by a hedged attempt on the next
+// backend, the caller gets the hedge's answer, and the loser's context
+// is canceled so no goroutine (or backend slot) leaks.
+func TestRouterHedgeWinsAndCancelsLoser(t *testing.T) {
+	slow := &fakeBackend{block: make(chan struct{})} // blocks until ctx cancel
+	fast := &fakeBackend{}
+	slow.fail.Store(-1 << 30)
+	fast.fail.Store(-1 << 30)
+	r, err := NewRouterWithOptions(RouterOptions{
+		HedgeDelay:       3 * time.Millisecond,
+		BreakerThreshold: -1,
+	}, Backend{Name: "slow", Client: slow}, Backend{Name: "fast", Client: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First request starts the ring at "slow"; the hedge starts at
+	// "fast" and must win.
+	resp, err := r.Complete(context.Background(), Request{})
+	if err != nil {
+		t.Fatalf("hedged request: %v", err)
+	}
+	if resp.Text != "ok" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	s := r.Stats()
+	if s.Hedges != 1 || s.HedgeWins != 1 {
+		t.Fatalf("hedges = %d wins = %d, want 1/1", s.Hedges, s.HedgeWins)
+	}
+	// The loser's context must be canceled promptly — its Complete is
+	// blocked on ctx.Done(), so active draining to zero proves both the
+	// cancellation and the absence of a leaked goroutine.
+	deadline := time.Now().Add(2 * time.Second)
+	for slow.active.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("loser was never canceled (goroutine leak)")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRouterHedgeDynamicDelayGate verifies dynamic hedging stays off
+// below the sample floor: low-traffic routers must behave exactly like
+// the unhedged router.
+func TestRouterHedgeDynamicDelayGate(t *testing.T) {
+	a, b := &fakeBackend{}, &fakeBackend{}
+	a.fail.Store(-1 << 30)
+	b.fail.Store(-1 << 30)
+	r, err := NewRouter(Backend{Client: a}, Backend{Client: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < DefaultHedgeMinSamples-1; i++ {
+		if _, err := r.Complete(context.Background(), Request{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := r.hedgeDelay(); d != 0 {
+		t.Fatalf("hedgeDelay = %v below the sample floor, want 0", d)
+	}
+	if _, err := r.Complete(context.Background(), Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := r.hedgeDelay(); d < minHedgeDelay {
+		t.Fatalf("hedgeDelay = %v at the sample floor, want >= %v", d, minHedgeDelay)
+	}
+	if s := r.Stats(); s.Hedges != 0 {
+		t.Fatalf("hedges = %d during sub-floor traffic, want 0", s.Hedges)
+	}
+}
+
+// TestRetryAfterRoundTrip covers the 429-envelope hint plumbing.
+func TestRetryAfterRoundTrip(t *testing.T) {
+	base := errors.New("rate limited")
+	err := WithRetryAfter(base, 250*time.Millisecond)
+	if !IsTransient(err) {
+		t.Fatal("retry-after error must be transient")
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("retry-after error must unwrap to its cause")
+	}
+	hint, ok := RetryAfterHint(err)
+	if !ok || hint != 250*time.Millisecond {
+		t.Fatalf("hint = %v/%v, want 250ms/true", hint, ok)
+	}
+	if _, ok := RetryAfterHint(MarkTransient(base)); ok {
+		t.Fatal("plain transient error must carry no hint")
+	}
+	if got := WithRetryAfter(nil, time.Second); got != nil {
+		t.Fatalf("WithRetryAfter(nil) = %v", got)
+	}
+	cancel := context.Canceled
+	if got := WithRetryAfter(cancel, time.Second); got != cancel {
+		t.Fatalf("cancellation must pass through, got %v", got)
+	}
+}

@@ -3,6 +3,7 @@ package llm
 import (
 	"context"
 	"errors"
+	"time"
 )
 
 // TransientError marks a backend failure as retryable: the request was
@@ -40,4 +41,44 @@ func IsTransient(err error) bool {
 // budget on: the caller is gone.
 func IsCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// RetryAfterError is a transient error carrying the backend's own
+// retry hint — the Retry-After of a 429 envelope when askitd (or any
+// rate-limiting HTTP backend) is on the other side of a Client, or the
+// simulated equivalent from an injected rate-limit fault. Retry loops
+// should prefer the hint over their computed backoff: the backend
+// knows when its window reopens.
+type RetryAfterError struct {
+	Err   error
+	After time.Duration
+}
+
+func (e *RetryAfterError) Error() string {
+	return "llm: retry after " + e.After.String() + ": " + e.Err.Error()
+}
+
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// WithRetryAfter wraps err with a retry hint and marks it transient
+// (a backend telling you when to come back is the definition of a
+// retryable failure). Nil and cancellation errors pass through
+// unchanged; a non-positive hint degrades to plain MarkTransient.
+func WithRetryAfter(err error, after time.Duration) error {
+	if err == nil || IsCancellation(err) {
+		return err
+	}
+	if after <= 0 {
+		return MarkTransient(err)
+	}
+	return MarkTransient(&RetryAfterError{Err: err, After: after})
+}
+
+// RetryAfterHint extracts the backend's retry hint, if err carries one.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var re *RetryAfterError
+	if errors.As(err, &re) && re.After > 0 {
+		return re.After, true
+	}
+	return 0, false
 }

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Backend describes one upstream Client in a Router.
@@ -18,6 +21,36 @@ type Backend struct {
 	// frees (or their context is canceled).
 	MaxConcurrent int
 }
+
+// RouterOptions tunes the router's resilience machinery. The zero value
+// gives the defaults: breakers on (threshold 5, 1s open window), hedging
+// on with a dynamic p99-derived delay that only activates after
+// DefaultHedgeMinSamples successful requests.
+type RouterOptions struct {
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// backend's circuit breaker. 0 means DefaultBreakerThreshold;
+	// negative disables breakers entirely.
+	BreakerThreshold int
+	// BreakerOpenFor is how long an open breaker rejects traffic before
+	// half-opening for a probe. 0 means DefaultBreakerOpenFor.
+	BreakerOpenFor time.Duration
+	// HedgeDelay is how long to wait on the first attempt before
+	// launching a hedged second attempt on the next backend. 0 derives
+	// the delay from observed latency (2×p99, floored at 1ms) once
+	// enough samples exist; negative disables hedging.
+	HedgeDelay time.Duration
+	// HedgeMinSamples is the successful-request count required before
+	// the dynamic hedge delay activates. 0 means
+	// DefaultHedgeMinSamples. Ignored when HedgeDelay is fixed.
+	HedgeMinSamples int
+}
+
+// Hedging defaults (RouterOptions zero values).
+const (
+	DefaultHedgeMinSamples = 64
+	minHedgeDelay          = time.Millisecond
+	latencyRingSize        = 512
+)
 
 // Router is a Client that fans requests over several backends with
 // round-robin placement, failover on backend errors, and per-backend
@@ -34,34 +67,66 @@ type Backend struct {
 // tried. When every backend has failed, the last error is returned
 // wrapped as transient, so the engine's retry loops know the request
 // is retryable.
+//
+// Resilience: each backend carries a circuit breaker — after
+// BreakerThreshold consecutive failures its traffic is skipped for
+// BreakerOpenFor, then a single probe request decides recovery. When
+// every backend is circuit-open the router fails fast with a transient
+// error instead of queueing. Once enough latency samples exist, a
+// request that outlives the hedge delay launches a second ring walk
+// offset by one backend; the first success wins and the loser's
+// context is canceled.
 type Router struct {
-	backends        []*routerBackend
-	next            atomic.Uint64
-	requests        atomic.Uint64
-	failovers       atomic.Uint64
-	exhausted       atomic.Uint64
-	saturationSkips atomic.Uint64
+	backends []*routerBackend
+	opts     RouterOptions
+	hedgeMin int
+
+	next             atomic.Uint64
+	requests         atomic.Uint64
+	failovers        atomic.Uint64
+	exhausted        atomic.Uint64
+	saturationSkips  atomic.Uint64
+	breakerSkips     atomic.Uint64
+	breakerFastFails atomic.Uint64
+	hedges           atomic.Uint64
+	hedgeWins        atomic.Uint64
+
+	lat latencyRing
 }
 
 type routerBackend struct {
 	name     string
 	client   Client
 	sem      chan struct{} // nil = unbounded
+	breaker  *breaker      // nil = disabled
 	requests atomic.Uint64
 	failures atomic.Uint64
 }
 
-// NewRouter validates the backends and returns a Router.
+// NewRouter validates the backends and returns a Router with default
+// resilience options.
 func NewRouter(backends ...Backend) (*Router, error) {
+	return NewRouterWithOptions(RouterOptions{}, backends...)
+}
+
+// NewRouterWithOptions validates the backends and returns a Router.
+func NewRouterWithOptions(opts RouterOptions, backends ...Backend) (*Router, error) {
 	if len(backends) == 0 {
 		return nil, errors.New("llm: router needs at least one backend")
 	}
-	r := &Router{}
+	r := &Router{opts: opts, hedgeMin: opts.HedgeMinSamples}
+	if r.hedgeMin <= 0 {
+		r.hedgeMin = DefaultHedgeMinSamples
+	}
 	for i, b := range backends {
 		if b.Client == nil {
 			return nil, fmt.Errorf("llm: router backend %d has no client", i)
 		}
-		rb := &routerBackend{name: b.Name, client: b.Client}
+		rb := &routerBackend{
+			name:    b.Name,
+			client:  b.Client,
+			breaker: newBreaker(opts.BreakerThreshold, opts.BreakerOpenFor),
+		}
 		if rb.name == "" {
 			rb.name = fmt.Sprintf("backend-%d", i)
 		}
@@ -106,27 +171,166 @@ func (b *routerBackend) release() {
 	}
 }
 
-// Complete implements Client by routing the request to a backend.
+// latencyRing holds recent successful wall-clock latencies for the
+// dynamic hedge delay. Fixed size, overwritten round-robin.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [latencyRingSize]time.Duration
+	n   int // filled entries
+	pos int
+}
+
+func (l *latencyRing) add(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.pos] = d
+	l.pos = (l.pos + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// p99 returns the 99th-percentile latency and the sample count.
+func (l *latencyRing) p99() (time.Duration, int) {
+	l.mu.Lock()
+	n := l.n
+	samples := make([]time.Duration, n)
+	copy(samples, l.buf[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[(99*(n-1))/100], n
+}
+
+// hedgeDelay returns the delay before a hedged second attempt, or 0
+// when hedging should not fire for this request.
+func (r *Router) hedgeDelay() time.Duration {
+	if r.opts.HedgeDelay < 0 || len(r.backends) < 2 {
+		return 0
+	}
+	if r.opts.HedgeDelay > 0 {
+		return r.opts.HedgeDelay
+	}
+	p99, n := r.lat.p99()
+	if n < r.hedgeMin {
+		return 0
+	}
+	d := 2 * p99
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	return d
+}
+
+// Complete implements Client by routing the request to a backend,
+// hedging a straggling first attempt with a second ring walk when the
+// dynamic (or fixed) hedge delay has activated.
 func (r *Router) Complete(ctx context.Context, req Request) (Response, error) {
 	r.requests.Add(1)
 	n := len(r.backends)
 	start := int((r.next.Add(1) - 1) % uint64(n)) // mod before int: never negative, even past overflow
+	t0 := time.Now()
+
+	delay := r.hedgeDelay()
+	if delay <= 0 {
+		resp, err := r.walk(ctx, req, start)
+		if err == nil {
+			r.lat.add(time.Since(t0))
+		}
+		return resp, err
+	}
+
+	type result struct {
+		resp  Response
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2) // both walks can always deliver; losers never block
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	go func() {
+		resp, err := r.walk(pctx, req, start)
+		ch <- result{resp, err, false}
+	}()
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var hcancel context.CancelFunc
+	pending := 1
+	var lastRes result
+	for {
+		select {
+		case res := <-ch:
+			pending--
+			if res.err == nil {
+				if res.hedge {
+					r.hedgeWins.Add(1)
+				}
+				pcancel()
+				if hcancel != nil {
+					hcancel()
+				}
+				r.lat.add(time.Since(t0))
+				return res.resp, nil
+			}
+			// Prefer reporting a backend failure over the loser's
+			// cancellation if both attempts end in error.
+			if lastRes.err == nil || !IsCancellation(res.err) || IsCancellation(lastRes.err) {
+				lastRes = res
+			}
+			if pending == 0 {
+				if hcancel != nil {
+					hcancel()
+				}
+				return lastRes.resp, lastRes.err
+			}
+		case <-timer.C:
+			if hcancel == nil {
+				r.hedges.Add(1)
+				var hctx context.Context
+				hctx, hcancel = context.WithCancel(ctx)
+				defer hcancel()
+				pending++
+				go func() {
+					resp, err := r.walk(hctx, req, (start+1)%n)
+					ch <- result{resp, err, true}
+				}()
+			}
+		}
+	}
+}
+
+// walk tries the backend ring once starting at start: a non-blocking
+// pass that skips saturated and circuit-open backends, then a blocking
+// pass over whatever was saturated. It is the unit of work a hedge
+// races against.
+func (r *Router) walk(ctx context.Context, req Request, start int) (Response, error) {
+	n := len(r.backends)
 	var lastErr error
 
 	// attempt runs the request on an already-acquired backend. abort is
 	// true for cancellation; a failover is counted unless this was the
 	// request's final candidate.
-	attempt := func(b *routerBackend, last bool) (Response, error, bool) {
+	attempt := func(b *routerBackend, probe, last bool) (Response, error, bool) {
 		resp, err := b.client.Complete(ctx, req)
 		b.release()
 		b.requests.Add(1)
 		if err == nil {
+			b.breaker.onResult(time.Now(), true)
 			return resp, nil, false
 		}
 		b.failures.Add(1)
 		if IsCancellation(err) || ctx.Err() != nil {
+			// The caller hung up mid-request; the backend's health is
+			// unknown, so a consumed probe slot is returned, not settled.
+			if probe {
+				b.breaker.cancelProbe()
+			}
 			return Response{}, err, true
 		}
+		b.breaker.onResult(time.Now(), false)
 		lastErr = err
 		if !last {
 			r.failovers.Add(1)
@@ -136,16 +340,25 @@ func (r *Router) Complete(ctx context.Context, req Request) (Response, error) {
 
 	// Pass 1: non-blocking walk of the ring. A saturated backend is
 	// skipped, not waited on — an idle backend further along the ring
-	// should take the request instead.
+	// should take the request instead. A circuit-open backend is skipped
+	// outright.
 	var saturated []*routerBackend
 	for i := 0; i < n; i++ {
 		b := r.backends[(start+i)%n]
+		ok, probe := b.breaker.allow(time.Now())
+		if !ok {
+			r.breakerSkips.Add(1)
+			continue
+		}
 		if !b.tryAcquire() {
+			if probe {
+				b.breaker.cancelProbe()
+			}
 			r.saturationSkips.Add(1)
 			saturated = append(saturated, b)
 			continue
 		}
-		resp, err, abort := attempt(b, i == n-1 && len(saturated) == 0)
+		resp, err, abort := attempt(b, probe, i == n-1 && len(saturated) == 0)
 		if err == nil {
 			return resp, nil
 		}
@@ -154,20 +367,36 @@ func (r *Router) Complete(ctx context.Context, req Request) (Response, error) {
 		}
 	}
 
-	// Pass 2: every backend was saturated or has already failed; now
-	// blocking on the saturated ones (in ring order) is the only option
-	// left short of failing the request.
+	// Pass 2: every backend was saturated, circuit-open, or has already
+	// failed; now blocking on the saturated ones (in ring order) is the
+	// only option left short of failing the request. Breakers are
+	// re-consulted — one may have tripped (or half-opened) since pass 1.
 	for j, b := range saturated {
+		ok, probe := b.breaker.allow(time.Now())
+		if !ok {
+			r.breakerSkips.Add(1)
+			continue
+		}
 		if err := b.acquire(ctx); err != nil {
+			if probe {
+				b.breaker.cancelProbe()
+			}
 			return Response{}, err
 		}
-		resp, err, abort := attempt(b, j == len(saturated)-1)
+		resp, err, abort := attempt(b, probe, j == len(saturated)-1)
 		if err == nil {
 			return resp, nil
 		}
 		if abort {
 			return Response{}, err
 		}
+	}
+	if lastErr == nil {
+		// Nothing was even attempted: every backend's breaker is open.
+		// Fail fast and classified-transient — no queue buildup behind a
+		// dead fleet, and the engine's retry loop knows it may recover.
+		r.breakerFastFails.Add(1)
+		return Response{}, MarkTransient(fmt.Errorf("llm: router: all %d backends circuit-open", n))
 	}
 	r.exhausted.Add(1)
 	return Response{}, MarkTransient(fmt.Errorf("llm: router: all %d backends failed: %w", n, lastErr))
@@ -178,6 +407,11 @@ type BackendStats struct {
 	Name     string
 	Requests uint64
 	Failures uint64
+	// Breaker is the circuit state: "closed", "open", "half-open", or
+	// "off" when breakers are disabled.
+	Breaker string
+	// BreakerOpens counts closed→open (and half-open→open) transitions.
+	BreakerOpens uint64
 }
 
 // RouterStats is a snapshot of the router's counters.
@@ -192,6 +426,15 @@ type RouterStats struct {
 	// SaturationSkips counts non-blocking walk steps that skipped a
 	// backend because its concurrency bound was full.
 	SaturationSkips uint64
+	// BreakerSkips counts walk steps that skipped a circuit-open backend.
+	BreakerSkips uint64
+	// BreakerFastFails counts requests rejected immediately because
+	// every backend's breaker was open.
+	BreakerFastFails uint64
+	// Hedges counts second attempts launched for straggling requests.
+	Hedges uint64
+	// HedgeWins counts requests where the hedged attempt finished first.
+	HedgeWins uint64
 	// Backends holds per-backend counters in ring order.
 	Backends []BackendStats
 }
@@ -199,16 +442,24 @@ type RouterStats struct {
 // Stats returns a snapshot of the router's counters.
 func (r *Router) Stats() RouterStats {
 	s := RouterStats{
-		Requests:        r.requests.Load(),
-		Failovers:       r.failovers.Load(),
-		Exhausted:       r.exhausted.Load(),
-		SaturationSkips: r.saturationSkips.Load(),
+		Requests:         r.requests.Load(),
+		Failovers:        r.failovers.Load(),
+		Exhausted:        r.exhausted.Load(),
+		SaturationSkips:  r.saturationSkips.Load(),
+		BreakerSkips:     r.breakerSkips.Load(),
+		BreakerFastFails: r.breakerFastFails.Load(),
+		Hedges:           r.hedges.Load(),
+		HedgeWins:        r.hedgeWins.Load(),
 	}
+	now := time.Now()
 	for _, b := range r.backends {
+		state, opens := b.breaker.snapshot(now)
 		s.Backends = append(s.Backends, BackendStats{
-			Name:     b.name,
-			Requests: b.requests.Load(),
-			Failures: b.failures.Load(),
+			Name:         b.name,
+			Requests:     b.requests.Load(),
+			Failures:     b.failures.Load(),
+			Breaker:      state,
+			BreakerOpens: opens,
 		})
 	}
 	return s

@@ -91,10 +91,10 @@ func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
 }
 
 // writeEngineError maps an engine failure onto a status code and the
-// transient classification: timeouts are 504, drain and transient
-// backend failures are 503 (retry elsewhere or later), an exhausted
-// retry budget is 502 (the model conversation itself failed), anything
-// else is a 500.
+// transient classification: timeouts are 504, drain, retry-budget
+// exhaustion and transient backend failures are 503 (retry elsewhere
+// or later), an exhausted per-call retry budget is 502 (the model
+// conversation itself failed), anything else is a 500.
 func writeEngineError(w http.ResponseWriter, err error) {
 	var rerr *core.RetryError
 	var cerr *core.CompileError
@@ -108,6 +108,12 @@ func writeEngineError(w http.ResponseWriter, err error) {
 		writeError(w, 499, "client-closed", err.Error(), true)
 	case errors.Is(err, core.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), true)
+	case errors.Is(err, core.ErrRetryBudgetExhausted):
+		// The engine-wide retry pool ran dry: the backend fleet is
+		// browning out. Fail fast with Retry-After so well-behaved
+		// clients back off instead of piling on.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "retry-budget", err.Error(), true)
 	case errors.As(err, &rerr):
 		writeError(w, http.StatusBadGateway, "retry-exhausted", err.Error(), llm.IsTransient(rerr.Last))
 	case errors.As(err, &cerr):
@@ -490,20 +496,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // engineStatsJSON is core.Stats in wire form.
 type engineStatsJSON struct {
-	AnswerHits       uint64 `json:"answer_hits"`
-	AnswerMisses     uint64 `json:"answer_misses"`
-	AnswerCoalesced  uint64 `json:"answer_coalesced"`
-	AnswerEntries    int    `json:"answer_entries"`
-	CompileCoalesced uint64 `json:"compile_coalesced"`
-	DirectCalls      uint64 `json:"direct_calls"`
-	CompiledCalls    uint64 `json:"compiled_calls"`
-	TransientRetries uint64 `json:"transient_retries"`
-	CodegenLLMCalls  uint64 `json:"codegen_llm_calls"`
-	StoreHits        uint64 `json:"store_hits"`
-	StoreMisses      uint64 `json:"store_misses"`
-	AnswersRestored  uint64 `json:"answers_restored"`
-	InflightCalls    int    `json:"inflight_calls"`
-	Draining         bool   `json:"draining"`
+	AnswerHits           uint64 `json:"answer_hits"`
+	AnswerMisses         uint64 `json:"answer_misses"`
+	AnswerCoalesced      uint64 `json:"answer_coalesced"`
+	AnswerEntries        int    `json:"answer_entries"`
+	CompileCoalesced     uint64 `json:"compile_coalesced"`
+	DirectCalls          uint64 `json:"direct_calls"`
+	CompiledCalls        uint64 `json:"compiled_calls"`
+	TransientRetries     uint64 `json:"transient_retries"`
+	RetryBudgetExhausted uint64 `json:"retry_budget_exhausted"`
+	RetryBudgetTokens    int    `json:"retry_budget_tokens"`
+	CodegenLLMCalls      uint64 `json:"codegen_llm_calls"`
+	StoreHits            uint64 `json:"store_hits"`
+	StoreMisses          uint64 `json:"store_misses"`
+	StoreErrors          uint64 `json:"store_errors"`
+	StoreDegradedTrips   uint64 `json:"store_degraded_trips"`
+	StoreDegraded        bool   `json:"store_degraded"`
+	AnswersRestored      uint64 `json:"answers_restored"`
+	InflightCalls        int    `json:"inflight_calls"`
+	Draining             bool   `json:"draining"`
 }
 
 type serverStatsJSON struct {
@@ -549,20 +560,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Draining:         s.draining.Load(),
 		},
 		Engine: engineStatsJSON{
-			AnswerHits:       es.AnswerHits,
-			AnswerMisses:     es.AnswerMisses,
-			AnswerCoalesced:  es.AnswerCoalesced,
-			AnswerEntries:    es.AnswerEntries,
-			CompileCoalesced: es.CompileCoalesced,
-			DirectCalls:      es.DirectCalls,
-			CompiledCalls:    es.CompiledCalls,
-			TransientRetries: es.TransientRetries,
-			CodegenLLMCalls:  es.CodegenLLMCalls,
-			StoreHits:        es.StoreHits,
-			StoreMisses:      es.StoreMisses,
-			AnswersRestored:  es.AnswersRestored,
-			InflightCalls:    es.InflightCalls,
-			Draining:         es.Draining,
+			AnswerHits:           es.AnswerHits,
+			AnswerMisses:         es.AnswerMisses,
+			AnswerCoalesced:      es.AnswerCoalesced,
+			AnswerEntries:        es.AnswerEntries,
+			CompileCoalesced:     es.CompileCoalesced,
+			DirectCalls:          es.DirectCalls,
+			CompiledCalls:        es.CompiledCalls,
+			TransientRetries:     es.TransientRetries,
+			RetryBudgetExhausted: es.RetryBudgetExhausted,
+			RetryBudgetTokens:    es.RetryBudgetTokens,
+			CodegenLLMCalls:      es.CodegenLLMCalls,
+			StoreHits:            es.StoreHits,
+			StoreMisses:          es.StoreMisses,
+			StoreErrors:          es.StoreErrors,
+			StoreDegradedTrips:   es.StoreDegradedTrips,
+			StoreDegraded:        es.StoreDegraded,
+			AnswersRestored:      es.AnswersRestored,
+			InflightCalls:        es.InflightCalls,
+			Draining:             es.Draining,
 		},
 		Funcs: nfuncs,
 	})

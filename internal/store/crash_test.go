@@ -1,0 +1,82 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestKillDuringWriteIsACleanMiss simulates a daemon killed mid-write.
+// writeAtomic goes temp file → fsync → rename, so a crash leaves either
+// (a) a stray temp file and no artifact, or (b) — on filesystems
+// without atomic-rename guarantees — a half-written artifact. Both must
+// read back as a clean miss on restart, never as a parsed artifact.
+func TestKillDuringWriteIsACleanMiss(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+
+	t.Run("stray temp file", func(t *testing.T) {
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The writer died after CreateTemp+Write but before rename.
+		tmp := filepath.Join(dir, "."+key.Filename()+".tmp12345")
+		if err := os.WriteFile(tmp, []byte(`{"func_name":"factorial"`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Load(key); !errors.Is(err, ErrMiss) {
+			t.Fatalf("err = %v, want ErrMiss (temp file must be invisible)", err)
+		}
+		// The interrupted write must not block a fresh Save+Load cycle.
+		if err := s.Save(key, testArtifact()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Load(key); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+	})
+
+	t.Run("half-written artifact", func(t *testing.T) {
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Save(key, testArtifact()); err != nil {
+			t.Fatal(err)
+		}
+		path := artifactPath(t, s, key)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+
+		// The restarted store must treat the torn file as a miss...
+		warm, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := warm.Load(key); !errors.Is(err, ErrMiss) {
+			t.Fatalf("err = %v, want ErrMiss for a torn artifact", err)
+		}
+		// ...and a re-Save must repair it in place.
+		if err := warm.Save(key, testArtifact()); err != nil {
+			t.Fatal(err)
+		}
+		art, err := warm.Load(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(art.Source, "factorial") {
+			t.Errorf("repaired artifact = %+v", art)
+		}
+		warm.Close()
+	})
+}

@@ -68,9 +68,11 @@ func (k Key) Hash() string {
 	return hex.EncodeToString(h[:])
 }
 
-// filename is "<slug>_<hash12>.json"; the hash prefix is the address,
-// the slug is for humans browsing the directory.
-func (k Key) filename() string {
+// Filename is "<slug>_<hash12>.json" — the artifact's basename under
+// the store root. The hash prefix is the address, the slug is for
+// humans browsing the directory. Exported so fault-injection wrappers
+// can find the on-disk file a Save produced (e.g. to tear the write).
+func (k Key) Filename() string {
 	slug := k.Slug
 	if slug == "" {
 		slug = "artifact"
@@ -122,11 +124,36 @@ func Checksum(source string) string {
 	return hex.EncodeToString(h[:])
 }
 
+// Backend is the persistence interface the engine programs against.
+// *Store is the canonical implementation; fault-injection and other
+// wrappers implement it to interpose on the persistence tier without
+// the engine knowing.
+type Backend interface {
+	// Load returns the artifact for key, or ErrMiss when no trustworthy
+	// artifact exists. Implementations must never return a corrupt
+	// artifact as success.
+	Load(key Key) (*Artifact, error)
+	// Save persists the artifact for key.
+	Save(key Key, art *Artifact) error
+	// Invalidate removes the artifact for key, if present.
+	Invalidate(key Key)
+	// SaveAnswers persists a snapshot of memoized direct-call answers.
+	SaveAnswers(engine string, answers []AnswerRecord) error
+	// LoadAnswers returns the answer snapshot for the engine revision,
+	// or nil (best-effort).
+	LoadAnswers(engine string) []AnswerRecord
+	// Dir returns the backing directory (diagnostics only).
+	Dir() string
+	// Close marks the backend closed; later writes fail with ErrClosed.
+	Close() error
+}
+
 // Store is a directory of artifacts. It is safe for concurrent use;
 // concurrent Loads of the same key coalesce into one disk read
-// (singleflight), and writes are atomic (temp file + rename) so a
-// crashed writer can never leave a half-written artifact that a
-// concurrent or later reader would trust.
+// (singleflight), and writes are atomic (temp file + fsync + rename +
+// directory fsync) so a crashed writer — or a whole-machine crash — can
+// never leave a half-written artifact that a concurrent or later
+// reader would trust.
 type Store struct {
 	dir string
 
@@ -143,6 +170,8 @@ type loadFlight struct {
 	art  *Artifact
 	err  error
 }
+
+var _ Backend = (*Store)(nil)
 
 // Open creates (if needed) and returns the store rooted at dir.
 func Open(dir string) (*Store, error) {
@@ -199,7 +228,7 @@ func (s *Store) Load(key Key) (*Artifact, error) {
 }
 
 func (s *Store) loadOnce(key Key, addr string) (*Artifact, error) {
-	data, err := os.ReadFile(filepath.Join(s.dir, key.filename()))
+	data, err := os.ReadFile(filepath.Join(s.dir, key.Filename()))
 	if err != nil {
 		return nil, ErrMiss
 	}
@@ -244,16 +273,23 @@ func (s *Store) Save(key Key, art *Artifact) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	return s.writeAtomic(key.filename(), append(data, '\n'))
+	return s.writeAtomic(key.Filename(), append(data, '\n'))
 }
 
 // Invalidate removes the artifact for key, if present.
 func (s *Store) Invalidate(key Key) {
-	_ = os.Remove(filepath.Join(s.dir, key.filename()))
+	_ = os.Remove(filepath.Join(s.dir, key.Filename()))
 }
 
-// writeAtomic writes name under the store root via a temp file + rename
-// so readers never observe a partial file.
+// writeAtomic writes name under the store root via temp file + fsync +
+// rename + directory fsync, so readers never observe a partial file and
+// a machine crash right after Save returns cannot surface one either:
+// without the temp-file fsync, rename can land in the directory before
+// the data blocks reach disk, and a crash between the two leaves a
+// correctly-named file full of zeros or garbage at the artifact's
+// address. (The integrity checksums would still catch that as a miss,
+// but crash consistency should not have to lean on them.) The parent
+// directory is fsynced so the rename itself is durable.
 func (s *Store) writeAtomic(name string, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, "."+name+".tmp*")
 	if err != nil {
@@ -265,12 +301,32 @@ func (s *Store) writeAtomic(name string, data []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := os.Rename(tmpName, filepath.Join(s.dir, name)); err != nil {
 		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	return s.syncDir()
+}
+
+// syncDir fsyncs the store root, making the latest rename durable.
+// Best-effort on platforms where opening a directory for sync is not
+// supported (the error is still surfaced where it is).
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil

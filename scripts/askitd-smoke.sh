@@ -34,7 +34,7 @@ wait_healthy() {
 }
 
 start_daemon() {
-  "$ASKITD" -addr "$ADDR" -store "$STORE" >>"$LOG" 2>&1 &
+  "$ASKITD" -addr "$ADDR" -store "$STORE" "$@" >>"$LOG" 2>&1 &
   DAEMON_PID=$!
   wait_healthy
 }
@@ -88,5 +88,40 @@ call=$(curl -fsS "http://$ADDR/v1/funcs/fact/call" -d '{"args":{"n":6}}')
 echo "$call" | grep -q '"value":720' || fail "warm func call returned $call"
 
 stop_daemon
+
+# --- chaos lifecycle --------------------------------------------------------
+# Boot the same daemon over the same store with a seeded fault schedule
+# injecting transient model faults, garbled completions, and store write
+# failures. The daemon's breakers/retries must absorb them: answers stay
+# correct, and SIGTERM still drains gracefully under fault load.
+start_daemon -fault-rate 0.2 -fault-seed 7
+
+for n in 5 6 7; do
+  want=$((n == 5 ? 120 : n == 6 ? 720 : 5040))
+  ask=$(curl -fsS "http://$ADDR/v1/ask" \
+    -d '{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":'"$n"'}}')
+  echo "$ask" | grep -q "\"value\":$want" || fail "chaos ask(n=$n) returned $ask"
+done
+
+# Install rides the store's warm path, but its Save now races injected
+# write failures — the daemon must still come up compiled.
+chaos_install=$(curl -fsS "http://$ADDR/v1/funcs" -d "$install_body")
+echo "$chaos_install" | grep -q '"compiled":true' || fail "chaos install returned $chaos_install"
+
+call=$(curl -fsS "http://$ADDR/v1/funcs/fact/call" -d '{"args":{"n":8}}')
+echo "$call" | grep -q '"value":40320' || fail "chaos func call returned $call"
+
+# Fire background traffic so the drain begins with faulted requests in
+# flight; the daemon exiting 0 is the graceful-drain assertion.
+for _ in $(seq 1 4); do
+  ( for _ in $(seq 1 20); do
+      curl -fsS "http://$ADDR/v1/ask" \
+        -d '{"type":"string","template":"Reverse the string {{s}}.","args":{"s":"chaos"}}' \
+        >/dev/null 2>&1 || true
+    done ) &
+done
+sleep 0.2
+stop_daemon
+wait # reap the background curl loops
 
 echo "askitd-smoke: OK (store: $STORE)"
