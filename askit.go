@@ -53,6 +53,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jsonx"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/prompt"
 	"repro/internal/store"
 	"repro/internal/types"
@@ -162,6 +163,13 @@ type Options struct {
 	// compiled engine is an order of magnitude faster; the tree-walker
 	// is kept for differential testing and debugging.
 	TreeWalker bool
+	// Metrics, when non-nil, is the observability registry the engine
+	// (and its instrumented store) emits into. Share one registry —
+	// NewMetrics() — between Options.Metrics, the router
+	// (llm.RouterOptions.Metrics), and the HTTP server so one /metrics
+	// exposition covers every tier. Nil gives the engine a private
+	// registry, reachable via AskIt.Metrics.
+	Metrics *Metrics
 	// Logf receives diagnostic traces; nil disables.
 	Logf func(format string, args ...any)
 }
@@ -204,8 +212,28 @@ func Temp(v float64) *float64 { return &v }
 // serving.
 func NewRouter(backends ...llm.Backend) (*llm.Router, error) { return llm.NewRouter(backends...) }
 
+// NewRouterWithOptions is NewRouter with the resilience machinery
+// (breakers, hedging) and metrics registry configurable.
+func NewRouterWithOptions(opts RouterOptions, backends ...RouterBackend) (*llm.Router, error) {
+	return llm.NewRouterWithOptions(opts, backends...)
+}
+
 // RouterBackend describes one upstream of NewRouter.
 type RouterBackend = llm.Backend
+
+// RouterOptions tunes NewRouterWithOptions (breakers, hedging, metrics).
+type RouterOptions = llm.RouterOptions
+
+// Metrics is the unified observability registry (see internal/obs):
+// lock-free counters, gauges, and latency histograms for every tier,
+// a bounded event ring (breaker transitions, store degradation,
+// drains), Prometheus text exposition via WritePrometheus, and the
+// /v1/stats JSON wire forms via GroupJSON.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty observability registry, for sharing one
+// exposition across the engine, router, and server.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // Stats is a snapshot of the engine's serving counters: answer-cache
 // hits/misses/coalesces, compile singleflight coalesces, and call mix.
@@ -239,6 +267,7 @@ func New(opts Options) (*AskIt, error) {
 		MaxSteps:        opts.MaxSteps,
 		Optimize:        opts.Optimize,
 		TreeWalker:      opts.TreeWalker,
+		Metrics:         opts.Metrics,
 		Logf:            opts.Logf,
 	})
 	if err != nil {
@@ -256,6 +285,11 @@ func (a *AskIt) Engine() *core.Engine { return a.engine }
 // are mutually consistent under concurrent load; take one snapshot and
 // read every field from it rather than calling Stats per field.
 func (a *AskIt) Stats() Stats { return a.engine.Stats() }
+
+// Metrics returns the observability registry the engine emits into —
+// the one passed in Options.Metrics, or the engine's private one.
+// Always non-nil.
+func (a *AskIt) Metrics() *Metrics { return a.engine.Metrics() }
 
 // ErrDraining is returned by Compile when the engine is draining: a
 // shutting-down replica refuses to start fresh codegen LLM loops while

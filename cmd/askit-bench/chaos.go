@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"net"
 	"net/http"
 	"os"
 	"reflect"
@@ -71,6 +70,22 @@ type chaosInjected struct {
 	StoreTorn     uint64 `json:"store_torn_writes"`
 }
 
+// chaosResilience records what the resilience machinery did during the
+// chaos phase — router failovers, breaker activity, hedges, and the
+// engine's retry budget — read over the wire from /v1/stats so the
+// numbers are the same ones operators would see.
+type chaosResilience struct {
+	Failovers            uint64 `json:"failovers"`
+	BreakerOpens         uint64 `json:"breaker_opens"`
+	BreakerSkips         uint64 `json:"breaker_skips"`
+	BreakerFastFails     uint64 `json:"breaker_fast_fails"`
+	Hedges               uint64 `json:"hedges"`
+	HedgeWins            uint64 `json:"hedge_wins"`
+	TransientRetries     uint64 `json:"transient_retries"`
+	RetryBudgetExhausted uint64 `json:"retry_budget_exhausted"`
+	StoreDegradedTrips   uint64 `json:"store_degraded_trips"`
+}
+
 // ChaosReport is the BENCH_6.json schema.
 type ChaosReport struct {
 	Note         string        `json:"note"`
@@ -80,6 +95,9 @@ type ChaosReport struct {
 	Chaos        chaosPhase    `json:"chaos"`
 	GoodputRatio float64       `json:"goodput_ratio"`
 	Injected     chaosInjected `json:"injected"`
+	// Resilience is the machinery's side of the goodput story: how the
+	// chaos-phase faults were absorbed rather than surfaced.
+	Resilience chaosResilience `json:"resilience"`
 	// DrainLeft is the in-flight count after draining under fault load;
 	// the contract is 0.
 	DrainLeft int `json:"drain_left"`
@@ -156,6 +174,45 @@ func startChaosDaemon(seed int64, storeDir string, rate float64, sched *fault.Sc
 	}
 	d.httpDaemon = srv
 	return d, nil
+}
+
+// resilience reads the router/engine resilience counters over the
+// daemon's own stats endpoint. Must run before the drain shuts the
+// listener down.
+func (d *chaosDaemon) resilience() (chaosResilience, error) {
+	resp, err := http.Get(d.url + "/v1/stats")
+	if err != nil {
+		return chaosResilience{}, err
+	}
+	defer resp.Body.Close()
+	var decoded struct {
+		Router map[string]any `json:"router"`
+		Engine map[string]any `json:"engine"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		return chaosResilience{}, err
+	}
+	u := func(m map[string]any, k string) uint64 {
+		v, _ := m[k].(float64)
+		return uint64(v)
+	}
+	var res chaosResilience
+	res.Failovers = u(decoded.Router, "failovers")
+	res.BreakerSkips = u(decoded.Router, "breaker_skips")
+	res.BreakerFastFails = u(decoded.Router, "breaker_fast_fails")
+	res.Hedges = u(decoded.Router, "hedges")
+	res.HedgeWins = u(decoded.Router, "hedge_wins")
+	if backends, ok := decoded.Router["backends"].([]any); ok {
+		for _, b := range backends {
+			if bm, ok := b.(map[string]any); ok {
+				res.BreakerOpens += u(bm, "breaker_opens")
+			}
+		}
+	}
+	res.TransientRetries = u(decoded.Engine, "transient_retries")
+	res.RetryBudgetExhausted = u(decoded.Engine, "retry_budget_exhausted")
+	res.StoreDegradedTrips = u(decoded.Engine, "store_degraded_trips")
+	return res, nil
 }
 
 // injected sums the fault wrappers' counters.
@@ -355,6 +412,10 @@ func runChaosJSON(path string, seed int64, storeDir string) error {
 	}
 	chaosW := &httpWorkload{specs: specs, names: chaosNames}
 	chaosPhaseRes := driveChaos(chaos.httpDaemon, chaosW, chaosConc, chaosCalls)
+	resil, err := chaos.resilience()
+	if err != nil {
+		return fmt.Errorf("chaos stats: %w", err)
+	}
 	left, err := drainUnderLoad(chaos.httpDaemon, chaosW)
 	if err != nil {
 		return fmt.Errorf("chaos drain: %w", err)
@@ -396,6 +457,7 @@ func runChaosJSON(path string, seed int64, storeDir string) error {
 		Baseline:      basePhase,
 		Chaos:         chaosPhaseRes,
 		Injected:      injected,
+		Resilience:    resil,
 		DrainLeft:     left,
 		RecoveryFuncs: len(recovNames),
 		RecoveryWrong: recovWrong,
@@ -420,6 +482,11 @@ func runChaosJSON(path string, seed int64, storeDir string) error {
 	fmt.Printf("  injected: %d/%d transient, %d garbled, %d hangs, %d store save fails, %d torn writes\n",
 		injected.Transients, injected.LLMCalls, injected.Garbled, injected.Hangs,
 		injected.StoreSaveFail, injected.StoreTorn)
+	fmt.Printf("  absorbed: %d failovers, %d breaker opens (%d skips, %d fast-fails), %d hedges (%d won), "+
+		"%d retries (%d budget-exhausted), %d store degradations\n",
+		resil.Failovers, resil.BreakerOpens, resil.BreakerSkips, resil.BreakerFastFails,
+		resil.Hedges, resil.HedgeWins, resil.TransientRetries, resil.RetryBudgetExhausted,
+		resil.StoreDegradedTrips)
 	fmt.Printf("  drain under fault load left %d in flight; recovery: %d/%d funcs correct\n",
 		left, report.RecoveryFuncs-recovWrong, report.RecoveryFuncs)
 
@@ -451,16 +518,5 @@ func serverNew(ai *askit.AskIt) (*httpDaemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	d := &httpDaemon{
-		ai:      ai,
-		srv:     srv,
-		httpSrv: &http.Server{Handler: srv.Handler()},
-		url:     "http://" + ln.Addr().String(),
-	}
-	go d.httpSrv.Serve(ln)
-	return d, nil
+	return listenDaemon(ai, srv)
 }

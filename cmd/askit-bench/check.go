@@ -18,6 +18,7 @@ import (
 //	BENCH_2-style: {"concurrent_cached": {"throughput_per_s": ...}}
 //	BENCH_5-style: {"warm_restart": {"levels": [{"throughput_per_s": ...}]}}
 //	BENCH_6-style: {"goodput_ratio": ..., "chaos": {"goodput": ...}}
+//	BENCH_7-style: {"capacity_per_s": ..., "rates": [{"multiplier": ..., "goodput_per_s": ...}]}
 
 // checkAgainstBaseline loads both reports and compares every headline
 // metric the schemas share. It returns the human-readable verdicts and
@@ -82,6 +83,33 @@ func checkAgainstBaseline(currentPath, baselinePath string, factor float64) ([]s
 		verdicts = append(verdicts, v)
 		if curGP < baseGP-0.10 {
 			failures = append(failures, v)
+		}
+	}
+
+	// Higher-is-better: overload-bench capacity and per-rate goodput.
+	// Both are absolute req/s numbers, so the machine-noise factor
+	// applies directly.
+	if curCap, baseCap := topNumber(cur, "capacity_per_s"), topNumber(base, "capacity_per_s"); baseCap > 0 && curCap > 0 {
+		v := fmt.Sprintf("overload capacity: %.0f/s vs baseline %.0f/s (x%.2f, limit x%.1f)",
+			curCap, baseCap, baseCap/curCap, factor)
+		verdicts = append(verdicts, v)
+		if curCap < baseCap/factor {
+			failures = append(failures, v)
+		}
+		curRates := rateGoodputs(cur)
+		for _, br := range ratesOf(base) {
+			mult := number(br, "multiplier")
+			baseGP := number(br, "goodput_per_s")
+			curGP := curRates[mult]
+			if baseGP <= 0 || curGP <= 0 {
+				continue
+			}
+			v := fmt.Sprintf("overload goodput @%.1fx: %.0f/s vs baseline %.0f/s (x%.2f, limit x%.1f)",
+				mult, curGP, baseGP, baseGP/curGP, factor)
+			verdicts = append(verdicts, v)
+			if curGP < baseGP/factor {
+				failures = append(failures, v)
+			}
 		}
 	}
 
@@ -151,6 +179,23 @@ func peakLevelThroughput(m map[string]any) float64 {
 		}
 	}
 	return best
+}
+
+// ratesOf extracts the per-multiplier entries of a BENCH_7-style
+// report.
+func ratesOf(m map[string]any) []any {
+	rates, _ := subMapAny(m, "rates").([]any)
+	return rates
+}
+
+// rateGoodputs maps multiplier -> goodput_per_s for a BENCH_7-style
+// report.
+func rateGoodputs(m map[string]any) map[float64]float64 {
+	out := map[float64]float64{}
+	for _, r := range ratesOf(m) {
+		out[number(r, "multiplier")] = number(r, "goodput_per_s")
+	}
+	return out
 }
 
 // runCheck applies checkAgainstBaseline and prints the verdicts.

@@ -107,6 +107,11 @@ func startHTTPDaemon(seed int64, storeDir string) (*httpDaemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	return listenDaemon(ai, srv)
+}
+
+// listenDaemon binds a built Server to a fresh loopback listener.
+func listenDaemon(ai *askit.AskIt, srv *server.Server) (*httpDaemon, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err

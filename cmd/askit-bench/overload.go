@@ -1,0 +1,337 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	askit "repro"
+	"repro/internal/llm"
+	"repro/internal/server"
+)
+
+// The overload benchmark measures what the daemon does *past*
+// saturation — the regime every other bench here avoids. Closed-loop
+// drivers (-exp http, -exp serve) cannot see it: when the server slows
+// down, closed-loop clients slow down with it, so the measured arrival
+// rate quietly tracks capacity and the latency tail of the requests
+// that *would* have been sent never exists (coordinated omission).
+// This bench drives the daemon open-loop instead: requests depart on a
+// fixed schedule whether or not earlier ones returned, and every
+// latency is measured from the request's *intended* send time, so
+// scheduling lateness in the generator counts against the server, not
+// for it.
+//
+// The simulated model's latency is virtual (accumulated, never slept),
+// so out of the box the serving path costs CPU-bound microseconds and
+// no fixed arrival schedule would saturate it reproducibly. The bench
+// therefore wraps each backend in a client that really sleeps
+// overloadServiceTime per completion, giving the daemon a true,
+// measurable capacity: maxInflight/serviceTime requests per second.
+// Capacity is then probed closed-loop, and open-loop schedules run at
+// 0.5x, 1x, and 2x the measured number. The contract past saturation
+// is load shedding, not collapse: wrong answers never, fast 429s at 2x.
+//
+// Run with:
+//
+//	askit-bench -exp overload        # writes BENCH_7.json
+const (
+	overloadServiceTime = 5 * time.Millisecond
+	overloadMaxInflight = 8
+	overloadBackends    = 2
+	overloadProbeCalls  = 600
+	// overloadRateDuration is each open-loop schedule's intended
+	// length; the call count is rate x duration, bounded below so the
+	// 0.5x phase still has a meaningful sample.
+	overloadRateDuration = 1500 * time.Millisecond
+	overloadMinCalls     = 300
+	overloadMaxCalls     = 8000
+)
+
+var overloadMultipliers = []float64{0.5, 1.0, 2.0}
+
+// slowClient wraps a Client with a real per-call sleep, converting the
+// sim's virtual latency into actual service time so admission control
+// has something to saturate.
+type slowClient struct {
+	inner llm.Client
+	d     time.Duration
+}
+
+func (c *slowClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	select {
+	case <-time.After(c.d):
+	case <-ctx.Done():
+		return llm.Response{}, ctx.Err()
+	}
+	return c.inner.Complete(ctx, req)
+}
+
+// overloadRate is one open-loop schedule's verified measurement.
+type overloadRate struct {
+	Multiplier   float64 `json:"multiplier"`
+	TargetPerSec float64 `json:"target_per_s"`
+	Calls        int     `json:"calls"`
+	Correct      int     `json:"correct"`
+	Wrong        int     `json:"wrong"`
+	Rejected429  int     `json:"rejected_429"`
+	Errors       int     `json:"errors"`
+	// GoodputPerSec counts verified-correct 200s over the wall clock.
+	GoodputPerSec float64 `json:"goodput_per_s"`
+	RejectRate    float64 `json:"reject_rate"`
+	// Latency quantiles are over successful requests, measured from
+	// each request's intended (scheduled) send time — lateness
+	// corrected, so generator stalls count against the server.
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+}
+
+// OverloadReport is the BENCH_7.json schema.
+type OverloadReport struct {
+	Note          string  `json:"note"`
+	MaxInflight   int     `json:"max_inflight"`
+	Backends      int     `json:"backends"`
+	ServiceTimeMs float64 `json:"service_time_ms"`
+	// CapacityPerSec is the closed-loop probe's measured throughput,
+	// the 1x anchor for the open-loop schedules.
+	CapacityPerSec float64        `json:"capacity_per_s"`
+	Rates          []overloadRate `json:"rates"`
+}
+
+// startOverloadDaemon builds a loopback daemon whose capacity is real:
+// slow backends, a small admission gate, no answer cache (a cache hit
+// costs no service time and would make "capacity" meaningless), and
+// hedging off (a hedge doubles a request's service-time footprint,
+// which is load amplification exactly when this bench needs the
+// capacity to stay put).
+func startOverloadDaemon(seed int64) (*httpDaemon, error) {
+	backends := make([]askit.RouterBackend, overloadBackends)
+	for i := range backends {
+		sim := askit.NewSimClient(seed + int64(i))
+		sim.Noise.DirectBlind = 0
+		sim.Noise.CodegenBlind = 0
+		backends[i] = askit.RouterBackend{
+			Name:          fmt.Sprintf("slow-sim-%d", i),
+			Client:        &slowClient{inner: sim, d: overloadServiceTime},
+			MaxConcurrent: overloadMaxInflight,
+		}
+	}
+	router, err := askit.NewRouterWithOptions(
+		askit.RouterOptions{HedgeDelay: -1}, backends...)
+	if err != nil {
+		return nil, err
+	}
+	ai, err := askit.New(askit.Options{Client: router, AnswerCacheSize: -1})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{
+		AskIt:          ai,
+		MaxInflight:    overloadMaxInflight,
+		RequestTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return listenDaemon(ai, srv)
+}
+
+// overloadExpect returns the (path, body, expected value) of request
+// i: direct asks only, every one paying a full slow model call.
+func overloadExpect(i int) (string, string, any) {
+	n := 3 + i%8
+	fact := 1.0
+	for j := 2; j <= n; j++ {
+		fact *= float64(j)
+	}
+	return "/v1/ask", fmt.Sprintf(
+		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":%d}}`, n), fact
+}
+
+// probeCapacity measures the daemon's closed-loop throughput at full
+// admission-gate concurrency — the denominator the open-loop schedules
+// are scaled from.
+func probeCapacity(d *httpDaemon, calls int) float64 {
+	var next atomic.Int64
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: overloadMaxInflight}}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < overloadMaxInflight; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= calls {
+					return
+				}
+				path, body, _ := overloadExpect(i)
+				resp, err := client.Post(d.url+path, "application/json", bytes.NewReader([]byte(body)))
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(calls) / time.Since(start).Seconds()
+}
+
+// driveOpenLoop fires calls requests at a fixed target rate. Each
+// request departs at its scheduled instant regardless of outstanding
+// work; responses are verified against the known answer and classified
+// as correct / wrong / shed (429) / error.
+func driveOpenLoop(d *httpDaemon, mult, rate float64, calls int) overloadRate {
+	type outcome struct {
+		lat     time.Duration
+		correct bool
+		shed    bool
+		wrong   bool
+	}
+	outcomes := make([]outcome, calls)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4 * overloadMaxInflight}}
+	interval := time.Duration(float64(time.Second) / rate)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		intended := start.Add(time.Duration(i) * interval)
+		// When the generator falls behind (timer granularity, GC), the
+		// overdue requests dispatch immediately as a batch; their
+		// latency clocks started at the intended instant either way.
+		if wait := time.Until(intended); wait > 0 {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func(i int, intended time.Time) {
+			defer wg.Done()
+			path, body, want := overloadExpect(i)
+			resp, err := client.Post(d.url+path, "application/json", bytes.NewReader([]byte(body)))
+			lat := time.Since(intended)
+			if err != nil {
+				outcomes[i] = outcome{lat: lat}
+				return
+			}
+			defer resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusTooManyRequests:
+				outcomes[i] = outcome{lat: lat, shed: true}
+			case resp.StatusCode == http.StatusOK:
+				var decoded map[string]any
+				if jerr := json.NewDecoder(resp.Body).Decode(&decoded); jerr == nil && decoded["value"] == want {
+					outcomes[i] = outcome{lat: lat, correct: true}
+				} else {
+					outcomes[i] = outcome{lat: lat, wrong: true}
+				}
+			default:
+				outcomes[i] = outcome{lat: lat}
+			}
+		}(i, intended)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := overloadRate{Multiplier: mult, TargetPerSec: rate, Calls: calls}
+	var okLats []time.Duration
+	for _, o := range outcomes {
+		switch {
+		case o.correct:
+			res.Correct++
+			okLats = append(okLats, o.lat)
+		case o.wrong:
+			res.Wrong++
+		case o.shed:
+			res.Rejected429++
+		default:
+			res.Errors++
+		}
+	}
+	res.GoodputPerSec = float64(res.Correct) / wall.Seconds()
+	res.RejectRate = float64(res.Rejected429) / float64(calls)
+	if len(okLats) > 0 {
+		sort.Slice(okLats, func(i, j int) bool { return okLats[i] < okLats[j] })
+		q := func(p float64) float64 {
+			idx := int(p * float64(len(okLats)))
+			if idx >= len(okLats) {
+				idx = len(okLats) - 1
+			}
+			return float64(okLats[idx].Nanoseconds()) / 1e6
+		}
+		res.P50Ms, res.P99Ms, res.P999Ms = q(0.50), q(0.99), q(0.999)
+	}
+	return res
+}
+
+// runOverloadJSON probes capacity, runs the open-loop schedules, and
+// writes BENCH_7.json. The shedding contracts are hard failures.
+func runOverloadJSON(path string, seed int64) error {
+	d, err := startOverloadDaemon(seed)
+	if err != nil {
+		return err
+	}
+	capacity := probeCapacity(d, overloadProbeCalls)
+
+	var rates []overloadRate
+	for _, mult := range overloadMultipliers {
+		rate := capacity * mult
+		calls := int(rate * overloadRateDuration.Seconds())
+		if calls < overloadMinCalls {
+			calls = overloadMinCalls
+		}
+		if calls > overloadMaxCalls {
+			calls = overloadMaxCalls
+		}
+		rates = append(rates, driveOpenLoop(d, mult, rate, calls))
+	}
+	if err := d.stop(); err != nil {
+		return fmt.Errorf("overload stop: %w", err)
+	}
+
+	report := OverloadReport{
+		Note: fmt.Sprintf("open-loop overload benchmark: fixed-rate arrival schedules at 0.5x/1x/2x the "+
+			"closed-loop probed capacity against a daemon with %v real service time per model call and an "+
+			"admission gate of %d; latencies are measured from each request's intended send time "+
+			"(coordinated-omission corrected); past saturation the contract is shedding (fast 429s), "+
+			"never wrong answers", overloadServiceTime, overloadMaxInflight),
+		MaxInflight:    overloadMaxInflight,
+		Backends:       overloadBackends,
+		ServiceTimeMs:  float64(overloadServiceTime.Nanoseconds()) / 1e6,
+		CapacityPerSec: capacity,
+		Rates:          rates,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("  probed capacity: %.0f req/s (%d in flight x %v service time)\n",
+		capacity, overloadMaxInflight, overloadServiceTime)
+	for _, r := range rates {
+		fmt.Printf("  %.1fx (%5.0f/s): goodput %6.0f/s  429s %5.1f%%  p50 %6.1fms  p99 %6.1fms  p99.9 %6.1fms  (%d wrong, %d errors)\n",
+			r.Multiplier, r.TargetPerSec, r.GoodputPerSec, 100*r.RejectRate,
+			r.P50Ms, r.P99Ms, r.P999Ms, r.Wrong, r.Errors)
+	}
+
+	// The overload contracts.
+	for _, r := range rates {
+		if r.Wrong != 0 {
+			return fmt.Errorf("overload: %d wrong answers at %.1fx", r.Wrong, r.Multiplier)
+		}
+	}
+	last := rates[len(rates)-1]
+	if last.Multiplier >= 2 && last.Rejected429 == 0 {
+		return fmt.Errorf("overload: 2x capacity produced zero 429s — admission control is not shedding")
+	}
+	return nil
+}

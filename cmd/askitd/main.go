@@ -63,7 +63,11 @@ func main() {
 	)
 	flag.Parse()
 
-	client, err := buildClient(*backends, *seed, *noise, *maxInflight)
+	// One registry across every tier — router, engine, store wrapper,
+	// HTTP boundary — so GET /metrics is a single exposition of the
+	// whole daemon.
+	reg := askit.NewMetrics()
+	client, err := buildClient(reg, *backends, *seed, *noise, *maxInflight)
 	if err != nil {
 		log.Fatalf("askitd: %v", err)
 	}
@@ -85,6 +89,7 @@ func main() {
 	opts := askit.Options{
 		Client:          client,
 		AnswerCacheSize: *cacheSize,
+		Metrics:         reg,
 	}
 	if *storePath != "" {
 		st, err := store.Open(*storePath)
@@ -155,8 +160,9 @@ func main() {
 }
 
 // buildClient returns the engine's model client: one simulated backend,
-// or a failover router over several.
-func buildClient(n int, seed int64, noise bool, maxInflight int) (askit.Client, error) {
+// or a failover router over several, registered into the daemon's
+// shared metrics registry.
+func buildClient(reg *askit.Metrics, n int, seed int64, noise bool, maxInflight int) (askit.Client, error) {
 	newSim := func(i int) *llm.Sim {
 		sim := askit.NewSimClient(seed + int64(i))
 		if !noise {
@@ -184,5 +190,5 @@ func buildClient(n int, seed int64, noise bool, maxInflight int) (askit.Client, 
 			MaxConcurrent: perBackend,
 		}
 	}
-	return askit.NewRouter(bs...)
+	return askit.NewRouterWithOptions(askit.RouterOptions{Metrics: reg}, bs...)
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -82,23 +83,27 @@ type Stats struct {
 	Draining bool
 }
 
-// engineStats is the atomic backing store for Stats.
+// engineStats holds the engine's hot-path instruments. They live in
+// the obs registry (initStats registers them), so one atomic add both
+// updates Stats() and feeds /metrics; draining stays a plain atomic
+// because it is control flow (compileOnce consults it), with a
+// registry gauge reading through it.
 type engineStats struct {
-	answerHits           atomic.Uint64
-	answerMisses         atomic.Uint64
-	answerCoalesced      atomic.Uint64
-	compileCoalesced     atomic.Uint64
-	directCalls          atomic.Uint64
-	compiledCalls        atomic.Uint64
-	transientRetries     atomic.Uint64
-	retryBudgetExhausted atomic.Uint64
-	codegenLLMCalls      atomic.Uint64
-	storeHits            atomic.Uint64
-	storeMisses          atomic.Uint64
-	storeErrors          atomic.Uint64
-	storeDegradedTrips   atomic.Uint64
-	answersRestored      atomic.Uint64
-	inflight             atomic.Int64
+	answerHits           *obs.Counter
+	answerMisses         *obs.Counter
+	answerCoalesced      *obs.Counter
+	compileCoalesced     *obs.Counter
+	directCalls          *obs.Counter
+	compiledCalls        *obs.Counter
+	transientRetries     *obs.Counter
+	retryBudgetExhausted *obs.Counter
+	codegenLLMCalls      *obs.Counter
+	storeHits            *obs.Counter
+	storeMisses          *obs.Counter
+	storeErrors          *obs.Counter
+	storeDegradedTrips   *obs.Counter
+	answersRestored      *obs.Counter
+	inflight             *obs.Gauge
 	draining             atomic.Bool
 }
 
@@ -108,21 +113,21 @@ type engineStats struct {
 // when the reader passes between them.
 func (e *Engine) readCounters() Stats {
 	return Stats{
-		AnswerHits:           e.stats.answerHits.Load(),
-		AnswerMisses:         e.stats.answerMisses.Load(),
-		AnswerCoalesced:      e.stats.answerCoalesced.Load(),
-		CompileCoalesced:     e.stats.compileCoalesced.Load(),
-		DirectCalls:          e.stats.directCalls.Load(),
-		CompiledCalls:        e.stats.compiledCalls.Load(),
-		TransientRetries:     e.stats.transientRetries.Load(),
-		RetryBudgetExhausted: e.stats.retryBudgetExhausted.Load(),
-		CodegenLLMCalls:      e.stats.codegenLLMCalls.Load(),
-		StoreHits:            e.stats.storeHits.Load(),
-		StoreMisses:          e.stats.storeMisses.Load(),
-		StoreErrors:          e.stats.storeErrors.Load(),
-		StoreDegradedTrips:   e.stats.storeDegradedTrips.Load(),
-		AnswersRestored:      e.stats.answersRestored.Load(),
-		InflightCalls:        int(e.stats.inflight.Load()),
+		AnswerHits:           e.stats.answerHits.Value(),
+		AnswerMisses:         e.stats.answerMisses.Value(),
+		AnswerCoalesced:      e.stats.answerCoalesced.Value(),
+		CompileCoalesced:     e.stats.compileCoalesced.Value(),
+		DirectCalls:          e.stats.directCalls.Value(),
+		CompiledCalls:        e.stats.compiledCalls.Value(),
+		TransientRetries:     e.stats.transientRetries.Value(),
+		RetryBudgetExhausted: e.stats.retryBudgetExhausted.Value(),
+		CodegenLLMCalls:      e.stats.codegenLLMCalls.Value(),
+		StoreHits:            e.stats.storeHits.Value(),
+		StoreMisses:          e.stats.storeMisses.Value(),
+		StoreErrors:          e.stats.storeErrors.Value(),
+		StoreDegradedTrips:   e.stats.storeDegradedTrips.Value(),
+		AnswersRestored:      e.stats.answersRestored.Value(),
+		InflightCalls:        int(e.stats.inflight.Value()),
 		Draining:             e.stats.draining.Load(),
 	}
 }
@@ -159,7 +164,11 @@ func (e *Engine) Stats() Stats {
 // Compile that would have to start a fresh codegen LLM loop fails fast
 // with ErrDraining — a shutting-down replica must not start multi-second
 // model conversations it would then abandon. Draining is one-way.
-func (e *Engine) BeginDrain() { e.stats.draining.Store(true) }
+func (e *Engine) BeginDrain() {
+	if e.stats.draining.CompareAndSwap(false, true) {
+		e.metrics.Emit("drain", "engine draining: new codegen loops refused")
+	}
+}
 
 // Draining reports whether BeginDrain has been called.
 func (e *Engine) Draining() bool { return e.stats.draining.Load() }

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/jsonx"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/prompt"
 	"repro/internal/store"
 	"repro/internal/template"
@@ -134,6 +135,13 @@ type Options struct {
 	// failing demotes the engine to in-memory-only (Stats.StoreDegraded)
 	// instead of failing calls; it is probed back in after a cooldown.
 	Store store.Backend
+	// Metrics, when non-nil, is the observability registry the engine
+	// registers its counters, gauges, and events in — share one registry
+	// across the engine, router, store, and server so a single /metrics
+	// exposition covers the whole stack. Nil gives the engine a private
+	// registry (hot paths never branch on its presence); Engine.Metrics
+	// returns whichever is in use.
+	Metrics *obs.Registry
 	// Logf, when non-nil, receives diagnostic traces.
 	Logf func(format string, args ...any)
 }
@@ -315,8 +323,9 @@ func (e *Engine) backoff(ctx context.Context, n int, hint time.Duration) error {
 type Engine struct {
 	opts    Options
 	stats   engineStats
-	answers *answerCache // nil when caching is disabled
-	retries *retryBudget // nil when the budget is disabled
+	metrics *obs.Registry // never nil after NewEngine
+	answers *answerCache  // nil when caching is disabled
+	retries *retryBudget  // nil when the budget is disabled
 	shealth storeHealth
 }
 
@@ -334,6 +343,15 @@ func NewEngine(opts Options) (*Engine, error) {
 		t := *opts.Temperature
 		opts.Temperature = &t
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	// The store is wrapped with per-op latency/outcome instrumentation
+	// before the engine captures it, so every load/save the engine (or a
+	// caller holding Options().Store) performs is measured. Instrument
+	// delegates Close and is identity-stable (wrapping twice is a no-op).
+	opts.Store = store.Instrument(opts.Store, reg)
 	e := &Engine{opts: opts, retries: newRetryBudget(opts.RetryBudget)}
 	if opts.AnswerCacheSize >= 0 {
 		size := opts.AnswerCacheSize
@@ -342,6 +360,7 @@ func NewEngine(opts Options) (*Engine, error) {
 		}
 		e.answers = newAnswerCache(size)
 	}
+	e.initStats(reg)
 	e.restoreAnswers()
 	return e, nil
 }

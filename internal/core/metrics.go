@@ -1,0 +1,77 @@
+package core
+
+import "repro/internal/obs"
+
+// initStats registers every engine instrument in the registry. The
+// engineStats fields point straight at registry counters, so the hot
+// paths emit into the registry with the same single atomic add they
+// always paid — core.Stats(), /v1/stats JSON (via GroupJSON("engine"),
+// which reproduces the legacy wire keys), and Prometheus exposition
+// are all views over the same instruments.
+func (e *Engine) initStats(reg *obs.Registry) {
+	e.metrics = reg
+	s := &e.stats
+	eng := func(key string) obs.Opt { return obs.JSONKey("engine", key) }
+
+	s.answerHits = reg.Counter("askit_answer_hits_total",
+		obs.Help("Direct calls served from the memoized answer cache."), eng("answer_hits"))
+	s.answerMisses = reg.Counter("askit_answer_misses_total",
+		obs.Help("Direct calls that ran the model loop."), eng("answer_misses"))
+	s.answerCoalesced = reg.Counter("askit_answer_coalesced_total",
+		obs.Help("Direct calls that joined an identical in-flight call."), eng("answer_coalesced"))
+	reg.GaugeFunc("askit_answer_entries", func() float64 {
+		if e.answers == nil {
+			return 0
+		}
+		return float64(e.answers.len())
+	}, obs.Help("Current memoized answer-cache entries."), eng("answer_entries"))
+	s.compileCoalesced = reg.Counter("askit_compile_coalesced_total",
+		obs.Help("Compile calls that joined an in-flight codegen loop."), eng("compile_coalesced"))
+	s.directCalls = reg.Counter("askit_direct_calls_total",
+		obs.Help("Func.Call invocations answered by the model path."), eng("direct_calls"))
+	s.compiledCalls = reg.Counter("askit_compiled_calls_total",
+		obs.Help("Func.Call invocations answered by generated code."), eng("compiled_calls"))
+	s.transientRetries = reg.Counter("askit_transient_retries_total",
+		obs.Help("Transient client errors that consumed retry budget."), eng("transient_retries"))
+	s.retryBudgetExhausted = reg.Counter("askit_retry_budget_exhausted_total",
+		obs.Help("Calls failed fast because the retry token bucket was empty."), eng("retry_budget_exhausted"))
+	reg.GaugeFunc("askit_retry_budget_tokens", func() float64 {
+		return float64(e.retries.level())
+	}, obs.Help("Current whole-token level of the retry budget; -1 when disabled."), eng("retry_budget_tokens"))
+	s.codegenLLMCalls = reg.Counter("askit_codegen_llm_calls_total",
+		obs.Help("Client.Complete calls made by codegen loops; zero on a warm restart."), eng("codegen_llm_calls"))
+	s.storeHits = reg.Counter("askit_store_hits_total",
+		obs.Help("Compile calls served from the persistent artifact store."), eng("store_hits"))
+	s.storeMisses = reg.Counter("askit_store_misses_total",
+		obs.Help("Artifact-store probes that fell back to codegen."), eng("store_misses"))
+	s.storeErrors = reg.Counter("askit_store_errors_total",
+		obs.Help("Artifact-store I/O failures observed by the engine."), eng("store_errors"))
+	s.storeDegradedTrips = reg.Counter("askit_store_degraded_trips_total",
+		obs.Help("Transitions into degraded (in-memory-only) persistence."), eng("store_degraded_trips"))
+	reg.GaugeFunc("askit_store_degraded", func() float64 {
+		if e.storeDegraded() {
+			return 1
+		}
+		return 0
+	}, obs.Help("Whether persistence is currently degraded to in-memory-only."), eng("store_degraded"), obs.AsBool())
+	s.answersRestored = reg.Counter("askit_answers_restored_total",
+		obs.Help("Answer-cache entries warm-started from a persisted snapshot."), eng("answers_restored"))
+	s.inflight = reg.Gauge("askit_inflight_calls",
+		obs.Help("Func.Call and Func.Compile invocations currently executing."), eng("inflight_calls"))
+	reg.GaugeFunc("askit_draining", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	}, obs.Help("Whether BeginDrain has been called."), eng("draining"), obs.AsBool())
+}
+
+// Metrics returns the engine's observability registry — the one its
+// counters, gauges, and events live in. Always non-nil: an engine
+// created without Options.Metrics owns a private registry.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
+
+// StoreDegraded reports whether persistence is currently demoted to
+// in-memory-only (cheap; no Stats snapshot needed — health endpoints
+// poll this).
+func (e *Engine) StoreDegraded() bool { return e.storeDegraded() }

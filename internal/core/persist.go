@@ -68,12 +68,14 @@ func (e *Engine) noteStoreResult(err error) {
 	h := &e.shealth
 	if err == nil || errors.Is(err, store.ErrMiss) {
 		h.mu.Lock()
-		if h.degraded {
-			e.logf("core: store recovered; persistence re-enabled")
-		}
+		recovered := h.degraded
 		h.fails = 0
 		h.degraded = false
 		h.mu.Unlock()
+		if recovered {
+			e.logf("core: store recovered; persistence re-enabled")
+			e.metrics.Emit("store-recover", "probe succeeded; persistence re-enabled")
+		}
 		return
 	}
 	if errors.Is(err, store.ErrClosed) {
@@ -82,15 +84,21 @@ func (e *Engine) noteStoreResult(err error) {
 	e.stats.storeErrors.Add(1)
 	h.mu.Lock()
 	h.fails++
+	tripped := false
 	if h.fails >= storeFailThreshold && !h.degraded {
 		h.degraded = true
 		h.until = time.Now().Add(storeCooldown)
-		e.stats.storeDegradedTrips.Add(1)
-		e.logf("core: store failing (%d consecutive errors); degrading to in-memory-only", h.fails)
+		tripped = true
 	} else if h.fails >= storeFailThreshold {
 		h.until = time.Now().Add(storeCooldown)
 	}
+	fails := h.fails
 	h.mu.Unlock()
+	if tripped {
+		e.stats.storeDegradedTrips.Add(1)
+		e.logf("core: store failing (%d consecutive errors); degrading to in-memory-only", fails)
+		e.metrics.Emit("store-degrade", err.Error())
+	}
 }
 
 // storeDegraded reports the current degradation state, for Stats.

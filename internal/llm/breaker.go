@@ -44,6 +44,11 @@ func (s breakerState) String() string {
 type breaker struct {
 	threshold int
 	openFor   time.Duration
+	// notify, when non-nil, receives state-transition announcements
+	// ("open", "closed") for the event trail. Set once at construction
+	// time, before any traffic; called with mu held (the callback must
+	// not re-enter the breaker).
+	notify func(to string)
 
 	mu       sync.Mutex
 	state    breakerState
@@ -118,6 +123,9 @@ func (b *breaker) onResult(now time.Time, success bool) {
 	if success {
 		// Any success — probe or a straggler admitted before the open —
 		// proves the backend serves again.
+		if b.state != breakerClosed && b.notify != nil {
+			b.notify("closed")
+		}
 		b.state = breakerClosed
 		b.fails = 0
 		b.probing = false
@@ -129,17 +137,34 @@ func (b *breaker) onResult(now time.Time, success bool) {
 		b.openedAt = now
 		b.opens++
 		b.probing = false
+		if b.notify != nil {
+			b.notify("open")
+		}
 	case breakerClosed:
 		b.fails++
 		if b.fails >= b.threshold {
 			b.state = breakerOpen
 			b.openedAt = now
 			b.opens++
+			if b.notify != nil {
+				b.notify("open")
+			}
 		}
 	case breakerOpen:
 		// A straggler admitted before the trip failed too; the clock is
 		// deliberately not refreshed — recovery probes stay on schedule.
 	}
+}
+
+// openCount returns the open-transition count, for the registry's
+// per-backend breaker counter.
+func (b *breaker) openCount() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
 }
 
 // snapshot returns the displayed state ("off" when disabled) and the

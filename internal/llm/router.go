@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Backend describes one upstream Client in a Router.
@@ -43,6 +45,12 @@ type RouterOptions struct {
 	// the dynamic hedge delay activates. 0 means
 	// DefaultHedgeMinSamples. Ignored when HedgeDelay is fixed.
 	HedgeMinSamples int
+	// Metrics, when non-nil, is the observability registry the router
+	// registers its counters (router-wide and per-backend, labeled by
+	// backend name) and breaker-transition events in. Share one registry
+	// with the engine and server for a single /metrics exposition. Nil
+	// gives the router a private registry.
+	Metrics *obs.Registry
 }
 
 // Hedging defaults (RouterOptions zero values).
@@ -80,16 +88,17 @@ type Router struct {
 	backends []*routerBackend
 	opts     RouterOptions
 	hedgeMin int
+	metrics  *obs.Registry // never nil after NewRouterWithOptions
 
 	next             atomic.Uint64
-	requests         atomic.Uint64
-	failovers        atomic.Uint64
-	exhausted        atomic.Uint64
-	saturationSkips  atomic.Uint64
-	breakerSkips     atomic.Uint64
-	breakerFastFails atomic.Uint64
-	hedges           atomic.Uint64
-	hedgeWins        atomic.Uint64
+	requests         *obs.Counter
+	failovers        *obs.Counter
+	exhausted        *obs.Counter
+	saturationSkips  *obs.Counter
+	breakerSkips     *obs.Counter
+	breakerFastFails *obs.Counter
+	hedges           *obs.Counter
+	hedgeWins        *obs.Counter
 
 	lat latencyRing
 }
@@ -99,8 +108,8 @@ type routerBackend struct {
 	client   Client
 	sem      chan struct{} // nil = unbounded
 	breaker  *breaker      // nil = disabled
-	requests atomic.Uint64
-	failures atomic.Uint64
+	requests *obs.Counter
+	failures *obs.Counter
 }
 
 // NewRouter validates the backends and returns a Router with default
@@ -114,10 +123,31 @@ func NewRouterWithOptions(opts RouterOptions, backends ...Backend) (*Router, err
 	if len(backends) == 0 {
 		return nil, errors.New("llm: router needs at least one backend")
 	}
-	r := &Router{opts: opts, hedgeMin: opts.HedgeMinSamples}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	r := &Router{opts: opts, hedgeMin: opts.HedgeMinSamples, metrics: reg}
 	if r.hedgeMin <= 0 {
 		r.hedgeMin = DefaultHedgeMinSamples
 	}
+	rc := func(key string) obs.Opt { return obs.JSONKey("router", key) }
+	r.requests = reg.Counter("askit_router_requests_total",
+		obs.Help("Complete calls on the router."), rc("requests"))
+	r.failovers = reg.Counter("askit_router_failovers_total",
+		obs.Help("Backend errors that moved a request to the next backend."), rc("failovers"))
+	r.exhausted = reg.Counter("askit_router_exhausted_total",
+		obs.Help("Requests for which every backend failed."), rc("exhausted"))
+	r.saturationSkips = reg.Counter("askit_router_saturation_skips_total",
+		obs.Help("Walk steps that skipped a concurrency-saturated backend."), rc("saturation_skips"))
+	r.breakerSkips = reg.Counter("askit_router_breaker_skips_total",
+		obs.Help("Walk steps that skipped a circuit-open backend."), rc("breaker_skips"))
+	r.breakerFastFails = reg.Counter("askit_router_breaker_fast_fails_total",
+		obs.Help("Requests rejected because every backend's breaker was open."), rc("breaker_fast_fails"))
+	r.hedges = reg.Counter("askit_router_hedges_total",
+		obs.Help("Hedged second attempts launched for straggling requests."), rc("hedges"))
+	r.hedgeWins = reg.Counter("askit_router_hedge_wins_total",
+		obs.Help("Requests where the hedged attempt finished first."), rc("hedge_wins"))
 	for i, b := range backends {
 		if b.Client == nil {
 			return nil, fmt.Errorf("llm: router backend %d has no client", i)
@@ -133,10 +163,39 @@ func NewRouterWithOptions(opts RouterOptions, backends ...Backend) (*Router, err
 		if b.MaxConcurrent > 0 {
 			rb.sem = make(chan struct{}, b.MaxConcurrent)
 		}
+		lbl := obs.Labels("backend", rb.name)
+		rb.requests = reg.Counter("askit_backend_requests_total",
+			obs.Help("Requests attempted per backend."), lbl)
+		rb.failures = reg.Counter("askit_backend_failures_total",
+			obs.Help("Failed requests per backend."), lbl)
+		if rb.breaker != nil {
+			// Breaker transitions are rare state changes: counted and
+			// event-logged, with the live state readable as a gauge
+			// (0 closed, 0.5 half-open, 1 open).
+			br, name := rb.breaker, rb.name
+			br.notify = func(to string) { reg.Emit("breaker-"+to, name) }
+			reg.CounterFunc("askit_backend_breaker_opens_total", br.openCount,
+				obs.Help("Breaker open transitions per backend."), lbl)
+			reg.GaugeFunc("askit_backend_breaker_open", func() float64 {
+				state, _ := br.snapshot(time.Now())
+				switch state {
+				case "open":
+					return 1
+				case "half-open":
+					return 0.5
+				default:
+					return 0
+				}
+			}, obs.Help("Breaker state per backend: 0 closed, 0.5 half-open, 1 open."), lbl)
+		}
 		r.backends = append(r.backends, rb)
 	}
 	return r, nil
 }
+
+// Metrics returns the router's observability registry (the one passed
+// in RouterOptions.Metrics, or the private one). Always non-nil.
+func (r *Router) Metrics() *obs.Registry { return r.metrics }
 
 var _ Client = (*Router)(nil)
 
@@ -289,6 +348,7 @@ func (r *Router) Complete(ctx context.Context, req Request) (Response, error) {
 		case <-timer.C:
 			if hcancel == nil {
 				r.hedges.Add(1)
+				r.metrics.Emit("hedge", fmt.Sprintf("first attempt past %v; racing a second backend", delay))
 				var hctx context.Context
 				hctx, hcancel = context.WithCancel(ctx)
 				defer hcancel()
@@ -442,22 +502,22 @@ type RouterStats struct {
 // Stats returns a snapshot of the router's counters.
 func (r *Router) Stats() RouterStats {
 	s := RouterStats{
-		Requests:         r.requests.Load(),
-		Failovers:        r.failovers.Load(),
-		Exhausted:        r.exhausted.Load(),
-		SaturationSkips:  r.saturationSkips.Load(),
-		BreakerSkips:     r.breakerSkips.Load(),
-		BreakerFastFails: r.breakerFastFails.Load(),
-		Hedges:           r.hedges.Load(),
-		HedgeWins:        r.hedgeWins.Load(),
+		Requests:         r.requests.Value(),
+		Failovers:        r.failovers.Value(),
+		Exhausted:        r.exhausted.Value(),
+		SaturationSkips:  r.saturationSkips.Value(),
+		BreakerSkips:     r.breakerSkips.Value(),
+		BreakerFastFails: r.breakerFastFails.Value(),
+		Hedges:           r.hedges.Value(),
+		HedgeWins:        r.hedgeWins.Value(),
 	}
 	now := time.Now()
 	for _, b := range r.backends {
 		state, opens := b.breaker.snapshot(now)
 		s.Backends = append(s.Backends, BackendStats{
 			Name:         b.name,
-			Requests:     b.requests.Load(),
-			Failures:     b.failures.Load(),
+			Requests:     b.requests.Value(),
+			Failures:     b.failures.Value(),
 			Breaker:      state,
 			BreakerOpens: opens,
 		})

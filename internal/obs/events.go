@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// eventRingSize bounds the retained event trail. Events are rare state
+// transitions (breaker open/close, store degrade/recover, drain, hedge
+// launches), not per-request records, so a small ring holds the recent
+// operational story.
+const eventRingSize = 256
+
+// Event is one labeled operational occurrence.
+type Event struct {
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// eventRing is a bounded FIFO of recent events. Mutex-guarded: every
+// emitter is on a rare path (state transitions), never per-request.
+type eventRing struct {
+	mu  sync.Mutex
+	buf [eventRingSize]Event
+	n   uint64 // total emitted; write index = n % size
+}
+
+// Emit appends an event to the ring, evicting the oldest when full.
+func (r *Registry) Emit(kind, detail string) {
+	e := &r.events
+	e.mu.Lock()
+	e.buf[e.n%eventRingSize] = Event{Time: time.Now(), Kind: kind, Detail: detail}
+	e.n++
+	e.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Registry) Events() []Event {
+	e := &r.events
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.n
+	if n > eventRingSize {
+		out := make([]Event, 0, eventRingSize)
+		for i := uint64(0); i < eventRingSize; i++ {
+			out = append(out, e.buf[(n+i)%eventRingSize])
+		}
+		return out
+	}
+	out := make([]Event, n)
+	copy(out, e.buf[:n])
+	return out
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: fixed log2-spaced upper bounds starting at
+// 1µs — bucket i holds observations in (bound(i-1), bound(i)] with
+// bound(i) = 1µs << i — plus a final +Inf bucket. 27 finite buckets
+// cover 1µs .. ~67s, which spans everything from a cached loopback hit
+// to a cold codegen loop; the factor-2 spacing bounds quantile
+// interpolation error at 2x, plenty for p50/p99/p99.9 reporting.
+const (
+	// NumBuckets is the total bucket count including +Inf.
+	NumBuckets = 28
+	// numFiniteBuckets is NumBuckets minus the +Inf bucket.
+	numFiniteBuckets = NumBuckets - 1
+	// minBucketBound is the upper bound of bucket 0.
+	minBucketBound = time.Microsecond
+)
+
+// BucketBound returns the upper bound of bucket i; the +Inf bucket
+// reports math.MaxInt64 ns.
+func BucketBound(i int) time.Duration {
+	if i >= numFiniteBuckets {
+		return time.Duration(math.MaxInt64)
+	}
+	return minBucketBound << i
+}
+
+// bucketIndex maps an observation to its bucket: the smallest i with
+// d <= BucketBound(i).
+func bucketIndex(d time.Duration) int {
+	if d <= minBucketBound {
+		return 0
+	}
+	// ceil(d / 1µs), then ceil(log2): d in (1µs<<(i-1), 1µs<<i] → i.
+	n := uint64((d + minBucketBound - 1) / minBucketBound)
+	i := bits.Len64(n - 1)
+	if i >= numFiniteBuckets {
+		return numFiniteBuckets // +Inf
+	}
+	return i
+}
+
+// histShards is the number of independent shards an observation may
+// land in; a power of two. Sharding exists only to keep concurrent
+// Observe calls off one contended cache line — snapshots always merge
+// all shards.
+const histShards = 4
+
+type histShard struct {
+	counts [NumBuckets]atomic.Uint64
+	sumNs  atomic.Int64
+	// Pad shards apart so two cores observing into different shards do
+	// not false-share one cache line.
+	_ [64]byte
+}
+
+// Histogram is a lock-free sharded latency histogram. Observe is
+// wait-free (two atomic adds); Snapshot merges the shards.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	// Shard selection mixes the observed value itself: latencies jitter
+	// in their low bits, so a Fibonacci-hash of the duration spreads
+	// concurrent writers without any per-goroutine state.
+	sh := &h.shards[(uint64(d)*0x9E3779B97F4A7C15)>>(64-2)]
+	sh.counts[bucketIndex(d)].Add(1)
+	sh.sumNs.Add(int64(d))
+}
+
+// HistogramSnapshot is a merged point-in-time copy of a histogram.
+// Counts are per-bucket (not cumulative).
+type HistogramSnapshot struct {
+	Counts [NumBuckets]uint64
+	Count  uint64
+	SumNs  int64
+}
+
+// Snapshot merges every shard. Concurrent observations may straddle
+// the per-shard reads; totals are eventually exact once writers settle.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := 0; b < NumBuckets; b++ {
+			c := sh.counts[b].Load()
+			s.Counts[b] += c
+			s.Count += c
+		}
+		s.SumNs += sh.sumNs.Load()
+	}
+	return s
+}
+
+// Merge adds o into s, for aggregate quantiles across several
+// histograms (e.g. all work routes together).
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for b := 0; b < NumBuckets; b++ {
+		s.Counts[b] += o.Counts[b]
+	}
+	s.Count += o.Count
+	s.SumNs += o.SumNs
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) with linear
+// interpolation inside the landing bucket. An empty snapshot returns 0;
+// observations in the +Inf bucket report the last finite bound.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > s.Count {
+		target = s.Count
+	}
+	var cum uint64
+	for b := 0; b < NumBuckets; b++ {
+		c := s.Counts[b]
+		if c == 0 {
+			continue
+		}
+		if cum+c < target {
+			cum += c
+			continue
+		}
+		if b >= numFiniteBuckets {
+			return BucketBound(numFiniteBuckets - 1)
+		}
+		lo := time.Duration(0)
+		if b > 0 {
+			lo = BucketBound(b - 1)
+		}
+		hi := BucketBound(b)
+		frac := float64(target-cum) / float64(c)
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return BucketBound(numFiniteBuckets - 1)
+}

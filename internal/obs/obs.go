@@ -1,0 +1,275 @@
+// Package obs is the unified observability registry: one
+// zero-dependency home for every counter, gauge, and latency histogram
+// the engine, router, store, and server emit, plus a bounded ring of
+// labeled events (breaker transitions, store degradation, drains).
+//
+// Design constraints, in order:
+//
+//   - Hot-path writes are lock-free: counters and gauges are single
+//     atomics, histograms are sharded atomic bucket arrays. Nothing a
+//     serving request touches takes a mutex.
+//   - One registry serves every consumer: Prometheus text exposition
+//     (WritePrometheus), the /v1/stats JSON wire form (GroupJSON — a
+//     metric registered with JSONKey serializes under its legacy wire
+//     key, so the hand-maintained core.Stats→JSON mapping disappears),
+//     and typed snapshots (core.Stats / llm.RouterStats read the same
+//     instruments the registry exposes).
+//   - Registration is get-or-create and idempotent; families and series
+//     render in registration order, so exposition output is
+//     deterministic and golden-testable.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families in registration order plus the event
+// ring. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	order  []*family
+	byName map[string]*family
+
+	events eventRing
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// family is one metric name: help text, a type, and one series per
+// label set.
+type family struct {
+	name string
+	help string
+	typ  string // "counter" | "gauge" | "histogram"
+
+	mu    sync.Mutex
+	order []*series
+	byKey map[string]*series
+}
+
+// series is one (family, label set) pair and its instrument.
+type series struct {
+	labels []string // k1, v1, k2, v2, ...
+	group  string   // JSON group ("" = not serialized by GroupJSON)
+	key    string   // JSON key within the group
+	asBool bool     // serialize the JSON value as a bool (v != 0)
+	inst   any      // *Counter | *Gauge | funcGauge | funcCounter | *Histogram
+}
+
+// funcGauge reads its value from a callback at collection time — for
+// gauges whose truth lives elsewhere (cache residency, token levels,
+// boolean states).
+type funcGauge struct{ fn func() float64 }
+
+// funcCounter is a monotonic counter read from a callback (e.g. a
+// breaker's open-transition count, owned by the breaker's own mutex).
+type funcCounter struct{ fn func() uint64 }
+
+// Opt configures one instrument registration.
+type Opt func(*seriesOpts)
+
+type seriesOpts struct {
+	help   string
+	labels []string
+	group  string
+	key    string
+	asBool bool
+}
+
+// Help sets the family help text (first registration wins).
+func Help(h string) Opt { return func(o *seriesOpts) { o.help = h } }
+
+// Labels attaches label key/value pairs to the series, e.g.
+// Labels("route", "/v1/ask"). Must come in pairs.
+func Labels(kv ...string) Opt {
+	return func(o *seriesOpts) { o.labels = append(o.labels, kv...) }
+}
+
+// JSONKey places the series in a GroupJSON group under the given key —
+// the bridge from registry metrics to legacy wire forms.
+func JSONKey(group, key string) Opt {
+	return func(o *seriesOpts) { o.group, o.key = group, key }
+}
+
+// AsBool makes GroupJSON serialize the value as a bool (v != 0);
+// Prometheus exposition still shows 0/1.
+func AsBool() Opt { return func(o *seriesOpts) { o.asBool = true } }
+
+func buildOpts(opts []Opt) seriesOpts {
+	var o seriesOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if len(o.labels)%2 != 0 {
+		panic("obs: Labels requires key/value pairs")
+	}
+	return o
+}
+
+func (r *Registry) getFamily(name, typ, help string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, typ: typ, help: help, byKey: map[string]*series{}}
+		r.byName[name] = f
+		r.order = append(r.order, f)
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	return f
+}
+
+func labelKey(labels []string) string {
+	k := ""
+	for _, l := range labels {
+		k += l + "\x00"
+	}
+	return k
+}
+
+// getSeries returns the existing series for the label set or creates
+// one with mk. The instrument must be type-asserted by the caller.
+func (f *family) getSeries(o seriesOpts, mk func() any) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := labelKey(o.labels)
+	if s, ok := f.byKey[k]; ok {
+		return s
+	}
+	s := &series{labels: o.labels, group: o.group, key: o.key, asBool: o.asBool, inst: mk()}
+	f.byKey[k] = s
+	f.order = append(f.order, s)
+	return s
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic signed gauge.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by d (negative to decrement).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Counter returns (registering if absent) the counter series for name
+// and the given options.
+func (r *Registry) Counter(name string, opts ...Opt) *Counter {
+	o := buildOpts(opts)
+	s := r.getFamily(name, "counter", o.help).getSeries(o, func() any { return &Counter{} })
+	c, ok := s.inst.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: series %q is not a plain counter", name))
+	}
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// collection time. Re-registering the same series is a no-op (the
+// original callback is kept).
+func (r *Registry) CounterFunc(name string, fn func() uint64, opts ...Opt) {
+	o := buildOpts(opts)
+	r.getFamily(name, "counter", o.help).getSeries(o, func() any { return funcCounter{fn} })
+}
+
+// Gauge returns (registering if absent) the gauge series for name.
+func (r *Registry) Gauge(name string, opts ...Opt) *Gauge {
+	o := buildOpts(opts)
+	s := r.getFamily(name, "gauge", o.help).getSeries(o, func() any { return &Gauge{} })
+	g, ok := s.inst.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: series %q is not a plain gauge", name))
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at collection
+// time. Re-registering the same series is a no-op.
+func (r *Registry) GaugeFunc(name string, fn func() float64, opts ...Opt) {
+	o := buildOpts(opts)
+	r.getFamily(name, "gauge", o.help).getSeries(o, func() any { return funcGauge{fn} })
+}
+
+// Histogram returns (registering if absent) the latency histogram
+// series for name.
+func (r *Registry) Histogram(name string, opts ...Opt) *Histogram {
+	o := buildOpts(opts)
+	s := r.getFamily(name, "histogram", o.help).getSeries(o, func() any { return &Histogram{} })
+	h, ok := s.inst.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: series %q is not a histogram", name))
+	}
+	return h
+}
+
+// seriesValue reads a scalar series' current value as float64.
+func seriesValue(s *series) float64 {
+	switch inst := s.inst.(type) {
+	case *Counter:
+		return float64(inst.Value())
+	case *Gauge:
+		return float64(inst.Value())
+	case funcGauge:
+		return inst.fn()
+	case funcCounter:
+		return float64(inst.fn())
+	default:
+		return 0
+	}
+}
+
+// GroupJSON returns the values of every series registered with
+// JSONKey(group, ...) under their wire keys — counters and gauges as
+// integers, AsBool series as booleans. It reproduces a legacy
+// hand-maintained stats map from the registry alone. Histograms are not
+// included (their consumers want quantiles, which are shape-specific).
+func (r *Registry) GroupJSON(group string) map[string]any {
+	out := map[string]any{}
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		for _, s := range f.order {
+			if s.group != group || s.key == "" {
+				continue
+			}
+			v := seriesValue(s)
+			switch {
+			case s.asBool:
+				out[s.key] = v != 0
+			case f.typ == "counter":
+				out[s.key] = uint64(v)
+			default:
+				out[s.key] = int64(v)
+			}
+		}
+		f.mu.Unlock()
+	}
+	return out
+}

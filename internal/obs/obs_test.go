@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", Help("x"))
+	b := r.Counter("x_total")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	l1 := r.Counter("y_total", Labels("k", "1"))
+	l2 := r.Counter("y_total", Labels("k", "2"))
+	if l1 == l2 {
+		t.Fatal("different label sets must be distinct series")
+	}
+	a.Add(3)
+	a.Inc()
+	if got := b.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+}
+
+func TestGaugeAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Add(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %d, want 3", g.Value())
+	}
+	g.Set(-7)
+	if g.Value() != -7 {
+		t.Fatalf("gauge = %d, want -7", g.Value())
+	}
+	v := 41.0
+	r.GaugeFunc("gf", func() float64 { v++; return v })
+	r.CounterFunc("cf_total", func() uint64 { return 9 })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{"gf 42\n", "cf_total 9\n", "g -7\n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as counter and gauge must panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{2*time.Microsecond + 1, 2},
+		{4 * time.Microsecond, 2},
+		{1024 * time.Microsecond, 10},     // 1µs<<10, exactly bound(10)
+		{1024*time.Microsecond + 1, 11},   // just past it
+		{67108864 * time.Microsecond, 26}, // last finite bound, ~67s
+		{2 * time.Hour, numFiniteBuckets}, // +Inf
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket's own bound must land in that bucket (le is inclusive).
+	for i := 0; i < numFiniteBuckets; i++ {
+		if got := bucketIndex(BucketBound(i)); got != i {
+			t.Errorf("bucketIndex(BucketBound(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 90 fast observations at ~10µs, 10 slow at ~10ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	p50 := s.Quantile(0.50)
+	if p50 < 8*time.Microsecond || p50 > 16*time.Microsecond {
+		t.Errorf("p50 = %v, want ~10µs (within its 8–16µs bucket)", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 8*time.Millisecond || p99 > 16*time.Millisecond {
+		t.Errorf("p99 = %v, want ~10ms (within its 8–16ms bucket)", p99)
+	}
+	if q := s.Quantile(1.0); q < p99 {
+		t.Errorf("p100 = %v < p99 = %v", q, p99)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty snapshot quantile must be 0")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 2 {
+		t.Fatalf("merged count = %d, want 2", sa.Count)
+	}
+	wantSum := int64(time.Millisecond + time.Second)
+	if sa.SumNs != wantSum {
+		t.Fatalf("merged sum = %d, want %d", sa.SumNs, wantSum)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// under -race this is the lock-freedom proof, and the merged totals
+// must be exact regardless.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(seed*1000+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent reader: snapshots must be safe mid-write
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = h.Snapshot().Quantile(0.99)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var bucketTotal uint64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+func TestGroupJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("askit_hits_total", JSONKey("engine", "hits")).Add(12)
+	r.Gauge("askit_level", JSONKey("engine", "level")).Set(-1)
+	r.GaugeFunc("askit_flag", func() float64 { return 1 }, JSONKey("engine", "flag"), AsBool())
+	r.GaugeFunc("askit_off", func() float64 { return 0 }, JSONKey("engine", "off"), AsBool())
+	r.Counter("askit_other_total", JSONKey("router", "other")).Add(5)
+	r.Counter("askit_plain_total").Add(99) // no JSON key: excluded
+
+	got := r.GroupJSON("engine")
+	want := map[string]any{
+		"hits":  uint64(12),
+		"level": int64(-1),
+		"flag":  true,
+		"off":   false,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("GroupJSON = %#v, want %#v", got, want)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("GroupJSON[%q] = %#v (%T), want %#v (%T)", k, got[k], got[k], w, w)
+		}
+	}
+	if other := r.GroupJSON("router"); other["other"] != uint64(5) {
+		t.Errorf("router group = %#v", other)
+	}
+}
+
+func TestEventsRing(t *testing.T) {
+	r := NewRegistry()
+	if len(r.Events()) != 0 {
+		t.Fatal("fresh registry must have no events")
+	}
+	r.Emit("breaker-open", "backend-1")
+	r.Emit("store-degrade", "")
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Kind != "breaker-open" || evs[1].Kind != "store-degrade" {
+		t.Fatalf("events = %#v", evs)
+	}
+	if evs[0].Time.IsZero() {
+		t.Fatal("event time must be stamped")
+	}
+	// Overflow: only the newest eventRingSize survive, oldest first.
+	for i := 0; i < eventRingSize+10; i++ {
+		r.Emit("e", fmt.Sprintf("%d", i))
+	}
+	evs = r.Events()
+	if len(evs) != eventRingSize {
+		t.Fatalf("len = %d, want %d", len(evs), eventRingSize)
+	}
+	if evs[len(evs)-1].Detail != fmt.Sprintf("%d", eventRingSize+9) {
+		t.Fatalf("newest event = %#v", evs[len(evs)-1])
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time.Before(evs[i-1].Time) {
+			t.Fatal("events must be ordered oldest first")
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format: family order,
+// HELP/TYPE lines, label rendering, histogram cumulative buckets.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("askit_requests_total", Help("Total requests."), Labels("route", "/v1/ask")).Add(3)
+	r.Counter("askit_requests_total", Labels("route", "/healthz")).Add(1)
+	r.Gauge("askit_inflight", Help("In-flight requests.")).Set(2)
+	h := r.Histogram("askit_latency_seconds", Help("Request latency."), Labels("route", "/v1/ask"))
+	h.Observe(1500 * time.Nanosecond) // bucket le=2e-06
+	h.Observe(3 * time.Microsecond)   // bucket le=4e-06
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	got := sb.String()
+
+	want := strings.Join([]string{
+		"# HELP askit_requests_total Total requests.",
+		"# TYPE askit_requests_total counter",
+		`askit_requests_total{route="/v1/ask"} 3`,
+		`askit_requests_total{route="/healthz"} 1`,
+		"# HELP askit_inflight In-flight requests.",
+		"# TYPE askit_inflight gauge",
+		"askit_inflight 2",
+		"# HELP askit_latency_seconds Request latency.",
+		"# TYPE askit_latency_seconds histogram",
+		`askit_latency_seconds_bucket{route="/v1/ask",le="1e-06"} 0`,
+		`askit_latency_seconds_bucket{route="/v1/ask",le="2e-06"} 1`,
+		`askit_latency_seconds_bucket{route="/v1/ask",le="4e-06"} 2`,
+	}, "\n") + "\n"
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("exposition prefix mismatch.\nwant prefix:\n%s\ngot:\n%s", want, got)
+	}
+	// The histogram must close with +Inf, _sum, _count — and +Inf must
+	// equal _count (cumulative buckets are complete).
+	for _, line := range []string{
+		`askit_latency_seconds_bucket{route="/v1/ask",le="+Inf"} 2`,
+		`askit_latency_seconds_sum{route="/v1/ask"} 4.5e-06`,
+		`askit_latency_seconds_count{route="/v1/ask"} 2`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, got)
+		}
+	}
+}
+
+func TestBucketBoundMonotone(t *testing.T) {
+	prev := time.Duration(0)
+	for i := 0; i < numFiniteBuckets; i++ {
+		b := BucketBound(i)
+		if b <= prev {
+			t.Fatalf("bounds must increase: bound(%d)=%v, prev %v", i, b, prev)
+		}
+		prev = b
+	}
+	if BucketBound(numFiniteBuckets) != time.Duration(math.MaxInt64) {
+		t.Fatal("+Inf bucket bound")
+	}
+}

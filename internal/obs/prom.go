@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of WritePrometheus output
+// (Prometheus text exposition format 0.0.4).
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in registration order in the
+// Prometheus text exposition format. Histograms render cumulative
+// le-buckets plus _sum and _count, with bounds in seconds (the
+// Prometheus convention for duration histograms).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		series := append([]*series(nil), f.order...)
+		f.mu.Unlock()
+		if len(series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range series {
+			if h, ok := s.inst.(*Histogram); ok {
+				writePromHistogram(w, f.name, s.labels, h.Snapshot())
+				continue
+			}
+			fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(s.labels, "", ""), formatValue(seriesValue(s)))
+		}
+	}
+}
+
+func writePromHistogram(w io.Writer, name string, labels []string, snap HistogramSnapshot) {
+	var cum uint64
+	for b := 0; b < NumBuckets; b++ {
+		cum += snap.Counts[b]
+		le := "+Inf"
+		if b < numFiniteBuckets {
+			le = strconv.FormatFloat(BucketBound(b).Seconds(), 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels, "le", le), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(labels, "", ""), formatValue(float64(snap.SumNs)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(labels, "", ""), snap.Count)
+}
+
+// renderLabels renders {k="v",...}, appending one extra pair when
+// extraK is non-empty (the histogram le label). No labels renders "".
+func renderLabels(labels []string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	emit := func(k, v string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	for i := 0; i+1 < len(labels); i += 2 {
+		emit(labels[i], labels[i+1])
+	}
+	if extraK != "" {
+		emit(extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value: integers without a decimal point,
+// everything else in shortest-round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -11,6 +11,7 @@ import (
 	askit "repro"
 	"repro/internal/core"
 	"repro/internal/llm"
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; oversized payloads are a 400,
@@ -478,7 +479,7 @@ func (s *Server) handleCallBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // ---------------------------------------------------------------------------
-// GET /healthz and /v1/stats
+// GET /healthz, /metrics, and /v1/stats
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
@@ -490,31 +491,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, map[string]any{
 		"status":   status,
 		"inflight": s.Inflight(),
-		"uptime_s": time.Since(s.start).Seconds(),
+		// Degraded persistence is degraded, not dead: the replica still
+		// answers (in-memory-only), so the status stays 200 and the flag
+		// lets operators alert on it without the LB pulling the replica.
+		"store_degraded": s.ai.Engine().StoreDegraded(),
+		"uptime_s":       time.Since(s.start).Seconds(),
 	})
 }
 
-// engineStatsJSON is core.Stats in wire form.
-type engineStatsJSON struct {
-	AnswerHits           uint64 `json:"answer_hits"`
-	AnswerMisses         uint64 `json:"answer_misses"`
-	AnswerCoalesced      uint64 `json:"answer_coalesced"`
-	AnswerEntries        int    `json:"answer_entries"`
-	CompileCoalesced     uint64 `json:"compile_coalesced"`
-	DirectCalls          uint64 `json:"direct_calls"`
-	CompiledCalls        uint64 `json:"compiled_calls"`
-	TransientRetries     uint64 `json:"transient_retries"`
-	RetryBudgetExhausted uint64 `json:"retry_budget_exhausted"`
-	RetryBudgetTokens    int    `json:"retry_budget_tokens"`
-	CodegenLLMCalls      uint64 `json:"codegen_llm_calls"`
-	StoreHits            uint64 `json:"store_hits"`
-	StoreMisses          uint64 `json:"store_misses"`
-	StoreErrors          uint64 `json:"store_errors"`
-	StoreDegradedTrips   uint64 `json:"store_degraded_trips"`
-	StoreDegraded        bool   `json:"store_degraded"`
-	AnswersRestored      uint64 `json:"answers_restored"`
-	InflightCalls        int    `json:"inflight_calls"`
-	Draining             bool   `json:"draining"`
+// handleMetrics is the Prometheus text exposition over the shared
+// registry: HTTP-boundary series, engine counters, store op
+// histograms, and (with a shared-registry router) backend/breaker
+// series. It bypasses admission — scrapes must work during overload
+// and drain, which is exactly when they matter.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	s.metrics.WritePrometheus(w)
+}
+
+type routeStatsJSON struct {
+	Count  uint64  `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
 }
 
 type serverStatsJSON struct {
@@ -529,57 +528,114 @@ type serverStatsJSON struct {
 	P99Ms            float64 `json:"p99_ms"`
 	UptimeS          float64 `json:"uptime_s"`
 	Draining         bool    `json:"draining"`
+	// Routes breaks latency down per endpoint; the top-level p50/p99
+	// are the merged view across all work routes.
+	Routes map[string]routeStatsJSON `json:"routes"`
+}
+
+// routerStatsJSON and backendStatsJSON are llm.RouterStats in wire
+// form, present when the engine's client is a Router.
+type backendStatsJSON struct {
+	Name         string `json:"name"`
+	Requests     uint64 `json:"requests"`
+	Failures     uint64 `json:"failures"`
+	Breaker      string `json:"breaker"`
+	BreakerOpens uint64 `json:"breaker_opens"`
+}
+
+type routerStatsJSON struct {
+	Requests         uint64             `json:"requests"`
+	Failovers        uint64             `json:"failovers"`
+	Exhausted        uint64             `json:"exhausted"`
+	SaturationSkips  uint64             `json:"saturation_skips"`
+	BreakerSkips     uint64             `json:"breaker_skips"`
+	BreakerFastFails uint64             `json:"breaker_fast_fails"`
+	Hedges           uint64             `json:"hedges"`
+	HedgeWins        uint64             `json:"hedge_wins"`
+	Backends         []backendStatsJSON `json:"backends"`
+}
+
+func toRouterStatsJSON(rs llm.RouterStats) *routerStatsJSON {
+	out := &routerStatsJSON{
+		Requests:         rs.Requests,
+		Failovers:        rs.Failovers,
+		Exhausted:        rs.Exhausted,
+		SaturationSkips:  rs.SaturationSkips,
+		BreakerSkips:     rs.BreakerSkips,
+		BreakerFastFails: rs.BreakerFastFails,
+		Hedges:           rs.Hedges,
+		HedgeWins:        rs.HedgeWins,
+		Backends:         make([]backendStatsJSON, len(rs.Backends)),
+	}
+	for i, b := range rs.Backends {
+		out.Backends[i] = backendStatsJSON{
+			Name: b.Name, Requests: b.Requests, Failures: b.Failures,
+			Breaker: b.Breaker, BreakerOpens: b.BreakerOpens,
+		}
+	}
+	return out
 }
 
 type statsResponse struct {
 	Server serverStatsJSON `json:"server"`
-	Engine engineStatsJSON `json:"engine"`
-	Funcs  int             `json:"funcs"`
+	// Engine is the engine counter group straight from the registry —
+	// the same series /metrics exposes, in the legacy wire-key shape.
+	Engine map[string]any `json:"engine"`
+	// Router is present when the engine's LLM client exposes router
+	// stats (it is an llm.Router, possibly re-exported); absent — not
+	// null-with-zeros — otherwise, e.g. under a fault-injection wrapper.
+	Router *routerStatsJSON `json:"router,omitempty"`
+	Funcs  int              `json:"funcs"`
+	// Events is the recent operational event trail (breaker flips,
+	// store degradation, drains, hedge launches), oldest first.
+	Events []obs.Event `json:"events,omitempty"`
+}
+
+// routerOf extracts router stats from the engine's client, if it has
+// any. The interface assertion (rather than a concrete *llm.Router
+// test) keeps wrappers that delegate Stats working.
+func (s *Server) routerOf() *routerStatsJSON {
+	if st, ok := s.ai.Engine().Options().Client.(interface{ Stats() llm.RouterStats }); ok {
+		return toRouterStatsJSON(st.Stats())
+	}
+	return nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	// One engine snapshot, every field read from it: the snapshot is
-	// mutually consistent; repeated Stats() calls would not be.
-	es := s.ai.Stats()
-	p50, p99 := s.stats.percentiles()
 	s.mu.RLock()
 	nfuncs := len(s.funcs)
 	s.mu.RUnlock()
+
+	routes := make(map[string]routeStatsJSON, len(s.stats.routeHists))
+	for _, rh := range s.stats.routeHists {
+		snap := rh.hist.Snapshot()
+		routes[rh.name] = routeStatsJSON{
+			Count:  snap.Count,
+			P50Ms:  float64(snap.Quantile(0.50).Nanoseconds()) / 1e6,
+			P99Ms:  float64(snap.Quantile(0.99).Nanoseconds()) / 1e6,
+			P999Ms: float64(snap.Quantile(0.999).Nanoseconds()) / 1e6,
+		}
+	}
+	all := s.stats.merged()
+
 	writeJSON(w, http.StatusOK, statsResponse{
 		Server: serverStatsJSON{
-			Admitted:         s.stats.admitted.Load(),
-			RejectedLimit:    s.stats.rejectedLimit.Load(),
-			RejectedDraining: s.stats.rejectedDraining.Load(),
-			Errors4xx:        s.stats.errors4xx.Load(),
-			Errors5xx:        s.stats.errors5xx.Load(),
+			Admitted:         s.stats.admitted.Value(),
+			RejectedLimit:    s.stats.rejectedLimit.Value(),
+			RejectedDraining: s.stats.rejectedDraining.Value(),
+			Errors4xx:        s.stats.errors4xx.Value(),
+			Errors5xx:        s.stats.errors5xx.Value(),
 			Inflight:         s.Inflight(),
 			MaxInflight:      s.cfg.MaxInflight,
-			P50Ms:            float64(p50.Nanoseconds()) / 1e6,
-			P99Ms:            float64(p99.Nanoseconds()) / 1e6,
+			P50Ms:            float64(all.Quantile(0.50).Nanoseconds()) / 1e6,
+			P99Ms:            float64(all.Quantile(0.99).Nanoseconds()) / 1e6,
 			UptimeS:          time.Since(s.start).Seconds(),
 			Draining:         s.draining.Load(),
+			Routes:           routes,
 		},
-		Engine: engineStatsJSON{
-			AnswerHits:           es.AnswerHits,
-			AnswerMisses:         es.AnswerMisses,
-			AnswerCoalesced:      es.AnswerCoalesced,
-			AnswerEntries:        es.AnswerEntries,
-			CompileCoalesced:     es.CompileCoalesced,
-			DirectCalls:          es.DirectCalls,
-			CompiledCalls:        es.CompiledCalls,
-			TransientRetries:     es.TransientRetries,
-			RetryBudgetExhausted: es.RetryBudgetExhausted,
-			RetryBudgetTokens:    es.RetryBudgetTokens,
-			CodegenLLMCalls:      es.CodegenLLMCalls,
-			StoreHits:            es.StoreHits,
-			StoreMisses:          es.StoreMisses,
-			StoreErrors:          es.StoreErrors,
-			StoreDegradedTrips:   es.StoreDegradedTrips,
-			StoreDegraded:        es.StoreDegraded,
-			AnswersRestored:      es.AnswersRestored,
-			InflightCalls:        es.InflightCalls,
-			Draining:             es.Draining,
-		},
-		Funcs: nfuncs,
+		Engine: s.ai.Metrics().GroupJSON("engine"),
+		Router: s.routerOf(),
+		Funcs:  nfuncs,
+		Events: s.metrics.Events(),
 	})
 }

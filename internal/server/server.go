@@ -28,12 +28,12 @@ import (
 	"context"
 	"fmt"
 	"net/http"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	askit "repro"
+	"repro/internal/obs"
 )
 
 // Defaults for Config zero values.
@@ -59,6 +59,12 @@ type Config struct {
 	// RetryAfter is the hint sent with 429 responses. 0 means
 	// DefaultRetryAfter.
 	RetryAfter time.Duration
+	// Metrics is the observability registry the HTTP tier emits into
+	// and /metrics exposes. Nil uses the engine's registry
+	// (AskIt.Metrics), so by default one exposition covers the HTTP
+	// boundary, the engine, the store, and — when the router shares the
+	// registry too — the backend fleet.
+	Metrics *obs.Registry
 	// Logf receives operational traces; nil disables.
 	Logf func(format string, args ...any)
 }
@@ -66,10 +72,11 @@ type Config struct {
 // Server is the HTTP serving tier over one AskIt engine. Create with
 // New, mount via Handler, shut down via Drain.
 type Server struct {
-	cfg   Config
-	ai    *askit.AskIt
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	ai      *askit.AskIt
+	metrics *obs.Registry
+	mux     *http.ServeMux
+	start   time.Time
 
 	inflight atomic.Int64
 	draining atomic.Bool
@@ -105,13 +112,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter == 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
-	s := &Server{
-		cfg:   cfg,
-		ai:    cfg.AskIt,
-		start: time.Now(),
-		idle:  make(chan struct{}),
-		funcs: map[string]*registeredFunc{},
+	if cfg.Metrics == nil {
+		cfg.Metrics = cfg.AskIt.Metrics()
 	}
+	s := &Server{
+		cfg:     cfg,
+		ai:      cfg.AskIt,
+		metrics: cfg.Metrics,
+		start:   time.Now(),
+		idle:    make(chan struct{}),
+		funcs:   map[string]*registeredFunc{},
+	}
+	s.stats.init(s)
 	s.routes()
 	return s, nil
 }
@@ -128,21 +140,26 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/funcs", s.handleListFuncs)
-	s.mux.Handle("POST /v1/ask", s.admit(s.handleAsk))
-	s.mux.Handle("POST /v1/ask/batch", s.admit(s.handleAskBatch))
-	s.mux.Handle("POST /v1/funcs", s.admit(s.handleInstallFunc))
-	s.mux.Handle("POST /v1/funcs/{name}/call", s.admit(s.handleCallFunc))
-	s.mux.Handle("POST /v1/funcs/{name}/batch", s.admit(s.handleCallBatch))
+	s.mux.Handle("POST /v1/ask", s.admit("ask", s.handleAsk))
+	s.mux.Handle("POST /v1/ask/batch", s.admit("ask_batch", s.handleAskBatch))
+	s.mux.Handle("POST /v1/funcs", s.admit("install", s.handleInstallFunc))
+	s.mux.Handle("POST /v1/funcs/{name}/call", s.admit("call", s.handleCallFunc))
+	s.mux.Handle("POST /v1/funcs/{name}/batch", s.admit("call_batch", s.handleCallBatch))
 }
 
 // admit is the admission gate every work endpoint passes through:
 // draining rejects with 503 (the load balancer should already have
 // stopped sending — this closes the race), saturation rejects with 429
 // + Retry-After instead of queuing, and admitted requests run under
-// the per-request timeout with their latency recorded.
-func (s *Server) admit(h http.HandlerFunc) http.Handler {
+// the per-request timeout with their latency recorded into the route's
+// histogram. route names the endpoint for the latency series; it is
+// fixed at registration time, never derived from the request, so label
+// cardinality is bounded by the route table.
+func (s *Server) admit(route string, h http.HandlerFunc) http.Handler {
+	hist := s.stats.route(s.metrics, route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// Increment before checking the drain flag: Drain stores the
 		// flag and then reads the gauge, so every request either sees
@@ -176,7 +193,7 @@ func (s *Server) admit(h http.HandlerFunc) http.Handler {
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r.WithContext(ctx))
-		s.stats.observe(time.Since(t0), sw.code)
+		s.stats.observe(hist, time.Since(t0), sw.code)
 	})
 }
 
@@ -241,52 +258,82 @@ func (s *Server) Drain(ctx context.Context) (int, error) {
 }
 
 // ---------------------------------------------------------------------------
-// Server-side counters: requests, rejections, error classes, and a
-// bounded latency reservoir for p50/p99. The engine has its own
-// counters (core.Stats); these measure the HTTP boundary.
-
-// latencyWindow bounds the latency reservoir; a power of two ring of
-// the most recent admitted-request latencies.
-const latencyWindow = 2048
+// Server-side instruments: admissions, rejections, error classes, and
+// per-route latency histograms. The engine has its own counters
+// (core.Stats); these measure the HTTP boundary. Everything lives in
+// the shared obs registry, so /metrics exposes it alongside the engine
+// and store series; the struct just caches the series handles the hot
+// path touches. Latency was previously a single bounded reservoir
+// shared by every route; per-route histograms replace it so a flood of
+// microsecond cache hits on one endpoint can no longer mask a slow
+// p99 on another.
 
 type serverStats struct {
-	admitted         atomic.Uint64
-	rejectedLimit    atomic.Uint64
-	rejectedDraining atomic.Uint64
-	errors4xx        atomic.Uint64
-	errors5xx        atomic.Uint64
+	admitted         *obs.Counter
+	rejectedLimit    *obs.Counter
+	rejectedDraining *obs.Counter
+	errors4xx        *obs.Counter
+	errors5xx        *obs.Counter
 
-	mu   sync.Mutex
-	ring [latencyWindow]time.Duration
-	n    uint64 // total observations; ring index = n % latencyWindow
+	// routeHists lists the work routes' latency histograms in
+	// registration order, for the /v1/stats routes section. Fixed after
+	// routes(); read without locking.
+	routeHists []routeHist
 }
 
-func (st *serverStats) observe(d time.Duration, code int) {
+type routeHist struct {
+	name string
+	hist *obs.Histogram
+}
+
+func (st *serverStats) init(s *Server) {
+	reg := s.metrics
+	st.admitted = reg.Counter("askit_http_admitted_total",
+		obs.Help("Work requests past the admission gate."))
+	st.rejectedLimit = reg.Counter("askit_http_rejected_total",
+		obs.Help("Work requests rejected at admission, by reason."),
+		obs.Labels("reason", "limit"))
+	st.rejectedDraining = reg.Counter("askit_http_rejected_total",
+		obs.Labels("reason", "draining"))
+	st.errors4xx = reg.Counter("askit_http_errors_total",
+		obs.Help("Admitted requests that answered with an error status, by class."),
+		obs.Labels("class", "4xx"))
+	st.errors5xx = reg.Counter("askit_http_errors_total",
+		obs.Labels("class", "5xx"))
+	reg.GaugeFunc("askit_http_inflight",
+		func() float64 { return float64(s.inflight.Load()) },
+		obs.Help("Currently admitted work requests."))
+	reg.GaugeFunc("askit_http_max_inflight",
+		func() float64 { return float64(s.cfg.MaxInflight) },
+		obs.Help("Admission gate capacity (negative: unlimited)."))
+}
+
+// route registers (or fetches) one work route's latency histogram and
+// records it for the stats listing.
+func (st *serverStats) route(reg *obs.Registry, name string) *obs.Histogram {
+	h := reg.Histogram("askit_http_request_duration_seconds",
+		obs.Help("Admitted request latency by route."),
+		obs.Labels("route", name))
+	st.routeHists = append(st.routeHists, routeHist{name: name, hist: h})
+	return h
+}
+
+func (st *serverStats) observe(hist *obs.Histogram, d time.Duration, code int) {
 	switch {
 	case code >= 500:
 		st.errors5xx.Add(1)
 	case code >= 400:
 		st.errors4xx.Add(1)
 	}
-	st.mu.Lock()
-	st.ring[st.n%latencyWindow] = d
-	st.n++
-	st.mu.Unlock()
+	hist.Observe(d)
 }
 
-// percentiles returns p50/p99 over the current window.
-func (st *serverStats) percentiles() (p50, p99 time.Duration) {
-	st.mu.Lock()
-	n := st.n
-	if n > latencyWindow {
-		n = latencyWindow
+// merged returns the union snapshot over every work route, for the
+// top-level p50/p99 the stats endpoint has always reported.
+func (st *serverStats) merged() obs.HistogramSnapshot {
+	var all obs.HistogramSnapshot
+	for _, rh := range st.routeHists {
+		all.Merge(rh.hist.Snapshot())
 	}
-	window := make([]time.Duration, n)
-	copy(window, st.ring[:n])
-	st.mu.Unlock()
-	if len(window) == 0 {
-		return 0, 0
-	}
-	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-	return window[len(window)/2], window[len(window)*99/100]
+	return all
 }

@@ -1,0 +1,110 @@
+package store
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// opMetrics is one store operation's instrument set: a latency
+// histogram plus an outcome counter per result class.
+type opMetrics struct {
+	dur              *obs.Histogram
+	ok, miss, failed *obs.Counter
+}
+
+func newOpMetrics(reg *obs.Registry, op string) opMetrics {
+	res := func(result string) obs.Opt { return obs.Labels("op", op, "result", result) }
+	return opMetrics{
+		dur: reg.Histogram("askit_store_op_duration_seconds",
+			obs.Help("Artifact-store operation latency by op."), obs.Labels("op", op)),
+		ok: reg.Counter("askit_store_ops_total",
+			obs.Help("Artifact-store operations by op and result."), res("ok")),
+		miss:   reg.Counter("askit_store_ops_total", res("miss")),
+		failed: reg.Counter("askit_store_ops_total", res("error")),
+	}
+}
+
+// observe records one operation's latency and outcome. ErrClosed counts
+// as an error here (the op did fail) even though the engine's health
+// tracker ignores it; misses are their own class, not errors.
+func (m opMetrics) observe(start time.Time, err error) {
+	m.dur.Observe(time.Since(start))
+	switch {
+	case err == nil:
+		m.ok.Inc()
+	case errors.Is(err, ErrMiss):
+		m.miss.Inc()
+	default:
+		m.failed.Inc()
+	}
+}
+
+// instrumented wraps a Backend with per-operation latency histograms
+// and outcome counters. It is transparent otherwise: every call
+// delegates, including Close.
+type instrumented struct {
+	b           Backend
+	load, save  opMetrics
+	saveAnswers opMetrics
+	loadAnswers opMetrics
+}
+
+// Instrument wraps b so every operation is measured into reg
+// (askit_store_op_duration_seconds{op} + askit_store_ops_total{op,result}).
+// A nil backend or registry passes through unwrapped, and wrapping an
+// already-instrumented backend returns it unchanged, so callers can
+// apply it unconditionally.
+func Instrument(b Backend, reg *obs.Registry) Backend {
+	if b == nil || reg == nil {
+		return b
+	}
+	if _, ok := b.(*instrumented); ok {
+		return b
+	}
+	return &instrumented{
+		b:           b,
+		load:        newOpMetrics(reg, "load"),
+		save:        newOpMetrics(reg, "save"),
+		saveAnswers: newOpMetrics(reg, "save_answers"),
+		loadAnswers: newOpMetrics(reg, "load_answers"),
+	}
+}
+
+// Unwrap returns the underlying backend.
+func (i *instrumented) Unwrap() Backend { return i.b }
+
+func (i *instrumented) Load(key Key) (*Artifact, error) {
+	t0 := time.Now()
+	art, err := i.b.Load(key)
+	i.load.observe(t0, err)
+	return art, err
+}
+
+func (i *instrumented) Save(key Key, art *Artifact) error {
+	t0 := time.Now()
+	err := i.b.Save(key, art)
+	i.save.observe(t0, err)
+	return err
+}
+
+func (i *instrumented) Invalidate(key Key) { i.b.Invalidate(key) }
+
+func (i *instrumented) SaveAnswers(engine string, recs []AnswerRecord) error {
+	t0 := time.Now()
+	err := i.b.SaveAnswers(engine, recs)
+	i.saveAnswers.observe(t0, err)
+	return err
+}
+
+func (i *instrumented) LoadAnswers(engine string) []AnswerRecord {
+	t0 := time.Now()
+	recs := i.b.LoadAnswers(engine)
+	i.loadAnswers.observe(t0, nil)
+	return recs
+}
+
+func (i *instrumented) Dir() string { return i.b.Dir() }
+
+func (i *instrumented) Close() error { return i.b.Close() }

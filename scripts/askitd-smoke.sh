@@ -83,9 +83,26 @@ echo "$warm" | grep -q '"from_cache":true' || fail "warm install returned $warm 
 stats=$(curl -fsS "http://$ADDR/v1/stats")
 echo "$stats" | grep -q '"codegen_llm_calls":0[,}]' || fail "warm daemon made codegen LLM calls: $stats"
 echo "$stats" | grep -q '"store_hits":1[,}]' || fail "warm daemon missed the store: $stats"
+# The stats payload now carries the router section and per-route latency.
+echo "$stats" | grep -q '"router":{' || fail "stats has no router section: $stats"
+echo "$stats" | grep -q '"routes":{' || fail "stats has no per-route section: $stats"
 
 call=$(curl -fsS "http://$ADDR/v1/funcs/fact/call" -d '{"args":{"n":6}}')
 echo "$call" | grep -q '"value":720' || fail "warm func call returned $call"
+
+# Prometheus exposition: one scrape covers every tier. The counters
+# must be nonzero after the traffic above — a registry that exists but
+# nothing emits into would pass a names-only check.
+metrics=$(curl -fsS "http://$ADDR/metrics")
+echo "$metrics" | grep -q '^askit_store_hits_total 1$' || fail "/metrics store hits wrong: $(echo "$metrics" | grep askit_store_hits_total)"
+echo "$metrics" | grep -q '^askit_http_admitted_total [1-9]' || fail "/metrics admitted counter not incrementing"
+echo "$metrics" | grep -q '^askit_http_request_duration_seconds_count{route="install"} [1-9]' || fail "/metrics has no per-route latency histogram"
+echo "$metrics" | grep -q '^askit_router_requests_total' || fail "/metrics missing router series (shared registry broken)"
+echo "$metrics" | grep -q '^askit_store_op_duration_seconds_count{op="load"} [1-9]' || fail "/metrics missing store op histogram"
+
+# healthz reports store degradation as a flag while staying 200.
+healthz=$(curl -fsS "http://$ADDR/healthz")
+echo "$healthz" | grep -q '"store_degraded":false' || fail "healthz has no store_degraded flag: $healthz"
 
 stop_daemon
 
