@@ -531,6 +531,24 @@ func (f *Func) CompileInfo(ctx context.Context) (CompileStats, error) {
 	}, nil
 }
 
+// InstallSource installs caller-provided minilang source as the
+// function's implementation, running it through the same gates as a
+// model completion — parse, syntactic check, deep static analysis,
+// example-test validation — with zero LLM traffic. Static-analysis
+// rejections are returned as *analysis.DiagError with per-diagnostic
+// source positions.
+func (f *Func) InstallSource(ctx context.Context, src string) (CompileStats, error) {
+	info, err := f.inner.InstallSource(ctx, src)
+	if err != nil {
+		return CompileStats{}, err
+	}
+	return CompileStats{
+		CompileTime: info.CompileTime,
+		LOC:         info.LOC,
+		Source:      info.Source,
+	}, nil
+}
+
 // IsCompiled reports whether the function dispatches to generated code.
 func (f *Func) IsCompiled() bool { return f.inner.IsCompiled() }
 

@@ -19,6 +19,7 @@ import (
 //	BENCH_5-style: {"warm_restart": {"levels": [{"throughput_per_s": ...}]}}
 //	BENCH_6-style: {"goodput_ratio": ..., "chaos": {"goodput": ...}}
 //	BENCH_7-style: {"capacity_per_s": ..., "rates": [{"multiplier": ..., "goodput_per_s": ...}]}
+//	BENCH_8-style: {"pre_execution_reject_fraction": ..., "analyzer_throughput": {"us_per_program": ...}}
 
 // checkAgainstBaseline loads both reports and compares every headline
 // metric the schemas share. It returns the human-readable verdicts and
@@ -110,6 +111,32 @@ func checkAgainstBaseline(currentPath, baselinePath string, factor float64) ([]s
 			if curGP < baseGP/factor {
 				failures = append(failures, v)
 			}
+		}
+	}
+
+	// Higher-is-better: fraction of fault-injected completions the
+	// static-analysis pipeline rejects before execution. A fraction in
+	// (0, 1] never trips the slowdown factor, so — like goodput — it is
+	// compared against the baseline's own value with a fixed 10-point
+	// tolerance.
+	if curRF, baseRF := topNumber(cur, "pre_execution_reject_fraction"),
+		topNumber(base, "pre_execution_reject_fraction"); baseRF > 0 && curRF > 0 {
+		v := fmt.Sprintf("lint pre-execution reject fraction: %.3f vs baseline %.3f (floor %.3f)",
+			curRF, baseRF, baseRF-0.10)
+		verdicts = append(verdicts, v)
+		if curRF < baseRF-0.10 {
+			failures = append(failures, v)
+		}
+	}
+
+	// Lower-is-better: analyzer cost per program.
+	if curUs, baseUs := number(subMapAny(cur, "analyzer_throughput"), "us_per_program"),
+		number(subMapAny(base, "analyzer_throughput"), "us_per_program"); baseUs > 0 && curUs > 0 {
+		v := fmt.Sprintf("lint analyzer cost: %.1f us/program vs baseline %.1f (x%.2f, limit x%.1f)",
+			curUs, baseUs, curUs/baseUs, factor)
+		verdicts = append(verdicts, v)
+		if curUs > baseUs*factor {
+			failures = append(failures, v)
 		}
 	}
 

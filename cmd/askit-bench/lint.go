@@ -1,0 +1,331 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/llm"
+	"repro/internal/minilang"
+	"repro/internal/minilang/analysis"
+	"repro/internal/prompt"
+	"repro/internal/tasks"
+)
+
+// The lint experiment is the static-analysis capstone: the full codegen
+// workload (every codable catalog task) driven through a fault layer
+// that deliberately damages completions in three escalating ways —
+// truncation (dies at block extraction), garbling (dies at the parser),
+// and parse-preserving code breakage (dropped returns, always-true
+// loops) that only the deep analyzer or an example run can catch. The
+// same seeded workload runs twice, analyzer on and analyzer off, so the
+// report can state exactly what the static gate buys:
+//
+//   - the fraction of injected-bad completions rejected before any
+//     generated code executes (floor: lintMinPreExecReject);
+//   - the example executions saved vs the analyzer-off baseline, which
+//     pays fuel-limit runs for every broken completion the analyzer
+//     would have stopped at compile time;
+//   - analyzer throughput in µs/program over the catalog corpus.
+//
+// Run with:
+//
+//	askit-bench -exp lint            # writes BENCH_8.json
+const (
+	lintTruncateRate     = 0.10
+	lintGarbleRate       = 0.15
+	lintBreakCodeRate    = 0.30
+	lintMinPreExecReject = 0.50
+	// lintRetries is deliberately generous: with ~45% of completions
+	// damaged, the default budget of 9 retries leaves a small chance a
+	// task exhausts it and fails the whole run on fault-schedule luck.
+	lintRetries = 19
+	// lintMaxSteps bounds the fuel an analyzer-off baseline burns per
+	// example execution of an injected infinite loop; the default 10M
+	// would make the baseline phase needlessly slow.
+	lintMaxSteps = 200_000
+	// lintThroughputPasses repeats the corpus enough times for a stable
+	// per-program timing.
+	lintThroughputPasses = 200
+)
+
+// lintGates snapshots the codegen rejection counters — one per pipeline
+// gate, in order. Block, compile, and static rejections happen before
+// any generated code runs; tests rejections have already paid for
+// example executions.
+type lintGates struct {
+	Block   uint64 `json:"block"`
+	Compile uint64 `json:"compile"`
+	Static  uint64 `json:"static"`
+	Tests   uint64 `json:"tests"`
+}
+
+func (g lintGates) preExec() uint64 { return g.Block + g.Compile + g.Static }
+
+// lintPhase is one full-catalog codegen run under the fault plan.
+type lintPhase struct {
+	Funcs             int       `json:"funcs"`
+	Attempts          int       `json:"attempts"`
+	LLMCalls          uint64    `json:"llm_calls"`
+	Gates             lintGates `json:"gates"`
+	ExampleExecutions uint64    `json:"example_executions"`
+	WallMs            float64   `json:"wall_ms"`
+}
+
+// lintInjected records what the fault layer actually did to the
+// completions — the denominator behind the reject-fraction claim.
+type lintInjected struct {
+	LLMCalls   uint64 `json:"llm_calls"`
+	Truncated  uint64 `json:"truncated"`
+	Garbled    uint64 `json:"garbled"`
+	CodeBroken uint64 `json:"code_broken"`
+}
+
+func (i lintInjected) bad() uint64 { return i.Truncated + i.Garbled + i.CodeBroken }
+
+// lintThroughput is the analyzer's standalone cost: Analyze() over every
+// catalog reference program, repeated for timing stability.
+type lintThroughput struct {
+	Programs     int     `json:"programs"`
+	Passes       int     `json:"passes"`
+	UsPerProgram float64 `json:"us_per_program"`
+}
+
+// LintReport is the BENCH_8.json schema.
+type LintReport struct {
+	Note          string  `json:"note"`
+	Seed          int64   `json:"seed"`
+	TruncateRate  float64 `json:"truncate_rate"`
+	GarbleRate    float64 `json:"garble_rate"`
+	BreakCodeRate float64 `json:"breakcode_rate"`
+	// Analyzer is the analyzer-on run; Baseline is the identical seeded
+	// workload with the static gate disabled.
+	Analyzer lintPhase    `json:"analyzer"`
+	Baseline lintPhase    `json:"baseline"`
+	Injected lintInjected `json:"injected"`
+	// PreExecutionRejectFraction is the headline claim: of the
+	// completions the fault layer damaged, the fraction the analyzer-on
+	// pipeline rejected before running any generated code.
+	PreExecutionRejectFraction float64 `json:"pre_execution_reject_fraction"`
+	// ExampleExecutionsSaved is what the static gate bought: example
+	// runs (including fuel-limit runs of injected infinite loops) the
+	// baseline paid for and the analyzer run did not.
+	ExampleExecutionsSaved int64          `json:"example_executions_saved"`
+	Throughput             lintThroughput `json:"analyzer_throughput"`
+}
+
+// lintSpecs returns the codegen workload: every codable, non-hard
+// catalog task with validation examples, across the arithmetic and
+// HumanEval catalogs.
+func lintSpecs() []*tasks.Spec {
+	var specs []*tasks.Spec
+	for _, cat := range []*tasks.Catalog{tasks.Common, tasks.HumanEval} {
+		for _, spec := range cat.All() {
+			if spec.Codable && !spec.Hard && len(spec.Examples) > 0 {
+				specs = append(specs, spec)
+			}
+		}
+	}
+	return specs
+}
+
+// runLintPhase compiles every spec through a fault-wrapped simulated
+// model and returns the engine's gate counters plus the injected-fault
+// tally. Each phase builds its own sim and schedule from the same seed,
+// so the analyzer and baseline runs face the same adversary.
+func runLintPhase(seed int64, specs []*tasks.Spec, disableAnalysis bool) (lintPhase, lintInjected, error) {
+	sim := llm.NewSim(seed)
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	fc := fault.WrapClient(sim, fault.ClientPlan{
+		TruncateRate:  lintTruncateRate,
+		GarbleRate:    lintGarbleRate,
+		BreakCodeRate: lintBreakCodeRate,
+	}, fault.NewSchedule(seed))
+	eng, err := core.NewEngine(core.Options{
+		Client:                fc,
+		MaxRetries:            lintRetries,
+		MaxSteps:              lintMaxSteps,
+		AnswerCacheSize:       -1,
+		DisableStaticAnalysis: disableAnalysis,
+	})
+	if err != nil {
+		return lintPhase{}, lintInjected{}, err
+	}
+	ctx := context.Background()
+	attempts := 0
+	start := time.Now()
+	for _, spec := range specs {
+		tests := make([]prompt.Example, len(spec.Examples))
+		for i, ex := range spec.Examples {
+			tests[i] = prompt.Example{Input: ex.Input, Output: ex.Output}
+		}
+		f, err := eng.Define(spec.Return, spec.Template,
+			core.WithParamTypes(spec.ParamTypes()),
+			core.WithTests(tests),
+		)
+		if err != nil {
+			return lintPhase{}, lintInjected{}, fmt.Errorf("%s: define: %w", spec.ID, err)
+		}
+		info, err := f.Compile(ctx)
+		if err != nil {
+			return lintPhase{}, lintInjected{}, fmt.Errorf("%s: compile: %w", spec.ID, err)
+		}
+		attempts += info.Attempts
+	}
+	wall := time.Since(start)
+	stats := eng.Stats()
+	fs := fc.Stats()
+	phase := lintPhase{
+		Funcs:    len(specs),
+		Attempts: attempts,
+		LLMCalls: stats.CodegenLLMCalls,
+		Gates: lintGates{
+			Block:   stats.CodegenRejectedBlock,
+			Compile: stats.CodegenRejectedCompile,
+			Static:  stats.CodegenRejectedStatic,
+			Tests:   stats.CodegenRejectedTests,
+		},
+		ExampleExecutions: stats.ExampleExecutions,
+		WallMs:            float64(wall.Microseconds()) / 1e3,
+	}
+	injected := lintInjected{
+		LLMCalls:   fs.Calls,
+		Truncated:  fs.Truncated,
+		Garbled:    fs.Garbled,
+		CodeBroken: fs.CodeBroken,
+	}
+	return phase, injected, nil
+}
+
+// lintCorpus parses every catalog reference program (generated-style and
+// handwritten variants) for the throughput measurement.
+func lintCorpus() ([]*minilang.Program, error) {
+	var progs []*minilang.Program
+	for _, cat := range []*tasks.Catalog{tasks.Common, tasks.HumanEval, tasks.Word} {
+		for _, spec := range cat.All() {
+			if !spec.Codable {
+				continue
+			}
+			params := make([]string, len(spec.Params))
+			for i, p := range spec.Params {
+				params[i] = p.Name
+			}
+			for _, src := range []string{
+				spec.Source("f", params),
+				spec.HandwrittenSource("f", params),
+			} {
+				prog, err := minilang.Parse(src)
+				if err != nil {
+					return nil, fmt.Errorf("%s: corpus parse: %w", spec.ID, err)
+				}
+				progs = append(progs, prog)
+			}
+		}
+	}
+	return progs, nil
+}
+
+// measureAnalyzer times analysis.Analyze over the corpus.
+func measureAnalyzer(progs []*minilang.Program) lintThroughput {
+	// One warm pass so first-touch allocation noise stays out of the
+	// measured window.
+	for _, p := range progs {
+		analysis.Analyze(p)
+	}
+	start := time.Now()
+	for pass := 0; pass < lintThroughputPasses; pass++ {
+		for _, p := range progs {
+			analysis.Analyze(p)
+		}
+	}
+	elapsed := time.Since(start)
+	return lintThroughput{
+		Programs:     len(progs),
+		Passes:       lintThroughputPasses,
+		UsPerProgram: float64(elapsed.Microseconds()) / float64(lintThroughputPasses*len(progs)),
+	}
+}
+
+// runLintJSON runs the analyzer-on/analyzer-off pair plus the throughput
+// measurement and writes BENCH_8.json. The pre-execution reject floor is
+// a hard failure, not just a number in the report.
+func runLintJSON(path string, seed int64) error {
+	specs := lintSpecs()
+	if len(specs) == 0 {
+		return fmt.Errorf("lint: no codable specs in catalog")
+	}
+
+	analyzer, injected, err := runLintPhase(seed, specs, false)
+	if err != nil {
+		return fmt.Errorf("lint: analyzer phase: %w", err)
+	}
+	baseline, _, err := runLintPhase(seed, specs, true)
+	if err != nil {
+		return fmt.Errorf("lint: baseline phase: %w", err)
+	}
+	if baseline.Gates.Static != 0 {
+		return fmt.Errorf("lint: baseline recorded %d static rejections with the analyzer disabled", baseline.Gates.Static)
+	}
+
+	progs, err := lintCorpus()
+	if err != nil {
+		return err
+	}
+	throughput := measureAnalyzer(progs)
+
+	report := LintReport{
+		Note: "static-analysis benchmark: full codable catalog compiled through a fault layer injecting truncated, " +
+			"garbled, and parse-preserving broken completions on a deterministic schedule; the same seeded workload " +
+			"runs with the analyzer on and off, so the reject fraction, the example executions the static gate saved, " +
+			"and the analyzer's standalone throughput are all measured, not estimated",
+		Seed:          seed,
+		TruncateRate:  lintTruncateRate,
+		GarbleRate:    lintGarbleRate,
+		BreakCodeRate: lintBreakCodeRate,
+		Analyzer:      analyzer,
+		Baseline:      baseline,
+		Injected:      injected,
+		Throughput:    throughput,
+	}
+	if bad := injected.bad(); bad > 0 {
+		report.PreExecutionRejectFraction = float64(analyzer.Gates.preExec()) / float64(bad)
+	}
+	report.ExampleExecutionsSaved = int64(baseline.ExampleExecutions) - int64(analyzer.ExampleExecutions)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("  workload: %d funcs, %d completions (%d truncated, %d garbled, %d code-broken)\n",
+		analyzer.Funcs, injected.LLMCalls, injected.Truncated, injected.Garbled, injected.CodeBroken)
+	fmt.Printf("  analyzer: rejected %d at block, %d at compile, %d at static, %d at tests; %d example executions\n",
+		analyzer.Gates.Block, analyzer.Gates.Compile, analyzer.Gates.Static, analyzer.Gates.Tests,
+		analyzer.ExampleExecutions)
+	fmt.Printf("  baseline: rejected %d at block, %d at compile, %d at tests; %d example executions\n",
+		baseline.Gates.Block, baseline.Gates.Compile, baseline.Gates.Tests, baseline.ExampleExecutions)
+	fmt.Printf("  pre-execution reject fraction %.3f (floor %.2f); %d example executions saved\n",
+		report.PreExecutionRejectFraction, lintMinPreExecReject, report.ExampleExecutionsSaved)
+	fmt.Printf("  analyzer throughput: %.1f us/program over %d programs x %d passes\n",
+		throughput.UsPerProgram, throughput.Programs, throughput.Passes)
+
+	// The capstone contracts.
+	if report.PreExecutionRejectFraction < lintMinPreExecReject {
+		return fmt.Errorf("lint: pre-execution reject fraction %.3f below the %.2f floor",
+			report.PreExecutionRejectFraction, lintMinPreExecReject)
+	}
+	if report.ExampleExecutionsSaved <= 0 {
+		return fmt.Errorf("lint: analyzer saved no example executions (baseline %d, analyzer %d)",
+			baseline.ExampleExecutions, analyzer.ExampleExecutions)
+	}
+	return nil
+}

@@ -10,6 +10,7 @@
 //	askit-bench -exp http             # network-tier daemon benchmark -> BENCH_5.json
 //	askit-bench -exp chaos            # fault-injection robustness drill -> BENCH_6.json
 //	askit-bench -exp overload         # open-loop overload benchmark -> BENCH_7.json
+//	askit-bench -exp lint             # static-analysis gate benchmark -> BENCH_8.json
 //
 // With -check <baseline.json>, the fresh measurement is compared to the
 // checked-in baseline and the run fails on a regression beyond
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		which       = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|bench|serve|warm|http|chaos|overload|all")
+		which       = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|bench|serve|warm|http|chaos|overload|lint|all")
 		seed        = flag.Int64("seed", 42, "simulation seed")
 		problems    = flag.Int("n", 0, "GSM8K problem count for table3 (0 = full 1319)")
 		workers     = flag.Int("workers", 8, "worker pool size for table3")
@@ -52,6 +53,7 @@ func main() {
 		"http":     {"BENCH_5.json", func(out string) error { return runHTTPJSON(out, *seed, *storeDir) }},
 		"chaos":    {"BENCH_6.json", func(out string) error { return runChaosJSON(out, *seed, *storeDir) }},
 		"overload": {"BENCH_7.json", func(out string) error { return runOverloadJSON(out, *seed) }},
+		"lint":     {"BENCH_8.json", func(out string) error { return runLintJSON(out, *seed) }},
 	}
 	if suite, ok := benchSuites[*which]; ok {
 		out := *benchOut

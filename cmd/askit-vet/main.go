@@ -1,0 +1,70 @@
+// Command askit-vet enforces repo invariants the compiler cannot:
+//
+//   - llmclassify: errors returned across the llm.Client boundary
+//     (Complete methods) must be classified via llm.MarkTransient /
+//     llm.WithRetryAfter or a package-level sentinel — never a bare
+//     inline errors.New/fmt.Errorf, which the engine's retry loop
+//     would misread as permanent.
+//   - sleepctx: no context-free time.Sleep in production paths; retry
+//     backoff and pacing must select a timer against ctx.Done().
+//   - obsnames: obs metric names are snake_case string literals, one
+//     instrument kind per name repo-wide, registered once unless every
+//     site is labeled.
+//
+// Usage: askit-vet [-dir .]    (exit 1 on any finding; CI lint job)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/vet"
+)
+
+// sleepAllowed are path prefixes where an uninterruptible time.Sleep is
+// the intended behaviour, not a bug: fault injection stalls on purpose,
+// and the benchmark harness paces wall-clock phases that have no
+// request context.
+var sleepAllowed = []string{
+	"internal/fault/",
+	"cmd/askit-bench/",
+}
+
+func allowed(f vet.Finding) bool {
+	if f.Analyzer != "sleepctx" {
+		return false
+	}
+	for _, prefix := range sleepAllowed {
+		if strings.HasPrefix(f.Pos.Filename, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	dir := flag.String("dir", ".", "repository root to analyze")
+	flag.Parse()
+
+	files, err := vet.Load(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "askit-vet:", err)
+		os.Exit(2)
+	}
+	findings := vet.Run(files, vet.Default...)
+	bad := 0
+	for _, f := range findings {
+		if allowed(f) {
+			continue
+		}
+		bad++
+		fmt.Println(f)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "askit-vet: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("askit-vet: %d files clean\n", len(files))
+}

@@ -6,6 +6,7 @@
 //	minirun -e 'console.log(1 + 2);'   # run an inline snippet
 //	minirun -fmt program.ts            # pretty-print the program
 //	minirun -check program.ts          # parse + static check only
+//	minirun -lint program.ts           # deep static analysis (all diagnostics)
 //	minirun -call func -args '{"n":5}' cache/factorial.ts
 //	                                   # call an exported function
 package main
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/jsonx"
 	"repro/internal/minilang"
+	"repro/internal/minilang/analysis"
 )
 
 func main() {
@@ -25,6 +27,7 @@ func main() {
 		expr    = flag.String("e", "", "inline program text")
 		format  = flag.Bool("fmt", false, "pretty-print instead of executing")
 		check   = flag.Bool("check", false, "parse and static-check only")
+		lint    = flag.Bool("lint", false, "run the deep static analyzer and print every diagnostic")
 		call    = flag.String("call", "", "call this exported function instead of running top-level code")
 		argsRaw = flag.String("args", "{}", "JSON object of named arguments for -call")
 	)
@@ -59,6 +62,26 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("ok")
+	case *lint:
+		// Exit 1 on parse/check failures and error-severity diagnostics;
+		// warnings print but keep the exit clean, like a compiler -W run.
+		prog, err := minilang.Parse(src)
+		if err != nil {
+			fatal(err)
+		}
+		if err := minilang.Check(prog); err != nil {
+			fatal(err)
+		}
+		diags := analysis.Analyze(prog)
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+		if len(analysis.Errors(diags)) > 0 {
+			os.Exit(1)
+		}
+		if len(diags) == 0 {
+			fmt.Println("ok")
+		}
 	case *call != "":
 		cf, err := minilang.CompileFunction(src, *call)
 		if err != nil {

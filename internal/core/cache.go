@@ -62,6 +62,19 @@ type Stats struct {
 	// loops. A warm restart against a populated artifact store keeps
 	// this at zero for previously compiled functions.
 	CodegenLLMCalls uint64
+	// CodegenRejectedBlock/Compile/Static/Tests count codegen
+	// completions rejected at each gate in pipeline order: no
+	// extractable code block, parse/check failure, static-analysis
+	// error, example-test failure. Each static rejection is one
+	// completion the analyzer kept away from example execution.
+	CodegenRejectedBlock   uint64
+	CodegenRejectedCompile uint64
+	CodegenRejectedStatic  uint64
+	CodegenRejectedTests   uint64
+	// ExampleExecutions counts validation examples actually run by
+	// codegen loops and source installs (the cost the static gate
+	// exists to avoid).
+	ExampleExecutions uint64
 	// StoreHits counts Compile calls served from the persistent
 	// artifact store (no LLM); StoreMisses counts store probes that fell
 	// back to codegen (absent, corrupt, or stale artifacts, and
@@ -98,6 +111,11 @@ type engineStats struct {
 	transientRetries     *obs.Counter
 	retryBudgetExhausted *obs.Counter
 	codegenLLMCalls      *obs.Counter
+	codegenRejBlock      *obs.Counter
+	codegenRejCompile    *obs.Counter
+	codegenRejStatic     *obs.Counter
+	codegenRejTests      *obs.Counter
+	exampleExecutions    *obs.Counter
 	storeHits            *obs.Counter
 	storeMisses          *obs.Counter
 	storeErrors          *obs.Counter
@@ -113,22 +131,27 @@ type engineStats struct {
 // when the reader passes between them.
 func (e *Engine) readCounters() Stats {
 	return Stats{
-		AnswerHits:           e.stats.answerHits.Value(),
-		AnswerMisses:         e.stats.answerMisses.Value(),
-		AnswerCoalesced:      e.stats.answerCoalesced.Value(),
-		CompileCoalesced:     e.stats.compileCoalesced.Value(),
-		DirectCalls:          e.stats.directCalls.Value(),
-		CompiledCalls:        e.stats.compiledCalls.Value(),
-		TransientRetries:     e.stats.transientRetries.Value(),
-		RetryBudgetExhausted: e.stats.retryBudgetExhausted.Value(),
-		CodegenLLMCalls:      e.stats.codegenLLMCalls.Value(),
-		StoreHits:            e.stats.storeHits.Value(),
-		StoreMisses:          e.stats.storeMisses.Value(),
-		StoreErrors:          e.stats.storeErrors.Value(),
-		StoreDegradedTrips:   e.stats.storeDegradedTrips.Value(),
-		AnswersRestored:      e.stats.answersRestored.Value(),
-		InflightCalls:        int(e.stats.inflight.Value()),
-		Draining:             e.stats.draining.Load(),
+		AnswerHits:             e.stats.answerHits.Value(),
+		AnswerMisses:           e.stats.answerMisses.Value(),
+		AnswerCoalesced:        e.stats.answerCoalesced.Value(),
+		CompileCoalesced:       e.stats.compileCoalesced.Value(),
+		DirectCalls:            e.stats.directCalls.Value(),
+		CompiledCalls:          e.stats.compiledCalls.Value(),
+		TransientRetries:       e.stats.transientRetries.Value(),
+		RetryBudgetExhausted:   e.stats.retryBudgetExhausted.Value(),
+		CodegenLLMCalls:        e.stats.codegenLLMCalls.Value(),
+		CodegenRejectedBlock:   e.stats.codegenRejBlock.Value(),
+		CodegenRejectedCompile: e.stats.codegenRejCompile.Value(),
+		CodegenRejectedStatic:  e.stats.codegenRejStatic.Value(),
+		CodegenRejectedTests:   e.stats.codegenRejTests.Value(),
+		ExampleExecutions:      e.stats.exampleExecutions.Value(),
+		StoreHits:              e.stats.storeHits.Value(),
+		StoreMisses:            e.stats.storeMisses.Value(),
+		StoreErrors:            e.stats.storeErrors.Value(),
+		StoreDegradedTrips:     e.stats.storeDegradedTrips.Value(),
+		AnswersRestored:        e.stats.answersRestored.Value(),
+		InflightCalls:          int(e.stats.inflight.Value()),
+		Draining:               e.stats.draining.Load(),
 	}
 }
 

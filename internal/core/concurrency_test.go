@@ -729,7 +729,10 @@ func TestCompiledCallObservesCancellation(t *testing.T) {
 	for _, treeWalk := range []bool{false, true} {
 		t.Run(fmt.Sprintf("treeWalker=%v", treeWalk), func(t *testing.T) {
 			e, err := NewEngine(Options{Client: loopClient{}, Model: "gpt-4",
-				MaxSteps: 1 << 40, MaxRetries: -1, TreeWalker: treeWalk})
+				MaxSteps: 1 << 40, MaxRetries: -1, TreeWalker: treeWalk,
+				// Analyzer off: the unbounded loop must reach execution for
+				// cancellation to have anything to interrupt.
+				DisableStaticAnalysis: true})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -116,6 +116,13 @@ type Options struct {
 	// default compiled closure engine always folds during lowering
 	// regardless of this flag; folding is semantics-preserving.
 	Optimize bool
+	// DisableStaticAnalysis skips the deep static analyzer
+	// (minilang/analysis) that otherwise vets every generated program
+	// between the syntactic check and example execution. With it on,
+	// statically broken completions reach the example runner and burn a
+	// full validation round before feedback — the analyzer-off baseline
+	// the lint benchmark measures against.
+	DisableStaticAnalysis bool
 	// TreeWalker executes generated code with minilang's reference AST
 	// interpreter instead of the default slot-resolved closure engine.
 	// Useful for differential debugging; an order of magnitude slower.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/jsonx"
 	"repro/internal/llm"
 	"repro/internal/minilang"
+	"repro/internal/minilang/analysis"
 	"repro/internal/prompt"
 	"repro/internal/template"
 	"repro/internal/types"
@@ -371,6 +372,7 @@ func (f *Func) compileOnce(ctx context.Context) (*CompileInfo, error) {
 
 		src, err := jsonx.ExtractBlock(resp.Text, "typescript", true)
 		if err != nil {
+			e.stats.codegenRejBlock.Add(1)
 			lastErr = fmt.Errorf("no code block in response")
 			cur = prompt.BuildCodegenFeedback(base, resp.Text, lastErr.Error())
 			continue
@@ -378,11 +380,20 @@ func (f *Func) compileOnce(ctx context.Context) (*CompileInfo, error) {
 		src = strings.TrimSpace(src) + "\n"
 		cf, err := f.compileSource(src)
 		if err != nil {
+			e.stats.codegenRejCompile.Add(1)
 			lastErr = fmt.Errorf("code does not compile: %w", err)
 			cur = prompt.BuildCodegenFeedback(base, resp.Text, lastErr.Error())
 			continue
 		}
+		if diags := f.analyzeStatic(cf); len(diags) > 0 {
+			e.stats.codegenRejStatic.Add(1)
+			problems := StaticProblems(diags)
+			lastErr = &analysis.DiagError{Diags: diags}
+			cur = prompt.BuildCodegenStaticFeedback(base, resp.Text, problems)
+			continue
+		}
 		if err := f.validate(ctx, cf); err != nil {
+			e.stats.codegenRejTests.Add(1)
 			lastErr = fmt.Errorf("code fails example tests: %w", err)
 			cur = prompt.BuildCodegenFeedback(base, resp.Text, lastErr.Error())
 			continue
@@ -431,12 +442,71 @@ func (f *Func) compileSource(src string) (*minilang.CompiledFunc, error) {
 	return cf, nil
 }
 
+// analyzeStatic runs the deep static analyzer (minilang/analysis) over
+// code that already passed the syntactic check. Only error-severity
+// diagnostics reject; warnings (unused variables, may-not-terminate
+// heuristics) are advisory and never block an install.
+func (f *Func) analyzeStatic(cf *minilang.CompiledFunc) []analysis.Diagnostic {
+	if f.engine.opts.DisableStaticAnalysis {
+		return nil
+	}
+	return analysis.Errors(analysis.Analyze(cf.Prog))
+}
+
+// StaticProblems converts analyzer diagnostics into the structured
+// problems the feedback prompt (and the server's error envelope) carry,
+// preserving source positions.
+func StaticProblems(diags []analysis.Diagnostic) []prompt.Problem {
+	ps := make([]prompt.Problem, len(diags))
+	for i, d := range diags {
+		ps[i] = prompt.Problem{
+			Kind:   "static-error",
+			Detail: fmt.Sprintf("[%s] %s", d.Code, d.Msg),
+			Line:   d.Pos.Line,
+			Col:    d.Pos.Col,
+		}
+	}
+	return ps
+}
+
 func (f *Func) validate(ctx context.Context, cf *minilang.CompiledFunc) error {
+	f.engine.stats.exampleExecutions.Add(uint64(len(f.tests)))
 	examples := make([]minilang.Example, len(f.tests))
 	for i, t := range f.tests {
 		examples[i] = minilang.Example{Input: t.Input, Output: t.Output}
 	}
 	return cf.Validate(ctx, examples)
+}
+
+// InstallSource compiles caller-provided minilang source through the
+// same gates as a model completion — parse, syntactic check, static
+// analysis, example validation — and installs it as the Func's
+// generated function with zero LLM traffic (the server's source-install
+// path). Static rejections return a *analysis.DiagError so callers can
+// surface each diagnostic's position; the accepted source persists to
+// the cache and store exactly like a codegen result.
+func (f *Func) InstallSource(ctx context.Context, src string) (*CompileInfo, error) {
+	f.engine.stats.inflight.Add(1)
+	defer f.engine.stats.inflight.Add(-1)
+	src = strings.TrimSpace(src) + "\n"
+	cf, err := f.compileSource(src)
+	if err != nil {
+		f.engine.stats.codegenRejCompile.Add(1)
+		return nil, fmt.Errorf("code does not compile: %w", err)
+	}
+	if diags := f.analyzeStatic(cf); len(diags) > 0 {
+		f.engine.stats.codegenRejStatic.Add(1)
+		return nil, &analysis.DiagError{Diags: diags}
+	}
+	if err := f.validate(ctx, cf); err != nil {
+		f.engine.stats.codegenRejTests.Add(1)
+		return nil, fmt.Errorf("code fails example tests: %w", err)
+	}
+	info := &CompileInfo{LOC: minilang.CountLOC(src), Source: src}
+	f.engine.storeCache(f.cacheKey(), src)
+	f.install(cf, info)
+	f.saveStored(info)
+	return info, nil
 }
 
 func (f *Func) install(cf *minilang.CompiledFunc, info *CompileInfo) {

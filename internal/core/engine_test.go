@@ -23,7 +23,10 @@ func (loopClient) Complete(_ context.Context, _ llm.Request) (llm.Response, erro
 }
 
 func TestMaxStepsKillsRunawayGeneratedCode(t *testing.T) {
-	e, err := NewEngine(Options{Client: loopClient{}, Model: "gpt-4", MaxSteps: 50_000, MaxRetries: -1})
+	e, err := NewEngine(Options{Client: loopClient{}, Model: "gpt-4", MaxSteps: 50_000, MaxRetries: -1,
+		// The analyzer would reject this loop before it ever ran; fuel is
+		// the backstop under test here.
+		DisableStaticAnalysis: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +46,10 @@ func TestMaxStepsKillsRunawayGeneratedCode(t *testing.T) {
 }
 
 func TestMaxStepsKillsRunawayDuringValidation(t *testing.T) {
-	e, err := NewEngine(Options{Client: loopClient{}, Model: "gpt-4", MaxSteps: 50_000, MaxRetries: -1})
+	e, err := NewEngine(Options{Client: loopClient{}, Model: "gpt-4", MaxSteps: 50_000, MaxRetries: -1,
+		// The analyzer would reject this loop before it ever ran; fuel is
+		// the backstop under test here.
+		DisableStaticAnalysis: true})
 	if err != nil {
 		t.Fatal(err)
 	}

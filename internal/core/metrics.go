@@ -40,6 +40,16 @@ func (e *Engine) initStats(reg *obs.Registry) {
 	}, obs.Help("Current whole-token level of the retry budget; -1 when disabled."), eng("retry_budget_tokens"))
 	s.codegenLLMCalls = reg.Counter("askit_codegen_llm_calls_total",
 		obs.Help("Client.Complete calls made by codegen loops; zero on a warm restart."), eng("codegen_llm_calls"))
+	s.codegenRejBlock = reg.Counter("askit_codegen_rejected_block_total",
+		obs.Help("Codegen completions with no extractable code block."), eng("codegen_rejected_block"))
+	s.codegenRejCompile = reg.Counter("askit_codegen_rejected_compile_total",
+		obs.Help("Codegen completions rejected by parse or the syntactic check."), eng("codegen_rejected_compile"))
+	s.codegenRejStatic = reg.Counter("askit_codegen_rejected_static_total",
+		obs.Help("Codegen completions rejected by the static analyzer before any example ran."), eng("codegen_rejected_static"))
+	s.codegenRejTests = reg.Counter("askit_codegen_rejected_tests_total",
+		obs.Help("Codegen completions that compiled but failed the example tests."), eng("codegen_rejected_tests"))
+	s.exampleExecutions = reg.Counter("askit_example_executions_total",
+		obs.Help("Validation examples executed by codegen loops and source installs."), eng("example_executions"))
 	s.storeHits = reg.Counter("askit_store_hits_total",
 		obs.Help("Compile calls served from the persistent artifact store."), eng("store_hits"))
 	s.storeMisses = reg.Counter("askit_store_misses_total",

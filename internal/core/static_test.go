@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/minilang/analysis"
+	"repro/internal/prompt"
+	"repro/internal/types"
+)
+
+// scriptedClient replies with a fixed sequence of completions (the last
+// one repeats) and records every prompt it was sent, so tests can
+// inspect the feedback the codegen loop built between attempts.
+type scriptedClient struct {
+	mu      sync.Mutex
+	replies []string
+	prompts []string
+}
+
+func (c *scriptedClient) Complete(_ context.Context, req llm.Request) (llm.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.prompts = append(c.prompts, req.Prompt)
+	i := len(c.prompts) - 1
+	if i >= len(c.replies) {
+		i = len(c.replies) - 1
+	}
+	return llm.Response{Text: c.replies[i]}, nil
+}
+
+func codeBlock(src string) string {
+	return "A:\n```typescript\n" + src + "\n```\n"
+}
+
+const staticGoodSource = `export function f({n}: {n: number}): number {
+  return n + 1;
+}`
+
+// TestStaticFeedbackCarriesPositions drives the codegen loop with a
+// first completion the static analyzer rejects and asserts the feedback
+// prompt for the second attempt names the diagnostic with its line and
+// column — the model gets precise critique without an example run.
+func TestStaticFeedbackCarriesPositions(t *testing.T) {
+	cases := []struct {
+		name     string
+		bad      string
+		inPrompt []string
+	}{
+		{
+			"missing-return",
+			"export function f({n}: {n: number}): number {\n  if (n > 0) { return n; }\n}",
+			[]string{
+				"static analysis found problems before the code was run:",
+				"line 1, col 8:",
+				"[missing-return]",
+				"can complete without returning",
+			},
+		},
+		{
+			"unreachable-after-return",
+			"export function f({n}: {n: number}): number {\n  return n + 1;\n  n = 0;\n}",
+			[]string{
+				"static analysis found problems before the code was run:",
+				"line 3, col 3:",
+				"[unreachable]",
+			},
+		},
+		{
+			"non-termination",
+			"export function f({n}: {n: number}): number {\n  while (true) { n = n + 1; }\n}",
+			[]string{
+				"line 2, col 3:",
+				"[non-termination]",
+				"always true",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			client := &scriptedClient{replies: []string{codeBlock(tc.bad), codeBlock(staticGoodSource)}}
+			e, err := NewEngine(Options{Client: client, Model: "gpt-4"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := e.Define(types.Float, "Increment {{n}}.",
+				WithParamTypes([]types.Field{{Name: "n", Type: types.Float}}),
+				WithName("f"),
+				WithTests([]prompt.Example{{Input: map[string]any{"n": 1.0}, Output: 2.0}}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := f.Compile(context.Background())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if info.Attempts != 2 {
+				t.Errorf("Attempts = %d, want 2 (one static rejection, one accept)", info.Attempts)
+			}
+			if len(client.prompts) != 2 {
+				t.Fatalf("client saw %d prompts, want 2", len(client.prompts))
+			}
+			feedback := client.prompts[1]
+			for _, want := range tc.inPrompt {
+				if !strings.Contains(feedback, want) {
+					t.Errorf("feedback prompt missing %q:\n%s", want, feedback)
+				}
+			}
+			st := e.Stats()
+			if st.CodegenRejectedStatic != 1 {
+				t.Errorf("CodegenRejectedStatic = %d, want 1", st.CodegenRejectedStatic)
+			}
+			// The rejected completion never reached the example runner:
+			// only the accepted attempt's single test executed.
+			if st.ExampleExecutions != 1 {
+				t.Errorf("ExampleExecutions = %d, want 1", st.ExampleExecutions)
+			}
+		})
+	}
+}
+
+// TestDisableStaticAnalysisReachesExamples is the analyzer-off baseline:
+// the same broken completion costs a full example-validation round and
+// comes back with runtime, not static, feedback.
+func TestDisableStaticAnalysisReachesExamples(t *testing.T) {
+	bad := "export function f({n}: {n: number}): number {\n  if (n > 0) { return n; }\n}"
+	client := &scriptedClient{replies: []string{codeBlock(bad), codeBlock(staticGoodSource)}}
+	e, err := NewEngine(Options{Client: client, Model: "gpt-4", DisableStaticAnalysis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.Float, "Increment {{n}}.",
+		WithParamTypes([]types.Field{{Name: "n", Type: types.Float}}),
+		WithName("f"),
+		WithTests([]prompt.Example{{Input: map[string]any{"n": 1.0}, Output: 2.0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Compile(context.Background()); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	st := e.Stats()
+	if st.CodegenRejectedStatic != 0 {
+		t.Errorf("CodegenRejectedStatic = %d, want 0 with the analyzer off", st.CodegenRejectedStatic)
+	}
+	if st.CodegenRejectedTests != 1 {
+		t.Errorf("CodegenRejectedTests = %d, want 1 (broken code reached the example runner)", st.CodegenRejectedTests)
+	}
+	if st.ExampleExecutions != 2 {
+		t.Errorf("ExampleExecutions = %d, want 2 (both attempts validated)", st.ExampleExecutions)
+	}
+	if len(client.prompts) == 2 && strings.Contains(client.prompts[1], "static analysis") {
+		t.Errorf("feedback mentions static analysis with the analyzer disabled:\n%s", client.prompts[1])
+	}
+}
+
+// TestInstallSourceStaticRejection checks the server-facing install
+// path: statically broken source comes back as a *analysis.DiagError
+// whose diagnostics carry positions, and nothing is installed.
+func TestInstallSourceStaticRejection(t *testing.T) {
+	e, err := NewEngine(Options{Client: staticClient{text: "unused"}, Model: "gpt-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.Float, "Increment {{n}}.",
+		WithParamTypes([]types.Field{{Name: "n", Type: types.Float}}),
+		WithName("f"),
+		WithTests([]prompt.Example{{Input: map[string]any{"n": 1.0}, Output: 2.0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := "export function f({n}: {n: number}): number {\n  if (n > 0) { return n; }\n}"
+	_, err = f.InstallSource(context.Background(), bad)
+	var de *analysis.DiagError
+	if !errors.As(err, &de) {
+		t.Fatalf("InstallSource err = %v (%T), want *analysis.DiagError", err, err)
+	}
+	if len(de.Diags) != 1 || de.Diags[0].Code != analysis.CodeMissingReturn || de.Diags[0].Pos.Line != 1 {
+		t.Fatalf("unexpected diags: %v", de.Diags)
+	}
+	if f.IsCompiled() {
+		t.Fatal("broken source must not install")
+	}
+
+	// The fixed source installs through the same path with no LLM calls.
+	info, err := f.InstallSource(context.Background(), staticGoodSource)
+	if err != nil {
+		t.Fatalf("install good source: %v", err)
+	}
+	if info.Attempts != 0 || !f.IsCompiled() {
+		t.Fatalf("install info = %+v, compiled = %v", info, f.IsCompiled())
+	}
+	res, err := f.Call(context.Background(), map[string]any{"n": 41.0})
+	if err != nil || res.Value != 42.0 || !res.Compiled {
+		t.Fatalf("call = %v/%v err=%v", res.Value, res.Compiled, err)
+	}
+	if e.Stats().CodegenLLMCalls != 0 {
+		t.Fatal("InstallSource must not touch the model")
+	}
+}

@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/minilang"
+	"repro/internal/minilang/analysis"
+)
+
+type fixedClient struct{ text string }
+
+func (c fixedClient) Complete(context.Context, llm.Request) (llm.Response, error) {
+	return llm.Response{Text: c.text}, nil
+}
+
+// TestBreakCodePreservesParse: the code-breaking fault must survive the
+// parser and syntactic check (that is its whole point — garbling dies
+// at the parser) while introducing analyzer-detectable errors.
+func TestBreakCodePreservesParse(t *testing.T) {
+	src := "export function f({n}: {n: number}): number {\n" +
+		"  let total = 0;\n" +
+		"  while (total < n) { total = total + 1; }\n" +
+		"  return total;\n" +
+		"}\n"
+	completion := "A:\n```typescript\n" + src + "```\n"
+
+	c := WrapClient(fixedClient{text: completion}, ClientPlan{BreakCodeRate: 1}, NewSchedule(1))
+	resp, err := c.Complete(context.Background(), llm.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text == completion {
+		t.Fatal("completion not mutated")
+	}
+	if c.Stats().CodeBroken != 1 {
+		t.Fatalf("CodeBroken = %d, want 1", c.Stats().CodeBroken)
+	}
+
+	start := strings.Index(resp.Text, "```typescript\n") + len("```typescript\n")
+	end := strings.LastIndex(resp.Text, "```")
+	broken := resp.Text[start:end]
+	prog, err := minilang.Parse(broken)
+	if err != nil {
+		t.Fatalf("broken code must still parse: %v\n%s", err, broken)
+	}
+	if err := minilang.Check(prog); err != nil {
+		t.Fatalf("broken code must pass the syntactic check: %v\n%s", err, broken)
+	}
+	errs := analysis.Errors(analysis.Analyze(prog))
+	if len(errs) == 0 {
+		t.Fatalf("analyzer found no errors in broken code:\n%s", broken)
+	}
+	codes := map[string]bool{}
+	for _, d := range errs {
+		codes[d.Code] = true
+	}
+	if !codes[analysis.CodeMissingReturn] && !codes[analysis.CodeNonTermination] {
+		t.Errorf("expected missing-return or non-termination, got %v", errs)
+	}
+}
+
+// TestBreakCodeNoMutationPoint: a completion with nothing to mutate
+// (direct JSON answer) passes through unchanged and uncounted.
+func TestBreakCodeNoMutationPoint(t *testing.T) {
+	completion := "A:\n```json\n{\"answer\": 42}\n```\n"
+	c := WrapClient(fixedClient{text: completion}, ClientPlan{BreakCodeRate: 1}, NewSchedule(1))
+	resp, err := c.Complete(context.Background(), llm.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != completion {
+		t.Fatalf("text mutated: %q", resp.Text)
+	}
+	if c.Stats().CodeBroken != 0 {
+		t.Fatalf("CodeBroken = %d, want 0", c.Stats().CodeBroken)
+	}
+}

@@ -41,6 +41,12 @@ type ClientPlan struct {
 	// GarbleRate corrupts the completion's JSON structure, like a
 	// model emitting malformed output.
 	GarbleRate float64
+	// BreakCodeRate mutates a completion's code block in ways that
+	// still parse — dropped return statements, loop conditions forced
+	// always-true — the shape of a subtly wrong completion that only
+	// deep static analysis (or an example run) can catch, where
+	// garbling and truncation usually die at the parser.
+	BreakCodeRate float64
 }
 
 // ClientStats counts the faults a Client actually injected.
@@ -52,6 +58,7 @@ type ClientStats struct {
 	Latencies  uint64
 	Truncated  uint64
 	Garbled    uint64
+	CodeBroken uint64
 }
 
 // Client wraps an llm.Client with schedule-driven fault injection.
@@ -67,6 +74,7 @@ type Client struct {
 	latencies  atomic.Uint64
 	truncated  atomic.Uint64
 	garbled    atomic.Uint64
+	codeBroken atomic.Uint64
 }
 
 // WrapClient wraps base; sched may be shared with other wrappers.
@@ -119,6 +127,12 @@ func (c *Client) Complete(ctx context.Context, req llm.Request) (llm.Response, e
 		c.garbled.Add(1)
 		resp.Text = garble(resp.Text)
 	}
+	if c.sched.Hit(c.plan.BreakCodeRate) {
+		if broken, ok := breakCode(resp.Text); ok {
+			c.codeBroken.Add(1)
+			resp.Text = broken
+		}
+	}
 	return resp, nil
 }
 
@@ -128,6 +142,21 @@ func (c *Client) Complete(ctx context.Context, req llm.Request) (llm.Response, e
 func garble(text string) string {
 	r := strings.NewReplacer("{", "<", "}", ">", "\"", "'")
 	return r.Replace(text)
+}
+
+// breakCode applies parse-preserving semantic mutations to code in the
+// completion: strip "return " keywords (the value expression stays as a
+// bare expression statement, so functions fall off their end) and force
+// loop conditions always-true ("while (c)" → "while (true || c)"). Both
+// survive the parser and the syntactic check but are statically
+// detectable — missing-return on a typed path, non-termination — which
+// is exactly the blind spot the analyzer benchmark exercises.
+func breakCode(text string) (string, bool) {
+	broken := strings.ReplaceAll(text, "return ", "")
+	broken = strings.ReplaceAll(broken, "while (", "while (true || ")
+	// ok=false when there was no mutation point (e.g. a direct-answer
+	// completion): the caller must not count a fault that never fired.
+	return broken, broken != text
 }
 
 // Stats returns what has been injected so far.
@@ -140,5 +169,6 @@ func (c *Client) Stats() ClientStats {
 		Latencies:  c.latencies.Load(),
 		Truncated:  c.truncated.Load(),
 		Garbled:    c.garbled.Load(),
+		CodeBroken: c.codeBroken.Load(),
 	}
 }

@@ -1,0 +1,188 @@
+// Package analysis is the deep static-analysis tier over parsed
+// minilang programs. minilang.Check stops at the paper's "syntactic
+// check" (§III-D Step 3): scoping, const reassignment, break/continue
+// placement. This package layers real program analysis on top:
+//
+//   - CFG construction per function with unreachable-code detection and
+//     missing-return-on-path detection (cfg.go)
+//   - definite-assignment dataflow over the CFG (cfg.go)
+//   - a flow-insensitive type/shape lattice (number/string/bool/array/
+//     object/func) flagging calls of non-callables, indexing of
+//     scalars, and arity mismatches against declared functions and
+//     builtins (shape.go)
+//   - unused-variable/function detection (shape.go)
+//   - cheap non-termination heuristics for while(true)-style loops
+//     whose condition can never change and whose body never breaks
+//     (loops.go)
+//
+// The analyzer's contract with the codegen loop is asymmetric:
+// error-severity diagnostics reject a completion before any example is
+// executed, so they must be sound against the runtime — a program both
+// engines execute successfully must produce zero errors (enforced by
+// the differential corpus and FuzzEngineDiff). Findings that a program
+// could survive at runtime (unused variables, maybe-unassigned uses,
+// suspicious-but-enterable loops) are warnings: surfaced by
+// `minirun -lint` and in feedback, never grounds for rejection.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/minilang"
+)
+
+// Severity ranks a diagnostic. Errors reject generated code before
+// example execution; warnings are advisory.
+type Severity int
+
+// The two severities.
+const (
+	SevWarn Severity = iota
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic codes, one per analysis pass finding kind.
+const (
+	CodeUnreachable    = "unreachable"     // statement can never execute
+	CodeMissingReturn  = "missing-return"  // typed function can complete without a value
+	CodeUseUnassigned  = "use-unassigned"  // variable may be read before assignment
+	CodeUnused         = "unused"          // variable or function never read
+	CodeNotCallable    = "not-callable"    // call target is never a function
+	CodeScalarIndex    = "scalar-index"    // indexing a number/boolean/null
+	CodeArity          = "arity"           // argument count/keys mismatch a declared function
+	CodeBuiltinArity   = "builtin-arity"   // argument count mismatches a builtin
+	CodeNonTermination = "non-termination" // loop provably never exits normally
+)
+
+// Diagnostic is one analyzer finding, positioned in the source.
+type Diagnostic struct {
+	Pos  minilang.Pos
+	Sev  Severity
+	Code string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s[%s]: %s", d.Pos, d.Sev, d.Code, d.Msg)
+}
+
+// Errors filters diags down to error severity.
+func Errors(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Sev == SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DiagError wraps error-severity diagnostics as an error value for the
+// codegen loop and the HTTP install path.
+type DiagError struct {
+	Diags []Diagnostic // error severity only, position-sorted
+}
+
+func (e *DiagError) Error() string {
+	msgs := make([]string, len(e.Diags))
+	for i, d := range e.Diags {
+		msgs[i] = d.String()
+	}
+	return "static analysis: " + strings.Join(msgs, "; ")
+}
+
+// Analyze runs every pass over the program and returns the findings
+// sorted by position (warnings included).
+func Analyze(prog *minilang.Program) []Diagnostic {
+	a := &analyzer{}
+
+	// Function-level passes: the top level is analyzed as a pseudo
+	// function with no declared return type, then every function
+	// declaration and literal gets its own CFG.
+	a.flowUnit(prog.Stmts, nil)
+	walkFuncs(prog, func(fd *minilang.FuncDecl, body *minilang.BlockStmt) {
+		a.flowUnit(body.Stmts, fd)
+	})
+
+	// Whole-program passes.
+	sh := newShapeAnalysis(prog)
+	sh.report(a)
+	a.loops(prog)
+
+	sort.SliceStable(a.diags, func(i, j int) bool {
+		pi, pj := a.diags[i].Pos, a.diags[j].Pos
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Col < pj.Col
+	})
+	return a.diags
+}
+
+// Verify runs Analyze and converts error-severity findings into a
+// *DiagError (nil when the program passes).
+func Verify(prog *minilang.Program) error {
+	errs := Errors(Analyze(prog))
+	if len(errs) == 0 {
+		return nil
+	}
+	return &DiagError{Diags: errs}
+}
+
+type analyzer struct {
+	diags []Diagnostic
+}
+
+func (a *analyzer) add(pos minilang.Pos, sev Severity, code, format string, args ...any) {
+	a.diags = append(a.diags, Diagnostic{Pos: pos, Sev: sev, Code: code, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ---------------------------------------------------------------------------
+// Constant truthiness
+
+// constTruthy evaluates an expression's truthiness when it is decidable
+// statically: literals and the boolean operators over them.
+func constTruthy(e minilang.Expr) (truthy, known bool) {
+	switch x := e.(type) {
+	case *minilang.BoolLit:
+		return x.Value, true
+	case *minilang.NumberLit:
+		return x.Value != 0, true
+	case *minilang.StringLit:
+		return x.Value != "", true
+	case *minilang.NullLit:
+		return false, true
+	case *minilang.UnaryExpr:
+		if x.Op == "!" {
+			t, k := constTruthy(x.X)
+			return !t, k
+		}
+	case *minilang.BinaryExpr:
+		switch x.Op {
+		case "||":
+			if t, k := constTruthy(x.L); k {
+				if t {
+					return true, true
+				}
+				return constTruthy(x.R)
+			}
+		case "&&":
+			if t, k := constTruthy(x.L); k {
+				if !t {
+					return false, true
+				}
+				return constTruthy(x.R)
+			}
+		}
+	}
+	return false, false
+}

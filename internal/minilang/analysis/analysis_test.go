@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minilang"
+)
+
+func analyzeSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	prog, err := minilang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := minilang.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return Analyze(prog)
+}
+
+type wantDiag struct {
+	code string
+	sev  Severity
+	line int
+	sub  string // substring of the message
+}
+
+func TestAnalyzeFindings(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []wantDiag
+	}{
+		{
+			"unreachable-after-return",
+			`export function f({n}: {n: number}): number {
+  return n;
+  let x = 1;
+}`,
+			[]wantDiag{
+				{CodeUnreachable, SevError, 3, "unreachable"},
+				{CodeUnused, SevWarn, 3, `"x"`},
+			},
+		},
+		{
+			"unreachable-after-both-branches-return",
+			`export function f({n}: {n: number}): number {
+  if (n > 0) { return 1; } else { return 2; }
+  n = n + 1;
+}`,
+			[]wantDiag{{CodeUnreachable, SevError, 3, "unreachable"}},
+		},
+		{
+			"missing-return-on-else-path",
+			`export function f({n}: {n: number}): number {
+  if (n > 0) {
+    return n;
+  }
+}`,
+			[]wantDiag{{CodeMissingReturn, SevError, 1, "can complete without returning"}},
+		},
+		{
+			"bare-return-in-typed-function",
+			`export function f({n}: {n: number}): number {
+  if (n > 0) {
+    return;
+  }
+  return n;
+}`,
+			[]wantDiag{{CodeMissingReturn, SevError, 3, "bare return"}},
+		},
+		{
+			"void-function-needs-no-return",
+			`export function f({msg}: {msg: string}): void {
+  console.log(msg);
+}`,
+			nil,
+		},
+		{
+			"use-before-assignment",
+			`export function f({n}: {n: number}): number {
+  let x;
+  if (n > 0) { x = 1; }
+  return x;
+}`,
+			[]wantDiag{{CodeUseUnassigned, SevWarn, 4, `"x"`}},
+		},
+		{
+			"assigned-on-all-paths-is-clean",
+			`export function f({n}: {n: number}): number {
+  let x;
+  if (n > 0) { x = 1; } else { x = 2; }
+  return x;
+}`,
+			nil,
+		},
+		{
+			"unused-variable",
+			`export function f({n}: {n: number}): number {
+  const dead = n * 2;
+  return n;
+}`,
+			[]wantDiag{{CodeUnused, SevWarn, 2, `"dead"`}},
+		},
+		{
+			"unused-helper-function",
+			`function helper(x) { return x; }
+export function f({n}: {n: number}): number {
+  return n;
+}`,
+			[]wantDiag{{CodeUnused, SevWarn, 1, `"helper"`}},
+		},
+		{
+			"call-of-number",
+			`export function f({n}: {n: number}): number {
+  const x = 5;
+  return x(n);
+}`,
+			[]wantDiag{
+				{CodeNotCallable, SevError, 3, `"x"`},
+			},
+		},
+		{
+			"index-of-scalar",
+			`export function f({n}: {n: number}): number {
+  const x = true;
+  return x[0];
+}`,
+			[]wantDiag{{CodeScalarIndex, SevError, 3, "always boolean"}},
+		},
+		{
+			"index-of-string-is-fine",
+			`export function f({s}: {s: string}): string {
+  return s[0];
+}`,
+			nil,
+		},
+		{
+			"positional-arity-too-few",
+			`function add(a, b) { return a + b; }
+export function f({n}: {n: number}): number {
+  return add(n);
+}`,
+			[]wantDiag{{CodeArity, SevError, 3, `"add" takes 2`}},
+		},
+		{
+			"positional-arity-too-many-warns",
+			`function id(a) { return a; }
+export function f({n}: {n: number}): number {
+  return id(n, n);
+}`,
+			[]wantDiag{{CodeArity, SevWarn, 3, "extras are ignored"}},
+		},
+		{
+			"named-call-missing-key",
+			`export function f({a, b}: {a: number, b: number}): number {
+  if (a === 0) { return b; }
+  return f({a: a - 1});
+}`,
+			[]wantDiag{{CodeArity, SevError, 3, `missing named argument "b"`}},
+		},
+		{
+			"builtin-arity-too-few",
+			`export function f({n}: {n: number}): number {
+  return Math.pow(n) + parseInt();
+}`,
+			[]wantDiag{
+				{CodeBuiltinArity, SevError, 2, "Math.pow requires at least 2"},
+				{CodeBuiltinArity, SevError, 2, "parseInt requires at least 1"},
+			},
+		},
+		{
+			"unknown-math-member",
+			`export function f({n}: {n: number}): number {
+  return Math.clamp(n, 0, 1);
+}`,
+			[]wantDiag{{CodeNotCallable, SevError, 2, "Math.clamp"}},
+		},
+		{
+			"math-constant-call",
+			`export function f({n}: {n: number}): number {
+  return Math.PI(n);
+}`,
+			[]wantDiag{{CodeNotCallable, SevError, 2, "Math.PI is a constant"}},
+		},
+		{
+			"while-true-no-exit",
+			`export function f({n}: {n: number}): number {
+  let i = 0;
+  while (true) { i++; }
+  return i;
+}`,
+			[]wantDiag{
+				{CodeNonTermination, SevError, 3, "always true"},
+				{CodeUnreachable, SevError, 4, "unreachable"},
+			},
+		},
+		{
+			"while-true-with-break-is-fine",
+			`export function f({n}: {n: number}): number {
+  let i = 0;
+  while (true) { i++; if (i > n) { break; } }
+  return i;
+}`,
+			nil,
+		},
+		{
+			"while-true-with-return-is-fine",
+			`export function f({n}: {n: number}): number {
+  while (true) { if (n > 0) { return n; } n = n + 1; }
+}`,
+			nil,
+		},
+		{
+			"frozen-condition-warns",
+			`export function f({n}: {n: number}): number {
+  let total = 0;
+  while (n > 0) { total = total + 1; }
+  return total;
+}`,
+			[]wantDiag{{CodeNonTermination, SevWarn, 3, "never modified"}},
+		},
+		{
+			"for-without-post-frozen",
+			`export function f({n}: {n: number}): number {
+  let total = 0;
+  for (let i = 0; i < n; ) { total = total + i; }
+  return total;
+}`,
+			[]wantDiag{{CodeNonTermination, SevWarn, 3, "never modified"}},
+		},
+		{
+			"frozen-condition-with-call-is-spared",
+			`export function f({n}: {n: number}): number {
+  let total = 0;
+  while (n > 0) { total = total + Math.abs(n); }
+  return total;
+}`,
+			nil,
+		},
+		{
+			"clean-program",
+			`function helper(x) { return x * 2; }
+export function f({xs}: {xs: number[]}): number {
+  let total = 0;
+  for (const x of xs) {
+    total = total + helper(x);
+  }
+  return total;
+}`,
+			nil,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := analyzeSrc(t, tc.src)
+			if len(diags) != len(tc.want) {
+				t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(tc.want), renderDiags(diags))
+			}
+			for i, w := range tc.want {
+				d := diags[i]
+				if d.Code != w.code || d.Sev != w.sev {
+					t.Errorf("diag %d = %s, want %s/%s", i, d, w.code, w.sev)
+				}
+				if d.Pos.Line != w.line {
+					t.Errorf("diag %d at line %d, want line %d: %s", i, d.Pos.Line, w.line, d)
+				}
+				if !strings.Contains(d.Msg, w.sub) {
+					t.Errorf("diag %d message %q does not contain %q", i, d.Msg, w.sub)
+				}
+			}
+		})
+	}
+}
+
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}
+
+// TestVerify checks the error-wrapping entry point the codegen loop
+// uses: warnings never reject, errors do, and positions survive.
+func TestVerify(t *testing.T) {
+	prog, err := minilang.Parse(`export function f({n}: {n: number}): number {
+  const unused = 1;
+  return n;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(prog); err != nil {
+		t.Fatalf("warnings must not reject: %v", err)
+	}
+
+	prog, err = minilang.Parse(`export function f({n}: {n: number}): number {
+  if (n > 0) { return n; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := Verify(prog)
+	if verr == nil {
+		t.Fatal("missing return must reject")
+	}
+	de, ok := verr.(*DiagError)
+	if !ok {
+		t.Fatalf("Verify returned %T, want *DiagError", verr)
+	}
+	if len(de.Diags) != 1 || de.Diags[0].Code != CodeMissingReturn {
+		t.Fatalf("unexpected diags: %v", de.Diags)
+	}
+	if de.Diags[0].Pos.Line != 1 {
+		t.Fatalf("diag position = %v, want line 1", de.Diags[0].Pos)
+	}
+	if !strings.Contains(verr.Error(), "static analysis:") {
+		t.Fatalf("error text = %q", verr.Error())
+	}
+}

@@ -1,0 +1,520 @@
+package analysis
+
+import (
+	"repro/internal/minilang"
+	"repro/internal/types"
+)
+
+// The control-flow graph. Each function body (and the top level) lowers
+// to basic blocks of linear steps connected by edges; break/continue/
+// return/throw terminate blocks, loops and conditionals branch. The
+// graph drives three analyses: reachability (unreachable code),
+// completion paths (missing return), and a forward definite-assignment
+// dataflow.
+
+// step is one linear unit inside a block: a simple statement, a
+// condition/sequence expression evaluated at a branch point, or a
+// loop-variable binding.
+type step struct {
+	stmt minilang.Stmt // simple statement, or nil
+	expr minilang.Expr // condition/sequence expression, or nil
+	bind string        // variable assigned by this step (for-of binding), or ""
+	pos  minilang.Pos
+}
+
+type block struct {
+	id    int
+	steps []step
+	succs []*block
+}
+
+// fallEdge records one way the function can complete without returning
+// a value: a bare `return;` or control falling off the end of the body.
+type fallEdge struct {
+	from *block
+	pos  minilang.Pos
+	bare bool
+}
+
+type cfg struct {
+	entry     *block
+	blocks    []*block
+	fallEdges []fallEdge
+}
+
+type loopFrame struct{ brk, cont *block }
+
+type cfgBuilder struct {
+	g     *cfg
+	loops []loopFrame
+}
+
+// buildCFG lowers a statement list to a CFG. endPos positions the
+// fall-off-the-end completion edge (the function declaration).
+func buildCFG(stmts []minilang.Stmt, endPos minilang.Pos) *cfg {
+	b := &cfgBuilder{g: &cfg{}}
+	b.g.entry = b.newBlock()
+	if end := b.stmtList(stmts, b.g.entry); end != nil {
+		b.g.fallEdges = append(b.g.fallEdges, fallEdge{from: end, pos: endPos})
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{id: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func link(from, to *block) { from.succs = append(from.succs, to) }
+
+// stmtList threads the open block through the statements. It returns
+// the block control falls out of, or nil when every path terminated.
+// Statements after a terminator open a fresh predecessor-less block —
+// the reachability pass reports its first step as unreachable.
+func (b *cfgBuilder) stmtList(stmts []minilang.Stmt, cur *block) *block {
+	for _, s := range stmts {
+		if _, ok := s.(*minilang.FuncDecl); ok {
+			continue // hoisted declaration; body analyzed as its own unit
+		}
+		if cur == nil {
+			cur = b.newBlock()
+			// Seed a marker step so the dead region reports at the
+			// first skipped statement even when the statement itself
+			// lowers into child blocks (loops, conditionals).
+			cur.steps = append(cur.steps, step{pos: s.NodePos()})
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(s minilang.Stmt, cur *block) *block {
+	switch st := s.(type) {
+	case *minilang.BlockStmt:
+		return b.stmtList(st.Stmts, cur)
+	case *minilang.VarDecl, *minilang.AssignStmt, *minilang.IncDecStmt, *minilang.ExprStmt:
+		cur.steps = append(cur.steps, step{stmt: st, pos: st.NodePos()})
+		return cur
+	case *minilang.ReturnStmt:
+		cur.steps = append(cur.steps, step{stmt: st, pos: st.P})
+		if st.Value == nil {
+			b.g.fallEdges = append(b.g.fallEdges, fallEdge{from: cur, pos: st.P, bare: true})
+		}
+		return nil
+	case *minilang.ThrowStmt:
+		cur.steps = append(cur.steps, step{stmt: st, pos: st.P})
+		return nil // abnormal exit: no completion edge
+	case *minilang.BreakStmt:
+		if n := len(b.loops); n > 0 {
+			link(cur, b.loops[n-1].brk)
+		}
+		return nil
+	case *minilang.ContinueStmt:
+		if n := len(b.loops); n > 0 {
+			link(cur, b.loops[n-1].cont)
+		}
+		return nil
+	case *minilang.IfStmt:
+		cur.steps = append(cur.steps, step{expr: st.Cond, pos: st.Cond.NodePos()})
+		t, known := constTruthy(st.Cond)
+		join := b.newBlock()
+		thenB := b.newBlock()
+		if !known || t {
+			link(cur, thenB)
+		}
+		if end := b.stmt(st.Then, thenB); end != nil {
+			link(end, join)
+		}
+		if st.Else != nil {
+			elseB := b.newBlock()
+			if !known || !t {
+				link(cur, elseB)
+			}
+			if end := b.stmt(st.Else, elseB); end != nil {
+				link(end, join)
+			}
+		} else if !known || !t {
+			link(cur, join)
+		}
+		return join
+	case *minilang.WhileStmt:
+		head := b.newBlock()
+		link(cur, head)
+		head.steps = append(head.steps, step{expr: st.Cond, pos: st.Cond.NodePos()})
+		t, known := constTruthy(st.Cond)
+		body := b.newBlock()
+		after := b.newBlock()
+		if !known || t {
+			link(head, body)
+		}
+		if !known || !t {
+			link(head, after) // a known-true condition has no normal exit
+		}
+		b.loops = append(b.loops, loopFrame{brk: after, cont: head})
+		if end := b.stmt(st.Body, body); end != nil {
+			link(end, head)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		return after
+	case *minilang.ForStmt:
+		if st.Init != nil {
+			cur = b.stmt(st.Init, cur)
+		}
+		head := b.newBlock()
+		link(cur, head)
+		alwaysTrue, knownFalse := true, false
+		if st.Cond != nil {
+			head.steps = append(head.steps, step{expr: st.Cond, pos: st.Cond.NodePos()})
+			t, known := constTruthy(st.Cond)
+			alwaysTrue = known && t
+			knownFalse = known && !t
+		}
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		if !knownFalse {
+			link(head, body)
+		}
+		if !alwaysTrue {
+			link(head, after)
+		}
+		b.loops = append(b.loops, loopFrame{brk: after, cont: post})
+		if end := b.stmt(st.Body, body); end != nil {
+			link(end, post)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		if st.Post != nil {
+			if end := b.stmt(st.Post, post); end != nil {
+				link(end, head)
+			}
+		} else {
+			link(post, head)
+		}
+		return after
+	case *minilang.ForOfStmt:
+		cur.steps = append(cur.steps, step{expr: st.Seq, pos: st.Seq.NodePos()})
+		head := b.newBlock()
+		link(cur, head)
+		head.steps = append(head.steps, step{bind: st.Name, pos: st.P})
+		body := b.newBlock()
+		after := b.newBlock()
+		link(head, body)
+		link(head, after) // empty sequence: zero iterations
+		b.loops = append(b.loops, loopFrame{brk: after, cont: head})
+		if end := b.stmt(st.Body, body); end != nil {
+			link(end, head)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		return after
+	}
+	return cur
+}
+
+// reachable marks every block reachable from entry.
+func (g *cfg) reachable() map[*block]bool {
+	reach := make(map[*block]bool, len(g.blocks))
+	stack := []*block{g.entry}
+	reach[g.entry] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return reach
+}
+
+// preds computes the predecessor count of every block.
+func (g *cfg) preds() map[*block]int {
+	n := make(map[*block]int, len(g.blocks))
+	for _, blk := range g.blocks {
+		for _, s := range blk.succs {
+			n[s]++
+		}
+	}
+	return n
+}
+
+// flowUnit runs the CFG passes over one function body (or the top
+// level / a closure body when fd is nil).
+func (a *analyzer) flowUnit(stmts []minilang.Stmt, fd *minilang.FuncDecl) {
+	endPos := minilang.Pos{}
+	if fd != nil {
+		endPos = fd.P
+	}
+	g := buildCFG(stmts, endPos)
+	reach := g.reachable()
+	a.reportUnreachable(g, reach)
+	a.missingReturn(g, reach, fd)
+	a.definiteAssignment(g, reach, stmts)
+}
+
+// reportUnreachable flags the head of every dead region: an unreached
+// block with no predecessors (interior dead blocks hang off it).
+func (a *analyzer) reportUnreachable(g *cfg, reach map[*block]bool) {
+	preds := g.preds()
+	for _, blk := range g.blocks {
+		if reach[blk] || preds[blk] > 0 || len(blk.steps) == 0 {
+			continue
+		}
+		a.add(blk.steps[0].pos, SevError, CodeUnreachable, "unreachable code")
+	}
+}
+
+// missingReturn reports completion paths of a function whose declared
+// return type requires a value. Declared `any` downgrades to a warning
+// (undefined is a representable any); void and unions containing void
+// are exempt.
+func (a *analyzer) missingReturn(g *cfg, reach map[*block]bool, fd *minilang.FuncDecl) {
+	if fd == nil || fd.ReturnType == nil {
+		return
+	}
+	sev, need := returnRequirement(fd.ReturnType)
+	if !need {
+		return
+	}
+	for _, fe := range g.fallEdges {
+		if !reach[fe.from] {
+			continue
+		}
+		if fe.bare {
+			a.add(fe.pos, sev, CodeMissingReturn,
+				"bare return in function %q, which declares return type %s", fd.Name, fd.ReturnType.TS())
+		} else {
+			a.add(fe.pos, sev, CodeMissingReturn,
+				"function %q declares return type %s but can complete without returning a value", fd.Name, fd.ReturnType.TS())
+		}
+	}
+}
+
+func returnRequirement(t types.Type) (Severity, bool) {
+	switch t.Kind() {
+	case types.KindVoid:
+		return 0, false
+	case types.KindAny:
+		return SevWarn, true
+	case types.KindUnion:
+		// A union is inspectable only through validation; probe whether
+		// it accepts null (undefined returns decode to null).
+		if t.Validate(nil) == nil {
+			return 0, false
+		}
+		return SevError, true
+	default:
+		return SevError, true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Definite assignment
+
+// definiteAssignment runs a forward may-be-unassigned dataflow over the
+// CFG for variables declared without an initializer. Findings are
+// warnings: the runtime yields undefined for such reads, so a program
+// can execute successfully through them.
+func (a *analyzer) definiteAssignment(g *cfg, reach map[*block]bool, stmts []minilang.Stmt) {
+	tracked := trackedVars(stmts)
+	if len(tracked) == 0 {
+		return
+	}
+
+	all := uint64(0)
+	for _, bit := range tracked {
+		all |= 1 << bit
+	}
+	in := make(map[*block]uint64, len(g.blocks))
+	out := make(map[*block]uint64, len(g.blocks))
+	for _, blk := range g.blocks {
+		in[blk], out[blk] = all, all
+	}
+	in[g.entry] = 0
+	out[g.entry] = transferDA(g.entry, 0, tracked, nil)
+
+	preds := map[*block][]*block{}
+	for _, blk := range g.blocks {
+		for _, s := range blk.succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.blocks {
+			if !reach[blk] {
+				continue
+			}
+			inSet := all
+			if blk == g.entry {
+				inSet = 0
+			} else {
+				for _, p := range preds[blk] {
+					if reach[p] {
+						inSet &= out[p]
+					}
+				}
+			}
+			outSet := transferDA(blk, inSet, tracked, nil)
+			if inSet != in[blk] || outSet != out[blk] {
+				in[blk], out[blk] = inSet, outSet
+				changed = true
+			}
+		}
+	}
+
+	// Reporting pass over the stable solution, one finding per variable.
+	reported := map[string]bool{}
+	for _, blk := range g.blocks {
+		if !reach[blk] {
+			continue
+		}
+		transferDA(blk, in[blk], tracked, func(name string, pos minilang.Pos) {
+			if !reported[name] {
+				reported[name] = true
+				a.add(pos, SevWarn, CodeUseUnassigned, "variable %q may be used before it is assigned", name)
+			}
+		})
+	}
+}
+
+// trackedVars selects the variables the dataflow follows: declared in
+// this unit without an initializer, never redeclared under the same
+// name, and never assigned from inside a nested function (a closure
+// could assign at any time).
+func trackedVars(stmts []minilang.Stmt) map[string]uint {
+	declCount := map[string]int{}
+	noInit := map[string]bool{}
+	closureAssigned := map[string]bool{}
+	var walkUnit func(n minilang.Node, inClosure bool)
+	walkUnit = func(n minilang.Node, inClosure bool) {
+		walk(n, func(m minilang.Node) bool {
+			if m != n && isFuncNode(m) {
+				walkUnit(funcBody(m), true)
+				return false
+			}
+			switch x := m.(type) {
+			case *minilang.VarDecl:
+				if !inClosure {
+					declCount[x.Name]++
+					if x.Init == nil {
+						noInit[x.Name] = true
+					}
+				}
+			case *minilang.ForOfStmt:
+				if !inClosure {
+					declCount[x.Name]++
+				}
+			case *minilang.AssignStmt:
+				if id, ok := x.Target.(*minilang.Ident); ok && inClosure {
+					closureAssigned[id.Name] = true
+				}
+			case *minilang.IncDecStmt:
+				if id, ok := x.Target.(*minilang.Ident); ok && inClosure {
+					closureAssigned[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, s := range stmts {
+		if fd, ok := s.(*minilang.FuncDecl); ok {
+			// Nested declarations are separate units, but assignments
+			// inside them still close over this unit's variables.
+			walkUnit(fd.Body, true)
+			continue
+		}
+		walkUnit(s, false)
+	}
+
+	tracked := map[string]uint{}
+	bit := uint(0)
+	for name := range noInit {
+		if declCount[name] == 1 && !closureAssigned[name] && bit < 64 {
+			tracked[name] = bit
+			bit++
+		}
+	}
+	return tracked
+}
+
+// funcBody extracts the analyzable body of a function-like node.
+func funcBody(n minilang.Node) minilang.Node {
+	switch x := n.(type) {
+	case *minilang.FuncDecl:
+		return x.Body
+	case *minilang.FuncLit:
+		return x.Body
+	case *minilang.ArrowFunc:
+		if x.Body != nil {
+			return x.Body
+		}
+		return x.Expr
+	}
+	return nil
+}
+
+// transferDA pushes the definitely-assigned set through one block,
+// reporting reads of possibly-unassigned variables via onUse.
+func transferDA(blk *block, set uint64, tracked map[string]uint, onUse func(name string, pos minilang.Pos)) uint64 {
+	use := func(e minilang.Expr) {
+		if onUse == nil || e == nil {
+			return
+		}
+		exprReads(e, func(name string, pos minilang.Pos) {
+			if bit, ok := tracked[name]; ok && set&(1<<bit) == 0 {
+				onUse(name, pos)
+			}
+		})
+	}
+	assign := func(name string) {
+		if bit, ok := tracked[name]; ok {
+			set |= 1 << bit
+		}
+	}
+	for _, st := range blk.steps {
+		if st.expr != nil {
+			use(st.expr)
+		}
+		if st.bind != "" {
+			assign(st.bind)
+		}
+		switch s := st.stmt.(type) {
+		case *minilang.VarDecl:
+			use(s.Init)
+			if s.Init != nil {
+				assign(s.Name)
+			}
+		case *minilang.AssignStmt:
+			use(s.Value)
+			switch t := s.Target.(type) {
+			case *minilang.Ident:
+				if s.Op != "=" {
+					use(t) // compound assignment reads before it writes
+				}
+				assign(t.Name)
+			case *minilang.MemberExpr:
+				use(t.X)
+			case *minilang.IndexExpr:
+				use(t.X)
+				use(t.Index)
+			}
+		case *minilang.IncDecStmt:
+			if t, ok := s.Target.(*minilang.Ident); ok {
+				use(t)
+				assign(t.Name)
+			} else {
+				use(s.Target)
+			}
+		case *minilang.ExprStmt:
+			use(s.X)
+		case *minilang.ReturnStmt:
+			use(s.Value)
+		case *minilang.ThrowStmt:
+			use(s.Value)
+		}
+	}
+	return set
+}

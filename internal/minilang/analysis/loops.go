@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/minilang"
+)
+
+// Non-termination heuristics. Two tiers, calibrated against the
+// runtime:
+//
+//   - A loop whose condition is a compile-time-true constant and whose
+//     body contains no break (for this loop) and no return can only
+//     ever exit the function abnormally (throw, fuel exhaustion), so
+//     it is an error: the generated code burns the whole step budget
+//     per example before failing.
+//   - A loop whose condition reads only named variables that nothing in
+//     the body can modify spins forever *if entered* — but a false
+//     condition on entry is a clean no-op, so this tier only warns.
+//     Execution is single-threaded, so when the body performs no calls
+//     at all (which could reach a mutating closure), direct
+//     assignments in the body/post are the only mutation channel.
+func (a *analyzer) loops(prog *minilang.Program) {
+	walk(prog, func(n minilang.Node) bool {
+		switch x := n.(type) {
+		case *minilang.WhileStmt:
+			a.checkLoop(x.P, x.Cond, x.Body, nil)
+		case *minilang.ForStmt:
+			a.checkLoop(x.P, x.Cond, x.Body, x.Post)
+		}
+		return true
+	})
+}
+
+func (a *analyzer) checkLoop(pos minilang.Pos, cond minilang.Expr, body, post minilang.Stmt) {
+	hasBreak, hasReturn := loopExits(body)
+	alwaysTrue := cond == nil
+	if cond != nil {
+		t, known := constTruthy(cond)
+		alwaysTrue = known && t
+	}
+	if alwaysTrue {
+		if !hasBreak && !hasReturn {
+			a.add(pos, SevError, CodeNonTermination,
+				"loop condition is always true and the body never breaks or returns")
+		}
+		return
+	}
+	if hasBreak || hasReturn {
+		return
+	}
+	vars, simple := condVars(cond)
+	if !simple || len(vars) == 0 {
+		return
+	}
+	if hasCalls(body) || (post != nil && hasCalls(post)) {
+		return // a call may reach a closure that mutates a condition variable
+	}
+	for _, v := range vars {
+		if assignsName(body, v) || (post != nil && assignsName(post, v)) {
+			return
+		}
+	}
+	a.add(pos, SevWarn, CodeNonTermination,
+		"loop may never terminate: condition variable(s) %s are never modified in the loop body",
+		strings.Join(vars, ", "))
+}
+
+// loopExits scans a loop body for a break binding to this loop and for
+// any return, skipping nested function literals.
+func loopExits(body minilang.Stmt) (hasBreak, hasReturn bool) {
+	var scan func(s minilang.Node, depth int)
+	scan = func(s minilang.Node, depth int) {
+		walk(s, func(n minilang.Node) bool {
+			if n != s {
+				switch n.(type) {
+				case *minilang.WhileStmt, *minilang.ForStmt, *minilang.ForOfStmt:
+					scan(n, depth+1)
+					return false
+				case *minilang.ArrowFunc, *minilang.FuncLit, *minilang.FuncDecl:
+					return false
+				}
+			}
+			switch n.(type) {
+			case *minilang.BreakStmt:
+				if depth == 0 {
+					hasBreak = true
+				}
+			case *minilang.ReturnStmt:
+				hasReturn = true
+			}
+			return true
+		})
+	}
+	scan(body, 0)
+	return hasBreak, hasReturn
+}
+
+// condVars extracts the identifiers a loop condition reads. simple is
+// false when the condition involves calls, members or indexing —
+// anything whose value can change without an assignment to a named
+// variable.
+func condVars(cond minilang.Expr) (vars []string, simple bool) {
+	simple = true
+	seen := map[string]bool{}
+	walk(cond, func(n minilang.Node) bool {
+		switch x := n.(type) {
+		case *minilang.CallExpr, *minilang.NewExpr, *minilang.MemberExpr,
+			*minilang.IndexExpr, *minilang.ArrowFunc, *minilang.FuncLit:
+			simple = false
+			return false
+		case *minilang.Ident:
+			if !isAmbientGlobal(x.Name) && !seen[x.Name] {
+				seen[x.Name] = true
+				vars = append(vars, x.Name)
+			}
+		}
+		return true
+	})
+	sort.Strings(vars)
+	return vars, simple
+}
+
+// isAmbientGlobal reports engine-provided globals, whose value never
+// changes (so they impose no mutation requirement on the loop).
+func isAmbientGlobal(name string) bool {
+	_, ok := builtinShapes[name]
+	return ok
+}
+
+// hasCalls reports whether executing n can perform any call. Function
+// literals defined (but not called) inside n never run while the loop
+// spins, so their bodies are skipped.
+func hasCalls(n minilang.Node) bool {
+	found := false
+	walk(n, func(m minilang.Node) bool {
+		switch m.(type) {
+		case *minilang.CallExpr, *minilang.NewExpr:
+			found = true
+		case *minilang.ArrowFunc, *minilang.FuncLit, *minilang.FuncDecl:
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// assignsName reports whether any assignment or increment targeting the
+// plain variable occurs under n. Nested function bodies are included:
+// counting them is conservative (it can only suppress a warning).
+func assignsName(n minilang.Node, name string) bool {
+	found := false
+	walk(n, func(m minilang.Node) bool {
+		switch x := m.(type) {
+		case *minilang.AssignStmt:
+			if id, ok := x.Target.(*minilang.Ident); ok && id.Name == name {
+				found = true
+			}
+		case *minilang.IncDecStmt:
+			if id, ok := x.Target.(*minilang.Ident); ok && id.Name == name {
+				found = true
+			}
+		case *minilang.ForOfStmt:
+			if x.Name == name {
+				found = true // loop binding rebinds the name per iteration
+			}
+		case *minilang.VarDecl:
+			if x.Name == name {
+				found = true // shadowing declaration: stop reasoning
+			}
+		}
+		return !found
+	})
+	return found
+}

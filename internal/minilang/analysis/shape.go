@@ -1,0 +1,555 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/minilang"
+	"repro/internal/types"
+)
+
+// The flow-insensitive type/shape lattice. Every variable's shape is
+// the join of everything ever assigned to it, anywhere in the program
+// (name-joined across scopes — shadowing widens, which only ever
+// suppresses findings, never invents them). Checks fire only when a
+// shape is fully known and excludes the required capability, so a
+// single `any` contribution silences the variable.
+
+type shape uint16
+
+const (
+	shNum shape = 1 << iota
+	shStr
+	shBool
+	shArr
+	shObj
+	shFunc
+	shNull
+
+	shAll = shNum | shStr | shBool | shArr | shObj | shFunc | shNull
+	// shIndexable are the shapes the runtime indexes successfully:
+	// arrays, objects (property access) and strings (chars).
+	shIndexable = shArr | shObj | shStr | shFunc
+)
+
+var shapeNames = []struct {
+	bit  shape
+	name string
+}{
+	{shNum, "number"}, {shStr, "string"}, {shBool, "boolean"},
+	{shArr, "array"}, {shObj, "object"}, {shFunc, "function"}, {shNull, "null"},
+}
+
+func (s shape) String() string {
+	if s == shAll {
+		return "any"
+	}
+	var parts []string
+	for _, sn := range shapeNames {
+		if s&sn.bit != 0 {
+			parts = append(parts, sn.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "never"
+	}
+	return strings.Join(parts, "|")
+}
+
+// typeShape maps a declared AskIt type to its runtime shape.
+func typeShape(t types.Type) shape {
+	if t == nil {
+		return shAll
+	}
+	switch t.Kind() {
+	case types.KindInt, types.KindFloat:
+		return shNum
+	case types.KindStr:
+		return shStr
+	case types.KindBool:
+		return shBool
+	case types.KindList:
+		return shArr
+	case types.KindDict:
+		return shObj
+	case types.KindLiteral:
+		// Literal types validate exactly one value; probe its class.
+		switch {
+		case t.Validate(true) == nil || t.Validate(false) == nil:
+			return shBool
+		case t.Validate("") == nil:
+			return shStr | shNum // unknown literal payload: stay wide
+		default:
+			return shNum | shStr | shBool
+		}
+	default: // unions, any, void
+		return shAll
+	}
+}
+
+// builtinShapes are the shapes of the ambient globals (only consulted
+// for names with no user declaration anywhere in the program).
+var builtinShapes = map[string]shape{
+	"Math": shObj, "JSON": shObj, "console": shObj,
+	"Object": shObj | shFunc, "Array": shObj | shFunc,
+	"Number": shObj | shFunc, "String": shObj | shFunc, "Boolean": shObj | shFunc,
+	"parseInt": shFunc, "parseFloat": shFunc, "isNaN": shFunc, "isFinite": shFunc,
+	"appendFile": shFunc, "readFile": shFunc, "writeFile": shFunc,
+	"Infinity": shNum, "NaN": shNum,
+	"Set": shFunc | shObj, "Map": shFunc | shObj, "Error": shFunc | shObj,
+}
+
+// arityRange bounds a builtin's accepted argument count. Calling below
+// min yields NaN/undefined (or a runtime error) — never what generated
+// code means — so it rejects; extra arguments are ignored and only warn.
+type arityRange struct{ min, max int }
+
+var builtinFuncArity = map[string]arityRange{
+	"parseInt": {1, 2}, "parseFloat": {1, 1},
+	"isNaN": {1, 1}, "isFinite": {1, 1},
+	"Number": {0, 1}, "String": {0, 1}, "Boolean": {0, 1},
+}
+
+// builtinMemberArity covers calls through builtin namespace objects.
+// Only members the runtime actually installs are listed; calling any
+// other member of these namespaces is a runtime error, so it rejects.
+var builtinMemberArity = map[string]map[string]arityRange{
+	"Math": {
+		"floor": {1, 1}, "ceil": {1, 1}, "round": {1, 1}, "trunc": {1, 1},
+		"abs": {1, 1}, "sqrt": {1, 1}, "cbrt": {1, 1},
+		"log": {1, 1}, "log2": {1, 1}, "log10": {1, 1}, "exp": {1, 1},
+		"sign": {1, 1}, "pow": {2, 2},
+		"max": {0, -1}, "min": {0, -1}, "hypot": {0, -1},
+	},
+	"JSON": {
+		"parse": {1, 2}, "stringify": {1, 3},
+	},
+}
+
+// mathConstants are non-callable Math members; Math.PI(...) rejects.
+var mathConstants = map[string]bool{"PI": true, "E": true}
+
+type varInfo struct {
+	shape    shape
+	decls    int
+	assigned bool // assigned outside its declaration
+	reads    int
+	declPos  minilang.Pos
+	kind     string // "var", "func", "param", "forof"
+	fd       *minilang.FuncDecl
+	exported bool
+}
+
+type shapeAnalysis struct {
+	prog *minilang.Program
+	vars map[string]*varInfo
+}
+
+func newShapeAnalysis(prog *minilang.Program) *shapeAnalysis {
+	sh := &shapeAnalysis{prog: prog, vars: map[string]*varInfo{}}
+	sh.collect()
+	sh.relax()
+	return sh
+}
+
+func (sh *shapeAnalysis) info(name string) *varInfo {
+	vi := sh.vars[name]
+	if vi == nil {
+		vi = &varInfo{}
+		sh.vars[name] = vi
+	}
+	return vi
+}
+
+// collect records every declaration, assignment target and read in one
+// structural pass (shapes are joined later, once declarations exist).
+func (sh *shapeAnalysis) collect() {
+	walk(sh.prog, func(n minilang.Node) bool {
+		switch x := n.(type) {
+		case *minilang.FuncDecl:
+			vi := sh.info(x.Name)
+			vi.decls++
+			vi.shape |= shFunc
+			if vi.decls == 1 {
+				vi.kind, vi.fd, vi.declPos = "func", x, x.P
+			} else {
+				vi.fd = nil
+			}
+			vi.exported = vi.exported || x.Exported
+			sh.declParams(x.Params)
+		case *minilang.ArrowFunc:
+			sh.declParamsWide(x.Params)
+		case *minilang.FuncLit:
+			sh.declParamsWide(x.Params)
+		case *minilang.VarDecl:
+			vi := sh.info(x.Name)
+			vi.decls++
+			if vi.kind == "" {
+				vi.kind, vi.declPos = "var", x.P
+			}
+			vi.fd = nil
+		case *minilang.ForOfStmt:
+			vi := sh.info(x.Name)
+			vi.decls++
+			if vi.kind == "" {
+				vi.kind, vi.declPos = "forof", x.P
+			}
+			vi.fd = nil
+		case *minilang.AssignStmt:
+			if id, ok := x.Target.(*minilang.Ident); ok {
+				vi := sh.info(id.Name)
+				vi.assigned = true
+				vi.fd = nil
+			}
+		case *minilang.IncDecStmt:
+			if id, ok := x.Target.(*minilang.Ident); ok {
+				vi := sh.info(id.Name)
+				vi.assigned = true
+				vi.fd = nil
+			}
+		}
+		return true
+	})
+	sh.countReads()
+}
+
+func (sh *shapeAnalysis) declParams(ps []minilang.Param) {
+	for _, p := range ps {
+		vi := sh.info(p.Name)
+		vi.decls++
+		if vi.kind == "" {
+			vi.kind, vi.declPos = "param", p.Pos
+		}
+		vi.fd = nil
+		vi.shape |= typeShape(p.Type)
+	}
+}
+
+func (sh *shapeAnalysis) declParamsWide(ps []minilang.Param) {
+	for _, p := range ps {
+		vi := sh.info(p.Name)
+		vi.decls++
+		if vi.kind == "" {
+			vi.kind, vi.declPos = "param", p.Pos
+		}
+		vi.fd = nil
+		vi.shape = shAll // untyped literal parameters: unknown
+	}
+}
+
+// countReads tallies identifier reads (excluding pure write targets) so
+// the unused pass knows what was never consumed.
+func (sh *shapeAnalysis) countReads() {
+	read := func(name string) {
+		if vi, ok := sh.vars[name]; ok {
+			vi.reads++
+		}
+	}
+	walk(sh.prog, func(n minilang.Node) bool {
+		switch x := n.(type) {
+		case *minilang.Ident:
+			read(x.Name)
+		case *minilang.ObjectLit:
+			for _, fl := range x.Fields {
+				if fl.Value == nil {
+					read(fl.Key)
+				}
+			}
+		case *minilang.AssignStmt:
+			if id, ok := x.Target.(*minilang.Ident); ok {
+				if x.Op != "=" {
+					read(id.Name)
+				}
+				walk(x.Value, func(m minilang.Node) bool { return sh.readsVisit(m, read) })
+				return false
+			}
+		case *minilang.IncDecStmt:
+			if id, ok := x.Target.(*minilang.Ident); ok {
+				read(id.Name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func (sh *shapeAnalysis) readsVisit(n minilang.Node, read func(string)) bool {
+	switch x := n.(type) {
+	case *minilang.Ident:
+		read(x.Name)
+	case *minilang.ObjectLit:
+		for _, fl := range x.Fields {
+			if fl.Value == nil {
+				read(fl.Key)
+			}
+		}
+	}
+	return true
+}
+
+// relax joins assignment shapes to a fixpoint. Joins are monotone over
+// a finite lattice, so the loop terminates; the cap is a safety net.
+func (sh *shapeAnalysis) relax() {
+	for i := 0; i < 8; i++ {
+		if !sh.relaxOnce() {
+			return
+		}
+	}
+}
+
+func (sh *shapeAnalysis) relaxOnce() (changed bool) {
+	join := func(name string, s shape) {
+		vi := sh.info(name)
+		if vi.shape|s != vi.shape {
+			vi.shape |= s
+			changed = true
+		}
+	}
+	walk(sh.prog, func(n minilang.Node) bool {
+		switch x := n.(type) {
+		case *minilang.VarDecl:
+			if x.Init != nil {
+				join(x.Name, sh.exprShape(x.Init))
+			} else {
+				join(x.Name, shNull) // uninitialized reads yield undefined
+			}
+		case *minilang.AssignStmt:
+			if id, ok := x.Target.(*minilang.Ident); ok {
+				switch x.Op {
+				case "=":
+					join(id.Name, sh.exprShape(x.Value))
+				case "+=":
+					join(id.Name, shNum|shStr)
+				default:
+					join(id.Name, shNum)
+				}
+			}
+		case *minilang.IncDecStmt:
+			if id, ok := x.Target.(*minilang.Ident); ok {
+				join(id.Name, shNum)
+			}
+		case *minilang.ForOfStmt:
+			if x.In {
+				join(x.Name, shStr) // for..in iterates keys/indices as strings
+			} else if sh.exprShape(x.Seq)&^shStr == 0 {
+				join(x.Name, shStr) // iterating a string yields characters
+			} else {
+				join(x.Name, shAll)
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// exprShape evaluates the shape of an expression under the current
+// variable solution. Unknown constructs are shAll (no findings).
+func (sh *shapeAnalysis) exprShape(e minilang.Expr) shape {
+	switch x := e.(type) {
+	case *minilang.NumberLit:
+		return shNum
+	case *minilang.StringLit:
+		return shStr
+	case *minilang.BoolLit:
+		return shBool
+	case *minilang.NullLit:
+		return shNull
+	case *minilang.ArrayLit:
+		return shArr
+	case *minilang.ObjectLit:
+		return shObj
+	case *minilang.TemplateLit:
+		return shStr
+	case *minilang.ArrowFunc, *minilang.FuncLit:
+		return shFunc
+	case *minilang.Ident:
+		return sh.identShape(x.Name)
+	case *minilang.UnaryExpr:
+		switch x.Op {
+		case "!":
+			return shBool
+		case "-", "+":
+			return shNum
+		case "typeof":
+			return shStr
+		}
+		return shAll
+	case *minilang.BinaryExpr:
+		switch x.Op {
+		case "+":
+			return shNum | shStr
+		case "-", "*", "/", "%", "**":
+			return shNum
+		case "<", "<=", ">", ">=", "==", "!=", "===", "!==":
+			return shBool
+		case "&&", "||", "??":
+			// JS logical operators return one of their operands.
+			return sh.exprShape(x.L) | sh.exprShape(x.R)
+		}
+		return shAll
+	case *minilang.CondExpr:
+		return sh.exprShape(x.Then) | sh.exprShape(x.Else)
+	}
+	// Member/index/call/new results are not modeled.
+	return shAll
+}
+
+func (sh *shapeAnalysis) identShape(name string) shape {
+	if vi, ok := sh.vars[name]; ok {
+		return vi.shape
+	}
+	if s, ok := builtinShapes[name]; ok {
+		return s
+	}
+	return shAll
+}
+
+// declared reports whether the name has any user declaration (in which
+// case it shadows — or at least might shadow — the builtin).
+func (sh *shapeAnalysis) declared(name string) bool {
+	vi, ok := sh.vars[name]
+	return ok && vi.decls > 0
+}
+
+// report runs the checks that depend on the shape solution.
+func (sh *shapeAnalysis) report(a *analyzer) {
+	walk(sh.prog, func(n minilang.Node) bool {
+		switch x := n.(type) {
+		case *minilang.CallExpr:
+			sh.checkCall(a, x)
+		case *minilang.IndexExpr:
+			if s := sh.exprShape(x.X); s != 0 && s&shIndexable == 0 {
+				a.add(x.P, SevError, CodeScalarIndex,
+					"cannot index this value: it is always %s", s)
+			}
+		}
+		return true
+	})
+	sh.reportUnused(a)
+}
+
+func (sh *shapeAnalysis) checkCall(a *analyzer, call *minilang.CallExpr) {
+	spread := false
+	for _, s := range call.Spreads {
+		spread = spread || s
+	}
+	switch fn := call.Fn.(type) {
+	case *minilang.Ident:
+		s := sh.identShape(fn.Name)
+		if s != 0 && s&shFunc == 0 {
+			a.add(fn.P, SevError, CodeNotCallable,
+				"%q is not callable: it is always %s", fn.Name, s)
+			return
+		}
+		if vi, ok := sh.vars[fn.Name]; ok {
+			if vi.fd != nil && !vi.assigned && !spread {
+				sh.checkDeclArity(a, call, vi.fd)
+			}
+			return // user-declared name: builtin tables do not apply
+		}
+		if ar, ok := builtinFuncArity[fn.Name]; ok && !spread {
+			sh.checkArityRange(a, call.P, fn.Name, len(call.Args), ar)
+		}
+	case *minilang.MemberExpr:
+		obj, ok := fn.X.(*minilang.Ident)
+		if !ok || sh.declared(obj.Name) {
+			return
+		}
+		members, known := builtinMemberArity[obj.Name]
+		if !known {
+			return
+		}
+		ar, ok := members[fn.Name]
+		if !ok {
+			if obj.Name == "Math" && mathConstants[fn.Name] {
+				a.add(fn.P, SevError, CodeNotCallable,
+					"Math.%s is a constant, not a function", fn.Name)
+			} else {
+				a.add(fn.P, SevError, CodeNotCallable,
+					"%s.%s is not a function the runtime provides", obj.Name, fn.Name)
+			}
+			return
+		}
+		if !spread {
+			sh.checkArityRange(a, call.P, obj.Name+"."+fn.Name, len(call.Args), ar)
+		}
+	}
+}
+
+func (sh *shapeAnalysis) checkArityRange(a *analyzer, pos minilang.Pos, name string, got int, ar arityRange) {
+	if got < ar.min {
+		a.add(pos, SevError, CodeBuiltinArity,
+			"%s requires at least %d argument(s), got %d", name, ar.min, got)
+	} else if ar.max >= 0 && got > ar.max {
+		a.add(pos, SevWarn, CodeBuiltinArity,
+			"%s takes at most %d argument(s), got %d (extras are ignored)", name, ar.max, got)
+	}
+}
+
+// checkDeclArity validates a call against a uniquely-declared,
+// never-reassigned function declaration.
+func (sh *shapeAnalysis) checkDeclArity(a *analyzer, call *minilang.CallExpr, fd *minilang.FuncDecl) {
+	if fd.Named {
+		// AskIt named-parameter convention: exactly one object argument
+		// carrying every declared key (the runtime errors on missing
+		// keys).
+		if len(call.Args) != 1 {
+			a.add(call.P, SevError, CodeArity,
+				"function %q takes a single named-argument object {%s}, got %d arguments",
+				fd.Name, paramNames(fd.Params), len(call.Args))
+			return
+		}
+		ol, ok := call.Args[0].(*minilang.ObjectLit)
+		if !ok {
+			return // dynamic object: cannot check keys
+		}
+		have := map[string]bool{}
+		for _, fl := range ol.Fields {
+			have[fl.Key] = true
+		}
+		for _, p := range fd.Params {
+			if !have[p.Name] {
+				a.add(call.P, SevError, CodeArity,
+					"call to %q is missing named argument %q", fd.Name, p.Name)
+			}
+		}
+		return
+	}
+	if len(call.Args) < len(fd.Params) {
+		a.add(call.P, SevError, CodeArity,
+			"function %q takes %d argument(s), got %d", fd.Name, len(fd.Params), len(call.Args))
+	} else if len(call.Args) > len(fd.Params) {
+		a.add(call.P, SevWarn, CodeArity,
+			"function %q takes %d argument(s), got %d (extras are ignored)", fd.Name, len(fd.Params), len(call.Args))
+	}
+}
+
+func paramNames(ps []minilang.Param) string {
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// reportUnused warns about declarations nothing ever reads. Parameters
+// are exempt (generated signatures are fixed by the spec), as is the
+// exported entry function.
+func (sh *shapeAnalysis) reportUnused(a *analyzer) {
+	names := make([]string, 0, len(sh.vars))
+	for name := range sh.vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		vi := sh.vars[name]
+		if vi.decls == 0 || vi.reads > 0 || vi.exported || vi.kind == "param" {
+			continue
+		}
+		noun := "variable"
+		if vi.kind == "func" {
+			noun = "function"
+		}
+		a.add(vi.declPos, SevWarn, CodeUnused, "%s %q is declared but never used", noun, name)
+	}
+}

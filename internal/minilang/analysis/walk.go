@@ -1,0 +1,161 @@
+package analysis
+
+import "repro/internal/minilang"
+
+// walk visits n and all of its children in source order. f returning
+// false prunes the subtree below the current node.
+func walk(n minilang.Node, f func(minilang.Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *minilang.Program:
+		for _, s := range x.Stmts {
+			walk(s, f)
+		}
+	case *minilang.BlockStmt:
+		for _, s := range x.Stmts {
+			walk(s, f)
+		}
+	case *minilang.FuncDecl:
+		walk(x.Body, f)
+	case *minilang.VarDecl:
+		if x.Init != nil {
+			walk(x.Init, f)
+		}
+	case *minilang.AssignStmt:
+		walk(x.Target, f)
+		walk(x.Value, f)
+	case *minilang.IncDecStmt:
+		walk(x.Target, f)
+	case *minilang.ExprStmt:
+		walk(x.X, f)
+	case *minilang.IfStmt:
+		walk(x.Cond, f)
+		walk(x.Then, f)
+		if x.Else != nil {
+			walk(x.Else, f)
+		}
+	case *minilang.WhileStmt:
+		walk(x.Cond, f)
+		walk(x.Body, f)
+	case *minilang.ForStmt:
+		if x.Init != nil {
+			walk(x.Init, f)
+		}
+		if x.Cond != nil {
+			walk(x.Cond, f)
+		}
+		if x.Post != nil {
+			walk(x.Post, f)
+		}
+		walk(x.Body, f)
+	case *minilang.ForOfStmt:
+		walk(x.Seq, f)
+		walk(x.Body, f)
+	case *minilang.ReturnStmt:
+		if x.Value != nil {
+			walk(x.Value, f)
+		}
+	case *minilang.ThrowStmt:
+		walk(x.Value, f)
+	case *minilang.ArrayLit:
+		for _, e := range x.Elems {
+			walk(e, f)
+		}
+	case *minilang.ObjectLit:
+		for _, fl := range x.Fields {
+			if fl.Value != nil {
+				walk(fl.Value, f)
+			}
+		}
+	case *minilang.TemplateLit:
+		for _, e := range x.Exprs {
+			walk(e, f)
+		}
+	case *minilang.UnaryExpr:
+		walk(x.X, f)
+	case *minilang.BinaryExpr:
+		walk(x.L, f)
+		walk(x.R, f)
+	case *minilang.CondExpr:
+		walk(x.Cond, f)
+		walk(x.Then, f)
+		walk(x.Else, f)
+	case *minilang.MemberExpr:
+		walk(x.X, f)
+	case *minilang.IndexExpr:
+		walk(x.X, f)
+		walk(x.Index, f)
+	case *minilang.CallExpr:
+		walk(x.Fn, f)
+		for _, a := range x.Args {
+			walk(a, f)
+		}
+	case *minilang.NewExpr:
+		for _, a := range x.Args {
+			walk(a, f)
+		}
+	case *minilang.ArrowFunc:
+		if x.Expr != nil {
+			walk(x.Expr, f)
+		}
+		if x.Body != nil {
+			walk(x.Body, f)
+		}
+	case *minilang.FuncLit:
+		walk(x.Body, f)
+	}
+}
+
+// walkFuncs calls f once per function-like node with a statement body:
+// function declarations (fd non-nil) and arrow/function literals with
+// block bodies (fd nil).
+func walkFuncs(prog *minilang.Program, f func(fd *minilang.FuncDecl, body *minilang.BlockStmt)) {
+	walk(prog, func(n minilang.Node) bool {
+		switch x := n.(type) {
+		case *minilang.FuncDecl:
+			f(x, x.Body)
+		case *minilang.ArrowFunc:
+			if x.Body != nil {
+				f(nil, x.Body)
+			}
+		case *minilang.FuncLit:
+			f(nil, x.Body)
+		}
+		return true
+	})
+}
+
+// isFuncNode reports whether n introduces a new function scope.
+func isFuncNode(n minilang.Node) bool {
+	switch n.(type) {
+	case *minilang.FuncDecl, *minilang.ArrowFunc, *minilang.FuncLit:
+		return true
+	}
+	return false
+}
+
+// exprReads reports every identifier the expression reads, including
+// object-literal shorthand properties ({x} reads x), excluding the
+// bodies of nested function literals (those run later, if at all).
+func exprReads(e minilang.Expr, f func(name string, pos minilang.Pos)) {
+	if e == nil {
+		return
+	}
+	walk(e, func(n minilang.Node) bool {
+		switch x := n.(type) {
+		case *minilang.ArrowFunc, *minilang.FuncLit:
+			return false
+		case *minilang.Ident:
+			f(x.Name, x.P)
+		case *minilang.ObjectLit:
+			for _, fl := range x.Fields {
+				if fl.Value == nil {
+					f(fl.Key, x.P)
+				}
+			}
+		}
+		return true
+	})
+}

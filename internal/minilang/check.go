@@ -25,7 +25,7 @@ func (ce CheckErrors) Error() string {
 func Check(prog *Program) error {
 	c := &checker{}
 	global := newScope(nil)
-	for name := range builtinGlobals() {
+	for name := range builtinGlobals {
 		global.declare(name, true)
 	}
 	// Hoist top-level functions, as JS does.
@@ -43,17 +43,18 @@ func Check(prog *Program) error {
 	return c.errs
 }
 
-func builtinGlobals() map[string]bool {
-	return map[string]bool{
-		"Math": true, "JSON": true, "Object": true, "Array": true,
-		"Number": true, "String": true, "Boolean": true, "console": true,
-		"parseInt": true, "parseFloat": true, "isNaN": true,
-		"isFinite": true, "Infinity": true, "NaN": true,
-		"Set": true, "Map": true, "Error": true,
-		// Host bindings the AskIt engine provides for file-access tasks
-		// (the paper's §II-A2 CSV example); see core.Options.FS.
-		"appendFile": true, "readFile": true, "writeFile": true,
-	}
+// builtinGlobals is the ambient global set every program is checked
+// against. It is shared and must never be mutated; callers that need a
+// superset (e.g. host bindings) build their own merged copy.
+var builtinGlobals = map[string]bool{
+	"Math": true, "JSON": true, "Object": true, "Array": true,
+	"Number": true, "String": true, "Boolean": true, "console": true,
+	"parseInt": true, "parseFloat": true, "isNaN": true,
+	"isFinite": true, "Infinity": true, "NaN": true,
+	"Set": true, "Map": true, "Error": true,
+	// Host bindings the AskIt engine provides for file-access tasks
+	// (the paper's §II-A2 CSV example); see core.Options.FS.
+	"appendFile": true, "readFile": true, "writeFile": true,
 }
 
 type scope struct {

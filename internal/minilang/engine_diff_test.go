@@ -1,4 +1,4 @@
-package minilang
+package minilang_test
 
 import (
 	"bytes"
@@ -8,6 +8,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/minilang"
+	"repro/internal/minilang/analysis"
 )
 
 // The differential corpus: every program is executed by both engines —
@@ -298,7 +301,7 @@ function ghost() { return 1; }`, map[string]any{}},
 // tree-walker's fresh-environment-per-call behaviour.
 func TestEngineGlobalMutationIsolation(t *testing.T) {
 	src := diffCorpus[len(diffCorpus)-1].src
-	cf, err := CompileFunction(src, "f")
+	cf, err := minilang.CompileFunction(src, "f")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,13 +320,16 @@ func TestEngineGlobalMutationIsolation(t *testing.T) {
 }
 
 // runBoth executes one case under both engines, with stdout captured.
+// When both engines execute the program successfully, the static
+// analyzer must agree it is error-free: every differential run doubles
+// as a no-false-positive oracle for the analysis tier.
 func runBoth(t *testing.T, src string, args map[string]any, maxSteps int64) (anyC, anyT any, errC, errT error, outC, outT string) {
 	t.Helper()
-	cfC, err := CompileFunction(src, "f")
+	cfC, err := minilang.CompileFunction(src, "f")
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	cfT, err := CompileFunction(src, "f")
+	cfT, err := minilang.CompileFunction(src, "f")
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
@@ -333,7 +339,21 @@ func runBoth(t *testing.T, src string, args map[string]any, maxSteps int64) (any
 	cfC.MaxSteps, cfT.MaxSteps = maxSteps, maxSteps
 	anyC, errC = cfC.Call(context.Background(), args)
 	anyT, errT = cfT.Call(context.Background(), args)
+	if errC == nil && errT == nil {
+		assertAnalyzerClean(t, src, cfC.Prog)
+	}
 	return anyC, anyT, errC, errT, bufC.String(), bufT.String()
+}
+
+// assertAnalyzerClean fails the test when the analyzer reports an
+// error-severity diagnostic for a program that just executed
+// successfully under both engines (a false positive would make the
+// codegen loop reject working completions).
+func assertAnalyzerClean(t *testing.T, src string, prog *minilang.Program) {
+	t.Helper()
+	for _, d := range analysis.Errors(analysis.Analyze(prog)) {
+		t.Errorf("analyzer false positive on successfully-executing program:\n%s\ndiagnostic: %s", src, d)
+	}
 }
 
 func TestEngineDifferentialCorpus(t *testing.T) {
@@ -348,7 +368,7 @@ func TestEngineDifferentialCorpus(t *testing.T) {
 				// the budget ran out; the two engines spend a constant
 				// few steps differently (static module load), so only
 				// the error kind is compared for fuel errors.
-				if strings.Contains(errC.Error(), ErrFuel) && strings.Contains(errT.Error(), ErrFuel) {
+				if strings.Contains(errC.Error(), minilang.ErrFuel) && strings.Contains(errT.Error(), minilang.ErrFuel) {
 					return
 				}
 				if errC.Error() != errT.Error() {
@@ -374,8 +394,8 @@ export function f({x}: {x: number}): number {
   console.log("call", x, [1, 2], {a: x});
   return x;
 }`
-	cfC, _ := CompileFunction(src, "f")
-	cfT, _ := CompileFunction(src, "f")
+	cfC, _ := minilang.CompileFunction(src, "f")
+	cfT, _ := minilang.CompileFunction(src, "f")
 	cfT.TreeWalker = true
 	var bufC, bufT bytes.Buffer
 	cfC.Stdout, cfT.Stdout = &bufC, &bufT

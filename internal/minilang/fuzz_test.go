@@ -1,4 +1,4 @@
-package minilang
+package minilang_test
 
 import (
 	"bytes"
@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/minilang"
 )
 
 // FuzzEngineDiff is the native-fuzzing form of the engine-parity gate:
@@ -14,7 +16,8 @@ import (
 // input is a valid program by construction — coverage goes into the
 // two engines, not the parser's error paths), and the compiled closure
 // engine must agree with the reference tree-walker on result, error
-// presence, and stdout. Run continuously with:
+// presence, and stdout — and the static analyzer must report zero
+// errors for any program both engines execute successfully. Run continuously with:
 //
 //	go test -fuzz=FuzzEngineDiff -fuzztime=30s ./internal/minilang
 //
@@ -39,7 +42,7 @@ func FuzzEngineDiff(f *testing.F) {
 			// budget died; the engines spend a constant few steps
 			// differently, so only the kind is compared (as in the
 			// differential corpus test).
-			if strings.Contains(errC.Error(), ErrFuel) && strings.Contains(errT.Error(), ErrFuel) {
+			if strings.Contains(errC.Error(), minilang.ErrFuel) && strings.Contains(errT.Error(), minilang.ErrFuel) {
 				return
 			}
 			if errC.Error() != errT.Error() {
@@ -62,11 +65,11 @@ func FuzzEngineDiff(f *testing.F) {
 // with the program attached.
 func fuzzRunBoth(t *testing.T, src string, args map[string]any) (anyC, anyT any, errC, errT error, outC, outT string) {
 	t.Helper()
-	cfC, err := CompileFunction(src, "f")
+	cfC, err := minilang.CompileFunction(src, "f")
 	if err != nil {
 		t.Fatalf("generated program does not compile: %v\nprogram:\n%s", err, src)
 	}
-	cfT, err := CompileFunction(src, "f")
+	cfT, err := minilang.CompileFunction(src, "f")
 	if err != nil {
 		t.Fatalf("generated program does not compile: %v\nprogram:\n%s", err, src)
 	}
@@ -76,6 +79,11 @@ func fuzzRunBoth(t *testing.T, src string, args map[string]any) (anyC, anyT any,
 	cfC.MaxSteps, cfT.MaxSteps = 300_000, 300_000
 	anyC, errC = cfC.Call(context.Background(), args)
 	anyT, errT = cfT.Call(context.Background(), args)
+	if errC == nil && errT == nil {
+		// No-false-positive oracle: a program both engines execute
+		// successfully must carry zero analyzer errors.
+		assertAnalyzerClean(t, src, cfC.Prog)
+	}
 	return anyC, anyT, errC, errT, bufC.String(), bufT.String()
 }
 

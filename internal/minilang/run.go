@@ -88,9 +88,17 @@ func (cf *CompiledFunc) Prepare() error {
 		// calls; a program that could mutate or alias them must run on
 		// the per-call tree-walker to keep calls isolated (and to avoid
 		// unsynchronized writes to shared maps under concurrency).
-		names := builtinGlobals()
-		for name := range cf.Hosts {
-			names[name] = true
+		// builtinGlobals is shared; merge host bindings into a copy
+		// rather than writing into the package-level set.
+		names := builtinGlobals
+		if len(cf.Hosts) > 0 {
+			names = make(map[string]bool, len(builtinGlobals)+len(cf.Hosts))
+			for name := range builtinGlobals {
+				names[name] = true
+			}
+			for name := range cf.Hosts {
+				names[name] = true
+			}
 		}
 		if mayMutateSharedGlobals(prog, names) {
 			cf.prepErr = ErrSharedGlobalMutation

@@ -101,10 +101,23 @@ func argsOrEmpty(m map[string]any) map[string]any {
 // Problem describes why a response failed validation; it feeds the
 // feedback prompt for the next retry.
 type Problem struct {
-	// Kind is one of "no-json", "no-answer-field", "type-mismatch".
+	// Kind is one of "no-json", "no-answer-field", "type-mismatch",
+	// "static-error", "llm-error".
 	Kind string
 	// Detail is the human-readable diagnosis (parser or validator error).
 	Detail string
+	// Line and Col locate the problem in generated source when known
+	// (1-based; zero means no position). Static-analysis diagnostics
+	// set them so the model's critique points at the offending line.
+	Line, Col int
+}
+
+// String renders the problem with its source position when one is known.
+func (p Problem) String() string {
+	if p.Line > 0 {
+		return fmt.Sprintf("line %d, col %d: %s", p.Line, p.Col, p.Detail)
+	}
+	return p.Detail
 }
 
 // BuildFeedback appends the model's failing response and a corrective
@@ -124,6 +137,8 @@ func BuildFeedback(original, response string, p Problem, want types.Type) string
 		b.WriteString("The JSON object does not include the 'answer' field. ")
 	case "type-mismatch":
 		fmt.Fprintf(&b, "The 'answer' field does not match the expected type (%s). ", p.Detail)
+	case "static-error":
+		fmt.Fprintf(&b, "The response is statically invalid (%s). ", p.String())
 	default:
 		b.WriteString("The response is invalid. ")
 	}
@@ -245,4 +260,17 @@ func BuildCodegenFeedback(original, response, failure string) string {
 	fmt.Fprintf(&b, "That implementation is not acceptable: %s\n", failure)
 	b.WriteString("Respond again with a corrected implementation in a ```typescript code block.\n")
 	return b.String()
+}
+
+// BuildCodegenStaticFeedback extends a codegen prompt with the failing
+// response and the static-analysis diagnostics — one per line, each
+// carrying its source position — asking for a corrected implementation.
+// The critique is precise without having paid for an example-test run.
+func BuildCodegenStaticFeedback(original, response string, problems []Problem) string {
+	var b strings.Builder
+	b.WriteString("static analysis found problems before the code was run:\n")
+	for _, p := range problems {
+		b.WriteString("  - " + p.String() + "\n")
+	}
+	return BuildCodegenFeedback(original, response, strings.TrimRight(b.String(), "\n"))
 }

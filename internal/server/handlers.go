@@ -11,6 +11,7 @@ import (
 	askit "repro"
 	"repro/internal/core"
 	"repro/internal/llm"
+	"repro/internal/minilang/analysis"
 	"repro/internal/obs"
 )
 
@@ -61,10 +62,45 @@ type paramJSON struct {
 // errorResponse is the uniform error envelope. Transient tells clients
 // whether retrying the identical request can succeed (overload, drain,
 // backend hiccup) or cannot (bad request, permanent engine failure).
+// Diagnostics is set for kind "static-error": each entry locates one
+// analyzer finding in the rejected source.
 type errorResponse struct {
-	Error     string `json:"error"`
-	Kind      string `json:"kind"`
-	Transient bool   `json:"transient,omitempty"`
+	Error       string     `json:"error"`
+	Kind        string     `json:"kind"`
+	Transient   bool       `json:"transient,omitempty"`
+	Diagnostics []diagJSON `json:"diagnostics,omitempty"`
+}
+
+// diagJSON is the wire form of one static-analysis diagnostic.
+type diagJSON struct {
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Message  string `json:"msg"`
+}
+
+func toDiagJSON(in []analysis.Diagnostic) []diagJSON {
+	out := make([]diagJSON, len(in))
+	for i, d := range in {
+		out[i] = diagJSON{
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Col,
+			Severity: d.Sev.String(),
+			Code:     d.Code,
+			Message:  d.Msg,
+		}
+	}
+	return out
+}
+
+// writeStaticError renders a static-analysis rejection as a 400 with
+// the structured diagnostics, so clients can point at the offending
+// line instead of parsing an error string.
+func writeStaticError(w http.ResponseWriter, de *analysis.DiagError) {
+	writeJSON(w, http.StatusBadRequest, errorResponse{
+		Error: de.Error(), Kind: "static-error", Diagnostics: toDiagJSON(de.Diags),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -99,6 +135,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
 func writeEngineError(w http.ResponseWriter, err error) {
 	var rerr *core.RetryError
 	var cerr *core.CompileError
+	var derr *analysis.DiagError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "timeout", err.Error(), true)
@@ -118,7 +155,19 @@ func writeEngineError(w http.ResponseWriter, err error) {
 	case errors.As(err, &rerr):
 		writeError(w, http.StatusBadGateway, "retry-exhausted", err.Error(), llm.IsTransient(rerr.Last))
 	case errors.As(err, &cerr):
-		writeError(w, http.StatusBadGateway, "codegen-failed", err.Error(), llm.IsTransient(cerr.Last))
+		// A codegen loop that died on static errors still reports them
+		// structurally — same diagnostics shape as an install rejection,
+		// but classified as the model's failure (502), not the client's.
+		resp := errorResponse{Error: err.Error(), Kind: "codegen-failed", Transient: llm.IsTransient(cerr.Last)}
+		var cde *analysis.DiagError
+		if errors.As(cerr.Last, &cde) {
+			resp.Diagnostics = toDiagJSON(cde.Diags)
+		}
+		writeJSON(w, http.StatusBadGateway, resp)
+	case errors.As(err, &derr):
+		// Static analysis rejected client-provided source (InstallSource
+		// path): a 400 with structured positions, not an engine failure.
+		writeStaticError(w, derr)
 	case llm.IsTransient(err):
 		writeError(w, http.StatusServiceUnavailable, "transient", err.Error(), true)
 	default:
@@ -259,6 +308,12 @@ type installRequest struct {
 	// default true. With a warm artifact store the compile is a store
 	// hit and makes zero model calls.
 	Compile *bool `json:"compile,omitempty"`
+	// Source, when set, installs this minilang implementation instead
+	// of running the codegen loop — zero model traffic. It passes the
+	// same gates as a model completion (parse, check, static analysis,
+	// example tests); static rejections come back as a 400
+	// "static-error" envelope with per-diagnostic positions.
+	Source string `json:"source,omitempty"`
 }
 
 type installResponse struct {
@@ -362,6 +417,36 @@ func (s *Server) handleInstallFunc(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	resp := installResponse{Name: name, Existing: taken}
+
+	if req.Source != "" {
+		info, err := f.InstallSource(r.Context(), req.Source)
+		if err != nil {
+			// Same name-release rule as a failed compile below: a
+			// registration whose install failed must not squat the name.
+			s.mu.Lock()
+			if cur, ok := s.funcs[name]; ok && cur == existing && !cur.fn.IsCompiled() {
+				delete(s.funcs, name)
+			}
+			s.mu.Unlock()
+			var de *analysis.DiagError
+			switch {
+			case errors.As(err, &de):
+				writeStaticError(w, de)
+			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+				writeEngineError(w, err)
+			default:
+				// Client-supplied source that fails to parse, check, or
+				// pass its own examples is a bad request, not an engine
+				// failure.
+				writeError(w, http.StatusBadRequest, "bad-source", err.Error(), false)
+			}
+			return
+		}
+		resp.Compiled = true
+		resp.LOC = info.LOC
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 
 	if req.Compile == nil || *req.Compile {
 		info, err := f.CompileInfo(r.Context())

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	askit "repro"
+)
+
+// installBody builds a source-install request for the fixed increment
+// spec used across the static-envelope tests.
+func installBody(src string) string {
+	b, _ := json.Marshal(map[string]any{
+		"name":     "inc",
+		"type":     "number",
+		"template": "Increment {{n}}.",
+		"params":   []map[string]string{{"name": "n", "type": "number"}},
+		"tests":    []map[string]any{{"input": map[string]any{"n": 1}, "output": 2}},
+		"source":   src,
+	})
+	return string(b)
+}
+
+// TestInstallSourceStaticEnvelope drives the source-install path with
+// statically broken programs and asserts the 400 envelope carries kind
+// "static-error" plus structured diagnostics whose line/col point at
+// the offending source position.
+func TestInstallSourceStaticEnvelope(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantCode string
+		wantLine float64
+		wantCol  float64
+	}{
+		{
+			"missing-return",
+			"export function inc({n}: {n: number}): number {\n  if (n > 0) { return n + 1; }\n}",
+			"missing-return", 1, 8,
+		},
+		{
+			"unreachable",
+			"export function inc({n}: {n: number}): number {\n  return n + 1;\n  n = 0;\n}",
+			"unreachable", 3, 3,
+		},
+		{
+			"non-termination",
+			"export function inc({n}: {n: number}): number {\n  while (true) { n = n + 1; }\n}",
+			"non-termination", 2, 3,
+		},
+		{
+			"not-callable",
+			"export function inc({n}: {n: number}): number {\n  const x = 1;\n  return x(n);\n}",
+			"not-callable", 3, 10,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, Config{}, askit.Options{})
+			resp, body := postJSON(t, ts.URL+"/v1/funcs", installBody(tc.src))
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400: %v", resp.StatusCode, body)
+			}
+			if body["kind"] != "static-error" {
+				t.Fatalf("kind = %v, want static-error: %v", body["kind"], body)
+			}
+			diags, ok := body["diagnostics"].([]any)
+			if !ok || len(diags) == 0 {
+				t.Fatalf("missing diagnostics array: %v", body)
+			}
+			d, ok := diags[0].(map[string]any)
+			if !ok {
+				t.Fatalf("diagnostic not an object: %v", diags[0])
+			}
+			if d["code"] != tc.wantCode {
+				t.Errorf("code = %v, want %v", d["code"], tc.wantCode)
+			}
+			if d["severity"] != "error" {
+				t.Errorf("severity = %v, want error", d["severity"])
+			}
+			if d["line"] != tc.wantLine || d["col"] != tc.wantCol {
+				t.Errorf("position = %v:%v, want %v:%v", d["line"], d["col"], tc.wantLine, tc.wantCol)
+			}
+			if msg, _ := d["msg"].(string); msg == "" {
+				t.Errorf("empty diagnostic message: %v", d)
+			}
+
+			// The failed install must not squat the name: the corrected
+			// source installs under it afterwards.
+			good := "export function inc({n}: {n: number}): number {\n  return n + 1;\n}"
+			resp2, body2 := postJSON(t, ts.URL+"/v1/funcs", installBody(good))
+			if resp2.StatusCode != http.StatusOK {
+				t.Fatalf("good install status = %d: %v", resp2.StatusCode, body2)
+			}
+			if body2["compiled"] != true {
+				t.Fatalf("good install not compiled: %v", body2)
+			}
+			callResp, callBody := postJSON(t, ts.URL+"/v1/funcs/inc/call", `{"args":{"n":41}}`)
+			if callResp.StatusCode != http.StatusOK || callBody["value"] != 42.0 {
+				t.Fatalf("call = %d %v", callResp.StatusCode, callBody)
+			}
+		})
+	}
+}
+
+// TestInstallSourceBadSourceEnvelope covers the non-static rejections of
+// client source: parse failures and example-test failures are 400
+// "bad-source", not engine errors.
+func TestInstallSourceBadSourceEnvelope(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		sub  string
+	}{
+		{"parse-error", "export function inc({n}: {n: number}): number { return n +; }", "compile"},
+		{"wrong-answer", "export function inc({n}: {n: number}): number {\n  return n - 1;\n}", "example"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, Config{}, askit.Options{})
+			resp, body := postJSON(t, ts.URL+"/v1/funcs", installBody(tc.src))
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400: %v", resp.StatusCode, body)
+			}
+			if body["kind"] != "bad-source" {
+				t.Fatalf("kind = %v, want bad-source: %v", body["kind"], body)
+			}
+			if errMsg, _ := body["error"].(string); errMsg == "" {
+				t.Fatalf("empty error: %v", body)
+			}
+			if fmt.Sprint(body["error"]) == "" || body["diagnostics"] != nil {
+				t.Errorf("bad-source must not carry diagnostics: %v", body)
+			}
+		})
+	}
+}

@@ -1,0 +1,249 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// llmclassify
+
+// LLMClassify enforces the llm.Client error contract: an error returned
+// from a Complete method must be classified — wrapped with
+// llm.MarkTransient/llm.WithRetryAfter, a package-level sentinel, or an
+// error propagated from a callee (which was classified at its own
+// boundary). A freshly constructed errors.New/fmt.Errorf returned
+// inline is invisible to the engine's retry loop: it reads as permanent
+// whether or not retrying could help.
+var LLMClassify = &Analyzer{
+	Name: "llmclassify",
+	Doc:  "errors crossing the llm.Client boundary must be classified (MarkTransient/WithRetryAfter/sentinel), never constructed inline",
+	Run: func(files []*File) []Finding {
+		var out []Finding
+		for _, f := range files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				fd, ok := n.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != "Complete" || fd.Body == nil || !isCompleteSig(fd.Type) {
+					return true
+				}
+				ast.Inspect(fd.Body, func(m ast.Node) bool {
+					if _, ok := m.(*ast.FuncLit); ok {
+						return false // a literal's returns are not Complete's
+					}
+					ret, ok := m.(*ast.ReturnStmt)
+					if !ok || len(ret.Results) != 2 {
+						return true
+					}
+					if bad := freshUnclassifiedError(ret.Results[1]); bad != nil {
+						out = append(out, finding(f, "llmclassify", bad.Pos(),
+							"freshly constructed error returned across the llm.Client boundary; wrap with llm.MarkTransient/llm.WithRetryAfter or use a classified sentinel"))
+					}
+					return true
+				})
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// isCompleteSig matches `func (...) Complete(...) (Response, error)`
+// shapes, where the first result names a Response type (llm.Response or
+// a local Response alias).
+func isCompleteSig(t *ast.FuncType) bool {
+	if t.Results == nil || len(t.Results.List) != 2 {
+		return false
+	}
+	if len(t.Results.List[0].Names) > 0 || len(t.Results.List[1].Names) > 0 {
+		return false
+	}
+	first := typeName(t.Results.List[0].Type)
+	second := typeName(t.Results.List[1].Type)
+	return strings.HasSuffix(first, "Response") && second == "error"
+}
+
+func typeName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return typeName(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return typeName(x.X)
+	}
+	return ""
+}
+
+// freshUnclassifiedError reports the inline errors.New/fmt.Errorf call
+// in e, or nil when the expression is acceptable (nil, a variable, a
+// classified wrapper, any other call).
+func freshUnclassifiedError(e ast.Expr) ast.Expr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	switch calleeName(call) {
+	case "errors.New", "fmt.Errorf":
+		return call
+	}
+	return nil
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return id.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------------
+// sleepctx
+
+// SleepCtx flags time.Sleep in production code: a sleeping goroutine
+// cannot observe context cancellation, so a retry backoff or pacing
+// loop built on it stalls shutdown and ignores the caller's deadline.
+// The repo pattern is a time.Timer selected against ctx.Done() (see
+// core.Engine.backoff). The driver allowlists packages where an
+// uninterruptible stall is the point (fault injection) or where no
+// context exists (benchmark pacing).
+var SleepCtx = &Analyzer{
+	Name: "sleepctx",
+	Doc:  "no context-free time.Sleep in production paths; select a timer against ctx.Done() instead",
+	Run: func(files []*File) []Finding {
+		var out []Finding
+		for _, f := range files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if ok && calleeName(call) == "time.Sleep" {
+					out = append(out, finding(f, "sleepctx", call.Pos(),
+						"time.Sleep cannot observe context cancellation; use a timer selected against ctx.Done()"))
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// ---------------------------------------------------------------------------
+// obsnames
+
+// metricNameRE is the Prometheus-compatible snake_case shape every
+// registered metric name must have.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// instrumentKind maps registration method names to the instrument kind
+// they create; methods not listed are not registrations.
+var instrumentKind = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+type metricReg struct {
+	file    *File
+	call    *ast.CallExpr
+	kind    string
+	labeled bool
+}
+
+// ObsNames enforces the obs registry conventions: metric names are
+// snake_case string literals, one name maps to one instrument kind
+// repo-wide, and a name is registered at most once — unless every
+// registration site carries labels, which is how one family legally
+// fans out into multiple series (askit_store_ops_total{op,result}).
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "obs metric names snake_case, one kind per name, registered once unless labeled",
+	Run: func(files []*File) []Finding {
+		var out []Finding
+		regs := map[string][]metricReg{}
+		for _, f := range files {
+			file := f
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := instrumentKind[sel.Sel.Name]
+				if !ok {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind.String() != "STRING" {
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				if !metricNameRE.MatchString(name) {
+					out = append(out, finding(file, "obsnames", lit.Pos(),
+						fmt.Sprintf("metric name %q is not snake_case ([a-z][a-z0-9_]*)", name)))
+				}
+				regs[name] = append(regs[name], metricReg{
+					file: file, call: call, kind: kind, labeled: hasLabelOpt(call),
+				})
+				return true
+			})
+		}
+		for name, rs := range regs {
+			kinds := map[string]bool{}
+			for _, r := range rs {
+				kinds[r.kind] = true
+			}
+			if len(kinds) > 1 {
+				for _, r := range rs[1:] {
+					out = append(out, finding(r.file, "obsnames", r.call.Pos(),
+						fmt.Sprintf("metric %q registered as conflicting instrument kinds", name)))
+				}
+				continue
+			}
+			if len(rs) > 1 {
+				for _, r := range rs {
+					if !r.labeled {
+						out = append(out, finding(r.file, "obsnames", r.call.Pos(),
+							fmt.Sprintf("metric %q registered more than once without labels", name)))
+					}
+				}
+			}
+		}
+		return out
+	},
+}
+
+// hasLabelOpt reports whether any option argument could attach labels:
+// a call expression other than Help. Labels are usually obs.Labels(...)
+// but legitimately arrive through local helpers (res("ok")), which a
+// parser-level check cannot see through — so any non-Help call counts.
+func hasLabelOpt(call *ast.CallExpr) bool {
+	for _, arg := range call.Args[1:] {
+		c, ok := arg.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		name := calleeName(c)
+		if name != "Help" && !strings.HasSuffix(name, ".Help") {
+			return true
+		}
+	}
+	return false
+}
+
+// Default is the analyzer set cmd/askit-vet runs.
+var Default = []*Analyzer{LLMClassify, SleepCtx, ObsNames}

@@ -1,0 +1,105 @@
+// Package vet is a small stdlib-only static-analysis framework for
+// enforcing repo invariants over Go sources (the golang.org/x/tools
+// go/analysis shape, without the dependency: analyzers see parsed ASTs
+// for the whole tree at once, so cross-file checks like duplicate
+// metric registration work). cmd/askit-vet is the driver.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is one parsed Go source file.
+type File struct {
+	// Path is the file's slash-separated path relative to the load root.
+	Path string
+	Fset *token.FileSet
+	AST  *ast.File
+}
+
+// Finding is one invariant violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Msg      string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Msg)
+}
+
+// Analyzer is one named invariant check over the full file set.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(files []*File) []Finding
+}
+
+// Load parses every non-test .go file under root. Test files are
+// excluded — the invariants guard production code paths — as are
+// vendored trees, testdata fixtures, and VCS metadata.
+func Load(root string) ([]*File, error) {
+	fset := token.NewFileSet()
+	var files []*File
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		rel = filepath.ToSlash(rel)
+		f, err := parser.ParseFile(fset, rel, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("vet: parse %s: %w", rel, err)
+		}
+		files = append(files, &File{Path: rel, Fset: fset, AST: f})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return files, nil
+}
+
+// Run executes the analyzers over the files and returns all findings
+// sorted by position.
+func Run(files []*File, analyzers ...*Analyzer) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		out = append(out, a.Run(files)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Pos.Column < out[j].Pos.Column
+	})
+	return out
+}
+
+// finding builds a Finding at a node's position.
+func finding(f *File, analyzer string, pos token.Pos, msg string) Finding {
+	return Finding{Analyzer: analyzer, Pos: f.Fset.Position(pos), Msg: msg}
+}

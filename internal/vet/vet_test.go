@@ -1,0 +1,215 @@
+package vet
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, path, src string) *File {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	return &File{Path: path, Fset: fset, AST: f}
+}
+
+func runOn(t *testing.T, a *Analyzer, src string) []Finding {
+	t.Helper()
+	return a.Run([]*File{parseSrc(t, "x.go", src)})
+}
+
+func TestLLMClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int // findings
+	}{
+		{
+			"inline-errorf-flagged",
+			`package p
+func (c *C) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	return llm.Response{}, fmt.Errorf("backend exploded: %v", 1)
+}`,
+			1,
+		},
+		{
+			"inline-errors-new-flagged",
+			`package p
+func (c *C) Complete(ctx context.Context, req Request) (Response, error) {
+	return Response{}, errors.New("nope")
+}`,
+			1,
+		},
+		{
+			"marktransient-ok",
+			`package p
+func (c *C) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	return llm.Response{}, llm.MarkTransient(fmt.Errorf("overloaded"))
+}`,
+			0,
+		},
+		{
+			"sentinel-ok",
+			`package p
+func (c *C) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	return llm.Response{}, ErrInjectedPermanent
+}`,
+			0,
+		},
+		{
+			"passthrough-ok",
+			`package p
+func (c *C) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	resp, err := c.base.Complete(ctx, req)
+	return resp, err
+}`,
+			0,
+		},
+		{
+			"other-function-ignored",
+			`package p
+func helper() (llm.Response, error) {
+	return llm.Response{}, fmt.Errorf("not a Complete method")
+}`,
+			0,
+		},
+		{
+			"wrong-signature-ignored",
+			`package p
+func (c *C) Complete(ctx context.Context) error {
+	return fmt.Errorf("different boundary")
+}`,
+			0,
+		},
+		{
+			"funclit-returns-ignored",
+			`package p
+func (c *C) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	f := func() (int, error) { return 0, fmt.Errorf("internal") }
+	_, _ = f()
+	return llm.Response{}, nil
+}`,
+			0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runOn(t, LLMClassify, tc.src)
+			if len(got) != tc.want {
+				t.Errorf("findings = %v, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSleepCtx(t *testing.T) {
+	src := `package p
+func retry() {
+	time.Sleep(10 * time.Millisecond)
+	<-time.After(time.Second)
+}`
+	got := runOn(t, SleepCtx, src)
+	if len(got) != 1 {
+		t.Fatalf("findings = %v, want exactly the time.Sleep", got)
+	}
+	if got[0].Pos.Line != 3 {
+		t.Errorf("finding at line %d, want 3", got[0].Pos.Line)
+	}
+}
+
+func TestObsNames(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // substrings, one per expected finding
+	}{
+		{
+			"camel-case-flagged",
+			`package p
+func f(reg *obs.Registry) { reg.Counter("askitFooTotal") }`,
+			[]string{"not snake_case"},
+		},
+		{
+			"kind-conflict-flagged",
+			`package p
+func f(reg *obs.Registry) {
+	reg.Counter("askit_foo_total")
+	reg.Gauge("askit_foo_total")
+}`,
+			[]string{"conflicting instrument kinds"},
+		},
+		{
+			"duplicate-unlabeled-flagged",
+			`package p
+func f(reg *obs.Registry) {
+	reg.Counter("askit_foo_total")
+	reg.Counter("askit_foo_total")
+}`,
+			[]string{"more than once", "more than once"},
+		},
+		{
+			"duplicate-labeled-ok",
+			`package p
+func f(reg *obs.Registry) {
+	reg.Counter("askit_ops_total", obs.Labels("result", "ok"))
+	reg.Counter("askit_ops_total", res("miss"))
+}`,
+			nil,
+		},
+		{
+			"help-only-is-not-labels",
+			`package p
+func f(reg *obs.Registry) {
+	reg.Counter("askit_foo_total", obs.Help("a"))
+	reg.Counter("askit_foo_total", obs.Help("b"))
+}`,
+			[]string{"more than once", "more than once"},
+		},
+		{
+			"single-clean",
+			`package p
+func f(reg *obs.Registry) {
+	reg.Counter("askit_foo_total", obs.Help("x"))
+	reg.GaugeFunc("askit_bar", func() float64 { return 0 }, obs.Help("y"))
+	reg.Histogram("askit_dur_seconds", obs.Labels("op", "load"))
+}`,
+			nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runOn(t, ObsNames, tc.src)
+			if len(got) != len(tc.want) {
+				t.Fatalf("findings = %v, want %d", got, len(tc.want))
+			}
+			for i, sub := range tc.want {
+				if !strings.Contains(got[i].Msg, sub) {
+					t.Errorf("finding %d = %q, want substring %q", i, got[i].Msg, sub)
+				}
+			}
+		})
+	}
+}
+
+// TestRunSortsFindings: driver output must be position-ordered so CI
+// diffs are stable run to run.
+func TestRunSortsFindings(t *testing.T) {
+	a := parseSrc(t, "a.go", `package p
+func f() { time.Sleep(1); time.Sleep(2) }`)
+	b := parseSrc(t, "b.go", `package p
+func g() { time.Sleep(3) }`)
+	got := Run([]*File{b, a}, SleepCtx)
+	if len(got) != 3 {
+		t.Fatalf("findings = %d, want 3", len(got))
+	}
+	if got[0].Pos.Filename != "a.go" || got[2].Pos.Filename != "b.go" {
+		t.Errorf("not sorted: %v", got)
+	}
+	if got[0].Pos.Column > got[1].Pos.Column {
+		t.Errorf("columns not sorted: %v", got)
+	}
+}
