@@ -20,6 +20,7 @@ import (
 //	BENCH_6-style: {"goodput_ratio": ..., "chaos": {"goodput": ...}}
 //	BENCH_7-style: {"capacity_per_s": ..., "rates": [{"multiplier": ..., "goodput_per_s": ...}]}
 //	BENCH_8-style: {"pre_execution_reject_fraction": ..., "analyzer_throughput": {"us_per_program": ...}}
+//	BENCH_9-style: {"overhead": {"overhead_fraction": ...}, "tail_capture": {"fault_capture_fraction": ...}}
 
 // checkAgainstBaseline loads both reports and compares every headline
 // metric the schemas share. It returns the human-readable verdicts and
@@ -137,6 +138,34 @@ func checkAgainstBaseline(currentPath, baselinePath string, factor float64) ([]s
 		verdicts = append(verdicts, v)
 		if curUs > baseUs*factor {
 			failures = append(failures, v)
+		}
+	}
+
+	// Tracing gates. The overhead fraction is a ratio near zero, so the
+	// slowdown factor is meaningless — allow a fixed 5-point drift over
+	// the baseline. The capture fractions are contracts (the run itself
+	// fails below 1.0), so the gate only asserts they did not fall below
+	// the baseline's own value.
+	if curCap := subMap(cur, "tail_capture"); curCap != nil && subMap(base, "tail_capture") != nil {
+		baseCap := subMap(base, "tail_capture")
+		curOv := number(subMapAny(cur, "overhead"), "overhead_fraction")
+		baseOv := number(subMapAny(base, "overhead"), "overhead_fraction")
+		v := fmt.Sprintf("tracing overhead: %.3f vs baseline %.3f (ceiling %.3f)",
+			curOv, baseOv, baseOv+0.05)
+		verdicts = append(verdicts, v)
+		if curOv > baseOv+0.05 {
+			failures = append(failures, v)
+		}
+		for _, key := range []string{"fault_capture_fraction", "slow_capture_fraction"} {
+			baseFr, curFr := topNumber(baseCap, key), topNumber(curCap, key)
+			if baseFr <= 0 {
+				continue
+			}
+			v := fmt.Sprintf("tracing %s: %.3f vs baseline %.3f (floor %.3f)", key, curFr, baseFr, baseFr)
+			verdicts = append(verdicts, v)
+			if curFr < baseFr {
+				failures = append(failures, v)
+			}
 		}
 	}
 

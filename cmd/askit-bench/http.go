@@ -232,6 +232,12 @@ type httpWorkload struct {
 	names []string
 }
 
+// requester is the request mix a load driver pulls from: the (path,
+// body) of the i-th request.
+type requester interface {
+	request(i int) (string, string)
+}
+
 // request returns the (path, body) of the i-th request.
 func (w *httpWorkload) request(i int) (string, string) {
 	if i%2 == 0 {
@@ -246,7 +252,7 @@ func (w *httpWorkload) request(i int) (string, string) {
 
 // driveHTTP issues calls requests from conc client goroutines and
 // collects client-side latencies.
-func driveHTTP(d *httpDaemon, w *httpWorkload, conc, calls int) httpLevel {
+func driveHTTP(d *httpDaemon, w requester, conc, calls int) httpLevel {
 	latencies := make([]time.Duration, calls)
 	var errs atomic.Int64
 	var next atomic.Int64

@@ -1,0 +1,663 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	askit "repro"
+	"repro/internal/fault"
+	"repro/internal/jsonx"
+	"repro/internal/llm"
+	"repro/internal/server"
+)
+
+// The trace benchmark gates the tracing layer's two promises: it is
+// close to free at the default head-sampling rate, and the tail sampler
+// never loses the traces that matter. Three phases, one daemon shape
+// each:
+//
+//   - overhead: ABBA-ordered tracing-off / tracing-on daemons serve the
+//     same warm serving mix (BENCH_5's compiled-function calls
+//     interleaved with cache-heavy asks); the contract metric is process
+//     CPU per request (contract: <= 5% extra). CPU, not wall throughput: on
+//     a shared host, neighbor steal swings loopback throughput by tens
+//     of percent between identical runs, while stolen cycles never count
+//     toward rusage — and for this CPU-bound serving stack, CPU per
+//     request is exactly the inverse of saturated throughput. Wall
+//     throughput is still reported for context.
+//   - tail capture: a single seeded-chaos backend injects permanent
+//     faults and slow requests into a sequential run at the default 1%
+//     head sample; every faulted and every slower-than-p99 request must
+//     come back from /v1/traces by its X-Trace-Id (contract: 100%).
+//   - span tree: a full daemon (router + store) serves an install and an
+//     ask at sample 1.0; both trees must span server -> engine ->
+//     router/store with every expected span name present.
+//
+// Run with:
+//
+//	askit-bench -exp trace           # writes BENCH_9.json
+const (
+	// The overhead phase alternates small batches between a live
+	// tracing-off daemon and a live tracing-on daemon. Fine-grained
+	// interleaving is what makes the comparison hold on a noisy shared
+	// host: a neighbor stealing the CPU for a second lands on adjacent
+	// batches of both sides instead of poisoning one side's whole run.
+	traceOverheadRounds = 80
+	traceOverheadBatch  = 250 // requests per batch; ~20k per side total
+	// Low client concurrency: the workload saturates the serving stack
+	// well before 4 in-flight requests, and a deep client pool only adds
+	// scheduler churn to the measurement on small machines.
+	traceOverheadConc = 4
+	traceOverheadMax  = 0.05 // hard ceiling on the overhead fraction
+
+	traceCaptureRequests  = 1200
+	traceCaptureFaultRate = 0.05
+	// Slow injections start after the live-p99 threshold has samples
+	// (server needs 64 per route) and stay rare enough (1 in 300) that
+	// they sit above p99 rather than becoming it.
+	traceCaptureSlowFrom  = 100
+	traceCaptureSlowEvery = 300
+	traceCaptureSlowSleep = 50 * time.Millisecond
+	// traceSlowMarker appears in the rendered prompt of slow-marked asks
+	// ("Find the factorial of ..."), where the fast side uses the
+	// "Calculate ..." phrasing of the same task.
+	traceSlowMarker = "Find the factorial"
+)
+
+// traceOverhead is the tracing-off vs tracing-on serving-cost
+// comparison.
+type traceOverhead struct {
+	Rounds            int     `json:"rounds"`
+	CallsPerSide      int     `json:"calls_per_side"`
+	Concurrency       int     `json:"concurrency"`
+	ThroughputOffPerS float64 `json:"throughput_off_per_s"`
+	ThroughputOnPerS  float64 `json:"throughput_on_per_s"`
+	CPUUsPerReqOff    float64 `json:"cpu_us_per_req_off"`
+	CPUUsPerReqOn     float64 `json:"cpu_us_per_req_on"`
+	// OverheadFraction is the fraction of saturated throughput tracing
+	// costs: max(0, 1 - cpuOff/cpuOn) over the per-side mean CPU per
+	// request.
+	OverheadFraction float64 `json:"overhead_fraction"`
+}
+
+// traceCapture is the tail-sampling completeness measurement.
+type traceCapture struct {
+	Requests             int     `json:"requests"`
+	HeadSample           float64 `json:"head_sample"`
+	FaultsObserved       int     `json:"faults_observed"`
+	FaultsCaptured       int     `json:"faults_captured"`
+	FaultCaptureFraction float64 `json:"fault_capture_fraction"`
+	SlowInjected         int     `json:"slow_injected"`
+	SlowCaptured         int     `json:"slow_captured"`
+	SlowCaptureFraction  float64 `json:"slow_capture_fraction"`
+	RetainedError        int     `json:"retained_error"`
+	RetainedSlow         int     `json:"retained_slow"`
+	RetainedSampled      int     `json:"retained_sampled"`
+}
+
+// traceSpanTree records the end-to-end span-tree completeness check.
+type traceSpanTree struct {
+	InstallComplete bool     `json:"install_complete"`
+	AskComplete     bool     `json:"ask_complete"`
+	InstallSpans    []string `json:"install_spans"`
+	AskSpans        []string `json:"ask_spans"`
+}
+
+// TraceReport is the BENCH_9.json schema.
+type TraceReport struct {
+	Note     string        `json:"note"`
+	Overhead traceOverhead `json:"overhead"`
+	Capture  traceCapture  `json:"tail_capture"`
+	SpanTree traceSpanTree `json:"span_tree"`
+}
+
+// markSlowClient adds a real service-time stall to requests whose
+// rendered prompt carries the slow marker, so the benchmark can plant
+// known slower-than-p99 requests. Same select shape as slowClient: the
+// stall observes cancellation.
+type markSlowClient struct {
+	inner llm.Client
+	d     time.Duration
+}
+
+func (c *markSlowClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	if strings.Contains(req.Prompt, traceSlowMarker) {
+		select {
+		case <-time.After(c.d):
+		case <-ctx.Done():
+			return llm.Response{}, ctx.Err()
+		}
+	}
+	return c.inner.Complete(ctx, req)
+}
+
+// startTraceDaemon builds a single-backend loopback daemon with the
+// given trace sampling rate (negative disables the tracer entirely).
+func startTraceDaemon(seed int64, sample float64, client askit.Client, cacheSize int) (*httpDaemon, error) {
+	if client == nil {
+		sim := askit.NewSimClient(seed)
+		sim.Noise.DirectBlind = 0
+		sim.Noise.CodegenBlind = 0
+		client = sim
+	}
+	ai, err := askit.New(askit.Options{Client: client, AnswerCacheSize: cacheSize})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{
+		AskIt:       ai,
+		MaxInflight: httpMaxInflight,
+		TraceSample: sample,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return listenDaemon(ai, srv)
+}
+
+// askBody renders the i-th cache-heavy direct-ask request.
+func askBody(i int) string {
+	return fmt.Sprintf(
+		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":%d}}`,
+		3+i%httpDistinctAsks)
+}
+
+// measureTraceOverhead runs a tracing-off and a tracing-on daemon side
+// by side and alternates request batches between them, accumulating
+// wall time and process CPU per side.
+func measureTraceOverhead(seed int64) (traceOverhead, error) {
+	res := traceOverhead{
+		Rounds:       traceOverheadRounds,
+		CallsPerSide: traceOverheadRounds * traceOverheadBatch,
+		Concurrency:  traceOverheadConc,
+	}
+	var offWall, onWall time.Duration
+	offCPU := make([]float64, 0, traceOverheadRounds) // us per request, per round
+	onCPU := make([]float64, 0, traceOverheadRounds)
+
+	// phase creates a tracing-off and a tracing-on daemon — in the given
+	// creation order — and alternates measured batches between them. Two
+	// phases with the order swapped cancel daemon-identity bias: a null
+	// experiment (both daemons tracing-off) shows the second-created
+	// daemon measures a phantom ~2% slower, so a single fixed creation
+	// order would charge that phantom to one side.
+	phase := func(onFirst bool, rounds int) error {
+		samples := [2]float64{-1, 0} // 0 = server default head-sample rate
+		if onFirst {
+			samples[0], samples[1] = samples[1], samples[0]
+		}
+		var dOff, dOn *httpDaemon
+		// Both sides serve the repo's canonical serving mix (BENCH_5's
+		// workload): compiled-function calls interleaved with cache-heavy
+		// direct asks. Warm each side — install the functions, fill the
+		// answer cache, and run one unmeasured batch to settle cold code
+		// paths.
+		specs := httpSpecs()
+		workloads := map[*httpDaemon]*httpWorkload{}
+		for _, sample := range samples {
+			d, err := startTraceDaemon(seed, sample, nil, 0)
+			if err != nil {
+				return err
+			}
+			defer d.stop()
+			if sample < 0 {
+				dOff = d
+			} else {
+				dOn = d
+			}
+			names, _, err := installFuncs(d, specs)
+			if err != nil {
+				return fmt.Errorf("install: %w", err)
+			}
+			workloads[d] = &httpWorkload{specs: specs, names: names}
+			for i := 0; i < httpDistinctAsks; i++ {
+				code, _, err := d.post("/v1/ask", askBody(i))
+				if err != nil || code != http.StatusOK {
+					return fmt.Errorf("warmup ask %d: status %d err %v", i, code, err)
+				}
+			}
+			if level := driveHTTP(d, workloads[d], traceOverheadConc, traceOverheadBatch); level.Errors > 0 {
+				return fmt.Errorf("warmup batch: %d/%d requests failed", level.Errors, traceOverheadBatch)
+			}
+		}
+		runtime.GC() // collect warmup garbage outside the measured windows
+
+		batch := func(d *httpDaemon) (wall, cpu time.Duration, err error) {
+			c0 := processCPU()
+			t0 := time.Now()
+			level := driveHTTP(d, workloads[d], traceOverheadConc, traceOverheadBatch)
+			wall, cpu = time.Since(t0), processCPU()-c0
+			if level.Errors > 0 {
+				return 0, 0, fmt.Errorf("%d/%d requests failed", level.Errors, traceOverheadBatch)
+			}
+			return wall, cpu, nil
+		}
+		for r := 0; r < rounds; r++ {
+			// Flush accumulated garbage at the round boundary, outside the
+			// timed windows. Organic GC cycles fire in proportion to bytes
+			// allocated, so slightly more of them land inside the tracing
+			// side's windows — and each one charges a whole-heap mark to
+			// whichever window it lands in, amplifying a ~1KB/request
+			// allocation delta into milliseconds of attributed CPU. A batch
+			// allocates far less than the post-GC trigger, so the timed
+			// windows stay cycle-free and measure mutator cost on both
+			// sides alike.
+			runtime.GC()
+			pair := [2]*httpDaemon{dOff, dOn}
+			if r%2 == 1 {
+				pair[0], pair[1] = pair[1], pair[0] // ABBA: no fixed within-round position
+			}
+			for _, d := range pair {
+				wall, cpu, err := batch(d)
+				if err != nil {
+					return fmt.Errorf("round %d: %w", r, err)
+				}
+				perReq := float64(cpu.Microseconds()) / traceOverheadBatch
+				if d == dOff {
+					offWall += wall
+					offCPU = append(offCPU, perReq)
+				} else {
+					onWall += wall
+					onCPU = append(onCPU, perReq)
+				}
+			}
+		}
+		return nil
+	}
+	for _, onFirst := range []bool{false, true} {
+		if err := phase(onFirst, traceOverheadRounds/2); err != nil {
+			return res, fmt.Errorf("phase onFirst=%v: %w", onFirst, err)
+		}
+	}
+	calls := float64(res.CallsPerSide)
+	res.ThroughputOffPerS = calls / offWall.Seconds()
+	res.ThroughputOnPerS = calls / onWall.Seconds()
+	// Robust estimator: each round contributes one off/on CPU pair that
+	// ran back to back, so the per-round difference is taken under near-
+	// identical machine weather, and the median across rounds discards
+	// the rounds a neighbor stole the CPU from. A plain ratio of CPU
+	// sums lets a single stolen second dominate the whole comparison.
+	diffs := make([]float64, traceOverheadRounds)
+	for i := range diffs {
+		diffs[i] = onCPU[i] - offCPU[i]
+	}
+	res.CPUUsPerReqOff = median(offCPU)
+	res.CPUUsPerReqOn = res.CPUUsPerReqOff + median(diffs)
+	if res.CPUUsPerReqOn > 0 {
+		res.OverheadFraction = 1 - res.CPUUsPerReqOff/res.CPUUsPerReqOn
+		if res.OverheadFraction < 0 {
+			res.OverheadFraction = 0
+		}
+	}
+	return res, nil
+}
+
+// median returns the middle value of xs (mean of the middle two for
+// even length). xs is sorted in place.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	mid := len(xs) / 2
+	if len(xs)%2 == 1 {
+		return xs[mid]
+	}
+	return (xs[mid-1] + xs[mid]) / 2
+}
+
+// processCPU returns the process's cumulative user+system CPU time.
+// Unlike wall-clock throughput, this is immune to neighbor steal on a
+// shared host: stolen cycles never count toward rusage.
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// postTraced POSTs a request that joins a client-minted W3C trace
+// (sampled flag 0, so the daemon's own head/tail sampling stays in
+// charge of retention) and returns the status plus the echoed
+// X-Trace-Id. The server only echoes the id to callers that joined or
+// won the head sample, so joining is how the capture phase keeps a
+// per-request id to look up later.
+func postTraced(d *httpDaemon, seq int, path, body string) (int, string, error) {
+	tid := fmt.Sprintf("%032x", uint64(seq)+1)
+	req, err := http.NewRequest(http.MethodPost, d.url+path, strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+tid+"-"+fmt.Sprintf("%016x", uint64(seq)+1)+"-00")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	var sink map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&sink)
+	if id := resp.Header.Get("X-Trace-Id"); id != tid {
+		return 0, "", fmt.Errorf("echoed trace id %q, want joined id %s", id, tid)
+	}
+	return resp.StatusCode, tid, nil
+}
+
+// retainedTraces fetches every retained trace id and the retention
+// counts by reason.
+func retainedTraces(d *httpDaemon) (map[string]string, error) {
+	resp, err := http.Get(d.url + "/v1/traces?limit=100000")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var decoded struct {
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+			Reason  string `json:"reason"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(decoded.Traces))
+	for _, tr := range decoded.Traces {
+		out[tr.TraceID] = tr.Reason
+	}
+	return out, nil
+}
+
+// measureTraceCapture runs the seeded-chaos sequential workload and
+// verifies the tail sampler kept every trace that matters.
+func measureTraceCapture(seed int64) (traceCapture, error) {
+	res := traceCapture{
+		Requests:   traceCaptureRequests,
+		HeadSample: server.DefaultTraceSample,
+	}
+	sim := askit.NewSimClient(seed)
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	client := fault.WrapClient(
+		&markSlowClient{inner: sim, d: traceCaptureSlowSleep},
+		fault.ClientPlan{PermanentRate: traceCaptureFaultRate},
+		fault.NewSchedule(seed),
+	)
+	// The answer cache is off: a cache hit never reaches the chaos
+	// client, which would make the injected fault rate meaningless.
+	d, err := startTraceDaemon(seed, 0, client, -1)
+	if err != nil {
+		return res, err
+	}
+	defer d.stop()
+
+	type marked struct {
+		id   string
+		slow bool
+		ok   bool
+	}
+	var reqs []marked
+	for i := 0; i < traceCaptureRequests; i++ {
+		slow := i >= traceCaptureSlowFrom && (i-traceCaptureSlowFrom)%traceCaptureSlowEvery == 0
+		body := askBody(i)
+		if slow {
+			body = fmt.Sprintf(
+				`{"type":"number","template":"Find the factorial of {{n}}.","args":{"n":%d}}`, 4+i%8)
+		}
+		code, id, err := postTraced(d, i, "/v1/ask", body)
+		if err != nil {
+			return res, fmt.Errorf("ask %d: %w", i, err)
+		}
+		if id == "" {
+			return res, fmt.Errorf("ask %d: response carries no X-Trace-Id", i)
+		}
+		reqs = append(reqs, marked{id: id, slow: slow, ok: code == http.StatusOK})
+	}
+
+	retained, err := retainedTraces(d)
+	if err != nil {
+		return res, err
+	}
+	for _, reason := range retained {
+		switch reason {
+		case "error":
+			res.RetainedError++
+		case "slow":
+			res.RetainedSlow++
+		case "sampled":
+			res.RetainedSampled++
+		}
+	}
+	for _, r := range reqs {
+		if !r.ok {
+			res.FaultsObserved++
+			if _, ok := retained[r.id]; ok {
+				res.FaultsCaptured++
+			}
+		}
+		if r.slow {
+			res.SlowInjected++
+			if _, ok := retained[r.id]; ok {
+				res.SlowCaptured++
+			}
+		}
+	}
+	if res.FaultsObserved > 0 {
+		res.FaultCaptureFraction = float64(res.FaultsCaptured) / float64(res.FaultsObserved)
+	}
+	if res.SlowInjected > 0 {
+		res.SlowCaptureFraction = float64(res.SlowCaptured) / float64(res.SlowInjected)
+	}
+	return res, nil
+}
+
+// fetchSpanNames pulls one retained trace and flattens its span tree
+// into the set of span names.
+func fetchSpanNames(d *httpDaemon, id string) ([]string, error) {
+	resp, err := http.Get(d.url + "/v1/traces/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("trace %s: status %d", id, resp.StatusCode)
+	}
+	var decoded struct {
+		Root json.RawMessage `json:"root"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		return nil, err
+	}
+	var names []string
+	var walk func(raw json.RawMessage) error
+	walk = func(raw json.RawMessage) error {
+		var node struct {
+			Name     string            `json:"name"`
+			Children []json.RawMessage `json:"children"`
+		}
+		if err := json.Unmarshal(raw, &node); err != nil {
+			return err
+		}
+		names = append(names, node.Name)
+		for _, c := range node.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(decoded.Root); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// measureSpanTree drives a full daemon (router + store) at sample 1.0
+// and checks both request shapes retain complete trees.
+func measureSpanTree(seed int64, storeDir string) (traceSpanTree, error) {
+	var res traceSpanTree
+	backends := make([]askit.RouterBackend, 2)
+	for i := range backends {
+		sim := askit.NewSimClient(seed + int64(i))
+		sim.Noise.DirectBlind = 0
+		sim.Noise.CodegenBlind = 0
+		backends[i] = askit.RouterBackend{Name: fmt.Sprintf("sim-%d", i), Client: sim}
+	}
+	router, err := askit.NewRouter(backends...)
+	if err != nil {
+		return res, err
+	}
+	ai, err := askit.New(askit.Options{Client: router, StorePath: storeDir})
+	if err != nil {
+		return res, err
+	}
+	srv, err := server.New(server.Config{AskIt: ai, MaxInflight: httpMaxInflight, TraceSample: 1})
+	if err != nil {
+		return res, err
+	}
+	d, err := listenDaemon(ai, srv)
+	if err != nil {
+		return res, err
+	}
+	defer d.stop()
+
+	seq := 0
+	check := func(path, body string, want []string) ([]string, bool, error) {
+		seq++
+		code, id, err := postTraced(d, seq, path, body)
+		if err != nil || code != http.StatusOK {
+			return nil, false, fmt.Errorf("%s: status %d err %v", path, code, err)
+		}
+		names, err := fetchSpanNames(d, id)
+		if err != nil {
+			return nil, false, err
+		}
+		have := map[string]bool{}
+		for _, n := range names {
+			have[n] = true
+		}
+		for _, w := range want {
+			if !have[w] {
+				return names, false, nil
+			}
+		}
+		return names, true, nil
+	}
+
+	spec := httpSpecs()[0]
+	req := map[string]any{"type": spec.Return.TS(), "template": spec.Template}
+	params := []any{}
+	for _, p := range spec.ParamTypes() {
+		params = append(params, map[string]any{"name": p.Name, "type": p.Type.TS()})
+	}
+	req["params"] = params
+	testsJSON := []any{}
+	for _, ex := range spec.Examples {
+		testsJSON = append(testsJSON, map[string]any{"input": ex.Input, "output": ex.Output})
+	}
+	req["tests"] = testsJSON
+	res.InstallSpans, res.InstallComplete, err = check("/v1/funcs", jsonx.Encode(req), []string{
+		"http_install", "compile", "compile_attempt", "static_gate", "example_exec",
+		"llm_complete", "backend_attempt", "store_probe", "store_save",
+	})
+	if err != nil {
+		return res, err
+	}
+	res.AskSpans, res.AskComplete, err = check("/v1/ask", askBody(1), []string{
+		"http_ask", "cache_probe", "ask", "llm_complete", "backend_attempt",
+	})
+	return res, err
+}
+
+// runTraceJSON runs all three phases, writes BENCH_9.json, and enforces
+// the hard contracts.
+func runTraceJSON(path string, seed int64, storeDir string) error {
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "askit-tracebench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+	}
+
+	overhead, err := measureTraceOverhead(seed)
+	if err != nil {
+		return fmt.Errorf("overhead: %w", err)
+	}
+	capture, err := measureTraceCapture(seed)
+	if err != nil {
+		return fmt.Errorf("capture: %w", err)
+	}
+	tree, err := measureSpanTree(seed, storeDir)
+	if err != nil {
+		return fmt.Errorf("span tree: %w", err)
+	}
+
+	report := TraceReport{
+		Note: fmt.Sprintf("tracing-layer benchmark: serving-cost overhead at the default %.0f%% head sample "+
+			"(live off/on daemons, %d interleaved batches per side, process-CPU per request compared), "+
+			"tail-sampling capture of injected faults and slower-than-p99 requests under seeded chaos, "+
+			"and span-tree completeness over a router+store daemon",
+			server.DefaultTraceSample*100, traceOverheadRounds),
+		Overhead: overhead,
+		Capture:  capture,
+		SpanTree: tree,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("  overhead: %.1f vs %.1f us cpu/req (off %.0f/s, on %.0f/s) -> %.1f%% (ceiling %.0f%%)\n",
+		overhead.CPUUsPerReqOff, overhead.CPUUsPerReqOn,
+		overhead.ThroughputOffPerS, overhead.ThroughputOnPerS,
+		overhead.OverheadFraction*100, traceOverheadMax*100)
+	fmt.Printf("  capture: %d/%d faults, %d/%d slow (retained: %d error, %d slow, %d sampled)\n",
+		capture.FaultsCaptured, capture.FaultsObserved,
+		capture.SlowCaptured, capture.SlowInjected,
+		capture.RetainedError, capture.RetainedSlow, capture.RetainedSampled)
+	fmt.Printf("  span trees: install complete=%v ask complete=%v\n",
+		tree.InstallComplete, tree.AskComplete)
+
+	// Hard contracts — these are the tracing layer's promises, not
+	// machine-speed numbers, so they fail the run outright.
+	if overhead.OverheadFraction > traceOverheadMax {
+		return fmt.Errorf("tracing overhead %.1f%% exceeds the %.0f%% ceiling",
+			overhead.OverheadFraction*100, traceOverheadMax*100)
+	}
+	if capture.FaultsObserved == 0 || capture.SlowInjected == 0 {
+		return fmt.Errorf("chaos run injected nothing (faults=%d slow=%d); capture check is vacuous",
+			capture.FaultsObserved, capture.SlowInjected)
+	}
+	if capture.FaultCaptureFraction < 1 {
+		return fmt.Errorf("tail sampler lost %d/%d faulted traces",
+			capture.FaultsObserved-capture.FaultsCaptured, capture.FaultsObserved)
+	}
+	if capture.SlowCaptureFraction < 1 {
+		return fmt.Errorf("tail sampler lost %d/%d slow traces",
+			capture.SlowInjected-capture.SlowCaptured, capture.SlowInjected)
+	}
+	if capture.RetainedSlow == 0 {
+		return fmt.Errorf("no trace retained with reason=slow; the live-p99 threshold never engaged")
+	}
+	if !tree.InstallComplete {
+		return fmt.Errorf("install span tree incomplete: %v", tree.InstallSpans)
+	}
+	if !tree.AskComplete {
+		return fmt.Errorf("ask span tree incomplete: %v", tree.AskSpans)
+	}
+	return nil
+}

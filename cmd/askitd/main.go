@@ -35,6 +35,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux, served only via -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +61,8 @@ func main() {
 		noise        = flag.Bool("noise", false, "keep the simulated model's blind spots (refusals) enabled")
 		faultRate    = flag.Float64("fault-rate", 0, "chaos mode: inject transient LLM faults and store write failures at this rate (0..1)")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule (with -fault-rate)")
+		traceSample  = flag.Float64("trace-sample", server.DefaultTraceSample, "head-sampling rate for healthy traces (error/slow traces are always kept; negative disables tracing)")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this extra address (empty = off; never the serving listener)")
 	)
 	flag.Parse()
 
@@ -113,10 +116,28 @@ func main() {
 		AskIt:          ai,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *reqTimeout,
+		TraceSample:    *traceSample,
 		Logf:           log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("askitd: %v", err)
+	}
+
+	if *debugAddr != "" {
+		// pprof rides a dedicated listener so profiling endpoints are
+		// never reachable through the serving address (and never count
+		// against admission). The nil handler is DefaultServeMux, where
+		// the net/http/pprof import registered /debug/pprof/*.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("askitd: debug listener: %v", err)
+		}
+		log.Printf("askitd: pprof on http://%s/debug/pprof/", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, nil); err != nil {
+				log.Printf("askitd: debug listener: %v", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

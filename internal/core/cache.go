@@ -399,16 +399,28 @@ func (e *Engine) do(ctx context.Context, key string, fn func() (any, CallInfo, e
 			case <-ent.done: // completed entry: a pure cache hit
 				sh.mu.Unlock()
 				e.stats.answerHits.Add(1)
+				if _, sp := obs.StartSpan(ctx, spanCacheProbe); sp != nil {
+					sp.SetAttr("outcome", "hit")
+					sp.End()
+				}
 				return cloneJSON(ent.val), ent.info, ent.err
 			default:
 			}
 			sh.mu.Unlock()
 			e.stats.answerCoalesced.Add(1)
+			// The coalesced span covers the wait on the leader's flight:
+			// in a trace it shows this request paid latency without its
+			// own model call.
+			_, sp := obs.StartSpan(ctx, spanCacheProbe)
+			sp.SetAttr("outcome", "coalesced")
 			select {
 			case <-ctx.Done():
+				sp.Fail(ctx.Err().Error())
+				sp.End()
 				return nil, CallInfo{}, ctx.Err()
 			case <-ent.done:
 			}
+			sp.End()
 			if ent.err == nil {
 				return cloneJSON(ent.val), ent.info, nil
 			}
@@ -421,6 +433,10 @@ func (e *Engine) do(ctx context.Context, key string, fn func() (any, CallInfo, e
 		sh.entries[key] = ent
 		sh.mu.Unlock()
 		e.stats.answerMisses.Add(1)
+		if _, sp := obs.StartSpan(ctx, spanCacheProbe); sp != nil {
+			sp.SetAttr("outcome", "miss")
+			sp.End()
+		}
 
 		// Complete the flight in a defer so a panic in fn (llm.Client is
 		// user-implementable) cannot leave the entry in-flight forever,

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"strconv"
 	"sync"
 	"time"
 
@@ -269,12 +270,16 @@ func (e *Engine) classifyCompleteErr(ctx context.Context, err error, attempt, bu
 		return false, nil // permanent (auth, bad request, ...): fail fast
 	}
 	e.stats.transientRetries.Add(1)
+	// Annotate the enclosing ask/compile span, so a retained trace
+	// shows which requests burned retry budget.
+	obs.SpanFromContext(ctx).SetAttr("retry", "transient")
 	e.logf("core: attempt %d failed (llm-error: %v); retrying", attempt+1, err)
 	if attempt+1 < budget {
 		// A token is taken only when another attempt will actually be
 		// sent; the final attempt of a call consumes nothing extra.
 		if !e.retries.take() {
 			e.stats.retryBudgetExhausted.Add(1)
+			obs.SpanFromContext(ctx).SetAttr("retry_budget_exhausted", "true")
 			e.logf("core: retry budget exhausted; failing fast")
 			return false, llm.MarkTransient(fmt.Errorf("%w (after attempt %d: %v)", ErrRetryBudgetExhausted, attempt+1, err))
 		}
@@ -423,6 +428,21 @@ func (e *RetryError) Unwrap() error { return e.Last }
 // feedback prompt until success or the retry budget is exhausted.
 // The result is decoded to the canonical Go representation of ret.
 func (e *Engine) AskDirect(ctx context.Context, tpl *template.Template, args map[string]any, ret types.Type, examples []prompt.Example) (any, CallInfo, error) {
+	ctx, sp := obs.StartSpan(ctx, spanAsk)
+	v, info, err := e.askDirect(ctx, tpl, args, ret, examples)
+	if sp != nil {
+		sp.SetAttr("attempts", strconv.Itoa(info.Attempts))
+		if err != nil {
+			sp.Fail(err.Error())
+		}
+		sp.End()
+	}
+	return v, info, err
+}
+
+// askDirect is AskDirect's body, separated so the span wrapper can
+// annotate the multi-value return.
+func (e *Engine) askDirect(ctx context.Context, tpl *template.Template, args map[string]any, ret types.Type, examples []prompt.Example) (any, CallInfo, error) {
 	info := CallInfo{}
 	base, err := prompt.BuildDirect(prompt.DirectSpec{
 		Template: tpl,

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/minilang"
 	"repro/internal/minilang/analysis"
+	"repro/internal/obs"
 	"repro/internal/prompt"
 	"repro/internal/template"
 	"repro/internal/types"
@@ -174,9 +176,16 @@ func (f *Func) Call(ctx context.Context, args map[string]any) (CallResult, error
 	f.mu.Unlock()
 	if compiled != nil {
 		f.engine.stats.compiledCalls.Add(1)
+		ectx, sp := obs.StartSpan(ctx, spanExec)
 		start := time.Now()
-		v, err := compiled.Call(ctx, args)
+		v, err := compiled.Call(ectx, args)
 		elapsed := time.Since(start)
+		if sp != nil {
+			if err != nil {
+				sp.Fail(err.Error())
+			}
+			sp.End()
+		}
 		if err != nil {
 			return CallResult{Compiled: true, ExecTime: elapsed}, err
 		}
@@ -303,6 +312,24 @@ func (f *Func) Compile(ctx context.Context) (*CompileInfo, error) {
 // compileOnce performs one full codegen loop (disk cache probe, model
 // attempts, validation, install). Callers hold the singleflight slot.
 func (f *Func) compileOnce(ctx context.Context) (*CompileInfo, error) {
+	ctx, sp := obs.StartSpan(ctx, spanCompile)
+	info, err := f.compileLoop(ctx)
+	if sp != nil {
+		if info != nil {
+			sp.SetAttr("attempts", strconv.Itoa(info.Attempts))
+			sp.SetAttr("from_cache", strconv.FormatBool(info.FromCache))
+		}
+		if err != nil {
+			sp.Fail(err.Error())
+		}
+		sp.End()
+	}
+	return info, err
+}
+
+// compileLoop is compileOnce's body, separated so the span wrapper can
+// annotate the multi-value return.
+func (f *Func) compileLoop(ctx context.Context) (*CompileInfo, error) {
 	e := f.engine
 	spec := prompt.CodegenSpec{
 		FuncName: f.name,
@@ -322,7 +349,7 @@ func (f *Func) compileOnce(ctx context.Context) (*CompileInfo, error) {
 		if err == nil && f.validate(ctx, cf) == nil {
 			info := &CompileInfo{FromCache: true, LOC: minilang.CountLOC(src), Source: src}
 			f.install(cf, info)
-			f.saveStored(info) // migrate the legacy cache entry forward
+			f.saveStored(ctx, info) // migrate the legacy cache entry forward
 			return info, nil
 		}
 		e.logf("core: cached code for %s invalid; regenerating", f.name)
@@ -346,11 +373,18 @@ func (f *Func) compileOnce(ctx context.Context) (*CompileInfo, error) {
 	start := time.Now()
 	for attempt := 0; attempt < budget; attempt++ {
 		e.stats.codegenLLMCalls.Add(1)
-		resp, err := e.opts.Client.Complete(ctx, llm.Request{
+		actx, asp := obs.StartSpan(ctx, spanCompileAttempt)
+		resp, err := e.opts.Client.Complete(actx, llm.Request{
 			Prompt:      cur,
 			Model:       e.opts.Model,
 			Temperature: e.opts.temperature(),
 		})
+		if asp != nil {
+			if err != nil {
+				asp.Fail(err.Error())
+			}
+			asp.End()
+		}
 		info.Attempts++
 		if err != nil {
 			// Transient backend failure: consume budget and resend the
@@ -385,7 +419,7 @@ func (f *Func) compileOnce(ctx context.Context) (*CompileInfo, error) {
 			cur = prompt.BuildCodegenFeedback(base, resp.Text, lastErr.Error())
 			continue
 		}
-		if diags := f.analyzeStatic(cf); len(diags) > 0 {
+		if diags := f.analyzeStatic(ctx, cf); len(diags) > 0 {
 			e.stats.codegenRejStatic.Add(1)
 			problems := StaticProblems(diags)
 			lastErr = &analysis.DiagError{Diags: diags}
@@ -405,7 +439,7 @@ func (f *Func) compileOnce(ctx context.Context) (*CompileInfo, error) {
 		info.Source = src
 		e.storeCache(f.cacheKey(), src)
 		f.install(cf, info)
-		f.saveStored(info)
+		f.saveStored(ctx, info)
 		return info, nil
 	}
 	if lastErr == nil {
@@ -436,7 +470,9 @@ func (f *Func) compileSource(src string) (*minilang.CompiledFunc, error) {
 	} else if err := cf.Prepare(); err != nil {
 		// Lowering happens now, after host bindings are set, so the
 		// first Call pays no compilation cost. On failure every Call
-		// silently uses the ~8x slower tree-walker — worth a trace.
+		// uses the ~8x slower tree-walker, so the degradation lands in
+		// the event ring, not just the log.
+		f.engine.metrics.Emit("treewalk-fallback", fmt.Sprintf("%s: %v", f.name, err))
 		f.engine.logf("core: %s: compiled engine unavailable, using tree-walker: %v", f.name, err)
 	}
 	return cf, nil
@@ -446,11 +482,19 @@ func (f *Func) compileSource(src string) (*minilang.CompiledFunc, error) {
 // code that already passed the syntactic check. Only error-severity
 // diagnostics reject; warnings (unused variables, may-not-terminate
 // heuristics) are advisory and never block an install.
-func (f *Func) analyzeStatic(cf *minilang.CompiledFunc) []analysis.Diagnostic {
+func (f *Func) analyzeStatic(ctx context.Context, cf *minilang.CompiledFunc) []analysis.Diagnostic {
 	if f.engine.opts.DisableStaticAnalysis {
 		return nil
 	}
-	return analysis.Errors(analysis.Analyze(cf.Prog))
+	_, sp := obs.StartSpan(ctx, spanStaticGate)
+	diags := analysis.Errors(analysis.Analyze(cf.Prog))
+	if sp != nil {
+		if len(diags) > 0 {
+			sp.Fail((&analysis.DiagError{Diags: diags}).Error())
+		}
+		sp.End()
+	}
+	return diags
 }
 
 // StaticProblems converts analyzer diagnostics into the structured
@@ -475,7 +519,16 @@ func (f *Func) validate(ctx context.Context, cf *minilang.CompiledFunc) error {
 	for i, t := range f.tests {
 		examples[i] = minilang.Example{Input: t.Input, Output: t.Output}
 	}
-	return cf.Validate(ctx, examples)
+	ectx, sp := obs.StartSpan(ctx, spanExampleExec)
+	err := cf.Validate(ectx, examples)
+	if sp != nil {
+		sp.SetAttr("examples", strconv.Itoa(len(examples)))
+		if err != nil {
+			sp.Fail(err.Error())
+		}
+		sp.End()
+	}
+	return err
 }
 
 // InstallSource compiles caller-provided minilang source through the
@@ -494,7 +547,7 @@ func (f *Func) InstallSource(ctx context.Context, src string) (*CompileInfo, err
 		f.engine.stats.codegenRejCompile.Add(1)
 		return nil, fmt.Errorf("code does not compile: %w", err)
 	}
-	if diags := f.analyzeStatic(cf); len(diags) > 0 {
+	if diags := f.analyzeStatic(ctx, cf); len(diags) > 0 {
 		f.engine.stats.codegenRejStatic.Add(1)
 		return nil, &analysis.DiagError{Diags: diags}
 	}
@@ -505,7 +558,7 @@ func (f *Func) InstallSource(ctx context.Context, src string) (*CompileInfo, err
 	info := &CompileInfo{LOC: minilang.CountLOC(src), Source: src}
 	f.engine.storeCache(f.cacheKey(), src)
 	f.install(cf, info)
-	f.saveStored(info)
+	f.saveStored(ctx, info)
 	return info, nil
 }
 

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/prompt"
+	"repro/internal/types"
+)
+
+// TestTreeWalkerFallbackEvent: a program that aliases a shared global
+// (here Math) is declined by the compiled engine and runs on the
+// per-call tree-walker instead. That silent ~8x degradation must land
+// in the observability event ring, not just the log — and the function
+// must still work.
+func TestTreeWalkerFallbackEvent(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, err := NewEngine(Options{Client: staticClient{text: "unused"}, Model: "gpt-4", Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.Define(types.Float, "Round {{n}} down.",
+		WithParamTypes([]types.Field{{Name: "n", Type: types.Float}}),
+		WithName("g"),
+		WithTests([]prompt.Example{{Input: map[string]any{"n": 2.5}, Output: 2.0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aliasing Math lets the shared container escape, so Prepare()
+	// declines it (minilang.ErrSharedGlobalMutation) and execution falls
+	// back to the tree-walker.
+	src := "export function g({n}: {n: number}): number {\n" +
+		"  const m = Math;\n  return m.floor(n);\n}"
+	if _, err := f.InstallSource(context.Background(), src); err != nil {
+		t.Fatalf("InstallSource: %v", err)
+	}
+	res, err := f.Call(context.Background(), map[string]any{"n": 41.9})
+	if err != nil || res.Value != 41.0 || !res.Compiled {
+		t.Fatalf("call = %v/%v err=%v, want 41 via generated code", res.Value, res.Compiled, err)
+	}
+
+	var ev *obs.Event
+	for i, got := range reg.Events() {
+		if got.Kind == "treewalk-fallback" {
+			ev = &reg.Events()[i]
+		}
+	}
+	if ev == nil {
+		t.Fatalf("no treewalk-fallback event in ring: %v", reg.Events())
+	}
+	if !strings.Contains(ev.Detail, "g:") {
+		t.Fatalf("event detail %q should name the function", ev.Detail)
+	}
+}

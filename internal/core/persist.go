@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/jsonx"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/prompt"
 	"repro/internal/store"
 )
@@ -161,8 +162,20 @@ func (f *Func) loadStored(ctx context.Context) *CompileInfo {
 		return nil
 	}
 	key := f.storeKey()
+	_, sp := obs.StartSpan(ctx, spanStoreProbe)
 	art, err := st.Load(key)
 	e.noteStoreResult(err)
+	if sp != nil {
+		switch {
+		case err == nil:
+			sp.SetAttr("outcome", "hit")
+		case errors.Is(err, store.ErrMiss):
+			sp.SetAttr("outcome", "miss")
+		default:
+			sp.Fail(err.Error())
+		}
+		sp.End()
+	}
 	if err != nil {
 		if !errors.Is(err, store.ErrMiss) {
 			e.logf("core: artifact store load for %s: %v", f.name, err)
@@ -198,8 +211,9 @@ func (f *Func) loadStored(ctx context.Context) *CompileInfo {
 // saveStored writes an accepted codegen result to the artifact store,
 // recording the validation examples it passed. Persistence failures
 // are logged, never surfaced: the Func is already installed and
-// serving.
-func (f *Func) saveStored(info *CompileInfo) {
+// serving. ctx carries the request trace only — the write itself is
+// not cancellable.
+func (f *Func) saveStored(ctx context.Context, info *CompileInfo) {
 	e := f.engine
 	st := e.opts.Store
 	if st == nil {
@@ -220,8 +234,15 @@ func (f *Func) saveStored(info *CompileInfo) {
 		Attempts:   info.Attempts,
 		Validation: validation,
 	}
+	_, sp := obs.StartSpan(ctx, spanStoreSave)
 	err := st.Save(f.storeKey(), art)
 	e.noteStoreResult(err)
+	if sp != nil {
+		if err != nil {
+			sp.Fail(err.Error())
+		}
+		sp.End()
+	}
 	if err != nil {
 		e.logf("core: artifact store save for %s: %v", f.name, err)
 	}

@@ -1,0 +1,32 @@
+package core
+
+// Span names the engine tier contributes to request traces. Named
+// constants (snake_case) rather than inline literals — askit-vet's
+// span-name analyzer enforces both — so the vocabulary of a trace is
+// greppable in one place.
+const (
+	// spanAsk covers one direct LLM interaction (AskDirect), retries
+	// included.
+	spanAsk = "ask"
+	// spanCacheProbe covers one answer-cache consultation; its
+	// "outcome" attribute is hit, coalesced, or miss.
+	spanCacheProbe = "cache_probe"
+	// spanCompile covers a whole codegen loop (store probe through
+	// install).
+	spanCompile = "compile"
+	// spanCompileAttempt covers one model completion inside the codegen
+	// loop.
+	spanCompileAttempt = "compile_attempt"
+	// spanStaticGate covers the deep static-analysis pass over one
+	// completion.
+	spanStaticGate = "static_gate"
+	// spanExampleExec covers validating generated code against its
+	// example tests.
+	spanExampleExec = "example_exec"
+	// spanExec covers one compiled-function execution.
+	spanExec = "exec"
+	// spanStoreProbe covers one artifact-store load.
+	spanStoreProbe = "store_probe"
+	// spanStoreSave covers one artifact-store save.
+	spanStoreSave = "store_save"
+)

@@ -60,6 +60,16 @@ const (
 	latencyRingSize        = 512
 )
 
+// Span names the router tier contributes to request traces; named
+// constants per askit-vet's span-name rule.
+const (
+	// spanLLMComplete covers one routed Complete call, hedging and
+	// failover included.
+	spanLLMComplete = "llm_complete"
+	// spanBackendAttempt covers one attempt on one backend.
+	spanBackendAttempt = "backend_attempt"
+)
+
 // Router is a Client that fans requests over several backends with
 // round-robin placement, failover on backend errors, and per-backend
 // bounded concurrency. It is the multi-backend serving tier: one engine
@@ -287,6 +297,21 @@ func (r *Router) hedgeDelay() time.Duration {
 // hedging a straggling first attempt with a second ring walk when the
 // dynamic (or fixed) hedge delay has activated.
 func (r *Router) Complete(ctx context.Context, req Request) (Response, error) {
+	ctx, sp := obs.StartSpan(ctx, spanLLMComplete)
+	resp, err := r.complete(ctx, sp, req)
+	if sp != nil {
+		if err != nil {
+			sp.Fail(err.Error())
+		}
+		sp.End()
+	}
+	return resp, err
+}
+
+// complete is Complete's body; sp (possibly nil) is annotated with
+// hedge activity. The walk goroutines inherit ctx, so their
+// backend_attempt spans — hedge losers included — parent here.
+func (r *Router) complete(ctx context.Context, sp *obs.Span, req Request) (Response, error) {
 	r.requests.Add(1)
 	n := len(r.backends)
 	start := int((r.next.Add(1) - 1) % uint64(n)) // mod before int: never negative, even past overflow
@@ -326,6 +351,7 @@ func (r *Router) Complete(ctx context.Context, req Request) (Response, error) {
 			if res.err == nil {
 				if res.hedge {
 					r.hedgeWins.Add(1)
+					sp.SetAttr("hedge_win", "true")
 				}
 				pcancel()
 				if hcancel != nil {
@@ -348,6 +374,7 @@ func (r *Router) Complete(ctx context.Context, req Request) (Response, error) {
 		case <-timer.C:
 			if hcancel == nil {
 				r.hedges.Add(1)
+				sp.SetAttr("hedge", "launched")
 				r.metrics.Emit("hedge", fmt.Sprintf("first attempt past %v; racing a second backend", delay))
 				var hctx context.Context
 				hctx, hcancel = context.WithCancel(ctx)
@@ -374,7 +401,21 @@ func (r *Router) walk(ctx context.Context, req Request, start int) (Response, er
 	// true for cancellation; a failover is counted unless this was the
 	// request's final candidate.
 	attempt := func(b *routerBackend, probe, last bool) (Response, error, bool) {
-		resp, err := b.client.Complete(ctx, req)
+		actx, asp := obs.StartSpan(ctx, spanBackendAttempt)
+		asp.SetAttr("backend", b.name)
+		resp, err := b.client.Complete(actx, req)
+		if asp != nil {
+			switch {
+			case err == nil:
+			case IsCancellation(err) || ctx.Err() != nil:
+				// A hedge loser's cancellation is the normal cost of a
+				// hedge win, not an error worth retaining the trace for.
+				asp.SetAttr("canceled", "true")
+			default:
+				asp.Fail(err.Error())
+			}
+			asp.End()
+		}
 		b.release()
 		b.requests.Add(1)
 		if err == nil {
@@ -456,6 +497,7 @@ func (r *Router) walk(ctx context.Context, req Request, start int) (Response, er
 		// Fail fast and classified-transient — no queue buildup behind a
 		// dead fleet, and the engine's retry loop knows it may recover.
 		r.breakerFastFails.Add(1)
+		obs.SpanFromContext(ctx).SetAttr("breaker_fast_fail", "true")
 		return Response{}, MarkTransient(fmt.Errorf("llm: router: all %d backends circuit-open", n))
 	}
 	r.exhausted.Add(1)

@@ -1,0 +1,714 @@
+// Per-request distributed tracing: Dapper-style span trees with
+// tail-based sampling, zero dependencies beyond the standard library.
+//
+// A Tracer mints one root span per request (StartRoot); child spans are
+// opened anywhere below via the context (StartSpan) and finalize in
+// place — immutable once ended — inside the trace's arena. When the
+// root span ends the whole trace is either retained in a bounded ring
+// (as SpanData copies) or dropped:
+//
+//   - error traces are always kept (any span called Fail),
+//   - traces slower than the route's live p99 are always kept
+//     (SlowFor reads the serving histograms),
+//   - the rest are head-sampled at TracerOptions.Sample — the decision
+//     is coined at root start so it can be propagated downstream in the
+//     traceparent sampled flag.
+//
+// The HTTP boundary speaks W3C trace context: ParseTraceparent accepts
+// an incoming `traceparent` header (malformed headers fall back to a
+// fresh root trace), and Span.Traceparent renders the outgoing header
+// for a future gateway hop.
+//
+// Concurrency: all span mutation (SetAttr, Fail, End) locks the
+// per-trace mutex — hedged backend attempts mutate sibling spans from
+// racing goroutines. A span ended after its root finished (a hedge
+// loser's goroutine outliving the request) is counted as dropped, never
+// retained. Every Span method is nil-receiver-safe, so instrumented
+// code paths need no tracing-enabled checks: with no tracer configured
+// the whole layer costs one context lookup per span site.
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a 128-bit W3C trace id.
+type TraceID [16]byte
+
+// SpanID is a 64-bit W3C span id.
+type SpanID [8]byte
+
+// IsZero reports whether the id is all-zero (invalid per W3C).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the id is all-zero (invalid per W3C).
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the id as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+func newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		binary.LittleEndian.PutUint64(id[:8], rand.Uint64())
+		binary.LittleEndian.PutUint64(id[8:], rand.Uint64())
+	}
+	return id
+}
+
+// spanSalt perturbs derived span ids with a per-process random value,
+// so two processes joining the same remote trace do not mint colliding
+// ids from the shared trace id.
+var spanSalt = rand.Uint64()
+
+// deriveSpanID mints the trace's nth span id from the trace-local base
+// with a splitmix64 step. The finalizer is a bijection and the inputs
+// are distinct per n, so ids within a trace are unique — which is all
+// W3C requires — without a per-span random draw. The all-zero id is
+// invalid; the rare derivation that hits it falls back to a draw.
+func deriveSpanID(base, n uint64) SpanID {
+	x := base + n*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	var id SpanID
+	binary.LittleEndian.PutUint64(id[:], x)
+	for id.IsZero() {
+		binary.LittleEndian.PutUint64(id[:], rand.Uint64())
+	}
+	return id
+}
+
+// TraceParent is a parsed W3C traceparent header: the remote trace to
+// join and whether the upstream already decided to sample it.
+type TraceParent struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// traceparentLen is the exact length of a version-00 header:
+// "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex.
+const traceparentLen = 55
+
+// ParseTraceparent parses a W3C traceparent header strictly: exactly
+// four dash-separated fields, version 00, lowercase hex only, and
+// nonzero trace/span ids. Anything else returns ok=false and the caller
+// starts a fresh root trace — a malformed header must never poison
+// local tracing.
+func ParseTraceparent(s string) (TraceParent, bool) {
+	var tp TraceParent
+	if len(s) != traceparentLen {
+		return tp, false
+	}
+	parts := strings.Split(s, "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return tp, false
+	}
+	if !isLowerHex(parts[1]) || !isLowerHex(parts[2]) || !isLowerHex(parts[3]) {
+		return tp, false
+	}
+	if _, err := hex.Decode(tp.TraceID[:], []byte(parts[1])); err != nil {
+		return TraceParent{}, false
+	}
+	if _, err := hex.Decode(tp.SpanID[:], []byte(parts[2])); err != nil {
+		return TraceParent{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(parts[3])); err != nil {
+		return TraceParent{}, false
+	}
+	if tp.TraceID.IsZero() || tp.SpanID.IsZero() {
+		return TraceParent{}, false
+	}
+	tp.Sampled = flags[0]&0x01 != 0
+	return tp, true
+}
+
+// isLowerHex reports whether s is entirely lowercase hex digits.
+// hex.Decode also accepts uppercase, which W3C forbids, so the check is
+// explicit.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// FormatTraceparent renders a version-00 traceparent header.
+func FormatTraceparent(tid TraceID, sid SpanID, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + tid.String() + "-" + sid.String() + "-" + flags
+}
+
+// SpanData is the immutable wire form of a finished span.
+type SpanData struct {
+	SpanID   string   `json:"span_id"`
+	ParentID string   `json:"parent_id,omitempty"`
+	Name     string   `json:"name"`
+	StartUs  int64    `json:"start_us"` // microseconds since the trace root started
+	DurUs    int64    `json:"dur_us"`
+	Attrs    []string `json:"attrs,omitempty"` // k1, v1, k2, v2, ...
+	Status   string   `json:"status,omitempty"`
+}
+
+// TraceData is one retained trace: the root span first, then children
+// in end order.
+type TraceData struct {
+	TraceID string     `json:"trace_id"`
+	Route   string     `json:"route"`
+	Start   time.Time  `json:"start"`
+	DurUs   int64      `json:"dur_us"`
+	Err     bool       `json:"err"`
+	Reason  string     `json:"reason"` // "error" | "slow" | "sampled"
+	Dropped int        `json:"dropped_spans,omitempty"`
+	Spans   []SpanData `json:"spans"`
+}
+
+// TraceSummary is the /v1/traces listing form.
+type TraceSummary struct {
+	TraceID string    `json:"trace_id"`
+	Route   string    `json:"route"`
+	Start   time.Time `json:"start"`
+	DurMs   float64   `json:"dur_ms"`
+	Spans   int       `json:"spans"`
+	Err     bool      `json:"err"`
+	Reason  string    `json:"reason"`
+}
+
+// traceState is the live, shared state of one in-flight trace.
+type traceState struct {
+	tracer   *Tracer
+	traceID  TraceID
+	route    string
+	ent      *slowEntry // the route's slow-threshold cache, resolved at root start
+	start    time.Time
+	spanBase uint64 // per-trace base for derived span ids
+	sampled  bool   // head-sample decision, coined at root start
+
+	mu      sync.Mutex
+	errored bool
+	done    bool
+	dropped int
+	ended   []*Span // finished non-root spans, end order
+
+	// endedBuf backs ended until a trace finishes more children than a
+	// typical request has, so the common trace never allocates a slice.
+	endedBuf [2]*Span
+
+	// rootSpan is the trace's root and childBuf an arena for the first
+	// child spans, all allocated inline with the state: the common
+	// request costs a single allocation for the entire trace. Arena
+	// slots are claimed with an atomic counter and never reused — the
+	// state outlives every span pointer handed out, so a stale span held
+	// past the request can never alias a newer trace's memory. Finished
+	// spans are kept in place and listed in ended; the wire SpanData
+	// (hex ids, JSON tags) is only built for the ~1% of traces the
+	// sampler retains — stringifying every span of every dropped trace
+	// would dominate the layer's per-request cost.
+	rootSpan Span
+	childN   atomic.Int32
+	childBuf [2]Span
+}
+
+// Span is one live timed operation inside a trace. All methods are
+// safe on a nil receiver (the tracing-off case) and safe to call from
+// multiple goroutines.
+//
+// A Span is itself a context.Context: it answers the span lookup key
+// directly and delegates everything else to the context it was started
+// under. StartSpan/StartRoot return the span as the derived context, so
+// opening a span costs one allocation instead of a span plus a
+// context.WithValue wrapper.
+type Span struct {
+	tr       *traceState
+	pctx     context.Context // context the span was started under
+	spanID   SpanID
+	parentID SpanID
+	name     string
+	startNs  int64 // monotonic offset from the trace's start
+	root     bool
+
+	// Guarded by tr.mu: hedged attempts annotate a shared parent span
+	// from racing goroutines. attrs aliases attrBuf until a span
+	// collects more than one key/value pair, so the common one-pair
+	// span costs no extra allocation. After End every field is
+	// immutable (all mutators check ended under the lock), which is
+	// what lets finish read ended spans outside it.
+	attrs   []string
+	attrBuf [2]string
+	status  string
+	durNs   int64
+	ended   bool
+}
+
+// Deadline implements context.Context by delegating to the parent.
+func (s *Span) Deadline() (time.Time, bool) { return s.pctx.Deadline() }
+
+// Done implements context.Context by delegating to the parent.
+func (s *Span) Done() <-chan struct{} { return s.pctx.Done() }
+
+// Err implements context.Context by delegating to the parent.
+func (s *Span) Err() error { return s.pctx.Err() }
+
+// Value implements context.Context: the span lookup key resolves to the
+// span itself, everything else to the parent context.
+func (s *Span) Value(key any) any {
+	if _, ok := key.(spanKey); ok {
+		return s
+	}
+	return s.pctx.Value(key)
+}
+
+// TraceContext returns the span's trace and span ids; zero ids on nil.
+func (s *Span) TraceContext() (TraceID, SpanID) {
+	if s == nil {
+		return TraceID{}, SpanID{}
+	}
+	return s.tr.traceID, s.spanID
+}
+
+// Sampled reports whether the head sampler kept this span's trace —
+// the decision coined (or inherited from the upstream traceparent) at
+// root start. False on nil.
+func (s *Span) Sampled() bool {
+	return s != nil && s.tr.sampled
+}
+
+// Traceparent renders the outgoing traceparent header for this span,
+// carrying the trace's head-sample decision in the sampled flag. Empty
+// on nil.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return FormatTraceparent(s.tr.traceID, s.spanID, s.tr.sampled)
+}
+
+// SetAttr appends a key/value annotation to the span. No-op after End:
+// the finished record owns the attrs slice.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended {
+		if s.attrs == nil {
+			s.attrs = s.attrBuf[:0]
+		}
+		s.attrs = append(s.attrs, k, v)
+	}
+	s.tr.mu.Unlock()
+}
+
+// Fail marks the span failed and the whole trace as an error trace, so
+// the tail sampler retains it. No-op after End.
+func (s *Span) Fail(msg string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.status = msg
+		s.tr.errored = true
+	}
+	s.tr.mu.Unlock()
+}
+
+// wireData converts a finished span to its JSON form. Attrs are
+// copied: the slice may alias the span's inline buffer, and a retained
+// trace must not pin request-lifetime structs in the ring.
+func (s *Span) wireData() SpanData {
+	d := SpanData{
+		SpanID:  s.spanID.String(),
+		Name:    s.name,
+		StartUs: s.startNs / 1e3,
+		DurUs:   s.durNs / 1e3,
+		Status:  s.status,
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = append([]string(nil), s.attrs...)
+	}
+	if !s.parentID.IsZero() {
+		d.ParentID = s.parentID.String()
+	}
+	return d
+}
+
+// End finalizes the span in place and lists it in the trace; ending the
+// root runs the tail-sampling decision and retains or drops the whole
+// trace. End is idempotent; a non-root span ended after its root
+// finished is counted dropped (a hedge loser's goroutine may outlive
+// the request).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	tr := s.tr
+	endNs := int64(time.Since(tr.start))
+	tr.mu.Lock()
+	if s.ended {
+		tr.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.durNs = endNs - s.startNs
+	if !s.root {
+		if tr.done || len(tr.ended) >= tr.tracer.maxSpans {
+			tr.dropped++
+		} else {
+			if tr.ended == nil {
+				tr.ended = tr.endedBuf[:0]
+			}
+			tr.ended = append(tr.ended, s)
+		}
+		tr.mu.Unlock()
+		return
+	}
+	tr.done = true
+	errored := tr.errored
+	ended := tr.ended
+	dropped := tr.dropped
+	tr.ended = nil
+	tr.mu.Unlock()
+	tr.tracer.finish(tr, s, time.Duration(s.durNs), errored, ended, dropped)
+}
+
+// spanKey carries the current span through context.Context.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying sp.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// StartSpan opens a child span under the span carried by ctx. With no
+// span in ctx (tracing off, or an uninstrumented entry point) it
+// returns (ctx, nil) — the nil Span no-ops everywhere.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	tr := parent.tr
+	n := tr.childN.Add(1)
+	var sp *Span
+	if n <= int32(len(tr.childBuf)) {
+		sp = &tr.childBuf[n-1]
+	} else {
+		sp = new(Span)
+	}
+	// Arena slots are never reused and fresh allocations are zeroed, so
+	// only the live fields need setting — a full struct assignment would
+	// copy ~150 bytes per span for nothing.
+	sp.tr = tr
+	sp.pctx = ctx
+	sp.spanID = deriveSpanID(tr.spanBase, uint64(n))
+	sp.parentID = parent.spanID
+	sp.name = name
+	sp.startNs = int64(time.Since(tr.start))
+	return sp, sp
+}
+
+// TracerOptions configures a Tracer.
+type TracerOptions struct {
+	// Sample is the head-sampling probability in [0, 1] for traces that
+	// are neither errored nor slow. Tail retention (error/slow) applies
+	// regardless.
+	Sample float64
+	// RingSize bounds the retained-trace ring (default 512).
+	RingSize int
+	// MaxSpans bounds the spans kept per trace (default 256); excess
+	// spans count as dropped.
+	MaxSpans int
+	// SlowFor returns the slow-trace threshold for a root span name
+	// ("http_ask", ...); 0 means no threshold yet (cold histogram).
+	// Nil disables slow retention.
+	SlowFor func(route string) time.Duration
+}
+
+const (
+	defaultTraceRing = 512
+	defaultMaxSpans  = 256
+	// slowRefreshEvery bounds how often a route's slow threshold is
+	// recomputed: once per this many finished traces. The SlowFor
+	// callback walks a sharded histogram, which is far too expensive to
+	// pay on every request, and a p99 threshold a few dozen requests
+	// stale retains the same traces.
+	slowRefreshEvery = 32
+)
+
+// slowEntry is one route's cached slow-trace threshold.
+type slowEntry struct {
+	thrNs atomic.Int64
+	tick  atomic.Uint64
+}
+
+// Tracer mints root spans and retains finished traces in a bounded
+// ring under tail sampling.
+type Tracer struct {
+	sample   float64
+	maxSpans int
+	slowFor  func(string) time.Duration
+	slow     sync.Map // route -> *slowEntry
+
+	started  *Counter
+	retained map[string]*Counter // by reason
+	dropped  *Counter
+
+	mu        sync.Mutex
+	ring      []*TraceData
+	n         uint64            // total retained; write index = n % len(ring)
+	exemplars map[string]string // route -> trace id of last error/slow trace
+}
+
+// NewTracer returns a tracer registering its counters in reg (which
+// may be nil for tests).
+func NewTracer(reg *Registry, opts TracerOptions) *Tracer {
+	if opts.RingSize <= 0 {
+		opts.RingSize = defaultTraceRing
+	}
+	if opts.MaxSpans <= 0 {
+		opts.MaxSpans = defaultMaxSpans
+	}
+	t := &Tracer{
+		sample:    opts.Sample,
+		maxSpans:  opts.MaxSpans,
+		slowFor:   opts.SlowFor,
+		ring:      make([]*TraceData, opts.RingSize),
+		exemplars: map[string]string{},
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	t.started = reg.Counter("askit_traces_started_total",
+		Help("Root spans started."))
+	t.retained = map[string]*Counter{}
+	for _, reason := range []string{"error", "slow", "sampled"} {
+		t.retained[reason] = reg.Counter("askit_traces_retained_total",
+			Help("Traces kept by the tail sampler, by reason."),
+			Labels("reason", reason))
+	}
+	t.dropped = reg.Counter("askit_traces_dropped_total",
+		Help("Traces discarded by the tail sampler."))
+	return t
+}
+
+// TraceRoute is a per-route minting handle: the root span name and the
+// route's slow-threshold cache entry, resolved once at registration
+// time so the per-request path skips a sync.Map lookup.
+type TraceRoute struct {
+	t    *Tracer
+	name string
+	ent  *slowEntry
+}
+
+// Route resolves the minting handle for a root span name (by
+// convention "http_" + route). Nil-tracer safe: returns nil, and a nil
+// handle mints nil spans.
+func (t *Tracer) Route(name string) *TraceRoute {
+	if t == nil {
+		return nil
+	}
+	return &TraceRoute{t: t, name: name, ent: t.slowEntryFor(name)}
+}
+
+// StartRoot opens the root span of a new trace. A valid remote parent
+// joins its trace — inheriting trace id, parent span id, and the
+// upstream sampling decision — otherwise a fresh trace id is minted
+// and the head-sample coin is tossed locally. Nil-handle safe: returns
+// (ctx, nil).
+func (r *TraceRoute) StartRoot(ctx context.Context, parent TraceParent) (context.Context, *Span) {
+	if r == nil {
+		return ctx, nil
+	}
+	t := r.t
+	t.started.Inc()
+	tid := parent.TraceID
+	sampled := parent.Sampled
+	if tid.IsZero() {
+		tid = newTraceID()
+	}
+	if !sampled && t.sample > 0 && rand.Float64() < t.sample {
+		sampled = true
+	}
+	tr := &traceState{
+		tracer:   t,
+		traceID:  tid,
+		route:    r.name,
+		ent:      r.ent,
+		start:    time.Now(),
+		spanBase: binary.LittleEndian.Uint64(tid[8:]) ^ spanSalt,
+		sampled:  sampled,
+	}
+	sp := &tr.rootSpan
+	sp.tr = tr
+	sp.pctx = ctx
+	sp.spanID = deriveSpanID(tr.spanBase, 0)
+	sp.parentID = parent.SpanID
+	sp.name = r.name
+	sp.root = true // startNs 0: the root starts the trace clock
+	return sp, sp
+}
+
+// StartRoot opens the root span of a new trace named name, resolving
+// the route handle on every call; hot callers hold a Tracer.Route
+// handle instead. Nil-tracer safe: returns (ctx, nil).
+func (t *Tracer) StartRoot(ctx context.Context, name string, parent TraceParent) (context.Context, *Span) {
+	return t.Route(name).StartRoot(ctx, parent)
+}
+
+// slowEntryFor returns the route's slow-threshold cache entry,
+// creating it on first use.
+func (t *Tracer) slowEntryFor(route string) *slowEntry {
+	v, ok := t.slow.Load(route)
+	if !ok {
+		v, _ = t.slow.LoadOrStore(route, new(slowEntry))
+	}
+	return v.(*slowEntry)
+}
+
+// slowThreshold returns the route's cached slow-trace threshold,
+// refreshing it from SlowFor once per slowRefreshEvery finishes.
+func (t *Tracer) slowThreshold(e *slowEntry, route string) time.Duration {
+	if e.tick.Add(1)%slowRefreshEvery == 1 {
+		e.thrNs.Store(int64(t.slowFor(route)))
+	}
+	return time.Duration(e.thrNs.Load())
+}
+
+// finish applies the tail-sampling decision to a completed trace. The
+// ended spans are read outside tr.mu: every field of a finished span is
+// immutable, and the root's End acquired the lock after each child's.
+func (t *Tracer) finish(tr *traceState, root *Span, dur time.Duration, errored bool, ended []*Span, dropped int) {
+	reason := ""
+	switch {
+	case errored:
+		reason = "error"
+	case t.slowFor != nil:
+		if thr := t.slowThreshold(tr.ent, tr.route); thr > 0 && dur > thr {
+			reason = "slow"
+		}
+	}
+	if reason == "" && tr.sampled {
+		reason = "sampled"
+	}
+	if reason == "" {
+		t.dropped.Inc()
+		return
+	}
+	t.retained[reason].Inc()
+	wire := make([]SpanData, 0, len(ended)+1)
+	wire = append(wire, root.wireData())
+	for _, s := range ended {
+		wire = append(wire, s.wireData())
+	}
+	td := &TraceData{
+		TraceID: tr.traceID.String(),
+		Route:   tr.route,
+		Start:   tr.start,
+		DurUs:   dur.Microseconds(),
+		Err:     errored,
+		Reason:  reason,
+		Dropped: dropped,
+		Spans:   wire,
+	}
+	t.mu.Lock()
+	t.ring[t.n%uint64(len(t.ring))] = td
+	t.n++
+	if reason != "sampled" {
+		t.exemplars[tr.route] = td.TraceID
+	}
+	t.mu.Unlock()
+}
+
+// Summaries returns up to limit retained traces, newest first
+// (limit <= 0 means all retained).
+func (t *Tracer) Summaries(limit int) []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := uint64(len(t.ring))
+	n := t.n
+	if n > size {
+		n = size
+	}
+	if limit <= 0 || uint64(limit) > n {
+		limit = int(n)
+	}
+	out := make([]TraceSummary, 0, limit)
+	for i := uint64(0); i < uint64(limit); i++ {
+		td := t.ring[(t.n-1-i)%size]
+		out = append(out, TraceSummary{
+			TraceID: td.TraceID,
+			Route:   td.Route,
+			Start:   td.Start,
+			DurMs:   float64(td.DurUs) / 1e3,
+			Spans:   len(td.Spans),
+			Err:     td.Err,
+			Reason:  td.Reason,
+		})
+	}
+	return out
+}
+
+// Lookup returns the retained trace with the given id.
+func (t *Tracer) Lookup(id string) (*TraceData, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, td := range t.ring {
+		if td != nil && td.TraceID == id {
+			return td, true
+		}
+	}
+	return nil, false
+}
+
+// Exemplar returns the trace id of the most recent error or slow trace
+// retained for route, or "".
+func (t *Tracer) Exemplar(route string) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.exemplars[route]
+}
+
+// String renders retention counts for debugging.
+func (t *Tracer) String() string {
+	if t == nil {
+		return "tracer(nil)"
+	}
+	return fmt.Sprintf("tracer(started=%d dropped=%d)", t.started.Value(), t.dropped.Value())
+}

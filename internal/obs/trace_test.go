@@ -1,0 +1,380 @@
+package obs
+
+import (
+	"context"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid := newTraceID()
+	sid := deriveSpanID(rand.Uint64(), 1)
+	for _, sampled := range []bool{false, true} {
+		hdr := FormatTraceparent(tid, sid, sampled)
+		if len(hdr) != traceparentLen {
+			t.Fatalf("header %q has length %d, want %d", hdr, len(hdr), traceparentLen)
+		}
+		tp, ok := ParseTraceparent(hdr)
+		if !ok {
+			t.Fatalf("ParseTraceparent(%q) rejected its own output", hdr)
+		}
+		if tp.TraceID != tid || tp.SpanID != sid || tp.Sampled != sampled {
+			t.Fatalf("round trip %q -> %+v, want tid=%s sid=%s sampled=%v",
+				hdr, tp, tid, sid, sampled)
+		}
+		// Identity through a second format/parse cycle.
+		if again := FormatTraceparent(tp.TraceID, tp.SpanID, tp.Sampled); again != hdr {
+			t.Fatalf("second format %q != first %q", again, hdr)
+		}
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	valid := "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("control header %q rejected", valid)
+	}
+	cases := []struct {
+		name string
+		hdr  string
+	}{
+		{"empty", ""},
+		{"truncated", valid[:54]},
+		{"trailing", valid + "0"},
+		{"wrong version", "01" + valid[2:]},
+		{"uppercase trace id", "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01"},
+		{"uppercase span id", "00-0af7651916cd43dd8448eb211c80319c-B7AD6B7169203331-01"},
+		{"zero trace id", "00-00000000000000000000000000000000-b7ad6b7169203331-01"},
+		{"zero span id", "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01"},
+		{"non-hex", "00-zzf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"},
+		{"extra field", "00-0af7651916cd43dd8448eb211c8031-b7ad6b7169203331-01-0"},
+		{"bad flags", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0g"},
+	}
+	for _, tc := range cases {
+		if tp, ok := ParseTraceparent(tc.hdr); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted -> %+v", tc.name, tc.hdr, tp)
+		}
+	}
+}
+
+// startTrace is a test helper: one root span plus tracer with the given
+// options, using a fresh registry.
+func startTrace(t *testing.T, opts TracerOptions, name string, parent TraceParent) (*Tracer, context.Context, *Span) {
+	t.Helper()
+	tr := NewTracer(NewRegistry(), opts)
+	ctx, sp := tr.StartRoot(context.Background(), name, parent)
+	if sp == nil {
+		t.Fatal("StartRoot returned nil span on a live tracer")
+	}
+	return tr, ctx, sp
+}
+
+func TestTailSamplingErrorKept(t *testing.T) {
+	tr, ctx, root := startTrace(t, TracerOptions{Sample: 0}, "http_ask", TraceParent{})
+	_, child := StartSpan(ctx, "llm_complete")
+	child.Fail("backend exploded")
+	child.End()
+	root.End()
+
+	sums := tr.Summaries(0)
+	if len(sums) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(sums))
+	}
+	if sums[0].Reason != "error" || !sums[0].Err {
+		t.Fatalf("summary %+v, want reason=error err=true", sums[0])
+	}
+	td, ok := tr.Lookup(sums[0].TraceID)
+	if !ok {
+		t.Fatal("Lookup missed the retained trace")
+	}
+	if len(td.Spans) != 2 || td.Spans[0].Name != "http_ask" || td.Spans[1].Status != "backend exploded" {
+		t.Fatalf("trace spans %+v, want root first then failed child", td.Spans)
+	}
+	if got := tr.Exemplar("http_ask"); got != td.TraceID {
+		t.Fatalf("Exemplar = %q, want %q", got, td.TraceID)
+	}
+}
+
+func TestTailSamplingSlowKept(t *testing.T) {
+	slow := func(route string) time.Duration {
+		if route != "http_ask" {
+			t.Errorf("SlowFor called with route %q", route)
+		}
+		return time.Nanosecond // everything is slower than 1ns
+	}
+	tr, _, root := startTrace(t, TracerOptions{Sample: 0, SlowFor: slow}, "http_ask", TraceParent{})
+	time.Sleep(10 * time.Microsecond)
+	root.End()
+	sums := tr.Summaries(0)
+	if len(sums) != 1 || sums[0].Reason != "slow" {
+		t.Fatalf("summaries %+v, want one slow-retained trace", sums)
+	}
+	if got := tr.Exemplar("http_ask"); got != sums[0].TraceID {
+		t.Fatalf("Exemplar = %q, want slow trace %q", got, sums[0].TraceID)
+	}
+}
+
+func TestTailSamplingFastDropped(t *testing.T) {
+	// Cold threshold (SlowFor returns 0) and a zero sample rate: a
+	// healthy fast request must be dropped.
+	tr, _, root := startTrace(t, TracerOptions{Sample: 0, SlowFor: func(string) time.Duration { return 0 }},
+		"http_ask", TraceParent{})
+	root.End()
+	if got := tr.Summaries(0); len(got) != 0 {
+		t.Fatalf("retained %+v, want none", got)
+	}
+	if tr.dropped.Value() != 1 {
+		t.Fatalf("dropped counter = %d, want 1", tr.dropped.Value())
+	}
+}
+
+func TestHeadSampleAlways(t *testing.T) {
+	tr, _, root := startTrace(t, TracerOptions{Sample: 1}, "http_ask", TraceParent{})
+	root.End()
+	sums := tr.Summaries(0)
+	if len(sums) != 1 || sums[0].Reason != "sampled" {
+		t.Fatalf("summaries %+v, want one head-sampled trace", sums)
+	}
+	// Head-sampled traces are not exemplars — those mark outliers only.
+	if got := tr.Exemplar("http_ask"); got != "" {
+		t.Fatalf("Exemplar = %q, want empty for a head-sampled trace", got)
+	}
+}
+
+func TestRemoteParentPropagation(t *testing.T) {
+	remote := TraceParent{TraceID: newTraceID(), SpanID: deriveSpanID(rand.Uint64(), 0), Sampled: true}
+	tr, ctx, root := startTrace(t, TracerOptions{Sample: 0}, "http_ask", remote)
+
+	// The local trace joins the remote trace id and keeps the remote
+	// sampling decision.
+	tid, _ := root.TraceContext()
+	if tid != remote.TraceID {
+		t.Fatalf("trace id %s, want remote %s", tid, remote.TraceID)
+	}
+	hdr := root.Traceparent()
+	tp, ok := ParseTraceparent(hdr)
+	if !ok || tp.TraceID != remote.TraceID || !tp.Sampled {
+		t.Fatalf("outgoing traceparent %q, want remote trace id with sampled flag", hdr)
+	}
+	_, child := StartSpan(ctx, "llm_complete")
+	child.End()
+	root.End()
+
+	td, ok := tr.Lookup(remote.TraceID.String())
+	if !ok {
+		t.Fatal("remote-sampled trace not retained")
+	}
+	if td.Reason != "sampled" {
+		t.Fatalf("reason %q, want sampled (upstream decision)", td.Reason)
+	}
+	if td.Spans[0].ParentID != remote.SpanID.String() {
+		t.Fatalf("root parent %q, want remote span id %q", td.Spans[0].ParentID, remote.SpanID)
+	}
+}
+
+func TestSpanTreeParentChain(t *testing.T) {
+	tr, ctx, root := startTrace(t, TracerOptions{Sample: 1}, "http_ask", TraceParent{})
+	cctx, c1 := StartSpan(ctx, "ask")
+	_, c2 := StartSpan(cctx, "llm_complete")
+	c2.SetAttr("backend", "sim-0")
+	c2.End()
+	c1.End()
+	root.End()
+
+	td, _ := tr.Lookup(root.Traceparent()[3:35])
+	if td == nil {
+		t.Fatal("trace not retained")
+	}
+	byName := map[string]SpanData{}
+	for _, s := range td.Spans {
+		byName[s.Name] = s
+	}
+	if byName["ask"].ParentID != byName["http_ask"].SpanID {
+		t.Fatalf("ask parent %q != root span %q", byName["ask"].ParentID, byName["http_ask"].SpanID)
+	}
+	if byName["llm_complete"].ParentID != byName["ask"].SpanID {
+		t.Fatalf("llm_complete parent %q != ask span %q", byName["llm_complete"].ParentID, byName["ask"].SpanID)
+	}
+	if got := byName["llm_complete"].Attrs; len(got) != 2 || got[0] != "backend" || got[1] != "sim-0" {
+		t.Fatalf("llm_complete attrs %v, want [backend sim-0]", got)
+	}
+	if byName["http_ask"].ParentID != "" {
+		t.Fatalf("fresh root has parent %q, want none", byName["http_ask"].ParentID)
+	}
+}
+
+func TestStartSpanWithoutTracer(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatal("StartSpan minted a span with no root in context")
+	}
+	// All methods must no-op on the nil span.
+	sp.SetAttr("k", "v")
+	sp.Fail("boom")
+	sp.End()
+	if got := sp.Traceparent(); got != "" {
+		t.Fatalf("nil span traceparent %q", got)
+	}
+	if sp2 := SpanFromContext(ctx); sp2 != nil {
+		t.Fatal("context unexpectedly carries a span")
+	}
+	var tr *Tracer
+	if _, root := tr.StartRoot(context.Background(), "http_ask", TraceParent{}); root != nil {
+		t.Fatal("nil tracer minted a root span")
+	}
+}
+
+func TestRingBound(t *testing.T) {
+	tr := NewTracer(NewRegistry(), TracerOptions{Sample: 1, RingSize: 4})
+	var last string
+	for i := 0; i < 10; i++ {
+		_, root := tr.StartRoot(context.Background(), "http_ask", TraceParent{})
+		last = root.Traceparent()[3:35]
+		root.End()
+	}
+	sums := tr.Summaries(0)
+	if len(sums) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(sums))
+	}
+	if sums[0].TraceID != last {
+		t.Fatalf("newest-first ordering broken: got %q first, want %q", sums[0].TraceID, last)
+	}
+	if got := tr.Summaries(2); len(got) != 2 || got[0].TraceID != last {
+		t.Fatalf("limited summaries %+v, want 2 newest-first", got)
+	}
+}
+
+func TestMaxSpansDropsExcess(t *testing.T) {
+	tr := NewTracer(NewRegistry(), TracerOptions{Sample: 1, MaxSpans: 2})
+	ctx, root := tr.StartRoot(context.Background(), "http_ask", TraceParent{})
+	for i := 0; i < 5; i++ {
+		_, sp := StartSpan(ctx, "ask")
+		sp.End()
+	}
+	root.End()
+	td, ok := tr.Lookup(root.Traceparent()[3:35])
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if len(td.Spans) != 3 { // root + MaxSpans children
+		t.Fatalf("retained %d spans, want 3", len(td.Spans))
+	}
+	if td.Dropped != 3 {
+		t.Fatalf("dropped %d spans, want 3", td.Dropped)
+	}
+}
+
+func TestLateSpanAfterRootEnd(t *testing.T) {
+	tr := NewTracer(NewRegistry(), TracerOptions{Sample: 1})
+	ctx, root := tr.StartRoot(context.Background(), "http_ask", TraceParent{})
+	_, straggler := StartSpan(ctx, "backend_attempt")
+	root.End()
+	straggler.End() // hedge loser outliving the request
+	root.End()      // idempotent
+	td, ok := tr.Lookup(root.Traceparent()[3:35])
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if len(td.Spans) != 1 {
+		t.Fatalf("late span leaked into the retained trace: %+v", td.Spans)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTracer(NewRegistry(), TracerOptions{Sample: 1, MaxSpans: 1024})
+	ctx, root := tr.StartRoot(context.Background(), "http_ask", TraceParent{})
+	_, shared := StartSpan(ctx, "llm_complete")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_, sp := StartSpan(ctx, "backend_attempt")
+				sp.SetAttr("backend", "sim")
+				shared.SetAttr("hedge", "launched")
+				if i == 0 && j == 0 {
+					sp.Fail("injected")
+				}
+				sp.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	shared.End()
+	root.End()
+	td, ok := tr.Lookup(root.Traceparent()[3:35])
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if td.Reason != "error" {
+		t.Fatalf("reason %q, want error (one attempt failed)", td.Reason)
+	}
+	if want := 16*50 + 2; len(td.Spans) != want {
+		t.Fatalf("retained %d spans, want %d", len(td.Spans), want)
+	}
+}
+
+func TestTracerCounters(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, TracerOptions{Sample: 0})
+	_, a := tr.StartRoot(context.Background(), "http_ask", TraceParent{})
+	a.Fail("x")
+	a.End()
+	_, b := tr.StartRoot(context.Background(), "http_ask", TraceParent{})
+	b.End()
+	if tr.started.Value() != 2 {
+		t.Fatalf("started = %d, want 2", tr.started.Value())
+	}
+	if tr.retained["error"].Value() != 1 || tr.dropped.Value() != 1 {
+		t.Fatalf("retained(error)=%d dropped=%d, want 1/1",
+			tr.retained["error"].Value(), tr.dropped.Value())
+	}
+	var out strings.Builder
+	reg.WritePrometheus(&out)
+	if !strings.Contains(out.String(), "askit_traces_retained_total{reason=\"error\"} 1") {
+		t.Fatalf("exposition missing retained counter:\n%s", out.String())
+	}
+}
+
+// BenchmarkTraceLifecycle measures the per-request cost of the tracing
+// layer at the default head-sampling rate: one root span plus three
+// child spans with attributes, the shape of a cache-hit ask request.
+func BenchmarkTraceLifecycle(b *testing.B) {
+	tr := NewTracer(nil, TracerOptions{Sample: 0.01, SlowFor: func(string) time.Duration { return time.Second }})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rctx, root := tr.StartRoot(ctx, "http_ask", TraceParent{})
+		_, sp := StartSpan(rctx, "cache_probe")
+		sp.SetAttr("outcome", "hit")
+		sp.End()
+		_, sp2 := StartSpan(rctx, "ask")
+		sp2.SetAttr("attempts", "1")
+		sp2.End()
+		root.SetAttr("status", "200")
+		root.End()
+	}
+}
+
+// BenchmarkTraceDisabled is the tracing-off baseline: nil tracer, nil
+// spans, one context lookup per span site.
+func BenchmarkTraceDisabled(b *testing.B) {
+	var tr *Tracer
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rctx, root := tr.StartRoot(ctx, "http_ask", TraceParent{})
+		_, sp := StartSpan(rctx, "cache_probe")
+		sp.SetAttr("outcome", "hit")
+		sp.End()
+		_, sp2 := StartSpan(rctx, "ask")
+		sp2.SetAttr("attempts", "1")
+		sp2.End()
+		root.SetAttr("status", "200")
+		root.End()
+	}
+}

@@ -599,6 +599,10 @@ type routeStatsJSON struct {
 	P50Ms  float64 `json:"p50_ms"`
 	P99Ms  float64 `json:"p99_ms"`
 	P999Ms float64 `json:"p999_ms"`
+	// ExemplarTrace is the id of the most recent error or slower-than-p99
+	// trace the tail sampler retained for this route — the pivot from "the
+	// p99 is bad" to /v1/traces/{id} showing why.
+	ExemplarTrace string `json:"p99_exemplar_trace,omitempty"`
 }
 
 type serverStatsJSON struct {
@@ -695,10 +699,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, rh := range s.stats.routeHists {
 		snap := rh.hist.Snapshot()
 		routes[rh.name] = routeStatsJSON{
-			Count:  snap.Count,
-			P50Ms:  float64(snap.Quantile(0.50).Nanoseconds()) / 1e6,
-			P99Ms:  float64(snap.Quantile(0.99).Nanoseconds()) / 1e6,
-			P999Ms: float64(snap.Quantile(0.999).Nanoseconds()) / 1e6,
+			Count:         snap.Count,
+			P50Ms:         float64(snap.Quantile(0.50).Nanoseconds()) / 1e6,
+			P99Ms:         float64(snap.Quantile(0.99).Nanoseconds()) / 1e6,
+			P999Ms:        float64(snap.Quantile(0.999).Nanoseconds()) / 1e6,
+			ExemplarTrace: s.tracer.Exemplar("http_" + rh.name),
 		}
 	}
 	all := s.stats.merged()

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	askit "repro"
+)
+
+// benchmarkServeAsk drives the handler in-process with the same warm
+// cache-heavy direct-ask workload askit-bench's overhead phase uses, so
+// the serving stack's per-request cost — and what tracing adds to it —
+// can be profiled without HTTP client or loopback noise.
+func benchmarkServeAsk(b *testing.B, sample float64) {
+	sim := askit.NewSimClient(1)
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	ai, err := askit.New(askit.Options{Client: sim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{AskIt: ai, TraceSample: sample})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	bodies := make([]string, 32)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(
+			`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":%d}}`, 3+i)
+	}
+	for _, body := range bodies {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/ask", strings.NewReader(body)))
+		if rec.Code != 200 {
+			b.Fatalf("warmup ask: status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/ask", strings.NewReader(bodies[i%len(bodies)])))
+	}
+}
+
+func BenchmarkServeAskTracingOff(b *testing.B) { benchmarkServeAsk(b, -1) }
+func BenchmarkServeAskTracingOn(b *testing.B)  { benchmarkServeAsk(b, 0) }
+
+// benchmarkServeAskTCP is the same workload over a real loopback
+// listener and keep-alive client — the daemon shape askit-bench drives.
+func benchmarkServeAskTCP(b *testing.B, sample float64) {
+	sim := askit.NewSimClient(1)
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	ai, err := askit.New(askit.Options{Client: sim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{AskIt: ai, TraceSample: sample})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	bodies := make([]string, 32)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(
+			`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":%d}}`, 3+i)
+	}
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v1/ask", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	for _, body := range bodies {
+		if code := post(body); code != 200 {
+			b.Fatalf("warmup ask: status %d", code)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post(bodies[i%len(bodies)])
+	}
+}
+
+func BenchmarkServeAskTCPTracingOff(b *testing.B) { benchmarkServeAskTCP(b, -1) }
+func BenchmarkServeAskTCPTracingOn(b *testing.B)  { benchmarkServeAskTCP(b, 0) }

@@ -28,6 +28,8 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,7 +44,17 @@ const (
 	DefaultRequestTimeout = 30 * time.Second
 	DefaultDrainTimeout   = 15 * time.Second
 	DefaultRetryAfter     = 1 * time.Second
+	// DefaultTraceSample is the head-sampling probability for traces
+	// that are neither errored nor slow; error and >p99 traces are
+	// always retained by the tail sampler regardless.
+	DefaultTraceSample = 0.01
 )
+
+// slowMinSamples is the minimum per-route histogram population before
+// the live p99 is trusted as a slow-trace threshold; below it every
+// healthy trace would be "slower than p99" of a handful of warmup
+// requests.
+const slowMinSamples = 64
 
 // Config configures a Server.
 type Config struct {
@@ -67,6 +79,13 @@ type Config struct {
 	Metrics *obs.Registry
 	// Logf receives operational traces; nil disables.
 	Logf func(format string, args ...any)
+	// TraceSample is the head-sampling probability for request traces
+	// that the tail sampler would otherwise drop (error traces and
+	// traces slower than the route's live p99 are always retained).
+	// 0 means DefaultTraceSample; negative disables tracing entirely
+	// (pure tail sampling wants a tiny positive value instead, e.g.
+	// 1e-9).
+	TraceSample float64
 }
 
 // Server is the HTTP serving tier over one AskIt engine. Create with
@@ -75,6 +94,7 @@ type Server struct {
 	cfg     Config
 	ai      *askit.AskIt
 	metrics *obs.Registry
+	tracer  *obs.Tracer
 	mux     *http.ServeMux
 	start   time.Time
 
@@ -124,9 +144,24 @@ func New(cfg Config) (*Server, error) {
 		funcs:   map[string]*registeredFunc{},
 	}
 	s.stats.init(s)
+	// The tracer must exist before routes register: admit resolves each
+	// route's tracing handle once, at registration time.
+	if cfg.TraceSample >= 0 {
+		sample := cfg.TraceSample
+		if sample == 0 {
+			sample = DefaultTraceSample
+		}
+		s.tracer = obs.NewTracer(s.metrics, obs.TracerOptions{
+			Sample:  sample,
+			SlowFor: s.stats.slowFor,
+		})
+	}
 	s.routes()
 	return s, nil
 }
+
+// Tracer returns the server's tracer; nil when tracing is disabled.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -143,6 +178,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/funcs", s.handleListFuncs)
+	// Trace reads bypass admission like /metrics: inspecting a slow or
+	// failing request matters most when the server is saturated.
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceByID)
 	s.mux.Handle("POST /v1/ask", s.admit("ask", s.handleAsk))
 	s.mux.Handle("POST /v1/ask/batch", s.admit("ask_batch", s.handleAskBatch))
 	s.mux.Handle("POST /v1/funcs", s.admit("install", s.handleInstallFunc))
@@ -160,6 +199,10 @@ func (s *Server) routes() {
 // cardinality is bounded by the route table.
 func (s *Server) admit(route string, h http.HandlerFunc) http.Handler {
 	hist := s.stats.route(s.metrics, route)
+	// The root span name is fixed at registration time like the route
+	// label, so the per-request path never concatenates strings — and
+	// the tracer's route handle is resolved here once, not per request.
+	traceRoute := s.tracer.Route("http_" + route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// Increment before checking the drain flag: Drain stores the
 		// flag and then reads the gauge, so every request either sees
@@ -190,9 +233,34 @@ func (s *Server) admit(route string, h http.HandlerFunc) http.Handler {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 			defer cancel()
 		}
+		// Root span: join a valid incoming W3C traceparent (a malformed
+		// header silently starts a fresh trace). The trace id is echoed
+		// back only when the caller joined the trace or the head sampler
+		// kept it — the cases where the id resolves via /v1/traces/{id}
+		// or correlates with the caller's own trace. Echoing on every
+		// request would spend a quarter of the tracing budget rendering
+		// ids that are gone by the time anyone asks; unsampled slow and
+		// error traces stay reachable through the /v1/stats exemplars
+		// and the /v1/traces listing.
+		var span *obs.Span
+		if traceRoute != nil {
+			parent, joined := obs.ParseTraceparent(r.Header.Get("traceparent"))
+			ctx, span = traceRoute.StartRoot(ctx, parent)
+			if joined || span.Sampled() {
+				tid, _ := span.TraceContext()
+				w.Header().Set("X-Trace-Id", tid.String())
+			}
+		}
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r.WithContext(ctx))
+		if span != nil {
+			span.SetAttr("status", statusString(sw.code))
+			if sw.code >= 400 {
+				span.Fail(http.StatusText(sw.code))
+			}
+			span.End()
+		}
 		s.stats.observe(hist, time.Since(t0), sw.code)
 	})
 }
@@ -328,6 +396,27 @@ func (st *serverStats) observe(hist *obs.Histogram, d time.Duration, code int) {
 	hist.Observe(d)
 }
 
+// slowFor is the tail sampler's slow-trace threshold: the route's live
+// p99 read straight from its serving histogram. Until a route has seen
+// slowMinSamples requests it returns 0 (no slow retention) — a cold
+// histogram's p99 would classify every healthy request as slow. The
+// route argument is the root span name ("http_ask"), mapped back to
+// the histogram's route label.
+func (st *serverStats) slowFor(route string) time.Duration {
+	name := strings.TrimPrefix(route, "http_")
+	for _, rh := range st.routeHists {
+		if rh.name != name {
+			continue
+		}
+		snap := rh.hist.Snapshot()
+		if snap.Count < slowMinSamples {
+			return 0
+		}
+		return snap.Quantile(0.99)
+	}
+	return 0
+}
+
 // merged returns the union snapshot over every work route, for the
 // top-level p50/p99 the stats endpoint has always reported.
 func (st *serverStats) merged() obs.HistogramSnapshot {
@@ -336,4 +425,26 @@ func (st *serverStats) merged() obs.HistogramSnapshot {
 		all.Merge(rh.hist.Snapshot())
 	}
 	return all
+}
+
+// statusString is strconv.Itoa for HTTP status codes, returning interned
+// strings for the codes the server actually emits — the status attr is
+// set on every traced request, and the conversion should not allocate on
+// the hot path.
+func statusString(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusTooManyRequests:
+		return "429"
+	case http.StatusInternalServerError:
+		return "500"
+	case http.StatusServiceUnavailable:
+		return "503"
+	}
+	return strconv.Itoa(code)
 }

@@ -1,0 +1,279 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	askit "repro"
+	"repro/internal/store"
+)
+
+// newTracedServer returns a server that retains every trace (head
+// sample 1.0) over a router of two simulated backends plus an artifact
+// store, so a single request exercises every instrumented tier.
+func newTracedServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	newSim := func(i int64) askit.Client {
+		sim := askit.NewSimClient(1 + i)
+		sim.Noise.DirectBlind = 0
+		sim.Noise.CodegenBlind = 0
+		return sim
+	}
+	router, err := askit.NewRouterWithOptions(askit.RouterOptions{},
+		askit.RouterBackend{Name: "sim-0", Client: newSim(0)},
+		askit.RouterBackend{Name: "sim-1", Client: newSim(1)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newTestServer(t, Config{TraceSample: 1}, askit.Options{Client: router, Store: st})
+}
+
+// getTrace fetches /v1/traces/{id}, retrying briefly: the root span is
+// finalized after the response body is flushed, so the trace can lag
+// the client by a scheduler beat.
+func getTrace(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, body := getJSON(t, base+"/v1/traces/"+id)
+		if resp.StatusCode == http.StatusOK {
+			return body
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never retained: status %d body %v", id, resp.StatusCode, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// spanNames walks a /v1/traces/{id} span tree collecting names, and
+// verifies every child's parent_id links to its enclosing span.
+func spanNames(t *testing.T, node map[string]any, names map[string]int) {
+	t.Helper()
+	name, _ := node["name"].(string)
+	if name == "" {
+		t.Fatalf("span node missing name: %v", node)
+	}
+	names[name]++
+	children, _ := node["children"].([]any)
+	for _, c := range children {
+		child := c.(map[string]any)
+		if got, want := child["parent_id"], node["span_id"]; got != want {
+			t.Errorf("span %v: parent_id %v, want %v (child of %s)", child["name"], got, want, name)
+		}
+		spanNames(t, child, names)
+	}
+}
+
+// TestTraceSpanTrees is the wire-level contract for GET /v1/traces/{id}:
+// each instrumented route must retain a complete root→leaf span tree
+// covering the server, engine, router, and store tiers.
+func TestTraceSpanTrees(t *testing.T) {
+	_, ts := newTracedServer(t)
+
+	steps := []struct {
+		name string
+		url  string
+		body string
+		want []string // span names that must appear in the tree
+	}{
+		{
+			name: "install",
+			url:  "/v1/funcs",
+			body: factInstall,
+			want: []string{"http_install", "compile", "compile_attempt", "static_gate",
+				"example_exec", "store_probe", "store_save", "llm_complete", "backend_attempt"},
+		},
+		{
+			name: "call",
+			url:  "/v1/funcs/fact/call",
+			body: `{"args":{"n":7}}`,
+			want: []string{"http_call", "exec"},
+		},
+		{
+			name: "ask",
+			url:  "/v1/ask",
+			body: `{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":8}}`,
+			want: []string{"http_ask", "cache_probe", "ask", "llm_complete", "backend_attempt"},
+		},
+	}
+	for _, step := range steps {
+		t.Run(step.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+step.url, step.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d body %v", resp.StatusCode, body)
+			}
+			id := resp.Header.Get("X-Trace-Id")
+			if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(id) {
+				t.Fatalf("X-Trace-Id = %q, want 32 lowercase hex", id)
+			}
+			trace := getTrace(t, ts.URL, id)
+			if trace["trace_id"] != id {
+				t.Fatalf("trace_id = %v, want %s", trace["trace_id"], id)
+			}
+			root, ok := trace["root"].(map[string]any)
+			if !ok {
+				t.Fatalf("trace has no root span: %v", trace)
+			}
+			names := map[string]int{}
+			spanNames(t, root, names)
+			if root["name"] != step.want[0] {
+				t.Fatalf("root span = %v, want %s", root["name"], step.want[0])
+			}
+			for _, w := range step.want {
+				if names[w] == 0 {
+					t.Errorf("span %q missing from tree (got %v)", w, names)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceparentPropagation: a well-formed inbound traceparent pins
+// the trace id; a malformed one is ignored and a fresh root is minted.
+func TestTraceparentPropagation(t *testing.T) {
+	_, ts := newTracedServer(t)
+	const remoteTrace = "0af7651916cd43dd8448eb211c80319c"
+	const header = "00-" + remoteTrace + "-b7ad6b7169203331-01"
+
+	do := func(traceparent string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/ask",
+			strings.NewReader(`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":5}}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if got := do(header).Header.Get("X-Trace-Id"); got != remoteTrace {
+		t.Fatalf("propagated X-Trace-Id = %q, want %q", got, remoteTrace)
+	}
+	// The remote parent becomes the root span's parent in the retained tree.
+	trace := getTrace(t, ts.URL, remoteTrace)
+	root := trace["root"].(map[string]any)
+	if root["parent_id"] != "b7ad6b7169203331" {
+		t.Fatalf("root parent_id = %v, want remote span id", root["parent_id"])
+	}
+
+	for _, bad := range []string{
+		"00-" + strings.Repeat("z", 32) + "-b7ad6b7169203331-01", // non-hex
+		"01-" + remoteTrace + "-b7ad6b7169203331-01",             // unknown version
+		"garbage",
+	} {
+		got := do(bad).Header.Get("X-Trace-Id")
+		if got == remoteTrace || !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(got) {
+			t.Fatalf("malformed traceparent %q: X-Trace-Id = %q, want fresh id", bad, got)
+		}
+	}
+}
+
+// TestTraceListAndErrors covers the listing endpoint's shapes: the
+// summary list, limit validation, and unknown-id lookups.
+func TestTraceListAndErrors(t *testing.T) {
+	_, ts := newTracedServer(t)
+	for i := 0; i < 3; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/ask",
+			fmt.Sprintf(`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":%d}}`, i+3))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ask %d failed: %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, body := getJSON(t, ts.URL+"/v1/traces")
+	if resp.StatusCode != http.StatusOK || body["enabled"] != true {
+		t.Fatalf("list: status %d body %v", resp.StatusCode, body)
+	}
+	traces, _ := body["traces"].([]any)
+	if len(traces) < 3 {
+		t.Fatalf("listed %d traces, want >= 3", len(traces))
+	}
+	first := traces[0].(map[string]any)
+	for _, field := range []string{"trace_id", "route", "dur_ms", "spans", "reason"} {
+		if _, ok := first[field]; !ok {
+			t.Errorf("summary missing %q: %v", field, first)
+		}
+	}
+
+	resp, _ = getJSON(t, ts.URL+"/v1/traces?limit=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("limit=1: status %d", resp.StatusCode)
+	}
+	resp, body = getJSON(t, ts.URL+"/v1/traces?limit=zero")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit: status %d body %v", resp.StatusCode, body)
+	}
+	resp, body = getJSON(t, ts.URL+"/v1/traces/"+strings.Repeat("0", 32))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d body %v", resp.StatusCode, body)
+	}
+}
+
+// TestTracingDisabled: a negative sample rate turns the tracer off
+// entirely — no header, and the read endpoints say so.
+func TestTracingDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceSample: -1}, askit.Options{})
+	resp, body := postJSON(t, ts.URL+"/v1/ask",
+		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":5}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask: status %d body %v", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-Trace-Id"); h != "" {
+		t.Fatalf("X-Trace-Id = %q with tracing disabled, want empty", h)
+	}
+	resp, body = getJSON(t, ts.URL+"/v1/traces")
+	if resp.StatusCode != http.StatusOK || body["enabled"] != false {
+		t.Fatalf("list: status %d body %v, want enabled=false", resp.StatusCode, body)
+	}
+}
+
+// TestStatsExemplarTrace: after an error response, /v1/stats carries an
+// exemplar trace id for the route, linking aggregates to one concrete
+// retained trace.
+func TestStatsExemplarTrace(t *testing.T) {
+	_, ts := newTracedServer(t)
+	// A malformed body produces a 4xx, which the root span records as an
+	// error; error traces always update the route exemplar.
+	resp, _ := postJSON(t, ts.URL+"/v1/ask", `{"type":"bogus"}`)
+	if resp.StatusCode < 400 {
+		t.Fatalf("expected 4xx for malformed ask, got %d", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Trace-Id")
+	if id == "" {
+		t.Fatal("error response missing X-Trace-Id")
+	}
+	getTrace(t, ts.URL, id) // must be retained (reason: error)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, body := getJSON(t, ts.URL+"/v1/stats")
+		srv, _ := body["server"].(map[string]any)
+		if routes, ok := srv["routes"].(map[string]any); ok {
+			if rm, ok := routes["ask"].(map[string]any); ok && rm["p99_exemplar_trace"] == id {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never exposed exemplar trace %s: %v", id, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

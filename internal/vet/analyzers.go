@@ -3,6 +3,7 @@ package vet
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"regexp"
 	"strconv"
 	"strings"
@@ -245,5 +246,81 @@ func hasLabelOpt(call *ast.CallExpr) bool {
 	return false
 }
 
+// ---------------------------------------------------------------------------
+// spannames
+
+// SpanNames enforces the tracing-layer naming conventions: span name
+// constants (identifiers prefixed span/Span) bind snake_case string
+// literals so span names line up with metric names in dashboards, and
+// StartSpan/StartRoot call sites pass those named constants rather than
+// inline literals — an inline literal is invisible to grep-by-constant
+// and drifts the moment someone retypes it at a second call site.
+var SpanNames = &Analyzer{
+	Name: "spannames",
+	Doc:  "span name constants snake_case; StartSpan/StartRoot take named constants, not inline string literals",
+	Run: func(files []*File) []Finding {
+		var out []Finding
+		for _, f := range files {
+			file := f
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch t := n.(type) {
+				case *ast.GenDecl:
+					if t.Tok != token.CONST {
+						return true
+					}
+					for _, spec := range t.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for i, id := range vs.Names {
+							if !strings.HasPrefix(id.Name, "span") && !strings.HasPrefix(id.Name, "Span") {
+								continue
+							}
+							if i >= len(vs.Values) {
+								continue
+							}
+							lit, ok := vs.Values[i].(*ast.BasicLit)
+							if !ok || lit.Kind != token.STRING {
+								continue
+							}
+							name, err := strconv.Unquote(lit.Value)
+							if err != nil {
+								continue
+							}
+							if !metricNameRE.MatchString(name) {
+								out = append(out, finding(file, "spannames", lit.Pos(),
+									fmt.Sprintf("span name %q is not snake_case ([a-z][a-z0-9_]*)", name)))
+							}
+						}
+					}
+				case *ast.CallExpr:
+					// The span name is argument 1 of StartSpan/StartRoot
+					// (after ctx) and argument 0 of the Tracer.Route
+					// handle resolver.
+					name := calleeName(t)
+					nameArg := -1
+					switch {
+					case name == "StartSpan" || name == "StartRoot" ||
+						strings.HasSuffix(name, ".StartSpan") || strings.HasSuffix(name, ".StartRoot"):
+						nameArg = 1
+					case strings.HasSuffix(name, ".Route"):
+						nameArg = 0
+					}
+					if nameArg < 0 || len(t.Args) <= nameArg {
+						return true
+					}
+					if lit, ok := t.Args[nameArg].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						out = append(out, finding(file, "spannames", lit.Pos(),
+							"inline span name literal; declare a span-name constant and pass it instead"))
+					}
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
 // Default is the analyzer set cmd/askit-vet runs.
-var Default = []*Analyzer{LLMClassify, SleepCtx, ObsNames}
+var Default = []*Analyzer{LLMClassify, SleepCtx, ObsNames, SpanNames}

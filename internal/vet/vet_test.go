@@ -195,6 +195,74 @@ func f(reg *obs.Registry) {
 	}
 }
 
+func TestSpanNames(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // substrings, one per expected finding
+	}{
+		{
+			"camel-case-constant-flagged",
+			`package p
+const spanCacheProbe = "cacheProbe"`,
+			[]string{"not snake_case"},
+		},
+		{
+			"snake-case-constant-ok",
+			`package p
+const (
+	spanCacheProbe = "cache_probe"
+	spanStoreSave  = "store_save"
+)`,
+			nil,
+		},
+		{
+			"non-span-constant-ignored",
+			`package p
+const greeting = "Hello, World"`,
+			nil,
+		},
+		{
+			"inline-startspan-literal-flagged",
+			`package p
+func f(ctx context.Context) { _, _ = obs.StartSpan(ctx, "cache_probe") }`,
+			[]string{"inline span name literal"},
+		},
+		{
+			"inline-startroot-literal-flagged",
+			`package p
+func f(ctx context.Context, tr *obs.Tracer) { _, _ = tr.StartRoot(ctx, "http_ask", parent) }`,
+			[]string{"inline span name literal"},
+		},
+		{
+			"constant-at-call-site-ok",
+			`package p
+const spanExec = "exec"
+func f(ctx context.Context) { _, _ = obs.StartSpan(ctx, spanExec) }`,
+			nil,
+		},
+		{
+			"computed-name-ok",
+			`package p
+func f(ctx context.Context, tr *obs.Tracer, route string) { _, _ = tr.StartRoot(ctx, "http_"+route, parent) }`,
+			nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runOn(t, SpanNames, tc.src)
+			if len(got) != len(tc.want) {
+				t.Fatalf("findings = %v, want %d", got, len(tc.want))
+			}
+			for i, sub := range tc.want {
+				if !strings.Contains(got[i].Msg, sub) {
+					t.Errorf("finding %d = %q, want substring %q", i, got[i].Msg, sub)
+				}
+			}
+		})
+	}
+}
+
 // TestRunSortsFindings: driver output must be position-ordered so CI
 // diffs are stable run to run.
 func TestRunSortsFindings(t *testing.T) {

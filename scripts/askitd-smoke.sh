@@ -110,8 +110,10 @@ stop_daemon
 # Boot the same daemon over the same store with a seeded fault schedule
 # injecting transient model faults, garbled completions, and store write
 # failures. The daemon's breakers/retries must absorb them: answers stay
-# correct, and SIGTERM still drains gracefully under fault load.
-start_daemon -fault-rate 0.2 -fault-seed 7
+# correct, and SIGTERM still drains gracefully under fault load. Head
+# sampling is forced to 1 so the tracing assertions below are
+# deterministic.
+start_daemon -fault-rate 0.2 -fault-seed 7 -trace-sample 1
 
 for n in 5 6 7; do
   want=$((n == 5 ? 120 : n == 6 ? 720 : 5040))
@@ -127,6 +129,26 @@ echo "$chaos_install" | grep -q '"compiled":true' || fail "chaos install returne
 
 call=$(curl -fsS "http://$ADDR/v1/funcs/fact/call" -d '{"args":{"n":8}}')
 echo "$call" | grep -q '"value":40320' || fail "chaos func call returned $call"
+
+# Tracing: a fresh ask (cold in this process's answer cache, so it must
+# cross the router) echoes its trace id, and /v1/traces/{id} serves the
+# complete span tree — HTTP root down to the backend attempt.
+trace_id=$(curl -fsS -D - -o /dev/null "http://$ADDR/v1/ask" \
+  -d '{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":9}}' |
+  tr -d '\r' | awk 'tolower($1)=="x-trace-id:" {print $2}')
+[ -n "$trace_id" ] || fail "traced ask returned no X-Trace-Id header"
+trace=""
+for _ in $(seq 1 20); do
+  # Retention happens when the root span ends, which can race the client
+  # reading the response; retry briefly.
+  if trace=$(curl -fsS "http://$ADDR/v1/traces/$trace_id" 2>/dev/null); then break; fi
+  sleep 0.1
+done
+for span in http_ask ask cache_probe llm_complete backend_attempt; do
+  echo "$trace" | grep -q "\"name\":\"$span\"" || fail "trace $trace_id missing span $span: $trace"
+done
+listing=$(curl -fsS "http://$ADDR/v1/traces")
+echo "$listing" | grep -q "\"trace_id\":\"$trace_id\"" || fail "/v1/traces does not list $trace_id: $listing"
 
 # Fire background traffic so the drain begins with faulted requests in
 # flight; the daemon exiting 0 is the graceful-drain assertion.
