@@ -23,7 +23,8 @@
 // per-trace mutex — hedged backend attempts mutate sibling spans from
 // racing goroutines. A span ended after its root finished (a hedge
 // loser's goroutine outliving the request) is counted as dropped, never
-// retained. Every Span method is nil-receiver-safe, so instrumented
+// retained — a kept trace's dropped_spans reflects even those late
+// drops. Every Span method is nil-receiver-safe, so instrumented
 // code paths need no tracing-enabled checks: with no tracer configured
 // the whole layer costs one context lookup per span site.
 package obs
@@ -34,7 +35,6 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math/rand/v2"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,33 +104,33 @@ type TraceParent struct {
 // "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex.
 const traceparentLen = 55
 
-// ParseTraceparent parses a W3C traceparent header strictly: exactly
-// four dash-separated fields, version 00, lowercase hex only, and
-// nonzero trace/span ids. Anything else returns ok=false and the caller
-// starts a fresh root trace — a malformed header must never poison
-// local tracing.
+// ParseTraceparent parses a W3C traceparent header strictly: version
+// 00, every field at its exact offset and length, lowercase hex only,
+// and nonzero trace/span ids. Anything else returns ok=false and the
+// caller starts a fresh root trace — a malformed header must never
+// poison local tracing. The header is attacker-controlled, so the
+// fields are sliced at fixed offsets rather than split on dashes: a
+// dash shifted between fields ("00-" + 30 hex + "-" + 18 hex + "-01"
+// still totals 55 bytes) must never reach the fixed-size id decodes
+// with an oversized field.
 func ParseTraceparent(s string) (TraceParent, bool) {
 	var tp TraceParent
 	if len(s) != traceparentLen {
 		return tp, false
 	}
-	parts := strings.Split(s, "-")
-	if len(parts) != 4 || parts[0] != "00" {
+	if s[0:2] != "00" || s[2] != '-' || s[35] != '-' || s[52] != '-' {
 		return tp, false
 	}
-	if !isLowerHex(parts[1]) || !isLowerHex(parts[2]) || !isLowerHex(parts[3]) {
+	tid, sid, flagsHex := s[3:35], s[36:52], s[53:55]
+	if !isLowerHex(tid) || !isLowerHex(sid) || !isLowerHex(flagsHex) {
 		return tp, false
 	}
-	if _, err := hex.Decode(tp.TraceID[:], []byte(parts[1])); err != nil {
-		return TraceParent{}, false
-	}
-	if _, err := hex.Decode(tp.SpanID[:], []byte(parts[2])); err != nil {
-		return TraceParent{}, false
-	}
+	// The decodes cannot fail: each field's length and charset are
+	// checked above, and the destinations are sized to match.
+	hex.Decode(tp.TraceID[:], []byte(tid))
+	hex.Decode(tp.SpanID[:], []byte(sid))
 	var flags [1]byte
-	if _, err := hex.Decode(flags[:], []byte(parts[3])); err != nil {
-		return TraceParent{}, false
-	}
+	hex.Decode(flags[:], []byte(flagsHex))
 	if tp.TraceID.IsZero() || tp.SpanID.IsZero() {
 		return TraceParent{}, false
 	}
@@ -205,11 +205,12 @@ type traceState struct {
 	spanBase uint64 // per-trace base for derived span ids
 	sampled  bool   // head-sample decision, coined at root start
 
-	mu      sync.Mutex
-	errored bool
-	done    bool
-	dropped int
-	ended   []*Span // finished non-root spans, end order
+	mu       sync.Mutex
+	errored  bool
+	done     bool
+	dropped  int
+	retained *TraceData // set by finish when the sampler keeps the trace
+	ended    []*Span    // finished non-root spans, end order
 
 	// endedBuf backs ended until a trace finishes more children than a
 	// typical request has, so the common trace never allocates a slice.
@@ -358,7 +359,8 @@ func (s *Span) wireData() SpanData {
 // root runs the tail-sampling decision and retains or drops the whole
 // trace. End is idempotent; a non-root span ended after its root
 // finished is counted dropped (a hedge loser's goroutine may outlive
-// the request).
+// the request) — if the trace was retained, its dropped_spans count is
+// updated in place so late losers stay visible.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -373,8 +375,10 @@ func (s *Span) End() {
 	s.ended = true
 	s.durNs = endNs - s.startNs
 	if !s.root {
+		var late *TraceData
 		if tr.done || len(tr.ended) >= tr.tracer.maxSpans {
 			tr.dropped++
+			late = tr.retained
 		} else {
 			if tr.ended == nil {
 				tr.ended = tr.endedBuf[:0]
@@ -382,6 +386,14 @@ func (s *Span) End() {
 			tr.ended = append(tr.ended, s)
 		}
 		tr.mu.Unlock()
+		if late != nil {
+			// The trace already landed in the ring; bump its drop count
+			// under the tracer mutex, which also guards ring readers.
+			t := tr.tracer
+			t.mu.Lock()
+			late.Dropped++
+			t.mu.Unlock()
+		}
 		return
 	}
 	tr.done = true
@@ -638,6 +650,14 @@ func (t *Tracer) finish(tr *traceState, root *Span, dur time.Duration, errored b
 		Dropped: dropped,
 		Spans:   wire,
 	}
+	// Publish the retained record to the trace state so spans ending
+	// after this point (hedge losers) can bump td.Dropped; re-reading
+	// tr.dropped here picks up any that ended between the root's End
+	// releasing tr.mu and now.
+	tr.mu.Lock()
+	td.Dropped = tr.dropped
+	tr.retained = td
+	tr.mu.Unlock()
 	t.mu.Lock()
 	t.ring[t.n%uint64(len(t.ring))] = td
 	t.n++
@@ -679,7 +699,10 @@ func (t *Tracer) Summaries(limit int) []TraceSummary {
 	return out
 }
 
-// Lookup returns the retained trace with the given id.
+// Lookup returns the retained trace with the given id. The result is a
+// copy: late-ending spans update a retained trace's dropped count under
+// the tracer mutex, and callers marshal the result outside it. The
+// Spans slice is shared but immutable once retained.
 func (t *Tracer) Lookup(id string) (*TraceData, bool) {
 	if t == nil {
 		return nil, false
@@ -688,7 +711,8 @@ func (t *Tracer) Lookup(id string) (*TraceData, bool) {
 	defer t.mu.Unlock()
 	for _, td := range t.ring {
 		if td != nil && td.TraceID == id {
-			return td, true
+			cp := *td
+			return &cp, true
 		}
 	}
 	return nil, false

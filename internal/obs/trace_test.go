@@ -52,6 +52,13 @@ func TestParseTraceparentMalformed(t *testing.T) {
 		{"non-hex", "00-zzf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"},
 		{"extra field", "00-0af7651916cd43dd8448eb211c8031-b7ad6b7169203331-01-0"},
 		{"bad flags", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0g"},
+		// Shifted dashes: total length stays 55 but the per-field lengths
+		// are wrong. These must be rejected, not decoded — an 18-hex span
+		// field once overflowed the 8-byte SpanID array and panicked.
+		{"short trace long span", "00-0af7651916cd43dd8448eb211c8031-b7ad6b716920333100-01"},
+		{"long trace short span", "00-0af7651916cd43dd8448eb211c80319c0a-b7ad6b71692033-01"},
+		{"short span long flags", "00-0af7651916cd43dd8448eb211c80319c-b7ad6b71692033-3101"},
+		{"dash in trace id", "00-0af7651916cd43dd8448eb211c8031-c-b7ad6b7169203331-01"},
 	}
 	for _, tc := range cases {
 		if tp, ok := ParseTraceparent(tc.hdr); ok {
@@ -280,6 +287,9 @@ func TestLateSpanAfterRootEnd(t *testing.T) {
 	}
 	if len(td.Spans) != 1 {
 		t.Fatalf("late span leaked into the retained trace: %+v", td.Spans)
+	}
+	if td.Dropped != 1 {
+		t.Fatalf("retained trace dropped_spans = %d, want 1 (the late straggler)", td.Dropped)
 	}
 }
 

@@ -439,12 +439,18 @@ func statusString(code int) string {
 		return "400"
 	case http.StatusNotFound:
 		return "404"
+	case http.StatusConflict:
+		return "409"
 	case http.StatusTooManyRequests:
 		return "429"
 	case http.StatusInternalServerError:
 		return "500"
+	case http.StatusBadGateway:
+		return "502"
 	case http.StatusServiceUnavailable:
 		return "503"
+	case http.StatusGatewayTimeout:
+		return "504"
 	}
 	return strconv.Itoa(code)
 }
