@@ -1,0 +1,353 @@
+// Package api is the single source of truth for the daemon's /v1 wire
+// surface: every request, response, and error-envelope type that
+// crosses the HTTP boundary lives here, shared by the server
+// (internal/server), the gateway (internal/gateway), the typed Go SDK
+// (client), and the bench/smoke tooling. A wire shape declared
+// anywhere else is a bug — askit-vet's apitypes analyzer enforces
+// that no other package redeclares these JSON shapes.
+//
+// The JSON contract is locked by api/testdata/wire_golden.txt, a
+// golden file generated from the pre-extraction server types; the
+// golden test proves the surface stayed byte-identical through the
+// refactor. Field order in these structs is therefore load-bearing:
+// encoding/json emits struct fields in declaration order, and
+// HealthResponse in particular mirrors the alphabetical key order of
+// the map it replaced.
+//
+// Routes:
+//
+//	POST /v1/ask                 AskRequest        → AskResponse
+//	POST /v1/ask/batch           AskBatchRequest   → BatchResponse
+//	POST /v1/funcs               InstallRequest    → InstallResponse
+//	GET  /v1/funcs                                 → FuncListResponse
+//	POST /v1/funcs/{name}/call   CallRequest       → CallResponse
+//	POST /v1/funcs/{name}/batch  CallBatchRequest  → BatchResponse
+//	GET  /healthz                                  → HealthResponse
+//	GET  /v1/stats                                 → StatsResponse
+//	GET  /v1/traces                                → TraceListResponse
+//	GET  /v1/traces/{id}                           → TraceResponse
+//
+// Every non-2xx response carries the Error envelope.
+package api
+
+import (
+	"encoding/json"
+
+	"repro/internal/obs"
+)
+
+// Example is the wire form of one few-shot example or test case: the
+// argument map a call would receive and the expected output value.
+type Example struct {
+	Input  map[string]any `json:"input"`
+	Output any            `json:"output"`
+}
+
+// Param declares one parameter's type in a func install, as a
+// TypeScript type expression (paper Table I).
+type Param struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// AskRequest is POST /v1/ask: one directly answerable task.
+type AskRequest struct {
+	// Type is the expected answer type as a TypeScript type expression
+	// (paper Table I), e.g. "number", "string[]", "{a: number}".
+	Type     string         `json:"type"`
+	Template string         `json:"template"`
+	Args     map[string]any `json:"args"`
+	Examples []Example      `json:"examples,omitempty"`
+}
+
+// AskResponse carries the answer value for a successful ask.
+type AskResponse struct {
+	Value any `json:"value"`
+}
+
+// AskBatchRequest is POST /v1/ask/batch: one template fanned over an
+// args list.
+type AskBatchRequest struct {
+	Type     string           `json:"type"`
+	Template string           `json:"template"`
+	ArgsList []map[string]any `json:"args_list"`
+	// Workers bounds the fan-out; 0 means the engine default. The
+	// server clamps it to its own ceiling.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchElem is one element's outcome in a batch response: Value on
+// success, Error (+ Transient classification) on failure.
+type BatchElem struct {
+	Index     int    `json:"index"`
+	Value     any    `json:"value,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Transient bool   `json:"transient,omitempty"`
+}
+
+// BatchResponse is the ask/batch and call/batch response: per-element
+// results in input order plus the failure count.
+type BatchResponse struct {
+	Results []BatchElem `json:"results"`
+	Errors  int         `json:"errors"`
+}
+
+// InstallRequest is POST /v1/funcs: define (and by default compile) a
+// task function.
+type InstallRequest struct {
+	// Name fixes the installed function's name; empty derives one from
+	// the template (and the response reports it).
+	Name     string    `json:"name,omitempty"`
+	Type     string    `json:"type"`
+	Template string    `json:"template"`
+	Params   []Param   `json:"params,omitempty"`
+	Examples []Example `json:"examples,omitempty"`
+	Tests    []Example `json:"tests,omitempty"`
+	// Compile controls whether install runs the codegen loop now;
+	// default true. With a warm artifact store the compile is a store
+	// hit and makes zero model calls.
+	Compile *bool `json:"compile,omitempty"`
+	// Source, when set, installs this minilang implementation instead
+	// of running the codegen loop — zero model traffic. It passes the
+	// same gates as a model completion (parse, check, static analysis,
+	// example tests); static rejections come back as a 400
+	// "static-error" envelope with per-diagnostic positions.
+	Source string `json:"source,omitempty"`
+}
+
+// SpecKey is the identity two installs must share to be the same
+// function: everything that shapes codegen or the direct-call prompt
+// (few-shot examples change the latter, so they are part of the key —
+// an install with different examples must not silently reuse a Func
+// built with the old ones). The gateway uses the same key to route
+// asks and installs with func affinity.
+func (req *InstallRequest) SpecKey() string {
+	// Normalize nil to empty so an omitted field and an explicit []
+	// (semantically identical requests) produce the same key instead
+	// of a spurious 409.
+	params, examples, tests := req.Params, req.Examples, req.Tests
+	if params == nil {
+		params = []Param{}
+	}
+	if examples == nil {
+		examples = []Example{}
+	}
+	if tests == nil {
+		tests = []Example{}
+	}
+	b, _ := json.Marshal(struct {
+		Type     string    `json:"type"`
+		Template string    `json:"template"`
+		Params   []Param   `json:"params"`
+		Examples []Example `json:"examples"`
+		Tests    []Example `json:"tests"`
+	}{req.Type, req.Template, params, examples, tests})
+	return string(b)
+}
+
+// InstallResponse reports what install did: the (possibly derived)
+// name, whether the function is compiled, and where the artifact came
+// from.
+type InstallResponse struct {
+	Name      string `json:"name"`
+	Compiled  bool   `json:"compiled"`
+	FromCache bool   `json:"from_cache,omitempty"`
+	Attempts  int    `json:"attempts,omitempty"`
+	LOC       int    `json:"loc,omitempty"`
+	// Existing is true when the name was already installed with the
+	// same spec and the existing function was reused.
+	Existing bool `json:"existing,omitempty"`
+}
+
+// FuncInfo is one installed function in the GET /v1/funcs listing.
+type FuncInfo struct {
+	Name     string `json:"name"`
+	Template string `json:"template"`
+	Type     string `json:"type"`
+	Compiled bool   `json:"compiled"`
+}
+
+// FuncListResponse is GET /v1/funcs.
+type FuncListResponse struct {
+	Funcs []FuncInfo `json:"funcs"`
+}
+
+// CallRequest is POST /v1/funcs/{name}/call.
+type CallRequest struct {
+	Args map[string]any `json:"args"`
+}
+
+// CallResponse carries a call's value and whether the compiled
+// implementation (vs the direct model path) produced it.
+type CallResponse struct {
+	Value    any  `json:"value"`
+	Compiled bool `json:"compiled"`
+}
+
+// CallBatchRequest is POST /v1/funcs/{name}/batch.
+type CallBatchRequest struct {
+	ArgsList []map[string]any `json:"args_list"`
+	Workers  int              `json:"workers,omitempty"`
+}
+
+// HealthResponse is GET /healthz. Status "ok" answers 200; "draining"
+// answers 503 so load balancers stop routing to the replica. Field
+// order is alphabetical by JSON key: the pre-extraction server
+// marshaled a map here, and map keys sort.
+type HealthResponse struct {
+	Inflight int    `json:"inflight"`
+	Status   string `json:"status"`
+	// StoreDegraded reports persistence demoted to in-memory-only: the
+	// replica still answers, so degradation does not flip the status.
+	StoreDegraded bool    `json:"store_degraded"`
+	UptimeS       float64 `json:"uptime_s"`
+}
+
+// Event, TraceSummary, and SpanData are wire-stable in internal/obs
+// (the observability layer owns their production); the aliases make
+// them part of the published api surface without a lossy copy.
+type (
+	Event        = obs.Event
+	TraceSummary = obs.TraceSummary
+	SpanData     = obs.SpanData
+)
+
+// RouteStats is one route's latency summary in StatsResponse.
+type RouteStats struct {
+	Count  uint64  `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	// ExemplarTrace is the id of the most recent error or slower-than-p99
+	// trace the tail sampler retained for this route — the pivot from "the
+	// p99 is bad" to /v1/traces/{id} showing why.
+	ExemplarTrace string `json:"p99_exemplar_trace,omitempty"`
+}
+
+// ServerStats is the HTTP-boundary section of StatsResponse.
+type ServerStats struct {
+	Admitted         uint64  `json:"admitted"`
+	RejectedLimit    uint64  `json:"rejected_limit"`
+	RejectedDraining uint64  `json:"rejected_draining"`
+	Errors4xx        uint64  `json:"errors_4xx"`
+	Errors5xx        uint64  `json:"errors_5xx"`
+	Inflight         int     `json:"inflight"`
+	MaxInflight      int     `json:"max_inflight"`
+	P50Ms            float64 `json:"p50_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	UptimeS          float64 `json:"uptime_s"`
+	Draining         bool    `json:"draining"`
+	// Routes breaks latency down per endpoint; the top-level p50/p99
+	// are the merged view across all work routes.
+	Routes map[string]RouteStats `json:"routes"`
+}
+
+// BackendStats is one LLM backend's traffic snapshot in RouterStats.
+type BackendStats struct {
+	Name         string `json:"name"`
+	Requests     uint64 `json:"requests"`
+	Failures     uint64 `json:"failures"`
+	Breaker      string `json:"breaker"`
+	BreakerOpens uint64 `json:"breaker_opens"`
+}
+
+// RouterStats is llm.RouterStats in wire form, present when the
+// engine's client is a Router.
+type RouterStats struct {
+	Requests         uint64         `json:"requests"`
+	Failovers        uint64         `json:"failovers"`
+	Exhausted        uint64         `json:"exhausted"`
+	SaturationSkips  uint64         `json:"saturation_skips"`
+	BreakerSkips     uint64         `json:"breaker_skips"`
+	BreakerFastFails uint64         `json:"breaker_fast_fails"`
+	Hedges           uint64         `json:"hedges"`
+	HedgeWins        uint64         `json:"hedge_wins"`
+	Backends         []BackendStats `json:"backends"`
+}
+
+// StatsResponse is GET /v1/stats.
+type StatsResponse struct {
+	Server ServerStats `json:"server"`
+	// Engine is the engine counter group straight from the registry —
+	// the same series /metrics exposes, in the legacy wire-key shape.
+	Engine map[string]any `json:"engine"`
+	// Router is present when the engine's LLM client exposes router
+	// stats (it is an llm.Router, possibly re-exported); absent — not
+	// null-with-zeros — otherwise, e.g. under a fault-injection wrapper.
+	Router *RouterStats `json:"router,omitempty"`
+	Funcs  int          `json:"funcs"`
+	// Events is the recent operational event trail (breaker flips,
+	// store degradation, drains, hedge launches), oldest first.
+	Events []Event `json:"events,omitempty"`
+}
+
+// TraceSpan is one node of a trace's span tree: the retained span plus
+// its children.
+type TraceSpan struct {
+	SpanData
+	Children []*TraceSpan `json:"children,omitempty"`
+}
+
+// TraceListResponse is GET /v1/traces: recent retained-trace
+// summaries, newest first. Enabled false means tracing is off.
+type TraceListResponse struct {
+	Enabled bool           `json:"enabled"`
+	Traces  []TraceSummary `json:"traces"`
+}
+
+// TraceResponse is GET /v1/traces/{id}: one retained trace's span
+// tree.
+type TraceResponse struct {
+	TraceID string     `json:"trace_id"`
+	Route   string     `json:"route"`
+	DurUs   int64      `json:"dur_us"`
+	Err     bool       `json:"err"`
+	Reason  string     `json:"reason"`
+	Dropped int        `json:"dropped_spans,omitempty"`
+	Root    *TraceSpan `json:"root"`
+}
+
+// GatewayReplicaStats is one replica's view from the gateway: ring
+// membership, live load, and the proxy-side circuit state.
+type GatewayReplicaStats struct {
+	URL      string `json:"url"`
+	Up       bool   `json:"up"`
+	Draining bool   `json:"draining"`
+	Inflight int64  `json:"inflight"`
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+	Breaker  string `json:"breaker"`
+	// BreakerOpens counts closed→open (and half-open→open) transitions.
+	BreakerOpens uint64 `json:"breaker_opens"`
+}
+
+// GatewayStatsResponse is GET /v1/stats served by askit-gw.
+type GatewayStatsResponse struct {
+	Requests uint64 `json:"requests"`
+	// Retries counts re-dispatches to another replica after a replica
+	// failed a request with a retryable outcome.
+	Retries uint64 `json:"retries"`
+	// Hedges counts duplicate dispatches launched for p99 stragglers;
+	// HedgeWins counts requests where the hedge finished first.
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// Broadcasts counts installs fanned out to every up replica.
+	Broadcasts uint64 `json:"broadcasts"`
+	// RejectedDraining counts requests refused because the gateway
+	// itself was draining; NoReplica counts requests that found no up
+	// replica to take them.
+	RejectedDraining uint64                `json:"rejected_draining"`
+	NoReplica        uint64                `json:"no_replica"`
+	Routing          string                `json:"routing"`
+	UptimeS          float64               `json:"uptime_s"`
+	Draining         bool                  `json:"draining"`
+	Replicas         []GatewayReplicaStats `json:"replicas"`
+}
+
+// GatewayHealthResponse is GET /healthz served by askit-gw.
+type GatewayHealthResponse struct {
+	Inflight   int     `json:"inflight"`
+	ReplicasUp int     `json:"replicas_up"`
+	Status     string  `json:"status"`
+	UptimeS    float64 `json:"uptime_s"`
+}

@@ -1,0 +1,85 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Error kinds: the machine-readable classification every non-2xx
+// response carries. Clients switch on Kind, not on error strings.
+const (
+	// 4xx — the request is wrong; retrying it unchanged cannot succeed.
+	KindBadJSON       = "bad-json"        // malformed or oversized request body
+	KindBadType       = "bad-type"        // unparseable TypeScript type expression
+	KindBadTemplate   = "bad-template"    // template/params mismatch
+	KindBadSource     = "bad-source"      // client-supplied source failed parse/check/tests
+	KindStaticError   = "static-error"    // static analysis rejected source; Diagnostics set
+	KindBatchTooLarge = "batch-too-large" // batch element count over the server bound
+	KindBadLimit      = "bad-limit"       // non-positive trace listing limit
+	KindUnknownFunc   = "unknown-func"    // no function installed under the name
+	KindUnknownTrace  = "unknown-trace"   // trace id not retained
+	KindNameTaken     = "name-taken"      // name installed with a different spec
+
+	// Overload / lifecycle — transient; retry after backing off.
+	KindSaturated = "saturated"  // 429: in-flight admission limit reached
+	KindDraining  = "draining"   // 503: server is shutting down
+	KindNoReplica = "no-replica" // 503: gateway found no up replica to take the request
+
+	// Engine / backend failures.
+	KindTimeout        = "timeout"         // 504: per-request timeout expired
+	KindClientClosed   = "client-closed"   // 499: caller hung up mid-request
+	KindRetryBudget    = "retry-budget"    // 503: engine-wide retry pool exhausted
+	KindRetryExhausted = "retry-exhausted" // 502: per-call retry budget exhausted
+	KindCodegenFailed  = "codegen-failed"  // 502: the codegen conversation failed
+	KindTransient      = "transient"       // 503: transient backend failure
+	KindEngine         = "engine"          // 500: unclassified engine failure
+)
+
+// Diagnostic is the wire form of one static-analysis finding,
+// locating it in the rejected source.
+type Diagnostic struct {
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Message  string `json:"msg"`
+}
+
+// Error is the uniform error envelope. Transient tells clients
+// whether retrying the identical request can succeed (overload, drain,
+// backend hiccup) or cannot (bad request, permanent engine failure).
+// Diagnostics is set for kind "static-error": each entry locates one
+// analyzer finding in the rejected source. TraceID, when present, is
+// the request's trace id — resolvable via GET /v1/traces/{id} on the
+// serving replica while the tail sampler retains it.
+type Error struct {
+	Message     string       `json:"error"`
+	Kind        string       `json:"kind"`
+	Transient   bool         `json:"transient,omitempty"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+	TraceID     string       `json:"trace_id,omitempty"`
+}
+
+// WriteJSON writes v as the response body with the given status.
+// HTML escaping is off: wire payloads are consumed by programs, and
+// templates legitimately contain <, >, and &.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// WriteError writes the uniform error envelope. When the serving tier
+// has already resolved the request's trace id into the X-Trace-Id
+// response header (the server does this for joined or head-sampled
+// traces), the envelope picks it up — every error response carries
+// the id a caller needs to pull the trace, without each call site
+// threading it through.
+func WriteError(w http.ResponseWriter, code int, e Error) {
+	if e.TraceID == "" {
+		e.TraceID = w.Header().Get("X-Trace-Id")
+	}
+	WriteJSON(w, code, e)
+}

@@ -1,0 +1,167 @@
+package api
+
+// The golden file testdata/wire_golden.txt was generated from the
+// pre-extraction internal/server wire types (the hand-rolled structs
+// PR 5 grew). Every line is "<name>\t<json>\n", encoded exactly as the
+// server writes responses (SetEscapeHTML(false)). This test proves the
+// api extraction is wire-compatible: the same fixture values marshaled
+// through the api types must reproduce the file byte for byte.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenFixtures maps golden-line names to api-typed values. The
+// values mirror the generator's fixtures exactly.
+func goldenFixtures() map[string]any {
+	compileOff := false
+	fullInstall := InstallRequest{
+		Name:     "extract_tags",
+		Type:     "string[]",
+		Template: "Extract the <tags> & attrs from {{html}}.",
+		Params:   []Param{{Name: "html", Type: "string"}},
+		Examples: []Example{{Input: map[string]any{"html": "<a>"}, Output: []any{"a"}}},
+		Tests:    []Example{{Input: map[string]any{"html": "<b>"}, Output: []any{"b"}}},
+		Compile:  &compileOff,
+		Source:   "func f(html) { return [html]; }",
+	}
+	minInstall := InstallRequest{Type: "number", Template: "t"}
+
+	return map[string]any{
+		"error_basic":     Error{Message: "engine exploded", Kind: KindEngine},
+		"error_transient": Error{Message: "in-flight limit (8) reached", Kind: KindSaturated, Transient: true},
+		"error_diags": Error{
+			Message: "static analysis rejected program", Kind: KindStaticError,
+			Diagnostics: []Diagnostic{
+				{Line: 3, Col: 7, Severity: "error", Code: "unreachable", Message: "code after return"},
+				{Line: 1, Col: 1, Severity: "warn", Code: "unused", Message: "x is never used"},
+			},
+		},
+		"ask_request": AskRequest{
+			Type: "number", Template: "What is the factorial of {{n}}? <careful & exact>",
+			Args:     map[string]any{"n": 5},
+			Examples: []Example{{Input: map[string]any{"n": 1}, Output: 1}},
+		},
+		"ask_request_min": AskRequest{Type: "string", Template: "t"},
+		"ask_response":    AskResponse{Value: 120},
+		"ask_batch_request": AskBatchRequest{
+			Type: "number", Template: "factorial of {{n}}",
+			ArgsList: []map[string]any{{"n": 1}, {"n": 2}},
+			Workers:  4,
+		},
+		"ask_batch_request_min": AskBatchRequest{Type: "number", Template: "t", ArgsList: nil},
+		"batch_response": BatchResponse{
+			Results: []BatchElem{
+				{Index: 0, Value: 2},
+				{Index: 1, Error: "backend hiccup", Transient: true},
+			},
+			Errors: 1,
+		},
+		"install_request_full": fullInstall,
+		"install_request_min":  minInstall,
+		"install_spec_key":     fullInstall.SpecKey(),
+		"install_spec_key_min": minInstall.SpecKey(),
+		"install_response_full": InstallResponse{
+			Name: "extract_tags", Compiled: true, FromCache: true, Attempts: 2, LOC: 14, Existing: true,
+		},
+		"install_response_min": InstallResponse{Name: "f", Compiled: false},
+		"func_list": FuncListResponse{Funcs: []FuncInfo{
+			{Name: "f1", Template: "t1 {{a}}", Type: "number", Compiled: true},
+			{Name: "f2", Template: "t2", Type: "string[]", Compiled: false},
+		}},
+		"func_list_empty": FuncListResponse{Funcs: []FuncInfo{}},
+		"call_request":    CallRequest{Args: map[string]any{"n": 10}},
+		"call_response":   CallResponse{Value: 3628800, Compiled: true},
+		"healthz": HealthResponse{
+			Inflight: 3, Status: "draining", StoreDegraded: true, UptimeS: 12.5,
+		},
+		"stats": StatsResponse{
+			Server: ServerStats{
+				Admitted: 100, RejectedLimit: 5, RejectedDraining: 1,
+				Errors4xx: 2, Errors5xx: 3, Inflight: 4, MaxInflight: 256,
+				P50Ms: 0.5, P99Ms: 9.25, UptimeS: 60.0, Draining: false,
+				Routes: map[string]RouteStats{
+					"ask":  {Count: 80, P50Ms: 0.4, P99Ms: 8.0, P999Ms: 12.0, ExemplarTrace: "deadbeefdeadbeefdeadbeefdeadbeef"},
+					"call": {Count: 20, P50Ms: 0.1, P99Ms: 1.0, P999Ms: 2.0},
+				},
+			},
+			Engine: map[string]any{"answer_hits": 10.0, "answer_misses": 2.0},
+			Router: &RouterStats{
+				Requests: 50, Failovers: 1, Exhausted: 0, SaturationSkips: 2,
+				BreakerSkips: 3, BreakerFastFails: 0, Hedges: 4, HedgeWins: 1,
+				Backends: []BackendStats{
+					{Name: "sim-0", Requests: 30, Failures: 1, Breaker: "closed", BreakerOpens: 0},
+					{Name: "sim-1", Requests: 20, Failures: 5, Breaker: "open", BreakerOpens: 2},
+				},
+			},
+			Funcs: 2,
+			Events: []Event{
+				{Time: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC), Kind: "breaker-open", Detail: "sim-1"},
+			},
+		},
+		"stats_min": StatsResponse{
+			Server: ServerStats{Routes: map[string]RouteStats{}},
+			Engine: map[string]any{},
+		},
+		"trace_list": TraceListResponse{Enabled: true, Traces: []TraceSummary{
+			{TraceID: "0af7651916cd43dd8448eb211c80319c", Route: "http_ask",
+				Start: time.Date(2026, 8, 8, 12, 0, 1, 0, time.UTC), DurMs: 1.25, Spans: 5, Err: true, Reason: "error"},
+		}},
+		"trace_list_disabled": TraceListResponse{Enabled: false},
+		"trace_detail": func() TraceResponse {
+			root := &TraceSpan{SpanData: SpanData{SpanID: "00f067aa0ba902b7", Name: "http_ask", StartUs: 0, DurUs: 1250, Status: "200"}}
+			child := &TraceSpan{SpanData: SpanData{SpanID: "00f067aa0ba902b8", ParentID: "00f067aa0ba902b7", Name: "ask", StartUs: 10, DurUs: 1200,
+				Attrs: []string{"cache", "miss"}}}
+			orphan := &TraceSpan{SpanData: SpanData{SpanID: "00f067aa0ba902b9", ParentID: "ffffffffffffffff", Name: "orphan", StartUs: 20, DurUs: 5}}
+			// The server's span-tree builder attaches orphans (parents
+			// dropped by the span bound) to the root.
+			root.Children = []*TraceSpan{child, orphan}
+			return TraceResponse{
+				TraceID: "0af7651916cd43dd8448eb211c80319c", Route: "http_ask",
+				DurUs: 1250, Err: false, Reason: "slow", Dropped: 1,
+				Root: root,
+			}
+		}(),
+	}
+}
+
+func TestWireGolden(t *testing.T) {
+	raw, err := os.ReadFile("testdata/wire_golden.txt")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	fixtures := goldenFixtures()
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		name, want, ok := strings.Cut(line, "\t")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		v, ok := fixtures[name]
+		if !ok {
+			t.Errorf("golden line %q has no fixture", name)
+			continue
+		}
+		seen[name] = true
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(v); err != nil {
+			t.Fatalf("encode %s: %v", name, err)
+		}
+		got := strings.TrimRight(buf.String(), "\n")
+		if got != want {
+			t.Errorf("%s: wire form drifted\n got: %s\nwant: %s", name, got, want)
+		}
+	}
+	for name := range fixtures {
+		if !seen[name] {
+			t.Errorf("fixture %q missing from golden file", name)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package api
+
+// SpanTree links one retained trace's flat spans into the tree rooted
+// at the first span (the root). Orphans — children whose parent span
+// was dropped by the per-trace span bound — attach to the root so no
+// timing is lost. Both askitd and askit-gw serve /v1/traces/{id}
+// through this builder, so the tree shape is part of the wire
+// contract.
+func SpanTree(spans []SpanData) *TraceSpan {
+	if len(spans) == 0 {
+		return nil
+	}
+	nodes := make([]*TraceSpan, len(spans))
+	byID := make(map[string]*TraceSpan, len(spans))
+	for i, sd := range spans {
+		nodes[i] = &TraceSpan{SpanData: sd}
+		byID[sd.SpanID] = nodes[i]
+	}
+	root := nodes[0]
+	for _, n := range nodes[1:] {
+		parent := byID[n.ParentID]
+		if parent == nil || parent == n {
+			parent = root
+		}
+		parent.Children = append(parent.Children, n)
+	}
+	return root
+}

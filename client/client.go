@@ -1,0 +1,345 @@
+// Package client is the typed Go SDK for the askit daemon's /v1 wire
+// surface (and for askit-gw, which serves the same API). It speaks the
+// shared api types exclusively — request building, envelope decoding,
+// and error classification live here once, instead of being hand-rolled
+// in every consumer (gateway, bench harness, smoke tooling).
+//
+// Error contract: a non-2xx response decodes into *APIError, wrapped so
+// the llm package's classifiers keep working across the network
+// boundary — llm.IsTransient reports whether retrying the identical
+// request can succeed (the envelope's transient flag), and a 429/503
+// Retry-After header surfaces through llm.RetryAfterHint. Trace
+// context propagates automatically: when ctx carries an obs span (or an
+// explicit WithTraceparent override) its traceparent header is injected,
+// and the server's X-Trace-Id echo comes back in Result.TraceID.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/api"
+	"repro/internal/llm"
+	"repro/internal/obs"
+)
+
+// maxErrBodyBytes bounds how much of an error response body is read;
+// envelopes are small, and a misbehaving server must not OOM a client.
+const maxErrBodyBytes = 1 << 20
+
+// Client talks to one askitd (or askit-gw) base URL.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (custom
+// transport, timeout, fault injection).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a Client for baseURL ("http://127.0.0.1:8080"; a
+// trailing slash is tolerated).
+func New(baseURL string, opts ...Option) *Client {
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	c := &Client{base: baseURL, hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// BaseURL returns the base URL the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// APIError is a non-2xx response decoded from the uniform error
+// envelope. It is usually wrapped for classification — test it with
+// errors.As, and the retry decision with llm.IsTransient /
+// llm.RetryAfterHint rather than by status code.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Envelope is the decoded error body. For a response whose body was
+	// not a valid envelope (a crashed proxy, a non-askit server), Kind
+	// is "bad-envelope" and Message holds a body prefix.
+	Envelope api.Error
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("%s (kind=%s, http %d)", e.Envelope.Message, e.Envelope.Kind, e.Status)
+}
+
+// Kind returns err's envelope kind ("" when err carries no *APIError).
+func Kind(err error) string {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Envelope.Kind
+	}
+	return ""
+}
+
+// traceparentKey carries an explicit WithTraceparent override.
+type traceparentKey struct{}
+
+// WithTraceparent pins the exact traceparent header Do will send,
+// overriding the ambient obs span. For callers that mint their own
+// trace ids (test harnesses, upstream proxies).
+func WithTraceparent(ctx context.Context, traceparent string) context.Context {
+	return context.WithValue(ctx, traceparentKey{}, traceparent)
+}
+
+// Result is the per-call response metadata alongside the decoded body.
+type Result struct {
+	// Status is the HTTP status code.
+	Status int
+	// TraceID is the server's X-Trace-Id echo — set when the request
+	// joined a trace or won the server's head sample; empty otherwise.
+	TraceID string
+	// RetryAfter is the parsed Retry-After hint, 0 when absent.
+	RetryAfter time.Duration
+}
+
+// Do performs one API call: method+path against the base URL, in
+// marshaled as the JSON body (nil: no body; json.RawMessage/[]byte:
+// sent verbatim), out decoded from a 2xx body (nil: body discarded).
+// Non-2xx responses return a classified error; the Result is valid
+// whenever the HTTP exchange itself completed.
+func (c *Client) Do(ctx context.Context, method, path string, in, out any) (Result, error) {
+	var body io.Reader
+	switch v := in.(type) {
+	case nil:
+	case json.RawMessage:
+		body = bytes.NewReader(v)
+	case []byte:
+		body = bytes.NewReader(v)
+	default:
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(v); err != nil {
+			return Result{}, fmt.Errorf("client: encode %s %s: %w", method, path, err)
+		}
+		body = &buf
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return Result{}, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if tp, _ := ctx.Value(traceparentKey{}).(string); tp != "" {
+		req.Header.Set("traceparent", tp)
+	} else if tp := obs.SpanFromContext(ctx).Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// Transport failures (reset, refused, timeout) are retryable by
+		// definition: the request may never have reached a server.
+		// Context cancellation passes through unclassified so callers'
+		// IsCancellation checks still see it.
+		if ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
+		return Result{}, llm.MarkTransient(fmt.Errorf("client: %s %s: %w", method, path, err))
+	}
+	defer resp.Body.Close()
+	res := Result{
+		Status:     resp.StatusCode,
+		TraceID:    resp.Header.Get("X-Trace-Id"),
+		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return res, decodeAPIError(resp, res)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return res, fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+		}
+	}
+	return res, nil
+}
+
+// decodeAPIError turns a non-2xx response into a classified error:
+// *APIError wrapped transient (and Retry-After-hinted) exactly as the
+// envelope instructs, so llm.IsTransient and llm.RetryAfterHint work
+// unchanged across the network boundary.
+func decodeAPIError(resp *http.Response, res Result) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrBodyBytes))
+	ae := &APIError{Status: resp.StatusCode}
+	if err := json.Unmarshal(raw, &ae.Envelope); err != nil || ae.Envelope.Kind == "" {
+		prefix := raw
+		if len(prefix) > 200 {
+			prefix = prefix[:200]
+		}
+		ae.Envelope = api.Error{
+			Message: fmt.Sprintf("http %d: %s", resp.StatusCode, bytes.TrimSpace(prefix)),
+			Kind:    "bad-envelope",
+			// A malformed envelope on an overload/unavailable status is
+			// still worth retrying; client errors are not.
+			Transient: resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500,
+		}
+	}
+	var err error = ae
+	if ae.Envelope.Transient {
+		if res.RetryAfter > 0 {
+			err = llm.WithRetryAfter(err, res.RetryAfter)
+		} else {
+			err = llm.MarkTransient(err)
+		}
+	}
+	return err
+}
+
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Typed surface, one method per route.
+
+// Ask answers one directly answerable task: POST /v1/ask.
+func (c *Client) Ask(ctx context.Context, typ, template string, args map[string]any, examples ...api.Example) (any, error) {
+	var out api.AskResponse
+	_, err := c.Do(ctx, http.MethodPost, "/v1/ask",
+		api.AskRequest{Type: typ, Template: template, Args: args, Examples: examples}, &out)
+	return out.Value, err
+}
+
+// AskBatch fans one template over an args list: POST /v1/ask/batch.
+func (c *Client) AskBatch(ctx context.Context, req api.AskBatchRequest) (api.BatchResponse, error) {
+	var out api.BatchResponse
+	_, err := c.Do(ctx, http.MethodPost, "/v1/ask/batch", req, &out)
+	return out, err
+}
+
+// Install defines (and by default compiles) a task function:
+// POST /v1/funcs.
+func (c *Client) Install(ctx context.Context, req api.InstallRequest) (api.InstallResponse, error) {
+	var out api.InstallResponse
+	_, err := c.Do(ctx, http.MethodPost, "/v1/funcs", req, &out)
+	return out, err
+}
+
+// InstallSource installs a client-supplied minilang implementation —
+// zero model traffic; the source still passes the full static gate.
+func (c *Client) InstallSource(ctx context.Context, req api.InstallRequest, source string) (api.InstallResponse, error) {
+	req.Source = source
+	return c.Install(ctx, req)
+}
+
+// Call invokes an installed function: POST /v1/funcs/{name}/call.
+func (c *Client) Call(ctx context.Context, name string, args map[string]any) (api.CallResponse, error) {
+	var out api.CallResponse
+	_, err := c.Do(ctx, http.MethodPost, "/v1/funcs/"+name+"/call", api.CallRequest{Args: args}, &out)
+	return out, err
+}
+
+// CallBatch fans an installed function over an args list:
+// POST /v1/funcs/{name}/batch.
+func (c *Client) CallBatch(ctx context.Context, name string, req api.CallBatchRequest) (api.BatchResponse, error) {
+	var out api.BatchResponse
+	_, err := c.Do(ctx, http.MethodPost, "/v1/funcs/"+name+"/batch", req, &out)
+	return out, err
+}
+
+// Funcs lists installed functions: GET /v1/funcs.
+func (c *Client) Funcs(ctx context.Context) (api.FuncListResponse, error) {
+	var out api.FuncListResponse
+	_, err := c.Do(ctx, http.MethodGet, "/v1/funcs", nil, &out)
+	return out, err
+}
+
+// Stats fetches the server/engine/router counters: GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (api.StatsResponse, error) {
+	var out api.StatsResponse
+	_, err := c.Do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Health fetches /healthz. Unlike every other route, a 503 here is a
+// meaningful payload (a draining replica), not an error envelope — the
+// response decodes regardless of status and the error is non-nil only
+// for transport or decode failures. Check HealthResponse.Status.
+func (c *Client) Health(ctx context.Context) (api.HealthResponse, error) {
+	var out api.HealthResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return out, fmt.Errorf("client: healthz: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		return out, llm.MarkTransient(fmt.Errorf("client: healthz: %w", err))
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("client: decode healthz: %w", err)
+	}
+	return out, nil
+}
+
+// GatewayHealth fetches /healthz from an askit-gw, whose health shape
+// differs from a replica's. Like Health, a 503 (draining or degraded
+// fleet) is a meaningful payload, not an error envelope.
+func (c *Client) GatewayHealth(ctx context.Context) (api.GatewayHealthResponse, error) {
+	var out api.GatewayHealthResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return out, fmt.Errorf("client: healthz: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		return out, llm.MarkTransient(fmt.Errorf("client: healthz: %w", err))
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("client: decode healthz: %w", err)
+	}
+	return out, nil
+}
+
+// Traces lists retained trace summaries: GET /v1/traces. limit <= 0
+// keeps the server default.
+func (c *Client) Traces(ctx context.Context, limit int) (api.TraceListResponse, error) {
+	path := "/v1/traces"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var out api.TraceListResponse
+	_, err := c.Do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Trace fetches one retained trace's span tree: GET /v1/traces/{id}.
+func (c *Client) Trace(ctx context.Context, id string) (api.TraceResponse, error) {
+	var out api.TraceResponse
+	_, err := c.Do(ctx, http.MethodGet, "/v1/traces/"+id, nil, &out)
+	return out, err
+}

@@ -1,0 +1,326 @@
+package client
+
+// Contract tests against a live internal/server instance: the typed
+// SDK and the serving tier must agree on the wire — classified error
+// mapping, Retry-After propagation, and traceparent echo — or the
+// gateway built on this client inherits the disagreement.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	askit "repro"
+	"repro/api"
+	"repro/internal/llm"
+	"repro/internal/server"
+)
+
+// newTestDaemon boots a server over a quiet simulated backend and
+// returns a Client pointed at it.
+func newTestDaemon(t *testing.T, cfg server.Config) (*Client, *server.Server) {
+	t.Helper()
+	if cfg.AskIt == nil {
+		sim := askit.NewSimClient(1)
+		sim.Noise.DirectBlind = 0
+		sim.Noise.CodegenBlind = 0
+		ai, err := askit.New(askit.Options{Client: sim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.AskIt = ai
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return New(ts.URL + "/"), srv // trailing slash: New must normalize
+}
+
+func TestTypedRoundtrip(t *testing.T) {
+	c, _ := newTestDaemon(t, server.Config{})
+	ctx := context.Background()
+
+	v, err := c.Ask(ctx, "number", "Calculate the factorial of {{n}}.", map[string]any{"n": 5})
+	if err != nil {
+		t.Fatalf("Ask: %v", err)
+	}
+	if v != float64(120) {
+		t.Fatalf("Ask = %v (%T), want 120", v, v)
+	}
+
+	inst, err := c.Install(ctx, api.InstallRequest{
+		Name: "fact", Type: "number", Template: "Calculate the factorial of {{n}}.",
+		Params:   []api.Param{{Name: "n", Type: "number"}},
+		Examples: []api.Example{{Input: map[string]any{"n": 3}, Output: 6}},
+	})
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	if inst.Name != "fact" || !inst.Compiled {
+		t.Fatalf("Install = %+v, want compiled fact", inst)
+	}
+
+	call, err := c.Call(ctx, "fact", map[string]any{"n": 10})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if call.Value != float64(3628800) || !call.Compiled {
+		t.Fatalf("Call = %+v, want 3628800 compiled", call)
+	}
+
+	batch, err := c.CallBatch(ctx, "fact", api.CallBatchRequest{
+		ArgsList: []map[string]any{{"n": 1}, {"n": 4}},
+	})
+	if err != nil {
+		t.Fatalf("CallBatch: %v", err)
+	}
+	if batch.Errors != 0 || len(batch.Results) != 2 || batch.Results[1].Value != float64(24) {
+		t.Fatalf("CallBatch = %+v", batch)
+	}
+
+	funcs, err := c.Funcs(ctx)
+	if err != nil {
+		t.Fatalf("Funcs: %v", err)
+	}
+	if len(funcs.Funcs) != 1 || funcs.Funcs[0].Name != "fact" {
+		t.Fatalf("Funcs = %+v", funcs)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if stats.Server.Admitted == 0 || stats.Funcs != 1 || stats.Engine == nil {
+		t.Fatalf("Stats = %+v", stats)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("Health.Status = %q, want ok", h.Status)
+	}
+}
+
+// TestErrorMapping is the classified-error table: each wire failure
+// must decode to the right kind, status, and llm classification.
+func TestErrorMapping(t *testing.T) {
+	c, _ := newTestDaemon(t, server.Config{})
+	ctx := context.Background()
+
+	if _, err := c.Install(ctx, api.InstallRequest{Name: "dup", Type: "number", Template: "Calculate the factorial of {{n}}."}); err != nil {
+		t.Fatalf("seed install: %v", err)
+	}
+
+	cases := []struct {
+		name      string
+		invoke    func() error
+		kind      string
+		status    int
+		transient bool
+	}{
+		{
+			name:   "bad type",
+			invoke: func() error { _, err := c.Ask(ctx, "not a type!!", "t", nil); return err },
+			kind:   api.KindBadType, status: http.StatusBadRequest,
+		},
+		{
+			name: "bad json body",
+			invoke: func() error {
+				_, err := c.Do(ctx, http.MethodPost, "/v1/ask", []byte("{"), nil)
+				return err
+			},
+			kind: api.KindBadJSON, status: http.StatusBadRequest,
+		},
+		{
+			name:   "unknown func",
+			invoke: func() error { _, err := c.Call(ctx, "nope", nil); return err },
+			kind:   api.KindUnknownFunc, status: http.StatusNotFound,
+		},
+		{
+			name: "name taken",
+			invoke: func() error {
+				_, err := c.Install(ctx, api.InstallRequest{Name: "dup", Type: "string", Template: "Summarize {{x}}."})
+				return err
+			},
+			kind: api.KindNameTaken, status: http.StatusConflict,
+		},
+		{
+			name: "batch too large",
+			invoke: func() error {
+				_, err := c.AskBatch(ctx, api.AskBatchRequest{
+					Type: "number", Template: "t {{n}}", ArgsList: make([]map[string]any, 5000),
+				})
+				return err
+			},
+			kind: api.KindBatchTooLarge, status: http.StatusBadRequest,
+		},
+	}
+	for _, tc := range cases {
+		err := tc.invoke()
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) {
+			t.Errorf("%s: error %v carries no *APIError", tc.name, err)
+			continue
+		}
+		if ae.Envelope.Kind != tc.kind || ae.Status != tc.status {
+			t.Errorf("%s: kind=%q status=%d, want %q/%d", tc.name, ae.Envelope.Kind, ae.Status, tc.kind, tc.status)
+		}
+		if got := Kind(err); got != tc.kind {
+			t.Errorf("%s: Kind(err) = %q, want %q", tc.name, got, tc.kind)
+		}
+		if llm.IsTransient(err) != tc.transient {
+			t.Errorf("%s: IsTransient = %v, want %v", tc.name, llm.IsTransient(err), tc.transient)
+		}
+	}
+}
+
+// blockingClient parks Complete calls until the gate closes, then
+// delegates — it holds an admission slot open on demand. entered
+// closes when the first call is parked inside the backend.
+type blockingClient struct {
+	inner   llm.Client
+	gate    chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	b.once.Do(func() { close(b.entered) })
+	select {
+	case <-b.gate:
+	case <-ctx.Done():
+		return llm.Response{}, ctx.Err()
+	}
+	return b.inner.Complete(ctx, req)
+}
+
+// TestRetryAfterPropagation drives the server into admission overload
+// and asserts the 429's classification crosses the SDK intact:
+// transient, kind saturated, and the Retry-After hint readable through
+// llm.RetryAfterHint.
+func TestRetryAfterPropagation(t *testing.T) {
+	sim := askit.NewSimClient(1)
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	gate := make(chan struct{})
+	blocker := &blockingClient{inner: sim, gate: gate, entered: make(chan struct{})}
+	ai, err := askit.New(askit.Options{Client: blocker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := newTestDaemon(t, server.Config{
+		AskIt:       ai,
+		MaxInflight: 1,
+		RetryAfter:  2 * time.Second,
+	})
+	ctx := context.Background()
+
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := c.Ask(ctx, "number", "Calculate the factorial of {{n}}.", map[string]any{"n": 3})
+		firstDone <- err
+	}()
+
+	// Wait until the first request is parked inside the backend — it
+	// provably holds the only admission slot — then overflow it.
+	select {
+	case <-blocker.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached the backend")
+	}
+	_, overflowErr := c.Ask(ctx, "number", "Calculate the factorial of {{n}}.", map[string]any{"n": 4})
+	close(gate)
+	if overflowErr == nil {
+		t.Fatal("never saw an admission rejection")
+	}
+	var ae *APIError
+	if !errors.As(overflowErr, &ae) || ae.Status != http.StatusTooManyRequests || ae.Envelope.Kind != api.KindSaturated {
+		t.Fatalf("overflow error = %v, want 429 saturated", overflowErr)
+	}
+	if !llm.IsTransient(overflowErr) {
+		t.Fatalf("429 not classified transient: %v", overflowErr)
+	}
+	if d, ok := llm.RetryAfterHint(overflowErr); !ok || d != 2*time.Second {
+		t.Fatalf("RetryAfterHint = %v/%v, want 2s", d, ok)
+	}
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first request failed: %v", err)
+	}
+}
+
+func TestTraceparentEchoAndErrorTraceID(t *testing.T) {
+	c, srv := newTestDaemon(t, server.Config{TraceSample: 1.0})
+	ctx := context.Background()
+
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	tctx := WithTraceparent(ctx, "00-"+tid+"-00f067aa0ba902b7-01")
+
+	// A joined trace echoes the caller's id on success...
+	res, err := c.Do(tctx, http.MethodPost, "/v1/ask",
+		api.AskRequest{Type: "number", Template: "Calculate the factorial of {{n}}.", Args: map[string]any{"n": 5}}, nil)
+	if err != nil {
+		t.Fatalf("traced ask: %v", err)
+	}
+	if res.TraceID != tid {
+		t.Fatalf("TraceID = %q, want %q", res.TraceID, tid)
+	}
+
+	// ...and error envelopes carry it too (satellite: every error
+	// response carries the request's trace id when sampled).
+	_, err = c.Call(tctx, "missing", nil)
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("unknown-func error = %v", err)
+	}
+	if ae.Envelope.TraceID != tid {
+		t.Fatalf("error envelope trace_id = %q, want %q", ae.Envelope.TraceID, tid)
+	}
+
+	// Head-sampled (sample=1.0) requests get a fresh id without the
+	// caller bringing one.
+	res, err = c.Do(ctx, http.MethodPost, "/v1/ask",
+		api.AskRequest{Type: "number", Template: "Calculate the factorial of {{n}}.", Args: map[string]any{"n": 6}}, nil)
+	if err != nil {
+		t.Fatalf("sampled ask: %v", err)
+	}
+	if res.TraceID == "" {
+		t.Fatal("head-sampled request echoed no X-Trace-Id")
+	}
+
+	// Admission rejections happen before a root span exists; a caller
+	// that brought a trace still gets its id in the envelope.
+	if _, err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	_, err = c.Ask(tctx, "number", "Calculate the factorial of {{n}}.", map[string]any{"n": 7})
+	if !errors.As(err, &ae) || ae.Envelope.Kind != api.KindDraining {
+		t.Fatalf("post-drain error = %v, want draining envelope", err)
+	}
+	if ae.Envelope.TraceID != tid {
+		t.Fatalf("draining envelope trace_id = %q, want %q", ae.Envelope.TraceID, tid)
+	}
+	if !llm.IsTransient(err) {
+		t.Fatalf("draining 503 not transient: %v", err)
+	}
+}
+
+func TestBaseURLNormalized(t *testing.T) {
+	c := New("http://x///")
+	if !strings.HasSuffix(c.BaseURL(), "//x") && c.BaseURL() != "http://x" {
+		t.Fatalf("BaseURL = %q, want trailing slashes stripped", c.BaseURL())
+	}
+}

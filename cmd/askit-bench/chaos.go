@@ -13,8 +13,8 @@ import (
 	"time"
 
 	askit "repro"
+	"repro/api"
 	"repro/internal/fault"
-	"repro/internal/jsonx"
 	"repro/internal/server"
 )
 
@@ -177,41 +177,31 @@ func startChaosDaemon(seed int64, storeDir string, rate float64, sched *fault.Sc
 }
 
 // resilience reads the router/engine resilience counters over the
-// daemon's own stats endpoint. Must run before the drain shuts the
-// listener down.
+// daemon's own stats endpoint, through the typed client. Must run
+// before the drain shuts the listener down.
 func (d *chaosDaemon) resilience() (chaosResilience, error) {
-	resp, err := http.Get(d.url + "/v1/stats")
+	stats, err := d.cli.Stats(context.Background())
 	if err != nil {
 		return chaosResilience{}, err
 	}
-	defer resp.Body.Close()
-	var decoded struct {
-		Router map[string]any `json:"router"`
-		Engine map[string]any `json:"engine"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
-		return chaosResilience{}, err
-	}
-	u := func(m map[string]any, k string) uint64 {
-		v, _ := m[k].(float64)
+	u := func(k string) uint64 {
+		v, _ := stats.Engine[k].(float64)
 		return uint64(v)
 	}
 	var res chaosResilience
-	res.Failovers = u(decoded.Router, "failovers")
-	res.BreakerSkips = u(decoded.Router, "breaker_skips")
-	res.BreakerFastFails = u(decoded.Router, "breaker_fast_fails")
-	res.Hedges = u(decoded.Router, "hedges")
-	res.HedgeWins = u(decoded.Router, "hedge_wins")
-	if backends, ok := decoded.Router["backends"].([]any); ok {
-		for _, b := range backends {
-			if bm, ok := b.(map[string]any); ok {
-				res.BreakerOpens += u(bm, "breaker_opens")
-			}
+	if r := stats.Router; r != nil {
+		res.Failovers = r.Failovers
+		res.BreakerSkips = r.BreakerSkips
+		res.BreakerFastFails = r.BreakerFastFails
+		res.Hedges = r.Hedges
+		res.HedgeWins = r.HedgeWins
+		for _, b := range r.Backends {
+			res.BreakerOpens += b.BreakerOpens
 		}
 	}
-	res.TransientRetries = u(decoded.Engine, "transient_retries")
-	res.RetryBudgetExhausted = u(decoded.Engine, "retry_budget_exhausted")
-	res.StoreDegradedTrips = u(decoded.Engine, "store_degraded_trips")
+	res.TransientRetries = u("transient_retries")
+	res.RetryBudgetExhausted = u("retry_budget_exhausted")
+	res.StoreDegradedTrips = u("store_degraded_trips")
 	return res, nil
 }
 
@@ -241,7 +231,7 @@ func chaosExpect(w *httpWorkload, i int) (string, string, any) {
 		k := (i / 2) % len(w.names)
 		spec := w.specs[k]
 		return "/v1/funcs/" + w.names[k] + "/call",
-			`{"args":` + jsonx.Encode(spec.Examples[0].Input) + `}`,
+			mustBody(api.CallRequest{Args: normArgs(spec.Examples[0].Input)}),
 			jsonNorm(spec.Examples[0].Output)
 	}
 	n := 3 + (i/2)%8
@@ -249,8 +239,7 @@ func chaosExpect(w *httpWorkload, i int) (string, string, any) {
 	for j := 2; j <= n; j++ {
 		fact *= float64(j)
 	}
-	return "/v1/ask", fmt.Sprintf(
-		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":%d}}`, n), fact
+	return "/v1/ask", askFactBody(n), fact
 }
 
 // jsonNorm round-trips v through JSON so expected values compare
@@ -299,10 +288,10 @@ func driveChaos(d *httpDaemon, w *httpWorkload, conc, calls int) chaosPhase {
 					resp.Body.Close()
 					continue
 				}
-				var decoded map[string]any
+				var decoded api.AskResponse
 				err = json.NewDecoder(resp.Body).Decode(&decoded)
 				resp.Body.Close()
-				if err == nil && reflect.DeepEqual(decoded["value"], want) {
+				if err == nil && reflect.DeepEqual(decoded.Value, want) {
 					correct.Add(1)
 				} else {
 					wrong.Add(1)
@@ -436,10 +425,8 @@ func runChaosJSON(path string, seed int64, storeDir string) error {
 	recovWrong := 0
 	for k, name := range recovNames {
 		spec := specs[k]
-		code, resp, err := recov.post("/v1/funcs/"+name+"/call",
-			`{"args":`+jsonx.Encode(spec.Examples[0].Input)+`}`)
-		if err != nil || code != http.StatusOK ||
-			!reflect.DeepEqual(resp["value"], jsonNorm(spec.Examples[0].Output)) {
+		resp, err := recov.cli.Call(context.Background(), name, normArgs(spec.Examples[0].Input))
+		if err != nil || !reflect.DeepEqual(jsonNorm(resp.Value), jsonNorm(spec.Examples[0].Output)) {
 			recovWrong++
 		}
 	}

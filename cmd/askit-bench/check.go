@@ -21,6 +21,7 @@ import (
 //	BENCH_7-style: {"capacity_per_s": ..., "rates": [{"multiplier": ..., "goodput_per_s": ...}]}
 //	BENCH_8-style: {"pre_execution_reject_fraction": ..., "analyzer_throughput": {"us_per_program": ...}}
 //	BENCH_9-style: {"overhead": {"overhead_fraction": ...}, "tail_capture": {"fault_capture_fraction": ...}}
+//	BENCH_10-style: {"scaling": {"speedup": ...}, "affinity": {"affinity_hit_rate": ...}, "chaos": {"failed": ...}}
 
 // checkAgainstBaseline loads both reports and compares every headline
 // metric the schemas share. It returns the human-readable verdicts and
@@ -164,6 +165,53 @@ func checkAgainstBaseline(currentPath, baselinePath string, factor float64) ([]s
 			v := fmt.Sprintf("tracing %s: %.3f vs baseline %.3f (floor %.3f)", key, curFr, baseFr, baseFr)
 			verdicts = append(verdicts, v)
 			if curFr < baseFr {
+				failures = append(failures, v)
+			}
+		}
+	}
+
+	// Cluster gates. The replica-scaling speedup and the affinity-vs-
+	// random hit-rate edge are ratios, so — like goodput — they are
+	// compared against the baseline's own values with a fixed tolerance;
+	// per-arm throughput is absolute and takes the machine-noise factor.
+	if curSc, baseSc := subMap(cur, "scaling"), subMap(base, "scaling"); curSc != nil && baseSc != nil {
+		curSp, baseSp := topNumber(curSc, "speedup"), topNumber(baseSc, "speedup")
+		if baseSp > 0 && curSp > 0 {
+			v := fmt.Sprintf("cluster scaling speedup: %.2fx vs baseline %.2fx (floor %.2fx)",
+				curSp, baseSp, baseSp-0.3)
+			verdicts = append(verdicts, v)
+			if curSp < baseSp-0.3 {
+				failures = append(failures, v)
+			}
+		}
+		curTP := number(subMapAny(curSc, "triple"), "throughput_per_s")
+		baseTP := number(subMapAny(baseSc, "triple"), "throughput_per_s")
+		if baseTP > 0 && curTP > 0 {
+			v := fmt.Sprintf("cluster 3-replica throughput: %.0f/s vs baseline %.0f/s (x%.2f, limit x%.1f)",
+				curTP, baseTP, baseTP/curTP, factor)
+			verdicts = append(verdicts, v)
+			if curTP < baseTP/factor {
+				failures = append(failures, v)
+			}
+		}
+		curAff := subMap(cur, "affinity")
+		baseAff := subMap(base, "affinity")
+		curEdge := topNumber(curAff, "affinity_hit_rate") - topNumber(curAff, "random_hit_rate")
+		baseEdge := topNumber(baseAff, "affinity_hit_rate") - topNumber(baseAff, "random_hit_rate")
+		if baseEdge > 0 {
+			v := fmt.Sprintf("cluster affinity hit-rate edge: %.3f vs baseline %.3f (floor %.3f)",
+				curEdge, baseEdge, baseEdge-0.10)
+			verdicts = append(verdicts, v)
+			if curEdge < baseEdge-0.10 {
+				failures = append(failures, v)
+			}
+		}
+		// Chaos fail-over is a contract, not a speed: any client-visible
+		// failure across the replica kill is a regression outright.
+		if ch := subMap(cur, "chaos"); ch != nil {
+			v := fmt.Sprintf("cluster chaos failed calls: %.0f (contract 0)", topNumber(ch, "failed"))
+			verdicts = append(verdicts, v)
+			if topNumber(ch, "failed") > 0 {
 				failures = append(failures, v)
 			}
 		}

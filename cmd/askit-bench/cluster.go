@@ -1,0 +1,552 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	askit "repro"
+	"repro/api"
+	"repro/client"
+	"repro/internal/gateway"
+	"repro/internal/server"
+)
+
+// The cluster benchmark measures the gateway tier end-to-end: a real
+// askit-gw serving stack on a loopback listener fronting N real askitd
+// replicas, driven over the wire. Three phases, each with its own
+// fleet:
+//
+//   - scaling: replicas with real per-model-call service time and a
+//     small admission gate serve an uncompiled-function call mix
+//     through the gateway; 3 replicas must deliver >= clusterMinSpeedup
+//     x the single-replica throughput (the capacity claim).
+//   - affinity: the same repeated ask mix runs once under consistent-
+//     hash routing and once under the random-routing control arm; the
+//     fleet-wide answer-cache hit rate under affinity must beat the
+//     control (the cache-locality claim).
+//   - chaos: one replica is killed abruptly (listener torn down, no
+//     drain) mid-workload; every call must still succeed — failures
+//     become gateway retries to the next ring replica, never
+//     client-visible errors (the fail-over claim).
+//
+// Run with:
+//
+//	askit-bench -exp cluster         # writes BENCH_10.json
+const (
+	clusterReplicas = 3
+	// Scaling phase: each model call really sleeps clusterServiceTime
+	// (the overload bench's slowClient), so a replica's capacity is
+	// clusterPerReplicaInflight/clusterServiceTime and the fleet's is N
+	// times that — a throughput claim the virtual-latency sim cannot
+	// fake.
+	clusterServiceTime        = 5 * time.Millisecond
+	clusterPerReplicaInflight = 4
+	clusterFuncs              = 12 // distinct ring keys for the call mix
+	clusterSingleCalls        = 600
+	clusterTripleCalls        = 1800
+	clusterMinSpeedup         = 2.2
+
+	clusterAffinityRepeats = 8 // times each distinct ask is re-asked
+
+	clusterChaosCalls     = 600
+	clusterChaosWorkers   = 4
+	clusterChaosKillAfter = 150 // completed calls before the kill
+)
+
+// clusterArm is one closed-loop throughput measurement.
+type clusterArm struct {
+	Replicas         int     `json:"replicas"`
+	Concurrency      int     `json:"concurrency"`
+	Calls            int     `json:"calls"`
+	Errors           int     `json:"errors"`
+	WallMs           float64 `json:"wall_ms"`
+	ThroughputPerSec float64 `json:"throughput_per_s"`
+	P50Us            float64 `json:"p50_us"`
+	P99Us            float64 `json:"p99_us"`
+}
+
+// clusterScaling is the single-vs-triple capacity comparison.
+type clusterScaling struct {
+	Funcs              int        `json:"funcs"`
+	ServiceTimeMs      float64    `json:"service_time_ms"`
+	PerReplicaInflight int        `json:"per_replica_inflight"`
+	Single             clusterArm `json:"single"`
+	Triple             clusterArm `json:"triple"`
+	Speedup            float64    `json:"speedup"`
+}
+
+// clusterAffinity is the affinity-vs-random cache-locality comparison,
+// counted from the replicas' own answer-cache counters.
+type clusterAffinity struct {
+	DistinctAsks    int     `json:"distinct_asks"`
+	Repeats         int     `json:"repeats"`
+	Calls           int     `json:"calls"`
+	AffinityHits    uint64  `json:"affinity_hits"`
+	AffinityMisses  uint64  `json:"affinity_misses"`
+	AffinityHitRate float64 `json:"affinity_hit_rate"`
+	RandomHits      uint64  `json:"random_hits"`
+	RandomMisses    uint64  `json:"random_misses"`
+	RandomHitRate   float64 `json:"random_hit_rate"`
+}
+
+// clusterChaos is the kill-one-replica fail-over measurement.
+type clusterChaos struct {
+	Calls     int    `json:"calls"`
+	Workers   int    `json:"workers"`
+	KillAfter int    `json:"kill_after"`
+	Killed    string `json:"killed_replica"`
+	Succeeded int    `json:"succeeded"`
+	Failed    int    `json:"failed"`
+	// Retries is the gateway's re-dispatch count — the failures the
+	// clients never saw.
+	Retries      uint64 `json:"retries"`
+	BreakerOpens uint64 `json:"breaker_opens"`
+}
+
+// ClusterReport is the BENCH_10.json schema.
+type ClusterReport struct {
+	Note       string          `json:"note"`
+	Replicas   int             `json:"replicas"`
+	MinSpeedup float64         `json:"min_speedup"`
+	Scaling    clusterScaling  `json:"scaling"`
+	Affinity   clusterAffinity `json:"affinity"`
+	Chaos      clusterChaos    `json:"chaos"`
+}
+
+// clusterFleet is n loopback askitd replicas behind one loopback
+// askit-gw, plus a typed client aimed at the gateway.
+type clusterFleet struct {
+	reps  []*httpDaemon
+	gw    *gateway.Gateway
+	gwSrv *http.Server
+	url   string
+	cli   *client.Client
+}
+
+// startClusterFleet builds the replicas, fronts them with a gateway,
+// and waits for the initial health sweep to see every replica up.
+// Hedging is off in every phase: the scaling phase needs capacity to
+// stay put (a hedge doubles a request's service-time footprint) and the
+// chaos phase's contract is about retries, not hedges.
+func startClusterFleet(n int, routing string, healthInterval time.Duration,
+	newReplica func(i int) (*httpDaemon, error)) (*clusterFleet, error) {
+	f := &clusterFleet{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		d, err := newReplica(i)
+		if err != nil {
+			f.stop()
+			return nil, err
+		}
+		f.reps = append(f.reps, d)
+		urls[i] = d.url
+	}
+	gw, err := gateway.New(gateway.Config{
+		Replicas:       urls,
+		Routing:        routing,
+		HealthInterval: healthInterval,
+		HedgeDelay:     -1,
+		TraceSample:    -1,
+	})
+	if err != nil {
+		f.stop()
+		return nil, err
+	}
+	f.gw = gw
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.stop()
+		return nil, err
+	}
+	f.gwSrv = &http.Server{Handler: gw.Handler()}
+	f.url = "http://" + ln.Addr().String()
+	f.cli = client.New(f.url)
+	go f.gwSrv.Serve(ln)
+	return f, nil
+}
+
+// stop tears the fleet down gateway-first. Replica stop errors on an
+// already-killed replica (the chaos phase) are expected and dropped.
+func (f *clusterFleet) stop() {
+	if f.gwSrv != nil {
+		f.gwSrv.Close()
+	}
+	if f.gw != nil {
+		f.gw.Close()
+	}
+	for _, d := range f.reps {
+		_ = d.stop()
+	}
+}
+
+// gwStats reads the gateway's own stats endpoint over the wire.
+func (f *clusterFleet) gwStats() (api.GatewayStatsResponse, error) {
+	var out api.GatewayStatsResponse
+	_, err := f.cli.Do(context.Background(), http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// startSlowReplica is the scaling phase's replica shape: one backend
+// with real service time, no answer cache (a cache hit costs no service
+// time and would make the capacity claim vacuous), and a small
+// admission gate for the gateway's bounded-load routing to respect.
+func startSlowReplica(seed int64) (*httpDaemon, error) {
+	sim := askit.NewSimClient(seed)
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	ai, err := askit.New(askit.Options{
+		Client:          &slowClient{inner: sim, d: clusterServiceTime},
+		AnswerCacheSize: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{
+		AskIt:          ai,
+		MaxInflight:    clusterPerReplicaInflight,
+		RequestTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return listenDaemon(ai, srv)
+}
+
+// startCacheReplica is the affinity/chaos replica shape: the plain
+// virtual-latency sim with the default answer cache on.
+func startCacheReplica(seed int64) (*httpDaemon, error) {
+	sim := askit.NewSimClient(seed)
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	ai, err := askit.New(askit.Options{Client: sim})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{AskIt: ai, MaxInflight: httpMaxInflight})
+	if err != nil {
+		return nil, err
+	}
+	return listenDaemon(ai, srv)
+}
+
+// clusterWorkload is the scaling-phase call mix: round-robin over the
+// installed (uncompiled) functions — clusterFuncs distinct ring keys —
+// with a rotating argument so the engine's singleflight never coalesces
+// two in-flight calls into one model call.
+type clusterWorkload struct {
+	names []string
+}
+
+func (w *clusterWorkload) request(i int) (string, string) {
+	name := w.names[i%len(w.names)]
+	return "/v1/funcs/" + name + "/call",
+		mustBody(api.CallRequest{Args: map[string]any{"n": 3 + i%29}})
+}
+
+// clusterScalingArm measures one fleet size's saturated closed-loop
+// throughput through the gateway. The functions are installed
+// uncompiled — every call takes the direct model path and pays the full
+// service time — and the install broadcast lands each on every replica,
+// so any replica can serve any key.
+func clusterScalingArm(seed int64, n, calls int) (clusterArm, error) {
+	arm := clusterArm{Replicas: n, Concurrency: n * clusterPerReplicaInflight, Calls: calls}
+	f, err := startClusterFleet(n, gateway.RoutingAffinity, time.Hour,
+		func(i int) (*httpDaemon, error) { return startSlowReplica(seed + int64(i)) })
+	if err != nil {
+		return arm, err
+	}
+	defer f.stop()
+
+	ctx := context.Background()
+	noCompile := false
+	w := &clusterWorkload{}
+	for i := 0; i < clusterFuncs; i++ {
+		resp, err := f.cli.Install(ctx, api.InstallRequest{
+			Name: fmt.Sprintf("fact-%d", i), Type: "number", Template: factTemplate,
+			Params:  []api.Param{{Name: "n", Type: "number"}},
+			Compile: &noCompile,
+		})
+		if err != nil {
+			return arm, fmt.Errorf("install fact-%d: %w", i, err)
+		}
+		w.names = append(w.names, resp.Name)
+	}
+
+	level := driveHTTP(f.url, w, arm.Concurrency, calls)
+	arm.Errors = level.Errors
+	arm.WallMs = level.WallMs
+	arm.ThroughputPerSec = level.ThroughputPerSec
+	arm.P50Us = level.P50Us
+	arm.P99Us = level.P99Us
+	return arm, nil
+}
+
+// clusterAskQueries is the affinity-phase mix: six sim-answerable
+// catalog templates (six routing keys, spread over the ring) with
+// several argument variants each — 25 distinct answer-cache entries.
+// 25 on purpose: the control arm routes by round-robin rotation, so a
+// key count divisible by the replica count would park every repeat of
+// a query on the same replica and hand the control perfect affinity by
+// accident; a count coprime to the fleet size makes the rotation sweep
+// each query across all replicas instead.
+func clusterAskQueries() []struct {
+	typ, template string
+	args          map[string]any
+} {
+	type q = struct {
+		typ, template string
+		args          map[string]any
+	}
+	var out []q
+	for _, n := range []int{3, 4, 5, 6, 7} {
+		out = append(out, q{"number", factTemplate, map[string]any{"n": n}})
+	}
+	for _, s := range []string{"alpha", "beta", "gamma", "delta"} {
+		out = append(out, q{"string", "Reverse the string {{s}}.", map[string]any{"s": s}})
+	}
+	for _, n := range []int{4, 7, 9, 13} {
+		out = append(out, q{"boolean", "Check if {{n}} is a prime number.", map[string]any{"n": n}})
+	}
+	for _, s := range []string{"orange", "violet", "indigo", "maroon"} {
+		out = append(out, q{"number", "Count the vowels in the string {{s}}.", map[string]any{"s": s}})
+	}
+	for _, ab := range [][2]int{{12, 18}, {9, 27}, {14, 21}, {10, 25}} {
+		out = append(out, q{"number", "Find the greatest common divisor of {{a}} and {{b}}.",
+			map[string]any{"a": ab[0], "b": ab[1]}})
+	}
+	for _, n := range []int{3, 5, 10, 12} {
+		out = append(out, q{"string", "Convert the number {{n}} to binary.", map[string]any{"n": n}})
+	}
+	return out
+}
+
+// clusterAffinityArm runs the repeated ask mix through a fresh fleet
+// under the given routing mode and returns the fleet-wide answer-cache
+// hit/miss totals.
+func clusterAffinityArm(seed int64, routing string) (hits, misses uint64, err error) {
+	f, err := startClusterFleet(clusterReplicas, routing, time.Hour,
+		func(i int) (*httpDaemon, error) { return startCacheReplica(seed + int64(i)) })
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.stop()
+
+	ctx := context.Background()
+	queries := clusterAskQueries()
+	for r := 0; r < clusterAffinityRepeats; r++ {
+		for _, q := range queries {
+			if _, err := f.cli.Ask(ctx, q.typ, q.template, q.args); err != nil {
+				return 0, 0, fmt.Errorf("%s ask %q: %w", routing, q.template, err)
+			}
+		}
+	}
+	for _, rep := range f.reps {
+		stats, err := rep.cli.Stats(ctx)
+		if err != nil {
+			return 0, 0, err
+		}
+		h, _ := stats.Engine["answer_hits"].(float64)
+		m, _ := stats.Engine["answer_misses"].(float64)
+		hits += uint64(h)
+		misses += uint64(m)
+	}
+	return hits, misses, nil
+}
+
+// clusterChaosPhase drives a concurrent ask workload pinned to one
+// routing key, kills that key's home replica abruptly mid-run, and
+// verifies the fail-over contract: zero client-visible failures, with
+// the gateway absorbing the kill as retries to the next ring replica.
+func clusterChaosPhase(seed int64) (clusterChaos, error) {
+	res := clusterChaos{
+		Calls: clusterChaosCalls, Workers: clusterChaosWorkers, KillAfter: clusterChaosKillAfter,
+	}
+	f, err := startClusterFleet(clusterReplicas, gateway.RoutingAffinity, 25*time.Millisecond,
+		func(i int) (*httpDaemon, error) { return startCacheReplica(seed + int64(i)) })
+	if err != nil {
+		return res, err
+	}
+	defer f.stop()
+	ctx := context.Background()
+
+	// Locate the workload key's home replica with one probe ask, then
+	// aim the kill at it — killing a bystander would prove nothing.
+	if _, err := f.cli.Ask(ctx, "number", factTemplate, map[string]any{"n": 3}); err != nil {
+		return res, fmt.Errorf("probe ask: %w", err)
+	}
+	stats, err := f.gwStats()
+	if err != nil {
+		return res, err
+	}
+	var home *httpDaemon
+	for _, rs := range stats.Replicas {
+		if rs.Requests == 0 {
+			continue
+		}
+		for _, rep := range f.reps {
+			if rep.url == rs.URL {
+				home = rep
+			}
+		}
+	}
+	if home == nil {
+		return res, fmt.Errorf("could not locate the workload's home replica in %+v", stats.Replicas)
+	}
+	res.Killed = home.url
+
+	var done, failed atomic.Int64
+	var next atomic.Int64
+	var killOnce sync.Once
+	var wg sync.WaitGroup
+	for g := 0; g < clusterChaosWorkers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= clusterChaosCalls {
+					return
+				}
+				_, err := f.cli.Ask(ctx, "number", factTemplate, map[string]any{"n": 3 + i%24})
+				if err != nil {
+					failed.Add(1)
+				}
+				if done.Add(1) >= clusterChaosKillAfter {
+					// Abrupt kill: listener and live connections torn down,
+					// no drain. In-flight dispatches fail mid-request and
+					// must come back as gateway retries, not errors.
+					killOnce.Do(func() { home.httpSrv.Close() })
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res.Failed = int(failed.Load())
+	res.Succeeded = clusterChaosCalls - res.Failed
+	after, err := f.gwStats()
+	if err != nil {
+		return res, err
+	}
+	res.Retries = after.Retries
+	for _, rs := range after.Replicas {
+		res.BreakerOpens += rs.BreakerOpens
+	}
+	return res, nil
+}
+
+// runClusterJSON runs all three phases, writes BENCH_10.json, and
+// enforces the cluster contracts by exit code.
+func runClusterJSON(path string, seed int64) error {
+	single, err := clusterScalingArm(seed, 1, clusterSingleCalls)
+	if err != nil {
+		return fmt.Errorf("scaling single: %w", err)
+	}
+	triple, err := clusterScalingArm(seed, clusterReplicas, clusterTripleCalls)
+	if err != nil {
+		return fmt.Errorf("scaling triple: %w", err)
+	}
+	scaling := clusterScaling{
+		Funcs:              clusterFuncs,
+		ServiceTimeMs:      float64(clusterServiceTime.Nanoseconds()) / 1e6,
+		PerReplicaInflight: clusterPerReplicaInflight,
+		Single:             single,
+		Triple:             triple,
+	}
+	if single.ThroughputPerSec > 0 {
+		scaling.Speedup = triple.ThroughputPerSec / single.ThroughputPerSec
+	}
+
+	affHits, affMisses, err := clusterAffinityArm(seed, gateway.RoutingAffinity)
+	if err != nil {
+		return fmt.Errorf("affinity arm: %w", err)
+	}
+	rndHits, rndMisses, err := clusterAffinityArm(seed, gateway.RoutingRandom)
+	if err != nil {
+		return fmt.Errorf("random arm: %w", err)
+	}
+	queries := len(clusterAskQueries())
+	affinity := clusterAffinity{
+		DistinctAsks:   queries,
+		Repeats:        clusterAffinityRepeats,
+		Calls:          queries * clusterAffinityRepeats,
+		AffinityHits:   affHits,
+		AffinityMisses: affMisses,
+		RandomHits:     rndHits,
+		RandomMisses:   rndMisses,
+	}
+	if t := affHits + affMisses; t > 0 {
+		affinity.AffinityHitRate = float64(affHits) / float64(t)
+	}
+	if t := rndHits + rndMisses; t > 0 {
+		affinity.RandomHitRate = float64(rndHits) / float64(t)
+	}
+
+	chaos, err := clusterChaosPhase(seed)
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+
+	report := ClusterReport{
+		Note: fmt.Sprintf("cluster benchmark: real askit-gw on a loopback listener fronting real askitd replicas; "+
+			"scaling drives an uncompiled-function call mix with %v true service time per model call "+
+			"(%d replicas must beat %.1fx one replica), affinity replays the same %d-key ask mix under "+
+			"consistent-hash vs random routing and compares fleet-wide answer-cache hit rates, chaos kills "+
+			"the workload's home replica abruptly mid-run and requires zero client-visible failures",
+			clusterServiceTime, clusterReplicas, clusterMinSpeedup, queries),
+		Replicas:   clusterReplicas,
+		MinSpeedup: clusterMinSpeedup,
+		Scaling:    scaling,
+		Affinity:   affinity,
+		Chaos:      chaos,
+	}
+	if err := writeReport(path, report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("  scaling: 1 replica %6.0f req/s, %d replicas %6.0f req/s -> %.2fx (floor %.1fx)\n",
+		single.ThroughputPerSec, clusterReplicas, triple.ThroughputPerSec,
+		scaling.Speedup, clusterMinSpeedup)
+	fmt.Printf("  affinity: hit rate %.3f vs random %.3f (%d asks, %d distinct)\n",
+		affinity.AffinityHitRate, affinity.RandomHitRate, affinity.Calls, affinity.DistinctAsks)
+	fmt.Printf("  chaos: killed %s after %d calls; %d/%d succeeded, %d gateway retries, %d breaker opens\n",
+		chaos.Killed, chaos.KillAfter, chaos.Succeeded, chaos.Calls, chaos.Retries, chaos.BreakerOpens)
+
+	// The cluster contracts.
+	if single.Errors != 0 || triple.Errors != 0 {
+		return fmt.Errorf("cluster: scaling arms saw errors (single=%d triple=%d); capacity numbers are not clean",
+			single.Errors, triple.Errors)
+	}
+	if scaling.Speedup < clusterMinSpeedup {
+		return fmt.Errorf("cluster: %d-replica speedup %.2fx below the %.1fx floor",
+			clusterReplicas, scaling.Speedup, clusterMinSpeedup)
+	}
+	if affinity.AffinityHitRate <= affinity.RandomHitRate {
+		return fmt.Errorf("cluster: affinity hit rate %.3f does not beat the random-routing control %.3f",
+			affinity.AffinityHitRate, affinity.RandomHitRate)
+	}
+	if chaos.Failed != 0 {
+		return fmt.Errorf("cluster: %d calls failed across the replica kill; fail-over leaked errors to clients",
+			chaos.Failed)
+	}
+	if chaos.Retries == 0 {
+		return fmt.Errorf("cluster: zero gateway retries across the replica kill; the chaos never bit")
+	}
+	return nil
+}
+
+// writeReport marshals a bench report with the shared trailing-newline
+// convention.
+func writeReport(path string, report any) error {
+	data, err := jsonMarshalIndent(report)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -14,7 +14,8 @@ import (
 	"time"
 
 	askit "repro"
-	"repro/internal/jsonx"
+	"repro/api"
+	"repro/client"
 	"repro/internal/server"
 	"repro/internal/tasks"
 )
@@ -75,12 +76,15 @@ type HTTPReport struct {
 }
 
 // httpDaemon is one in-process askitd instance bound to a loopback
-// listener. The benchmark talks to it exclusively over httpURL.
+// listener. The benchmark talks to it exclusively over the wire: the
+// typed client for control-plane calls (installs, stats, traces), bare
+// connections for the measured load loops.
 type httpDaemon struct {
 	ai      *askit.AskIt
 	srv     *server.Server
 	httpSrv *http.Server
 	url     string
+	cli     *client.Client
 }
 
 func startHTTPDaemon(seed int64, storeDir string) (*httpDaemon, error) {
@@ -122,6 +126,7 @@ func listenDaemon(ai *askit.AskIt, srv *server.Server) (*httpDaemon, error) {
 		httpSrv: &http.Server{Handler: srv.Handler()},
 		url:     "http://" + ln.Addr().String(),
 	}
+	d.cli = client.New(d.url)
 	go d.httpSrv.Serve(ln)
 	return d, nil
 }
@@ -141,33 +146,13 @@ func (d *httpDaemon) stop() error {
 	return err
 }
 
-func (d *httpDaemon) post(path, body string) (int, map[string]any, error) {
-	resp, err := http.Post(d.url+path, "application/json", bytes.NewReader([]byte(body)))
-	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close()
-	var decoded map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
-		return resp.StatusCode, nil, err
-	}
-	return resp.StatusCode, decoded, nil
-}
-
 // engineStats reads the daemon's engine counters over the wire.
 func (d *httpDaemon) engineStats() (map[string]any, error) {
-	resp, err := http.Get(d.url + "/v1/stats")
+	stats, err := d.cli.Stats(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	var decoded struct {
-		Engine map[string]any `json:"engine"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
-		return nil, err
-	}
-	return decoded.Engine, nil
+	return stats.Engine, nil
 }
 
 // httpSpecs selects the codable catalog tasks the benchmark installs.
@@ -184,42 +169,21 @@ func httpSpecs() []*tasks.Spec {
 	return specs
 }
 
-// installFuncs POSTs every spec to /v1/funcs and returns the installed
-// names plus the wall time.
+// installFuncs installs every spec over the typed client and returns
+// the installed names plus the wall time.
 func installFuncs(d *httpDaemon, specs []*tasks.Spec) ([]string, float64, error) {
+	ctx := context.Background()
 	names := make([]string, 0, len(specs))
 	t0 := time.Now()
 	for _, spec := range specs {
-		req := map[string]any{
-			"type":     spec.Return.TS(),
-			"template": spec.Template,
-		}
-		params := []any{}
-		for _, p := range spec.ParamTypes() {
-			params = append(params, map[string]any{"name": p.Name, "type": p.Type.TS()})
-		}
-		req["params"] = params
-		testsJSON := []any{}
-		for _, ex := range spec.Examples {
-			testsJSON = append(testsJSON, map[string]any{"input": ex.Input, "output": ex.Output})
-		}
-		req["tests"] = testsJSON
-		// jsonx, not encoding/json: the specs hold nil []any for empty
-		// arrays, which encoding/json would ship as null — a different
-		// value on the other side of the wire.
-		body := jsonx.Encode(req)
-		code, resp, err := d.post("/v1/funcs", body)
+		resp, err := d.cli.Install(ctx, specInstallRequest(spec))
 		if err != nil {
 			return nil, 0, fmt.Errorf("%s: %w", spec.ID, err)
 		}
-		if code != http.StatusOK {
-			return nil, 0, fmt.Errorf("%s: install status %d: %v", spec.ID, code, resp)
+		if resp.Name == "" {
+			return nil, 0, fmt.Errorf("%s: install response has no name: %+v", spec.ID, resp)
 		}
-		name, _ := resp["name"].(string)
-		if name == "" {
-			return nil, 0, fmt.Errorf("%s: install response has no name: %v", spec.ID, resp)
-		}
-		names = append(names, name)
+		names = append(names, resp.Name)
 	}
 	return names, float64(time.Since(t0).Nanoseconds()) / 1e6, nil
 }
@@ -238,25 +202,26 @@ type requester interface {
 	request(i int) (string, string)
 }
 
-// request returns the (path, body) of the i-th request.
+// request returns the (path, body) of the i-th request. Bodies come
+// from the api types via mustBody, so the load mix speaks the same wire
+// shapes as the typed client.
 func (w *httpWorkload) request(i int) (string, string) {
 	if i%2 == 0 {
 		k := (i / 2) % len(w.names)
 		spec := w.specs[k]
-		return "/v1/funcs/" + w.names[k] + "/call", `{"args":` + jsonx.Encode(spec.Examples[0].Input) + `}`
+		return "/v1/funcs/" + w.names[k] + "/call",
+			mustBody(api.CallRequest{Args: normArgs(spec.Examples[0].Input)})
 	}
-	n := 3 + (i/2)%httpDistinctAsks
-	return "/v1/ask", fmt.Sprintf(
-		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":%d}}`, n)
+	return "/v1/ask", askFactBody(3 + (i/2)%httpDistinctAsks)
 }
 
-// driveHTTP issues calls requests from conc client goroutines and
-// collects client-side latencies.
-func driveHTTP(d *httpDaemon, w requester, conc, calls int) httpLevel {
+// driveHTTP issues calls requests from conc client goroutines against
+// the daemon (or gateway) at url and collects client-side latencies.
+func driveHTTP(url string, w requester, conc, calls int) httpLevel {
 	latencies := make([]time.Duration, calls)
 	var errs atomic.Int64
 	var next atomic.Int64
-	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conc}}
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conc}}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for g := 0; g < conc; g++ {
@@ -270,7 +235,7 @@ func driveHTTP(d *httpDaemon, w requester, conc, calls int) httpLevel {
 				}
 				path, body := w.request(i)
 				t0 := time.Now()
-				resp, err := client.Post(d.url+path, "application/json", bytes.NewReader([]byte(body)))
+				resp, err := hc.Post(url+path, "application/json", bytes.NewReader([]byte(body)))
 				latencies[i] = time.Since(t0)
 				if err != nil {
 					errs.Add(1)
@@ -309,7 +274,7 @@ func driveHTTPPhase(d *httpDaemon, specs []*tasks.Spec) (httpSide, error) {
 	side.InstallMs = installMs
 	w := &httpWorkload{specs: specs, names: names}
 	for _, conc := range httpConcurrencyLevels {
-		side.Levels = append(side.Levels, driveHTTP(d, w, conc, httpCallsPerLevel))
+		side.Levels = append(side.Levels, driveHTTP(d.url, w, conc, httpCallsPerLevel))
 	}
 	es, err := d.engineStats()
 	if err != nil {

@@ -12,6 +12,7 @@
 //	askit-bench -exp overload         # open-loop overload benchmark -> BENCH_7.json
 //	askit-bench -exp lint             # static-analysis gate benchmark -> BENCH_8.json
 //	askit-bench -exp trace            # tracing overhead + tail-capture gate -> BENCH_9.json
+//	askit-bench -exp cluster          # gateway/cluster benchmark -> BENCH_10.json
 //
 // With -check <baseline.json>, the fresh measurement is compared to the
 // checked-in baseline and the run fails on a regression beyond
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		which       = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|bench|serve|warm|http|chaos|overload|lint|trace|all")
+		which       = flag.String("exp", "all", "experiment to run: table2|fig5|fig6|fig7|table3|ablations|bench|serve|warm|http|chaos|overload|lint|trace|cluster|all")
 		seed        = flag.Int64("seed", 42, "simulation seed")
 		problems    = flag.Int("n", 0, "GSM8K problem count for table3 (0 = full 1319)")
 		workers     = flag.Int("workers", 8, "worker pool size for table3")
@@ -56,6 +57,7 @@ func main() {
 		"overload": {"BENCH_7.json", func(out string) error { return runOverloadJSON(out, *seed) }},
 		"lint":     {"BENCH_8.json", func(out string) error { return runLintJSON(out, *seed) }},
 		"trace":    {"BENCH_9.json", func(out string) error { return runTraceJSON(out, *seed, *storeDir) }},
+		"cluster":  {"BENCH_10.json", func(out string) error { return runClusterJSON(out, *seed) }},
 	}
 	if suite, ok := benchSuites[*which]; ok {
 		out := *benchOut

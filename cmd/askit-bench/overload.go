@@ -13,6 +13,7 @@ import (
 	"time"
 
 	askit "repro"
+	"repro/api"
 	"repro/internal/llm"
 	"repro/internal/server"
 )
@@ -152,8 +153,7 @@ func overloadExpect(i int) (string, string, any) {
 	for j := 2; j <= n; j++ {
 		fact *= float64(j)
 	}
-	return "/v1/ask", fmt.Sprintf(
-		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":%d}}`, n), fact
+	return "/v1/ask", askFactBody(n), fact
 }
 
 // probeCapacity measures the daemon's closed-loop throughput at full
@@ -224,8 +224,8 @@ func driveOpenLoop(d *httpDaemon, mult, rate float64, calls int) overloadRate {
 			case resp.StatusCode == http.StatusTooManyRequests:
 				outcomes[i] = outcome{lat: lat, shed: true}
 			case resp.StatusCode == http.StatusOK:
-				var decoded map[string]any
-				if jerr := json.NewDecoder(resp.Body).Decode(&decoded); jerr == nil && decoded["value"] == want {
+				var decoded api.AskResponse
+				if jerr := json.NewDecoder(resp.Body).Decode(&decoded); jerr == nil && decoded.Value == want {
 					outcomes[i] = outcome{lat: lat, correct: true}
 				} else {
 					outcomes[i] = outcome{lat: lat, wrong: true}

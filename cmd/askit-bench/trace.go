@@ -13,8 +13,9 @@ import (
 	"time"
 
 	askit "repro"
+	"repro/api"
+	"repro/client"
 	"repro/internal/fault"
-	"repro/internal/jsonx"
 	"repro/internal/llm"
 	"repro/internal/server"
 )
@@ -165,9 +166,7 @@ func startTraceDaemon(seed int64, sample float64, client askit.Client, cacheSize
 
 // askBody renders the i-th cache-heavy direct-ask request.
 func askBody(i int) string {
-	return fmt.Sprintf(
-		`{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":%d}}`,
-		3+i%httpDistinctAsks)
+	return askFactBody(3 + i%httpDistinctAsks)
 }
 
 // measureTraceOverhead runs a tracing-off and a tracing-on daemon side
@@ -219,12 +218,12 @@ func measureTraceOverhead(seed int64) (traceOverhead, error) {
 			}
 			workloads[d] = &httpWorkload{specs: specs, names: names}
 			for i := 0; i < httpDistinctAsks; i++ {
-				code, _, err := d.post("/v1/ask", askBody(i))
-				if err != nil || code != http.StatusOK {
-					return fmt.Errorf("warmup ask %d: status %d err %v", i, code, err)
+				if _, err := d.cli.Do(context.Background(), http.MethodPost,
+					"/v1/ask", json.RawMessage(askBody(i)), nil); err != nil {
+					return fmt.Errorf("warmup ask %d: %v", i, err)
 				}
 			}
-			if level := driveHTTP(d, workloads[d], traceOverheadConc, traceOverheadBatch); level.Errors > 0 {
+			if level := driveHTTP(d.url, workloads[d], traceOverheadConc, traceOverheadBatch); level.Errors > 0 {
 				return fmt.Errorf("warmup batch: %d/%d requests failed", level.Errors, traceOverheadBatch)
 			}
 		}
@@ -233,7 +232,7 @@ func measureTraceOverhead(seed int64) (traceOverhead, error) {
 		batch := func(d *httpDaemon) (wall, cpu time.Duration, err error) {
 			c0 := processCPU()
 			t0 := time.Now()
-			level := driveHTTP(d, workloads[d], traceOverheadConc, traceOverheadBatch)
+			level := driveHTTP(d.url, workloads[d], traceOverheadConc, traceOverheadBatch)
 			wall, cpu = time.Since(t0), processCPU()-c0
 			if level.Errors > 0 {
 				return 0, 0, fmt.Errorf("%d/%d requests failed", level.Errors, traceOverheadBatch)
@@ -333,44 +332,29 @@ func processCPU() time.Duration {
 // per-request id to look up later.
 func postTraced(d *httpDaemon, seq int, path, body string) (int, string, error) {
 	tid := fmt.Sprintf("%032x", uint64(seq)+1)
-	req, err := http.NewRequest(http.MethodPost, d.url+path, strings.NewReader(body))
-	if err != nil {
-		return 0, "", err
+	ctx := client.WithTraceparent(context.Background(),
+		"00-"+tid+"-"+fmt.Sprintf("%016x", uint64(seq)+1)+"-00")
+	res, err := d.cli.Do(ctx, http.MethodPost, path, json.RawMessage(body), nil)
+	if res.Status == 0 {
+		return 0, "", err // transport failure: the exchange never completed
 	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("traceparent", "00-"+tid+"-"+fmt.Sprintf("%016x", uint64(seq)+1)+"-00")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return 0, "", err
+	// A non-2xx status is an expected outcome here (the capture phase
+	// injects faults on purpose); only the trace-id echo is a contract.
+	if res.TraceID != tid {
+		return 0, "", fmt.Errorf("echoed trace id %q, want joined id %s", res.TraceID, tid)
 	}
-	defer resp.Body.Close()
-	var sink map[string]any
-	_ = json.NewDecoder(resp.Body).Decode(&sink)
-	if id := resp.Header.Get("X-Trace-Id"); id != tid {
-		return 0, "", fmt.Errorf("echoed trace id %q, want joined id %s", id, tid)
-	}
-	return resp.StatusCode, tid, nil
+	return res.Status, tid, nil
 }
 
 // retainedTraces fetches every retained trace id and the retention
 // counts by reason.
 func retainedTraces(d *httpDaemon) (map[string]string, error) {
-	resp, err := http.Get(d.url + "/v1/traces?limit=100000")
+	list, err := d.cli.Traces(context.Background(), 100000)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	var decoded struct {
-		Traces []struct {
-			TraceID string `json:"trace_id"`
-			Reason  string `json:"reason"`
-		} `json:"traces"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
-		return nil, err
-	}
-	out := make(map[string]string, len(decoded.Traces))
-	for _, tr := range decoded.Traces {
+	out := make(map[string]string, len(list.Traces))
+	for _, tr := range list.Traces {
 		out[tr.TraceID] = tr.Reason
 	}
 	return out, nil
@@ -409,8 +393,10 @@ func measureTraceCapture(seed int64) (traceCapture, error) {
 		slow := i >= traceCaptureSlowFrom && (i-traceCaptureSlowFrom)%traceCaptureSlowEvery == 0
 		body := askBody(i)
 		if slow {
-			body = fmt.Sprintf(
-				`{"type":"number","template":"Find the factorial of {{n}}.","args":{"n":%d}}`, 4+i%8)
+			body = mustBody(api.AskRequest{
+				Type: "number", Template: "Find the factorial of {{n}}.",
+				Args: map[string]any{"n": 4 + i%8},
+			})
 		}
 		code, id, err := postTraced(d, i, "/v1/ask", body)
 		if err != nil {
@@ -462,41 +448,22 @@ func measureTraceCapture(seed int64) (traceCapture, error) {
 // fetchSpanNames pulls one retained trace and flattens its span tree
 // into the set of span names.
 func fetchSpanNames(d *httpDaemon, id string) ([]string, error) {
-	resp, err := http.Get(d.url + "/v1/traces/" + id)
+	tr, err := d.cli.Trace(context.Background(), id)
 	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("trace %s: status %d", id, resp.StatusCode)
-	}
-	var decoded struct {
-		Root json.RawMessage `json:"root"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace %s: %w", id, err)
 	}
 	var names []string
-	var walk func(raw json.RawMessage) error
-	walk = func(raw json.RawMessage) error {
-		var node struct {
-			Name     string            `json:"name"`
-			Children []json.RawMessage `json:"children"`
-		}
-		if err := json.Unmarshal(raw, &node); err != nil {
-			return err
+	var walk func(node *api.TraceSpan)
+	walk = func(node *api.TraceSpan) {
+		if node == nil {
+			return
 		}
 		names = append(names, node.Name)
 		for _, c := range node.Children {
-			if err := walk(c); err != nil {
-				return err
-			}
+			walk(c)
 		}
-		return nil
 	}
-	if err := walk(decoded.Root); err != nil {
-		return nil, err
-	}
+	walk(tr.Root)
 	return names, nil
 }
 
@@ -553,18 +520,7 @@ func measureSpanTree(seed int64, storeDir string) (traceSpanTree, error) {
 	}
 
 	spec := httpSpecs()[0]
-	req := map[string]any{"type": spec.Return.TS(), "template": spec.Template}
-	params := []any{}
-	for _, p := range spec.ParamTypes() {
-		params = append(params, map[string]any{"name": p.Name, "type": p.Type.TS()})
-	}
-	req["params"] = params
-	testsJSON := []any{}
-	for _, ex := range spec.Examples {
-		testsJSON = append(testsJSON, map[string]any{"input": ex.Input, "output": ex.Output})
-	}
-	req["tests"] = testsJSON
-	res.InstallSpans, res.InstallComplete, err = check("/v1/funcs", jsonx.Encode(req), []string{
+	res.InstallSpans, res.InstallComplete, err = check("/v1/funcs", mustBody(specInstallRequest(spec)), []string{
 		"http_install", "compile", "compile_attempt", "static_gate", "example_exec",
 		"llm_complete", "backend_attempt", "store_probe", "store_save",
 	})

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/api"
+	"repro/internal/tasks"
+)
+
+// Wire-shape helpers: every request body the bench sends is built from
+// the api package's typed structs (through the client package for the
+// control plane, or pre-marshaled here for the measured load loops), so
+// the bench cannot drift from the wire contract the daemons serve.
+
+// factTemplate is the cache-heavy direct-ask task every load mix leans
+// on; the sim answers it deterministically at any n.
+const factTemplate = "Calculate the factorial of {{n}}."
+
+// askFactBody is the pre-marshaled /v1/ask body for factorial-of-n.
+func askFactBody(n int) string {
+	return mustBody(api.AskRequest{
+		Type: "number", Template: factTemplate, Args: map[string]any{"n": n},
+	})
+}
+
+// jsonMarshalIndent renders a bench report in the shared checked-in
+// shape: two-space indent, trailing newline.
+func jsonMarshalIndent(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// mustBody marshals a typed api request once so the hot load loops can
+// post the bytes verbatim without per-request marshal cost.
+func mustBody(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("askit-bench: marshal %T: %v", v, err))
+	}
+	return string(data)
+}
+
+// normValue deep-copies v with nil []any / nil map[string]any replaced
+// by empty containers. The task catalog's example maps hold nil slices
+// for empty arrays, which encoding/json ships as null — a different
+// value on the other side of the wire (the old jsonx encoder rendered
+// both as []). Normalizing first keeps the wire bytes identical under
+// the typed client.
+func normValue(v any) any {
+	switch x := v.(type) {
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = normValue(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			out[k] = normValue(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+func normArgs(m map[string]any) map[string]any {
+	return normValue(m).(map[string]any)
+}
+
+// specInstallRequest builds the typed /v1/funcs request for a catalog
+// spec: params from the parsed template, the spec's examples as
+// install-time validation tests.
+func specInstallRequest(spec *tasks.Spec) api.InstallRequest {
+	req := api.InstallRequest{
+		Type:     spec.Return.TS(),
+		Template: spec.Template,
+		Params:   []api.Param{},
+		Tests:    []api.Example{},
+	}
+	for _, p := range spec.ParamTypes() {
+		req.Params = append(req.Params, api.Param{Name: p.Name, Type: p.Type.TS()})
+	}
+	for _, ex := range spec.Examples {
+		req.Tests = append(req.Tests, api.Example{
+			Input:  normArgs(ex.Input),
+			Output: normValue(ex.Output),
+		})
+	}
+	return req
+}

@@ -1,0 +1,117 @@
+// Command askit-gw fronts a fleet of askitd replicas behind the same
+// /v1 wire surface — the cluster tier. Work requests route by their
+// function/spec key over a bounded-load consistent-hash ring, so repeat
+// work for one key keeps hitting the replica whose answer cache and
+// compiled artifacts are already warm, while the load bound spills a
+// hot key to its ring successor instead of queueing.
+//
+//	askit-gw -addr 127.0.0.1:8090 \
+//	    -replicas http://127.0.0.1:8080,http://127.0.0.1:8081
+//
+// Membership is health-gated: each replica's /healthz is polled every
+// -health-interval, and a draining replica (SIGTERM received, listener
+// still open) leaves rotation before it starts refusing work. Each
+// replica carries a circuit breaker; a dead replica is skipped without
+// paying a connect timeout per request. Failed dispatches retry on the
+// next distinct ring replica; p99 stragglers on idempotent routes are
+// hedged with a duplicate dispatch whose loser is canceled. Installs
+// fan out to every up replica (the home replica compiles and stores;
+// the rest hit the shared store), so any replica can serve any call.
+//
+// On SIGTERM/SIGINT the gateway drains: /healthz flips to 503 so an
+// upstream balancer pulls it, new work is rejected with the draining
+// envelope, in-flight requests finish (bounded by -drain-timeout), and
+// the process exits. The replicas drain on their own signals.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", "127.0.0.1:8090", "listen address (host:port; port 0 picks a free port)")
+		replicas       = flag.String("replicas", "", "comma-separated askitd base URLs (required)")
+		healthInterval = flag.Duration("health-interval", gateway.DefaultHealthInterval, "membership poll period")
+		boundFactor    = flag.Float64("bound-factor", gateway.DefaultBoundFactor, "bounded-load factor over the fair per-replica share")
+		routing        = flag.String("routing", gateway.RoutingAffinity, "routing mode: affinity (consistent hash) or random (control arm)")
+		hedgeDelay     = flag.Duration("hedge-delay", 0, "straggler hedge delay (0 = dynamic 2×p99, negative = off)")
+		reqTimeout     = flag.Duration("timeout", 0, "per-request timeout at the gateway (0 = replicas' own timeouts only)")
+		drainTimeout   = flag.Duration("drain-timeout", 15*time.Second, "graceful-drain bound on SIGTERM")
+		traceSample    = flag.Float64("trace-sample", gateway.DefaultTraceSample, "head-sampling rate for gateway traces (negative disables)")
+	)
+	flag.Parse()
+
+	if *replicas == "" {
+		log.Fatal("askit-gw: -replicas is required (comma-separated askitd base URLs)")
+	}
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	gw, err := gateway.New(gateway.Config{
+		Replicas:       urls,
+		HealthInterval: *healthInterval,
+		BoundFactor:    *boundFactor,
+		Routing:        *routing,
+		HedgeDelay:     *hedgeDelay,
+		RequestTimeout: *reqTimeout,
+		TraceSample:    *traceSample,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("askit-gw: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("askit-gw: %v", err)
+	}
+	// The resolved address line is a contract: harnesses pass port 0 and
+	// scrape the port, like askitd's listening line.
+	log.Printf("askit-gw: listening on http://%s (replicas=%d routing=%s)",
+		ln.Addr(), len(urls), *routing)
+
+	httpSrv := &http.Server{
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("askit-gw: serve: %v", err)
+	case sig := <-sigCh:
+		log.Printf("askit-gw: %v received, draining (bound %s)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	left := gw.Drain(ctx)
+	shutdownErr := httpSrv.Shutdown(ctx)
+
+	s := gw.Stats()
+	log.Printf("askit-gw: drained; %d requests, %d retries, %d hedges (%d wins), %d broadcasts",
+		s.Requests, s.Retries, s.Hedges, s.HedgeWins, s.Broadcasts)
+	if left > 0 || shutdownErr != nil {
+		log.Printf("askit-gw: unclean shutdown: inflight=%d shutdown=%v", left, shutdownErr)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,349 @@
+// Command askit-smoke is the wire-level assertion helper behind the
+// shell smoke tests (scripts/askitd-smoke.sh, scripts/askit-gw-smoke.sh).
+// The scripts keep what shell is good at — process lifecycle, signals,
+// log capture — and delegate every JSON exchange to this binary, which
+// speaks the typed client SDK. That replaces curl|grep on serialized
+// bytes: a contract drift fails loudly here as a decode or classified
+// error mismatch instead of a silently never-matching grep.
+//
+// Usage: askit-smoke -url http://host:port <command> [flags]
+//
+//	health     [-live]                     replica /healthz answers with a status
+//	gw-health  -min-up N                   gateway /healthz reports >= N replicas up
+//	ask        -type T -template S -args J -want J [-print-trace]
+//	install    -body J [-want-compiled] [-want-from-cache]
+//	           [-want-kind K -want-status N]   (expects the classified error)
+//	call       -func NAME -args J -want J
+//	stats      [-counter k=v]... [-router] [-routes]
+//	trace      -id ID -spans a,b,c         retained span tree holds every name
+//	traces     -contains ID                trace listing includes the id
+//
+// Every command exits 0 when the contract holds and 1 with a
+// diagnostic on stderr when it does not.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/api"
+	"repro/client"
+)
+
+func main() {
+	fs := flag.NewFlagSet("askit-smoke", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "daemon or gateway base URL")
+	timeout := fs.Duration("timeout", 10*time.Second, "overall deadline for the command")
+	fs.Parse(os.Args[1:])
+	if fs.NArg() < 1 {
+		fatal("usage: askit-smoke -url URL <health|gw-health|ask|install|call|stats|trace|traces> [flags]")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cli := client.New(*url)
+
+	cmd, args := fs.Arg(0), fs.Args()[1:]
+	cmds := map[string]func(context.Context, *client.Client, []string) error{
+		"health":    cmdHealth,
+		"gw-health": cmdGWHealth,
+		"ask":       cmdAsk,
+		"install":   cmdInstall,
+		"call":      cmdCall,
+		"stats":     cmdStats,
+		"trace":     cmdTrace,
+		"traces":    cmdTraces,
+	}
+	run, ok := cmds[cmd]
+	if !ok {
+		fatal("unknown command %q", cmd)
+	}
+	if err := run(ctx, cli, args); err != nil {
+		fatal("%s: %v", cmd, err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "askit-smoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// cmdHealth asserts a replica /healthz decodes and carries a status.
+// With -live it additionally requires status "ok" and an undegraded
+// store — the post-traffic shape, stricter than mere reachability.
+func cmdHealth(ctx context.Context, cli *client.Client, args []string) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	live := fs.Bool("live", false, `require status "ok" and store_degraded false`)
+	fs.Parse(args)
+	h, err := cli.Health(ctx)
+	if err != nil {
+		return err
+	}
+	if h.Status == "" {
+		return fmt.Errorf("healthz carried no status: %+v", h)
+	}
+	if *live {
+		if h.Status != "ok" {
+			return fmt.Errorf("status %q, want ok", h.Status)
+		}
+		if h.StoreDegraded {
+			return errors.New("store reported degraded")
+		}
+	}
+	return nil
+}
+
+// cmdGWHealth asserts the gateway /healthz sees at least -min-up
+// replicas in the ring.
+func cmdGWHealth(ctx context.Context, cli *client.Client, args []string) error {
+	fs := flag.NewFlagSet("gw-health", flag.ExitOnError)
+	minUp := fs.Int("min-up", 1, "minimum replicas the gateway must report up")
+	fs.Parse(args)
+	h, err := cli.GatewayHealth(ctx)
+	if err != nil {
+		return err
+	}
+	if h.ReplicasUp < *minUp {
+		return fmt.Errorf("gateway sees %d replicas up, want >= %d", h.ReplicasUp, *minUp)
+	}
+	return nil
+}
+
+// cmdAsk posts /v1/ask and compares the answered value; -print-trace
+// echoes the X-Trace-Id header to stdout for the caller to capture.
+func cmdAsk(ctx context.Context, cli *client.Client, args []string) error {
+	fs := flag.NewFlagSet("ask", flag.ExitOnError)
+	typ := fs.String("type", "number", "TypeScript result type")
+	template := fs.String("template", "", "prompt template")
+	argsJSON := fs.String("args", "{}", "template args as JSON object")
+	want := fs.String("want", "", "expected value as JSON")
+	printTrace := fs.Bool("print-trace", false, "print the X-Trace-Id echo to stdout")
+	fs.Parse(args)
+
+	var out api.AskResponse
+	res, err := cli.Do(ctx, http.MethodPost, "/v1/ask", api.AskRequest{
+		Type: *typ, Template: *template, Args: mustJSONMap(*argsJSON),
+	}, &out)
+	if err != nil {
+		return err
+	}
+	if err := compareJSON(out.Value, *want); err != nil {
+		return err
+	}
+	if *printTrace {
+		if res.TraceID == "" {
+			return errors.New("response carried no X-Trace-Id header")
+		}
+		fmt.Println(res.TraceID)
+	}
+	return nil
+}
+
+// cmdInstall posts /v1/funcs. The happy path asserts compiled /
+// from_cache as requested; with -want-kind the install must instead
+// fail with that classified error kind and HTTP status — the error
+// mapping is part of the wire contract under test.
+func cmdInstall(ctx context.Context, cli *client.Client, args []string) error {
+	fs := flag.NewFlagSet("install", flag.ExitOnError)
+	body := fs.String("body", "", "InstallRequest as JSON")
+	wantCompiled := fs.Bool("want-compiled", false, "require compiled true")
+	wantFromCache := fs.Bool("want-from-cache", false, "require from_cache true")
+	wantKind := fs.String("want-kind", "", "expect a classified error of this kind")
+	wantStatus := fs.Int("want-status", 0, "expected HTTP status with -want-kind")
+	fs.Parse(args)
+
+	var req api.InstallRequest
+	dec := json.NewDecoder(strings.NewReader(*body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return fmt.Errorf("-body is not an InstallRequest: %w", err)
+	}
+	resp, err := cli.Install(ctx, req)
+	if *wantKind != "" {
+		var ae *client.APIError
+		if !errors.As(err, &ae) {
+			return fmt.Errorf("got %+v err=%v, want %s error", resp, err, *wantKind)
+		}
+		if ae.Envelope.Kind != *wantKind {
+			return fmt.Errorf("error kind %q, want %q", ae.Envelope.Kind, *wantKind)
+		}
+		if *wantStatus != 0 && ae.Status != *wantStatus {
+			return fmt.Errorf("HTTP %d, want %d", ae.Status, *wantStatus)
+		}
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if *wantCompiled && !resp.Compiled {
+		return fmt.Errorf("install not compiled: %+v", resp)
+	}
+	if *wantFromCache && !resp.FromCache {
+		return fmt.Errorf("install not from cache: %+v", resp)
+	}
+	return nil
+}
+
+// cmdCall posts /v1/funcs/{name}/call and compares the value.
+func cmdCall(ctx context.Context, cli *client.Client, args []string) error {
+	fs := flag.NewFlagSet("call", flag.ExitOnError)
+	fn := fs.String("func", "", "installed function name")
+	argsJSON := fs.String("args", "{}", "call args as JSON object")
+	want := fs.String("want", "", "expected value as JSON")
+	fs.Parse(args)
+	resp, err := cli.Call(ctx, *fn, mustJSONMap(*argsJSON))
+	if err != nil {
+		return err
+	}
+	return compareJSON(resp.Value, *want)
+}
+
+// counterChecks accumulates repeated -counter k=v flags.
+type counterChecks map[string]float64
+
+func (c counterChecks) String() string { return fmt.Sprint(map[string]float64(c)) }
+func (c counterChecks) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("counter %q not in k=v form", s)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return fmt.Errorf("counter %q: %w", s, err)
+	}
+	c[k] = f
+	return nil
+}
+
+// cmdStats fetches /v1/stats and asserts engine counter values and the
+// presence of the router / per-route sections.
+func cmdStats(ctx context.Context, cli *client.Client, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	counters := counterChecks{}
+	fs.Var(counters, "counter", "engine counter assertion k=v (repeatable)")
+	wantRouter := fs.Bool("router", false, "require the router stats section")
+	wantRoutes := fs.Bool("routes", false, "require per-route latency stats")
+	fs.Parse(args)
+	stats, err := cli.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	for k, want := range counters {
+		got, ok := stats.Engine[k].(float64)
+		if !ok {
+			return fmt.Errorf("engine counter %q absent: %v", k, stats.Engine)
+		}
+		if got != want {
+			return fmt.Errorf("engine counter %s = %v, want %v", k, got, want)
+		}
+	}
+	if *wantRouter && stats.Router == nil {
+		return errors.New("stats has no router section")
+	}
+	if *wantRoutes && len(stats.Server.Routes) == 0 {
+		return errors.New("stats has no per-route section")
+	}
+	return nil
+}
+
+// cmdTrace fetches /v1/traces/{id} and requires every -spans name in
+// the retained tree. Retention happens when the root span ends, which
+// can race the client reading the response — so a missing trace is
+// retried against the command deadline.
+func cmdTrace(ctx context.Context, cli *client.Client, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	id := fs.String("id", "", "trace id")
+	spans := fs.String("spans", "", "comma-separated span names that must be present")
+	fs.Parse(args)
+
+	var resp api.TraceResponse
+	for {
+		var err error
+		resp, err = cli.Trace(ctx, *id)
+		if err == nil {
+			break
+		}
+		if !waitCtx(ctx, 100*time.Millisecond) {
+			return fmt.Errorf("trace %s never retained: %w", *id, err)
+		}
+	}
+	have := map[string]bool{}
+	var walk func(node *api.TraceSpan)
+	walk = func(node *api.TraceSpan) {
+		if node == nil {
+			return
+		}
+		have[node.Name] = true
+		for _, child := range node.Children {
+			walk(child)
+		}
+	}
+	walk(resp.Root)
+	for _, name := range strings.Split(*spans, ",") {
+		if name = strings.TrimSpace(name); name != "" && !have[name] {
+			return fmt.Errorf("trace %s missing span %q (have %v)", *id, name, have)
+		}
+	}
+	return nil
+}
+
+// cmdTraces asserts the /v1/traces listing contains the id.
+func cmdTraces(ctx context.Context, cli *client.Client, args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ExitOnError)
+	contains := fs.String("contains", "", "trace id the listing must include")
+	fs.Parse(args)
+	listing, err := cli.Traces(ctx, 0)
+	if err != nil {
+		return err
+	}
+	for _, tr := range listing.Traces {
+		if tr.TraceID == *contains {
+			return nil
+		}
+	}
+	return fmt.Errorf("listing of %d traces does not include %s", len(listing.Traces), *contains)
+}
+
+// waitCtx sleeps d without going deaf to cancellation; reports whether
+// the deadline is still live.
+func waitCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func mustJSONMap(s string) map[string]any {
+	var m map[string]any
+	if err := json.Unmarshal([]byte(s), &m); err != nil {
+		fatal("args %q is not a JSON object: %v", s, err)
+	}
+	return m
+}
+
+// compareJSON checks a decoded response value against an expected JSON
+// literal, comparing in decoded form so 120 matches 120.0 and object
+// key order is irrelevant.
+func compareJSON(got any, wantJSON string) error {
+	var want any
+	if err := json.Unmarshal([]byte(wantJSON), &want); err != nil {
+		return fmt.Errorf("-want %q is not JSON: %w", wantJSON, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		return fmt.Errorf("value = %v, want %v", got, want)
+	}
+	return nil
+}

@@ -10,6 +10,12 @@
 //   - obsnames: obs metric names are snake_case string literals, one
 //     instrument kind per name repo-wide, registered once unless every
 //     site is labeled.
+//   - spannames: span-name constants are snake_case and
+//     StartSpan/StartRoot call sites pass named constants, never
+//     inline string literals.
+//   - apitypes: the /v1 wire shapes are declared in package api alone;
+//     a struct anywhere else whose json tag set matches an api
+//     envelope is a duplicated wire type and must use the api type.
 //
 // Usage: askit-vet [-dir .]    (exit 1 on any finding; CI lint job)
 package main

@@ -1,0 +1,487 @@
+// Package gateway is the cluster tier: askit-gw fronts N askitd
+// replicas behind the same /v1 wire surface and routes each work
+// request by its function/spec key over a bounded-load consistent-hash
+// ring. Affinity routing sends repeat work for one key to the same
+// replica — its answer cache and compiled-artifact warmth compound —
+// while the load bound keeps one hot key from melting its home replica.
+//
+// Resilience reuses the serving stack's own machinery one level up:
+// membership is health-gated by polling each replica's /healthz
+// (respecting drain semantics — a draining replica leaves rotation
+// before its listener closes), each replica carries an llm.Breaker so a
+// dead replica is skipped without paying a connect timeout per request,
+// failed dispatches retry on the next distinct ring replica, and p99
+// stragglers are hedged with a duplicate dispatch whose loser is
+// canceled. W3C trace context propagates on every hop: the gateway
+// roots one span tree per request and each replica joins it, so a
+// single trace id resolves the whole gateway→replica story.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/llm"
+	"repro/internal/obs"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultHealthInterval = 1 * time.Second
+	DefaultProbeTimeout   = 2 * time.Second
+	DefaultBoundFactor    = 1.25
+	// DefaultTraceSample mirrors the server tier's head-sampling default.
+	DefaultTraceSample = 0.01
+)
+
+// Routing modes.
+const (
+	// RoutingAffinity is bounded-load consistent hashing by func/spec
+	// key — the production mode.
+	RoutingAffinity = "affinity"
+	// RoutingRandom ignores the key and spreads requests uniformly
+	// (rotating over up replicas). It exists as the control arm for
+	// affinity measurements: same fleet, no key locality.
+	RoutingRandom = "random"
+)
+
+// Span names the gateway tier contributes to request traces; named
+// constants per askit-vet's span-name rule.
+const (
+	spanGwAsk       = "gw_ask"
+	spanGwAskBatch  = "gw_ask_batch"
+	spanGwInstall   = "gw_install"
+	spanGwCall      = "gw_call"
+	spanGwCallBatch = "gw_call_batch"
+	// spanGwForward covers one dispatch attempt to one replica.
+	spanGwForward = "gw_forward"
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Replicas are the askitd base URLs the gateway fronts; at least one
+	// is required. URL order is irrelevant to key ownership (the ring
+	// hashes the URLs), but keep URLs stable across restarts.
+	Replicas []string
+	// HealthInterval is the membership poll period. 0 means
+	// DefaultHealthInterval.
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one /healthz poll. 0 means DefaultProbeTimeout.
+	ProbeTimeout time.Duration
+	// BoundFactor is the bounded-load factor c: a replica may hold at
+	// most ceil(c × (inflight+1)/upCount) in-flight requests before the
+	// walk spills its keys to the next ring replica. 0 means
+	// DefaultBoundFactor; values <= 1 are raised to 1 (hard fair share).
+	BoundFactor float64
+	// Routing selects RoutingAffinity (default) or RoutingRandom.
+	Routing string
+	// BreakerThreshold / BreakerOpenFor tune the per-replica circuit
+	// breakers exactly like llm.RouterOptions: 0 means the llm defaults,
+	// negative threshold disables breakers.
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
+	// HedgeDelay is how long the first dispatch of an idempotent route
+	// may straggle before a duplicate dispatch races it on the next ring
+	// replica. 0 derives the delay from observed latency (2×p99, floored
+	// at 1ms) once HedgeMinSamples successes exist; negative disables
+	// hedging.
+	HedgeDelay time.Duration
+	// HedgeMinSamples gates the dynamic hedge delay; 0 means the llm
+	// default.
+	HedgeMinSamples int
+	// RequestTimeout bounds each proxied request. 0 disables (the
+	// replicas enforce their own per-request timeout).
+	RequestTimeout time.Duration
+	// Metrics is the observability registry; nil gets a private one.
+	Metrics *obs.Registry
+	// TraceSample is the head-sampling probability for gateway request
+	// traces; 0 means DefaultTraceSample, negative disables tracing.
+	TraceSample float64
+	// Logf receives operational traces; nil disables.
+	Logf func(format string, args ...any)
+	// HTTPClient overrides the forwarding client (tests, custom
+	// transports). Nil builds one with per-replica connection reuse.
+	HTTPClient *http.Client
+}
+
+// replica is the gateway's view of one askitd.
+type replica struct {
+	url string
+	cli *client.Client
+
+	up       atomic.Bool
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	requests *obs.Counter
+	failures *obs.Counter
+	breaker  *llm.Breaker
+}
+
+// available reports whether the replica should receive routed traffic.
+func (rep *replica) available() bool { return rep.up.Load() && !rep.draining.Load() }
+
+// Gateway fronts the replica fleet. Create with New, mount via Handler,
+// shut down via Drain (or Close to just stop the poller).
+type Gateway struct {
+	cfg      Config
+	hc       *http.Client
+	replicas []*replica
+	ring     *ring
+	mux      *http.ServeMux
+	metrics  *obs.Registry
+	tracer   *obs.Tracer
+	start    time.Time
+	hedgeMin int
+
+	next     atomic.Uint64 // rotation cursor for RoutingRandom
+	inflight atomic.Int64
+	draining atomic.Bool
+	idle     chan struct{}
+	idleOnce sync.Once
+
+	pollStop func()
+	pollDone chan struct{}
+
+	requests         *obs.Counter
+	retries          *obs.Counter
+	hedges           *obs.Counter
+	hedgeWins        *obs.Counter
+	broadcasts       *obs.Counter
+	broadcastFails   *obs.Counter
+	rejectedDraining *obs.Counter
+	noReplica        *obs.Counter
+
+	lat latRing
+}
+
+// New validates cfg, registers the gateway's instruments, performs one
+// synchronous membership sweep (so a gateway started after its fleet
+// routes immediately), and starts the background health poller.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("gateway: Config.Replicas is required")
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = DefaultHealthInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.BoundFactor == 0 {
+		cfg.BoundFactor = DefaultBoundFactor
+	}
+	if cfg.BoundFactor < 1 {
+		cfg.BoundFactor = 1
+	}
+	switch cfg.Routing {
+	case "":
+		cfg.Routing = RoutingAffinity
+	case RoutingAffinity, RoutingRandom:
+	default:
+		return nil, fmt.Errorf("gateway: unknown routing mode %q", cfg.Routing)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		metrics:  cfg.Metrics,
+		start:    time.Now(),
+		idle:     make(chan struct{}),
+		hedgeMin: cfg.HedgeMinSamples,
+	}
+	if g.hedgeMin <= 0 {
+		g.hedgeMin = llm.DefaultHedgeMinSamples
+	}
+	g.hc = cfg.HTTPClient
+	if g.hc == nil {
+		g.hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+
+	reg := g.metrics
+	g.requests = reg.Counter("askit_gw_requests_total",
+		obs.Help("Work requests accepted by the gateway."))
+	g.retries = reg.Counter("askit_gw_retries_total",
+		obs.Help("Re-dispatches to another replica after a retryable failure."))
+	g.hedges = reg.Counter("askit_gw_hedges_total",
+		obs.Help("Duplicate dispatches launched for straggling requests."))
+	g.hedgeWins = reg.Counter("askit_gw_hedge_wins_total",
+		obs.Help("Requests where the hedged dispatch finished first."))
+	g.broadcasts = reg.Counter("askit_gw_broadcasts_total",
+		obs.Help("Install bodies fanned out to non-home replicas."))
+	g.broadcastFails = reg.Counter("askit_gw_broadcast_failures_total",
+		obs.Help("Install broadcasts that failed on a non-home replica."))
+	g.rejectedDraining = reg.Counter("askit_gw_rejected_total",
+		obs.Help("Requests refused by the gateway, by reason."),
+		obs.Labels("reason", "draining"))
+	g.noReplica = reg.Counter("askit_gw_rejected_total",
+		obs.Labels("reason", "no_replica"))
+	reg.GaugeFunc("askit_gw_inflight",
+		func() float64 { return float64(g.inflight.Load()) },
+		obs.Help("Requests currently in flight through the gateway."))
+	reg.GaugeFunc("askit_gw_replicas_up",
+		func() float64 { return float64(g.upCount()) },
+		obs.Help("Replicas currently up and not draining."))
+
+	urls := make([]string, len(cfg.Replicas))
+	for i, raw := range cfg.Replicas {
+		u := strings.TrimRight(raw, "/")
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls[i] = u
+		rep := &replica{
+			url:     u,
+			cli:     client.New(u, client.WithHTTPClient(g.hc)),
+			breaker: llm.NewBreaker(cfg.BreakerThreshold, cfg.BreakerOpenFor),
+		}
+		lbl := obs.Labels("replica", u)
+		rep.requests = reg.Counter("askit_gw_replica_requests_total",
+			obs.Help("Dispatch attempts per replica."), lbl)
+		rep.failures = reg.Counter("askit_gw_replica_failures_total",
+			obs.Help("Failed dispatch attempts per replica (transport or 5xx)."), lbl)
+		reg.GaugeFunc("askit_gw_replica_up", func() float64 {
+			if rep.available() {
+				return 1
+			}
+			return 0
+		}, obs.Help("Replica routability: 1 up, 0 down or draining."), lbl)
+		if rep.breaker != nil {
+			br := rep.breaker
+			br.SetNotify(func(to string) { reg.Emit("gw-breaker-"+to, u) })
+			reg.CounterFunc("askit_gw_replica_breaker_opens_total", br.OpenCount,
+				obs.Help("Breaker open transitions per replica."), lbl)
+		}
+		g.replicas = append(g.replicas, rep)
+	}
+	g.ring = buildRing(urls, vnodesPerReplica)
+
+	if cfg.TraceSample >= 0 {
+		sample := cfg.TraceSample
+		if sample == 0 {
+			sample = DefaultTraceSample
+		}
+		g.tracer = obs.NewTracer(g.metrics, obs.TracerOptions{Sample: sample})
+	}
+	g.routes()
+	g.startPoller()
+	return g, nil
+}
+
+// Handler returns the root http.Handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Tracer returns the gateway's tracer; nil when tracing is disabled.
+func (g *Gateway) Tracer() *obs.Tracer { return g.tracer }
+
+// Metrics returns the gateway's observability registry.
+func (g *Gateway) Metrics() *obs.Registry { return g.metrics }
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+// upCount returns how many replicas are currently routable.
+func (g *Gateway) upCount() int {
+	n := 0
+	for _, rep := range g.replicas {
+		if rep.available() {
+			n++
+		}
+	}
+	return n
+}
+
+// candidates returns the replica indexes to try for key, best first,
+// filtered to routable replicas. Affinity mode walks the consistent-hash
+// ring and applies the bounded-load rule: a replica already holding more
+// than its fair share (× BoundFactor) of in-flight requests is demoted
+// behind the under-loaded ones, so a hot key spills to its successor
+// instead of queueing. Random mode rotates over the routable replicas.
+func (g *Gateway) candidates(key string) []int {
+	if g.cfg.Routing == RoutingRandom || key == "" {
+		var up []int
+		for i, rep := range g.replicas {
+			if rep.available() {
+				up = append(up, i)
+			}
+		}
+		if len(up) <= 1 {
+			return up
+		}
+		start := int((g.next.Add(1) - 1) % uint64(len(up)))
+		rot := make([]int, 0, len(up))
+		for i := 0; i < len(up); i++ {
+			rot = append(rot, up[(start+i)%len(up)])
+		}
+		return rot
+	}
+
+	order := g.ring.order(key, make([]int, 0, len(g.replicas)))
+	var total int64
+	up := 0
+	for _, rep := range g.replicas {
+		if rep.available() {
+			up++
+			total += rep.inflight.Load()
+		}
+	}
+	if up == 0 {
+		return nil
+	}
+	bound := int64(math.Ceil(g.cfg.BoundFactor * float64(total+1) / float64(up)))
+	under := make([]int, 0, up)
+	var over []int
+	for _, idx := range order {
+		rep := g.replicas[idx]
+		if !rep.available() {
+			continue
+		}
+		if rep.inflight.Load() < bound {
+			under = append(under, idx)
+		} else {
+			over = append(over, idx)
+		}
+	}
+	return append(under, over...)
+}
+
+// exit releases one admission slot; the last one out signals Drain.
+func (g *Gateway) exit() {
+	if g.inflight.Add(-1) == 0 && g.draining.Load() {
+		g.idleOnce.Do(func() { close(g.idle) })
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// Inflight returns the number of requests currently in flight.
+func (g *Gateway) Inflight() int { return int(g.inflight.Load()) }
+
+// Drain stops admitting work (healthz flips to draining so an upstream
+// balancer pulls the gateway), waits for in-flight requests to finish
+// (bounded by ctx), then stops the health poller. It returns the number
+// of requests still in flight when the wait ended — zero on a clean
+// drain. The replicas are not touched: they drain on their own SIGTERM.
+func (g *Gateway) Drain(ctx context.Context) int {
+	g.draining.Store(true)
+	if g.inflight.Load() == 0 {
+		g.idleOnce.Do(func() { close(g.idle) })
+	}
+	left := 0
+	select {
+	case <-g.idle:
+	case <-ctx.Done():
+		left = int(g.inflight.Load())
+		g.logf("gateway: drain timed out with %d requests in flight", left)
+	}
+	g.Close()
+	return left
+}
+
+// Close stops the health poller. Safe to call more than once.
+func (g *Gateway) Close() {
+	g.pollStop()
+	<-g.pollDone
+}
+
+// Stats snapshots the gateway's counters and per-replica state.
+func (g *Gateway) Stats() api.GatewayStatsResponse {
+	s := api.GatewayStatsResponse{
+		Requests:         g.requests.Value(),
+		Retries:          g.retries.Value(),
+		Hedges:           g.hedges.Value(),
+		HedgeWins:        g.hedgeWins.Value(),
+		Broadcasts:       g.broadcasts.Value(),
+		RejectedDraining: g.rejectedDraining.Value(),
+		NoReplica:        g.noReplica.Value(),
+		Routing:          g.cfg.Routing,
+		UptimeS:          time.Since(g.start).Seconds(),
+		Draining:         g.draining.Load(),
+	}
+	now := time.Now()
+	for _, rep := range g.replicas {
+		state, opens := rep.breaker.Snapshot(now)
+		s.Replicas = append(s.Replicas, api.GatewayReplicaStats{
+			URL:          rep.url,
+			Up:           rep.up.Load(),
+			Draining:     rep.draining.Load(),
+			Inflight:     rep.inflight.Load(),
+			Requests:     rep.requests.Value(),
+			Failures:     rep.failures.Value(),
+			Breaker:      state,
+			BreakerOpens: opens,
+		})
+	}
+	return s
+}
+
+// hedgeDelay returns the delay before a duplicate dispatch, or 0 when
+// hedging should not fire for this request (mirrors llm.Router).
+func (g *Gateway) hedgeDelay() time.Duration {
+	if g.cfg.HedgeDelay < 0 || len(g.replicas) < 2 {
+		return 0
+	}
+	if g.cfg.HedgeDelay > 0 {
+		return g.cfg.HedgeDelay
+	}
+	p99, n := g.lat.p99()
+	if n < g.hedgeMin {
+		return 0
+	}
+	d := 2 * p99
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// latRing holds recent successful request latencies for the dynamic
+// hedge delay (the llm.Router pattern, sized for a gateway).
+type latRing struct {
+	mu  sync.Mutex
+	buf [256]time.Duration
+	n   int
+	pos int
+}
+
+func (l *latRing) add(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.pos] = d
+	l.pos = (l.pos + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+func (l *latRing) p99() (time.Duration, int) {
+	l.mu.Lock()
+	n := l.n
+	samples := make([]time.Duration, n)
+	copy(samples, l.buf[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[(99*(n-1))/100], n
+}

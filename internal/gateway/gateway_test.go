@@ -1,0 +1,395 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	askit "repro"
+	"repro/api"
+	"repro/client"
+	"repro/internal/llm"
+	"repro/internal/server"
+)
+
+// fleet is a gateway over n in-process askitd replicas.
+type fleet struct {
+	gw   *Gateway
+	gwc  *client.Client
+	urls []string
+	srvs []*server.Server
+	tss  []*httptest.Server
+}
+
+// newFleet boots n quiet-sim replicas and a gateway fronting them.
+// Mutate cfg before New runs via the optional tweak.
+func newFleet(t *testing.T, n int, tweak func(*Config)) *fleet {
+	t.Helper()
+	f := &fleet{}
+	for i := 0; i < n; i++ {
+		sim := askit.NewSimClient(int64(i + 1))
+		sim.Noise.DirectBlind = 0
+		sim.Noise.CodegenBlind = 0
+		ai, err := askit.New(askit.Options{Client: sim})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{AskIt: ai, TraceSample: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		f.srvs = append(f.srvs, srv)
+		f.tss = append(f.tss, ts)
+		f.urls = append(f.urls, ts.URL)
+	}
+	cfg := Config{
+		Replicas:    f.urls,
+		TraceSample: -1,
+		// Tests drive membership explicitly via CheckReplicas; a long
+		// interval keeps the poller from racing assertions.
+		HealthInterval: time.Hour,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	gw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	f.gw = gw
+	gts := httptest.NewServer(gw.Handler())
+	t.Cleanup(gts.Close)
+	f.gwc = client.New(gts.URL)
+	return f
+}
+
+// repRequests returns each replica's dispatch-attempt count.
+func (f *fleet) repRequests() []uint64 {
+	s := f.gw.Stats()
+	out := make([]uint64, len(s.Replicas))
+	for i, r := range s.Replicas {
+		out[i] = r.Requests
+	}
+	return out
+}
+
+// askSpecs are distinct sim-answerable (type, template, args, want)
+// tuples — distinct routing keys for spread/retry tests.
+var askSpecs = []struct {
+	typ, template string
+	args          map[string]any
+	want          any
+}{
+	{"number", "Calculate the factorial of {{n}}.", map[string]any{"n": 5}, float64(120)},
+	{"string", "Reverse the string {{s}}.", map[string]any{"s": "abc"}, "cba"},
+	{"boolean", "Check if {{n}} is a prime number.", map[string]any{"n": 7}, true},
+	{"number", "Count the vowels in the string {{s}}.", map[string]any{"s": "hello"}, float64(2)},
+	{"number", "Find the greatest common divisor of {{a}} and {{b}}.", map[string]any{"a": 12, "b": 8}, float64(4)},
+	{"string", "Convert the number {{n}} to binary.", map[string]any{"n": 5}, "101"},
+}
+
+func TestGatewayProxiesWorkRoutes(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	ctx := context.Background()
+
+	for _, spec := range askSpecs {
+		v, err := f.gwc.Ask(ctx, spec.typ, spec.template, spec.args)
+		if err != nil {
+			t.Fatalf("Ask(%q): %v", spec.template, err)
+		}
+		if v != spec.want {
+			t.Fatalf("Ask(%q) = %v (%T), want %v", spec.template, v, v, spec.want)
+		}
+	}
+
+	// Tests matter: they are the input/output pairs that validate the
+	// generated code (Examples only steer direct-call prompting), and
+	// each replica validates its own codegen independently — without
+	// them the sim's BuggyCode noise slips through on some seeds.
+	inst, err := f.gwc.Install(ctx, api.InstallRequest{
+		Name: "fact", Type: "number", Template: "Calculate the factorial of {{n}}.",
+		Params: []api.Param{{Name: "n", Type: "number"}},
+		Tests:  []api.Example{{Input: map[string]any{"n": 3}, Output: 6}, {Input: map[string]any{"n": 5}, Output: 120}},
+	})
+	if err != nil || !inst.Compiled {
+		t.Fatalf("Install = %+v, %v", inst, err)
+	}
+	call, err := f.gwc.Call(ctx, "fact", map[string]any{"n": 6})
+	if err != nil || call.Value != float64(720) {
+		t.Fatalf("Call = %+v, %v", call, err)
+	}
+
+	// The install broadcast must have landed the function on every
+	// replica — each one serves the call directly.
+	for i, url := range f.urls {
+		rc := client.New(url)
+		res, err := rc.Call(ctx, "fact", map[string]any{"n": 4})
+		if err != nil || res.Value != float64(24) {
+			t.Fatalf("replica %d direct call = %+v, %v", i, res, err)
+		}
+	}
+
+	funcs, err := f.gwc.Funcs(ctx)
+	if err != nil || len(funcs.Funcs) != 1 || funcs.Funcs[0].Name != "fact" {
+		t.Fatalf("merged Funcs = %+v, %v", funcs, err)
+	}
+	if s := f.gw.Stats(); s.Broadcasts != 2 {
+		t.Fatalf("Broadcasts = %d, want 2 (install fanned to the two non-home replicas)", s.Broadcasts)
+	}
+}
+
+// TestGatewayAffinity: every repeat of one spec key lands on the same
+// replica; the random control arm spreads the same key over the fleet.
+func TestGatewayAffinity(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	ctx := context.Background()
+	const repeats = 9
+	for i := 0; i < repeats; i++ {
+		if _, err := f.gwc.Ask(ctx, "number", "Calculate the factorial of {{n}}.", map[string]any{"n": 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	touched := 0
+	for _, reqs := range f.repRequests() {
+		if reqs > 0 {
+			touched++
+			if reqs != repeats {
+				t.Fatalf("home replica saw %d dispatches, want %d", reqs, repeats)
+			}
+		}
+	}
+	if touched != 1 {
+		t.Fatalf("one spec key touched %d replicas under affinity routing, want exactly 1", touched)
+	}
+
+	rnd := newFleet(t, 3, func(c *Config) { c.Routing = RoutingRandom })
+	for i := 0; i < repeats; i++ {
+		if _, err := rnd.gwc.Ask(ctx, "number", "Calculate the factorial of {{n}}.", map[string]any{"n": 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	touched = 0
+	for _, reqs := range rnd.repRequests() {
+		if reqs > 0 {
+			touched++
+		}
+	}
+	if touched != 3 {
+		t.Fatalf("random routing touched %d replicas, want all 3 (rotation)", touched)
+	}
+}
+
+// TestGatewayRetriesDeadReplica kills a key's home replica under the
+// gateway (membership stale on purpose) and requires every call to
+// still succeed via re-dispatch — the caller sees retried, never
+// failed, requests.
+func TestGatewayRetriesDeadReplica(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	ctx := context.Background()
+
+	// Locate the factorial key's home replica by dispatch-count delta.
+	if _, err := f.gwc.Ask(ctx, "number", "Calculate the factorial of {{n}}.", map[string]any{"n": 3}); err != nil {
+		t.Fatal(err)
+	}
+	home := -1
+	for i, reqs := range f.repRequests() {
+		if reqs > 0 {
+			home = i
+		}
+	}
+	if home < 0 {
+		t.Fatal("no replica took the probe ask")
+	}
+
+	f.tss[home].Close() // hard kill: connection refused, no drain
+	for i := 0; i < 4; i++ {
+		v, err := f.gwc.Ask(ctx, "number", "Calculate the factorial of {{n}}.", map[string]any{"n": 5})
+		if err != nil {
+			t.Fatalf("ask %d after killing home replica: %v", i, err)
+		}
+		if v != float64(120) {
+			t.Fatalf("ask %d = %v, want 120", i, v)
+		}
+	}
+	s := f.gw.Stats()
+	if s.Retries == 0 {
+		t.Fatal("home replica died but Retries stayed 0; re-dispatch never happened")
+	}
+	if s.Replicas[home].Failures == 0 {
+		t.Fatal("dead replica shows no failures")
+	}
+}
+
+// TestGatewayHealthGatesDrainingReplica: a replica that began draining
+// leaves rotation on the next health sweep, before it refuses work.
+func TestGatewayHealthGatesDrainingReplica(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	ctx := context.Background()
+
+	// Find the factorial home, then drain it (listener stays open; its
+	// healthz now reports draining with 503).
+	if _, err := f.gwc.Ask(ctx, "number", "Calculate the factorial of {{n}}.", map[string]any{"n": 3}); err != nil {
+		t.Fatal(err)
+	}
+	home := -1
+	for i, reqs := range f.repRequests() {
+		if reqs > 0 {
+			home = i
+		}
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if _, err := f.srvs[home].Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	f.gw.CheckReplicas(ctx)
+
+	before := f.gw.Stats()
+	for i := 0; i < 4; i++ {
+		if _, err := f.gwc.Ask(ctx, "number", "Calculate the factorial of {{n}}.", map[string]any{"n": 4}); err != nil {
+			t.Fatalf("ask %d with drained home: %v", i, err)
+		}
+	}
+	after := f.gw.Stats()
+	if got := after.Replicas[home].Requests - before.Replicas[home].Requests; got != 0 {
+		t.Fatalf("drained replica received %d dispatches after leaving rotation", got)
+	}
+	if after.Retries != before.Retries {
+		t.Fatalf("health-gated rerouting burned %d retries; membership should have routed around the drain",
+			after.Retries-before.Retries)
+	}
+}
+
+// TestGatewayDrain: concurrent load through a drain — in-flight work
+// finishes, new work gets the draining envelope, and the drain reports
+// clean. Run under -race this doubles as the drain data-race test.
+func TestGatewayDrain(t *testing.T) {
+	f := newFleet(t, 2, nil)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := f.gwc.Ask(ctx, "number", "Calculate the factorial of {{n}}.", map[string]any{"n": i%6 + 1})
+			// In-flight requests may legitimately finish either side of
+			// the drain flag; only non-draining failures are bugs.
+			if err != nil && client.Kind(err) != api.KindDraining {
+				errs <- err
+			}
+		}(i)
+	}
+
+	drainCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if left := f.gw.Drain(drainCtx); left != 0 {
+		t.Fatalf("Drain left %d requests in flight", left)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("in-flight request failed across drain: %v", err)
+	}
+
+	_, err := f.gwc.Ask(ctx, "number", "Calculate the factorial of {{n}}.", map[string]any{"n": 2})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Envelope.Kind != api.KindDraining {
+		t.Fatalf("post-drain ask = %v, want draining envelope", err)
+	}
+	if !llm.IsTransient(err) {
+		t.Fatalf("draining rejection not transient: %v", err)
+	}
+	h, err := f.gwc.GatewayHealth(ctx)
+	if err != nil || h.Status != "draining" {
+		t.Fatalf("post-drain healthz = %+v, %v, want draining", h, err)
+	}
+}
+
+// TestGatewayNoReplica: with the whole fleet unroutable the gateway
+// fails fast with the transient no-replica envelope.
+func TestGatewayNoReplica(t *testing.T) {
+	f := newFleet(t, 2, nil)
+	ctx := context.Background()
+	for _, ts := range f.tss {
+		ts.Close()
+	}
+	f.gw.CheckReplicas(ctx)
+
+	_, err := f.gwc.Ask(ctx, "number", "Calculate the factorial of {{n}}.", map[string]any{"n": 2})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Envelope.Kind != api.KindNoReplica {
+		t.Fatalf("ask with dead fleet = %v, want no-replica envelope", err)
+	}
+	if !llm.IsTransient(err) {
+		t.Fatalf("no-replica rejection not transient: %v", err)
+	}
+	h, herr := f.gwc.GatewayHealth(ctx)
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	if h.Status != "degraded" || h.ReplicasUp != 0 {
+		t.Fatalf("healthz with dead fleet = %+v, want degraded/0", h)
+	}
+}
+
+// TestGatewayTracePropagation: a caller-minted trace id crosses the
+// gateway to the replica — one trace id resolves both hops.
+func TestGatewayTracePropagation(t *testing.T) {
+	f := &fleet{}
+	// Tracing fleet: replicas and gateway both sample everything.
+	sim := askit.NewSimClient(1)
+	sim.Noise.DirectBlind = 0
+	sim.Noise.CodegenBlind = 0
+	ai, err := askit.New(askit.Options{Client: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{AskIt: ai, TraceSample: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	f.srvs = append(f.srvs, srv)
+	f.urls = append(f.urls, ts.URL)
+	gw, err := New(Config{Replicas: f.urls, TraceSample: 1.0, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	gts := httptest.NewServer(gw.Handler())
+	t.Cleanup(gts.Close)
+	gwc := client.New(gts.URL)
+
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	ctx := client.WithTraceparent(context.Background(), "00-"+tid+"-00f067aa0ba902b7-01")
+	res, err := gwc.Do(ctx, "POST", "/v1/ask",
+		api.AskRequest{Type: "number", Template: "Calculate the factorial of {{n}}.", Args: map[string]any{"n": 5}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID != tid {
+		t.Fatalf("gateway echoed trace id %q, want %q", res.TraceID, tid)
+	}
+	// Both tiers retained their halves of the same trace: the gateway's
+	// root span tree and the replica's, joined by the shared id.
+	if _, err := gwc.Trace(ctx, tid); err != nil {
+		t.Fatalf("gateway-side trace not retained: %v", err)
+	}
+	rc := client.New(ts.URL)
+	rt, err := rc.Trace(ctx, tid)
+	if err != nil {
+		t.Fatalf("replica-side trace not retained: %v", err)
+	}
+	if rt.Root == nil || rt.Root.ParentID == "" {
+		t.Fatalf("replica root span has no parent; gateway hop did not propagate its span: %+v", rt.Root)
+	}
+}

@@ -1,0 +1,144 @@
+package gateway
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/api"
+	"repro/internal/obs"
+)
+
+// Read-side endpoints the gateway serves itself rather than proxying:
+// its own health and drain state, its own counters, the merged function
+// catalog, the Prometheus exposition, and the gateway-side halves of
+// retained traces. None of these pass the admission gate — inspecting a
+// struggling gateway matters most while it is struggling.
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	up := g.upCount()
+	status, code := "ok", http.StatusOK
+	switch {
+	case g.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case up == 0:
+		// No routable replica: an upstream balancer should pull the
+		// gateway until the fleet recovers.
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	api.WriteJSON(w, code, api.GatewayHealthResponse{
+		Inflight:   g.Inflight(),
+		ReplicasUp: up,
+		Status:     status,
+		UptimeS:    time.Since(g.start).Seconds(),
+	})
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	g.metrics.WritePrometheus(w)
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	api.WriteJSON(w, http.StatusOK, g.Stats())
+}
+
+// handleListFuncs merges GET /v1/funcs across the up replicas: installs
+// broadcast to every replica, but a replica that joined late (or missed
+// a broadcast) may lag, so the union — first writer wins per name — is
+// the fleet's catalog.
+func (g *Gateway) handleListFuncs(w http.ResponseWriter, r *http.Request) {
+	var reps []*replica
+	for _, rep := range g.replicas {
+		if rep.available() {
+			reps = append(reps, rep)
+		}
+	}
+	if len(reps) == 0 {
+		g.noReplica.Add(1)
+		api.WriteError(w, http.StatusServiceUnavailable,
+			api.Error{Message: "no up replica to take the request", Kind: api.KindNoReplica, Transient: true})
+		return
+	}
+	lists := make([]api.FuncListResponse, len(reps))
+	var wg sync.WaitGroup
+	for i, rep := range reps {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			lists[i], _ = rep.cli.Funcs(r.Context())
+		}(i, rep)
+	}
+	wg.Wait()
+	byName := map[string]api.FuncInfo{}
+	for _, l := range lists {
+		for _, fi := range l.Funcs {
+			if _, ok := byName[fi.Name]; !ok {
+				byName[fi.Name] = fi
+			}
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	funcs := make([]api.FuncInfo, 0, len(names))
+	for _, name := range names {
+		funcs = append(funcs, byName[name])
+	}
+	api.WriteJSON(w, http.StatusOK, api.FuncListResponse{Funcs: funcs})
+}
+
+// defaultTraceLimit bounds an unqualified /v1/traces listing, matching
+// the serving tier.
+const defaultTraceLimit = 50
+
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if g.tracer == nil {
+		api.WriteJSON(w, http.StatusOK, api.TraceListResponse{Enabled: false})
+		return
+	}
+	limit := defaultTraceLimit
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			api.WriteError(w, http.StatusBadRequest,
+				api.Error{Message: "limit must be a positive integer", Kind: api.KindBadLimit})
+			return
+		}
+		limit = n
+	}
+	sums := g.tracer.Summaries(limit)
+	if sums == nil {
+		sums = []obs.TraceSummary{}
+	}
+	api.WriteJSON(w, http.StatusOK, api.TraceListResponse{Enabled: true, Traces: sums})
+}
+
+func (g *Gateway) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if g.tracer == nil {
+		api.WriteJSON(w, http.StatusOK, api.TraceListResponse{Enabled: false})
+		return
+	}
+	id := r.PathValue("id")
+	td, ok := g.tracer.Lookup(id)
+	if !ok {
+		api.WriteError(w, http.StatusNotFound, api.Error{
+			Message: "no retained trace with id " + id + " (dropped by the sampler, evicted, or never seen)",
+			Kind:    api.KindUnknownTrace,
+		})
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, api.TraceResponse{
+		TraceID: td.TraceID,
+		Route:   td.Route,
+		DurUs:   td.DurUs,
+		Err:     td.Err,
+		Reason:  td.Reason,
+		Dropped: td.Dropped,
+		Root:    api.SpanTree(td.Spans),
+	})
+}

@@ -1,0 +1,78 @@
+package gateway
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Health-gated membership: a background poller probes every replica's
+// /healthz each HealthInterval and flips its routability. The probe
+// respects the daemon's drain semantics — askitd answers 503 with
+// status "draining" the moment Drain begins, while its listener is
+// still accepting — so a draining replica leaves rotation *before* it
+// starts refusing work, instead of after the gateway has burned a
+// request discovering it.
+
+// startPoller performs one synchronous sweep (a gateway started after
+// its fleet must route immediately, not one poll interval later) and
+// launches the background loop.
+func (g *Gateway) startPoller() {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	g.pollStop = func() { once.Do(cancel) }
+	g.pollDone = make(chan struct{})
+	g.CheckReplicas(ctx)
+	go func() {
+		defer close(g.pollDone)
+		t := time.NewTicker(g.cfg.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				g.CheckReplicas(ctx)
+			}
+		}
+	}()
+}
+
+// CheckReplicas probes every replica's /healthz once, in parallel, and
+// updates membership. Exported so tests (and operators' tooling) can
+// force a sweep instead of waiting out the poll interval.
+func (g *Gateway) CheckReplicas(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, rep := range g.replicas {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			g.checkReplica(ctx, rep)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+func (g *Gateway) checkReplica(ctx context.Context, rep *replica) {
+	hctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+	defer cancel()
+	h, err := rep.cli.Health(hctx)
+	up := err == nil
+	draining := up && h.Status == "draining"
+	wasRoutable := rep.available()
+	rep.draining.Store(draining)
+	rep.up.Store(up)
+	if routable := rep.available(); routable != wasRoutable {
+		switch {
+		case routable:
+			g.metrics.Emit("gw-replica-up", rep.url)
+			g.logf("gateway: replica %s joined rotation", rep.url)
+		case draining:
+			g.metrics.Emit("gw-replica-draining", rep.url)
+			g.logf("gateway: replica %s draining, left rotation", rep.url)
+		default:
+			g.metrics.Emit("gw-replica-down", rep.url)
+			g.logf("gateway: replica %s down: %v", rep.url, err)
+		}
+	}
+}

@@ -1,0 +1,464 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/api"
+	"repro/internal/llm"
+	"repro/internal/obs"
+)
+
+// The proxied data path. The gateway forwards the caller's raw bytes —
+// it never re-marshals a request or a replica's response, so the wire
+// contract the api golden test pins is preserved byte-for-byte through
+// the hop. The body is buffered once (bounded, same limit as the
+// replicas enforce) because the routing key lives inside it and a retry
+// or hedge must be able to replay it.
+
+const (
+	// maxBodyBytes matches the replicas' request-body bound.
+	maxBodyBytes = 1 << 20
+	// maxRelayBytes bounds a buffered replica response; batch responses
+	// are the largest legitimate payloads.
+	maxRelayBytes = 8 << 20
+)
+
+// statusClientClosed is the non-standard 499 the serving tier uses for
+// a caller that hung up mid-request.
+const statusClientClosed = 499
+
+// errNoReplica means every candidate was down, circuit-open, or failed
+// with a retryable outcome and nothing produced an HTTP response worth
+// relaying.
+var errNoReplica = errors.New("gateway: no replica available")
+
+// keyFunc extracts a request's routing key; "" means no affinity
+// (spread like RoutingRandom).
+type keyFunc func(r *http.Request, body []byte) string
+
+// askKey keys /v1/ask and /v1/ask/batch by the task spec — repeated
+// asks of one template land on one replica, whose answer cache pays.
+// A malformed body gets no key; the replica it lands on produces the
+// canonical error envelope.
+func askKey(r *http.Request, body []byte) string {
+	var req api.AskRequest
+	if json.Unmarshal(body, &req) != nil {
+		return ""
+	}
+	return "spec\x00" + req.Type + "\x00" + req.Template
+}
+
+// installKey keys installs by function name when present (so installs
+// and calls of one function share a home replica), else by spec.
+func installKey(r *http.Request, body []byte) string {
+	var req api.InstallRequest
+	if json.Unmarshal(body, &req) != nil {
+		return ""
+	}
+	if req.Name != "" {
+		return "func\x00" + req.Name
+	}
+	return "spec\x00" + req.Type + "\x00" + req.Template
+}
+
+// callKey keys calls by the function name in the path — no body decode
+// on the hottest route.
+func callKey(r *http.Request, body []byte) string {
+	return "func\x00" + r.PathValue("name")
+}
+
+// proxyRoute describes one proxied work endpoint.
+type proxyRoute struct {
+	name string // route label ("ask", "call", ...)
+	span string // root span name constant
+	// hedge allows duplicate dispatch for stragglers. Only cheap
+	// idempotent routes hedge; batches would duplicate whole fan-outs.
+	hedge bool
+	// broadcast fans a successful body out to every other up replica
+	// (installs: the home replica compiles and stores, the others load
+	// the shared store's artifact, so any replica can serve the call).
+	broadcast bool
+	key       keyFunc
+}
+
+func (g *Gateway) routes() {
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+	g.mux.HandleFunc("GET /v1/stats", g.handleStats)
+	g.mux.HandleFunc("GET /v1/traces", g.handleTraces)
+	g.mux.HandleFunc("GET /v1/traces/{id}", g.handleTraceByID)
+	g.mux.HandleFunc("GET /v1/funcs", g.handleListFuncs)
+	g.mux.Handle("POST /v1/ask", g.proxy(proxyRoute{name: "ask", span: spanGwAsk, hedge: true, key: askKey}))
+	g.mux.Handle("POST /v1/ask/batch", g.proxy(proxyRoute{name: "ask_batch", span: spanGwAskBatch, key: askKey}))
+	g.mux.Handle("POST /v1/funcs", g.proxy(proxyRoute{name: "install", span: spanGwInstall, broadcast: true, key: installKey}))
+	g.mux.Handle("POST /v1/funcs/{name}/call", g.proxy(proxyRoute{name: "call", span: spanGwCall, hedge: true, key: callKey}))
+	g.mux.Handle("POST /v1/funcs/{name}/batch", g.proxy(proxyRoute{name: "call_batch", span: spanGwCallBatch, key: callKey}))
+}
+
+// stampInboundTrace echoes a valid inbound traceparent's trace id into
+// X-Trace-Id on a request rejected before a root span exists, so the
+// error envelope still carries the caller's trace id (api.WriteError
+// reads this header). Same rule as the serving tier's admission gate.
+func stampInboundTrace(w http.ResponseWriter, r *http.Request) {
+	if parent, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		w.Header().Set("X-Trace-Id", parent.TraceID.String())
+	}
+}
+
+// proxy wraps one work route with the gateway's admission gate, root
+// span, and latency histogram around dispatch.
+func (g *Gateway) proxy(pr proxyRoute) http.Handler {
+	hist := g.metrics.Histogram("askit_gw_request_duration_seconds",
+		obs.Help("Gateway request latency by route."),
+		obs.Labels("route", pr.name))
+	traceRoute := g.tracer.Route(pr.span)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Same increment-then-check order as the serving tier: every
+		// request either sees draining or is visible to Drain's wait.
+		g.inflight.Add(1)
+		if g.draining.Load() {
+			g.exit()
+			g.rejectedDraining.Add(1)
+			stampInboundTrace(w, r)
+			api.WriteError(w, http.StatusServiceUnavailable,
+				api.Error{Message: "gateway is draining", Kind: api.KindDraining, Transient: true})
+			return
+		}
+		defer g.exit()
+		g.requests.Add(1)
+
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			api.WriteError(w, http.StatusBadRequest,
+				api.Error{Message: "unreadable or oversized request body", Kind: api.KindBadJSON})
+			return
+		}
+
+		ctx := r.Context()
+		if g.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, g.cfg.RequestTimeout)
+			defer cancel()
+		}
+		var span *obs.Span
+		if traceRoute != nil {
+			parent, joined := obs.ParseTraceparent(r.Header.Get("traceparent"))
+			ctx, span = traceRoute.StartRoot(ctx, parent)
+			if joined || span.Sampled() {
+				tid, _ := span.TraceContext()
+				w.Header().Set("X-Trace-Id", tid.String())
+			}
+		}
+		t0 := time.Now()
+		code := g.dispatch(ctx, w, r, pr, body)
+		if span != nil {
+			if code >= 400 {
+				span.Fail(http.StatusText(code))
+			}
+			span.End()
+		}
+		hist.Observe(time.Since(t0))
+	})
+}
+
+// relayResp is one replica's buffered HTTP response, ready to relay or
+// retry past.
+type relayResp struct {
+	replica    int
+	status     int
+	body       []byte
+	retryAfter string
+	traceID    string
+	// retryable marks a response whose envelope says the identical
+	// request may succeed elsewhere (drain, saturation, transient
+	// backend failure) — the walk moves on to the next ring replica.
+	retryable bool
+}
+
+// dispatch routes one buffered request: candidate selection, the
+// (possibly hedged) ring walk, install broadcast, and the relay. It
+// returns the status written.
+func (g *Gateway) dispatch(ctx context.Context, w http.ResponseWriter, r *http.Request, pr proxyRoute, body []byte) int {
+	key := ""
+	if pr.key != nil {
+		key = pr.key(r, body)
+	}
+	cands := g.candidates(key)
+	if len(cands) == 0 {
+		g.noReplica.Add(1)
+		api.WriteError(w, http.StatusServiceUnavailable,
+			api.Error{Message: "no up replica to take the request", Kind: api.KindNoReplica, Transient: true})
+		return http.StatusServiceUnavailable
+	}
+	inboundTP := r.Header.Get("traceparent")
+	uri := r.URL.RequestURI()
+	t0 := time.Now()
+
+	res, err := g.race(ctx, pr, cands, r.Method, uri, body, inboundTP)
+	if err != nil {
+		if llm.IsCancellation(err) || ctx.Err() != nil {
+			api.WriteError(w, statusClientClosed,
+				api.Error{Message: "client closed request", Kind: api.KindClientClosed})
+			return statusClientClosed
+		}
+		g.noReplica.Add(1)
+		api.WriteError(w, http.StatusServiceUnavailable,
+			api.Error{Message: "every replica failed or is unavailable", Kind: api.KindNoReplica, Transient: true})
+		return http.StatusServiceUnavailable
+	}
+	if res.status < 400 {
+		g.lat.add(time.Since(t0))
+	}
+	if pr.broadcast && res.status < 300 {
+		g.broadcastInstall(ctx, res.replica, r.Method, uri, body, inboundTP)
+	}
+	g.relay(w, res)
+	return res.status
+}
+
+// race runs the ring walk, hedged with a second walk offset by one
+// replica when the route is idempotent and the dynamic delay has
+// activated (the llm.Router pattern, one tier up).
+func (g *Gateway) race(ctx context.Context, pr proxyRoute, cands []int, method, uri string, body []byte, inboundTP string) (*relayResp, error) {
+	var delay time.Duration
+	if pr.hedge {
+		delay = g.hedgeDelay()
+	}
+	if delay <= 0 || len(cands) < 2 {
+		return g.walk(ctx, cands, method, uri, body, inboundTP)
+	}
+
+	type result struct {
+		res   *relayResp
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2) // losers never block
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	go func() {
+		res, err := g.walk(pctx, cands, method, uri, body, inboundTP)
+		ch <- result{res, err, false}
+	}()
+
+	rotated := append(append(make([]int, 0, len(cands)), cands[1:]...), cands[0])
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var hcancel context.CancelFunc
+	pending := 1
+	var last result
+	for {
+		select {
+		case res := <-ch:
+			pending--
+			if res.err == nil {
+				if res.hedge {
+					g.hedgeWins.Add(1)
+				}
+				pcancel()
+				if hcancel != nil {
+					hcancel()
+				}
+				return res.res, nil
+			}
+			// Prefer reporting a replica failure over the loser's
+			// cancellation if both walks end in error.
+			if last.err == nil || !llm.IsCancellation(res.err) || llm.IsCancellation(last.err) {
+				last = res
+			}
+			if pending == 0 {
+				if hcancel != nil {
+					hcancel()
+				}
+				return last.res, last.err
+			}
+		case <-timer.C:
+			if hcancel == nil {
+				g.hedges.Add(1)
+				var hctx context.Context
+				hctx, hcancel = context.WithCancel(ctx)
+				defer hcancel()
+				pending++
+				go func() {
+					res, err := g.walk(hctx, rotated, method, uri, body, inboundTP)
+					ch <- result{res, err, true}
+				}()
+			}
+		}
+	}
+}
+
+// walk tries the candidates in order: a down or circuit-open replica is
+// skipped, a retryable failure (transport error, drain, saturation,
+// transient 5xx) moves to the next distinct replica, and the first
+// definitive response — success or a permanent error — is relayed as
+// is. When every candidate fails retryably, the last HTTP response (if
+// any) is still relayed faithfully; only a response-less walk reports
+// errNoReplica.
+func (g *Gateway) walk(ctx context.Context, cands []int, method, uri string, body []byte, inboundTP string) (*relayResp, error) {
+	var last *relayResp
+	attempts := 0
+	for _, idx := range cands {
+		rep := g.replicas[idx]
+		if !rep.available() {
+			continue
+		}
+		ok, probe := rep.breaker.Allow(time.Now())
+		if !ok {
+			continue
+		}
+		attempts++
+		if attempts > 1 {
+			g.retries.Add(1)
+		}
+		res, err := g.attempt(ctx, idx, probe, method, uri, body, inboundTP)
+		if err != nil {
+			if llm.IsCancellation(err) || ctx.Err() != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !res.retryable {
+			return res, nil
+		}
+		last = res
+	}
+	if last != nil {
+		return last, nil
+	}
+	return nil, errNoReplica
+}
+
+// attempt forwards the buffered request to one replica and buffers its
+// response. The error return is transport-level only (never HTTP
+// status); breaker and failure accounting treat transport errors and
+// 5xx as replica health signals, 4xx as the caller's problem.
+func (g *Gateway) attempt(ctx context.Context, idx int, probe bool, method, uri string, body []byte, inboundTP string) (*relayResp, error) {
+	rep := g.replicas[idx]
+	actx, asp := obs.StartSpan(ctx, spanGwForward)
+	asp.SetAttr("replica", rep.url)
+	tp := asp.Traceparent()
+	if tp == "" {
+		tp = inboundTP
+	}
+
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
+	rep.requests.Add(1)
+
+	fail := func(err error) (*relayResp, error) {
+		rep.failures.Add(1)
+		if asp != nil {
+			if llm.IsCancellation(err) || ctx.Err() != nil {
+				// A hedge loser's cancellation is the cost of a hedge win,
+				// not a replica failure.
+				asp.SetAttr("canceled", "true")
+				if probe {
+					rep.breaker.CancelProbe()
+				}
+			} else {
+				asp.Fail(err.Error())
+			}
+			asp.End()
+		}
+		if !llm.IsCancellation(err) && ctx.Err() == nil {
+			rep.breaker.OnResult(time.Now(), false)
+		}
+		return nil, err
+	}
+
+	req, err := http.NewRequestWithContext(actx, method, rep.url+uri, bytes.NewReader(body))
+	if err != nil {
+		return fail(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes))
+	if err != nil {
+		return fail(err)
+	}
+
+	res := &relayResp{
+		replica:    idx,
+		status:     resp.StatusCode,
+		body:       buf,
+		retryAfter: resp.Header.Get("Retry-After"),
+		traceID:    resp.Header.Get("X-Trace-Id"),
+	}
+	if res.status >= 400 {
+		var e api.Error
+		if json.Unmarshal(buf, &e) == nil && e.Kind != "" {
+			res.retryable = e.Transient
+		} else {
+			res.retryable = res.status >= 500 || res.status == http.StatusTooManyRequests
+		}
+	}
+	// Breaker health: a served response — any status the replica chose
+	// to send, 5xx excepted — proves the replica alive.
+	rep.breaker.OnResult(time.Now(), res.status < 500)
+	if res.status >= 500 {
+		rep.failures.Add(1)
+	}
+	if asp != nil {
+		if res.status >= 400 {
+			asp.Fail(http.StatusText(res.status))
+		}
+		asp.End()
+	}
+	return res, nil
+}
+
+// relay writes one buffered replica response to the caller verbatim.
+// The replica's X-Trace-Id only fills in when the gateway did not stamp
+// its own (same trace id when the hop joined, by construction).
+func (g *Gateway) relay(w http.ResponseWriter, res *relayResp) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if res.retryAfter != "" {
+		h.Set("Retry-After", res.retryAfter)
+	}
+	if res.traceID != "" && h.Get("X-Trace-Id") == "" {
+		h.Set("X-Trace-Id", res.traceID)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// broadcastInstall fans a successful install body out to every other up
+// replica, home replica first having already stored the artifact — the
+// others hit the shared store, so the fan-out costs zero model calls.
+// Broadcast failures are counted and logged but never fail the caller's
+// install: the home replica has the function, and a replica that missed
+// the broadcast picks the artifact up from the store on its next
+// install or restart.
+func (g *Gateway) broadcastInstall(ctx context.Context, home int, method, uri string, body []byte, inboundTP string) {
+	for idx, rep := range g.replicas {
+		if idx == home || !rep.available() {
+			continue
+		}
+		g.broadcasts.Add(1)
+		res, err := g.attempt(ctx, idx, false, method, uri, body, inboundTP)
+		if err != nil || res.status >= 400 {
+			g.broadcastFails.Add(1)
+			status := 0
+			if res != nil {
+				status = res.status
+			}
+			g.logf("gateway: install broadcast to %s failed: status=%d err=%v", rep.url, status, err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package gateway
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Consistent-hash ring over the configured replica set. Each replica
+// contributes vnodesPerReplica virtual points so key ownership spreads
+// evenly; a key's candidate order is the distinct-replica successor walk
+// from its hash position. The ring is built once over the *configured*
+// replicas and never rebuilt: a down replica is skipped during the walk,
+// which is exactly the consistent-hashing rebalance guarantee — only the
+// keys owned by the lost replica move (to their next-distinct successor),
+// every other key keeps its owner.
+
+// vnodesPerReplica is the virtual-node count per replica. 64 points per
+// replica keeps the max/mean key imbalance within a few percent for small
+// fleets without making ring construction or the successor walk
+// noticeable.
+const vnodesPerReplica = 64
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+type ring struct {
+	points []ringPoint
+	n      int // replica count
+}
+
+// fnv1a is the 64-bit FNV-1a hash finished with a splitmix64 avalanche.
+// Stable across processes (unlike maphash) and cheap; the finalizer
+// matters — raw FNV-1a over near-identical strings ("url#0", "url#1",
+// ...) clusters on the ring badly enough to skew ownership 6:1.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// buildRing places vnodes points per named replica on the ring. Names
+// must be stable across gateway restarts (replica URLs) so key ownership
+// is stable too.
+func buildRing(names []string, vnodes int) *ring {
+	r := &ring{n: len(names)}
+	r.points = make([]ringPoint, 0, len(names)*vnodes)
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    fnv1a(name + "#" + strconv.Itoa(v)),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// order returns every replica index exactly once, in successor order
+// from key's ring position: the key's home replica first, then each
+// next-distinct replica clockwise. The caller filters for liveness and
+// load; the ring itself is membership-blind by design (see package
+// comment). buf, when non-nil, is reused to avoid the allocation.
+func (r *ring) order(key string, buf []int) []int {
+	out := buf[:0]
+	if r.n == 0 {
+		return out
+	}
+	h := fnv1a(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, r.n)
+	for i := 0; len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}

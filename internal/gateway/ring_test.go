@@ -1,0 +1,88 @@
+package gateway
+
+import (
+	"strconv"
+	"testing"
+)
+
+// ringNames builds n stable fake replica URLs.
+func ringNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "http://replica-" + strconv.Itoa(i) + ":8080"
+	}
+	return names
+}
+
+// TestRingRebalance is the consistent-hashing contract: removing one of
+// N replicas moves only the keys that replica owned (≤ 1/N + ε of the
+// keyspace), and every surviving replica keeps every key it had.
+func TestRingRebalance(t *testing.T) {
+	const n, keys = 5, 20000
+	names := ringNames(n)
+	full := buildRing(names, vnodesPerReplica)
+	reduced := buildRing(names[:n-1], vnodesPerReplica)
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := "key-" + strconv.Itoa(i)
+		before := full.order(key, nil)[0]
+		after := reduced.order(key, nil)[0]
+		if before == n-1 {
+			moved++
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %q owned by surviving replica %d moved to %d", key, before, after)
+		}
+	}
+	frac := float64(moved) / float64(keys)
+	if want, eps := 1.0/float64(n), 0.05; frac > want+eps {
+		t.Errorf("removing 1/%d of replicas moved %.1f%% of keys, want ≤ %.1f%%",
+			n, 100*frac, 100*(want+eps))
+	}
+	if frac == 0 {
+		t.Error("no key was owned by the removed replica; ring is not spreading keys")
+	}
+}
+
+// TestRingBalance checks vnode spreading: no replica owns a wildly
+// outsized share of the keyspace.
+func TestRingBalance(t *testing.T) {
+	const n, keys = 5, 20000
+	r := buildRing(ringNames(n), vnodesPerReplica)
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[r.order("key-"+strconv.Itoa(i), nil)[0]]++
+	}
+	for i, c := range counts {
+		share := float64(c) / float64(keys)
+		if share < 0.08 || share > 0.40 {
+			t.Errorf("replica %d owns %.1f%% of keys; want a rough 1/%d share", i, 100*share, n)
+		}
+	}
+}
+
+// TestRingOrderDistinct: the successor walk yields every replica exactly
+// once, home first, and is stable for a fixed key.
+func TestRingOrderDistinct(t *testing.T) {
+	const n = 4
+	r := buildRing(ringNames(n), vnodesPerReplica)
+	order := r.order("some-key", nil)
+	if len(order) != n {
+		t.Fatalf("order returned %d replicas, want %d", len(order), n)
+	}
+	seen := map[int]bool{}
+	for _, idx := range order {
+		if seen[idx] {
+			t.Fatalf("replica %d appears twice in %v", idx, order)
+		}
+		seen[idx] = true
+	}
+	again := r.order("some-key", make([]int, 0, n))
+	for i := range order {
+		if order[i] != again[i] {
+			t.Fatalf("order not stable: %v vs %v", order, again)
+		}
+	}
+}

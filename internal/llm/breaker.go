@@ -31,23 +31,24 @@ func (s breakerState) String() string {
 	}
 }
 
-// breaker is a per-backend circuit breaker. Closed passes traffic and
-// counts consecutive failures; at the threshold it opens and the router
-// skips the backend, shedding load off a dying upstream instead of
-// feeding it retries. After openFor it half-opens: exactly one probe
+// Breaker is a per-upstream circuit breaker, shared by the LLM router
+// (per backend) and the HTTP gateway (per replica). Closed passes
+// traffic and counts consecutive failures; at the threshold it opens
+// and the caller skips the upstream, shedding load off a dying target
+// instead of feeding it retries. After openFor it half-opens: exactly one probe
 // request is admitted, and its outcome decides — success closes the
 // breaker, failure re-opens it for another openFor. Cancellation is
 // never an outcome: a caller hanging up says nothing about the backend.
 //
-// A nil *breaker is a disabled breaker: every method short-circuits to
+// A nil *Breaker is a disabled breaker: every method short-circuits to
 // the pass-through behavior.
-type breaker struct {
+type Breaker struct {
 	threshold int
 	openFor   time.Duration
 	// notify, when non-nil, receives state-transition announcements
-	// ("open", "closed") for the event trail. Set once at construction
-	// time, before any traffic; called with mu held (the callback must
-	// not re-enter the breaker).
+	// ("open", "closed") for the event trail. Set via SetNotify before
+	// any traffic; called with mu held (the callback must not re-enter
+	// the breaker).
 	notify func(to string)
 
 	mu       sync.Mutex
@@ -58,7 +59,10 @@ type breaker struct {
 	opens    uint64
 }
 
-func newBreaker(threshold int, openFor time.Duration) *breaker {
+// NewBreaker returns a Breaker. threshold 0 means
+// DefaultBreakerThreshold and openFor 0 means DefaultBreakerOpenFor; a
+// negative threshold returns nil — the disabled breaker.
+func NewBreaker(threshold int, openFor time.Duration) *Breaker {
 	if threshold < 0 {
 		return nil // disabled
 	}
@@ -68,14 +72,24 @@ func newBreaker(threshold int, openFor time.Duration) *breaker {
 	if openFor <= 0 {
 		openFor = DefaultBreakerOpenFor
 	}
-	return &breaker{threshold: threshold, openFor: openFor}
+	return &Breaker{threshold: threshold, openFor: openFor}
 }
 
-// allow reports whether a request may hit the backend right now. probe
-// is true when the request was admitted as the single half-open probe;
-// the caller must settle it with onResult or, if it never reaches the
-// backend (e.g. the concurrency slot was unavailable), cancelProbe.
-func (b *breaker) allow(now time.Time) (ok, probe bool) {
+// SetNotify installs the state-transition callback ("open",
+// "closed"). Call once, before the breaker sees traffic; the callback
+// runs with the breaker's lock held and must not re-enter it.
+func (b *Breaker) SetNotify(fn func(to string)) {
+	if b != nil {
+		b.notify = fn
+	}
+}
+
+// Allow reports whether a request may hit the upstream right now.
+// probe is true when the request was admitted as the single half-open
+// probe; the caller must settle it with OnResult or, if it never
+// reaches the upstream (e.g. the concurrency slot was unavailable),
+// CancelProbe.
+func (b *Breaker) Allow(now time.Time) (ok, probe bool) {
 	if b == nil {
 		return true, false
 	}
@@ -100,8 +114,8 @@ func (b *breaker) allow(now time.Time) (ok, probe bool) {
 	}
 }
 
-// cancelProbe returns an unused half-open probe slot.
-func (b *breaker) cancelProbe() {
+// CancelProbe returns an unused half-open probe slot.
+func (b *Breaker) CancelProbe() {
 	if b == nil {
 		return
 	}
@@ -112,9 +126,10 @@ func (b *breaker) cancelProbe() {
 	b.mu.Unlock()
 }
 
-// onResult records a request outcome. Cancellation outcomes must not be
-// reported (the router filters them before calling).
-func (b *breaker) onResult(now time.Time, success bool) {
+// OnResult records a request outcome. Cancellation outcomes must not
+// be reported (callers filter them first): a caller hanging up says
+// nothing about the upstream.
+func (b *Breaker) OnResult(now time.Time, success bool) {
 	if b == nil {
 		return
 	}
@@ -156,9 +171,9 @@ func (b *breaker) onResult(now time.Time, success bool) {
 	}
 }
 
-// openCount returns the open-transition count, for the registry's
-// per-backend breaker counter.
-func (b *breaker) openCount() uint64 {
+// OpenCount returns the open-transition count, for the registry's
+// per-upstream breaker counter.
+func (b *Breaker) OpenCount() uint64 {
 	if b == nil {
 		return 0
 	}
@@ -167,9 +182,9 @@ func (b *breaker) openCount() uint64 {
 	return b.opens
 }
 
-// snapshot returns the displayed state ("off" when disabled) and the
+// Snapshot returns the displayed state ("off" when disabled) and the
 // open-transition count.
-func (b *breaker) snapshot(now time.Time) (state string, opens uint64) {
+func (b *Breaker) Snapshot(now time.Time) (state string, opens uint64) {
 	if b == nil {
 		return "off", 0
 	}

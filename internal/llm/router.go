@@ -117,7 +117,7 @@ type routerBackend struct {
 	name     string
 	client   Client
 	sem      chan struct{} // nil = unbounded
-	breaker  *breaker      // nil = disabled
+	breaker  *Breaker      // nil = disabled
 	requests *obs.Counter
 	failures *obs.Counter
 }
@@ -165,7 +165,7 @@ func NewRouterWithOptions(opts RouterOptions, backends ...Backend) (*Router, err
 		rb := &routerBackend{
 			name:    b.Name,
 			client:  b.Client,
-			breaker: newBreaker(opts.BreakerThreshold, opts.BreakerOpenFor),
+			breaker: NewBreaker(opts.BreakerThreshold, opts.BreakerOpenFor),
 		}
 		if rb.name == "" {
 			rb.name = fmt.Sprintf("backend-%d", i)
@@ -183,11 +183,11 @@ func NewRouterWithOptions(opts RouterOptions, backends ...Backend) (*Router, err
 			// event-logged, with the live state readable as a gauge
 			// (0 closed, 0.5 half-open, 1 open).
 			br, name := rb.breaker, rb.name
-			br.notify = func(to string) { reg.Emit("breaker-"+to, name) }
-			reg.CounterFunc("askit_backend_breaker_opens_total", br.openCount,
+			br.SetNotify(func(to string) { reg.Emit("breaker-"+to, name) })
+			reg.CounterFunc("askit_backend_breaker_opens_total", br.OpenCount,
 				obs.Help("Breaker open transitions per backend."), lbl)
 			reg.GaugeFunc("askit_backend_breaker_open", func() float64 {
-				state, _ := br.snapshot(time.Now())
+				state, _ := br.Snapshot(time.Now())
 				switch state {
 				case "open":
 					return 1
@@ -419,7 +419,7 @@ func (r *Router) walk(ctx context.Context, req Request, start int) (Response, er
 		b.release()
 		b.requests.Add(1)
 		if err == nil {
-			b.breaker.onResult(time.Now(), true)
+			b.breaker.OnResult(time.Now(), true)
 			return resp, nil, false
 		}
 		b.failures.Add(1)
@@ -427,11 +427,11 @@ func (r *Router) walk(ctx context.Context, req Request, start int) (Response, er
 			// The caller hung up mid-request; the backend's health is
 			// unknown, so a consumed probe slot is returned, not settled.
 			if probe {
-				b.breaker.cancelProbe()
+				b.breaker.CancelProbe()
 			}
 			return Response{}, err, true
 		}
-		b.breaker.onResult(time.Now(), false)
+		b.breaker.OnResult(time.Now(), false)
 		lastErr = err
 		if !last {
 			r.failovers.Add(1)
@@ -446,14 +446,14 @@ func (r *Router) walk(ctx context.Context, req Request, start int) (Response, er
 	var saturated []*routerBackend
 	for i := 0; i < n; i++ {
 		b := r.backends[(start+i)%n]
-		ok, probe := b.breaker.allow(time.Now())
+		ok, probe := b.breaker.Allow(time.Now())
 		if !ok {
 			r.breakerSkips.Add(1)
 			continue
 		}
 		if !b.tryAcquire() {
 			if probe {
-				b.breaker.cancelProbe()
+				b.breaker.CancelProbe()
 			}
 			r.saturationSkips.Add(1)
 			saturated = append(saturated, b)
@@ -473,14 +473,14 @@ func (r *Router) walk(ctx context.Context, req Request, start int) (Response, er
 	// only option left short of failing the request. Breakers are
 	// re-consulted — one may have tripped (or half-opened) since pass 1.
 	for j, b := range saturated {
-		ok, probe := b.breaker.allow(time.Now())
+		ok, probe := b.breaker.Allow(time.Now())
 		if !ok {
 			r.breakerSkips.Add(1)
 			continue
 		}
 		if err := b.acquire(ctx); err != nil {
 			if probe {
-				b.breaker.cancelProbe()
+				b.breaker.CancelProbe()
 			}
 			return Response{}, err
 		}
@@ -555,7 +555,7 @@ func (r *Router) Stats() RouterStats {
 	}
 	now := time.Now()
 	for _, b := range r.backends {
-		state, opens := b.breaker.snapshot(now)
+		state, opens := b.breaker.Snapshot(now)
 		s.Backends = append(s.Backends, BackendStats{
 			Name:         b.name,
 			Requests:     b.requests.Value(),

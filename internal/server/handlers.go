@@ -9,6 +9,7 @@ import (
 	"time"
 
 	askit "repro"
+	"repro/api"
 	"repro/internal/core"
 	"repro/internal/llm"
 	"repro/internal/minilang/analysis"
@@ -39,13 +40,7 @@ func clampWorkers(workers int) int {
 	return workers
 }
 
-// exampleJSON is the wire form of askit.Example.
-type exampleJSON struct {
-	Input  map[string]any `json:"input"`
-	Output any            `json:"output"`
-}
-
-func toExamples(in []exampleJSON) []askit.Example {
+func toExamples(in []api.Example) []askit.Example {
 	out := make([]askit.Example, len(in))
 	for i, e := range in {
 		out[i] = askit.Example{Input: e.Input, Output: e.Output}
@@ -53,37 +48,10 @@ func toExamples(in []exampleJSON) []askit.Example {
 	return out
 }
 
-// paramJSON declares one parameter's type in a func install.
-type paramJSON struct {
-	Name string `json:"name"`
-	Type string `json:"type"`
-}
-
-// errorResponse is the uniform error envelope. Transient tells clients
-// whether retrying the identical request can succeed (overload, drain,
-// backend hiccup) or cannot (bad request, permanent engine failure).
-// Diagnostics is set for kind "static-error": each entry locates one
-// analyzer finding in the rejected source.
-type errorResponse struct {
-	Error       string     `json:"error"`
-	Kind        string     `json:"kind"`
-	Transient   bool       `json:"transient,omitempty"`
-	Diagnostics []diagJSON `json:"diagnostics,omitempty"`
-}
-
-// diagJSON is the wire form of one static-analysis diagnostic.
-type diagJSON struct {
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Severity string `json:"severity"`
-	Code     string `json:"code"`
-	Message  string `json:"msg"`
-}
-
-func toDiagJSON(in []analysis.Diagnostic) []diagJSON {
-	out := make([]diagJSON, len(in))
+func toDiagnostics(in []analysis.Diagnostic) []api.Diagnostic {
+	out := make([]api.Diagnostic, len(in))
 	for i, d := range in {
-		out[i] = diagJSON{
+		out[i] = api.Diagnostic{
 			Line:     d.Pos.Line,
 			Col:      d.Pos.Col,
 			Severity: d.Sev.String(),
@@ -98,21 +66,17 @@ func toDiagJSON(in []analysis.Diagnostic) []diagJSON {
 // the structured diagnostics, so clients can point at the offending
 // line instead of parsing an error string.
 func writeStaticError(w http.ResponseWriter, de *analysis.DiagError) {
-	writeJSON(w, http.StatusBadRequest, errorResponse{
-		Error: de.Error(), Kind: "static-error", Diagnostics: toDiagJSON(de.Diags),
+	api.WriteError(w, http.StatusBadRequest, api.Error{
+		Message: de.Error(), Kind: api.KindStaticError, Diagnostics: toDiagnostics(de.Diags),
 	})
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
-}
-
+// writeError is the one funnel every error response leaves through:
+// the api envelope, stamped with the request's trace id when the
+// admission layer resolved one into X-Trace-Id (joined or
+// head-sampled traces — see api.WriteError).
 func writeError(w http.ResponseWriter, code int, kind, msg string, transient bool) {
-	writeJSON(w, code, errorResponse{Error: msg, Kind: kind, Transient: transient})
+	api.WriteError(w, code, api.Error{Message: msg, Kind: kind, Transient: transient})
 }
 
 // decodeBody decodes a JSON request body, reporting malformed input as
@@ -121,7 +85,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(into); err != nil {
-		writeError(w, http.StatusBadRequest, "bad-json", "invalid request body: "+err.Error(), false)
+		writeError(w, http.StatusBadRequest, api.KindBadJSON, "invalid request body: "+err.Error(), false)
 		return false
 	}
 	return true
@@ -138,67 +102,54 @@ func writeEngineError(w http.ResponseWriter, err error) {
 	var derr *analysis.DiagError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "timeout", err.Error(), true)
+		writeError(w, http.StatusGatewayTimeout, api.KindTimeout, err.Error(), true)
 	case errors.Is(err, context.Canceled):
 		// The client is gone; 499 (nginx convention) documents it in
 		// logs. Transient matches the batch-element classification of
 		// the same condition: a retry with a live client can succeed.
-		writeError(w, 499, "client-closed", err.Error(), true)
+		writeError(w, 499, api.KindClientClosed, err.Error(), true)
 	case errors.Is(err, core.ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, "draining", err.Error(), true)
+		writeError(w, http.StatusServiceUnavailable, api.KindDraining, err.Error(), true)
 	case errors.Is(err, core.ErrRetryBudgetExhausted):
 		// The engine-wide retry pool ran dry: the backend fleet is
 		// browning out. Fail fast with Retry-After so well-behaved
 		// clients back off instead of piling on.
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "retry-budget", err.Error(), true)
+		writeError(w, http.StatusServiceUnavailable, api.KindRetryBudget, err.Error(), true)
 	case errors.As(err, &rerr):
-		writeError(w, http.StatusBadGateway, "retry-exhausted", err.Error(), llm.IsTransient(rerr.Last))
+		writeError(w, http.StatusBadGateway, api.KindRetryExhausted, err.Error(), llm.IsTransient(rerr.Last))
 	case errors.As(err, &cerr):
 		// A codegen loop that died on static errors still reports them
 		// structurally — same diagnostics shape as an install rejection,
 		// but classified as the model's failure (502), not the client's.
-		resp := errorResponse{Error: err.Error(), Kind: "codegen-failed", Transient: llm.IsTransient(cerr.Last)}
+		resp := api.Error{Message: err.Error(), Kind: api.KindCodegenFailed, Transient: llm.IsTransient(cerr.Last)}
 		var cde *analysis.DiagError
 		if errors.As(cerr.Last, &cde) {
-			resp.Diagnostics = toDiagJSON(cde.Diags)
+			resp.Diagnostics = toDiagnostics(cde.Diags)
 		}
-		writeJSON(w, http.StatusBadGateway, resp)
+		api.WriteError(w, http.StatusBadGateway, resp)
 	case errors.As(err, &derr):
 		// Static analysis rejected client-provided source (InstallSource
 		// path): a 400 with structured positions, not an engine failure.
 		writeStaticError(w, derr)
 	case llm.IsTransient(err):
-		writeError(w, http.StatusServiceUnavailable, "transient", err.Error(), true)
+		writeError(w, http.StatusServiceUnavailable, api.KindTransient, err.Error(), true)
 	default:
-		writeError(w, http.StatusInternalServerError, "engine", err.Error(), false)
+		writeError(w, http.StatusInternalServerError, api.KindEngine, err.Error(), false)
 	}
 }
 
 // ---------------------------------------------------------------------------
 // POST /v1/ask
 
-type askRequest struct {
-	// Type is the expected answer type as a TypeScript type expression
-	// (paper Table I), e.g. "number", "string[]", "{a: number}".
-	Type     string         `json:"type"`
-	Template string         `json:"template"`
-	Args     map[string]any `json:"args"`
-	Examples []exampleJSON  `json:"examples,omitempty"`
-}
-
-type askResponse struct {
-	Value any `json:"value"`
-}
-
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
-	var req askRequest
+	var req api.AskRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
 	ret, err := askit.ParseTS(req.Type)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad-type", err.Error(), false)
+		writeError(w, http.StatusBadRequest, api.KindBadType, err.Error(), false)
 		return
 	}
 	var opts []askit.DefineOption
@@ -207,7 +158,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	}
 	f, err := s.ai.Define(ret, req.Template, opts...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad-template", err.Error(), false)
+		writeError(w, http.StatusBadRequest, api.KindBadTemplate, err.Error(), false)
 		return
 	}
 	v, err := f.Call(r.Context(), req.Args)
@@ -215,37 +166,17 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		writeEngineError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, askResponse{Value: v})
+	api.WriteJSON(w, http.StatusOK, api.AskResponse{Value: v})
 }
 
 // ---------------------------------------------------------------------------
 // POST /v1/ask/batch
 
-type askBatchRequest struct {
-	Type     string           `json:"type"`
-	Template string           `json:"template"`
-	ArgsList []map[string]any `json:"args_list"`
-	// Workers bounds the fan-out; 0 means the engine default.
-	Workers int `json:"workers,omitempty"`
-}
-
-type batchElem struct {
-	Index     int    `json:"index"`
-	Value     any    `json:"value,omitempty"`
-	Error     string `json:"error,omitempty"`
-	Transient bool   `json:"transient,omitempty"`
-}
-
-type batchResponse struct {
-	Results []batchElem `json:"results"`
-	Errors  int         `json:"errors"`
-}
-
 // checkBatchSize enforces maxBatchElems and converts the wire form to
 // engine Args; on violation it writes the 400 and returns ok=false.
 func checkBatchSize(w http.ResponseWriter, in []map[string]any) ([]askit.Args, bool) {
 	if len(in) > maxBatchElems {
-		writeError(w, http.StatusBadRequest, "batch-too-large",
+		writeError(w, http.StatusBadRequest, api.KindBatchTooLarge,
 			fmt.Sprintf("batch has %d elements, limit %d", len(in), maxBatchElems), false)
 		return nil, false
 	}
@@ -256,10 +187,10 @@ func checkBatchSize(w http.ResponseWriter, in []map[string]any) ([]askit.Args, b
 	return argsList, true
 }
 
-func toBatchResponse(results []askit.BatchResult) batchResponse {
-	resp := batchResponse{Results: make([]batchElem, len(results))}
+func toBatchResponse(results []askit.BatchResult) api.BatchResponse {
+	resp := api.BatchResponse{Results: make([]api.BatchElem, len(results))}
 	for i, r := range results {
-		el := batchElem{Index: r.Index, Value: r.Value}
+		el := api.BatchElem{Index: r.Index, Value: r.Value}
 		if r.Err != nil {
 			el.Error = r.Err.Error()
 			el.Transient = llm.IsTransient(r.Err) || llm.IsCancellation(r.Err)
@@ -271,13 +202,13 @@ func toBatchResponse(results []askit.BatchResult) batchResponse {
 }
 
 func (s *Server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
-	var req askBatchRequest
+	var req api.AskBatchRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
 	ret, err := askit.ParseTS(req.Type)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad-type", err.Error(), false)
+		writeError(w, http.StatusBadRequest, api.KindBadType, err.Error(), false)
 		return
 	}
 	argsList, ok := checkBatchSize(w, req.ArgsList)
@@ -286,84 +217,23 @@ func (s *Server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := s.ai.AskBatch(r.Context(), ret, req.Template, argsList, clampWorkers(req.Workers))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad-template", err.Error(), false)
+		writeError(w, http.StatusBadRequest, api.KindBadTemplate, err.Error(), false)
 		return
 	}
-	writeJSON(w, http.StatusOK, toBatchResponse(results))
+	api.WriteJSON(w, http.StatusOK, toBatchResponse(results))
 }
 
 // ---------------------------------------------------------------------------
 // POST /v1/funcs — define (and by default compile) a task function.
 
-type installRequest struct {
-	// Name fixes the installed function's name; empty derives one from
-	// the template (and the response reports it).
-	Name     string        `json:"name,omitempty"`
-	Type     string        `json:"type"`
-	Template string        `json:"template"`
-	Params   []paramJSON   `json:"params,omitempty"`
-	Examples []exampleJSON `json:"examples,omitempty"`
-	Tests    []exampleJSON `json:"tests,omitempty"`
-	// Compile controls whether install runs the codegen loop now;
-	// default true. With a warm artifact store the compile is a store
-	// hit and makes zero model calls.
-	Compile *bool `json:"compile,omitempty"`
-	// Source, when set, installs this minilang implementation instead
-	// of running the codegen loop — zero model traffic. It passes the
-	// same gates as a model completion (parse, check, static analysis,
-	// example tests); static rejections come back as a 400
-	// "static-error" envelope with per-diagnostic positions.
-	Source string `json:"source,omitempty"`
-}
-
-type installResponse struct {
-	Name      string `json:"name"`
-	Compiled  bool   `json:"compiled"`
-	FromCache bool   `json:"from_cache,omitempty"`
-	Attempts  int    `json:"attempts,omitempty"`
-	LOC       int    `json:"loc,omitempty"`
-	// Existing is true when the name was already installed with the
-	// same spec and the existing function was reused.
-	Existing bool `json:"existing,omitempty"`
-}
-
-// specKey is the identity two installs must share to be the same
-// function: everything that shapes codegen or the direct-call prompt
-// (few-shot examples change the latter, so they are part of the key —
-// an install with different examples must not silently reuse a Func
-// built with the old ones).
-func (req *installRequest) specKey() string {
-	// Normalize nil to empty so an omitted field and an explicit []
-	// (semantically identical requests) produce the same key instead
-	// of a spurious 409.
-	params, examples, tests := req.Params, req.Examples, req.Tests
-	if params == nil {
-		params = []paramJSON{}
-	}
-	if examples == nil {
-		examples = []exampleJSON{}
-	}
-	if tests == nil {
-		tests = []exampleJSON{}
-	}
-	b, _ := json.Marshal(struct {
-		Type     string        `json:"type"`
-		Template string        `json:"template"`
-		Params   []paramJSON   `json:"params"`
-		Examples []exampleJSON `json:"examples"`
-		Tests    []exampleJSON `json:"tests"`
-	}{req.Type, req.Template, params, examples, tests})
-	return string(b)
-}
-
 func (s *Server) handleInstallFunc(w http.ResponseWriter, r *http.Request) {
-	var req installRequest
+	var req api.InstallRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
 	ret, err := askit.ParseTS(req.Type)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad-type", err.Error(), false)
+		writeError(w, http.StatusBadRequest, api.KindBadType, err.Error(), false)
 		return
 	}
 	opts := []askit.DefineOption{}
@@ -375,7 +245,7 @@ func (s *Server) handleInstallFunc(w http.ResponseWriter, r *http.Request) {
 		for i, p := range req.Params {
 			t, err := askit.ParseTS(p.Type)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, "bad-type",
+				writeError(w, http.StatusBadRequest, api.KindBadType,
 					fmt.Sprintf("param %q: %v", p.Name, err), false)
 				return
 			}
@@ -391,7 +261,7 @@ func (s *Server) handleInstallFunc(w http.ResponseWriter, r *http.Request) {
 	}
 	f, err := s.ai.Define(ret, req.Template, opts...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad-template", err.Error(), false)
+		writeError(w, http.StatusBadRequest, api.KindBadTemplate, err.Error(), false)
 		return
 	}
 
@@ -401,14 +271,14 @@ func (s *Server) handleInstallFunc(w http.ResponseWriter, r *http.Request) {
 	// one codegen loop, not one per request. A different spec under a
 	// taken name is a conflict, not a silent replacement.
 	name := f.Name()
-	key := req.specKey()
+	key := req.SpecKey()
 	s.mu.Lock()
 	existing, taken := s.funcs[name]
 	if taken && existing.specKey == key {
 		f = existing.fn
 	} else if taken {
 		s.mu.Unlock()
-		writeError(w, http.StatusConflict, "name-taken",
+		writeError(w, http.StatusConflict, api.KindNameTaken,
 			fmt.Sprintf("function %q is installed with a different spec", name), false)
 		return
 	} else {
@@ -416,7 +286,7 @@ func (s *Server) handleInstallFunc(w http.ResponseWriter, r *http.Request) {
 		s.funcs[name] = existing
 	}
 	s.mu.Unlock()
-	resp := installResponse{Name: name, Existing: taken}
+	resp := api.InstallResponse{Name: name, Existing: taken}
 
 	if req.Source != "" {
 		info, err := f.InstallSource(r.Context(), req.Source)
@@ -438,13 +308,13 @@ func (s *Server) handleInstallFunc(w http.ResponseWriter, r *http.Request) {
 				// Client-supplied source that fails to parse, check, or
 				// pass its own examples is a bad request, not an engine
 				// failure.
-				writeError(w, http.StatusBadRequest, "bad-source", err.Error(), false)
+				writeError(w, http.StatusBadRequest, api.KindBadSource, err.Error(), false)
 			}
 			return
 		}
 		resp.Compiled = true
 		resp.LOC = info.LOC
-		writeJSON(w, http.StatusOK, resp)
+		api.WriteJSON(w, http.StatusOK, resp)
 		return
 	}
 
@@ -471,24 +341,17 @@ func (s *Server) handleInstallFunc(w http.ResponseWriter, r *http.Request) {
 		resp.Attempts = info.Attempts
 		resp.LOC = info.LOC
 	}
-	writeJSON(w, http.StatusOK, resp)
+	api.WriteJSON(w, http.StatusOK, resp)
 }
 
 // ---------------------------------------------------------------------------
 // GET /v1/funcs
 
-type funcInfo struct {
-	Name     string `json:"name"`
-	Template string `json:"template"`
-	Type     string `json:"type"`
-	Compiled bool   `json:"compiled"`
-}
-
 func (s *Server) handleListFuncs(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	infos := make([]funcInfo, 0, len(s.funcs))
+	infos := make([]api.FuncInfo, 0, len(s.funcs))
 	for name, reg := range s.funcs {
-		infos = append(infos, funcInfo{
+		infos = append(infos, api.FuncInfo{
 			Name:     name,
 			Template: reg.template,
 			Type:     reg.retTS,
@@ -496,20 +359,11 @@ func (s *Server) handleListFuncs(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{"funcs": infos})
+	api.WriteJSON(w, http.StatusOK, api.FuncListResponse{Funcs: infos})
 }
 
 // ---------------------------------------------------------------------------
 // POST /v1/funcs/{name}/call and /batch
-
-type callRequest struct {
-	Args map[string]any `json:"args"`
-}
-
-type callResponse struct {
-	Value    any  `json:"value"`
-	Compiled bool `json:"compiled"`
-}
 
 func (s *Server) lookupFunc(w http.ResponseWriter, r *http.Request) (*askit.Func, bool) {
 	name := r.PathValue("name")
@@ -517,7 +371,7 @@ func (s *Server) lookupFunc(w http.ResponseWriter, r *http.Request) (*askit.Func
 	reg, ok := s.funcs[name]
 	s.mu.RUnlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown-func",
+		writeError(w, http.StatusNotFound, api.KindUnknownFunc,
 			fmt.Sprintf("no function %q installed", name), false)
 		return nil, false
 	}
@@ -529,7 +383,7 @@ func (s *Server) handleCallFunc(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	var req callRequest
+	var req api.CallRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
@@ -538,12 +392,7 @@ func (s *Server) handleCallFunc(w http.ResponseWriter, r *http.Request) {
 		writeEngineError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, callResponse{Value: v, Compiled: info.Compiled})
-}
-
-type callBatchRequest struct {
-	ArgsList []map[string]any `json:"args_list"`
-	Workers  int              `json:"workers,omitempty"`
+	api.WriteJSON(w, http.StatusOK, api.CallResponse{Value: v, Compiled: info.Compiled})
 }
 
 func (s *Server) handleCallBatch(w http.ResponseWriter, r *http.Request) {
@@ -551,7 +400,7 @@ func (s *Server) handleCallBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	var req callBatchRequest
+	var req api.CallBatchRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
@@ -560,7 +409,7 @@ func (s *Server) handleCallBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	results := f.CallBatch(r.Context(), argsList, clampWorkers(req.Workers))
-	writeJSON(w, http.StatusOK, toBatchResponse(results))
+	api.WriteJSON(w, http.StatusOK, toBatchResponse(results))
 }
 
 // ---------------------------------------------------------------------------
@@ -573,14 +422,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// to a draining replica, hence 503 rather than a soft flag.
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
-		"status":   status,
-		"inflight": s.Inflight(),
+	api.WriteJSON(w, code, api.HealthResponse{
+		Status:   status,
+		Inflight: s.Inflight(),
 		// Degraded persistence is degraded, not dead: the replica still
 		// answers (in-memory-only), so the status stays 200 and the flag
 		// lets operators alert on it without the LB pulling the replica.
-		"store_degraded": s.ai.Engine().StoreDegraded(),
-		"uptime_s":       time.Since(s.start).Seconds(),
+		StoreDegraded: s.ai.Engine().StoreDegraded(),
+		UptimeS:       time.Since(s.start).Seconds(),
 	})
 }
 
@@ -594,58 +443,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.WritePrometheus(w)
 }
 
-type routeStatsJSON struct {
-	Count  uint64  `json:"count"`
-	P50Ms  float64 `json:"p50_ms"`
-	P99Ms  float64 `json:"p99_ms"`
-	P999Ms float64 `json:"p999_ms"`
-	// ExemplarTrace is the id of the most recent error or slower-than-p99
-	// trace the tail sampler retained for this route — the pivot from "the
-	// p99 is bad" to /v1/traces/{id} showing why.
-	ExemplarTrace string `json:"p99_exemplar_trace,omitempty"`
-}
-
-type serverStatsJSON struct {
-	Admitted         uint64  `json:"admitted"`
-	RejectedLimit    uint64  `json:"rejected_limit"`
-	RejectedDraining uint64  `json:"rejected_draining"`
-	Errors4xx        uint64  `json:"errors_4xx"`
-	Errors5xx        uint64  `json:"errors_5xx"`
-	Inflight         int     `json:"inflight"`
-	MaxInflight      int     `json:"max_inflight"`
-	P50Ms            float64 `json:"p50_ms"`
-	P99Ms            float64 `json:"p99_ms"`
-	UptimeS          float64 `json:"uptime_s"`
-	Draining         bool    `json:"draining"`
-	// Routes breaks latency down per endpoint; the top-level p50/p99
-	// are the merged view across all work routes.
-	Routes map[string]routeStatsJSON `json:"routes"`
-}
-
-// routerStatsJSON and backendStatsJSON are llm.RouterStats in wire
-// form, present when the engine's client is a Router.
-type backendStatsJSON struct {
-	Name         string `json:"name"`
-	Requests     uint64 `json:"requests"`
-	Failures     uint64 `json:"failures"`
-	Breaker      string `json:"breaker"`
-	BreakerOpens uint64 `json:"breaker_opens"`
-}
-
-type routerStatsJSON struct {
-	Requests         uint64             `json:"requests"`
-	Failovers        uint64             `json:"failovers"`
-	Exhausted        uint64             `json:"exhausted"`
-	SaturationSkips  uint64             `json:"saturation_skips"`
-	BreakerSkips     uint64             `json:"breaker_skips"`
-	BreakerFastFails uint64             `json:"breaker_fast_fails"`
-	Hedges           uint64             `json:"hedges"`
-	HedgeWins        uint64             `json:"hedge_wins"`
-	Backends         []backendStatsJSON `json:"backends"`
-}
-
-func toRouterStatsJSON(rs llm.RouterStats) *routerStatsJSON {
-	out := &routerStatsJSON{
+func toRouterStats(rs llm.RouterStats) *api.RouterStats {
+	out := &api.RouterStats{
 		Requests:         rs.Requests,
 		Failovers:        rs.Failovers,
 		Exhausted:        rs.Exhausted,
@@ -654,10 +453,10 @@ func toRouterStatsJSON(rs llm.RouterStats) *routerStatsJSON {
 		BreakerFastFails: rs.BreakerFastFails,
 		Hedges:           rs.Hedges,
 		HedgeWins:        rs.HedgeWins,
-		Backends:         make([]backendStatsJSON, len(rs.Backends)),
+		Backends:         make([]api.BackendStats, len(rs.Backends)),
 	}
 	for i, b := range rs.Backends {
-		out.Backends[i] = backendStatsJSON{
+		out.Backends[i] = api.BackendStats{
 			Name: b.Name, Requests: b.Requests, Failures: b.Failures,
 			Breaker: b.Breaker, BreakerOpens: b.BreakerOpens,
 		}
@@ -665,27 +464,12 @@ func toRouterStatsJSON(rs llm.RouterStats) *routerStatsJSON {
 	return out
 }
 
-type statsResponse struct {
-	Server serverStatsJSON `json:"server"`
-	// Engine is the engine counter group straight from the registry —
-	// the same series /metrics exposes, in the legacy wire-key shape.
-	Engine map[string]any `json:"engine"`
-	// Router is present when the engine's LLM client exposes router
-	// stats (it is an llm.Router, possibly re-exported); absent — not
-	// null-with-zeros — otherwise, e.g. under a fault-injection wrapper.
-	Router *routerStatsJSON `json:"router,omitempty"`
-	Funcs  int              `json:"funcs"`
-	// Events is the recent operational event trail (breaker flips,
-	// store degradation, drains, hedge launches), oldest first.
-	Events []obs.Event `json:"events,omitempty"`
-}
-
 // routerOf extracts router stats from the engine's client, if it has
 // any. The interface assertion (rather than a concrete *llm.Router
 // test) keeps wrappers that delegate Stats working.
-func (s *Server) routerOf() *routerStatsJSON {
+func (s *Server) routerOf() *api.RouterStats {
 	if st, ok := s.ai.Engine().Options().Client.(interface{ Stats() llm.RouterStats }); ok {
-		return toRouterStatsJSON(st.Stats())
+		return toRouterStats(st.Stats())
 	}
 	return nil
 }
@@ -695,10 +479,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	nfuncs := len(s.funcs)
 	s.mu.RUnlock()
 
-	routes := make(map[string]routeStatsJSON, len(s.stats.routeHists))
+	routes := make(map[string]api.RouteStats, len(s.stats.routeHists))
 	for _, rh := range s.stats.routeHists {
 		snap := rh.hist.Snapshot()
-		routes[rh.name] = routeStatsJSON{
+		routes[rh.name] = api.RouteStats{
 			Count:         snap.Count,
 			P50Ms:         float64(snap.Quantile(0.50).Nanoseconds()) / 1e6,
 			P99Ms:         float64(snap.Quantile(0.99).Nanoseconds()) / 1e6,
@@ -708,8 +492,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	all := s.stats.merged()
 
-	writeJSON(w, http.StatusOK, statsResponse{
-		Server: serverStatsJSON{
+	api.WriteJSON(w, http.StatusOK, api.StatsResponse{
+		Server: api.ServerStats{
 			Admitted:         s.stats.admitted.Value(),
 			RejectedLimit:    s.stats.rejectedLimit.Value(),
 			RejectedDraining: s.stats.rejectedDraining.Value(),

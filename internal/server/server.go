@@ -35,6 +35,7 @@ import (
 	"time"
 
 	askit "repro"
+	"repro/api"
 	"repro/internal/obs"
 )
 
@@ -213,14 +214,16 @@ func (s *Server) admit(route string, h http.HandlerFunc) http.Handler {
 		if s.draining.Load() {
 			s.exit()
 			s.stats.rejectedDraining.Add(1)
-			writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", true)
+			stampInboundTrace(w, r)
+			writeError(w, http.StatusServiceUnavailable, api.KindDraining, "server is draining", true)
 			return
 		}
 		if s.cfg.MaxInflight > 0 && n > int64(s.cfg.MaxInflight) {
 			s.exit()
 			s.stats.rejectedLimit.Add(1)
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
-			writeError(w, http.StatusTooManyRequests, "saturated",
+			stampInboundTrace(w, r)
+			writeError(w, http.StatusTooManyRequests, api.KindSaturated,
 				fmt.Sprintf("in-flight limit (%d) reached", s.cfg.MaxInflight), true)
 			return
 		}
@@ -263,6 +266,18 @@ func (s *Server) admit(route string, h http.HandlerFunc) http.Handler {
 		}
 		s.stats.observe(hist, time.Since(t0), sw.code)
 	})
+}
+
+// stampInboundTrace echoes a valid inbound traceparent's trace id into
+// X-Trace-Id on a request rejected before a root span exists (admission
+// 429/503). Rejections must not start spans — a saturated server would
+// flood the tail sampler with error traces of requests that did no
+// work — but a caller that brought its own trace still gets the id its
+// error envelope should carry (api.WriteError reads this header).
+func stampInboundTrace(w http.ResponseWriter, r *http.Request) {
+	if parent, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		w.Header().Set("X-Trace-Id", parent.TraceID.String())
+	}
 }
 
 // exit releases one admission slot and, when the server is draining and

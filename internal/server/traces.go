@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/api"
 	"repro/internal/obs"
 )
 
@@ -15,62 +16,16 @@ import (
 // defaultTraceLimit bounds an unqualified /v1/traces listing.
 const defaultTraceLimit = 50
 
-// traceSpanJSON is one node of the span tree: the retained span plus
-// its children.
-type traceSpanJSON struct {
-	obs.SpanData
-	Children []*traceSpanJSON `json:"children,omitempty"`
-}
-
-// spanTree links flat retained spans into the tree rooted at the first
-// span (the root). Orphans — children whose parent span was dropped by
-// the per-trace span bound — attach to the root so no timing is lost.
-func spanTree(spans []obs.SpanData) *traceSpanJSON {
-	if len(spans) == 0 {
-		return nil
-	}
-	nodes := make([]*traceSpanJSON, len(spans))
-	byID := make(map[string]*traceSpanJSON, len(spans))
-	for i, sd := range spans {
-		nodes[i] = &traceSpanJSON{SpanData: sd}
-		byID[sd.SpanID] = nodes[i]
-	}
-	root := nodes[0]
-	for _, n := range nodes[1:] {
-		parent := byID[n.ParentID]
-		if parent == nil || parent == n {
-			parent = root
-		}
-		parent.Children = append(parent.Children, n)
-	}
-	return root
-}
-
-type traceListResponse struct {
-	Enabled bool               `json:"enabled"`
-	Traces  []obs.TraceSummary `json:"traces"`
-}
-
-type traceResponse struct {
-	TraceID string         `json:"trace_id"`
-	Route   string         `json:"route"`
-	DurUs   int64          `json:"dur_us"`
-	Err     bool           `json:"err"`
-	Reason  string         `json:"reason"`
-	Dropped int            `json:"dropped_spans,omitempty"`
-	Root    *traceSpanJSON `json:"root"`
-}
-
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if s.tracer == nil {
-		writeJSON(w, http.StatusOK, traceListResponse{Enabled: false})
+		api.WriteJSON(w, http.StatusOK, api.TraceListResponse{Enabled: false})
 		return
 	}
 	limit := defaultTraceLimit
 	if q := r.URL.Query().Get("limit"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, "bad-limit", "limit must be a positive integer", false)
+			writeError(w, http.StatusBadRequest, api.KindBadLimit, "limit must be a positive integer", false)
 			return
 		}
 		limit = n
@@ -79,28 +34,28 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if sums == nil {
 		sums = []obs.TraceSummary{}
 	}
-	writeJSON(w, http.StatusOK, traceListResponse{Enabled: true, Traces: sums})
+	api.WriteJSON(w, http.StatusOK, api.TraceListResponse{Enabled: true, Traces: sums})
 }
 
 func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 	if s.tracer == nil {
-		writeJSON(w, http.StatusOK, traceListResponse{Enabled: false})
+		api.WriteJSON(w, http.StatusOK, api.TraceListResponse{Enabled: false})
 		return
 	}
 	id := r.PathValue("id")
 	td, ok := s.tracer.Lookup(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown-trace",
+		writeError(w, http.StatusNotFound, api.KindUnknownTrace,
 			"no retained trace with id "+id+" (dropped by the sampler, evicted, or never seen)", false)
 		return
 	}
-	writeJSON(w, http.StatusOK, traceResponse{
+	api.WriteJSON(w, http.StatusOK, api.TraceResponse{
 		TraceID: td.TraceID,
 		Route:   td.Route,
 		DurUs:   td.DurUs,
 		Err:     td.Err,
 		Reason:  td.Reason,
 		Dropped: td.Dropped,
-		Root:    spanTree(td.Spans),
+		Root:    api.SpanTree(td.Spans),
 	})
 }

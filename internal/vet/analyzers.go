@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"reflect"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -322,5 +324,120 @@ var SpanNames = &Analyzer{
 	},
 }
 
+// ---------------------------------------------------------------------------
+// apitypes
+
+// minAPIShapeFields is the smallest json tag set the apitypes analyzer
+// treats as an api-owned shape. One- and two-field sets ({"value"},
+// {"input","output"}, {"name","type"}) are too generic to attribute:
+// the store's on-disk validation record legitimately mirrors
+// {input,output} without being a wire type, and its format is
+// versioned independently of the HTTP surface. Three or more matching
+// tag names is no coincidence — that is a wire envelope redeclared.
+const minAPIShapeFields = 3
+
+// APITypes enforces that the /v1 wire surface lives in package api
+// alone: it collects the json tag-name set of every struct declared
+// under api/ with at least minAPIShapeFields tagged fields, then flags
+// any struct elsewhere in the tree whose tag set is identical. A
+// duplicated envelope struct compiles fine and even interoperates —
+// until one copy gains a field and the daemon, gateway, client, and
+// bench quietly stop speaking the same schema.
+var APITypes = &Analyzer{
+	Name: "apitypes",
+	Doc:  "/v1 wire shapes are declared in package api only; no other package may redeclare an identical json tag set",
+	Run: func(files []*File) []Finding {
+		shapes := map[string]string{} // sorted tag-set key -> api type name
+		for _, f := range files {
+			if !strings.HasPrefix(f.Path, "api/") {
+				continue
+			}
+			inspectStructs(f, func(name string, st *ast.StructType) {
+				if key, n := jsonTagKey(st); n >= minAPIShapeFields {
+					if _, ok := shapes[key]; !ok {
+						shapes[key] = name
+					}
+				}
+			})
+		}
+		if len(shapes) == 0 {
+			return nil
+		}
+		var out []Finding
+		for _, f := range files {
+			if strings.HasPrefix(f.Path, "api/") {
+				continue
+			}
+			file := f
+			inspectStructs(f, func(name string, st *ast.StructType) {
+				key, n := jsonTagKey(st)
+				if n < minAPIShapeFields {
+					return
+				}
+				if apiName, ok := shapes[key]; ok {
+					out = append(out, finding(file, "apitypes", st.Pos(),
+						fmt.Sprintf("%s duplicates the json shape of api.%s; use the api package type instead", name, apiName)))
+				}
+			})
+		}
+		return out
+	},
+}
+
+// inspectStructs visits every struct type in a file — named via its
+// TypeSpec, anonymous otherwise. Type aliases (Event = obs.Event) have
+// no StructType node and are skipped, which is what makes re-exporting
+// an api shape legal while redeclaring it is not.
+func inspectStructs(f *File, visit func(name string, st *ast.StructType)) {
+	named := map[*ast.StructType]string{}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		if ts, ok := n.(*ast.TypeSpec); ok {
+			if st, ok := ts.Type.(*ast.StructType); ok {
+				named[st] = ts.Name.Name
+			}
+		}
+		return true
+	})
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		name, ok := named[st]
+		if !ok {
+			name = "anonymous struct"
+		}
+		visit(name, st)
+		return true
+	})
+}
+
+// jsonTagKey returns the struct's sorted json field-name set as a
+// comparable key, plus the number of tagged fields. Untagged fields,
+// json:"-", and empty names are excluded.
+func jsonTagKey(st *ast.StructType) (string, int) {
+	var names []string
+	for _, field := range st.Fields.List {
+		if field.Tag == nil {
+			continue
+		}
+		raw, err := strconv.Unquote(field.Tag.Value)
+		if err != nil {
+			continue
+		}
+		tag, ok := reflect.StructTag(raw).Lookup("json")
+		if !ok {
+			continue
+		}
+		name, _, _ := strings.Cut(tag, ",")
+		if name == "" || name == "-" {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ","), len(names)
+}
+
 // Default is the analyzer set cmd/askit-vet runs.
-var Default = []*Analyzer{LLMClassify, SleepCtx, ObsNames, SpanNames}
+var Default = []*Analyzer{LLMClassify, SleepCtx, ObsNames, SpanNames, APITypes}

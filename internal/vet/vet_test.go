@@ -263,6 +263,109 @@ func f(ctx context.Context, tr *obs.Tracer, route string) { _, _ = tr.StartRoot(
 	}
 }
 
+func TestAPITypes(t *testing.T) {
+	apiSrc := `package api
+type AskRequest struct {
+	Type     string         ` + "`json:\"type\"`" + `
+	Template string         ` + "`json:\"template\"`" + `
+	Args     map[string]any ` + "`json:\"args\"`" + `
+}
+type Example struct {
+	Input  map[string]any ` + "`json:\"input\"`" + `
+	Output any            ` + "`json:\"output\"`" + `
+}`
+	apiFile := parseSrc(t, "api/api.go", apiSrc)
+
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []string // substrings, one per expected finding
+	}{
+		{
+			"duplicate-envelope-flagged",
+			"internal/server/types.go",
+			`package server
+type askReq struct {
+	Type     string         ` + "`json:\"type\"`" + `
+	Template string         ` + "`json:\"template\"`" + `
+	Args     map[string]any ` + "`json:\"args\"`" + `
+}`,
+			[]string{"askReq duplicates the json shape of api.AskRequest"},
+		},
+		{
+			"anonymous-duplicate-flagged",
+			"cmd/tool/main.go",
+			`package main
+func f() {
+	body := struct {
+		Type     string         ` + "`json:\"type\"`" + `
+		Template string         ` + "`json:\"template\"`" + `
+		Args     map[string]any ` + "`json:\"args\"`" + `
+	}{}
+	_ = body
+}`,
+			[]string{"anonymous struct duplicates the json shape of api.AskRequest"},
+		},
+		{
+			"field-order-and-go-names-irrelevant",
+			"internal/gateway/types.go",
+			`package gateway
+type proxied struct {
+	A map[string]any ` + "`json:\"args\"`" + `
+	T string         ` + "`json:\"type\"`" + `
+	P string         ` + "`json:\"template\"`" + `
+}`,
+			[]string{"proxied duplicates the json shape of api.AskRequest"},
+		},
+		{
+			"two-field-shape-too-generic",
+			"internal/store/store.go",
+			`package store
+type ValidationRecord struct {
+	Input  map[string]any ` + "`json:\"input\"`" + `
+	Output any            ` + "`json:\"output\"`" + `
+}`,
+			nil,
+		},
+		{
+			"different-tag-set-ok",
+			"cmd/askit-bench/report.go",
+			`package main
+type scalingArm struct {
+	Calls        int     ` + "`json:\"calls\"`" + `
+	ThroughputPS float64 ` + "`json:\"throughput_per_s\"`" + `
+	Speedup      float64 ` + "`json:\"speedup\"`" + `
+}`,
+			nil,
+		},
+		{
+			"redeclaration-inside-api-ok",
+			"api/wire.go",
+			`package api
+type askAlias struct {
+	Type     string         ` + "`json:\"type\"`" + `
+	Template string         ` + "`json:\"template\"`" + `
+	Args     map[string]any ` + "`json:\"args\"`" + `
+}`,
+			nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := APITypes.Run([]*File{apiFile, parseSrc(t, tc.path, tc.src)})
+			if len(got) != len(tc.want) {
+				t.Fatalf("findings = %v, want %d", got, len(tc.want))
+			}
+			for i, sub := range tc.want {
+				if !strings.Contains(got[i].Msg, sub) {
+					t.Errorf("finding %d = %q, want substring %q", i, got[i].Msg, sub)
+				}
+			}
+		})
+	}
+}
+
 // TestRunSortsFindings: driver output must be position-ordered so CI
 // diffs are stable run to run.
 func TestRunSortsFindings(t *testing.T) {

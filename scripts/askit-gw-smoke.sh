@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Cluster-tier smoke: boot three askitd replicas over ONE shared
+# artifact store, front them with askit-gw, and prove the fleet
+# contracts end to end — install broadcast warms every replica off a
+# single compile, affinity routing serves calls through the gateway,
+# and after the compiling replica is hard-killed a warm call still
+# succeeds from a second replica with zero codegen LLM calls anywhere.
+# JSON assertions go through askit-smoke (the typed-client helper);
+# shell keeps the process lifecycle. CI runs this against the real
+# binaries; locally:
+#
+#   go build -o /tmp/askitd ./cmd/askitd
+#   go build -o /tmp/askit-gw ./cmd/askit-gw
+#   go build -o /tmp/askit-smoke ./cmd/askit-smoke
+#   ASKITD=/tmp/askitd ASKIT_GW=/tmp/askit-gw ASKIT_SMOKE=/tmp/askit-smoke \
+#     scripts/askit-gw-smoke.sh
+set -euo pipefail
+
+ASKITD="${ASKITD:-./askitd}"
+ASKIT_GW="${ASKIT_GW:-./askit-gw}"
+SMOKE="${ASKIT_SMOKE:-./askit-smoke}"
+STORE="${STORE:-$(mktemp -d /tmp/askit-gw-smoke-XXXXXX)}"
+LOGDIR="$STORE/logs"
+mkdir -p "$LOGDIR"
+
+PORTS=(18331 18332 18333)
+GW_ADDR="${GW_ADDR:-127.0.0.1:18339}"
+GW_URL="http://$GW_ADDR"
+
+PIDS=()
+cleanup() { for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done; }
+trap cleanup EXIT
+
+fail() {
+  echo "askit-gw-smoke: FAIL: $*" >&2
+  tail -20 "$LOGDIR"/*.log >&2 || true
+  exit 1
+}
+
+# wait_healthy <pid> <url> <health-cmd...>: poll until the helper
+# passes, requiring OUR process to stay alive so a stale port owner
+# cannot answer for it.
+wait_healthy() {
+  local pid=$1 url=$2; shift 2
+  for _ in $(seq 1 50); do
+    kill -0 "$pid" 2>/dev/null || fail "process for $url died during startup"
+    if "$SMOKE" -url "$url" "$@" 2>/dev/null; then return 0; fi
+    sleep 0.1
+  done
+  fail "$url never became healthy"
+}
+
+# --- boot the fleet ---------------------------------------------------------
+REPLICA_URLS=()
+REPLICA_PIDS=()
+for port in "${PORTS[@]}"; do
+  "$ASKITD" -addr "127.0.0.1:$port" -store "$STORE" >"$LOGDIR/askitd-$port.log" 2>&1 &
+  pid=$!
+  disown "$pid" # no job-control obituary when the chaos kill reaps it
+  PIDS+=("$pid"); REPLICA_PIDS+=("$pid"); REPLICA_URLS+=("http://127.0.0.1:$port")
+done
+for i in "${!REPLICA_URLS[@]}"; do
+  wait_healthy "${REPLICA_PIDS[$i]}" "${REPLICA_URLS[$i]}" health
+done
+
+"$ASKIT_GW" -addr "$GW_ADDR" -health-interval 100ms \
+  -replicas "$(IFS=,; echo "${REPLICA_URLS[*]}")" >"$LOGDIR/askit-gw.log" 2>&1 &
+GW_PID=$!
+PIDS+=("$GW_PID")
+wait_healthy "$GW_PID" "$GW_URL" gw-health -min-up 3
+
+# --- route work through the gateway -----------------------------------------
+"$SMOKE" -url "$GW_URL" ask -template 'Calculate the factorial of {{n}}.' \
+  -args '{"n":5}' -want 120 || fail "gateway-routed ask"
+
+install_body='{"name":"fact","type":"number",
+  "template":"Calculate the factorial of {{n}}.",
+  "params":[{"name":"n","type":"number"}],
+  "tests":[{"input":{"n":5},"output":120}]}'
+"$SMOKE" -url "$GW_URL" install -body "$install_body" -want-compiled ||
+  fail "gateway install"
+"$SMOKE" -url "$GW_URL" call -func fact -args '{"n":10}' -want 3628800 ||
+  fail "gateway-routed call"
+
+# The install fanned out to every up replica over the shared store:
+# exactly one replica compiled (one codegen conversation fleet-wide),
+# the others warm-started from the store's artifact.
+home_idx=""
+for i in "${!REPLICA_URLS[@]}"; do
+  if "$SMOKE" -url "${REPLICA_URLS[$i]}" stats -counter codegen_llm_calls=1 2>/dev/null; then
+    [ -z "$home_idx" ] || fail "more than one replica ran codegen for one install"
+    home_idx=$i
+  else
+    "$SMOKE" -url "${REPLICA_URLS[$i]}" stats -counter codegen_llm_calls=0 ||
+      fail "replica ${REPLICA_URLS[$i]} has an unexpected codegen count"
+  fi
+done
+[ -n "$home_idx" ] || fail "no replica compiled the broadcast install"
+
+# --- kill the compiling replica ---------------------------------------------
+# Hard kill (no drain): the gateway must absorb the loss via health
+# polling + dispatch retries, not replica cooperation.
+kill -9 "${REPLICA_PIDS[$home_idx]}"
+for _ in $(seq 1 50); do
+  if ! "$SMOKE" -url "$GW_URL" gw-health -min-up 3 2>/dev/null; then break; fi
+  sleep 0.1
+done
+"$SMOKE" -url "$GW_URL" gw-health -min-up 2 || fail "gateway lost more than the killed replica"
+
+# Warm call through the gateway: a surviving replica serves it from the
+# artifact installed off the shared store — still zero codegen anywhere
+# in the remaining fleet.
+"$SMOKE" -url "$GW_URL" call -func fact -args '{"n":7}' -want 5040 ||
+  fail "warm call after replica kill"
+for i in "${!REPLICA_URLS[@]}"; do
+  [ "$i" = "$home_idx" ] && continue
+  "$SMOKE" -url "${REPLICA_URLS[$i]}" stats -counter codegen_llm_calls=0 ||
+    fail "surviving replica ${REPLICA_URLS[$i]} recompiled instead of using the shared store"
+done
+
+# --- graceful gateway drain --------------------------------------------------
+kill -TERM "$GW_PID"
+code=0
+wait "$GW_PID" || code=$?
+[ "$code" -eq 0 ] || fail "gateway exited $code on SIGTERM (graceful drain failed)"
+
+echo "askit-gw-smoke: OK (store: $STORE)"

@@ -3,22 +3,30 @@
 # artifact store, serve one direct ask, install + call one compiled
 # function, shut down gracefully on SIGTERM, then restart over the
 # same store and require the warm install to make zero codegen LLM
-# calls. CI runs this against the real binary; it also works locally:
+# calls. Process lifecycle and the Prometheus text checks live here in
+# shell; every JSON exchange goes through askit-smoke, the typed-client
+# assertion helper, so the script cannot drift from the wire contract.
+# CI runs this against the real binaries; it also works locally:
 #
 #   go build -o /tmp/askitd ./cmd/askitd
-#   ASKITD=/tmp/askitd scripts/askitd-smoke.sh
+#   go build -o /tmp/askit-smoke ./cmd/askit-smoke
+#   ASKITD=/tmp/askitd ASKIT_SMOKE=/tmp/askit-smoke scripts/askitd-smoke.sh
 set -euo pipefail
 
 ASKITD="${ASKITD:-./askitd}"
+SMOKE="${ASKIT_SMOKE:-./askit-smoke}"
 ADDR="${ADDR:-127.0.0.1:18321}"
 STORE="${STORE:-$(mktemp -d /tmp/askitd-smoke-XXXXXX)}"
 LOG="${LOG:-$STORE/askitd.log}"
+URL="http://$ADDR"
 
 DAEMON_PID=""
 cleanup() { [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true; }
 trap cleanup EXIT
 
 fail() { echo "askitd-smoke: FAIL: $*" >&2; [ -f "$LOG" ] && tail -20 "$LOG" >&2; exit 1; }
+
+smoke() { "$SMOKE" -url "$URL" "$@"; }
 
 wait_healthy() {
   for _ in $(seq 1 50); do
@@ -27,7 +35,7 @@ wait_healthy() {
     # otherwise hand the rest of the script to whatever stale process
     # owns the port — and its store, not ours.
     kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon process died during startup (is $ADDR already in use?)"
-    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then return 0; fi
+    if smoke health 2>/dev/null; then return 0; fi
     sleep 0.1
   done
   fail "daemon never became healthy"
@@ -47,6 +55,7 @@ stop_daemon() {
   [ "$code" -eq 0 ] || fail "daemon exited $code on SIGTERM (graceful drain failed)"
 }
 
+fact_template='Calculate the factorial of {{n}}.'
 install_body='{"name":"fact","type":"number",
   "template":"Calculate the factorial of {{n}}.",
   "params":[{"name":"n","type":"number"}],
@@ -55,54 +64,45 @@ install_body='{"name":"fact","type":"number",
 # --- cold lifecycle ---------------------------------------------------------
 start_daemon
 
-ask=$(curl -fsS "http://$ADDR/v1/ask" \
-  -d '{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":5}}')
-echo "$ask" | grep -q '"value":120' || fail "ask returned $ask"
-
-install=$(curl -fsS "http://$ADDR/v1/funcs" -d "$install_body")
-echo "$install" | grep -q '"compiled":true' || fail "cold install returned $install"
-
-call=$(curl -fsS "http://$ADDR/v1/funcs/fact/call" -d '{"args":{"n":10}}')
-echo "$call" | grep -q '"value":3628800' || fail "func call returned $call"
+smoke ask -template "$fact_template" -args '{"n":5}' -want 120 || fail "cold ask"
+smoke install -body "$install_body" -want-compiled || fail "cold install"
+smoke call -func fact -args '{"n":10}' -want 3628800 || fail "cold func call"
 
 # Error mapping over the wire: an install reusing the name with a
-# different spec must be a 409 conflict, not a silent replacement.
-conflict=$(curl -sS -o /dev/null -w '%{http_code}' "http://$ADDR/v1/funcs" \
-  -d '{"name":"fact","type":"string","template":"Reverse the string {{s}}.","params":[{"name":"s","type":"string"}]}')
-[ "$conflict" = "409" ] || fail "conflicting install returned HTTP $conflict, want 409"
+# different spec must be a classified 409 name-taken envelope, not a
+# silent replacement.
+smoke install -want-kind name-taken -want-status 409 \
+  -body '{"name":"fact","type":"string","template":"Reverse the string {{s}}.","params":[{"name":"s","type":"string"}]}' ||
+  fail "conflicting install not mapped to 409 name-taken"
 
 stop_daemon
 
 # --- warm lifecycle ---------------------------------------------------------
 start_daemon
 
-warm=$(curl -fsS "http://$ADDR/v1/funcs" -d "$install_body")
-echo "$warm" | grep -q '"from_cache":true' || fail "warm install returned $warm (want from_cache)"
+smoke install -body "$install_body" -want-from-cache || fail "warm install missed the store"
 
-# Anchored on the delimiter so "store_hits":12 cannot pass as ":1".
-stats=$(curl -fsS "http://$ADDR/v1/stats")
-echo "$stats" | grep -q '"codegen_llm_calls":0[,}]' || fail "warm daemon made codegen LLM calls: $stats"
-echo "$stats" | grep -q '"store_hits":1[,}]' || fail "warm daemon missed the store: $stats"
-# The stats payload now carries the router section and per-route latency.
-echo "$stats" | grep -q '"router":{' || fail "stats has no router section: $stats"
-echo "$stats" | grep -q '"routes":{' || fail "stats has no per-route section: $stats"
+# The warm daemon must have answered the install from the artifact
+# store: zero codegen LLM calls, one store hit, and the stats payload
+# carries the router section plus per-route latency.
+smoke stats -counter codegen_llm_calls=0 -counter store_hits=1 -router -routes ||
+  fail "warm stats contract"
 
-call=$(curl -fsS "http://$ADDR/v1/funcs/fact/call" -d '{"args":{"n":6}}')
-echo "$call" | grep -q '"value":720' || fail "warm func call returned $call"
+smoke call -func fact -args '{"n":6}' -want 720 || fail "warm func call"
 
 # Prometheus exposition: one scrape covers every tier. The counters
 # must be nonzero after the traffic above — a registry that exists but
-# nothing emits into would pass a names-only check.
-metrics=$(curl -fsS "http://$ADDR/metrics")
+# nothing emits into would pass a names-only check. Text exposition is
+# greppable by design; it stays in shell.
+metrics=$(curl -fsS "$URL/metrics")
 echo "$metrics" | grep -q '^askit_store_hits_total 1$' || fail "/metrics store hits wrong: $(echo "$metrics" | grep askit_store_hits_total)"
 echo "$metrics" | grep -q '^askit_http_admitted_total [1-9]' || fail "/metrics admitted counter not incrementing"
 echo "$metrics" | grep -q '^askit_http_request_duration_seconds_count{route="install"} [1-9]' || fail "/metrics has no per-route latency histogram"
 echo "$metrics" | grep -q '^askit_router_requests_total' || fail "/metrics missing router series (shared registry broken)"
 echo "$metrics" | grep -q '^askit_store_op_duration_seconds_count{op="load"} [1-9]' || fail "/metrics missing store op histogram"
 
-# healthz reports store degradation as a flag while staying 200.
-healthz=$(curl -fsS "http://$ADDR/healthz")
-echo "$healthz" | grep -q '"store_degraded":false' || fail "healthz has no store_degraded flag: $healthz"
+# healthz stays 200 with store_degraded false while healthy.
+smoke health -live || fail "healthz liveness contract"
 
 stop_daemon
 
@@ -115,46 +115,31 @@ stop_daemon
 # deterministic.
 start_daemon -fault-rate 0.2 -fault-seed 7 -trace-sample 1
 
-for n in 5 6 7; do
-  want=$((n == 5 ? 120 : n == 6 ? 720 : 5040))
-  ask=$(curl -fsS "http://$ADDR/v1/ask" \
-    -d '{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":'"$n"'}}')
-  echo "$ask" | grep -q "\"value\":$want" || fail "chaos ask(n=$n) returned $ask"
-done
+smoke ask -template "$fact_template" -args '{"n":5}' -want 120 || fail "chaos ask(n=5)"
+smoke ask -template "$fact_template" -args '{"n":6}' -want 720 || fail "chaos ask(n=6)"
+smoke ask -template "$fact_template" -args '{"n":7}' -want 5040 || fail "chaos ask(n=7)"
 
 # Install rides the store's warm path, but its Save now races injected
 # write failures — the daemon must still come up compiled.
-chaos_install=$(curl -fsS "http://$ADDR/v1/funcs" -d "$install_body")
-echo "$chaos_install" | grep -q '"compiled":true' || fail "chaos install returned $chaos_install"
-
-call=$(curl -fsS "http://$ADDR/v1/funcs/fact/call" -d '{"args":{"n":8}}')
-echo "$call" | grep -q '"value":40320' || fail "chaos func call returned $call"
+smoke install -body "$install_body" -want-compiled || fail "chaos install"
+smoke call -func fact -args '{"n":8}' -want 40320 || fail "chaos func call"
 
 # Tracing: a fresh ask (cold in this process's answer cache, so it must
 # cross the router) echoes its trace id, and /v1/traces/{id} serves the
-# complete span tree — HTTP root down to the backend attempt.
-trace_id=$(curl -fsS -D - -o /dev/null "http://$ADDR/v1/ask" \
-  -d '{"type":"number","template":"Calculate the factorial of {{n}}.","args":{"n":9}}' |
-  tr -d '\r' | awk 'tolower($1)=="x-trace-id:" {print $2}')
-[ -n "$trace_id" ] || fail "traced ask returned no X-Trace-Id header"
-trace=""
-for _ in $(seq 1 20); do
-  # Retention happens when the root span ends, which can race the client
-  # reading the response; retry briefly.
-  if trace=$(curl -fsS "http://$ADDR/v1/traces/$trace_id" 2>/dev/null); then break; fi
-  sleep 0.1
-done
-for span in http_ask ask cache_probe llm_complete backend_attempt; do
-  echo "$trace" | grep -q "\"name\":\"$span\"" || fail "trace $trace_id missing span $span: $trace"
-done
-listing=$(curl -fsS "http://$ADDR/v1/traces")
-echo "$listing" | grep -q "\"trace_id\":\"$trace_id\"" || fail "/v1/traces does not list $trace_id: $listing"
+# complete span tree — HTTP root down to the backend attempt. askit-smoke
+# retries the fetch: retention happens when the root span ends, which
+# can race the client reading the response.
+trace_id=$(smoke ask -template "$fact_template" -args '{"n":9}' -want 362880 -print-trace) ||
+  fail "traced ask returned no X-Trace-Id"
+smoke trace -id "$trace_id" -spans http_ask,ask,cache_probe,llm_complete,backend_attempt ||
+  fail "trace $trace_id span tree incomplete"
+smoke traces -contains "$trace_id" || fail "/v1/traces does not list $trace_id"
 
 # Fire background traffic so the drain begins with faulted requests in
 # flight; the daemon exiting 0 is the graceful-drain assertion.
 for _ in $(seq 1 4); do
   ( for _ in $(seq 1 20); do
-      curl -fsS "http://$ADDR/v1/ask" \
+      curl -fsS "$URL/v1/ask" \
         -d '{"type":"string","template":"Reverse the string {{s}}.","args":{"s":"chaos"}}' \
         >/dev/null 2>&1 || true
     done ) &
